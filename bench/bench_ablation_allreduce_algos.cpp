@@ -1,0 +1,49 @@
+// Ablation — Allreduce algorithm crossover for the uncompressed baseline:
+// recursive doubling vs Rabenseifner vs ring across message sizes, the
+// MPICH selection logic the paper's "original MPI" baseline embodies.  The
+// hZCCL stack targets the large-message regime where the ring family wins;
+// this ablation shows where that regime begins.
+#include <cstdio>
+#include <vector>
+
+#include "collective_bench.hpp"
+#include "hzccl/collectives/algorithms.hpp"
+#include "hzccl/collectives/raw.hpp"
+
+int main() {
+  using namespace hzccl;
+  using coll::CollectiveConfig;
+  bench::print_banner("bench_ablation_allreduce_algos", "baseline fidelity ablation");
+
+  const int n = 16;
+  CollectiveConfig cc;
+  simmpi::Runtime rt(n, simmpi::NetModel::omnipath_100g());
+
+  std::printf("Allreduce, %d ranks (modeled)\n\n", n);
+  std::printf("%12s | %14s %14s %14s | %s\n", "size (bytes)", "rec-doubling", "Rabenseifner",
+              "ring", "winner");
+
+  for (size_t elements : {size_t{16}, size_t{256}, size_t{4096}, size_t{65536},
+                          size_t{1} << 20}) {
+    const auto inputs = bench::dataset_inputs(DatasetId::kHurricane, elements);
+    auto seconds = [&](auto fn) {
+      auto reports = rt.run([&](simmpi::Comm& comm) {
+        std::vector<float> out;
+        fn(comm, inputs(comm.rank()), out, cc);
+      });
+      return simmpi::Runtime::slowest(reports).total_seconds;
+    };
+    const double rd = seconds(coll::raw_allreduce_recursive_doubling);
+    const double rab = seconds(coll::raw_allreduce_rabenseifner);
+    const double ring = seconds(coll::raw_allreduce);
+    const char* winner = rd <= rab && rd <= ring ? "rec-doubling"
+                         : rab <= ring           ? "Rabenseifner"
+                                                 : "ring";
+    std::printf("%12zu | %12.1fus %12.1fus %12.1fus | %s\n", elements * sizeof(float), rd * 1e6,
+                rab * 1e6, ring * 1e6, winner);
+  }
+  std::printf("\nexpected shape: recursive doubling wins while alpha*log2(P) dominates\n"
+              "(tiny messages); the bandwidth-optimal family (Rabenseifner/ring) takes\n"
+              "over as the vector grows — the regime hZCCL's co-design lives in.\n");
+  return 0;
+}

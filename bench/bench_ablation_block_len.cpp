@@ -1,0 +1,46 @@
+// Ablation — block length (the paper fixes 32; the artifact exposes
+// BLOCKSIZE): how the small-block size trades compression ratio (smaller
+// blocks adapt code lengths better but pay more per-block headers) against
+// codec and homomorphic-operator throughput (larger blocks amortize
+// dispatch).  Justifies the library's default of 32.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/homomorphic/hz_dynamic.hpp"
+
+int main() {
+  using namespace hzccl;
+  bench::print_banner("bench_ablation_block_len", "design ablation (DESIGN.md)");
+  const Scale scale = bench::bench_scale();
+  const DatasetId id = DatasetId::kRtmSim1;
+  const std::vector<float> f0 = generate_field(id, scale, 0);
+  const std::vector<float> f1 = generate_field(id, scale, 1);
+  const double eb = abs_bound_from_rel(f0, 1e-3);
+  const double bytes = static_cast<double>(f0.size()) * sizeof(float);
+
+  std::printf("dataset %s, REL 1e-3\n\n", dataset_name(id).c_str());
+  std::printf("%9s | %8s %10s %10s %10s\n", "block_len", "ratio", "cpr GB/s", "dpr GB/s",
+              "hz GB/s");
+  for (uint32_t block_len : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    FzParams params;
+    params.abs_error_bound = eb;
+    params.block_len = block_len;
+
+    CompressedBuffer a, b;
+    const double t_cpr = bench::time_best_of(3, [&] { a = fz_compress(f0, params); });
+    b = fz_compress(f1, params);
+    std::vector<float> out(f0.size());
+    const double t_dpr = bench::time_best_of(3, [&] { fz_decompress(a, out); });
+    const double t_hz = bench::time_best_of(3, [&] { (void)hz_add(a, b); });
+
+    std::printf("%9u | %8.2f %10.2f %10.2f %10.2f\n", block_len,
+                compression_ratio(static_cast<size_t>(bytes), a.size_bytes()),
+                gb_per_s(bytes, t_cpr), gb_per_s(bytes, t_dpr), gb_per_s(bytes, t_hz));
+  }
+  std::printf("\nexpected shape: ratio peaks at small-to-mid block lengths (code-length\n"
+              "adaptivity) while throughput peaks at mid-to-large ones (dispatch\n"
+              "amortization); 32 sits on the knee, matching the paper's choice.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation — three-way compressor comparison (paper §II's positioning):
+// fZ-light (quantize+predict+FLE) vs ompSZp (cuSZp-on-CPU) vs an SZx-like
+// constant-block compressor, at equal error bounds.  Reports ratio, NRMSE,
+// PSNR and single-host throughputs; the paper's argument is that fZ-light
+// keeps cuSZp-class quality (beating SZx's constant-block artifacts) while
+// reaching SZx-class speed.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/compressor/omp_szp.hpp"
+#include "hzccl/compressor/szx_like.hpp"
+
+int main() {
+  using namespace hzccl;
+  bench::print_banner("bench_ablation_compressors", "compressor positioning (paper §II)");
+  const Scale scale = bench::bench_scale();
+  const double rel = 1e-3;
+
+  std::printf("%-12s %-9s | %8s %9s %8s | %9s %9s\n", "dataset", "codec", "ratio", "NRMSE",
+              "PSNR", "cpr GB/s", "dpr GB/s");
+
+  for (DatasetId id : all_datasets()) {
+    const std::vector<float> data = generate_field(id, scale, 0);
+    const double eb = abs_bound_from_rel(data, rel);
+    const double bytes = static_cast<double>(data.size()) * sizeof(float);
+    std::vector<float> out(data.size());
+
+    auto report = [&](const char* name, auto compress_fn, auto decompress_fn) {
+      CompressedBuffer c;
+      const double t_cpr = bench::time_best_of(3, [&] { c = compress_fn(); });
+      const double t_dpr = bench::time_best_of(3, [&] { decompress_fn(c, out); });
+      const ErrorStats err = compare(data, out);
+      std::printf("%-12s %-9s | %8.2f %9.2e %8.2f | %9.2f %9.2f\n", dataset_name(id).c_str(),
+                  name, compression_ratio(static_cast<size_t>(bytes), c.size_bytes()),
+                  err.nrmse, err.psnr, gb_per_s(bytes, t_cpr), gb_per_s(bytes, t_dpr));
+    };
+
+    FzParams fp;
+    fp.abs_error_bound = eb;
+    report("fZ-light", [&] { return fz_compress(data, fp); },
+           [&](const CompressedBuffer& c, std::span<float> o) { fz_decompress(c, o); });
+    SzpParams sp;
+    sp.abs_error_bound = eb;
+    report("ompSZp", [&] { return szp_compress(data, sp); },
+           [&](const CompressedBuffer& c, std::span<float> o) { szp_decompress(c, o); });
+    SzxParams xp;
+    xp.abs_error_bound = eb;
+    report("SZx-like", [&] { return szx_compress(data, xp); },
+           [&](const CompressedBuffer& c, std::span<float> o) { szx_decompress(c, o); });
+    std::printf("\n");
+  }
+  std::printf("expected shape: all three respect the bound.  The SZx-like design is\n"
+              "the fastest compressor but pays in rate-distortion: at the same bound\n"
+              "its ratio trails fZ-light by 3-4x, because every block whose range\n"
+              "exceeds 2*eb falls back to stored floats.  fZ-light keeps ompSZp's\n"
+              "quantizer-grade quality-per-bit at far higher speed than ompSZp on\n"
+              "dense data — the positioning the paper's SII uses to motivate it.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation — dynamic vs static homomorphic pipelines (paper §III-B4,
+// Fig 4): the static pipeline always decodes/re-encodes every block; the
+// dynamic dispatch skips that for constant and half-constant blocks.  Both
+// produce byte-identical streams, so the measured gap is pure dispatch win,
+// and it must track each dataset's pipeline-1/2/3 share (Table V).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/homomorphic/hz_dynamic.hpp"
+#include "hzccl/homomorphic/hz_static.hpp"
+
+int main() {
+  using namespace hzccl;
+  bench::print_banner("bench_ablation_static_dynamic", "design ablation (paper Fig 4)");
+  const Scale scale = bench::bench_scale();
+
+  std::printf("%-12s | %12s %12s %9s | %10s %9s\n", "dataset", "dynamic GB/s", "static GB/s",
+              "speedup", "P1+P2+P3", "identical");
+  for (DatasetId id : all_datasets()) {
+    const std::vector<float> f0 = generate_field(id, scale, 0);
+    const std::vector<float> f1 = generate_field(id, scale, 1);
+    const double eb = abs_bound_from_rel(f0, 1e-3);
+    FzParams params;
+    params.abs_error_bound = eb;
+    const CompressedBuffer a = fz_compress(f0, params);
+    const CompressedBuffer b = fz_compress(f1, params);
+    const double bytes = static_cast<double>(f0.size()) * sizeof(float);
+
+    HzPipelineStats stats;
+    CompressedBuffer dyn, sta;
+    const double t_dyn = bench::time_best_of(3, [&] {
+      HzPipelineStats s;
+      dyn = hz_add(a, b, &s);
+      stats = s;
+    });
+    const double t_sta = bench::time_best_of(3, [&] { sta = hz_add_static(a, b); });
+
+    std::printf("%-12s | %12.2f %12.2f %8.2fx | %9.1f%% %9s\n", dataset_name(id).c_str(),
+                gb_per_s(bytes, t_dyn), gb_per_s(bytes, t_sta), t_sta / t_dyn,
+                stats.percent(1) + stats.percent(2) + stats.percent(3),
+                dyn.bytes == sta.bytes ? "yes" : "NO!");
+  }
+  std::printf("\nexpected shape: the dynamic/static gap grows with the light-pipeline\n"
+              "share — large on NYX/RTM, ~1x on the all-pipeline-4 CESM-ATM — while\n"
+              "outputs stay byte-identical (the dispatch is a pure optimization).\n");
+  return 0;
+}

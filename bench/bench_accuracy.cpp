@@ -1,0 +1,59 @@
+// Accuracy experiment — empirical error propagation vs the analytic bounds
+// (the paper's "while maintaining data accuracy" claim, quantified).  Runs
+// functional Allreduces across rank counts and compares every stack's
+// measured max error and NRMSE against the error_model bounds.
+#include <cstdio>
+#include <vector>
+
+#include "collective_bench.hpp"
+#include "hzccl/stats/error_model.hpp"
+
+int main() {
+  using namespace hzccl;
+  bench::print_banner("bench_accuracy", "accuracy claims of SIV (Tables VI/VII)");
+
+  const size_t elements = 1 << 16;
+  const DatasetId dataset = DatasetId::kRtmSim1;
+  std::printf("Allreduce on %s, %zu elements/rank, REL 1e-3\n\n", dataset_name(dataset).c_str(),
+              elements);
+  std::printf("%5s %-24s | %12s %12s %8s | %10s\n", "N", "kernel", "max err/eb", "bound/eb",
+              "within", "NRMSE");
+
+  for (int n : {2, 8, 32}) {
+    JobConfig config;
+    config.nranks = n;
+    const auto inputs = bench::dataset_inputs(dataset, elements);
+    config.abs_error_bound = abs_bound_from_rel(inputs(0), 1e-3);
+    const std::vector<float> exact = exact_reduction(n, inputs);
+
+    struct Row {
+      Kernel kernel;
+      StackKind stack;
+    };
+    for (const Row& row : {Row{Kernel::kMpi, StackKind::kRawMpi},
+                           Row{Kernel::kCCollMultiThread, StackKind::kCColl},
+                           Row{Kernel::kHzcclMultiThread, StackKind::kHzccl}}) {
+      const JobResult r = run_collective(row.kernel, Op::kAllreduce, config, inputs);
+      const ErrorStats err = compare(exact, r.rank0_output);
+      const double bound = collective_error_bound(row.stack, n, config.abs_error_bound);
+      const double max_in_eb = err.max_abs_err / config.abs_error_bound;
+      const double bound_in_eb = bound / config.abs_error_bound;
+      // Raw MPI's bound is 0 compression error; allow float-rounding noise.
+      const bool within =
+          row.stack == StackKind::kRawMpi
+              ? err.max_abs_err < 1e-3 * config.abs_error_bound * n
+              : err.max_abs_err <= bound * (1.0 + 1e-6);
+      std::printf("%5d %-24s | %12.3f %12.1f %8s | %10.2e\n", n,
+                  kernel_name(row.kernel).c_str(), max_in_eb, bound_in_eb,
+                  within ? "yes" : "NO!", err.nrmse);
+    }
+    std::printf("\n");
+  }
+  std::printf("expected shape: every stack stays within its analytic bound, and\n"
+              "hZCCL's bound is strictly tighter (N*eb vs (N+1)*eb).  On correlated\n"
+              "inputs the worst case is nearly realized (errors add coherently);\n"
+              "NRMSE values are comparable between the compressed stacks because\n"
+              "DOC's re-quantization can re-center accumulated error even as it\n"
+              "loosens the guarantee.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E10 — Figure 10: Reduce_scatter scalability, 2..512 nodes, full RTM volume
+// (the paper's 646 MB).  The functional thread-per-rank simulation validates
+// the RoundSim model at small scale; RoundSim then projects the full sweep
+// (512 functional ranks at 646 MB would need hundreds of GB of RAM).
+#include <cstdio>
+#include <vector>
+
+#include "collective_bench.hpp"
+#include "hzccl/cluster/roundsim.hpp"
+
+int main() {
+  using namespace hzccl;
+  bench::print_banner("bench_fig10_rs_nodes", "paper Figure 10");
+  const DatasetId dataset = DatasetId::kRtmSim1;
+  const size_t full_bytes = size_t{646} << 20;
+
+  // Measured compression profile: real compressor, real homomorphic stats.
+  const auto fields = generate_fields(dataset, Scale::kTiny, 6);
+  FzParams params;
+  params.abs_error_bound = abs_bound_from_rel(fields[0], 1e-4);
+  const auto profile = cluster::CompressionProfile::measure(fields, params, 32);
+  const auto net = simmpi::NetModel::omnipath_100g();
+  const auto cost = simmpi::CostModel::paper_broadwell();
+
+  // --- validation: functional vs model at small N --------------------------
+  std::printf("model validation (functional simmpi vs RoundSim, small scale):\n");
+  std::printf("%6s %-12s %14s %14s %8s\n", "nodes", "kernel", "functional(ms)", "modeled(ms)",
+              "ratio");
+  for (int n : {4, 8, 16}) {
+    const size_t elements = size_t{1} << 16;
+    JobConfig config;
+    config.nranks = n;
+    const auto inputs = bench::dataset_inputs(dataset, elements);
+    config.abs_error_bound = abs_bound_from_rel(inputs(0), 1e-4);
+    for (Kernel k : {Kernel::kMpi, Kernel::kHzcclMultiThread}) {
+      const double functional =
+          run_collective(k, Op::kReduceScatter, config, inputs).slowest.total_seconds;
+      const double modeled =
+          cluster::model_collective(k, Op::kReduceScatter, n, elements * sizeof(float),
+                                    profile, net, cost)
+              .seconds;
+      std::printf("%6d %-12s %14.3f %14.3f %8.2f\n", n,
+                  k == Kernel::kMpi ? "MPI" : "hZCCL-MT", functional * 1e3, modeled * 1e3,
+                  modeled / functional);
+    }
+  }
+
+  // --- the figure: 646 MB sweep -------------------------------------------
+  std::printf("\nReduce_scatter, %zu MB RTM volume (RoundSim projection):\n", full_bytes >> 20);
+  std::printf("%6s | %10s %10s %10s %10s %10s | %7s %7s\n", "nodes", "MPI", "CC-MT", "hZ-MT",
+              "CC-ST", "hZ-ST", "hZ-MT/x", "hZ-ST/x");
+  for (int n : {2, 4, 8, 16, 32, 64, 128, 256, 512}) {
+    std::vector<double> s;
+    for (Kernel k : bench::artifact_kernels()) {
+      s.push_back(cluster::model_collective(k, Op::kReduceScatter, n, full_bytes, profile, net,
+                                            cost)
+                      .seconds);
+    }
+    std::printf("%6d | %9.1fms %9.1fms %9.1fms %9.1fms %9.1fms | %6.2fx %6.2fx\n", n, s[0] * 1e3,
+                s[1] * 1e3, s[2] * 1e3, s[3] * 1e3, s[4] * 1e3, s[0] / s[2], s[0] / s[4]);
+  }
+  std::printf("\nexpected shape (paper Fig 10): speedup over MPI rises with node count,\n"
+              "peaks (paper: 1.9x ST / 5.85x MT), then sags toward 512 nodes as the\n"
+              "scattered blocks shrink and per-round latency+compression overheads\n"
+              "offset the bandwidth savings (paper: 1.46x / 4.12x at 512).\n");
+  return 0;
+}

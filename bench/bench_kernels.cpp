@@ -1,0 +1,164 @@
+// Kernel-level microbenchmarks (google-benchmark): the primitives whose
+// cost structure the paper's design arguments rest on — the bit-shifting
+// pack/unpack routines, block encode/decode, fused quantize+predict, the
+// compressors end-to-end, and hz_add versus doc_add.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "hzccl/compressor/fixed_len.hpp"
+#include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/compressor/omp_szp.hpp"
+#include "hzccl/datasets/registry.hpp"
+#include "hzccl/homomorphic/doc.hpp"
+#include "hzccl/homomorphic/hz_dynamic.hpp"
+#include "hzccl/stats/metrics.hpp"
+#include "hzccl/util/random.hpp"
+
+namespace {
+
+using namespace hzccl;
+
+void BM_PackBits(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  constexpr size_t n = 4096;
+  std::vector<uint32_t> values(n);
+  Rng rng(1);
+  for (auto& v : values) v = static_cast<uint32_t>(rng.below(1u << bits));
+  std::vector<uint8_t> out(packed_size(n, bits));
+  for (auto _ : state) {
+    pack_bits(values.data(), n, bits, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * sizeof(uint32_t));
+}
+BENCHMARK(BM_PackBits)->DenseRange(1, 7);
+
+void BM_UnpackBits(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  constexpr size_t n = 4096;
+  std::vector<uint32_t> values(n);
+  Rng rng(1);
+  for (auto& v : values) v = static_cast<uint32_t>(rng.below(1u << bits));
+  std::vector<uint8_t> packed(packed_size(n, bits));
+  pack_bits(values.data(), n, bits, packed.data());
+  std::vector<uint32_t> out(n);
+  for (auto _ : state) {
+    unpack_bits(packed.data(), n, bits, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * sizeof(uint32_t));
+}
+BENCHMARK(BM_UnpackBits)->DenseRange(1, 7);
+
+void BM_EncodeBlock(benchmark::State& state) {
+  const int code_len = static_cast<int>(state.range(0));
+  constexpr size_t n = 32;
+  std::vector<int32_t> residuals(n);
+  Rng rng(2);
+  for (auto& r : residuals) {
+    r = static_cast<int32_t>(rng.below(1ull << code_len)) - (1 << (code_len - 1));
+  }
+  std::vector<uint8_t> out(max_encoded_block_size(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_block(residuals.data(), n, out.data()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * sizeof(int32_t));
+}
+BENCHMARK(BM_EncodeBlock)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(31);
+
+void BM_DecodeBlock(benchmark::State& state) {
+  const int code_len = static_cast<int>(state.range(0));
+  constexpr size_t n = 32;
+  std::vector<int32_t> residuals(n);
+  Rng rng(2);
+  for (auto& r : residuals) {
+    r = static_cast<int32_t>(rng.below(1ull << code_len)) - (1 << (code_len - 1));
+  }
+  std::vector<uint8_t> buf(max_encoded_block_size(n));
+  const uint8_t* end = encode_block(residuals.data(), n, buf.data());
+  std::vector<int32_t> out(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_block(buf.data(), end, n, out.data()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * sizeof(int32_t));
+}
+BENCHMARK(BM_DecodeBlock)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(31);
+
+std::vector<float> bench_field(DatasetId id) { return generate_field(id, Scale::kTiny, 0); }
+
+void BM_FzCompress(benchmark::State& state) {
+  const auto id = static_cast<DatasetId>(state.range(0));
+  const std::vector<float> field = bench_field(id);
+  FzParams params;
+  params.abs_error_bound = abs_bound_from_rel(field, 1e-3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fz_compress(field, params).bytes.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * field.size() *
+                          sizeof(float));
+}
+BENCHMARK(BM_FzCompress)->DenseRange(0, 4);
+
+void BM_FzDecompress(benchmark::State& state) {
+  const auto id = static_cast<DatasetId>(state.range(0));
+  const std::vector<float> field = bench_field(id);
+  FzParams params;
+  params.abs_error_bound = abs_bound_from_rel(field, 1e-3);
+  const CompressedBuffer compressed = fz_compress(field, params);
+  std::vector<float> out(field.size());
+  for (auto _ : state) {
+    fz_decompress(compressed, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * field.size() *
+                          sizeof(float));
+}
+BENCHMARK(BM_FzDecompress)->DenseRange(0, 4);
+
+void BM_SzpCompress(benchmark::State& state) {
+  const auto id = static_cast<DatasetId>(state.range(0));
+  const std::vector<float> field = bench_field(id);
+  SzpParams params;
+  params.abs_error_bound = abs_bound_from_rel(field, 1e-3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(szp_compress(field, params).bytes.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * field.size() *
+                          sizeof(float));
+}
+BENCHMARK(BM_SzpCompress)->DenseRange(0, 4);
+
+void BM_HzAdd(benchmark::State& state) {
+  const auto id = static_cast<DatasetId>(state.range(0));
+  const std::vector<float> f0 = bench_field(id);
+  const std::vector<float> f1 = generate_field(id, Scale::kTiny, 1);
+  FzParams params;
+  params.abs_error_bound = abs_bound_from_rel(f0, 1e-3);
+  const CompressedBuffer a = fz_compress(f0, params);
+  const CompressedBuffer b = fz_compress(f1, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hz_add(a, b).bytes.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * f0.size() * sizeof(float));
+}
+BENCHMARK(BM_HzAdd)->DenseRange(0, 4);
+
+void BM_DocAdd(benchmark::State& state) {
+  const auto id = static_cast<DatasetId>(state.range(0));
+  const std::vector<float> f0 = bench_field(id);
+  const std::vector<float> f1 = generate_field(id, Scale::kTiny, 1);
+  FzParams params;
+  params.abs_error_bound = abs_bound_from_rel(f0, 1e-3);
+  const CompressedBuffer a = fz_compress(f0, params);
+  const CompressedBuffer b = fz_compress(f1, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(doc_add(a, b).bytes.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * f0.size() * sizeof(float));
+}
+BENCHMARK(BM_DocAdd)->DenseRange(0, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// E1 — Table III: compression ratio and quality (NRMSE ± STD), fZ-light vs
+// ompSZp, across the five application datasets and four relative bounds.
+// Multiple fields per dataset give the per-field standard deviation column.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/compressor/omp_szp.hpp"
+
+namespace {
+
+using namespace hzccl;
+
+struct Row {
+  double ratio = 0.0;
+  double nrmse_mean = 0.0;
+  double nrmse_std = 0.0;
+};
+
+template <class CompressFn>
+Row evaluate(const std::vector<std::vector<float>>& fields, double rel,
+             const CompressFn& run_one) {
+  size_t raw = 0, packed = 0;
+  std::vector<double> nrmses;
+  for (const auto& f : fields) {
+    const double eb = abs_bound_from_rel(f, rel);
+    const auto [bytes, decoded] = run_one(f, eb);
+    raw += f.size() * sizeof(float);
+    packed += bytes;
+    nrmses.push_back(compare(f, decoded).nrmse);
+  }
+  Row row;
+  row.ratio = compression_ratio(raw, packed);
+  const Summary s = summarize(nrmses);
+  row.nrmse_mean = s.mean;
+  row.nrmse_std = s.stddev;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hzccl;
+  bench::print_banner("bench_table3_ratio_quality", "paper Table III");
+  const Scale scale = bench::bench_scale();
+  constexpr uint32_t kFields = 3;
+
+  std::printf("%-12s %-5s | %10s %11s %9s | %10s %11s %9s | %s\n", "dataset", "REL", "fZ ratio",
+              "fZ NRMSE", "STD", "szp ratio", "szp NRMSE", "STD", "fZ wins?");
+
+  for (DatasetId id : all_datasets()) {
+    const auto fields = generate_fields(id, scale, kFields);
+    for (double rel : bench::paper_rel_bounds()) {
+      const Row fz = evaluate(fields, rel, [](const std::vector<float>& f, double eb) {
+        FzParams p;
+        p.abs_error_bound = eb;
+        const CompressedBuffer c = fz_compress(f, p);
+        return std::make_pair(c.size_bytes(), fz_decompress(c));
+      });
+      const Row szp = evaluate(fields, rel, [](const std::vector<float>& f, double eb) {
+        SzpParams p;
+        p.abs_error_bound = eb;
+        const CompressedBuffer c = szp_compress(f, p);
+        return std::make_pair(c.size_bytes(), szp_decompress(c));
+      });
+      std::printf("%-12s %-5.0e | %10.2f %11.2e %9.0e | %10.2f %11.2e %9.0e | %s\n",
+                  dataset_name(id).c_str(), rel, fz.ratio, fz.nrmse_mean, fz.nrmse_std,
+                  szp.ratio, szp.nrmse_mean, szp.nrmse_std,
+                  fz.ratio >= szp.ratio ? "ratio" : "(szp ratio)");
+    }
+    std::printf("\n");
+  }
+  std::printf("expected shape (paper): fZ-light matches or beats ompSZp's ratio nearly\n"
+              "everywhere (zero-dominated Sim.Set.1 can favor ompSZp's zero-block\n"
+              "omission at loose bounds) with equal-or-better NRMSE.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shared helpers for the per-table/figure benchmark harnesses.
+//
+// Every bench binary regenerates one element of the paper's evaluation
+// (DESIGN.md's E1-E13 index) and prints rows in the paper's own shape.
+// HZCCL_BENCH_SCALE ∈ {tiny, small, medium, large} trades fidelity for
+// runtime (default: small — a few seconds per binary on a laptop core).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "hzccl/datasets/registry.hpp"
+#include "hzccl/stats/metrics.hpp"
+#include "hzccl/util/timer.hpp"
+
+namespace hzccl::bench {
+
+inline Scale bench_scale() {
+  const char* env = std::getenv("HZCCL_BENCH_SCALE");
+  if (!env) return Scale::kSmall;
+  const std::string s = env;
+  if (s == "tiny") return Scale::kTiny;
+  if (s == "small") return Scale::kSmall;
+  if (s == "medium") return Scale::kMedium;
+  if (s == "large") return Scale::kLarge;
+  std::fprintf(stderr, "unknown HZCCL_BENCH_SCALE '%s', using small\n", env);
+  return Scale::kSmall;
+}
+
+inline const char* scale_name(Scale s) {
+  switch (s) {
+    case Scale::kTiny: return "tiny";
+    case Scale::kSmall: return "small";
+    case Scale::kMedium: return "medium";
+    case Scale::kLarge: return "large";
+  }
+  return "?";
+}
+
+/// Best-of-N wall-clock timing of a callable, in seconds.
+template <class Fn>
+double time_best_of(int trials, Fn&& fn) {
+  double best = 1e300;
+  for (int t = 0; t < trials; ++t) {
+    Timer timer;
+    fn();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+/// The paper's four relative error bounds (Tables III/VI, Fig 6).
+inline std::vector<double> paper_rel_bounds() { return {1e-1, 1e-2, 1e-3, 1e-4}; }
+
+inline void print_banner(const char* experiment, const char* paper_element) {
+  std::printf("================================================================\n");
+  std::printf("%s  (reproduces %s)\n", experiment, paper_element);
+  std::printf("scale=%s  (set HZCCL_BENCH_SCALE=tiny|small|medium|large)\n",
+              scale_name(bench_scale()));
+  std::printf("================================================================\n");
+}
+
+}  // namespace hzccl::bench

@@ -1,0 +1,56 @@
+// Shared machinery for the collective benchmarks (Figs 2, 7-12, Table VII):
+// rank-input construction from the synthetic datasets and kernel sweeps over
+// the simulated cluster.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hzccl/core/hzccl.hpp"
+
+namespace hzccl::bench {
+
+/// Rank-input generator: rank r's vector is the r-th *correlated* member of
+/// the dataset family (shared activity structure, per-rank texture — see
+/// generate_correlated_field), tiled or truncated to exactly `elements`.
+/// Tiling preserves the field's block statistics, which is what the
+/// compression-side costs depend on.
+inline RankInputFn dataset_inputs(DatasetId id, size_t elements, Scale scale = Scale::kTiny) {
+  return [id, elements, scale](int rank) {
+    const std::vector<float> base =
+        generate_correlated_field(id, scale, static_cast<uint32_t>(rank));
+    std::vector<float> out(elements);
+    for (size_t i = 0; i < elements; ++i) out[i] = base[i % base.size()];
+    return out;
+  };
+}
+
+inline const std::vector<Kernel>& artifact_kernels() {
+  static const std::vector<Kernel> kernels = {
+      Kernel::kMpi, Kernel::kCCollMultiThread, Kernel::kHzcclMultiThread,
+      Kernel::kCCollSingleThread, Kernel::kHzcclSingleThread};
+  return kernels;
+}
+
+/// Run all five artifact kernels at one configuration; returns modeled
+/// completion seconds indexed by the artifact kernel number.
+inline std::vector<double> run_all_kernels(Op op, const JobConfig& config,
+                                           const RankInputFn& inputs) {
+  std::vector<double> seconds;
+  seconds.reserve(artifact_kernels().size());
+  for (Kernel k : artifact_kernels()) {
+    seconds.push_back(run_collective(k, op, config, inputs).slowest.total_seconds);
+  }
+  return seconds;
+}
+
+/// Artifact-style output line ("Compression-accelerated Kernel k For
+/// datasize: ... the avg_time is ... us").
+inline void print_artifact_row(int kernel, size_t bytes, double seconds) {
+  std::printf("Compression-accelerated Kernel %d For datasize: %zu bytes, the avg_time is "
+              "%.1f us\n",
+              kernel, bytes, seconds * 1e6);
+}
+
+}  // namespace hzccl::bench

@@ -1,0 +1,56 @@
+// Climate-ensemble Allreduce: averaging a CESM-ATM-like 2-D field across an
+// ensemble of simulated members — the hardest case for hZ-dynamic (rough
+// data, pipeline-4-dominant, paper Table V) and therefore the most honest
+// demonstration of where the co-design's advantage narrows.
+//
+// The example sweeps the relative error bound and reports, per stack, the
+// modeled collective time and the ensemble-mean accuracy, showing the
+// accuracy/performance trade the operator actually controls.
+//
+// Build & run:  ./examples/climate_allreduce
+#include <cstdio>
+
+#include "hzccl/core/hzccl.hpp"
+#include "hzccl/datasets/registry.hpp"
+#include "hzccl/stats/metrics.hpp"
+
+int main() {
+  using namespace hzccl;
+  constexpr int kMembers = 12;
+
+  const RankInputFn member_field = [](int rank) {
+    return generate_field(DatasetId::kCesmAtm, Scale::kSmall, static_cast<uint32_t>(rank));
+  };
+  const std::vector<float> exact_sum = exact_reduction(kMembers, member_field);
+  std::printf("CESM-ATM ensemble Allreduce: %d members, %zu grid points each\n\n", kMembers,
+              exact_sum.size());
+  std::printf("%-8s %-24s %12s %10s %10s %12s\n", "REL", "kernel", "time(ms)", "speedup",
+              "PSNR", "max-err/eb");
+
+  for (double rel : {1e-2, 1e-3, 1e-4}) {
+    JobConfig config;
+    config.nranks = kMembers;
+    config.abs_error_bound = abs_bound_from_rel(member_field(0), rel);
+
+    double mpi_ms = 0.0;
+    for (Kernel k : {Kernel::kMpi, Kernel::kCCollMultiThread, Kernel::kHzcclMultiThread}) {
+      const JobResult r = run_collective(k, Op::kAllreduce, config, member_field);
+      const double ms = r.slowest.total_seconds * 1e3;
+      if (k == Kernel::kMpi) mpi_ms = ms;
+      const ErrorStats err = compare(exact_sum, r.rank0_output);
+      // Compression error per member is <= eb; N members accumulate <= N*eb.
+      const double err_in_bounds =
+          err.max_abs_err / (config.abs_error_bound * kMembers);
+      std::printf("%-8.0e %-24s %12.3f %9.2fx %10.2f %12.3f\n", rel, kernel_name(k).c_str(),
+                  ms, mpi_ms / ms, err.psnr, err_in_bounds);
+    }
+    std::printf("\n");
+  }
+  std::printf("note: max-err/eb column is the observed error as a fraction of the\n"
+              "N*eb worst case -- always <= 1 for hZCCL (no re-quantization).  The\n"
+              "hZCCL/C-Coll gap narrows (and can invert) here because rough climate\n"
+              "data drives the homomorphic operator into its expensive pipeline 4,\n"
+              "which is why the paper's collective figures use the RTM datasets\n"
+              "(Table V shows CESM-ATM as the pipeline-4-dominant outlier).\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Image stacking (the paper's §IV-E use case): many noisy single exposures
+// of the same scene are summed into one high-SNR image with Allreduce.
+//
+// Each simulated rank contributes a batch of noisy exposures; the cluster
+// reduces them with the original-MPI, C-Coll, and hZCCL stacks; the final
+// stacked images are written as PGM files for visual comparison (the paper's
+// Fig 13) and scored with PSNR/NRMSE against the noise-free scene.
+//
+// Build & run:  ./examples/image_stacking [out_dir]
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "hzccl/core/hzccl.hpp"
+#include "hzccl/datasets/fields.hpp"
+#include "hzccl/datasets/io.hpp"
+#include "hzccl/stats/metrics.hpp"
+#include "hzccl/util/random.hpp"
+
+namespace {
+
+constexpr size_t kWidth = 512;
+constexpr size_t kHeight = 512;
+constexpr int kRanks = 16;
+constexpr int kExposuresPerRank = 4;
+
+/// The noise-free scene: a cluster of Gaussian "stars" over a dim gradient.
+std::vector<float> make_scene() {
+  using hzccl::Rng;
+  std::vector<float> scene(kWidth * kHeight, 0.0f);
+  Rng rng(20240101);
+  for (int star = 0; star < 60; ++star) {
+    const double cx = rng.uniform(0.05, 0.95) * kWidth;
+    const double cy = rng.uniform(0.05, 0.95) * kHeight;
+    const double sigma = rng.uniform(1.5, 6.0);
+    const double amp = rng.uniform(20.0, 255.0);
+    const int reach = static_cast<int>(4 * sigma);
+    for (int dy = -reach; dy <= reach; ++dy) {
+      for (int dx = -reach; dx <= reach; ++dx) {
+        const int x = static_cast<int>(cx) + dx;
+        const int y = static_cast<int>(cy) + dy;
+        if (x < 0 || y < 0 || x >= static_cast<int>(kWidth) || y >= static_cast<int>(kHeight)) {
+          continue;
+        }
+        const double r2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+        scene[y * kWidth + x] += static_cast<float>(amp * std::exp(-r2 / (2 * sigma * sigma)));
+      }
+    }
+  }
+  // Dim sky gradient.
+  for (size_t y = 0; y < kHeight; ++y) {
+    for (size_t x = 0; x < kWidth; ++x) {
+      scene[y * kWidth + x] += static_cast<float>(2.0 + 3.0 * static_cast<double>(y) / kHeight);
+    }
+  }
+  return scene;
+}
+
+/// One rank's contribution: its exposures, each the scene plus readout noise.
+std::vector<float> rank_exposure_sum(const std::vector<float>& scene, int rank) {
+  using hzccl::Rng;
+  std::vector<float> acc(scene.size(), 0.0f);
+  for (int e = 0; e < kExposuresPerRank; ++e) {
+    Rng rng(0x57AC0000ULL + static_cast<uint64_t>(rank) * 131 + e);
+    for (size_t i = 0; i < scene.size(); ++i) {
+      acc[i] += scene[i] + static_cast<float>(rng.normal() * 4.0);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hzccl;
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  std::printf("image stacking: %d ranks x %d exposures of %zux%zu\n\n", kRanks,
+              kExposuresPerRank, kWidth, kHeight);
+  const std::vector<float> scene = make_scene();
+  const RankInputFn inputs = [&](int rank) { return rank_exposure_sum(scene, rank); };
+
+  // Reference: the exact stacked image (and the ideal scene scaled up).
+  const std::vector<float> exact = exact_reduction(kRanks, inputs);
+  std::vector<float> ideal(scene.size());
+  for (size_t i = 0; i < scene.size(); ++i) {
+    ideal[i] = scene[i] * static_cast<float>(kRanks * kExposuresPerRank);
+  }
+
+  JobConfig config;
+  config.nranks = kRanks;
+  config.abs_error_bound = 1e-4 * value_range(exact).span();  // paper: abs 1e-4 regime
+
+  double mpi_seconds = 0.0;
+  for (Kernel k : {Kernel::kMpi, Kernel::kCCollSingleThread, Kernel::kHzcclSingleThread,
+                   Kernel::kCCollMultiThread, Kernel::kHzcclMultiThread}) {
+    const JobResult r = run_collective(k, Op::kAllreduce, config, inputs);
+    if (k == Kernel::kMpi) mpi_seconds = r.slowest.total_seconds;
+
+    const ErrorStats vs_exact = compare(exact, r.rank0_output);
+    std::printf("%-24s speedup vs MPI %5.2fx | CPR+CPT %5.1f%%  MPI %5.1f%% | PSNR %6.2f  NRMSE %.1e\n",
+                kernel_name(k).c_str(), mpi_seconds / r.slowest.total_seconds,
+                100.0 * r.slowest.doc_related() / r.slowest.total_seconds,
+                r.slowest.percent(simmpi::CostBucket::kMpi), vs_exact.psnr, vs_exact.nrmse);
+
+    if (k == Kernel::kHzcclMultiThread) {
+      store_pgm(out_dir + "/stack_hzccl.pgm", r.rank0_output, kWidth, kHeight);
+    }
+  }
+  store_pgm(out_dir + "/stack_exact.pgm", exact, kWidth, kHeight);
+  store_pgm(out_dir + "/scene_ideal.pgm", ideal, kWidth, kHeight);
+  std::printf("\nwrote stack_hzccl.pgm / stack_exact.pgm / scene_ideal.pgm to %s\n",
+              out_dir.c_str());
+  std::printf("visual check: the hZCCL stack should be indistinguishable from the exact stack.\n");
+  return 0;
+}

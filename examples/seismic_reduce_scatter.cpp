@@ -1,0 +1,78 @@
+// Seismic shot-gather partial reduction: RTM imaging sums per-shot partial
+// images, and each node only needs its own depth slab afterwards — exactly
+// Reduce_scatter (the paper's §III-C1 motivating operation).
+//
+// The example runs the functional simulation at a working scale, then uses
+// the RoundSim scalability model (built from a measured compression profile
+// of the same data) to project the full 512-node deployment — the workflow a
+// practitioner would use to size a production run.
+//
+// Build & run:  ./examples/seismic_reduce_scatter
+#include <cstdio>
+
+#include "hzccl/cluster/autotune.hpp"
+#include "hzccl/cluster/roundsim.hpp"
+#include "hzccl/core/hzccl.hpp"
+#include "hzccl/datasets/registry.hpp"
+#include "hzccl/stats/metrics.hpp"
+
+int main() {
+  using namespace hzccl;
+  constexpr int kShots = 16;
+
+  const RankInputFn shot_image = [](int rank) {
+    return generate_field(DatasetId::kRtmSim1, Scale::kSmall, static_cast<uint32_t>(rank));
+  };
+
+  // --- functional run: real bytes, exact block ownership -------------------
+  JobConfig config;
+  config.nranks = kShots;
+  config.abs_error_bound = abs_bound_from_rel(shot_image(0), 1e-4);
+
+  std::printf("RTM partial-image Reduce_scatter, %d shots (functional simulation)\n\n", kShots);
+  double mpi_s = 0.0;
+  for (Kernel k : {Kernel::kMpi, Kernel::kCCollMultiThread, Kernel::kHzcclMultiThread}) {
+    const JobResult r = run_collective(k, Op::kReduceScatter, config, shot_image);
+    if (k == Kernel::kMpi) mpi_s = r.slowest.total_seconds;
+    std::printf("  %-24s %9.3f ms  (%.2fx vs MPI)\n", kernel_name(k).c_str(),
+                r.slowest.total_seconds * 1e3, mpi_s / r.slowest.total_seconds);
+  }
+
+  // --- projection: size the full-machine run -------------------------------
+  const auto fields = generate_fields(DatasetId::kRtmSim1, Scale::kTiny, 6);
+  FzParams params;
+  params.abs_error_bound = abs_bound_from_rel(fields[0], 1e-4);
+  const auto profile = cluster::CompressionProfile::measure(fields, params, 24);
+
+  const size_t full_bytes = size_t{646} << 20;  // the paper's 646 MB RTM volume
+  const auto net = simmpi::NetModel::omnipath_100g();
+  const auto cost = simmpi::CostModel::paper_broadwell();
+
+  std::printf("\nprojected full-volume (646 MB) Reduce_scatter times (RoundSim model):\n\n");
+  std::printf("  %6s %12s %12s %12s %10s\n", "nodes", "MPI(ms)", "C-Coll(ms)", "hZCCL(ms)",
+              "speedup");
+  for (int n : {8, 32, 64, 128, 256, 512}) {
+    const double mpi = cluster::model_collective(Kernel::kMpi, Op::kReduceScatter, n,
+                                                 full_bytes, profile, net, cost)
+                           .seconds;
+    const double cc = cluster::model_collective(Kernel::kCCollMultiThread, Op::kReduceScatter,
+                                                n, full_bytes, profile, net, cost)
+                          .seconds;
+    const double hz = cluster::model_collective(Kernel::kHzcclMultiThread, Op::kReduceScatter,
+                                                n, full_bytes, profile, net, cost)
+                          .seconds;
+    std::printf("  %6d %12.2f %12.2f %12.2f %9.2fx\n", n, mpi * 1e3, cc * 1e3, hz * 1e3,
+                mpi / hz);
+  }
+  std::printf("\nthe speedup column is hZCCL (multi-thread) vs plain MPI; the paper's\n"
+              "Fig 10 reports up to 5.85x for this operation on its Broadwell cluster.\n");
+
+  // --- run-time kernel selection: probe the data, let the model choose ----
+  JobConfig full_job = config;
+  full_job.nranks = 512;
+  const AutotuneResult choice =
+      choose_kernel(std::span<const float>(fields[0]).first(1 << 16), Op::kReduceScatter,
+                    full_bytes, full_job);
+  std::printf("\nautotuner verdict for the 512-node run: %s\n", choice.summary().c_str());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Weighted stacking with the extended homomorphic operations: combine K
+// partial images with integer weights entirely in the compressed domain —
+// scale each compressed stream (hz_scale), sum them pairwise (hz_add_many),
+// and form a background-subtracted difference (hz_sub) — with zero
+// decompress/recompress round trips and zero error beyond the per-input
+// bounds.
+//
+// Build & run:  ./examples/weighted_stacking
+#include <cmath>
+#include <cstdio>
+
+#include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/datasets/registry.hpp"
+#include "hzccl/homomorphic/hz_dynamic.hpp"
+#include "hzccl/homomorphic/hz_ops.hpp"
+#include "hzccl/stats/metrics.hpp"
+#include "hzccl/util/timer.hpp"
+
+int main() {
+  using namespace hzccl;
+  constexpr int kImages = 12;
+
+  // Partial images of one survey: shared structure, per-image texture.
+  std::vector<std::vector<float>> images;
+  for (int k = 0; k < kImages; ++k) {
+    images.push_back(generate_correlated_field(DatasetId::kRtmSim1, Scale::kSmall,
+                                               static_cast<uint32_t>(k)));
+  }
+  const double eb = abs_bound_from_rel(images[0], 1e-4);
+  FzParams params;
+  params.abs_error_bound = eb;
+
+  // Integer fold weights (e.g. acquisition repeat counts).
+  const int weights[kImages] = {3, 1, 2, 1, 4, 1, 2, 2, 1, 3, 1, 2};
+
+  std::printf("weighted stack of %d compressed partial images (%zu floats each)\n\n", kImages,
+              images[0].size());
+
+  // Compress once...
+  std::vector<CompressedBuffer> compressed;
+  size_t compressed_bytes = 0;
+  for (const auto& img : images) {
+    compressed.push_back(fz_compress(img, params));
+    compressed_bytes += compressed.back().size_bytes();
+  }
+  std::printf("inputs: %zu MB raw -> %zu KB compressed (ratio %.1f)\n",
+              kImages * images[0].size() * sizeof(float) >> 20, compressed_bytes >> 10,
+              static_cast<double>(kImages * images[0].size() * sizeof(float)) /
+                  static_cast<double>(compressed_bytes));
+
+  // ...then do ALL the arithmetic in the compressed domain.
+  Timer timer;
+  std::vector<CompressedBuffer> weighted;
+  int weight_sum = 0;
+  for (int k = 0; k < kImages; ++k) {
+    weighted.push_back(hz_scale(compressed[k], weights[k]));
+    weight_sum += weights[k];
+  }
+  HzPipelineStats stats;
+  const CompressedBuffer stack = hz_add_many(weighted, &stats);
+  // Background subtraction: remove image 0's (weighted) contribution.
+  const CompressedBuffer residual = hz_sub(stack, hz_scale(compressed[0], weights[0]));
+  const double seconds = timer.seconds();
+
+  std::printf("compressed-domain arithmetic: %d scales + %d adds + 1 sub in %.1f ms\n",
+              kImages, kImages - 1, seconds * 1e3);
+  std::printf("pipeline mix across adds: P1 %.1f%%  P2 %.1f%%  P3 %.1f%%  P4 %.1f%%\n\n",
+              stats.percent(1), stats.percent(2), stats.percent(3), stats.percent(4));
+
+  // Verify against the float reference.
+  std::vector<double> ref(images[0].size(), 0.0);
+  for (int k = 0; k < kImages; ++k) {
+    for (size_t i = 0; i < ref.size(); ++i) ref[i] += static_cast<double>(weights[k]) * images[k][i];
+  }
+  const std::vector<float> got = fz_decompress(stack);
+  double max_err = 0.0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    max_err = std::max(max_err, std::abs(ref[i] - got[i]));
+  }
+  std::printf("stack max error: %.3e  (analytic bound sum|w_k|*eb = %.3e)\n", max_err,
+              weight_sum * eb);
+
+  const std::vector<float> res = fz_decompress(residual);
+  double res_err = 0.0;
+  for (size_t i = 0; i < res.size(); ++i) {
+    const double want = ref[i] - static_cast<double>(weights[0]) * images[0][i];
+    res_err = std::max(res_err, std::abs(want - res[i]));
+  }
+  std::printf("background-subtracted residual max error: %.3e (scale/sub are exact:\n"
+              "no error beyond the inputs' own bounds)\n",
+              res_err);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Collective-level run-time kernel selection — the paper's hZ-dynamic idea
+// (pick the cheapest pipeline from the data at hand) lifted one level up:
+// probe a sample of the rank's data, measure how it actually compresses and
+// how its homomorphic adds behave, then predict every kernel's collective
+// time with the RoundSim model and pick the winner.
+//
+// This answers the practical deployment question the paper leaves open
+// (§V's "integrate hZCCL into applications"): plain MPI wins on
+// incompressible or tiny data, C-Coll can win in narrow regimes, hZCCL wins
+// whenever reduction stays out of pipeline 4 — and the right choice is a
+// property of the data and fabric, not a constant.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+
+#include "hzccl/core/hzccl.hpp"
+
+namespace hzccl {
+
+struct AutotuneResult {
+  Kernel kernel = Kernel::kMpi;                ///< the predicted winner
+  std::array<double, 5> predicted_seconds{};   ///< indexed by artifact kernel number
+  double sample_ratio = 0.0;                   ///< measured compression ratio of the probe
+  double pipeline4_percent = 0.0;              ///< measured P4 share of a probe self-add
+
+  std::string summary() const;
+};
+
+/// Probe `sample` (a representative slice of one rank's input — a few
+/// hundred KB is plenty) and choose the kernel for a collective of
+/// `bytes_per_rank` per rank under `config`.
+AutotuneResult choose_kernel(std::span<const float> sample, Op op, size_t bytes_per_rank,
+                             const JobConfig& config);
+
+}  // namespace hzccl

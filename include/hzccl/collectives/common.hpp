@@ -1,0 +1,95 @@
+// Shared configuration and ring arithmetic for the collective stacks.
+//
+// All three stacks (raw "original MPI", C-Coll-style DOC, hZCCL) implement
+// the same ring algorithms over the same simmpi primitives, so measured
+// differences come only from what the paper varies: whether data moves
+// compressed, and how the reduce step handles compressed operands.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/simmpi/costmodel.hpp"
+#include "hzccl/simmpi/runtime.hpp"
+#include "hzccl/util/threading.hpp"
+
+namespace hzccl::coll {
+
+/// Element-wise reduction operator.  The homomorphic stack supports kSum
+/// natively (residual streams add linearly); kMin/kMax are order statistics
+/// with no linear structure in the residual domain, so they run through the
+/// raw and DOC stacks only — matching the paper, which develops 'sum' and
+/// notes the co-design principles for other operations as future work.
+enum class ReduceOp { kSum, kMin, kMax };
+
+/// Apply the operator to an accumulator element.
+inline float reduce_combine(ReduceOp op, float acc, float incoming) {
+  switch (op) {
+    case ReduceOp::kSum: return acc + incoming;
+    case ReduceOp::kMin: return incoming < acc ? incoming : acc;
+    case ReduceOp::kMax: return incoming > acc ? incoming : acc;
+  }
+  return acc;
+}
+
+struct CollectiveConfig {
+  double abs_error_bound = 1e-4;
+  uint32_t block_len = 32;
+  ReduceOp reduce_op = ReduceOp::kSum;
+  simmpi::Mode mode = simmpi::Mode::kMultiThread;
+  simmpi::CostModel cost = simmpi::CostModel::paper_broadwell();
+  /// OpenMP threads the kernels *actually* use on this host.  Functional
+  /// only — the virtual clock charges by `mode` + `cost`, never wall time.
+  /// 1 keeps many-rank jobs from oversubscribing small hosts.
+  int host_threads = 1;
+
+  FzParams fz_params(size_t /*block_elems*/) const {
+    FzParams p;
+    p.abs_error_bound = abs_error_bound;
+    p.block_len = block_len;
+    p.num_chunks = 0;  // deterministic auto layout: equal across ranks
+    p.num_threads = host_threads;
+    return p;
+  }
+};
+
+/// Element range of ring block `index` when `total` elements are scattered
+/// over `nranks` blocks (same remainder rule as the compressor chunks).
+inline Range ring_block_range(size_t total, int nranks, int index) {
+  return chunk_range(total, nranks, index);
+}
+
+/// Ring reduce-scatter schedule: at step s (0-based, N-1 steps), rank r
+/// sends block (r - s) mod N to rank r+1 and receives block (r - s - 1)
+/// mod N from rank r-1, which it accumulates.  After the last step rank r
+/// owns the fully reduced block (r + 1) mod N.
+inline int rs_send_block(int rank, int step, int nranks) {
+  return ((rank - step) % nranks + nranks) % nranks;
+}
+inline int rs_recv_block(int rank, int step, int nranks) {
+  return ((rank - step - 1) % nranks + nranks) % nranks;
+}
+inline int rs_owned_block(int rank, int nranks) { return (rank + 1) % nranks; }
+
+/// Ring allgather schedule (ownership o(r) = (r+1) mod N, matching the
+/// reduce-scatter output): at step s rank r sends block (r - s + 1) mod N
+/// and receives block (r - s) mod N.
+inline int ag_send_block(int rank, int step, int nranks) {
+  return ((rank - step + 1) % nranks + nranks) % nranks;
+}
+inline int ag_recv_block(int rank, int step, int nranks) {
+  return ((rank - step) % nranks + nranks) % nranks;
+}
+
+inline int ring_next(int rank, int nranks) { return (rank + 1) % nranks; }
+inline int ring_prev(int rank, int nranks) { return (rank - 1 + nranks) % nranks; }
+
+/// Tags: phase base + step keeps reduce-scatter and allgather traffic of one
+/// allreduce from aliasing.
+inline constexpr int kTagReduceScatter = 0;
+inline constexpr int kTagAllgather = 1 << 20;
+inline constexpr int kTagSize = 1 << 21;
+
+}  // namespace hzccl::coll

@@ -1,0 +1,31 @@
+// The "original MPI" baseline stack: ring collectives over uncompressed
+// floats, exactly what MPICH's large-message algorithms do (paper Table II,
+// Kernel 0).  The reduction arithmetic is charged single-threaded because
+// MPI_Allreduce reduces inside the (single-threaded) MPI progress engine
+// regardless of the application's thread mode.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hzccl/collectives/common.hpp"
+
+namespace hzccl::coll {
+
+/// Ring reduce-scatter over floats.  `input` has the full vector (all
+/// blocks); on return `out_block` holds the fully reduced block
+/// rs_owned_block(rank, size), resized accordingly.
+void raw_reduce_scatter(simmpi::Comm& comm, std::span<const float> input,
+                        std::vector<float>& out_block, const CollectiveConfig& config);
+
+/// Ring allgather.  `my_block` is this rank's owned block (index
+/// rs_owned_block(rank, size)); `out_full` receives the concatenation of all
+/// blocks in block order, resized to `total_elements`.
+void raw_allgather(simmpi::Comm& comm, std::span<const float> my_block, size_t total_elements,
+                   std::vector<float>& out_full, const CollectiveConfig& config);
+
+/// Ring allreduce = reduce-scatter + allgather.
+void raw_allreduce(simmpi::Comm& comm, std::span<const float> input,
+                   std::vector<float>& out_full, const CollectiveConfig& config);
+
+}  // namespace hzccl::coll

@@ -1,0 +1,100 @@
+// Ultra-fast fixed-length encoding (paper §III-B3).
+//
+// A block of n signed integer residuals is stored as:
+//   [u8 code_length c]                          c = bits of the largest |r|
+//   if c > 0:
+//     [sign bits:  ceil(n/8) bytes]             1 = negative
+//     [byte planes: (c/8) planes of n bytes]    full bytes of each magnitude
+//     [remainder:  ceil(n*(c%8)/8) bytes]       high (c%8) bits, packed
+//
+// The byte-plane + remainder split is the paper's scheme: complete bytes of
+// the unsigned magnitudes are stored with plain shifts (vectorizable), then
+// the remaining x = c%8 bits of every element are packed by a specialized
+// ultra_fast_bit_shifting_x routine (x in 1..7) that emits exactly x bytes
+// per 8 elements.
+//
+// c == 0 marks a constant (all-zero-residual) block with no further bytes —
+// the case hZ-dynamic's pipeline 1 reduces to a single byte write.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hzccl {
+
+inline constexpr int kMaxCodeLength = 31;
+
+/// Bits needed to represent `max_magnitude` (0 for 0).
+inline int code_length_for(uint32_t max_magnitude) {
+  return max_magnitude == 0 ? 0 : 32 - __builtin_clz(max_magnitude);
+}
+
+/// Encoded byte size of a block of `n` residuals at code length `c`
+/// (including the code-length byte itself).
+inline size_t encoded_block_size(int c, size_t n) {
+  if (c == 0) return 1;
+  const size_t sign_bytes = (n + 7) / 8;
+  const size_t plane_bytes = static_cast<size_t>(c / 8) * n;
+  const size_t rem_bytes = (n * static_cast<size_t>(c % 8) + 7) / 8;
+  return 1 + sign_bytes + plane_bytes + rem_bytes;
+}
+
+/// Worst-case encoded size for a block of n elements (c = 31).
+inline size_t max_encoded_block_size(size_t n) {
+  return encoded_block_size(kMaxCodeLength, n);
+}
+
+// ---------------------------------------------------------------------------
+// ultra_fast_bit_shifting_x: pack n values of x significant bits each.
+// Eight x-bit values occupy exactly x bytes, so the main loop is a fixed
+// shift/or cascade per group; the tail (< 8 values) flushes partial bytes.
+// The unpack twins reverse the transform.  x = 1 also packs the sign plane.
+// ---------------------------------------------------------------------------
+void pack_bits_1(const uint32_t* v, size_t n, uint8_t* out);
+void pack_bits_2(const uint32_t* v, size_t n, uint8_t* out);
+void pack_bits_3(const uint32_t* v, size_t n, uint8_t* out);
+void pack_bits_4(const uint32_t* v, size_t n, uint8_t* out);
+void pack_bits_5(const uint32_t* v, size_t n, uint8_t* out);
+void pack_bits_6(const uint32_t* v, size_t n, uint8_t* out);
+void pack_bits_7(const uint32_t* v, size_t n, uint8_t* out);
+
+void unpack_bits_1(const uint8_t* src, size_t n, uint32_t* v);
+void unpack_bits_2(const uint8_t* src, size_t n, uint32_t* v);
+void unpack_bits_3(const uint8_t* src, size_t n, uint32_t* v);
+void unpack_bits_4(const uint8_t* src, size_t n, uint32_t* v);
+void unpack_bits_5(const uint8_t* src, size_t n, uint32_t* v);
+void unpack_bits_6(const uint8_t* src, size_t n, uint32_t* v);
+void unpack_bits_7(const uint8_t* src, size_t n, uint32_t* v);
+
+/// Dispatch table over x in 1..7 (used by the generic encode path).
+void pack_bits(const uint32_t* v, size_t n, int bits, uint8_t* out);
+void unpack_bits(const uint8_t* src, size_t n, int bits, uint32_t* v);
+
+/// Bytes occupied by n values packed at `bits` bits each.
+inline size_t packed_size(size_t n, int bits) {
+  return (n * static_cast<size_t>(bits) + 7) / 8;
+}
+
+// ---------------------------------------------------------------------------
+// Block codec.
+// ---------------------------------------------------------------------------
+
+/// Encode `n` residuals; writes at most max_encoded_block_size(n) bytes at
+/// `out` and returns the first byte past the encoded block.
+uint8_t* encode_block(const int32_t* residuals, size_t n, uint8_t* out);
+
+/// Encode when the caller already knows the code length and magnitudes
+/// (the compressor's fused path and hZ-dynamic's pipeline 4 both have them).
+uint8_t* encode_block_prepared(const uint32_t* magnitudes, const uint32_t* sign_bits, size_t n,
+                               int code_len, uint8_t* out);
+
+/// Decode one block of `n` residuals from [src, end); returns the first byte
+/// past the block.  Throws FormatError if the block runs past `end` or the
+/// code length is out of range.
+const uint8_t* decode_block(const uint8_t* src, const uint8_t* end, size_t n,
+                            int32_t* residuals);
+
+/// Byte size of the encoded block starting at `src` (bounds-checked peek).
+size_t peek_block_size(const uint8_t* src, const uint8_t* end, size_t n);
+
+}  // namespace hzccl

@@ -1,0 +1,147 @@
+// On-wire format shared by fZ-light streams and the homomorphic operator.
+//
+// Layout (little-endian):
+//   [FzHeader: 32 bytes]
+//   [u64 chunk_payload_offset[num_chunks]]   offsets into the payload region
+//   [i32 chunk_outlier[num_chunks]]          first quantized value per chunk
+//   [payload]                                per-chunk block stream
+//
+// A chunk's payload is a sequence of encoded blocks (see fixed_len.hpp):
+//   [u8 code_length][sign bits][full byte planes][remainder bits]
+// where code_length==0 marks a constant block with no further bytes — the
+// property hZ-dynamic's pipeline 1-3 dispatch exploits.
+//
+// The ompSZp baseline uses its own magic and layout (see omp_szp.hpp) but
+// shares this header struct.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "hzccl/util/error.hpp"
+
+namespace hzccl {
+
+inline constexpr uint32_t kFzMagic = 0x485A434C;   // "HZCL"
+inline constexpr uint32_t kSzpMagic = 0x485A5350;  // "HZSP"
+inline constexpr uint16_t kFormatVersion = 1;
+
+/// Residuals are bounded to 31-bit magnitudes so every code length fits the
+/// encoder; quantized values are bounded one bit lower so a single
+/// homomorphic addition can never overflow the residual domain silently.
+inline constexpr int32_t kMaxQuantMagnitude = (1 << 30) - 1;
+
+#pragma pack(push, 1)
+struct FzHeader {
+  uint32_t magic = kFzMagic;
+  uint16_t version = kFormatVersion;
+  uint16_t flags = 0;
+  uint64_t num_elements = 0;
+  uint32_t block_len = 0;
+  uint32_t num_chunks = 0;
+  double error_bound = 0.0;  // absolute bound
+};
+#pragma pack(pop)
+static_assert(sizeof(FzHeader) == 32, "wire header must be exactly 32 bytes");
+
+/// Owning compressed stream. The byte vector *is* the wire representation;
+/// it can be sent as-is through simmpi or written to disk.
+struct CompressedBuffer {
+  std::vector<uint8_t> bytes;
+
+  size_t size_bytes() const { return bytes.size(); }
+  bool empty() const { return bytes.empty(); }
+  std::span<const uint8_t> span() const { return bytes; }
+};
+
+/// Borrowed, validated view into a serialized fZ-light stream.
+struct FzView {
+  FzHeader header;
+  std::span<const uint64_t> chunk_offsets;  ///< offsets into `payload`
+  std::span<const int32_t> chunk_outliers;
+  std::span<const uint8_t> payload;
+
+  size_t num_elements() const { return header.num_elements; }
+  uint32_t block_len() const { return header.block_len; }
+  uint32_t num_chunks() const { return header.num_chunks; }
+  double error_bound() const { return header.error_bound; }
+
+  /// Payload byte range of one chunk.
+  std::span<const uint8_t> chunk_payload(uint32_t chunk) const {
+    const uint64_t begin = chunk_offsets[chunk];
+    const uint64_t end =
+        (chunk + 1 < header.num_chunks) ? chunk_offsets[chunk + 1] : payload.size();
+    if (begin > end || end > payload.size()) {
+      throw FormatError("inconsistent chunk offset table");
+    }
+    return payload.subspan(begin, end - begin);
+  }
+};
+
+/// Parse + validate a serialized fZ-light stream (throws FormatError).
+FzView parse_fz(std::span<const uint8_t> bytes);
+
+/// True when two streams can be combined homomorphically: identical element
+/// count, block length, chunk partition and error bound.
+bool layout_compatible(const FzView& a, const FzView& b);
+
+/// Throwing variant with a descriptive message.
+void require_layout_compatible(const FzView& a, const FzView& b);
+
+/// Byte size of the fixed region before the payload.
+inline size_t fz_preamble_size(uint32_t num_chunks) {
+  return sizeof(FzHeader) + num_chunks * (sizeof(uint64_t) + sizeof(int32_t));
+}
+
+/// Header flag: the stream carries a trailing CRC-32C over everything that
+/// precedes it.  Producers set it via add_checksum; parse_fz verifies the
+/// digest and excludes the trailer from the payload view.
+inline constexpr uint16_t kFlagChecksummed = 1u << 0;
+
+/// Append an integrity trailer (and set the flag).  Idempotent on streams
+/// that already carry one.  Intended for streams that cross storage or an
+/// untrusted transport; the in-memory collectives skip it.
+CompressedBuffer add_checksum(CompressedBuffer stream);
+
+/// Strip the trailer (and clear the flag); no-op on unchecksummed streams.
+CompressedBuffer strip_checksum(CompressedBuffer stream);
+
+/// Assembles an fZ-light stream from per-chunk payloads produced in
+/// parallel.  Each chunk gets a worst-case padded region that threads write
+/// independently; finish() compacts the regions, fills the offset/outlier
+/// tables and header, and returns the tight stream.  Shared by the
+/// compressor and every homomorphic operator.
+class ChunkedStreamAssembler {
+ public:
+  /// `header` must carry the final element count, block length, chunk count
+  /// and error bound; the magic/version are forced to the fZ values.
+  explicit ChunkedStreamAssembler(FzHeader header);
+
+  uint32_t num_chunks() const { return header_.num_chunks; }
+
+  /// Padded scratch region for chunk `c`; safe for concurrent use across
+  /// distinct chunks.
+  uint8_t* chunk_buffer(uint32_t c);
+
+  /// Worst-case capacity of chunk `c`'s region.
+  size_t chunk_capacity(uint32_t c) const;
+
+  /// Record chunk `c`'s final payload size and outlier (thread-safe across
+  /// distinct chunks).
+  void set_chunk(uint32_t c, size_t payload_size, int32_t outlier);
+
+  /// Compact and seal; the assembler is spent afterwards.
+  CompressedBuffer finish();
+
+ private:
+  FzHeader header_;
+  std::vector<size_t> worst_offset_;  ///< num_chunks + 1 entries
+  std::vector<size_t> chunk_size_;
+  std::vector<int32_t> outliers_;
+  CompressedBuffer result_;
+};
+
+}  // namespace hzccl

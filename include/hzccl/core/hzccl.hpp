@@ -1,0 +1,90 @@
+// hZCCL public API façade.
+//
+// Single-include surface for library users: compressor, homomorphic
+// operator, and a collective-job runner that executes one collective across
+// a simulated cluster and returns both the functional result and the modeled
+// timing.  The Kernel numbering matches the paper's artifact:
+//   Kernel 0 — original MPI (no compression)
+//   Kernel 1 — C-Coll, multi-thread mode
+//   Kernel 2 — hZCCL,  multi-thread mode
+//   Kernel 3 — C-Coll, single-thread mode
+//   Kernel 4 — hZCCL,  single-thread mode
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hzccl/collectives/ccoll.hpp"
+#include "hzccl/collectives/common.hpp"
+#include "hzccl/collectives/hzccl_coll.hpp"
+#include "hzccl/collectives/raw.hpp"
+#include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/compressor/omp_szp.hpp"
+#include "hzccl/homomorphic/doc.hpp"
+#include "hzccl/homomorphic/hz_dynamic.hpp"
+#include "hzccl/homomorphic/hz_ops.hpp"
+#include "hzccl/homomorphic/hz_static.hpp"
+#include "hzccl/simmpi/runtime.hpp"
+
+namespace hzccl {
+
+/// Library version string.
+std::string version();
+
+/// The artifact's kernel numbering (see file comment).
+enum class Kernel : int {
+  kMpi = 0,
+  kCCollMultiThread = 1,
+  kHzcclMultiThread = 2,
+  kCCollSingleThread = 3,
+  kHzcclSingleThread = 4,
+};
+std::string kernel_name(Kernel k);
+bool kernel_uses_compression(Kernel k);
+simmpi::Mode kernel_mode(Kernel k);
+
+enum class Op { kReduceScatter, kAllreduce };
+std::string op_name(Op op);
+
+/// One collective job over a simulated cluster.
+struct JobConfig {
+  int nranks = 8;
+  double abs_error_bound = 1e-4;
+  uint32_t block_len = 32;
+  simmpi::NetModel net = simmpi::NetModel::omnipath_100g();
+  simmpi::CostModel cost = simmpi::CostModel::paper_broadwell();
+  int host_threads = 1;  ///< OpenMP threads per rank on this host (functional)
+
+  coll::CollectiveConfig collective_config(simmpi::Mode mode) const {
+    coll::CollectiveConfig c;
+    c.abs_error_bound = abs_error_bound;
+    c.block_len = block_len;
+    c.mode = mode;
+    c.cost = cost;
+    c.host_threads = host_threads;
+    return c;
+  }
+};
+
+struct JobResult {
+  simmpi::ClockReport slowest;                  ///< modeled collective completion
+  std::vector<simmpi::ClockReport> per_rank;
+  std::vector<float> rank0_output;              ///< reduced block (RS) or full vector (AR)
+  HzPipelineStats pipeline_stats;               ///< populated for hZCCL kernels
+  size_t input_bytes_per_rank = 0;
+};
+
+/// Produces rank `r`'s input vector; every rank must return the same length.
+using RankInputFn = std::function<std::vector<float>(int rank)>;
+
+/// Run one collective with the chosen kernel across config.nranks simulated
+/// ranks.  Functionally exact (real bytes reduced); time is virtual.
+JobResult run_collective(Kernel kernel, Op op, const JobConfig& config,
+                         const RankInputFn& rank_input);
+
+/// Exact (double-accumulated) element-wise sum of all ranks' inputs — the
+/// reference the accuracy checks compare against.
+std::vector<float> exact_reduction(int nranks, const RankInputFn& rank_input);
+
+}  // namespace hzccl

@@ -1,0 +1,81 @@
+// Synthetic scientific-field generators standing in for the paper's five
+// application datasets (two RTM seismic settings, NYX cosmology, CESM-ATM
+// climate, Hurricane Isabel).  See DESIGN.md §1 for the substitution
+// rationale: each generator reproduces the statistical character that drives
+// the compression-side results — zero-block fraction, smoothness, dynamic
+// range and block constancy — not the physics.
+//
+// All generators are deterministic in (dims, seed) and OpenMP-parallel.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hzccl {
+
+/// 3-D grid extents (nz can be 1 for 2-D fields).
+struct Dims {
+  size_t nx = 0;
+  size_t ny = 0;
+  size_t nz = 1;
+  size_t count() const { return nx * ny * nz; }
+};
+
+/// Smoothed Gaussian random field: white noise blurred by `passes` iterated
+/// separable box filters of radius `radius`, then renormalized to unit
+/// variance.  This is the shared building block of every generator; iterated
+/// box blur converges on a Gaussian correlation kernel, giving smoothness
+/// that increases with radius*passes.
+std::vector<float> smooth_noise_field(const Dims& dims, uint64_t seed, int radius, int passes);
+
+/// RTM "Simulation Setting 1"-like snapshot: compact wave-energy packets
+/// (thresholded-noise gate) carrying a smooth long-wavelength carrier over a
+/// quiet background, plus a strong near-source blob that dominates the value
+/// range.  Under homomorphic addition this mixes all four pipelines with
+/// pipeline 1 leading — the paper's Table V Sim.Set.1 pattern — at a
+/// moderate compression ratio.
+std::vector<float> rtm_sim1_field(const Dims& dims, uint64_t seed);
+
+/// Correlated variant: the activity structure (packet gate, source position,
+/// wavefront radius) comes from `structure_seed` while the wave texture
+/// inside the packets comes from `texture_seed`.  Ranks reducing partial
+/// images of the *same* survey share the structure and differ in texture —
+/// the property that keeps deep homomorphic reductions constant-block-rich
+/// (paper §IV-C/D run their collectives on exactly such RTM data).
+std::vector<float> rtm_sim1_field(const Dims& dims, uint64_t structure_seed,
+                                  uint64_t texture_seed);
+
+/// RTM "Simulation Setting 2"-like snapshot: sparser, rougher energy packets
+/// confined inside the expanding wavefront radius, with ~90%+ of the volume
+/// exactly quiet.  Pairs reduce almost entirely through pipelines 1/3 and
+/// the ratio is the highest of the five datasets — the paper's most
+/// compressible setting.
+std::vector<float> rtm_sim2_field(const Dims& dims, uint64_t seed);
+
+/// Correlated variant of Setting 2 (see the Setting 1 overload).
+std::vector<float> rtm_sim2_field(const Dims& dims, uint64_t structure_seed,
+                                  uint64_t texture_seed);
+
+/// NYX-like baryon density: exp(sigma * G) of a mildly smoothed Gaussian
+/// field — log-normal marginal with a huge dynamic range and rough small
+/// scales, yet dominated by near-zero voids (hZ-dynamic pipeline-1 heaven,
+/// as in the paper's Table V).
+std::vector<float> nyx_field(const Dims& dims, uint64_t seed);
+
+/// CESM-ATM-like 2-D climate field: smooth zonal (latitude) structure plus
+/// several octaves of progressively rougher noise; the paper's least
+/// compressible dataset, which pushes hZ-dynamic into pipeline 4.
+std::vector<float> cesm_atm_field(const Dims& dims, uint64_t seed);
+
+/// Hurricane-Isabel-like field: an axial vortex (Rankine-style tangential
+/// wind profile) embedded in moderate turbulence.
+std::vector<float> hurricane_field(const Dims& dims, uint64_t seed);
+
+/// Fraction of elements that are exactly zero — used by tests to pin the
+/// generators' zero-region contract.
+double zero_fraction(const std::vector<float>& data);
+
+}  // namespace hzccl

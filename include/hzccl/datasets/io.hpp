@@ -1,0 +1,27 @@
+// Raw little-endian float32 file I/O in SDRBench's .f32 convention, so the
+// synthetic datasets can be swapped for the real NYX / CESM-ATM / Hurricane
+// files when they are available.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hzccl {
+
+/// Load a whole .f32 file; throws hzccl::Error on open/short-read failure.
+std::vector<float> load_f32(const std::string& path);
+
+/// Load at most `max_elements` floats (0 = all).
+std::vector<float> load_f32(const std::string& path, size_t max_elements);
+
+/// Store a float field as raw .f32 bytes.
+void store_f32(const std::string& path, std::span<const float> data);
+
+/// Write a grayscale PGM (P5) of a 2-D field, min/max normalized — the
+/// "visual analysis" output of the image-stacking experiment (Fig 13).
+void store_pgm(const std::string& path, std::span<const float> data, size_t width,
+               size_t height);
+
+}  // namespace hzccl

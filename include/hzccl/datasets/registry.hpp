@@ -1,0 +1,55 @@
+// Named dataset registry: maps the paper's five application datasets to
+// their synthetic generators at configurable scale, and produces multi-field
+// collections (fields differ by seed / snapshot index) so per-field summary
+// statistics (the STD columns of Tables III and VI) are meaningful.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hzccl/datasets/fields.hpp"
+
+namespace hzccl {
+
+enum class DatasetId {
+  kRtmSim1,   ///< paper's "Simulation Setting 1" (RTM, early snapshot)
+  kRtmSim2,    ///< paper's "Simulation Setting 2" (RTM, late snapshot)
+  kNyx,        ///< NYX cosmology
+  kCesmAtm,    ///< CESM-ATM climate (2-D)
+  kHurricane,  ///< Hurricane Isabel weather
+};
+
+/// All five datasets in the paper's Table I order.
+std::span<const DatasetId> all_datasets();
+
+/// Paper-facing display name ("Sim. Set. 1", "NYX", ...).
+std::string dataset_name(DatasetId id);
+
+/// Short machine name ("rtm_sim1", "nyx", ...), accepted by parse_dataset.
+std::string dataset_slug(DatasetId id);
+DatasetId parse_dataset(const std::string& name);
+
+/// Generation scale: small for unit tests, medium for benches.  Dims keep
+/// each dataset's aspect character (CESM is 2-D, Hurricane is flat-z, ...).
+enum class Scale { kTiny, kSmall, kMedium, kLarge };
+Dims dataset_dims(DatasetId id, Scale scale);
+
+/// One field/snapshot of the dataset; `field_index` plays the role of the
+/// paper's distinct fields (CESM variables, NYX components, RTM snapshots).
+std::vector<float> generate_field(DatasetId id, Scale scale, uint32_t field_index);
+
+/// A batch of consecutive fields.
+std::vector<std::vector<float>> generate_fields(DatasetId id, Scale scale, uint32_t count);
+
+/// Correlated field family for collective experiments: members share the
+/// dataset's activity *structure* (where the data is non-constant) and
+/// differ only in texture.  This is how partial results of one simulation
+/// relate across ranks — e.g. RTM partial images of the same survey — and
+/// it is what keeps deep homomorphic reductions out of pipeline 4.  For the
+/// RTM settings the structure/texture split is native; other datasets fall
+/// back to scaling one field per member (identical support, varying values).
+std::vector<float> generate_correlated_field(DatasetId id, Scale scale, uint32_t member);
+
+}  // namespace hzccl

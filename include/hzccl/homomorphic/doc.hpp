@@ -1,0 +1,34 @@
+// The traditional decompression-operation-compression (DOC) workflow the
+// paper identifies as the C-Coll bottleneck (§III-A): fully decompress both
+// operands, operate on floats, recompress the result.  Every call
+// re-quantizes, so DOC accrues one extra half-quantum of error per hop —
+// exactly the accuracy deficit Tables VI/VII attribute to the baseline.
+#pragma once
+
+#include <span>
+
+#include "hzccl/compressor/format.hpp"
+#include "hzccl/compressor/fz_light.hpp"
+
+namespace hzccl {
+
+/// Timing breakdown of one DOC reduction, for the throughput comparisons.
+struct DocBreakdown {
+  double decompress_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double compress_seconds = 0.0;
+  double total() const { return decompress_seconds + compute_seconds + compress_seconds; }
+};
+
+/// sum(a, b) through DOC.  Layouts must match (same guarantee the
+/// homomorphic path requires, so comparisons are apples-to-apples).
+CompressedBuffer doc_add(const CompressedBuffer& a, const CompressedBuffer& b,
+                         DocBreakdown* breakdown = nullptr, int num_threads = 0);
+
+/// DOC against an uncompressed accumulator: decompress `incoming`, add into
+/// `accumulator` floats.  This is the per-round kernel of C-Coll's
+/// Reduce_scatter (decompress + compute; the compress happens on send).
+void doc_accumulate(const CompressedBuffer& incoming, std::span<float> accumulator,
+                    int num_threads = 0);
+
+}  // namespace hzccl

@@ -1,0 +1,47 @@
+// hZ-dynamic: the dynamic homomorphic compressor (paper §III-B4, Fig 4).
+//
+// Reduces two fZ-light streams *without decompressing them*, selecting the
+// cheapest pipeline per block from the pair of code lengths (x, y):
+//   pipeline 1: x=0 ∧ y=0  -> emit a single 0 code-length byte;
+//   pipeline 2: x=0 ∧ y≠0  -> copy block y's bytes verbatim;
+//   pipeline 3: x≠0 ∧ y=0  -> copy block x's bytes verbatim;
+//   pipeline 4: x≠0 ∧ y≠0  -> inverse fixed-length decode both, add the
+//                             integer residuals, re-encode (code length z).
+//
+// Correctness: prediction residuals are linear in the quantized values, and
+// each chunk's outlier adds independently, so the output stream decompresses
+// to exactly (qa + qb) * 2eb — no re-quantization, hence no error beyond the
+// operands' inherent bounds (the sum of two eb-bounded values is 2eb-bounded
+// by the triangle inequality, exactly as an exact float sum would be).
+#pragma once
+
+#include <cstdint>
+
+#include "hzccl/compressor/format.hpp"
+
+namespace hzccl {
+
+/// Per-pipeline selection counters (Table V) plus the work volumes the cost
+/// model charges for (copied bytes for P2/P3, touched elements for P4).
+struct HzPipelineStats {
+  uint64_t p1 = 0;
+  uint64_t p2 = 0;
+  uint64_t p3 = 0;
+  uint64_t p4 = 0;
+  uint64_t copied_bytes = 0;  ///< payload bytes moved by pipelines 2-3
+  uint64_t p4_elements = 0;   ///< residuals decoded+added+re-encoded by pipeline 4
+
+  uint64_t blocks() const { return p1 + p2 + p3 + p4; }
+  double percent(int pipeline) const;
+  HzPipelineStats& operator+=(const HzPipelineStats& other);
+};
+
+/// sum(a, b) directly in the compressed domain.  Operand layouts must match
+/// (LayoutMismatchError otherwise); residual or outlier overflow past 31 bits
+/// raises HomomorphicOverflowError.
+CompressedBuffer hz_add(const CompressedBuffer& a, const CompressedBuffer& b,
+                        HzPipelineStats* stats = nullptr, int num_threads = 0);
+CompressedBuffer hz_add(const FzView& a, const FzView& b, HzPipelineStats* stats = nullptr,
+                        int num_threads = 0);
+
+}  // namespace hzccl

@@ -1,0 +1,20 @@
+// Static homomorphic compression pipeline (paper §III-B4, Fig 4, left):
+// every block — constant or not — is inverse fixed-length decoded into a
+// full integer prediction array, summed, and re-encoded.  This is the
+// ablation baseline hZ-dynamic's per-block dispatch is measured against;
+// equivalent to running pipeline 4 unconditionally, with the extra cost of
+// materializing the whole chunk's integer residuals.
+#pragma once
+
+#include "hzccl/compressor/format.hpp"
+
+namespace hzccl {
+
+/// sum(a, b) through the static pipeline.  Because the fixed-length encoding
+/// is canonical, the output is byte-identical to hz_add's — the cost, not
+/// the result, is what differs (a property the test suite pins down).
+CompressedBuffer hz_add_static(const CompressedBuffer& a, const CompressedBuffer& b,
+                               int num_threads = 0);
+CompressedBuffer hz_add_static(const FzView& a, const FzView& b, int num_threads = 0);
+
+}  // namespace hzccl

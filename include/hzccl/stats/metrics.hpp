@@ -1,0 +1,53 @@
+// Error and data-quality metrics used across the evaluation: the quantities
+// reported in the paper's Tables III, VI and VII (compression ratio, NRMSE,
+// PSNR, max abs/rel/pointwise-relative error) plus summary statistics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hzccl {
+
+/// Data-quality comparison between an original and a reconstructed field.
+struct ErrorStats {
+  double min = 0.0;        ///< minimum of the original data
+  double max = 0.0;        ///< maximum of the original data
+  double range = 0.0;      ///< max - min
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;     ///< max |err| / range
+  double max_pw_rel_err = 0.0;  ///< max |err| / |orig| over nonzero originals
+  double rmse = 0.0;
+  double nrmse = 0.0;  ///< rmse / range
+  double psnr = 0.0;   ///< 20*log10(range / rmse)
+};
+
+/// Compare reconstruction against original element-wise; spans must match.
+ErrorStats compare(std::span<const float> original, std::span<const float> reconstructed);
+
+/// Value range [min, max] of a field.
+struct ValueRange {
+  double min = 0.0;
+  double max = 0.0;
+  double span() const { return max - min; }
+};
+ValueRange value_range(std::span<const float> data);
+
+/// Convert a relative error bound (fraction of the value range, the paper's
+/// "REL") into the absolute bound the compressor consumes.
+double abs_bound_from_rel(std::span<const float> data, double rel_bound);
+
+/// original bytes / compressed bytes.
+double compression_ratio(size_t original_bytes, size_t compressed_bytes);
+
+/// Sample mean and (population) standard deviation of a series; used for the
+/// per-field NRMSE STD columns of Tables III and VI.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+Summary summarize(std::span<const double> values);
+
+}  // namespace hzccl

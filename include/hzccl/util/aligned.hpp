@@ -1,0 +1,38 @@
+// 64-byte aligned buffers for the STREAM kernels and compressor hot loops.
+// Alignment matters for the memory-bandwidth-efficiency experiment (Table IV):
+// unaligned streams under-report the host peak.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace hzccl {
+
+inline constexpr size_t kCacheLine = 64;
+
+template <class T>
+struct AlignedAllocator {
+  using value_type = T;
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}
+
+  T* allocate(size_t n) {
+    const size_t bytes = ((n * sizeof(T) + kCacheLine - 1) / kCacheLine) * kCacheLine;
+    void* p = std::aligned_alloc(kCacheLine, bytes);
+    if (!p) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, size_t) noexcept { std::free(p); }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U>&) const { return true; }
+};
+
+template <class T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace hzccl

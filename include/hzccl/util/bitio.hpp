@@ -1,0 +1,106 @@
+// Bounds-checked byte-stream primitives used by every serialized format in
+// the library (fZ-light streams, ompSZp streams, simmpi wire messages).
+//
+// ByteWriter appends little-endian primitives to a growable byte vector;
+// ByteReader consumes them and throws hzccl::FormatError on any attempt to
+// read past the end, which is how truncated/corrupt streams are detected.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hzccl/util/error.hpp"
+
+namespace hzccl {
+
+/// Append-only little-endian byte stream.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(size_t reserve_bytes) { bytes_.reserve(reserve_bytes); }
+
+  void put_u8(uint8_t v) { bytes_.push_back(v); }
+  void put_u16(uint16_t v) { put_raw(&v, sizeof v); }
+  void put_u32(uint32_t v) { put_raw(&v, sizeof v); }
+  void put_u64(uint64_t v) { put_raw(&v, sizeof v); }
+  void put_i32(int32_t v) { put_raw(&v, sizeof v); }
+  void put_f64(double v) { put_raw(&v, sizeof v); }
+  void put_bytes(std::span<const uint8_t> src) { put_raw(src.data(), src.size()); }
+
+  /// Reserve `n` bytes of zeroed space and return its offset, so the caller
+  /// can patch it later (used for offset tables written after payloads).
+  size_t put_placeholder(size_t n) {
+    size_t at = bytes_.size();
+    bytes_.resize(bytes_.size() + n, 0);
+    return at;
+  }
+  void patch_u64(size_t at, uint64_t v) { std::memcpy(bytes_.data() + at, &v, sizeof v); }
+  void patch_i32(size_t at, int32_t v) { std::memcpy(bytes_.data() + at, &v, sizeof v); }
+
+  size_t size() const { return bytes_.size(); }
+  std::vector<uint8_t> take() { return std::move(bytes_); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  void put_raw(const void* p, size_t n) {
+    size_t at = bytes_.size();
+    bytes_.resize(at + n);
+    std::memcpy(bytes_.data() + at, p, n);
+  }
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian byte-stream reader over a borrowed span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> src) : src_(src) {}
+
+  uint8_t get_u8() { return get_pod<uint8_t>(); }
+  uint16_t get_u16() { return get_pod<uint16_t>(); }
+  uint32_t get_u32() { return get_pod<uint32_t>(); }
+  uint64_t get_u64() { return get_pod<uint64_t>(); }
+  int32_t get_i32() { return get_pod<int32_t>(); }
+  double get_f64() { return get_pod<double>(); }
+
+  /// Borrow `n` bytes from the stream without copying.
+  std::span<const uint8_t> get_bytes(size_t n) {
+    require(n);
+    auto out = src_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  void skip(size_t n) {
+    require(n);
+    pos_ += n;
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return src_.size() - pos_; }
+  bool exhausted() const { return pos_ == src_.size(); }
+
+ private:
+  template <class T>
+  T get_pod() {
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, src_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void require(size_t n) const {
+    if (src_.size() - pos_ < n) {
+      throw FormatError("byte stream truncated: need " + std::to_string(n) +
+                        " bytes at offset " + std::to_string(pos_) + " of " +
+                        std::to_string(src_.size()));
+    }
+  }
+  std::span<const uint8_t> src_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hzccl

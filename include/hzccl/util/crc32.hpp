@@ -1,0 +1,15 @@
+// CRC-32C (Castagnoli) — the integrity check behind optional stream
+// checksums.  Table-driven, byte-at-a-time; fast enough for metadata-scale
+// use and dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace hzccl {
+
+/// CRC-32C of `data`, optionally continuing from a previous crc.
+uint32_t crc32c(std::span<const uint8_t> data, uint32_t seed = 0);
+
+}  // namespace hzccl

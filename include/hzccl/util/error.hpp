@@ -1,0 +1,50 @@
+// Exception hierarchy for the hZCCL library.
+//
+// All recoverable failures raise a subclass of hzccl::Error so callers can
+// catch library failures with a single handler while still distinguishing
+// malformed inputs (FormatError), incompatible compressed streams
+// (LayoutMismatchError), and arithmetic limits of the homomorphic pipeline
+// (HomomorphicOverflowError).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hzccl {
+
+/// Base class of every exception thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A compressed byte stream is malformed: bad magic, truncated payload,
+/// out-of-range code length, inconsistent offset table, ...
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+/// Two compressed streams cannot be combined homomorphically because their
+/// layouts differ (element count, block length, chunk count or error bound).
+class LayoutMismatchError : public Error {
+ public:
+  explicit LayoutMismatchError(const std::string& what) : Error(what) {}
+};
+
+/// A homomorphic reduction would overflow the 32-bit quantized domain.
+/// This bounds the usable dynamic range exactly like the paper's integer
+/// prediction domain does; see DESIGN.md §2.5.
+class HomomorphicOverflowError : public Error {
+ public:
+  explicit HomomorphicOverflowError(const std::string& what) : Error(what) {}
+};
+
+/// The data cannot be quantized under the requested error bound without
+/// leaving the 32-bit integer quantization domain.
+class QuantizationRangeError : public Error {
+ public:
+  explicit QuantizationRangeError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace hzccl

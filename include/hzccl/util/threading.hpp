@@ -1,0 +1,67 @@
+// Thin OpenMP helpers: scoped thread-count control and the chunk-partition
+// arithmetic the paper defines in §III-B2 (chunk length D/N, the last D%N
+// elements handled by the (N-1)-th chunk).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+
+namespace hzccl {
+
+/// Half-open element range [begin, end).
+struct Range {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+  bool operator==(const Range&) const = default;
+};
+
+/// The paper's chunk partition: each of the `nchunks` contiguous chunks has
+/// floor(total/nchunks) elements; the remainder goes to the *last* chunk.
+Range chunk_range(size_t total, int nchunks, int chunk_index);
+
+/// Number of threads OpenMP will actually use inside a parallel region.
+int effective_threads();
+
+/// Exceptions must not escape an OpenMP parallel region (the runtime would
+/// terminate the process).  Wrap each iteration body in run(); the first
+/// captured exception is rethrown on the calling thread by rethrow().
+class OmpExceptionCollector {
+ public:
+  template <class Fn>
+  void run(Fn&& fn) noexcept {
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_) first_ = std::current_exception();
+    }
+  }
+
+  void rethrow() {
+    if (first_) std::rethrow_exception(first_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::exception_ptr first_;
+};
+
+/// RAII scope forcing a specific OpenMP thread count (0 = leave unchanged).
+/// Restores the previous setting on destruction so ST/MT collective modes can
+/// nest safely.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int nthreads);
+  ~ScopedNumThreads();
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int saved_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace hzccl

@@ -1,0 +1,28 @@
+// Monotonic wall-clock timer used by throughput benches and the cost-model
+// calibration pass.
+#pragma once
+
+#include <chrono>
+
+namespace hzccl {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// bytes / seconds expressed in GB/s (decimal gigabytes, as in the paper).
+inline double gb_per_s(double bytes, double seconds) {
+  return seconds > 0 ? bytes / seconds / 1e9 : 0.0;
+}
+
+}  // namespace hzccl

@@ -1,0 +1,65 @@
+#include "hzccl/cluster/autotune.hpp"
+
+#include <sstream>
+
+#include "hzccl/cluster/roundsim.hpp"
+#include "hzccl/stats/metrics.hpp"
+
+namespace hzccl {
+
+std::string AutotuneResult::summary() const {
+  std::ostringstream out;
+  out << "chose " << kernel_name(kernel) << " (probe ratio " << sample_ratio << ", P4 "
+      << pipeline4_percent << "%)";
+  return out.str();
+}
+
+AutotuneResult choose_kernel(std::span<const float> sample, Op op, size_t bytes_per_rank,
+                             const JobConfig& config) {
+  if (sample.empty()) throw Error("choose_kernel: need a non-empty probe sample");
+  if (config.nranks < 2) throw Error("choose_kernel: need at least 2 ranks");
+
+  AutotuneResult result;
+
+  // Measure the probe: fresh ratio and the self-add pipeline mix.  A
+  // self-add is the pessimistic depth-2 proxy (active regions fully
+  // overlap), which is the honest default when the tuner cannot see other
+  // ranks' data.
+  FzParams params;
+  params.abs_error_bound = config.abs_error_bound;
+  params.block_len = config.block_len;
+  const CompressedBuffer probe = fz_compress(sample, params);
+  result.sample_ratio =
+      compression_ratio(sample.size_bytes(), probe.size_bytes());
+
+  HzPipelineStats stats;
+  const CompressedBuffer self_sum = hz_add(probe, probe, &stats);
+  result.pipeline4_percent = stats.percent(4);
+
+  // Depth profile for the model: the fresh ratio, then the self-add's ratio
+  // and stats for every deeper level (activity cannot grow further once the
+  // supports fully overlap, so the depth-2 measurement extends).
+  cluster::CompressionProfile profile;
+  profile.sample_elements = sample.size();
+  profile.block_len = params.block_len;
+  profile.ratio.push_back(result.sample_ratio);
+  profile.ratio.push_back(compression_ratio(sample.size_bytes(), self_sum.size_bytes()));
+  profile.hz_stats.push_back(stats);
+
+  for (size_t k = 0; k < 5; ++k) {
+    const Kernel kernel = static_cast<Kernel>(k);
+    result.predicted_seconds[k] =
+        cluster::model_collective(kernel, op, config.nranks, bytes_per_rank, profile,
+                                  config.net, config.cost)
+            .seconds;
+  }
+
+  size_t best = 0;
+  for (size_t k = 1; k < result.predicted_seconds.size(); ++k) {
+    if (result.predicted_seconds[k] < result.predicted_seconds[best]) best = k;
+  }
+  result.kernel = static_cast<Kernel>(best);
+  return result;
+}
+
+}  // namespace hzccl

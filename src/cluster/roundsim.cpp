@@ -1,0 +1,181 @@
+#include "hzccl/cluster/roundsim.hpp"
+
+#include <algorithm>
+
+#include "hzccl/stats/metrics.hpp"
+
+namespace hzccl::cluster {
+
+using simmpi::CostModel;
+using simmpi::Mode;
+using simmpi::NetModel;
+
+double CompressionProfile::ratio_at_depth(int depth) const {
+  if (ratio.empty()) throw Error("CompressionProfile: empty profile");
+  const size_t idx = static_cast<size_t>(std::clamp<int>(depth - 1, 0,
+                                                         static_cast<int>(ratio.size()) - 1));
+  return ratio[idx];
+}
+
+HzPipelineStats CompressionProfile::stats_at_depth(int depth, size_t elements) const {
+  if (hz_stats.empty()) throw Error("CompressionProfile: no hz statistics");
+  const size_t idx = static_cast<size_t>(std::clamp<int>(depth - 1, 0,
+                                                         static_cast<int>(hz_stats.size()) - 1));
+  const HzPipelineStats& s = hz_stats[idx];
+  const double scale =
+      static_cast<double>(elements) / static_cast<double>(sample_elements);
+  HzPipelineStats scaled;
+  scaled.p1 = static_cast<uint64_t>(static_cast<double>(s.p1) * scale);
+  scaled.p2 = static_cast<uint64_t>(static_cast<double>(s.p2) * scale);
+  scaled.p3 = static_cast<uint64_t>(static_cast<double>(s.p3) * scale);
+  scaled.p4 = static_cast<uint64_t>(static_cast<double>(s.p4) * scale);
+  scaled.copied_bytes = static_cast<uint64_t>(static_cast<double>(s.copied_bytes) * scale);
+  scaled.p4_elements = static_cast<uint64_t>(static_cast<double>(s.p4_elements) * scale);
+  return scaled;
+}
+
+CompressionProfile CompressionProfile::measure(const std::vector<std::vector<float>>& fields,
+                                               const FzParams& params, int max_depth) {
+  if (fields.empty()) throw Error("CompressionProfile::measure: need at least one field");
+  CompressionProfile profile;
+  profile.sample_elements = fields[0].size();
+  profile.block_len = params.block_len;
+
+  const size_t raw_bytes = fields[0].size() * sizeof(float);
+  CompressedBuffer acc = fz_compress(fields[0], params);
+  profile.ratio.push_back(compression_ratio(raw_bytes, acc.size_bytes()));
+
+  for (int depth = 2; depth <= max_depth; ++depth) {
+    const auto& next = fields[static_cast<size_t>(depth - 1) % fields.size()];
+    if (next.size() != profile.sample_elements) {
+      throw Error("CompressionProfile::measure: fields differ in size");
+    }
+    const CompressedBuffer operand = fz_compress(next, params);
+    HzPipelineStats stats;
+    acc = hz_add(acc, operand, &stats);
+    profile.hz_stats.push_back(stats);
+    profile.ratio.push_back(compression_ratio(raw_bytes, acc.size_bytes()));
+  }
+  return profile;
+}
+
+namespace {
+
+/// Per-round ring transfer cost for one block of `bytes`.
+double transfer(const NetModel& net, double bytes, int nranks) {
+  return net.transfer_seconds(static_cast<size_t>(bytes), nranks);
+}
+
+ModelResult model_reduce_scatter(Kernel kernel, int nranks, size_t total_bytes,
+                                 const CompressionProfile& profile, const NetModel& net,
+                                 const CostModel& cost, bool fused_tail) {
+  const Mode mode = kernel_mode(kernel);
+  const double block_bytes = static_cast<double>(total_bytes) / nranks;
+  const size_t block_elems = static_cast<size_t>(block_bytes) / sizeof(float);
+  ModelResult r;
+
+  switch (kernel) {
+    case Kernel::kMpi:
+      for (int s = 0; s < nranks - 1; ++s) {
+        r.mpi_seconds += transfer(net, block_bytes, nranks);
+        r.cpt_seconds += cost.seconds_raw_sum(static_cast<size_t>(block_bytes),
+                                              Mode::kSingleThread);
+      }
+      break;
+    case Kernel::kCCollMultiThread:
+    case Kernel::kCCollSingleThread:
+      for (int s = 0; s < nranks - 1; ++s) {
+        const int depth = s + 1;  // the block sent at step s carries depth-s+1 sums
+        r.cpr_seconds += cost.seconds_fz_compress(static_cast<size_t>(block_bytes), mode);
+        r.mpi_seconds += transfer(net, block_bytes / profile.ratio_at_depth(depth), nranks);
+        r.dpr_seconds += cost.seconds_fz_decompress(static_cast<size_t>(block_bytes), mode);
+        r.cpt_seconds += cost.seconds_raw_sum(static_cast<size_t>(block_bytes), mode);
+      }
+      break;
+    case Kernel::kHzcclMultiThread:
+    case Kernel::kHzcclSingleThread:
+      // Round 1: compress all N blocks once.
+      r.cpr_seconds += cost.seconds_fz_compress(total_bytes, mode);
+      for (int s = 0; s < nranks - 1; ++s) {
+        const int depth = s + 1;
+        r.mpi_seconds += transfer(net, block_bytes / profile.ratio_at_depth(depth), nranks);
+        r.hpr_seconds += cost.seconds_hz_add(profile.stats_at_depth(depth + 1, block_elems),
+                                             profile.block_len, mode);
+      }
+      if (!fused_tail) {
+        r.dpr_seconds += cost.seconds_fz_decompress(static_cast<size_t>(block_bytes), mode);
+      }
+      break;
+  }
+  r.seconds = r.mpi_seconds + r.cpr_seconds + r.dpr_seconds + r.cpt_seconds + r.hpr_seconds;
+  return r;
+}
+
+ModelResult model_allgather(Kernel kernel, int nranks, size_t total_bytes,
+                            const CompressionProfile& profile, const NetModel& net,
+                            const CostModel& cost) {
+  const Mode mode = kernel_mode(kernel);
+  const double block_bytes = static_cast<double>(total_bytes) / nranks;
+  ModelResult r;
+
+  switch (kernel) {
+    case Kernel::kMpi:
+      for (int s = 0; s < nranks - 1; ++s) r.mpi_seconds += transfer(net, block_bytes, nranks);
+      break;
+    case Kernel::kCCollMultiThread:
+    case Kernel::kCCollSingleThread: {
+      // Gathered blocks are fully reduced: depth N.
+      const double ratio = profile.ratio_at_depth(nranks);
+      r.cpr_seconds += cost.seconds_fz_compress(static_cast<size_t>(block_bytes), mode);
+      for (int s = 0; s < nranks - 1; ++s) {
+        r.mpi_seconds += transfer(net, block_bytes / ratio, nranks);
+      }
+      r.dpr_seconds +=
+          cost.seconds_fz_decompress(static_cast<size_t>(block_bytes) * (nranks - 1), mode);
+      break;
+    }
+    case Kernel::kHzcclMultiThread:
+    case Kernel::kHzcclSingleThread: {
+      // No leading compression: the input arrives compressed from the fused
+      // reduce-scatter stage; all N blocks decompress at the end.
+      const double ratio = profile.ratio_at_depth(nranks);
+      for (int s = 0; s < nranks - 1; ++s) {
+        r.mpi_seconds += transfer(net, block_bytes / ratio, nranks);
+      }
+      r.dpr_seconds += cost.seconds_fz_decompress(total_bytes, mode);
+      break;
+    }
+  }
+  r.seconds = r.mpi_seconds + r.cpr_seconds + r.dpr_seconds + r.cpt_seconds + r.hpr_seconds;
+  return r;
+}
+
+ModelResult combine(const ModelResult& a, const ModelResult& b) {
+  ModelResult r;
+  r.seconds = a.seconds + b.seconds;
+  r.mpi_seconds = a.mpi_seconds + b.mpi_seconds;
+  r.cpr_seconds = a.cpr_seconds + b.cpr_seconds;
+  r.dpr_seconds = a.dpr_seconds + b.dpr_seconds;
+  r.cpt_seconds = a.cpt_seconds + b.cpt_seconds;
+  r.hpr_seconds = a.hpr_seconds + b.hpr_seconds;
+  return r;
+}
+
+}  // namespace
+
+ModelResult model_collective(Kernel kernel, Op op, int nranks, size_t total_bytes,
+                             const CompressionProfile& profile, const NetModel& net,
+                             const CostModel& cost) {
+  if (nranks < 2) throw Error("model_collective: need at least 2 ranks");
+  if (op == Op::kReduceScatter) {
+    return model_reduce_scatter(kernel, nranks, total_bytes, profile, net, cost,
+                                /*fused_tail=*/false);
+  }
+  const bool hz = kernel == Kernel::kHzcclMultiThread || kernel == Kernel::kHzcclSingleThread;
+  const ModelResult rs = model_reduce_scatter(kernel, nranks, total_bytes, profile, net, cost,
+                                              /*fused_tail=*/hz);
+  const ModelResult ag = model_allgather(kernel, nranks, total_bytes, profile, net, cost);
+  return combine(rs, ag);
+}
+
+}  // namespace hzccl::cluster

@@ -1,0 +1,152 @@
+#include "hzccl/collectives/algorithms.hpp"
+
+#include <utility>
+
+#include "hzccl/collectives/raw.hpp"
+
+namespace hzccl::coll {
+
+using simmpi::Comm;
+using simmpi::CostBucket;
+using simmpi::Mode;
+
+namespace {
+
+constexpr int kTagFold = 1 << 22;
+constexpr int kTagStep = (1 << 22) + 1;
+constexpr int kTagUnfold = (1 << 22) + 4096;
+
+void reduce_into(std::vector<float>& acc, std::span<const float> incoming, size_t offset,
+                 Comm& comm, const CollectiveConfig& config) {
+  for (size_t i = 0; i < incoming.size(); ++i) {
+    acc[offset + i] = reduce_combine(config.reduce_op, acc[offset + i], incoming[i]);
+  }
+  comm.clock().advance(
+      config.cost.seconds_raw_sum(incoming.size() * sizeof(float), Mode::kSingleThread),
+      CostBucket::kCpt);
+}
+
+int largest_power_of_two_below(int n) {
+  int p2 = 1;
+  while (p2 * 2 <= n) p2 *= 2;
+  return p2;
+}
+
+}  // namespace
+
+void raw_allreduce_recursive_doubling(Comm& comm, std::span<const float> input,
+                                      std::vector<float>& out_full,
+                                      const CollectiveConfig& config) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  std::vector<float> acc(input.begin(), input.end());
+  comm.clock().advance(config.cost.seconds_memcpy(input.size_bytes()), CostBucket::kOther);
+
+  const int p2 = largest_power_of_two_below(size);
+  const int rem = size - p2;
+
+  // Fold phase (MPICH): the first 2*rem ranks pair up so that p2 ranks
+  // remain active; even ranks of each pair hand their data to the odd one.
+  int active = -1;
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      comm.send_floats(rank + 1, kTagFold, acc);
+    } else {
+      std::vector<float> incoming(acc.size());
+      comm.recv_floats_into(rank - 1, kTagFold, incoming);
+      reduce_into(acc, incoming, 0, comm, config);
+      active = rank / 2;
+    }
+  } else {
+    active = rank - rem;
+  }
+
+  auto real_rank_of = [&](int active_rank) {
+    return active_rank < rem ? 2 * active_rank + 1 : active_rank + rem;
+  };
+
+  if (active >= 0) {
+    std::vector<float> incoming(acc.size());
+    int step = 0;
+    for (int mask = 1; mask < p2; mask <<= 1, ++step) {
+      const int partner = real_rank_of(active ^ mask);
+      comm.send_floats(partner, kTagStep + step, acc);
+      comm.recv_floats_into(partner, kTagStep + step, incoming);
+      reduce_into(acc, incoming, 0, comm, config);
+    }
+  }
+
+  // Unfold phase: the folded even ranks receive the finished result.
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      comm.recv_floats_into(rank + 1, kTagUnfold, acc);
+    } else {
+      comm.send_floats(rank - 1, kTagUnfold, acc);
+    }
+  }
+  out_full = std::move(acc);
+}
+
+void raw_allreduce_rabenseifner(Comm& comm, std::span<const float> input,
+                                std::vector<float>& out_full, const CollectiveConfig& config) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  if ((size & (size - 1)) != 0) {
+    // Non-power-of-two: MPICH falls back; so do we, to the ring.
+    raw_allreduce(comm, input, out_full, config);
+    return;
+  }
+
+  std::vector<float> acc(input.begin(), input.end());
+  comm.clock().advance(config.cost.seconds_memcpy(input.size_bytes()), CostBucket::kOther);
+
+  // Recursive-halving reduce-scatter: each exchange halves the live segment
+  // [lo, hi); the lower-ranked partner keeps the lower half.
+  size_t lo = 0, hi = acc.size();
+  std::vector<std::pair<size_t, size_t>> trace;  // segment before each split
+  std::vector<float> incoming;
+  int step = 0;
+  for (int mask = size / 2; mask >= 1; mask >>= 1, ++step) {
+    const int partner = rank ^ mask;
+    const size_t mid = lo + (hi - lo) / 2;
+    trace.emplace_back(lo, hi);
+    if (rank < partner) {
+      comm.send_floats(partner, kTagStep + step,
+                       std::span<const float>(acc.data() + mid, hi - mid));
+      incoming.resize(mid - lo);
+      comm.recv_floats_into(partner, kTagStep + step, incoming);
+      reduce_into(acc, incoming, lo, comm, config);
+      hi = mid;
+    } else {
+      comm.send_floats(partner, kTagStep + step,
+                       std::span<const float>(acc.data() + lo, mid - lo));
+      incoming.resize(hi - mid);
+      comm.recv_floats_into(partner, kTagStep + step, incoming);
+      reduce_into(acc, incoming, mid, comm, config);
+      lo = mid;
+    }
+  }
+
+  // Recursive-doubling allgather: walk the splits back, each exchange
+  // restoring the sibling half of the enclosing segment.
+  for (int mask = 1; mask < size; mask <<= 1, ++step) {
+    const int partner = rank ^ mask;
+    const auto [parent_lo, parent_hi] = trace.back();
+    trace.pop_back();
+    comm.send_floats(partner, kTagStep + step,
+                     std::span<const float>(acc.data() + lo, hi - lo));
+    if (lo == parent_lo) {
+      // We hold the lower half; the partner supplies [hi, parent_hi).
+      std::span<float> dest(acc.data() + hi, parent_hi - hi);
+      comm.recv_floats_into(partner, kTagStep + step, dest);
+    } else {
+      std::span<float> dest(acc.data() + parent_lo, lo - parent_lo);
+      comm.recv_floats_into(partner, kTagStep + step, dest);
+    }
+    lo = parent_lo;
+    hi = parent_hi;
+  }
+  out_full = std::move(acc);
+}
+
+}  // namespace hzccl::coll

@@ -1,0 +1,112 @@
+#include "hzccl/collectives/ccoll.hpp"
+
+#include <cstring>
+
+#include "hzccl/homomorphic/doc.hpp"
+
+namespace hzccl::coll {
+
+using simmpi::Comm;
+using simmpi::CostBucket;
+
+namespace {
+
+/// Compress a float block and charge CPR at the configured mode.
+CompressedBuffer compress_block(Comm& comm, std::span<const float> block,
+                                const CollectiveConfig& config) {
+  const FzParams params = config.fz_params(block.size());
+  CompressedBuffer out = fz_compress(block, params);
+  comm.clock().advance(config.cost.seconds_fz_compress(block.size_bytes(), config.mode),
+                       CostBucket::kCpr);
+  return out;
+}
+
+/// Decompress a received stream and charge DPR.
+void decompress_block(Comm& comm, const CompressedBuffer& compressed, std::span<float> out,
+                      const CollectiveConfig& config) {
+  fz_decompress(compressed, out, config.host_threads);
+  comm.clock().advance(config.cost.seconds_fz_decompress(out.size_bytes(), config.mode),
+                       CostBucket::kDpr);
+}
+
+}  // namespace
+
+void ccoll_reduce_scatter(Comm& comm, std::span<const float> input,
+                          std::vector<float>& out_block, const CollectiveConfig& config) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const size_t total = input.size();
+
+  std::vector<float> acc(input.begin(), input.end());
+  comm.clock().advance(config.cost.seconds_memcpy(total * sizeof(float)), CostBucket::kOther);
+
+  std::vector<float> decoded;
+  for (int step = 0; step < size - 1; ++step) {
+    const Range send_r = ring_block_range(total, size, rs_send_block(rank, step, size));
+    const Range recv_r = ring_block_range(total, size, rs_recv_block(rank, step, size));
+
+    // DOC round, send side: compress the partially reduced block.
+    const CompressedBuffer to_send = compress_block(
+        comm, std::span<const float>(acc.data() + send_r.begin, send_r.size()), config);
+    comm.send(ring_next(rank, size), kTagReduceScatter + step, to_send.span());
+
+    // DOC round, receive side: decompress, then reduce over floats.
+    CompressedBuffer received;
+    received.bytes = comm.recv(ring_prev(rank, size), kTagReduceScatter + step);
+    decoded.resize(recv_r.size());
+    decompress_block(comm, received, decoded, config);
+
+    float* dst = acc.data() + recv_r.begin;
+    for (size_t i = 0; i < recv_r.size(); ++i) {
+      dst[i] = reduce_combine(config.reduce_op, dst[i], decoded[i]);
+    }
+    comm.clock().advance(
+        config.cost.seconds_raw_sum(recv_r.size() * sizeof(float), config.mode),
+        CostBucket::kCpt);
+  }
+
+  const Range owned = ring_block_range(total, size, rs_owned_block(rank, size));
+  out_block.assign(acc.begin() + static_cast<ptrdiff_t>(owned.begin),
+                   acc.begin() + static_cast<ptrdiff_t>(owned.end));
+}
+
+void ccoll_allgather(Comm& comm, std::span<const float> my_block, size_t total_elements,
+                     std::vector<float>& out_full, const CollectiveConfig& config) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+
+  out_full.assign(total_elements, 0.0f);
+  const Range own = ring_block_range(total_elements, size, rs_owned_block(rank, size));
+  if (my_block.size() != own.size()) {
+    throw Error("ccoll_allgather: my_block size does not match the owned block");
+  }
+  std::memcpy(out_full.data() + own.begin, my_block.data(), my_block.size_bytes());
+
+  // Compress once; every hop forwards compressed bytes.
+  std::vector<CompressedBuffer> blocks(static_cast<size_t>(size));
+  blocks[rs_owned_block(rank, size)] = compress_block(comm, my_block, config);
+
+  for (int step = 0; step < size - 1; ++step) {
+    const int send_idx = ag_send_block(rank, step, size);
+    const int recv_idx = ag_recv_block(rank, step, size);
+    comm.send(ring_next(rank, size), kTagAllgather + step, blocks[send_idx].span());
+    blocks[recv_idx].bytes = comm.recv(ring_prev(rank, size), kTagAllgather + step);
+  }
+
+  // Decompress the N-1 received chunks (own block is already in place).
+  for (int b = 0; b < size; ++b) {
+    if (b == rs_owned_block(rank, size)) continue;
+    const Range r = ring_block_range(total_elements, size, b);
+    decompress_block(comm, blocks[b], std::span<float>(out_full.data() + r.begin, r.size()),
+                     config);
+  }
+}
+
+void ccoll_allreduce(Comm& comm, std::span<const float> input, std::vector<float>& out_full,
+                     const CollectiveConfig& config) {
+  std::vector<float> block;
+  ccoll_reduce_scatter(comm, input, block, config);
+  ccoll_allgather(comm, block, input.size(), out_full, config);
+}
+
+}  // namespace hzccl::coll

@@ -1,0 +1,127 @@
+#include "hzccl/collectives/movement.hpp"
+
+#include <cstring>
+
+namespace hzccl::coll {
+
+using simmpi::Comm;
+using simmpi::CostBucket;
+
+namespace {
+
+constexpr int kTagBcast = 1 << 23;
+constexpr int kTagGather = (1 << 23) + 1;
+
+int relative_rank(int rank, int root, int size) { return ((rank - root) % size + size) % size; }
+int absolute_rank(int relative, int root, int size) { return (relative + root) % size; }
+
+/// Binomial-tree receive step: returns the relative parent, or -1 for the
+/// root, and leaves `mask` at the level below this rank (its send levels).
+int binomial_parent(int relative, int size, int& mask) {
+  mask = 1;
+  while (mask < size) {
+    if (relative & mask) return relative - mask;
+    mask <<= 1;
+  }
+  return -1;
+}
+
+}  // namespace
+
+void raw_bcast(Comm& comm, std::vector<float>& data, int root, const CollectiveConfig& config) {
+  (void)config;
+  const int size = comm.size();
+  const int relative = relative_rank(comm.rank(), root, size);
+
+  int mask = 0;
+  const int parent = binomial_parent(relative, size, mask);
+  if (parent >= 0) {
+    const auto payload = comm.recv(absolute_rank(parent, root, size), kTagBcast);
+    data.resize(payload.size() / sizeof(float));
+    std::memcpy(data.data(), payload.data(), payload.size());
+  }
+  for (mask >>= 1; mask > 0; mask >>= 1) {
+    const int child = relative + mask;
+    if (child < size) {
+      comm.send_floats(absolute_rank(child, root, size), kTagBcast, data);
+    }
+  }
+}
+
+void ccoll_bcast(Comm& comm, std::vector<float>& data, int root,
+                 const CollectiveConfig& config) {
+  const int size = comm.size();
+  const int relative = relative_rank(comm.rank(), root, size);
+
+  CompressedBuffer compressed;
+  if (relative == 0) {
+    compressed = fz_compress(data, config.fz_params(data.size()));
+    comm.clock().advance(
+        config.cost.seconds_fz_compress(data.size() * sizeof(float), config.mode),
+        CostBucket::kCpr);
+  }
+
+  int mask = 0;
+  const int parent = binomial_parent(relative, size, mask);
+  if (parent >= 0) {
+    compressed.bytes = comm.recv(absolute_rank(parent, root, size), kTagBcast);
+  }
+  for (mask >>= 1; mask > 0; mask >>= 1) {
+    const int child = relative + mask;
+    if (child < size) {
+      comm.send(absolute_rank(child, root, size), kTagBcast, compressed.span());
+    }
+  }
+
+  // Everyone (root included) materializes the decompressed field, so all
+  // ranks end bit-identical — the property applications actually rely on.
+  const FzView view = parse_fz(compressed.bytes);
+  data.resize(view.num_elements());
+  fz_decompress(view, data, config.host_threads);
+  comm.clock().advance(
+      config.cost.seconds_fz_decompress(data.size() * sizeof(float), config.mode),
+      CostBucket::kDpr);
+}
+
+void raw_gather(Comm& comm, std::span<const float> mine, int root, std::vector<float>& out,
+                const CollectiveConfig& config) {
+  (void)config;
+  const int size = comm.size();
+  const int relative = relative_rank(comm.rank(), root, size);
+  const size_t chunk = mine.size();
+
+  // Subtree buffer in relative-rank order, starting with this rank's data.
+  std::vector<float> buffer(mine.begin(), mine.end());
+  int mask = 1;
+  while (mask < size) {
+    if (relative & mask) {
+      comm.send_floats(absolute_rank(relative - mask, root, size), kTagGather + mask, buffer);
+      break;
+    }
+    const int child = relative + mask;
+    if (child < size) {
+      const auto payload = comm.recv(absolute_rank(child, root, size), kTagGather + mask);
+      if (payload.size() % (chunk * sizeof(float)) != 0) {
+        throw Error("raw_gather: ranks contributed unequal chunk sizes");
+      }
+      const size_t at = buffer.size();
+      buffer.resize(at + payload.size() / sizeof(float));
+      std::memcpy(buffer.data() + at, payload.data(), payload.size());
+    }
+    mask <<= 1;
+  }
+
+  out.clear();
+  if (relative == 0) {
+    // buffer holds contributions of relative ranks 0..size-1 in order;
+    // rotate into absolute rank order.
+    out.resize(chunk * static_cast<size_t>(size));
+    for (int v = 0; v < size; ++v) {
+      const int rank = absolute_rank(v, root, size);
+      std::memcpy(out.data() + static_cast<size_t>(rank) * chunk,
+                  buffer.data() + static_cast<size_t>(v) * chunk, chunk * sizeof(float));
+    }
+  }
+}
+
+}  // namespace hzccl::coll

@@ -1,0 +1,77 @@
+#include "hzccl/collectives/raw.hpp"
+
+#include <cstring>
+
+namespace hzccl::coll {
+
+using simmpi::Comm;
+using simmpi::CostBucket;
+using simmpi::Mode;
+
+void raw_reduce_scatter(Comm& comm, std::span<const float> input, std::vector<float>& out_block,
+                        const CollectiveConfig& config) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const size_t total = input.size();
+
+  // Working copy of the input: the ring accumulates in place.
+  std::vector<float> acc(input.begin(), input.end());
+  comm.clock().advance(config.cost.seconds_memcpy(total * sizeof(float)), CostBucket::kOther);
+
+  std::vector<float> recv_buf;
+  for (int step = 0; step < size - 1; ++step) {
+    const Range send_r = ring_block_range(total, size, rs_send_block(rank, step, size));
+    const Range recv_r = ring_block_range(total, size, rs_recv_block(rank, step, size));
+
+    comm.send_floats(ring_next(rank, size), kTagReduceScatter + step,
+                     std::span<const float>(acc.data() + send_r.begin, send_r.size()));
+    recv_buf.resize(recv_r.size());
+    comm.recv_floats_into(ring_prev(rank, size), kTagReduceScatter + step, recv_buf);
+
+    float* dst = acc.data() + recv_r.begin;
+    for (size_t i = 0; i < recv_r.size(); ++i) {
+      dst[i] = reduce_combine(config.reduce_op, dst[i], recv_buf[i]);
+    }
+    // MPI reduces inside the progress engine: single-threaded by design.
+    comm.clock().advance(
+        config.cost.seconds_raw_sum(recv_r.size() * sizeof(float), Mode::kSingleThread),
+        CostBucket::kCpt);
+  }
+
+  const Range owned = ring_block_range(total, size, rs_owned_block(rank, size));
+  out_block.assign(acc.begin() + static_cast<ptrdiff_t>(owned.begin),
+                   acc.begin() + static_cast<ptrdiff_t>(owned.end));
+}
+
+void raw_allgather(Comm& comm, std::span<const float> my_block, size_t total_elements,
+                   std::vector<float>& out_full, const CollectiveConfig& config) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+
+  out_full.assign(total_elements, 0.0f);
+  const Range own = ring_block_range(total_elements, size, rs_owned_block(rank, size));
+  if (my_block.size() != own.size()) {
+    throw Error("raw_allgather: my_block size does not match the owned block");
+  }
+  std::memcpy(out_full.data() + own.begin, my_block.data(), my_block.size_bytes());
+  comm.clock().advance(config.cost.seconds_memcpy(my_block.size_bytes()), CostBucket::kOther);
+
+  for (int step = 0; step < size - 1; ++step) {
+    const Range send_r = ring_block_range(total_elements, size, ag_send_block(rank, step, size));
+    const Range recv_r = ring_block_range(total_elements, size, ag_recv_block(rank, step, size));
+    comm.send_floats(ring_next(rank, size), kTagAllgather + step,
+                     std::span<const float>(out_full.data() + send_r.begin, send_r.size()));
+    comm.recv_floats_into(
+        ring_prev(rank, size), kTagAllgather + step,
+        std::span<float>(out_full.data() + recv_r.begin, recv_r.size()));
+  }
+}
+
+void raw_allreduce(Comm& comm, std::span<const float> input, std::vector<float>& out_full,
+                   const CollectiveConfig& config) {
+  std::vector<float> block;
+  raw_reduce_scatter(comm, input, block, config);
+  raw_allgather(comm, block, input.size(), out_full, config);
+}
+
+}  // namespace hzccl::coll

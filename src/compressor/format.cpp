@@ -1,0 +1,179 @@
+#include "hzccl/compressor/format.hpp"
+
+#include <string>
+
+#include "hzccl/compressor/fixed_len.hpp"
+#include "hzccl/util/crc32.hpp"
+#include "hzccl/util/threading.hpp"
+
+namespace hzccl {
+
+FzView parse_fz(std::span<const uint8_t> bytes) {
+  if (bytes.size() < sizeof(FzHeader)) {
+    throw FormatError("stream shorter than header");
+  }
+  FzView v;
+  std::memcpy(&v.header, bytes.data(), sizeof(FzHeader));
+  if (v.header.magic != kFzMagic) {
+    throw FormatError("bad magic: not an fZ-light stream");
+  }
+  if (v.header.version != kFormatVersion) {
+    throw FormatError("unsupported format version " + std::to_string(v.header.version));
+  }
+  if (v.header.block_len == 0) throw FormatError("block length must be positive");
+  if (v.header.num_chunks == 0 && v.header.num_elements != 0) {
+    throw FormatError("nonempty stream with zero chunks");
+  }
+  if (!(v.header.error_bound > 0.0)) throw FormatError("error bound must be positive");
+
+  const size_t preamble = fz_preamble_size(v.header.num_chunks);
+  if (bytes.size() < preamble) throw FormatError("stream shorter than offset tables");
+
+  if (v.header.flags & kFlagChecksummed) {
+    if (bytes.size() < preamble + sizeof(uint32_t)) {
+      throw FormatError("checksummed stream shorter than its trailer");
+    }
+    uint32_t stored;
+    std::memcpy(&stored, bytes.data() + bytes.size() - sizeof stored, sizeof stored);
+    const uint32_t computed = crc32c(bytes.subspan(0, bytes.size() - sizeof stored));
+    if (stored != computed) {
+      throw FormatError("stream checksum mismatch: corrupt or truncated data");
+    }
+    bytes = bytes.subspan(0, bytes.size() - sizeof stored);
+    // The view represents the verified logical stream; clearing the flag
+    // keeps header copies (e.g. homomorphic outputs) from promising a
+    // trailer they do not carry.
+    v.header.flags &= static_cast<uint16_t>(~kFlagChecksummed);
+  }
+
+  const uint8_t* p = bytes.data() + sizeof(FzHeader);
+  v.chunk_offsets = {reinterpret_cast<const uint64_t*>(p), v.header.num_chunks};
+  p += v.header.num_chunks * sizeof(uint64_t);
+  v.chunk_outliers = {reinterpret_cast<const int32_t*>(p), v.header.num_chunks};
+  v.payload = bytes.subspan(preamble);
+
+  // Offset table sanity: monotone, in-range. chunk_payload() re-checks per
+  // access, but catching corruption here gives a better error site.
+  uint64_t prev = 0;
+  for (uint32_t c = 0; c < v.header.num_chunks; ++c) {
+    const uint64_t off = v.chunk_offsets[c];
+    if (off < prev || off > v.payload.size()) {
+      throw FormatError("offset table corrupt at chunk " + std::to_string(c));
+    }
+    prev = off;
+  }
+  return v;
+}
+
+bool layout_compatible(const FzView& a, const FzView& b) {
+  return a.header.num_elements == b.header.num_elements &&
+         a.header.block_len == b.header.block_len &&
+         a.header.num_chunks == b.header.num_chunks &&
+         a.header.error_bound == b.header.error_bound;
+}
+
+ChunkedStreamAssembler::ChunkedStreamAssembler(FzHeader header) : header_(header) {
+  header_.magic = kFzMagic;
+  header_.version = kFormatVersion;
+  const uint32_t nchunks = header_.num_chunks;
+  if (nchunks == 0 && header_.num_elements != 0) {
+    throw Error("ChunkedStreamAssembler: nonempty stream needs chunks");
+  }
+  worst_offset_.assign(nchunks + 1, 0);
+  for (uint32_t c = 0; c < nchunks; ++c) {
+    const Range r = chunk_range(header_.num_elements, static_cast<int>(nchunks),
+                                static_cast<int>(c));
+    const size_t nblocks = (r.size() + header_.block_len - 1) / header_.block_len;
+    worst_offset_[c + 1] =
+        worst_offset_[c] + nblocks * max_encoded_block_size(header_.block_len);
+  }
+  chunk_size_.assign(nchunks, 0);
+  outliers_.assign(nchunks, 0);
+  result_.bytes.resize(fz_preamble_size(nchunks) + worst_offset_[nchunks]);
+}
+
+uint8_t* ChunkedStreamAssembler::chunk_buffer(uint32_t c) {
+  return result_.bytes.data() + fz_preamble_size(header_.num_chunks) + worst_offset_[c];
+}
+
+size_t ChunkedStreamAssembler::chunk_capacity(uint32_t c) const {
+  return worst_offset_[c + 1] - worst_offset_[c];
+}
+
+void ChunkedStreamAssembler::set_chunk(uint32_t c, size_t payload_size, int32_t outlier) {
+  if (payload_size > chunk_capacity(c)) {
+    throw Error("ChunkedStreamAssembler: chunk payload exceeds worst-case capacity");
+  }
+  chunk_size_[c] = payload_size;
+  outliers_[c] = outlier;
+}
+
+CompressedBuffer ChunkedStreamAssembler::finish() {
+  const uint32_t nchunks = header_.num_chunks;
+  const size_t preamble = fz_preamble_size(nchunks);
+  uint8_t* const payload = result_.bytes.data() + preamble;
+
+  std::vector<uint64_t> tight_offset(nchunks, 0);
+  size_t write = 0;
+  for (uint32_t c = 0; c < nchunks; ++c) {
+    tight_offset[c] = write;
+    if (write != worst_offset_[c] && chunk_size_[c] > 0) {
+      std::memmove(payload + write, payload + worst_offset_[c], chunk_size_[c]);
+    }
+    write += chunk_size_[c];
+  }
+  result_.bytes.resize(preamble + write);
+
+  std::memcpy(result_.bytes.data(), &header_, sizeof header_);
+  std::memcpy(result_.bytes.data() + sizeof header_, tight_offset.data(),
+              nchunks * sizeof(uint64_t));
+  std::memcpy(result_.bytes.data() + sizeof header_ + nchunks * sizeof(uint64_t),
+              outliers_.data(), nchunks * sizeof(int32_t));
+  return std::move(result_);
+}
+
+CompressedBuffer add_checksum(CompressedBuffer stream) {
+  if (stream.bytes.size() < sizeof(FzHeader)) {
+    throw FormatError("add_checksum: stream shorter than header");
+  }
+  FzHeader header;
+  std::memcpy(&header, stream.bytes.data(), sizeof header);
+  if (header.flags & kFlagChecksummed) return stream;  // already sealed
+  header.flags |= kFlagChecksummed;
+  std::memcpy(stream.bytes.data(), &header, sizeof header);
+  const uint32_t digest = crc32c(stream.bytes);
+  const size_t at = stream.bytes.size();
+  stream.bytes.resize(at + sizeof digest);
+  std::memcpy(stream.bytes.data() + at, &digest, sizeof digest);
+  return stream;
+}
+
+CompressedBuffer strip_checksum(CompressedBuffer stream) {
+  if (stream.bytes.size() < sizeof(FzHeader)) {
+    throw FormatError("strip_checksum: stream shorter than header");
+  }
+  FzHeader header;
+  std::memcpy(&header, stream.bytes.data(), sizeof header);
+  if (!(header.flags & kFlagChecksummed)) return stream;
+  if (stream.bytes.size() < sizeof(FzHeader) + sizeof(uint32_t)) {
+    throw FormatError("strip_checksum: missing trailer");
+  }
+  stream.bytes.resize(stream.bytes.size() - sizeof(uint32_t));
+  header.flags &= static_cast<uint16_t>(~kFlagChecksummed);
+  std::memcpy(stream.bytes.data(), &header, sizeof header);
+  return stream;
+}
+
+void require_layout_compatible(const FzView& a, const FzView& b) {
+  if (!layout_compatible(a, b)) {
+    throw LayoutMismatchError(
+        "homomorphic operands have different layouts: (" +
+        std::to_string(a.header.num_elements) + "," + std::to_string(a.header.block_len) + "," +
+        std::to_string(a.header.num_chunks) + "," + std::to_string(a.header.error_bound) +
+        ") vs (" + std::to_string(b.header.num_elements) + "," +
+        std::to_string(b.header.block_len) + "," + std::to_string(b.header.num_chunks) + "," +
+        std::to_string(b.header.error_bound) + ")");
+  }
+}
+
+}  // namespace hzccl

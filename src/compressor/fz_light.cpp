@@ -1,0 +1,250 @@
+#include "hzccl/compressor/fz_light.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "hzccl/compressor/fixed_len.hpp"
+#include "hzccl/compressor/quantize.hpp"
+#include "hzccl/util/threading.hpp"
+
+namespace hzccl {
+namespace {
+
+constexpr uint32_t kMaxBlockLen = 512;
+
+void validate_params(const FzParams& p) {
+  if (!(p.abs_error_bound > 0.0)) throw Error("fz_compress: error bound must be positive");
+  if (p.block_len == 0 || p.block_len > kMaxBlockLen) {
+    throw Error("fz_compress: block_len must be in 1..512");
+  }
+}
+
+/// Compress one chunk into `out`; returns bytes written.  `out` must have
+/// room for the worst-case encoding of every block in the chunk.
+size_t compress_chunk(std::span<const float> data, Range range, uint32_t block_len,
+                      const Quantizer& quant, int32_t* outlier, uint8_t* out) {
+  uint8_t* const out_begin = out;
+  if (range.size() == 0) {
+    *outlier = 0;
+    return 0;
+  }
+  // The chunk outlier is the first quantized value; the first residual is
+  // then zero by construction, which keeps every block the same shape.
+  const int32_t q0 = quant.quantize(data[range.begin]);
+  *outlier = q0;
+
+  uint32_t mags[kMaxBlockLen];
+  uint32_t signs[kMaxBlockLen];
+  int64_t qbuf[kMaxBlockLen];
+  int32_t rbuf[kMaxBlockLen];
+  int32_t q_prev = q0;
+  size_t pos = range.begin;
+  while (pos < range.end) {
+    const size_t n = std::min<size_t>(block_len, range.end - pos);
+    // Fused quantize + predict (paper §III-B2), staged per block: a
+    // branch-free quantization pass (the range guard is OR-accumulated and
+    // checked once per block), then the prediction pass.  Staging keeps the
+    // llrint pipeline free of the prediction dependency chain.
+    uint64_t q_guard = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t q =
+          std::llrint(static_cast<double>(data[pos + i]) * quant.inv_twice_eb);
+      qbuf[i] = q;
+      q_guard |= static_cast<uint64_t>(q < 0 ? -q : q);
+    }
+    if (q_guard > static_cast<uint64_t>(kMaxQuantMagnitude)) {
+      throw QuantizationRangeError(
+          "value/error-bound ratio exceeds the 30-bit quantization domain");
+    }
+    uint32_t max_mag = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t q = static_cast<int32_t>(qbuf[i]);
+      const int32_t r = q - q_prev;
+      q_prev = q;
+      rbuf[i] = r;
+      const uint32_t mag =
+          r < 0 ? static_cast<uint32_t>(-static_cast<int64_t>(r)) : static_cast<uint32_t>(r);
+      max_mag |= mag;
+    }
+    if (max_mag == 0) {
+      // Constant block: one code-length byte, no sign/magnitude work at all
+      // (the quiet-data fast path that dominates scientific fields).
+      *out++ = 0;
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const int32_t r = rbuf[i];
+        const uint32_t neg = static_cast<uint32_t>(r < 0);
+        mags[i] =
+            neg ? static_cast<uint32_t>(-static_cast<int64_t>(r)) : static_cast<uint32_t>(r);
+        signs[i] = neg;
+      }
+      out = encode_block_prepared(mags, signs, n, code_length_for(max_mag), out);
+    }
+    pos += n;
+  }
+  return static_cast<size_t>(out - out_begin);
+}
+
+}  // namespace
+
+uint32_t FzParams::auto_chunks(size_t num_elements, uint32_t block_len) {
+  if (num_elements == 0) return 1;
+  // Aim for chunks of ~512 blocks; clamp to [1, 256] so tiny inputs stay in
+  // one chunk and huge inputs still fit a bounded offset table.
+  const size_t target_chunk_elems = static_cast<size_t>(block_len) * 512;
+  const size_t chunks = (num_elements + target_chunk_elems - 1) / target_chunk_elems;
+  return static_cast<uint32_t>(std::clamp<size_t>(chunks, 1, 256));
+}
+
+CompressedBuffer fz_compress(std::span<const float> data, const FzParams& params) {
+  validate_params(params);
+  const size_t d = data.size();
+  const uint32_t nchunks = params.resolved_chunks(d);
+  const Quantizer quant(params.abs_error_bound);
+
+  FzHeader header;
+  header.num_elements = d;
+  header.block_len = params.block_len;
+  header.num_chunks = nchunks;
+  header.error_bound = params.abs_error_bound;
+  ChunkedStreamAssembler assembler(header);
+
+  {
+    ScopedNumThreads scoped(params.num_threads);
+    OmpExceptionCollector errors;
+#pragma omp parallel for schedule(static)
+    for (uint32_t c = 0; c < nchunks; ++c) {
+      errors.run([&, c] {
+        const Range r = chunk_range(d, static_cast<int>(nchunks), static_cast<int>(c));
+        int32_t outlier = 0;
+        const size_t size = compress_chunk(data, r, params.block_len, quant, &outlier,
+                                           assembler.chunk_buffer(c));
+        assembler.set_chunk(c, size, outlier);
+      });
+    }
+    errors.rethrow();
+  }
+  return assembler.finish();
+}
+
+void fz_decompress(const FzView& view, std::span<float> out, int num_threads) {
+  if (out.size() != view.num_elements()) {
+    throw Error("fz_decompress: output size mismatch");
+  }
+  const Quantizer quant(view.error_bound());
+  const uint32_t nchunks = view.num_chunks();
+  const uint32_t block_len = view.block_len();
+
+  ScopedNumThreads scoped(num_threads);
+  OmpExceptionCollector errors;
+#pragma omp parallel for schedule(static)
+  for (uint32_t c = 0; c < nchunks; ++c) {
+    errors.run([&, c] {
+      const Range r =
+          chunk_range(view.num_elements(), static_cast<int>(nchunks), static_cast<int>(c));
+      if (r.size() == 0) return;
+      const auto chunk = view.chunk_payload(c);
+      const uint8_t* src = chunk.data();
+      const uint8_t* const end = src + chunk.size();
+
+      int32_t rbuf[kMaxBlockLen];
+      // 64-bit accumulator: homomorphically reduced streams may sum many
+      // operands, and the running quantized value must not wrap.
+      int64_t q = view.chunk_outliers[c];
+      size_t pos = r.begin;
+      while (pos < r.end) {
+        const size_t n = std::min<size_t>(block_len, r.end - pos);
+        // Constant-block fast path: a zero code length means every residual
+        // is zero, so the whole block is one fill — the dominant case on
+        // quiet scientific data and the reason fZ-light's decompression can
+        // approach the STREAM peak (paper Table IV).
+        if (src < end && *src == 0) {
+          ++src;
+          std::fill_n(out.data() + pos, n, quant.dequantize(q));
+          pos += n;
+          continue;
+        }
+        src = decode_block(src, end, n, rbuf);
+        // The chunk's first residual is zero by construction (q0 - q0), and
+        // a sum of homomorphic streams keeps it zero, so the generic
+        // prefix-sum loop is exact for every element including the first.
+        for (size_t i = 0; i < n; ++i) {
+          q += rbuf[i];
+          out[pos + i] = quant.dequantize(q);
+        }
+        pos += n;
+      }
+      if (src != end) {
+        throw FormatError("fz_decompress: trailing bytes in chunk payload");
+      }
+    });
+  }
+  errors.rethrow();
+}
+
+void fz_decompress(const CompressedBuffer& compressed, std::span<float> out, int num_threads) {
+  fz_decompress(parse_fz(compressed.bytes), out, num_threads);
+}
+
+std::vector<float> fz_decompress(const CompressedBuffer& compressed, int num_threads) {
+  const FzView view = parse_fz(compressed.bytes);
+  std::vector<float> out(view.num_elements());
+  fz_decompress(view, out, num_threads);
+  return out;
+}
+
+void fz_decompress_range(const FzView& view, size_t begin, size_t end, std::span<float> out,
+                         int num_threads) {
+  if (begin > end || end > view.num_elements()) {
+    throw Error("fz_decompress_range: bad element range");
+  }
+  if (out.size() != end - begin) {
+    throw Error("fz_decompress_range: output size mismatch");
+  }
+  if (begin == end) return;
+  const Quantizer quant(view.error_bound());
+  const uint32_t nchunks = view.num_chunks();
+  const uint32_t block_len = view.block_len();
+
+  ScopedNumThreads scoped(num_threads);
+  OmpExceptionCollector errors;
+#pragma omp parallel for schedule(static)
+  for (uint32_t c = 0; c < nchunks; ++c) {
+    errors.run([&, c] {
+      const Range r =
+          chunk_range(view.num_elements(), static_cast<int>(nchunks), static_cast<int>(c));
+      if (r.size() == 0 || r.end <= begin || r.begin >= end) return;
+      const auto chunk = view.chunk_payload(c);
+      const uint8_t* src = chunk.data();
+      const uint8_t* const chunk_end = src + chunk.size();
+
+      int32_t rbuf[kMaxBlockLen];
+      int64_t q = view.chunk_outliers[c];
+      size_t pos = r.begin;
+      while (pos < r.end && pos < end) {
+        const size_t n = std::min<size_t>(block_len, r.end - pos);
+        if (pos + n <= begin && src < chunk_end && *src == 0) {
+          // Constant block entirely before the range: skip without touching q.
+          ++src;
+          pos += n;
+          continue;
+        }
+        src = decode_block(src, chunk_end, n, rbuf);
+        for (size_t i = 0; i < n; ++i) {
+          q += rbuf[i];
+          const size_t elem = pos + i;
+          if (elem >= begin && elem < end) out[elem - begin] = quant.dequantize(q);
+        }
+        pos += n;
+      }
+    });
+  }
+  errors.rethrow();
+}
+
+void fz_decompress_range(const CompressedBuffer& compressed, size_t begin, size_t end,
+                         std::span<float> out, int num_threads) {
+  fz_decompress_range(parse_fz(compressed.bytes), begin, end, out, num_threads);
+}
+
+}  // namespace hzccl

@@ -1,0 +1,240 @@
+#include "hzccl/compressor/omp_szp.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include <omp.h>
+
+#include "hzccl/compressor/fixed_len.hpp"
+#include "hzccl/compressor/quantize.hpp"
+#include "hzccl/util/threading.hpp"
+
+namespace hzccl {
+namespace {
+
+constexpr uint32_t kMaxBlockLen = 512;
+
+/// Quantize one block; returns its code length, outlier and whether every
+/// quantized value is zero.  Residual prediction restarts at each block
+/// (single-layer partitioning: there is no chunk to carry state across).
+struct BlockScan {
+  int32_t outlier = 0;
+  int code_len = 0;
+  bool all_zero = false;
+};
+
+BlockScan scan_block(const float* data, size_t n, const Quantizer& quant) {
+  BlockScan s;
+  int32_t q_prev = quant.quantize(data[0]);
+  s.outlier = q_prev;
+  uint32_t max_mag = 0;
+  bool all_zero = (q_prev == 0);
+  for (size_t i = 1; i < n; ++i) {
+    const int32_t q = quant.quantize(data[i]);
+    const int32_t r = q - q_prev;
+    q_prev = q;
+    const uint32_t mag =
+        r < 0 ? static_cast<uint32_t>(-static_cast<int64_t>(r)) : static_cast<uint32_t>(r);
+    max_mag |= mag;
+    all_zero = all_zero && (q == 0);
+  }
+  s.code_len = code_length_for(max_mag);
+  s.all_zero = all_zero;
+  return s;
+}
+
+/// Bytes a kept (non-omitted) block occupies in the payload.  The code
+/// length is stored both in the metadata array (for the offset scan) and at
+/// the head of the encoded body (so the shared block codec applies as-is) —
+/// mirroring cuSZp, which also keeps block metadata in a separate array.
+size_t block_payload_size(uint8_t meta, size_t n) {
+  if (meta == kSzpZeroBlock) return 0;
+  const int c = meta;
+  if (c == 0) return sizeof(int32_t);  // constant block: outlier only
+  return sizeof(int32_t) + encoded_block_size(c, n);
+}
+
+}  // namespace
+
+SzpView parse_szp(std::span<const uint8_t> bytes) {
+  if (bytes.size() < sizeof(FzHeader)) throw FormatError("szp stream shorter than header");
+  SzpView v;
+  std::memcpy(&v.header, bytes.data(), sizeof(FzHeader));
+  if (v.header.magic != kSzpMagic) throw FormatError("bad magic: not an ompSZp stream");
+  if (v.header.version != kFormatVersion) throw FormatError("unsupported szp version");
+  if (v.header.block_len == 0 || v.header.block_len > kMaxBlockLen) {
+    throw FormatError("szp block length out of range");
+  }
+  const size_t nblocks = v.header.num_chunks;
+  const size_t expect_blocks =
+      v.header.num_elements == 0
+          ? 0
+          : (v.header.num_elements + v.header.block_len - 1) / v.header.block_len;
+  if (nblocks != expect_blocks) throw FormatError("szp block count inconsistent");
+  if (bytes.size() < sizeof(FzHeader) + nblocks) {
+    throw FormatError("szp stream shorter than block metadata");
+  }
+  v.block_meta = bytes.subspan(sizeof(FzHeader), nblocks);
+  v.payload = bytes.subspan(sizeof(FzHeader) + nblocks);
+  for (size_t b = 0; b < nblocks; ++b) {
+    const uint8_t m = v.block_meta[b];
+    if (m != kSzpZeroBlock && m > kMaxCodeLength) {
+      throw FormatError("szp metadata carries invalid code length");
+    }
+  }
+  return v;
+}
+
+CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& params) {
+  if (!(params.abs_error_bound > 0.0)) throw Error("szp_compress: error bound must be positive");
+  if (params.block_len == 0 || params.block_len > kMaxBlockLen) {
+    throw Error("szp_compress: block_len must be in 1..512");
+  }
+  const size_t d = data.size();
+  const uint32_t block_len = params.block_len;
+  const size_t nblocks = d == 0 ? 0 : (d + block_len - 1) / block_len;
+  const Quantizer quant(params.abs_error_bound);
+
+  std::vector<uint8_t> meta(nblocks, 0);
+  std::vector<size_t> sizes(nblocks + 1, 0);
+
+  ScopedNumThreads scoped(params.num_threads);
+
+  // Phase 1: measure every block.  Round-robin assignment reproduces
+  // cuSZp's thread-to-block mapping (thread t handles blocks t, t+T, ...),
+  // which hops across distant memory on a CPU.
+  OmpExceptionCollector scan_errors;
+#pragma omp parallel
+  {
+    const size_t tid = static_cast<size_t>(omp_get_thread_num());
+    const size_t nthreads = static_cast<size_t>(omp_get_num_threads());
+    for (size_t b = tid; b < nblocks; b += nthreads) {
+      scan_errors.run([&, b] {
+        const size_t begin = b * block_len;
+        const size_t n = std::min<size_t>(block_len, d - begin);
+        const BlockScan s = scan_block(data.data() + begin, n, quant);
+        const uint8_t m = s.all_zero ? kSzpZeroBlock : static_cast<uint8_t>(s.code_len);
+        meta[b] = m;
+        sizes[b + 1] = block_payload_size(m, n);
+      });
+    }
+  }
+  scan_errors.rethrow();
+
+  // Global size scan — the stand-in for cuSZp's device-wide synchronization
+  // that fZ-light's per-chunk design eliminates.
+  for (size_t b = 0; b < nblocks; ++b) sizes[b + 1] += sizes[b];
+  const size_t payload_bytes = sizes[nblocks];
+
+  CompressedBuffer result;
+  result.bytes.resize(sizeof(FzHeader) + nblocks + payload_bytes);
+  std::memcpy(result.bytes.data() + sizeof(FzHeader), meta.data(), nblocks);
+  uint8_t* const payload = result.bytes.data() + sizeof(FzHeader) + nblocks;
+
+  // Phase 2: re-quantize and write at the scanned offsets.
+  OmpExceptionCollector write_errors;
+#pragma omp parallel
+  {
+    const size_t tid = static_cast<size_t>(omp_get_thread_num());
+    const size_t nthreads = static_cast<size_t>(omp_get_num_threads());
+    int32_t rbuf[kMaxBlockLen];
+    for (size_t b = tid; b < nblocks; b += nthreads) {
+      if (meta[b] == kSzpZeroBlock) continue;
+      write_errors.run([&, b] {
+        const size_t begin = b * block_len;
+        const size_t n = std::min<size_t>(block_len, d - begin);
+        uint8_t* out = payload + sizes[b];
+        int32_t q_prev = quant.quantize(data[begin]);
+        std::memcpy(out, &q_prev, sizeof(int32_t));
+        out += sizeof(int32_t);
+        if (meta[b] == 0) return;  // constant block
+        rbuf[0] = 0;
+        for (size_t i = 1; i < n; ++i) {
+          const int32_t q = quant.quantize(data[begin + i]);
+          rbuf[i] = q - q_prev;
+          q_prev = q;
+        }
+        encode_block(rbuf, n, out);
+      });
+    }
+  }
+  write_errors.rethrow();
+
+  FzHeader header;
+  header.magic = kSzpMagic;
+  header.version = kFormatVersion;
+  header.num_elements = d;
+  header.block_len = block_len;
+  header.num_chunks = static_cast<uint32_t>(nblocks);
+  header.error_bound = params.abs_error_bound;
+  std::memcpy(result.bytes.data(), &header, sizeof header);
+  return result;
+}
+
+void szp_decompress(const CompressedBuffer& compressed, std::span<float> out, int num_threads) {
+  const SzpView v = parse_szp(compressed.bytes);
+  if (out.size() != v.num_elements()) throw Error("szp_decompress: output size mismatch");
+  const size_t d = v.num_elements();
+  const uint32_t block_len = v.block_len();
+  const size_t nblocks = v.num_blocks();
+  const Quantizer quant(v.error_bound());
+
+  // Offset reconstruction scan (the decompression-side analogue of the
+  // global synchronization).
+  std::vector<size_t> offsets(nblocks + 1, 0);
+  for (size_t b = 0; b < nblocks; ++b) {
+    const size_t begin = b * block_len;
+    const size_t n = std::min<size_t>(block_len, d - begin);
+    offsets[b + 1] = offsets[b] + block_payload_size(v.block_meta[b], n);
+  }
+  if (offsets[nblocks] != v.payload.size()) {
+    throw FormatError("szp payload size disagrees with metadata");
+  }
+
+  ScopedNumThreads scoped(num_threads);
+  OmpExceptionCollector errors;
+#pragma omp parallel
+  {
+    const size_t tid = static_cast<size_t>(omp_get_thread_num());
+    const size_t nthreads = static_cast<size_t>(omp_get_num_threads());
+    int32_t rbuf[kMaxBlockLen];
+    for (size_t b = tid; b < nblocks; b += nthreads) {
+      errors.run([&, b] {
+        const size_t begin = b * block_len;
+        const size_t n = std::min<size_t>(block_len, d - begin);
+        const uint8_t m = v.block_meta[b];
+        if (m == kSzpZeroBlock) {
+          std::memset(out.data() + begin, 0, n * sizeof(float));
+          return;
+        }
+        const uint8_t* src = v.payload.data() + offsets[b];
+        int32_t outlier;
+        std::memcpy(&outlier, src, sizeof(int32_t));
+        src += sizeof(int32_t);
+        if (m == 0) {
+          const float value = quant.dequantize(outlier);
+          std::fill_n(out.data() + begin, n, value);
+          return;
+        }
+        const uint8_t* end = src + encoded_block_size(m, n);
+        if (*src != m) throw FormatError("szp block code length disagrees with metadata");
+        decode_block(src, end, n, rbuf);
+        int64_t q = outlier;
+        for (size_t i = 0; i < n; ++i) {
+          q += rbuf[i];
+          out[begin + i] = quant.dequantize(static_cast<int64_t>(q));
+        }
+      });
+    }
+  }
+  errors.rethrow();
+}
+
+std::vector<float> szp_decompress(const CompressedBuffer& compressed, int num_threads) {
+  const SzpView v = parse_szp(compressed.bytes);
+  std::vector<float> out(v.num_elements());
+  szp_decompress(compressed, out, num_threads);
+  return out;
+}
+
+}  // namespace hzccl

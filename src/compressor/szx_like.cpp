@@ -1,0 +1,187 @@
+#include "hzccl/compressor/szx_like.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include <omp.h>
+
+#include "hzccl/util/threading.hpp"
+
+namespace hzccl {
+namespace {
+
+constexpr uint32_t kMaxBlockLen = 512;
+constexpr uint8_t kSzxConstant = 0;
+
+/// Kept-bytes-per-float for a non-constant block whose max |value| is A:
+/// truncating to k big-end bytes keeps (8k - 9) mantissa bits, so the
+/// truncation error is below A * 2^(10 - 8k); pick the smallest k that
+/// meets the bound (k = 4 is lossless).
+uint8_t kept_bytes_for(double max_abs, double eb) {
+  for (int k = 2; k <= 3; ++k) {
+    if (max_abs * std::ldexp(1.0, 10 - 8 * k) <= eb) return static_cast<uint8_t>(k);
+  }
+  return 4;
+}
+
+size_t block_payload_size(uint8_t meta, size_t n) {
+  if (meta == kSzxConstant) return sizeof(float);
+  return n * meta;
+}
+
+}  // namespace
+
+SzxView parse_szx(std::span<const uint8_t> bytes) {
+  if (bytes.size() < sizeof(FzHeader)) throw FormatError("szx stream shorter than header");
+  SzxView v;
+  std::memcpy(&v.header, bytes.data(), sizeof(FzHeader));
+  if (v.header.magic != kSzxMagic) throw FormatError("bad magic: not an SZx-like stream");
+  if (v.header.version != kFormatVersion) throw FormatError("unsupported szx version");
+  if (v.header.block_len == 0 || v.header.block_len > kMaxBlockLen) {
+    throw FormatError("szx block length out of range");
+  }
+  const size_t nblocks = v.header.num_chunks;
+  const size_t expect_blocks =
+      v.header.num_elements == 0
+          ? 0
+          : (v.header.num_elements + v.header.block_len - 1) / v.header.block_len;
+  if (nblocks != expect_blocks) throw FormatError("szx block count inconsistent");
+  if (bytes.size() < sizeof(FzHeader) + nblocks) {
+    throw FormatError("szx stream shorter than block metadata");
+  }
+  v.block_meta = bytes.subspan(sizeof(FzHeader), nblocks);
+  v.payload = bytes.subspan(sizeof(FzHeader) + nblocks);
+  for (size_t b = 0; b < nblocks; ++b) {
+    const uint8_t m = v.block_meta[b];
+    if (m != kSzxConstant && (m < 2 || m > 4)) {
+      throw FormatError("szx metadata carries invalid kept-byte count");
+    }
+  }
+  return v;
+}
+
+CompressedBuffer szx_compress(std::span<const float> data, const SzxParams& params) {
+  if (!(params.abs_error_bound > 0.0)) throw Error("szx_compress: error bound must be positive");
+  if (params.block_len == 0 || params.block_len > kMaxBlockLen) {
+    throw Error("szx_compress: block_len must be in 1..512");
+  }
+  const size_t d = data.size();
+  const uint32_t block_len = params.block_len;
+  const size_t nblocks = d == 0 ? 0 : (d + block_len - 1) / block_len;
+  const double eb = params.abs_error_bound;
+
+  std::vector<uint8_t> meta(nblocks, 0);
+  std::vector<float> midranges(nblocks, 0.0f);
+  std::vector<size_t> sizes(nblocks + 1, 0);
+
+  ScopedNumThreads scoped(params.num_threads);
+
+  // Phase 1: classify every block (SZx's single cheap pass).
+#pragma omp parallel for schedule(static)
+  for (size_t b = 0; b < nblocks; ++b) {
+    const size_t begin = b * block_len;
+    const size_t n = std::min<size_t>(block_len, d - begin);
+    float mn = data[begin], mx = data[begin];
+    float max_abs = std::abs(data[begin]);
+    for (size_t i = 1; i < n; ++i) {
+      const float v = data[begin + i];
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+      max_abs = std::max(max_abs, std::abs(v));
+    }
+    if (static_cast<double>(mx) - mn <= 2.0 * eb) {
+      meta[b] = kSzxConstant;
+      midranges[b] = static_cast<float>(0.5 * (static_cast<double>(mn) + mx));
+    } else {
+      meta[b] = kept_bytes_for(max_abs, eb);
+    }
+    sizes[b + 1] = block_payload_size(meta[b], n);
+  }
+  for (size_t b = 0; b < nblocks; ++b) sizes[b + 1] += sizes[b];
+
+  CompressedBuffer result;
+  result.bytes.resize(sizeof(FzHeader) + nblocks + sizes[nblocks]);
+  std::memcpy(result.bytes.data() + sizeof(FzHeader), meta.data(), nblocks);
+  uint8_t* const payload = result.bytes.data() + sizeof(FzHeader) + nblocks;
+
+  // Phase 2: emit midranges / truncated floats.
+#pragma omp parallel for schedule(static)
+  for (size_t b = 0; b < nblocks; ++b) {
+    const size_t begin = b * block_len;
+    const size_t n = std::min<size_t>(block_len, d - begin);
+    uint8_t* out = payload + sizes[b];
+    if (meta[b] == kSzxConstant) {
+      std::memcpy(out, &midranges[b], sizeof(float));
+      continue;
+    }
+    const int k = meta[b];
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t bits;
+      std::memcpy(&bits, &data[begin + i], sizeof bits);
+      // Keep the k most significant bytes (sign + exponent + top mantissa).
+      for (int byte = 0; byte < k; ++byte) {
+        out[i * k + byte] = static_cast<uint8_t>(bits >> (8 * (3 - byte)));
+      }
+    }
+  }
+
+  FzHeader header;
+  header.magic = kSzxMagic;
+  header.version = kFormatVersion;
+  header.num_elements = d;
+  header.block_len = block_len;
+  header.num_chunks = static_cast<uint32_t>(nblocks);
+  header.error_bound = eb;
+  std::memcpy(result.bytes.data(), &header, sizeof header);
+  return result;
+}
+
+void szx_decompress(const CompressedBuffer& compressed, std::span<float> out, int num_threads) {
+  const SzxView v = parse_szx(compressed.bytes);
+  if (out.size() != v.num_elements()) throw Error("szx_decompress: output size mismatch");
+  const size_t d = v.num_elements();
+  const uint32_t block_len = v.block_len();
+  const size_t nblocks = v.num_blocks();
+
+  std::vector<size_t> offsets(nblocks + 1, 0);
+  for (size_t b = 0; b < nblocks; ++b) {
+    const size_t begin = b * block_len;
+    const size_t n = std::min<size_t>(block_len, d - begin);
+    offsets[b + 1] = offsets[b] + block_payload_size(v.block_meta[b], n);
+  }
+  if (offsets[nblocks] != v.payload.size()) {
+    throw FormatError("szx payload size disagrees with metadata");
+  }
+
+  ScopedNumThreads scoped(num_threads);
+#pragma omp parallel for schedule(static)
+  for (size_t b = 0; b < nblocks; ++b) {
+    const size_t begin = b * block_len;
+    const size_t n = std::min<size_t>(block_len, d - begin);
+    const uint8_t* src = v.payload.data() + offsets[b];
+    if (v.block_meta[b] == kSzxConstant) {
+      float value;
+      std::memcpy(&value, src, sizeof value);
+      std::fill_n(out.data() + begin, n, value);
+      continue;
+    }
+    const int k = v.block_meta[b];
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t bits = 0;
+      for (int byte = 0; byte < k; ++byte) {
+        bits |= static_cast<uint32_t>(src[i * k + byte]) << (8 * (3 - byte));
+      }
+      std::memcpy(&out[begin + i], &bits, sizeof(float));
+    }
+  }
+}
+
+std::vector<float> szx_decompress(const CompressedBuffer& compressed, int num_threads) {
+  const SzxView v = parse_szx(compressed.bytes);
+  std::vector<float> out(v.num_elements());
+  szx_decompress(compressed, out, num_threads);
+  return out;
+}
+
+}  // namespace hzccl

@@ -1,0 +1,102 @@
+#include "hzccl/core/hzccl.hpp"
+
+#include <mutex>
+
+namespace hzccl {
+
+std::string version() { return "1.0.0"; }
+
+std::string kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kMpi: return "MPI";
+    case Kernel::kCCollMultiThread: return "C-Coll (multi-thread)";
+    case Kernel::kHzcclMultiThread: return "hZCCL (multi-thread)";
+    case Kernel::kCCollSingleThread: return "C-Coll (single-thread)";
+    case Kernel::kHzcclSingleThread: return "hZCCL (single-thread)";
+  }
+  throw Error("kernel_name: bad kernel");
+}
+
+bool kernel_uses_compression(Kernel k) { return k != Kernel::kMpi; }
+
+simmpi::Mode kernel_mode(Kernel k) {
+  switch (k) {
+    case Kernel::kMpi:
+    case Kernel::kCCollMultiThread:
+    case Kernel::kHzcclMultiThread: return simmpi::Mode::kMultiThread;
+    case Kernel::kCCollSingleThread:
+    case Kernel::kHzcclSingleThread: return simmpi::Mode::kSingleThread;
+  }
+  throw Error("kernel_mode: bad kernel");
+}
+
+std::string op_name(Op op) {
+  return op == Op::kReduceScatter ? "Reduce_scatter" : "Allreduce";
+}
+
+JobResult run_collective(Kernel kernel, Op op, const JobConfig& config,
+                         const RankInputFn& rank_input) {
+  simmpi::Runtime runtime(config.nranks, config.net);
+  const coll::CollectiveConfig cc = config.collective_config(kernel_mode(kernel));
+
+  JobResult result;
+  std::mutex result_mutex;
+
+  auto rank_fn = [&](simmpi::Comm& comm) {
+    const std::vector<float> input = rank_input(comm.rank());
+    std::vector<float> output;
+    HzPipelineStats stats;
+
+    switch (kernel) {
+      case Kernel::kMpi:
+        if (op == Op::kReduceScatter) {
+          coll::raw_reduce_scatter(comm, input, output, cc);
+        } else {
+          coll::raw_allreduce(comm, input, output, cc);
+        }
+        break;
+      case Kernel::kCCollMultiThread:
+      case Kernel::kCCollSingleThread:
+        if (op == Op::kReduceScatter) {
+          coll::ccoll_reduce_scatter(comm, input, output, cc);
+        } else {
+          coll::ccoll_allreduce(comm, input, output, cc);
+        }
+        break;
+      case Kernel::kHzcclMultiThread:
+      case Kernel::kHzcclSingleThread:
+        if (op == Op::kReduceScatter) {
+          coll::hzccl_reduce_scatter(comm, input, output, cc, &stats);
+        } else {
+          coll::hzccl_allreduce(comm, input, output, cc, &stats);
+        }
+        break;
+    }
+
+    std::lock_guard<std::mutex> lock(result_mutex);
+    result.pipeline_stats += stats;
+    if (comm.rank() == 0) {
+      result.rank0_output = std::move(output);
+      result.input_bytes_per_rank = input.size() * sizeof(float);
+    }
+  };
+
+  result.per_rank = runtime.run(rank_fn);
+  result.slowest = simmpi::Runtime::slowest(result.per_rank);
+  return result;
+}
+
+std::vector<float> exact_reduction(int nranks, const RankInputFn& rank_input) {
+  std::vector<double> acc;
+  for (int r = 0; r < nranks; ++r) {
+    const std::vector<float> input = rank_input(r);
+    if (acc.empty()) acc.resize(input.size(), 0.0);
+    if (acc.size() != input.size()) throw Error("exact_reduction: rank inputs differ in size");
+    for (size_t i = 0; i < input.size(); ++i) acc[i] += input[i];
+  }
+  std::vector<float> out(acc.size());
+  for (size_t i = 0; i < acc.size(); ++i) out[i] = static_cast<float>(acc[i]);
+  return out;
+}
+
+}  // namespace hzccl

@@ -1,0 +1,60 @@
+#include "hzccl/datasets/io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+
+#include "hzccl/util/error.hpp"
+
+namespace hzccl {
+
+std::vector<float> load_f32(const std::string& path) { return load_f32(path, 0); }
+
+std::vector<float> load_f32(const std::string& path, size_t max_elements) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw Error("cannot open " + path);
+  const auto bytes = static_cast<size_t>(in.tellg());
+  size_t count = bytes / sizeof(float);
+  if (max_elements > 0) count = std::min(count, max_elements);
+  std::vector<float> data(count);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  if (!in) throw Error("short read from " + path);
+  return data;
+}
+
+void store_f32(const std::string& path, std::span<const float> data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot create " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size_bytes()));
+  if (!out) throw Error("short write to " + path);
+}
+
+void store_pgm(const std::string& path, std::span<const float> data, size_t width,
+               size_t height) {
+  if (data.size() != width * height) throw Error("store_pgm: dims mismatch");
+  float mn = std::numeric_limits<float>::infinity();
+  float mx = -mn;
+  for (float v : data) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  const float span = (mx > mn) ? (mx - mn) : 1.0f;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot create " + path);
+  out << "P5\n" << width << " " << height << "\n255\n";
+  std::vector<uint8_t> row(width);
+  for (size_t y = 0; y < height; ++y) {
+    for (size_t x = 0; x < width; ++x) {
+      const float norm = (data[y * width + x] - mn) / span;
+      row[x] = static_cast<uint8_t>(std::clamp(norm, 0.0f, 1.0f) * 255.0f + 0.5f);
+    }
+    out.write(reinterpret_cast<const char*>(row.data()), static_cast<std::streamsize>(width));
+  }
+  if (!out) throw Error("short write to " + path);
+}
+
+}  // namespace hzccl

@@ -1,0 +1,111 @@
+#include "hzccl/datasets/registry.hpp"
+
+#include <array>
+
+#include "hzccl/util/error.hpp"
+
+namespace hzccl {
+namespace {
+
+constexpr std::array<DatasetId, 5> kAll = {
+    DatasetId::kRtmSim1, DatasetId::kRtmSim2, DatasetId::kNyx,
+    DatasetId::kCesmAtm, DatasetId::kHurricane};
+
+// Seeds are namespaced per dataset so "field k of NYX" never aliases
+// "field k of Hurricane".
+uint64_t dataset_seed(DatasetId id, uint32_t field_index) {
+  return (static_cast<uint64_t>(id) + 1) * 0x51D0'0000ULL + field_index * 7919ULL + 42ULL;
+}
+
+}  // namespace
+
+std::span<const DatasetId> all_datasets() { return kAll; }
+
+std::string dataset_name(DatasetId id) {
+  switch (id) {
+    case DatasetId::kRtmSim1: return "Sim. Set. 1";
+    case DatasetId::kRtmSim2: return "Sim. Set. 2";
+    case DatasetId::kNyx: return "NYX";
+    case DatasetId::kCesmAtm: return "CESM-ATM";
+    case DatasetId::kHurricane: return "Hurricane";
+  }
+  throw Error("dataset_name: bad id");
+}
+
+std::string dataset_slug(DatasetId id) {
+  switch (id) {
+    case DatasetId::kRtmSim1: return "rtm_sim1";
+    case DatasetId::kRtmSim2: return "rtm_sim2";
+    case DatasetId::kNyx: return "nyx";
+    case DatasetId::kCesmAtm: return "cesm_atm";
+    case DatasetId::kHurricane: return "hurricane";
+  }
+  throw Error("dataset_slug: bad id");
+}
+
+DatasetId parse_dataset(const std::string& name) {
+  for (DatasetId id : kAll) {
+    if (name == dataset_slug(id) || name == dataset_name(id)) return id;
+  }
+  throw Error("unknown dataset: " + name);
+}
+
+Dims dataset_dims(DatasetId id, Scale scale) {
+  // Per-scale base edge; each dataset keeps its characteristic aspect ratio
+  // from Table I (CESM 2-D wide, Hurricane shallow-z, RTM deep-z cubes).
+  size_t e = 0;
+  switch (scale) {
+    case Scale::kTiny: e = 32; break;
+    case Scale::kSmall: e = 64; break;
+    case Scale::kMedium: e = 128; break;
+    case Scale::kLarge: e = 256; break;
+  }
+  switch (id) {
+    case DatasetId::kRtmSim1: return {e * 2, e * 2, e};        // 449x449x235-like
+    case DatasetId::kRtmSim2: return {e * 2, e * 2, e / 2};     // 849x849x235-like
+    case DatasetId::kNyx: return {e, e, e};                     // 512^3-like cube
+    case DatasetId::kCesmAtm: return {e * 8, e * 4, 1};         // 1800x3600 2-D
+    case DatasetId::kHurricane: return {e * 2, e * 2, e / 4};   // 100x500x500-like
+  }
+  throw Error("dataset_dims: bad id");
+}
+
+std::vector<float> generate_field(DatasetId id, Scale scale, uint32_t field_index) {
+  const Dims dims = dataset_dims(id, scale);
+  const uint64_t seed = dataset_seed(id, field_index);
+  switch (id) {
+    case DatasetId::kRtmSim1: return rtm_sim1_field(dims, seed);
+    case DatasetId::kRtmSim2: return rtm_sim2_field(dims, seed);
+    case DatasetId::kNyx: return nyx_field(dims, seed);
+    case DatasetId::kCesmAtm: return cesm_atm_field(dims, seed);
+    case DatasetId::kHurricane: return hurricane_field(dims, seed);
+  }
+  throw Error("generate_field: bad id");
+}
+
+std::vector<float> generate_correlated_field(DatasetId id, Scale scale, uint32_t member) {
+  const Dims dims = dataset_dims(id, scale);
+  const uint64_t structure = dataset_seed(id, 0);
+  const uint64_t texture = dataset_seed(id, member) ^ 0x7EC7;
+  switch (id) {
+    case DatasetId::kRtmSim1: return rtm_sim1_field(dims, structure, texture);
+    case DatasetId::kRtmSim2: return rtm_sim2_field(dims, structure, texture);
+    default: {
+      // Identical support, member-dependent amplitude: the degenerate but
+      // support-preserving correlation model for the non-RTM datasets.
+      std::vector<float> f = generate_field(id, scale, 0);
+      const float scale_factor = 1.0f + 0.05f * static_cast<float>(member % 16);
+      for (float& v : f) v *= scale_factor;
+      return f;
+    }
+  }
+}
+
+std::vector<std::vector<float>> generate_fields(DatasetId id, Scale scale, uint32_t count) {
+  std::vector<std::vector<float>> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) out.push_back(generate_field(id, scale, i));
+  return out;
+}
+
+}  // namespace hzccl

@@ -1,0 +1,165 @@
+#include "hzccl/homomorphic/hz_dynamic.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "hzccl/compressor/fixed_len.hpp"
+#include "hzccl/util/threading.hpp"
+
+namespace hzccl {
+namespace {
+
+constexpr uint32_t kMaxBlockLen = 512;
+
+int32_t checked_outlier_sum(int32_t a, int32_t b) {
+  const int64_t s = static_cast<int64_t>(a) + b;
+  if (s > std::numeric_limits<int32_t>::max() || s < std::numeric_limits<int32_t>::min()) {
+    throw HomomorphicOverflowError("chunk outlier sum overflows int32");
+  }
+  return static_cast<int32_t>(s);
+}
+
+/// Homomorphically reduce one chunk pair into `out`; returns bytes written.
+size_t hz_add_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
+                    size_t chunk_elems, uint32_t block_len, uint8_t* out,
+                    HzPipelineStats& stats) {
+  uint8_t* const out_begin = out;
+  const uint8_t* pa = ca.data();
+  const uint8_t* const ea = pa + ca.size();
+  const uint8_t* pb = cb.data();
+  const uint8_t* const eb = pb + cb.size();
+
+  int32_t ra[kMaxBlockLen];
+  int32_t rb[kMaxBlockLen];
+  uint32_t mags[kMaxBlockLen];
+  uint32_t signs[kMaxBlockLen];
+
+  size_t remaining = chunk_elems;
+  while (remaining > 0) {
+    const size_t n = std::min<size_t>(block_len, remaining);
+    const size_t size_a = peek_block_size(pa, ea, n);
+    const size_t size_b = peek_block_size(pb, eb, n);
+    const int x = *pa;
+    const int y = *pb;
+
+    if (x == 0 && y == 0) {
+      // Pipeline 1: both constant — the sum is constant too; one byte out.
+      *out++ = 0;
+      ++stats.p1;
+    } else if (x == 0) {
+      // Pipeline 2: a is constant (all residuals zero), so a + b has exactly
+      // b's residual stream; copy b's block verbatim.
+      std::memcpy(out, pb, size_b);
+      out += size_b;
+      ++stats.p2;
+      stats.copied_bytes += size_b;
+    } else if (y == 0) {
+      // Pipeline 3: mirror of 2.
+      std::memcpy(out, pa, size_a);
+      out += size_a;
+      ++stats.p3;
+      stats.copied_bytes += size_a;
+    } else {
+      // Pipeline 4: partial decode (IFE), integer add, re-encode (FE).
+      decode_block(pa, ea, n, ra);
+      decode_block(pb, eb, n, rb);
+      uint32_t max_mag = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const int64_t s = static_cast<int64_t>(ra[i]) + rb[i];
+        if (s > std::numeric_limits<int32_t>::max() ||
+            s < std::numeric_limits<int32_t>::min()) {
+          throw HomomorphicOverflowError("residual sum overflows the 31-bit magnitude domain");
+        }
+        const uint32_t neg = static_cast<uint32_t>(s < 0);
+        const uint32_t mag = neg ? static_cast<uint32_t>(-s) : static_cast<uint32_t>(s);
+        mags[i] = mag;
+        signs[i] = neg;
+        max_mag |= mag;
+      }
+      out = encode_block_prepared(mags, signs, n, code_length_for(max_mag), out);
+      ++stats.p4;
+      stats.p4_elements += n;
+    }
+
+    pa += size_a;
+    pb += size_b;
+    remaining -= n;
+  }
+  if (pa != ea || pb != eb) {
+    throw FormatError("hz_add: chunk payload longer than its block grid");
+  }
+  return static_cast<size_t>(out - out_begin);
+}
+
+}  // namespace
+
+double HzPipelineStats::percent(int pipeline) const {
+  const uint64_t total = blocks();
+  if (total == 0) return 0.0;
+  uint64_t v = 0;
+  switch (pipeline) {
+    case 1: v = p1; break;
+    case 2: v = p2; break;
+    case 3: v = p3; break;
+    case 4: v = p4; break;
+    default: throw Error("HzPipelineStats::percent: pipeline must be 1..4");
+  }
+  return 100.0 * static_cast<double>(v) / static_cast<double>(total);
+}
+
+HzPipelineStats& HzPipelineStats::operator+=(const HzPipelineStats& o) {
+  p1 += o.p1;
+  p2 += o.p2;
+  p3 += o.p3;
+  p4 += o.p4;
+  copied_bytes += o.copied_bytes;
+  p4_elements += o.p4_elements;
+  return *this;
+}
+
+CompressedBuffer hz_add(const FzView& a, const FzView& b, HzPipelineStats* stats,
+                        int num_threads) {
+  require_layout_compatible(a, b);
+  const size_t d = a.num_elements();
+  const uint32_t nchunks = a.num_chunks();
+  const uint32_t block_len = a.block_len();
+
+  // Pipeline 4 can grow a block's code length by one bit, but the
+  // assembler's global worst case (code length 31) still bounds every
+  // outcome.
+  ChunkedStreamAssembler assembler(a.header);
+  std::vector<HzPipelineStats> chunk_stats(nchunks);
+
+  {
+    ScopedNumThreads scoped(num_threads);
+    OmpExceptionCollector errors;
+#pragma omp parallel for schedule(static)
+    for (uint32_t c = 0; c < nchunks; ++c) {
+      errors.run([&, c] {
+        const Range r = chunk_range(d, static_cast<int>(nchunks), static_cast<int>(c));
+        const int32_t outlier = checked_outlier_sum(a.chunk_outliers[c], b.chunk_outliers[c]);
+        size_t size = 0;
+        if (r.size() > 0) {
+          size = hz_add_chunk(a.chunk_payload(c), b.chunk_payload(c), r.size(), block_len,
+                              assembler.chunk_buffer(c), chunk_stats[c]);
+        }
+        assembler.set_chunk(c, size, outlier);
+      });
+    }
+    errors.rethrow();
+  }
+
+  if (stats) {
+    for (const auto& s : chunk_stats) *stats += s;
+  }
+  return assembler.finish();
+}
+
+CompressedBuffer hz_add(const CompressedBuffer& a, const CompressedBuffer& b,
+                        HzPipelineStats* stats, int num_threads) {
+  return hz_add(parse_fz(a.bytes), parse_fz(b.bytes), stats, num_threads);
+}
+
+}  // namespace hzccl

@@ -1,0 +1,278 @@
+#include "hzccl/homomorphic/hz_ops.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "hzccl/compressor/fixed_len.hpp"
+#include "hzccl/util/threading.hpp"
+
+namespace hzccl {
+namespace {
+
+constexpr uint32_t kMaxBlockLen = 512;
+
+int32_t checked_i32(int64_t v, const char* what) {
+  if (v > std::numeric_limits<int32_t>::max() || v < std::numeric_limits<int32_t>::min()) {
+    throw HomomorphicOverflowError(std::string(what) + " overflows int32");
+  }
+  return static_cast<int32_t>(v);
+}
+
+/// Copy one encoded block while flipping its sign plane (the negate
+/// primitive).  Decoders read sign bits only where magnitudes are nonzero in
+/// value terms, so flipped signs of zero residuals are harmless but leave
+/// the stream non-canonical; value-level semantics are exact.
+size_t copy_block_negated(const uint8_t* src, const uint8_t* end, size_t n, uint8_t* out) {
+  const size_t size = peek_block_size(src, end, n);
+  std::memcpy(out, src, size);
+  const int c = out[0];
+  if (c > 0) {
+    const size_t sign_bytes = (n + 7) / 8;
+    uint8_t* signs = out + 1;
+    for (size_t b = 0; b < sign_bytes; ++b) signs[b] = static_cast<uint8_t>(~signs[b]);
+    // Keep the padding bits of the tail byte zero (canonical padding).
+    const size_t tail_bits = n % 8;
+    if (tail_bits != 0) {
+      signs[sign_bytes - 1] &= static_cast<uint8_t>((1u << tail_bits) - 1);
+    }
+  }
+  return size;
+}
+
+/// Per-chunk scale: decode, multiply, re-encode (copy fast paths for the
+/// trivial factors are handled by the callers).
+size_t scale_chunk(std::span<const uint8_t> ca, size_t chunk_elems, uint32_t block_len,
+                   int64_t factor, uint8_t* out) {
+  uint8_t* const out_begin = out;
+  const uint8_t* pa = ca.data();
+  const uint8_t* const ea = pa + ca.size();
+
+  int32_t rbuf[kMaxBlockLen];
+  uint32_t mags[kMaxBlockLen];
+  uint32_t signs[kMaxBlockLen];
+
+  size_t remaining = chunk_elems;
+  while (remaining > 0) {
+    const size_t n = std::min<size_t>(block_len, remaining);
+    const size_t size_a = peek_block_size(pa, ea, n);
+    if (*pa == 0) {
+      // Constant block: k * 0-residuals stay zero.
+      *out++ = 0;
+    } else {
+      decode_block(pa, ea, n, rbuf);
+      uint32_t max_mag = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const int64_t s = static_cast<int64_t>(rbuf[i]) * factor;
+        const int32_t r = checked_i32(s, "scaled residual");
+        const uint32_t neg = static_cast<uint32_t>(r < 0);
+        const uint32_t mag =
+            neg ? static_cast<uint32_t>(-static_cast<int64_t>(r)) : static_cast<uint32_t>(r);
+        mags[i] = mag;
+        signs[i] = neg;
+        max_mag |= mag;
+      }
+      out = encode_block_prepared(mags, signs, n, code_length_for(max_mag), out);
+    }
+    pa += size_a;
+    remaining -= n;
+  }
+  if (pa != ea) throw FormatError("hz_scale: chunk payload longer than its block grid");
+  return static_cast<size_t>(out - out_begin);
+}
+
+/// Per-chunk subtract with the four-pipeline dispatch (mirror of
+/// hz_add_chunk; the y-copy pipelines negate on the fly).
+size_t sub_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb, size_t chunk_elems,
+                 uint32_t block_len, uint8_t* out, HzPipelineStats& stats) {
+  uint8_t* const out_begin = out;
+  const uint8_t* pa = ca.data();
+  const uint8_t* const ea = pa + ca.size();
+  const uint8_t* pb = cb.data();
+  const uint8_t* const eb = pb + cb.size();
+
+  int32_t ra[kMaxBlockLen];
+  int32_t rb[kMaxBlockLen];
+  uint32_t mags[kMaxBlockLen];
+  uint32_t signs[kMaxBlockLen];
+
+  size_t remaining = chunk_elems;
+  while (remaining > 0) {
+    const size_t n = std::min<size_t>(block_len, remaining);
+    const size_t size_a = peek_block_size(pa, ea, n);
+    const size_t size_b = peek_block_size(pb, eb, n);
+    const int x = *pa;
+    const int y = *pb;
+
+    if (x == 0 && y == 0) {
+      *out++ = 0;
+      ++stats.p1;
+    } else if (x == 0) {
+      out += copy_block_negated(pb, eb, n, out);  // 0 - b = -b
+      ++stats.p2;
+      stats.copied_bytes += size_b;
+    } else if (y == 0) {
+      std::memcpy(out, pa, size_a);  // a - 0 = a
+      out += size_a;
+      ++stats.p3;
+      stats.copied_bytes += size_a;
+    } else {
+      decode_block(pa, ea, n, ra);
+      decode_block(pb, eb, n, rb);
+      uint32_t max_mag = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const int64_t s = static_cast<int64_t>(ra[i]) - rb[i];
+        const int32_t r = checked_i32(s, "residual difference");
+        const uint32_t neg = static_cast<uint32_t>(r < 0);
+        const uint32_t mag =
+            neg ? static_cast<uint32_t>(-static_cast<int64_t>(r)) : static_cast<uint32_t>(r);
+        mags[i] = mag;
+        signs[i] = neg;
+        max_mag |= mag;
+      }
+      out = encode_block_prepared(mags, signs, n, code_length_for(max_mag), out);
+      ++stats.p4;
+      stats.p4_elements += n;
+    }
+    pa += size_a;
+    pb += size_b;
+    remaining -= n;
+  }
+  if (pa != ea || pb != eb) {
+    throw FormatError("hz_sub: chunk payload longer than its block grid");
+  }
+  return static_cast<size_t>(out - out_begin);
+}
+
+/// Shared driver: apply `chunk_fn(c, range, out) -> (size, outlier)` across
+/// all chunks in parallel and assemble the stream.
+template <class ChunkFn>
+CompressedBuffer assemble_parallel(const FzHeader& header, int num_threads,
+                                   const ChunkFn& chunk_fn) {
+  ChunkedStreamAssembler assembler(header);
+  ScopedNumThreads scoped(num_threads);
+  OmpExceptionCollector errors;
+#pragma omp parallel for schedule(static)
+  for (uint32_t c = 0; c < assembler.num_chunks(); ++c) {
+    errors.run([&, c] {
+      const Range r = chunk_range(header.num_elements,
+                                  static_cast<int>(header.num_chunks), static_cast<int>(c));
+      const auto [size, outlier] = chunk_fn(c, r, assembler.chunk_buffer(c));
+      assembler.set_chunk(c, size, outlier);
+    });
+  }
+  errors.rethrow();
+  return assembler.finish();
+}
+
+}  // namespace
+
+CompressedBuffer hz_scale(const FzView& a, int32_t factor, int num_threads) {
+  if (factor == 1) {
+    // Identity: re-assemble a verbatim copy of the stream.
+    return assemble_parallel(
+        a.header, num_threads,
+        [&](uint32_t c, const Range& r, uint8_t* out) -> std::pair<size_t, int32_t> {
+          if (r.size() == 0) return {0, a.chunk_outliers[c]};
+          const auto chunk = a.chunk_payload(c);
+          std::memcpy(out, chunk.data(), chunk.size());
+          return {chunk.size(), a.chunk_outliers[c]};
+        });
+  }
+  if (factor == -1) return hz_negate(a, num_threads);
+
+  return assemble_parallel(
+      a.header, num_threads,
+      [&](uint32_t c, const Range& r, uint8_t* out) -> std::pair<size_t, int32_t> {
+        const int32_t outlier = checked_i32(
+            static_cast<int64_t>(a.chunk_outliers[c]) * factor, "scaled outlier");
+        if (r.size() == 0) return {0, outlier};
+        return {scale_chunk(a.chunk_payload(c), r.size(), a.block_len(), factor, out),
+                outlier};
+      });
+}
+
+CompressedBuffer hz_scale(const CompressedBuffer& a, int32_t factor, int num_threads) {
+  return hz_scale(parse_fz(a.bytes), factor, num_threads);
+}
+
+CompressedBuffer hz_negate(const FzView& a, int num_threads) {
+  return assemble_parallel(
+      a.header, num_threads,
+      [&](uint32_t c, const Range& r, uint8_t* out) -> std::pair<size_t, int32_t> {
+        const int32_t outlier =
+            checked_i32(-static_cast<int64_t>(a.chunk_outliers[c]), "negated outlier");
+        if (r.size() == 0) return {0, outlier};
+        const auto chunk = a.chunk_payload(c);
+        const uint8_t* src = chunk.data();
+        const uint8_t* const end = src + chunk.size();
+        uint8_t* const out_begin = out;
+        size_t remaining = r.size();
+        while (remaining > 0) {
+          const size_t n = std::min<size_t>(a.block_len(), remaining);
+          const size_t size = copy_block_negated(src, end, n, out);
+          src += size;
+          out += size;
+          remaining -= n;
+        }
+        if (src != end) throw FormatError("hz_negate: trailing bytes in chunk payload");
+        return {static_cast<size_t>(out - out_begin), outlier};
+      });
+}
+
+CompressedBuffer hz_negate(const CompressedBuffer& a, int num_threads) {
+  return hz_negate(parse_fz(a.bytes), num_threads);
+}
+
+CompressedBuffer hz_sub(const CompressedBuffer& a, const CompressedBuffer& b,
+                        HzPipelineStats* stats, int num_threads) {
+  const FzView va = parse_fz(a.bytes);
+  const FzView vb = parse_fz(b.bytes);
+  require_layout_compatible(va, vb);
+
+  std::vector<HzPipelineStats> chunk_stats(va.num_chunks());
+  CompressedBuffer result = assemble_parallel(
+      va.header, num_threads,
+      [&](uint32_t c, const Range& r, uint8_t* out) -> std::pair<size_t, int32_t> {
+        const int32_t outlier = checked_i32(
+            static_cast<int64_t>(va.chunk_outliers[c]) - vb.chunk_outliers[c],
+            "outlier difference");
+        if (r.size() == 0) return {0, outlier};
+        return {sub_chunk(va.chunk_payload(c), vb.chunk_payload(c), r.size(), va.block_len(),
+                          out, chunk_stats[c]),
+                outlier};
+      });
+  if (stats) {
+    for (const auto& s : chunk_stats) *stats += s;
+  }
+  return result;
+}
+
+CompressedBuffer hz_add_many(std::span<const CompressedBuffer> operands,
+                             HzPipelineStats* stats, int num_threads) {
+  if (operands.empty()) throw Error("hz_add_many: need at least one operand");
+  if (operands.size() == 1) return operands[0];
+
+  // Balanced pairwise tree: level 0 pairs the inputs, later levels pair the
+  // partial sums.
+  std::vector<CompressedBuffer> level;
+  level.reserve((operands.size() + 1) / 2);
+  for (size_t i = 0; i + 1 < operands.size(); i += 2) {
+    level.push_back(hz_add(operands[i], operands[i + 1], stats, num_threads));
+  }
+  if (operands.size() % 2 == 1) level.push_back(operands.back());
+
+  while (level.size() > 1) {
+    std::vector<CompressedBuffer> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(hz_add(level[i], level[i + 1], stats, num_threads));
+    }
+    if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
+    level = std::move(next);
+  }
+  return std::move(level.front());
+}
+
+}  // namespace hzccl

@@ -1,0 +1,101 @@
+#include "hzccl/homomorphic/hz_static.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "hzccl/compressor/fixed_len.hpp"
+#include "hzccl/util/threading.hpp"
+
+namespace hzccl {
+namespace {
+
+/// The static pipeline's per-chunk work: IFE of *every* block of both
+/// operands into full-size integer prediction arrays (the large allocation
+/// the dynamic pipeline avoids), element-wise add, then FE of every block.
+size_t static_add_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
+                        size_t chunk_elems, uint32_t block_len, uint8_t* out,
+                        std::vector<int32_t>& scratch_a, std::vector<int32_t>& scratch_b) {
+  scratch_a.resize(chunk_elems);
+  scratch_b.resize(chunk_elems);
+
+  const uint8_t* pa = ca.data();
+  const uint8_t* const ea = pa + ca.size();
+  const uint8_t* pb = cb.data();
+  const uint8_t* const eb = pb + cb.size();
+  for (size_t pos = 0; pos < chunk_elems; pos += block_len) {
+    const size_t n = std::min<size_t>(block_len, chunk_elems - pos);
+    pa = decode_block(pa, ea, n, scratch_a.data() + pos);
+    pb = decode_block(pb, eb, n, scratch_b.data() + pos);
+  }
+  if (pa != ea || pb != eb) {
+    throw FormatError("hz_add_static: chunk payload longer than its block grid");
+  }
+
+  for (size_t i = 0; i < chunk_elems; ++i) {
+    const int64_t s = static_cast<int64_t>(scratch_a[i]) + scratch_b[i];
+    if (s > std::numeric_limits<int32_t>::max() || s < std::numeric_limits<int32_t>::min()) {
+      throw HomomorphicOverflowError("residual sum overflows the 31-bit magnitude domain");
+    }
+    scratch_a[i] = static_cast<int32_t>(s);
+  }
+
+  uint8_t* const out_begin = out;
+  for (size_t pos = 0; pos < chunk_elems; pos += block_len) {
+    const size_t n = std::min<size_t>(block_len, chunk_elems - pos);
+    out = encode_block(scratch_a.data() + pos, n, out);
+  }
+  return static_cast<size_t>(out - out_begin);
+}
+
+int32_t checked_outlier_sum(int32_t a, int32_t b) {
+  const int64_t s = static_cast<int64_t>(a) + b;
+  if (s > std::numeric_limits<int32_t>::max() || s < std::numeric_limits<int32_t>::min()) {
+    throw HomomorphicOverflowError("chunk outlier sum overflows int32");
+  }
+  return static_cast<int32_t>(s);
+}
+
+}  // namespace
+
+CompressedBuffer hz_add_static(const FzView& a, const FzView& b, int num_threads) {
+  require_layout_compatible(a, b);
+  const size_t d = a.num_elements();
+  const uint32_t nchunks = a.num_chunks();
+  const uint32_t block_len = a.block_len();
+
+  ChunkedStreamAssembler assembler(a.header);
+  {
+    ScopedNumThreads scoped(num_threads);
+    OmpExceptionCollector errors;
+#pragma omp parallel
+    {
+      std::vector<int32_t> scratch_a, scratch_b;
+#pragma omp for schedule(static)
+      for (uint32_t c = 0; c < nchunks; ++c) {
+        errors.run([&, c] {
+          const Range r = chunk_range(d, static_cast<int>(nchunks), static_cast<int>(c));
+          const int32_t outlier =
+              checked_outlier_sum(a.chunk_outliers[c], b.chunk_outliers[c]);
+          size_t size = 0;
+          if (r.size() > 0) {
+            size = static_add_chunk(a.chunk_payload(c), b.chunk_payload(c), r.size(),
+                                    block_len, assembler.chunk_buffer(c), scratch_a,
+                                    scratch_b);
+          }
+          assembler.set_chunk(c, size, outlier);
+        });
+      }
+    }
+    errors.rethrow();
+  }
+  return assembler.finish();
+}
+
+CompressedBuffer hz_add_static(const CompressedBuffer& a, const CompressedBuffer& b,
+                               int num_threads) {
+  return hz_add_static(parse_fz(a.bytes), parse_fz(b.bytes), num_threads);
+}
+
+}  // namespace hzccl

@@ -1,0 +1,204 @@
+#include "hzccl/simmpi/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "hzccl/util/error.hpp"
+
+namespace hzccl::simmpi {
+
+std::string bucket_name(CostBucket b) {
+  switch (b) {
+    case CostBucket::kMpi: return "MPI";
+    case CostBucket::kCpr: return "CPR";
+    case CostBucket::kDpr: return "DPR";
+    case CostBucket::kCpt: return "CPT";
+    case CostBucket::kHpr: return "HPR";
+    case CostBucket::kOther: return "OTHER";
+  }
+  return "?";
+}
+
+double ClockReport::doc_related() const {
+  return (*this)[CostBucket::kCpr] + (*this)[CostBucket::kDpr] + (*this)[CostBucket::kCpt] +
+         (*this)[CostBucket::kHpr];
+}
+
+double ClockReport::percent(CostBucket b) const {
+  return total_seconds > 0.0 ? 100.0 * (*this)[b] / total_seconds : 0.0;
+}
+
+ClockReport ClockReport::max_of(const ClockReport& a, const ClockReport& b) {
+  // The slower rank defines the collective's completion time and breakdown.
+  return a.total_seconds >= b.total_seconds ? a : b;
+}
+
+// ---------------------------------------------------------------------------
+// Comm
+// ---------------------------------------------------------------------------
+
+const NetModel& Comm::net() const { return runtime_->net(); }
+
+void Comm::send(int dst, int tag, std::span<const uint8_t> payload) {
+  if (dst < 0 || dst >= size_) throw hzccl::Error("send: bad destination rank");
+  // Eager protocol: the sender only pays injection latency; the transfer
+  // itself is accounted at the receiver against the send timestamp.
+  clock_.advance(runtime_->net().latency_s, CostBucket::kMpi);
+  Runtime::Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.payload.assign(payload.begin(), payload.end());
+  msg.send_vtime = clock_.now();
+  bytes_sent_ += payload.size();
+  runtime_->post(dst, std::move(msg));
+}
+
+std::vector<uint8_t> Comm::recv(int src, int tag) {
+  if (src < 0 || src >= size_) throw hzccl::Error("recv: bad source rank");
+  Runtime::Message msg = runtime_->take(rank_, src, tag);
+  const double transfer =
+      runtime_->net().transfer_seconds(msg.payload.size(), size_);
+  const double ready = std::max(clock_.now(), msg.send_vtime) + transfer;
+  clock_.advance_to(ready, CostBucket::kMpi);
+  bytes_received_ += msg.payload.size();
+  return std::move(msg.payload);
+}
+
+void Comm::recv_into(int src, int tag, std::span<uint8_t> out) {
+  std::vector<uint8_t> msg = recv(src, tag);
+  if (msg.size() != out.size()) {
+    throw hzccl::Error("recv_into: message size " + std::to_string(msg.size()) +
+                       " != buffer size " + std::to_string(out.size()));
+  }
+  std::memcpy(out.data(), msg.data(), msg.size());
+}
+
+void Comm::barrier() { runtime_->barrier_wait(clock_); }
+
+void Comm::send_floats(int dst, int tag, std::span<const float> data) {
+  send(dst, tag,
+       {reinterpret_cast<const uint8_t*>(data.data()), data.size_bytes()});
+}
+
+void Comm::recv_floats_into(int src, int tag, std::span<float> out) {
+  recv_into(src, tag, {reinterpret_cast<uint8_t*>(out.data()), out.size_bytes()});
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(int nranks, NetModel net) : nranks_(nranks), net_(net) {
+  if (nranks <= 0) throw hzccl::Error("Runtime: rank count must be positive");
+  mailboxes_.reserve(static_cast<size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::post(int dst, Message msg) {
+  Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+Runtime::Message Runtime::take(int dst, int src, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    auto it = std::find_if(box.messages.begin(), box.messages.end(),
+                           [&](const Message& m) { return m.src == src && m.tag == tag; });
+    if (it != box.messages.end()) {
+      Message msg = std::move(*it);
+      box.messages.erase(it);
+      return msg;
+    }
+    if (aborted_.load(std::memory_order_acquire)) {
+      throw hzccl::Error("simmpi: a peer rank failed while this rank was receiving");
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void Runtime::barrier_wait(VirtualClock& clock) {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const uint64_t my_generation = barrier_generation_;
+  barrier_max_time_ = std::max(barrier_max_time_, clock.now());
+  if (++barrier_arrived_ == nranks_) {
+    // Dissemination barrier cost: ceil(log2 P) latency exchanges.
+    const double hops = nranks_ > 1 ? std::ceil(std::log2(static_cast<double>(nranks_))) : 0.0;
+    barrier_release_time_ = barrier_max_time_ + hops * net_.latency_s;
+    barrier_arrived_ = 0;
+    barrier_max_time_ = 0.0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] {
+      return barrier_generation_ != my_generation ||
+             aborted_.load(std::memory_order_acquire);
+    });
+    if (barrier_generation_ == my_generation) {
+      // Woken by an abort, not a release; the barrier can never complete.
+      --barrier_arrived_;
+      throw hzccl::Error("simmpi: a peer rank failed while this rank was in a barrier");
+    }
+  }
+  clock.advance_to(barrier_release_time_, CostBucket::kMpi);
+}
+
+std::vector<ClockReport> Runtime::run(const RankFn& fn) {
+  std::vector<ClockReport> reports(static_cast<size_t>(nranks_));
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(nranks_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(nranks_));
+
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(this, r, nranks_);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<size_t>(r)] = std::current_exception();
+        // Unblock peers waiting on this rank's messages or on the barrier;
+        // they observe aborted_ and fail fast instead of deadlocking.
+        aborted_.store(true, std::memory_order_release);
+        for (auto& box : mailboxes_) {
+          std::lock_guard<std::mutex> lock(box->mutex);
+          box->cv.notify_all();
+        }
+        {
+          std::lock_guard<std::mutex> lock(barrier_mutex_);
+          barrier_cv_.notify_all();
+        }
+      }
+      reports[static_cast<size_t>(r)] = comm.clock().report();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Drain stale state so the Runtime can be reused for another run.
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->messages.clear();
+  }
+  aborted_.store(false, std::memory_order_release);
+
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return reports;
+}
+
+ClockReport Runtime::slowest(const std::vector<ClockReport>& reports) {
+  ClockReport worst;
+  for (const auto& r : reports) worst = ClockReport::max_of(worst, r);
+  return worst;
+}
+
+}  // namespace hzccl::simmpi

@@ -1,0 +1,31 @@
+#include "hzccl/stats/error_model.hpp"
+
+#include "hzccl/util/error.hpp"
+
+namespace hzccl {
+
+double collective_error_bound(StackKind stack, int nranks, double eb) {
+  if (nranks < 1) throw Error("collective_error_bound: need at least one rank");
+  if (!(eb > 0.0)) throw Error("collective_error_bound: bound must be positive");
+  switch (stack) {
+    case StackKind::kRawMpi:
+      return 0.0;  // float rounding only; no compression term
+    case StackKind::kHzccl:
+      // One quantization per contribution, exact arithmetic afterwards.
+      return static_cast<double>(nranks) * eb;
+    case StackKind::kCColl:
+      // Each of the N-1 reduce-scatter hops re-quantizes the running partial
+      // sum, adding a fresh eb on top of the error it already carries
+      // (e_{k+1} <= e_k + eb), starting from the first compression's eb;
+      // the allgather's recompression of the reduced chunk adds one more.
+      return (static_cast<double>(nranks) + 1.0) * eb;
+  }
+  throw Error("collective_error_bound: bad stack");
+}
+
+double hzccl_accuracy_gain(int nranks, double eb) {
+  return collective_error_bound(StackKind::kCColl, nranks, eb) -
+         collective_error_bound(StackKind::kHzccl, nranks, eb);
+}
+
+}  // namespace hzccl

@@ -1,0 +1,90 @@
+#include "hzccl/stats/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hzccl/util/error.hpp"
+
+namespace hzccl {
+
+ErrorStats compare(std::span<const float> original, std::span<const float> reconstructed) {
+  if (original.size() != reconstructed.size()) {
+    throw Error("compare(): size mismatch");
+  }
+  ErrorStats s;
+  if (original.empty()) return s;
+
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  double sq_sum = 0.0;
+  double max_abs = 0.0;
+  double max_pw = 0.0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    const double o = original[i];
+    const double err = std::abs(o - static_cast<double>(reconstructed[i]));
+    mn = std::min(mn, o);
+    mx = std::max(mx, o);
+    sq_sum += err * err;
+    max_abs = std::max(max_abs, err);
+    if (o != 0.0) max_pw = std::max(max_pw, err / std::abs(o));
+  }
+  s.min = mn;
+  s.max = mx;
+  s.range = mx - mn;
+  s.max_abs_err = max_abs;
+  s.max_pw_rel_err = max_pw;
+  s.rmse = std::sqrt(sq_sum / static_cast<double>(original.size()));
+  if (s.range > 0.0) {
+    s.max_rel_err = max_abs / s.range;
+    s.nrmse = s.rmse / s.range;
+    s.psnr = s.rmse > 0.0 ? 20.0 * std::log10(s.range / s.rmse)
+                          : std::numeric_limits<double>::infinity();
+  }
+  return s;
+}
+
+ValueRange value_range(std::span<const float> data) {
+  ValueRange r;
+  if (data.empty()) return r;
+  float mn = data[0], mx = data[0];
+#pragma omp parallel for reduction(min : mn) reduction(max : mx)
+  for (size_t i = 0; i < data.size(); ++i) {
+    mn = std::min(mn, data[i]);
+    mx = std::max(mx, data[i]);
+  }
+  r.min = mn;
+  r.max = mx;
+  return r;
+}
+
+double abs_bound_from_rel(std::span<const float> data, double rel_bound) {
+  const double span = value_range(data).span();
+  // Degenerate constant fields still need a positive bound to quantize with.
+  return span > 0.0 ? rel_bound * span : rel_bound;
+}
+
+double compression_ratio(size_t original_bytes, size_t compressed_bytes) {
+  if (compressed_bytes == 0) return 0.0;
+  return static_cast<double>(original_bytes) / static_cast<double>(compressed_bytes);
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return s;
+}
+
+}  // namespace hzccl

@@ -1,0 +1,37 @@
+#include "hzccl/util/crc32.hpp"
+
+#include <array>
+
+namespace hzccl {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78;  // CRC-32C, reflected
+
+std::array<uint32_t, 256> make_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& table() {
+  static const std::array<uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+uint32_t crc32c(std::span<const uint8_t> data, uint32_t seed) {
+  uint32_t crc = ~seed;
+  for (uint8_t byte : data) {
+    crc = (crc >> 8) ^ table()[(crc ^ byte) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace hzccl

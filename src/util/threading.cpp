@@ -1,0 +1,31 @@
+#include "hzccl/util/threading.hpp"
+
+#include <omp.h>
+
+namespace hzccl {
+
+Range chunk_range(size_t total, int nchunks, int chunk_index) {
+  const size_t n = static_cast<size_t>(nchunks);
+  const size_t i = static_cast<size_t>(chunk_index);
+  const size_t base = total / n;
+  Range r;
+  r.begin = i * base;
+  r.end = (i + 1 == n) ? total : r.begin + base;  // remainder to last chunk
+  return r;
+}
+
+int effective_threads() { return omp_get_max_threads(); }
+
+ScopedNumThreads::ScopedNumThreads(int nthreads) {
+  if (nthreads > 0) {
+    saved_ = omp_get_max_threads();
+    omp_set_num_threads(nthreads);
+    active_ = true;
+  }
+}
+
+ScopedNumThreads::~ScopedNumThreads() {
+  if (active_) omp_set_num_threads(saved_);
+}
+
+}  // namespace hzccl

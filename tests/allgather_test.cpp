@@ -1,0 +1,127 @@
+// Standalone Allgather-stage tests for all three stacks: block placement,
+// compressed-chunk exchange, the fused hZCCL hand-off from Reduce_scatter,
+// and the error paths for mismatched block sizes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hzccl/collectives/ccoll.hpp"
+#include "hzccl/collectives/common.hpp"
+#include "hzccl/collectives/hzccl_coll.hpp"
+#include "hzccl/collectives/raw.hpp"
+#include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/simmpi/runtime.hpp"
+#include "hzccl/util/error.hpp"
+
+namespace hzccl {
+namespace {
+
+using coll::CollectiveConfig;
+using simmpi::NetModel;
+using simmpi::Runtime;
+
+/// Each rank owns block rs_owned_block(rank) filled with its rank id + 1.
+std::vector<float> owned_block_of(int rank, int size, size_t total) {
+  const Range r = coll::ring_block_range(total, size, coll::rs_owned_block(rank, size));
+  return std::vector<float>(r.size(), static_cast<float>(rank + 1));
+}
+
+void expect_gathered(const std::vector<float>& full, int size, size_t total,
+                     double tolerance) {
+  ASSERT_EQ(full.size(), total);
+  for (int owner = 0; owner < size; ++owner) {
+    const Range r = coll::ring_block_range(total, size, coll::rs_owned_block(owner, size));
+    for (size_t i = r.begin; i < r.end; ++i) {
+      ASSERT_NEAR(full[i], static_cast<float>(owner + 1), tolerance) << "element " << i;
+    }
+  }
+}
+
+TEST(Allgather, RawPlacesEveryBlock) {
+  const int n = 5;
+  const size_t total = 1003;  // ragged blocks
+  CollectiveConfig cc;
+  Runtime rt(n, NetModel::omnipath_100g());
+  rt.run([&](simmpi::Comm& comm) {
+    std::vector<float> full;
+    coll::raw_allgather(comm, owned_block_of(comm.rank(), n, total), total, full, cc);
+    expect_gathered(full, n, total, 0.0);
+  });
+}
+
+TEST(Allgather, CCollDecompressesEveryChunkWithinBound) {
+  const int n = 6;
+  const size_t total = 4800;
+  CollectiveConfig cc;
+  cc.abs_error_bound = 1e-3;
+  Runtime rt(n, NetModel::omnipath_100g());
+  rt.run([&](simmpi::Comm& comm) {
+    std::vector<float> full;
+    coll::ccoll_allgather(comm, owned_block_of(comm.rank(), n, total), total, full, cc);
+    expect_gathered(full, n, total, cc.abs_error_bound * 1.01);
+  });
+}
+
+TEST(Allgather, HzcclGathersAlreadyCompressedChunks) {
+  const int n = 4;
+  const size_t total = 4000;
+  CollectiveConfig cc;
+  cc.abs_error_bound = 1e-3;
+  Runtime rt(n, NetModel::omnipath_100g());
+  rt.run([&](simmpi::Comm& comm) {
+    const std::vector<float> mine = owned_block_of(comm.rank(), n, total);
+    const FzParams params = cc.fz_params(mine.size());
+    const CompressedBuffer compressed = fz_compress(mine, params);
+    std::vector<float> full;
+    coll::hzccl_allgather_compressed(comm, compressed, total, full, cc);
+    expect_gathered(full, n, total, cc.abs_error_bound * 1.01);
+  });
+}
+
+TEST(Allgather, RawRejectsWrongBlockSize) {
+  Runtime rt(2, NetModel::omnipath_100g());
+  CollectiveConfig cc;
+  EXPECT_THROW(rt.run([&](simmpi::Comm& comm) {
+                 std::vector<float> wrong(7, 1.0f);  // owned block would be 50
+                 std::vector<float> full;
+                 coll::raw_allgather(comm, wrong, 100, full, cc);
+               }),
+               Error);
+}
+
+TEST(Allgather, CCollRejectsWrongBlockSize) {
+  Runtime rt(2, NetModel::omnipath_100g());
+  CollectiveConfig cc;
+  EXPECT_THROW(rt.run([&](simmpi::Comm& comm) {
+                 std::vector<float> wrong(7, 1.0f);
+                 std::vector<float> full;
+                 coll::ccoll_allgather(comm, wrong, 100, full, cc);
+               }),
+               Error);
+}
+
+TEST(Allgather, FusedReduceScatterHandoffMatchesUnfused) {
+  // hzccl_reduce_scatter_compressed + hzccl_allgather_compressed must equal
+  // the hzccl_allreduce wrapper bit-for-bit.
+  const int n = 4;
+  const size_t elements = 2048;
+  CollectiveConfig cc;
+  cc.abs_error_bound = 1e-3;
+  const auto input = [&](int rank) {
+    return std::vector<float>(elements, static_cast<float>(rank) * 0.25f + 1.0f);
+  };
+  Runtime rt(n, NetModel::omnipath_100g());
+  std::vector<std::vector<float>> fused(n), wrapped(n);
+  rt.run([&](simmpi::Comm& comm) {
+    const CompressedBuffer owned =
+        coll::hzccl_reduce_scatter_compressed(comm, input(comm.rank()), cc);
+    coll::hzccl_allgather_compressed(comm, owned, elements, fused[comm.rank()], cc);
+  });
+  rt.run([&](simmpi::Comm& comm) {
+    coll::hzccl_allreduce(comm, input(comm.rank()), wrapped[comm.rank()], cc);
+  });
+  for (int r = 0; r < n; ++r) EXPECT_EQ(fused[r], wrapped[r]) << "rank " << r;
+}
+
+}  // namespace
+}  // namespace hzccl

@@ -1,0 +1,89 @@
+// Autotuner tests: the kernel choice must track the data's compressibility
+// and the fabric — compressible data at scale picks an hZCCL mode,
+// incompressible or alpha-dominated workloads fall back to plain MPI.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hzccl/cluster/autotune.hpp"
+#include "hzccl/datasets/registry.hpp"
+#include "hzccl/stats/metrics.hpp"
+#include "hzccl/util/error.hpp"
+#include "hzccl/util/random.hpp"
+
+namespace hzccl {
+namespace {
+
+JobConfig big_job(int nranks = 64) {
+  JobConfig config;
+  config.nranks = nranks;
+  return config;
+}
+
+TEST(Autotune, CompressibleDataAtScalePicksHzccl) {
+  const std::vector<float> sample = generate_field(DatasetId::kRtmSim2, Scale::kTiny, 0);
+  JobConfig config = big_job();
+  config.abs_error_bound = abs_bound_from_rel(sample, 1e-3);
+  const AutotuneResult r =
+      choose_kernel(sample, Op::kAllreduce, size_t{64} << 20, config);
+  EXPECT_EQ(r.kernel, Kernel::kHzcclMultiThread) << r.summary();
+  EXPECT_GT(r.sample_ratio, 5.0);
+}
+
+TEST(Autotune, IncompressibleDataAvoidsHomomorphicKernels) {
+  // White noise at a tight bound barely compresses: every homomorphic add
+  // runs pipeline 4 over ~uncompressed data, so hZCCL can only lose.  (The
+  // remaining MPI-vs-C-Coll choice is a wash at ratio ~1: C-Coll's
+  // application-level multithreaded reduction offsets its codec cost, which
+  // matches the paper's figures where C-Coll-MT never trails MPI.)
+  std::vector<float> noise(1 << 16);
+  Rng rng(3);
+  for (auto& v : noise) v = static_cast<float>(rng.normal());
+  JobConfig config = big_job();
+  config.abs_error_bound = 1e-8;  // ~ratio 1 territory
+  const AutotuneResult r = choose_kernel(noise, Op::kAllreduce, size_t{64} << 20, config);
+  EXPECT_NE(r.kernel, Kernel::kHzcclMultiThread) << r.summary();
+  EXPECT_NE(r.kernel, Kernel::kHzcclSingleThread) << r.summary();
+  EXPECT_LT(r.sample_ratio, 1.4);
+  EXPECT_GT(r.pipeline4_percent, 95.0);
+}
+
+TEST(Autotune, PredictionsCoverAllKernels) {
+  const std::vector<float> sample = generate_field(DatasetId::kHurricane, Scale::kTiny, 0);
+  JobConfig config = big_job(8);
+  config.abs_error_bound = abs_bound_from_rel(sample, 1e-3);
+  const AutotuneResult r =
+      choose_kernel(sample, Op::kReduceScatter, size_t{8} << 20, config);
+  for (double s : r.predicted_seconds) EXPECT_GT(s, 0.0);
+  // The chosen kernel is the argmin of its own prediction table.
+  for (double s : r.predicted_seconds) {
+    EXPECT_GE(s, r.predicted_seconds[static_cast<size_t>(r.kernel)]);
+  }
+  EXPECT_FALSE(r.summary().empty());
+}
+
+TEST(Autotune, RejectsDegenerateInputs) {
+  JobConfig config = big_job();
+  EXPECT_THROW(choose_kernel({}, Op::kAllreduce, 1 << 20, config), Error);
+  config.nranks = 1;
+  const std::vector<float> sample(100, 1.0f);
+  EXPECT_THROW(choose_kernel(sample, Op::kAllreduce, 1 << 20, config), Error);
+}
+
+TEST(Autotune, SelfAddProbeReportsPipelineMix) {
+  const std::vector<float> cesm = generate_field(DatasetId::kCesmAtm, Scale::kTiny, 0);
+  JobConfig config = big_job();
+  config.abs_error_bound = abs_bound_from_rel(cesm, 1e-3);
+  const AutotuneResult rough =
+      choose_kernel(cesm, Op::kAllreduce, size_t{64} << 20, config);
+  EXPECT_GT(rough.pipeline4_percent, 90.0);
+
+  const std::vector<float> nyx = generate_field(DatasetId::kNyx, Scale::kTiny, 0);
+  config.abs_error_bound = abs_bound_from_rel(nyx, 1e-3);
+  const AutotuneResult smooth =
+      choose_kernel(nyx, Op::kAllreduce, size_t{64} << 20, config);
+  EXPECT_LT(smooth.pipeline4_percent, rough.pipeline4_percent);
+}
+
+}  // namespace
+}  // namespace hzccl

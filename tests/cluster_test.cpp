@@ -1,0 +1,154 @@
+// RoundSim tests: the analytic scalability model's internal consistency and
+// its cross-validation against full functional simmpi runs at small scale —
+// the evidence that the 512-node figures extrapolate something real.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hzccl/cluster/roundsim.hpp"
+#include "hzccl/datasets/registry.hpp"
+#include "hzccl/stats/metrics.hpp"
+#include "hzccl/util/error.hpp"
+
+namespace hzccl::cluster {
+namespace {
+
+CompressionProfile make_profile(DatasetId id = DatasetId::kHurricane, int max_depth = 16) {
+  const auto fields = generate_fields(id, Scale::kTiny, 4);
+  FzParams params;
+  params.abs_error_bound = abs_bound_from_rel(fields[0], 1e-3);
+  return CompressionProfile::measure(fields, params, max_depth);
+}
+
+TEST(CompressionProfileTest, MeasuresMonotoneDepthCoverage) {
+  const CompressionProfile p = make_profile();
+  EXPECT_EQ(p.ratio.size(), 16u);
+  EXPECT_EQ(p.hz_stats.size(), 15u);
+  for (double r : p.ratio) EXPECT_GT(r, 1.0);
+}
+
+TEST(CompressionProfileTest, DepthLookupClamps) {
+  const CompressionProfile p = make_profile();
+  EXPECT_DOUBLE_EQ(p.ratio_at_depth(0), p.ratio.front());
+  EXPECT_DOUBLE_EQ(p.ratio_at_depth(1), p.ratio.front());
+  EXPECT_DOUBLE_EQ(p.ratio_at_depth(999), p.ratio.back());
+}
+
+TEST(CompressionProfileTest, StatsScaleWithElements) {
+  const CompressionProfile p = make_profile();
+  const auto small = p.stats_at_depth(2, p.sample_elements / 2);
+  const auto full = p.stats_at_depth(2, p.sample_elements);
+  EXPECT_NEAR(static_cast<double>(small.blocks()),
+              static_cast<double>(full.blocks()) / 2.0,
+              static_cast<double>(full.blocks()) * 0.02 + 2.0);
+}
+
+TEST(CompressionProfileTest, EmptyInputsRejected) {
+  FzParams params;
+  EXPECT_THROW(CompressionProfile::measure({}, params, 4), Error);
+  CompressionProfile empty;
+  EXPECT_THROW(empty.ratio_at_depth(1), Error);
+  EXPECT_THROW(empty.stats_at_depth(1, 100), Error);
+}
+
+class ModelTest : public ::testing::Test {
+ protected:
+  CompressionProfile profile_ = make_profile();
+  simmpi::NetModel net_ = simmpi::NetModel::omnipath_100g();
+  simmpi::CostModel cost_ = simmpi::CostModel::paper_broadwell();
+  size_t total_bytes_ = size_t{64} << 20;
+
+  double seconds(Kernel k, Op op, int n) {
+    return model_collective(k, op, n, total_bytes_, profile_, net_, cost_).seconds;
+  }
+};
+
+TEST_F(ModelTest, OrderingMatchesThePaper) {
+  for (int n : {8, 64, 512}) {
+    for (Op op : {Op::kReduceScatter, Op::kAllreduce}) {
+      const double mpi = seconds(Kernel::kMpi, op, n);
+      const double cc_mt = seconds(Kernel::kCCollMultiThread, op, n);
+      const double hz_mt = seconds(Kernel::kHzcclMultiThread, op, n);
+      const double cc_st = seconds(Kernel::kCCollSingleThread, op, n);
+      const double hz_st = seconds(Kernel::kHzcclSingleThread, op, n);
+      EXPECT_LT(hz_mt, cc_mt) << "n=" << n;
+      EXPECT_LT(hz_st, cc_st) << "n=" << n;
+      EXPECT_LT(cc_mt, mpi) << "n=" << n;
+      EXPECT_LT(hz_mt, hz_st) << "n=" << n;
+    }
+  }
+}
+
+TEST_F(ModelTest, ComponentsSumToTotal) {
+  const ModelResult r = model_collective(Kernel::kHzcclMultiThread, Op::kAllreduce, 64,
+                                         total_bytes_, profile_, net_, cost_);
+  EXPECT_NEAR(r.seconds,
+              r.mpi_seconds + r.cpr_seconds + r.dpr_seconds + r.cpt_seconds + r.hpr_seconds,
+              1e-12);
+  EXPECT_GT(r.hpr_seconds, 0.0);
+  EXPECT_GT(r.cpr_seconds, 0.0);
+  EXPECT_EQ(r.cpt_seconds, 0.0);  // no raw reduce in the homomorphic stack
+}
+
+TEST_F(ModelTest, RawStackHasNoCompressionCost) {
+  const ModelResult r = model_collective(Kernel::kMpi, Op::kAllreduce, 16, total_bytes_,
+                                         profile_, net_, cost_);
+  EXPECT_EQ(r.cpr_seconds, 0.0);
+  EXPECT_EQ(r.dpr_seconds, 0.0);
+  EXPECT_EQ(r.hpr_seconds, 0.0);
+  EXPECT_GT(r.cpt_seconds, 0.0);
+}
+
+TEST_F(ModelTest, RejectsDegenerateScale) {
+  EXPECT_THROW(seconds(Kernel::kMpi, Op::kAllreduce, 1), Error);
+}
+
+TEST_F(ModelTest, AllreduceCostsMoreThanReduceScatter) {
+  for (Kernel k : {Kernel::kMpi, Kernel::kCCollMultiThread, Kernel::kHzcclMultiThread}) {
+    EXPECT_GT(seconds(k, Op::kAllreduce, 64), seconds(k, Op::kReduceScatter, 64));
+  }
+}
+
+TEST_F(ModelTest, CrossValidatesAgainstFunctionalSimulation) {
+  // The load-bearing test: at small scale, the closed-form model must agree
+  // with the functional thread-per-rank simulation it extrapolates.
+  const int n = 8;
+  const size_t elements = 65536;
+  const auto fields = generate_fields(DatasetId::kHurricane, Scale::kTiny, n);
+  const double eb = abs_bound_from_rel(fields[0], 1e-3);
+
+  JobConfig config;
+  config.nranks = n;
+  config.abs_error_bound = eb;
+  config.net = net_;
+  config.cost = cost_;
+  const RankInputFn inputs = [&](int rank) {
+    std::vector<float> f = fields[rank];
+    f.resize(elements);
+    return f;
+  };
+
+  // Build the profile from the same fields at the collective's block size
+  // so ratios match what the functional run transmits.
+  std::vector<std::vector<float>> block_fields;
+  const Range block0 = coll::ring_block_range(elements, n, 0);
+  for (const auto& f : fields) {
+    block_fields.emplace_back(f.begin(), f.begin() + static_cast<ptrdiff_t>(block0.size()));
+  }
+  FzParams params;
+  params.abs_error_bound = eb;
+  const CompressionProfile profile = CompressionProfile::measure(block_fields, params, n + 1);
+
+  for (Kernel k : {Kernel::kMpi, Kernel::kCCollMultiThread, Kernel::kHzcclMultiThread}) {
+    const double functional =
+        run_collective(k, Op::kAllreduce, config, inputs).slowest.total_seconds;
+    const double modeled = model_collective(k, Op::kAllreduce, n, elements * sizeof(float),
+                                            profile, net_, cost_)
+                               .seconds;
+    EXPECT_NEAR(modeled, functional, 0.40 * functional)
+        << kernel_name(k) << ": modeled=" << modeled << " functional=" << functional;
+  }
+}
+
+}  // namespace
+}  // namespace hzccl::cluster

@@ -1,0 +1,265 @@
+// Collective integration tests: functional correctness of all three stacks
+// (raw MPI / C-Coll DOC / hZCCL) against the exact reduction, error-bound
+// growth laws, ownership mapping, and the modeled-time orderings the paper's
+// figures rest on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "hzccl/collectives/ccoll.hpp"
+#include "hzccl/collectives/common.hpp"
+#include "hzccl/collectives/hzccl_coll.hpp"
+#include "hzccl/collectives/raw.hpp"
+#include "hzccl/core/hzccl.hpp"
+#include "hzccl/datasets/registry.hpp"
+#include "hzccl/stats/metrics.hpp"
+
+namespace hzccl {
+namespace {
+
+using coll::CollectiveConfig;
+using simmpi::CostBucket;
+using simmpi::Mode;
+using simmpi::NetModel;
+using simmpi::Runtime;
+
+/// Rank inputs: distinct hurricane-like fields, one per rank.
+RankInputFn make_inputs(size_t elements, DatasetId id = DatasetId::kHurricane) {
+  return [elements, id](int rank) {
+    std::vector<float> full = generate_field(id, Scale::kTiny, static_cast<uint32_t>(rank));
+    full.resize(elements);
+    return full;
+  };
+}
+
+struct StackCase {
+  Kernel kernel;
+  Op op;
+  int nranks;
+};
+
+class StackSweepTest : public ::testing::TestWithParam<StackCase> {};
+
+TEST_P(StackSweepTest, MatchesExactReductionWithinBound) {
+  const StackCase c = GetParam();
+  const size_t elements = 6000;  // not divisible by most rank counts: ragged blocks
+  JobConfig config;
+  config.nranks = c.nranks;
+  config.abs_error_bound = 1e-3;
+
+  const RankInputFn inputs = make_inputs(elements);
+  const JobResult result = run_collective(c.kernel, c.op, config, inputs);
+  const std::vector<float> exact = exact_reduction(c.nranks, inputs);
+
+  std::span<const float> want(exact);
+  if (c.op == Op::kReduceScatter) {
+    const Range owned =
+        coll::ring_block_range(elements, c.nranks, coll::rs_owned_block(0, c.nranks));
+    want = want.subspan(owned.begin, owned.size());
+  }
+  ASSERT_EQ(result.rank0_output.size(), want.size());
+
+  // Error growth laws: raw is float-rounding only; hZCCL compresses each
+  // contribution once (N*eb); C-Coll re-quantizes every round (~2N*eb).
+  double bound;
+  switch (c.kernel) {
+    case Kernel::kMpi: bound = 1e-3; break;  // float reassociation slack
+    case Kernel::kHzcclMultiThread:
+    case Kernel::kHzcclSingleThread: bound = c.nranks * config.abs_error_bound * 1.01; break;
+    default: bound = 2.0 * c.nranks * config.abs_error_bound * 1.01; break;
+  }
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(result.rank0_output[i], want[i], bound)
+        << kernel_name(c.kernel) << " " << op_name(c.op) << " N=" << c.nranks << " i=" << i;
+  }
+}
+
+std::vector<StackCase> stack_cases() {
+  std::vector<StackCase> cases;
+  for (Kernel k : {Kernel::kMpi, Kernel::kCCollMultiThread, Kernel::kHzcclMultiThread,
+                   Kernel::kCCollSingleThread, Kernel::kHzcclSingleThread}) {
+    for (Op op : {Op::kReduceScatter, Op::kAllreduce}) {
+      for (int n : {2, 3, 5, 8}) cases.push_back({k, op, n});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStacks, StackSweepTest, ::testing::ValuesIn(stack_cases()),
+                         [](const auto& pinfo) {
+                           const StackCase& c = pinfo.param;
+                           return "k" + std::to_string(static_cast<int>(c.kernel)) +
+                                  (c.op == Op::kReduceScatter ? "_rs" : "_ar") + "_n" +
+                                  std::to_string(c.nranks);
+                         });
+
+TEST(Collectives, AllRanksAgreeOnAllreduceResult) {
+  const int n = 6;
+  const size_t elements = 4096;
+  const RankInputFn inputs = make_inputs(elements, DatasetId::kNyx);
+  CollectiveConfig cc;
+  cc.abs_error_bound = 1e-3;
+
+  Runtime rt(n, NetModel::omnipath_100g());
+  std::vector<std::vector<float>> outputs(n);
+  rt.run([&](simmpi::Comm& comm) {
+    coll::hzccl_allreduce(comm, inputs(comm.rank()), outputs[comm.rank()], cc);
+  });
+  for (int r = 1; r < n; ++r) EXPECT_EQ(outputs[r], outputs[0]) << "rank " << r;
+}
+
+TEST(Collectives, HzcclAndCCollAgreeWithinCombinedBounds) {
+  const int n = 4;
+  const RankInputFn inputs = make_inputs(5000, DatasetId::kCesmAtm);
+  JobConfig config;
+  config.nranks = n;
+  config.abs_error_bound = 1e-3;
+  const auto hz = run_collective(Kernel::kHzcclMultiThread, Op::kAllreduce, config, inputs);
+  const auto cc = run_collective(Kernel::kCCollMultiThread, Op::kAllreduce, config, inputs);
+  ASSERT_EQ(hz.rank0_output.size(), cc.rank0_output.size());
+  for (size_t i = 0; i < hz.rank0_output.size(); ++i) {
+    ASSERT_NEAR(hz.rank0_output[i], cc.rank0_output[i], 3.0 * n * config.abs_error_bound);
+  }
+}
+
+TEST(Collectives, ReduceScatterBlockOwnershipMatchesSchedule) {
+  const int n = 5;
+  const size_t elements = 1000;
+  CollectiveConfig cc;
+  Runtime rt(n, NetModel::omnipath_100g());
+  // Rank r contributes the constant r+1 everywhere; the reduced value is
+  // sum(1..n) in every block, but sizes must match the schedule's ranges.
+  rt.run([&](simmpi::Comm& comm) {
+    std::vector<float> input(elements, static_cast<float>(comm.rank() + 1));
+    std::vector<float> block;
+    coll::raw_reduce_scatter(comm, input, block, cc);
+    const Range owned =
+        coll::ring_block_range(elements, n, coll::rs_owned_block(comm.rank(), n));
+    EXPECT_EQ(block.size(), owned.size());
+    for (float v : block) EXPECT_FLOAT_EQ(v, static_cast<float>(n * (n + 1) / 2));
+  });
+}
+
+TEST(Collectives, MinMaxReduceOpsOnRawAndDocStacks) {
+  const int n = 4;
+  const size_t elements = 2000;
+  const RankInputFn inputs = make_inputs(elements, DatasetId::kCesmAtm);
+
+  // Element-wise min/max reference.
+  std::vector<float> ref_min = inputs(0), ref_max = inputs(0);
+  for (int r = 1; r < n; ++r) {
+    const auto f = inputs(r);
+    for (size_t i = 0; i < elements; ++i) {
+      ref_min[i] = std::min(ref_min[i], f[i]);
+      ref_max[i] = std::max(ref_max[i], f[i]);
+    }
+  }
+
+  CollectiveConfig cc;
+  cc.abs_error_bound = 1e-3;
+  for (coll::ReduceOp op : {coll::ReduceOp::kMin, coll::ReduceOp::kMax}) {
+    cc.reduce_op = op;
+    const auto& ref = op == coll::ReduceOp::kMin ? ref_min : ref_max;
+    Runtime rt(n, NetModel::omnipath_100g());
+    std::vector<std::vector<float>> outputs(n);
+    rt.run([&](simmpi::Comm& comm) {
+      coll::raw_allreduce(comm, inputs(comm.rank()), outputs[comm.rank()], cc);
+    });
+    for (size_t i = 0; i < elements; ++i) {
+      ASSERT_FLOAT_EQ(outputs[0][i], ref[i]);  // raw is exact
+    }
+    rt.run([&](simmpi::Comm& comm) {
+      coll::ccoll_allreduce(comm, inputs(comm.rank()), outputs[comm.rank()], cc);
+    });
+    // DOC min/max: each hop's value carries compression error <= a few eb.
+    for (size_t i = 0; i < elements; ++i) {
+      ASSERT_NEAR(outputs[0][i], ref[i], 2.0 * n * cc.abs_error_bound);
+    }
+  }
+}
+
+TEST(Collectives, HzcclRejectsNonSumReduceOps) {
+  CollectiveConfig cc;
+  cc.reduce_op = coll::ReduceOp::kMin;
+  Runtime rt(2, NetModel::omnipath_100g());
+  EXPECT_THROW(rt.run([&](simmpi::Comm& comm) {
+                 std::vector<float> input(64, 1.0f), out;
+                 coll::hzccl_allreduce(comm, input, out, cc);
+               }),
+               Error);
+}
+
+TEST(Collectives, SingleRankDegenerate) {
+  JobConfig config;
+  config.nranks = 1;
+  const RankInputFn inputs = make_inputs(512);
+  // N=1: reduce-scatter is the identity on the single block; allreduce too.
+  const auto r = run_collective(Kernel::kHzcclMultiThread, Op::kAllreduce, config, inputs);
+  const auto exact = exact_reduction(1, inputs);
+  ASSERT_EQ(r.rank0_output.size(), exact.size());
+  for (size_t i = 0; i < exact.size(); ++i) {
+    ASSERT_NEAR(r.rank0_output[i], exact[i], 2e-3);
+  }
+}
+
+// --- modeled-time orderings (the paper's headline comparisons) -----------------
+
+class TimingTest : public ::testing::Test {
+ protected:
+  JobConfig config_;
+  RankInputFn inputs_ = make_inputs(100000, DatasetId::kRtmSim2);
+
+  void SetUp() override {
+    config_.nranks = 8;
+    config_.abs_error_bound = 1e-3;
+  }
+
+  double seconds(Kernel k, Op op) {
+    return run_collective(k, op, config_, inputs_).slowest.total_seconds;
+  }
+};
+
+TEST_F(TimingTest, CompressionBeatsRawOnCompressibleData) {
+  for (Op op : {Op::kReduceScatter, Op::kAllreduce}) {
+    const double mpi = seconds(Kernel::kMpi, op);
+    const double ccoll = seconds(Kernel::kCCollMultiThread, op);
+    const double hz = seconds(Kernel::kHzcclMultiThread, op);
+    EXPECT_LT(ccoll, mpi) << op_name(op);
+    EXPECT_LT(hz, ccoll) << op_name(op);
+  }
+}
+
+TEST_F(TimingTest, MultiThreadBeatsSingleThread) {
+  EXPECT_LT(seconds(Kernel::kHzcclMultiThread, Op::kAllreduce),
+            seconds(Kernel::kHzcclSingleThread, Op::kAllreduce));
+  EXPECT_LT(seconds(Kernel::kCCollMultiThread, Op::kAllreduce),
+            seconds(Kernel::kCCollSingleThread, Op::kAllreduce));
+}
+
+TEST_F(TimingTest, HzcclSpendsLessDocTimeThanCCollSpendsOnDoc) {
+  const auto hz = run_collective(Kernel::kHzcclMultiThread, Op::kAllreduce, config_, inputs_);
+  const auto cc = run_collective(Kernel::kCCollMultiThread, Op::kAllreduce, config_, inputs_);
+  EXPECT_LT(hz.slowest.doc_related(), cc.slowest.doc_related());
+}
+
+TEST_F(TimingTest, HzcclPipelineStatsPopulated) {
+  const auto hz = run_collective(Kernel::kHzcclMultiThread, Op::kAllreduce, config_, inputs_);
+  EXPECT_GT(hz.pipeline_stats.blocks(), 0u);
+  const auto mpi = run_collective(Kernel::kMpi, Op::kAllreduce, config_, inputs_);
+  EXPECT_EQ(mpi.pipeline_stats.blocks(), 0u);
+}
+
+TEST_F(TimingTest, BucketsTellTheFigure2Story) {
+  // C-Coll's DOC share must dominate its own MPI share far more than
+  // hZCCL's homomorphic share does (the Fig 2 motivation).
+  const auto cc = run_collective(Kernel::kCCollSingleThread, Op::kAllreduce, config_, inputs_);
+  const auto hz = run_collective(Kernel::kHzcclSingleThread, Op::kAllreduce, config_, inputs_);
+  const double cc_doc_share = cc.slowest.doc_related() / cc.slowest.total_seconds;
+  const double hz_doc_share = hz.slowest.doc_related() / hz.slowest.total_seconds;
+  EXPECT_GT(cc_doc_share, hz_doc_share);
+}
+
+}  // namespace
+}  // namespace hzccl

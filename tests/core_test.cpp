@@ -1,0 +1,93 @@
+// Public-API façade tests: kernel metadata, the job runner's contract, and
+// the exact-reduction reference helper.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hzccl/core/hzccl.hpp"
+#include "hzccl/util/error.hpp"
+
+namespace hzccl {
+namespace {
+
+TEST(Version, NonEmpty) { EXPECT_FALSE(version().empty()); }
+
+TEST(KernelMeta, NamesMatchArtifactNumbering) {
+  EXPECT_EQ(kernel_name(Kernel::kMpi), "MPI");
+  EXPECT_EQ(kernel_name(Kernel::kCCollMultiThread), "C-Coll (multi-thread)");
+  EXPECT_EQ(kernel_name(Kernel::kHzcclMultiThread), "hZCCL (multi-thread)");
+  EXPECT_EQ(kernel_name(Kernel::kCCollSingleThread), "C-Coll (single-thread)");
+  EXPECT_EQ(kernel_name(Kernel::kHzcclSingleThread), "hZCCL (single-thread)");
+}
+
+TEST(KernelMeta, CompressionFlag) {
+  EXPECT_FALSE(kernel_uses_compression(Kernel::kMpi));
+  EXPECT_TRUE(kernel_uses_compression(Kernel::kHzcclSingleThread));
+}
+
+TEST(KernelMeta, Modes) {
+  EXPECT_EQ(kernel_mode(Kernel::kCCollMultiThread), simmpi::Mode::kMultiThread);
+  EXPECT_EQ(kernel_mode(Kernel::kCCollSingleThread), simmpi::Mode::kSingleThread);
+  EXPECT_EQ(kernel_mode(Kernel::kMpi), simmpi::Mode::kMultiThread);
+}
+
+TEST(OpMeta, Names) {
+  EXPECT_EQ(op_name(Op::kReduceScatter), "Reduce_scatter");
+  EXPECT_EQ(op_name(Op::kAllreduce), "Allreduce");
+}
+
+TEST(ExactReduction, SumsAcrossRanks) {
+  const auto inputs = [](int rank) {
+    return std::vector<float>{static_cast<float>(rank), 1.0f};
+  };
+  const std::vector<float> sum = exact_reduction(4, inputs);
+  EXPECT_EQ(sum, (std::vector<float>{6.0f, 4.0f}));
+}
+
+TEST(ExactReduction, MismatchedSizesThrow) {
+  const auto inputs = [](int rank) { return std::vector<float>(rank + 1, 0.0f); };
+  EXPECT_THROW(exact_reduction(2, inputs), Error);
+}
+
+TEST(RunCollective, ReportsPerRankClocks) {
+  JobConfig config;
+  config.nranks = 4;
+  const auto inputs = [](int) { return std::vector<float>(1024, 1.0f); };
+  const JobResult r = run_collective(Kernel::kMpi, Op::kAllreduce, config, inputs);
+  EXPECT_EQ(r.per_rank.size(), 4u);
+  EXPECT_GT(r.slowest.total_seconds, 0.0);
+  for (const auto& rank : r.per_rank) {
+    EXPECT_LE(rank.total_seconds, r.slowest.total_seconds + 1e-15);
+  }
+  EXPECT_EQ(r.input_bytes_per_rank, 1024 * sizeof(float));
+}
+
+TEST(RunCollective, OutputSizesMatchOperation) {
+  JobConfig config;
+  config.nranks = 4;
+  const size_t elements = 4000;
+  const auto inputs = [&](int) { return std::vector<float>(elements, 2.0f); };
+
+  const auto rs = run_collective(Kernel::kHzcclMultiThread, Op::kReduceScatter, config, inputs);
+  EXPECT_EQ(rs.rank0_output.size(), elements / 4);
+
+  const auto ar = run_collective(Kernel::kHzcclMultiThread, Op::kAllreduce, config, inputs);
+  EXPECT_EQ(ar.rank0_output.size(), elements);
+}
+
+TEST(RunCollective, ConstantInputsReduceExactly) {
+  // Constant fields quantize exactly, so every stack is bit-accurate here.
+  JobConfig config;
+  config.nranks = 3;
+  config.abs_error_bound = 1e-4;
+  const auto inputs = [](int rank) {
+    return std::vector<float>(512, static_cast<float>(rank + 1));
+  };
+  for (Kernel k : {Kernel::kMpi, Kernel::kCCollMultiThread, Kernel::kHzcclMultiThread}) {
+    const auto r = run_collective(k, Op::kAllreduce, config, inputs);
+    for (float v : r.rank0_output) ASSERT_NEAR(v, 6.0f, 4e-4) << kernel_name(k);
+  }
+}
+
+}  // namespace
+}  // namespace hzccl

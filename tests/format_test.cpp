@@ -1,0 +1,218 @@
+// Wire-format layer tests: header parsing, layout compatibility, the
+// chunk-offset machinery, and the ChunkedStreamAssembler shared by the
+// compressor and all homomorphic operators.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "hzccl/compressor/fixed_len.hpp"
+#include "hzccl/compressor/format.hpp"
+#include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/homomorphic/hz_dynamic.hpp"
+#include "hzccl/util/error.hpp"
+#include "hzccl/util/threading.hpp"
+
+namespace hzccl {
+namespace {
+
+FzHeader make_header(uint64_t elements, uint32_t block_len, uint32_t chunks, double eb = 1e-3) {
+  FzHeader h;
+  h.num_elements = elements;
+  h.block_len = block_len;
+  h.num_chunks = chunks;
+  h.error_bound = eb;
+  return h;
+}
+
+TEST(FzHeaderTest, WireSizeIsStable) {
+  // The 32-byte header is a wire contract; new fields need a version bump.
+  EXPECT_EQ(sizeof(FzHeader), 32u);
+}
+
+TEST(ParseFz, RoundTripsRealStream) {
+  const std::vector<float> data(10000, 1.5f);
+  FzParams params;
+  const CompressedBuffer c = fz_compress(data, params);
+  const FzView v = parse_fz(c.bytes);
+  EXPECT_EQ(v.num_elements(), 10000u);
+  EXPECT_EQ(v.block_len(), params.block_len);
+  EXPECT_GT(v.num_chunks(), 0u);
+  EXPECT_DOUBLE_EQ(v.error_bound(), params.abs_error_bound);
+  // Chunk payloads tile the payload region exactly.
+  size_t covered = 0;
+  for (uint32_t ch = 0; ch < v.num_chunks(); ++ch) covered += v.chunk_payload(ch).size();
+  EXPECT_EQ(covered, v.payload.size());
+}
+
+TEST(ParseFz, RejectsZeroBlockLength) {
+  const std::vector<float> data(100, 1.0f);
+  CompressedBuffer c = fz_compress(data, FzParams{});
+  FzHeader h;
+  std::memcpy(&h, c.bytes.data(), sizeof h);
+  h.block_len = 0;
+  std::memcpy(c.bytes.data(), &h, sizeof h);
+  EXPECT_THROW(parse_fz(c.bytes), FormatError);
+}
+
+TEST(ParseFz, RejectsNonPositiveErrorBound) {
+  const std::vector<float> data(100, 1.0f);
+  CompressedBuffer c = fz_compress(data, FzParams{});
+  FzHeader h;
+  std::memcpy(&h, c.bytes.data(), sizeof h);
+  h.error_bound = 0.0;
+  std::memcpy(c.bytes.data(), &h, sizeof h);
+  EXPECT_THROW(parse_fz(c.bytes), FormatError);
+}
+
+TEST(ParseFz, RejectsChunklessNonEmptyStream) {
+  const std::vector<float> data(100, 1.0f);
+  CompressedBuffer c = fz_compress(data, FzParams{});
+  FzHeader h;
+  std::memcpy(&h, c.bytes.data(), sizeof h);
+  h.num_chunks = 0;
+  std::memcpy(c.bytes.data(), &h, sizeof h);
+  EXPECT_THROW(parse_fz(c.bytes), FormatError);
+}
+
+TEST(LayoutCompatible, ChecksEveryField) {
+  const std::vector<float> f(1000, 1.0f);
+  FzParams base;
+  base.abs_error_bound = 1e-3;
+  const FzView a = parse_fz(fz_compress(f, base).bytes);
+
+  auto view_of = [](const CompressedBuffer& c) { return parse_fz(c.bytes); };
+  {
+    FzParams p = base;
+    p.block_len = 64;
+    const CompressedBuffer c = fz_compress(f, p);
+    EXPECT_FALSE(layout_compatible(a, view_of(c)));
+  }
+  {
+    FzParams p = base;
+    p.num_chunks = 3;
+    const CompressedBuffer c = fz_compress(f, p);
+    EXPECT_FALSE(layout_compatible(a, view_of(c)));
+  }
+  {
+    FzParams p = base;
+    p.abs_error_bound = 2e-3;
+    const CompressedBuffer c = fz_compress(f, p);
+    EXPECT_FALSE(layout_compatible(a, view_of(c)));
+  }
+  const CompressedBuffer same = fz_compress(f, base);
+  EXPECT_TRUE(layout_compatible(a, view_of(same)));
+}
+
+// --- ChunkedStreamAssembler -------------------------------------------------
+
+TEST(Assembler, ProducesParsableStream) {
+  const FzHeader h = make_header(100, 10, 4);
+  ChunkedStreamAssembler assembler(h);
+  ASSERT_EQ(assembler.num_chunks(), 4u);
+
+  // Fill every chunk with constant blocks (code length 0 per block).
+  for (uint32_t c = 0; c < 4; ++c) {
+    const Range r = chunk_range(100, 4, static_cast<int>(c));
+    const size_t nblocks = (r.size() + 9) / 10;
+    uint8_t* out = assembler.chunk_buffer(c);
+    for (size_t b = 0; b < nblocks; ++b) out[b] = 0;
+    assembler.set_chunk(c, nblocks, static_cast<int32_t>(c) * 7);
+  }
+  const CompressedBuffer stream = assembler.finish();
+  const FzView v = parse_fz(stream.bytes);
+  EXPECT_EQ(v.num_elements(), 100u);
+  for (uint32_t c = 0; c < 4; ++c) EXPECT_EQ(v.chunk_outliers[c], static_cast<int32_t>(c) * 7);
+
+  // And it decompresses: each chunk is constant at outlier * 2eb.
+  std::vector<float> out(100);
+  fz_decompress(v, out);
+  for (uint32_t c = 0; c < 4; ++c) {
+    const Range r = chunk_range(100, 4, static_cast<int>(c));
+    for (size_t i = r.begin; i < r.end; ++i) {
+      ASSERT_FLOAT_EQ(out[i], static_cast<float>(c) * 7 * 2e-3f);
+    }
+  }
+}
+
+TEST(Assembler, RejectsOversizedChunk) {
+  ChunkedStreamAssembler assembler(make_header(100, 10, 2));
+  EXPECT_THROW(assembler.set_chunk(0, assembler.chunk_capacity(0) + 1, 0), Error);
+}
+
+TEST(Assembler, CapacityCoversWorstCaseEncoding) {
+  const uint32_t block_len = 32;
+  ChunkedStreamAssembler assembler(make_header(1000, block_len, 3));
+  for (uint32_t c = 0; c < 3; ++c) {
+    const Range r = chunk_range(1000, 3, static_cast<int>(c));
+    const size_t nblocks = (r.size() + block_len - 1) / block_len;
+    EXPECT_EQ(assembler.chunk_capacity(c), nblocks * max_encoded_block_size(block_len));
+  }
+}
+
+// --- integrity trailer --------------------------------------------------------
+
+TEST(Checksum, RoundTripsAndVerifies) {
+  const std::vector<float> data(5000, 2.5f);
+  const CompressedBuffer plain = fz_compress(data, FzParams{});
+  const CompressedBuffer sealed = add_checksum(plain);
+  EXPECT_EQ(sealed.size_bytes(), plain.size_bytes() + sizeof(uint32_t));
+
+  // Verified parse yields the same logical stream.
+  const FzView v = parse_fz(sealed.bytes);
+  EXPECT_EQ(v.num_elements(), 5000u);
+  EXPECT_EQ(v.header.flags & kFlagChecksummed, 0);  // cleared on the view
+  std::vector<float> out(data.size());
+  fz_decompress(v, out);
+  EXPECT_EQ(out, fz_decompress(plain));
+}
+
+TEST(Checksum, DetectsSingleBitFlipAnywhere) {
+  const std::vector<float> data(2000, 1.25f);
+  CompressedBuffer sealed = add_checksum(fz_compress(data, FzParams{}));
+  for (size_t at : {sizeof(FzHeader) + 1, sealed.size_bytes() / 2, sealed.size_bytes() - 6}) {
+    CompressedBuffer corrupt = sealed;
+    corrupt.bytes[at] ^= 0x10;
+    EXPECT_THROW(parse_fz(corrupt.bytes), FormatError) << "flip at " << at;
+  }
+}
+
+TEST(Checksum, AddIsIdempotentAndStripInverts) {
+  const std::vector<float> data(1000, -3.0f);
+  const CompressedBuffer plain = fz_compress(data, FzParams{});
+  const CompressedBuffer sealed = add_checksum(add_checksum(plain));
+  EXPECT_EQ(sealed.size_bytes(), plain.size_bytes() + sizeof(uint32_t));
+  EXPECT_EQ(strip_checksum(sealed).bytes, plain.bytes);
+  EXPECT_EQ(strip_checksum(plain).bytes, plain.bytes);  // no-op without flag
+}
+
+TEST(Checksum, HomomorphicOutputsAreUnchecksummed) {
+  const std::vector<float> data(3000, 4.0f);
+  FzParams params;
+  params.abs_error_bound = 1e-3;
+  const CompressedBuffer sealed = add_checksum(fz_compress(data, params));
+  // Operating on verified views must produce a valid, trailer-free stream.
+  const CompressedBuffer sum = hz_add(sealed, sealed);
+  const FzView v = parse_fz(sum.bytes);
+  EXPECT_EQ(v.header.flags & kFlagChecksummed, 0);
+  for (float x : fz_decompress(sum)) ASSERT_NEAR(x, 8.0f, 2e-3);
+}
+
+TEST(Checksum, TruncatedTrailerRejected) {
+  const std::vector<float> data(100, 1.0f);
+  CompressedBuffer sealed = add_checksum(fz_compress(data, FzParams{}));
+  sealed.bytes.resize(sealed.bytes.size() - 2);
+  EXPECT_THROW(parse_fz(sealed.bytes), FormatError);
+}
+
+TEST(Assembler, EmptyStream) {
+  ChunkedStreamAssembler assembler(make_header(0, 32, 1));
+  assembler.set_chunk(0, 0, 0);
+  const CompressedBuffer stream = assembler.finish();
+  const FzView v = parse_fz(stream.bytes);
+  EXPECT_EQ(v.num_elements(), 0u);
+  EXPECT_EQ(v.payload.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hzccl

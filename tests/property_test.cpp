@@ -1,0 +1,154 @@
+// Randomized property tests: the library's core invariants checked over
+// many random seeds, data distributions, bounds and layouts — the cases no
+// hand-picked fixture covers.
+//
+// Invariants:
+//   P1. round trip:      |x - D(C(x))| <= eb   for every element
+//   P2. idempotence:     C(D(C(x))) == C(x)    (recompression is stable)
+//   P3. homomorphism:    D(add(C(x), C(y))) == D(C(x)) (+) D(C(y)) on the
+//                        shared 2eb grid (exact integer addition)
+//   P4. linearity:       scale/negate/sub compose like integer arithmetic
+//   P5. dispatch purity: dynamic and static pipelines agree byte-for-byte
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/homomorphic/hz_dynamic.hpp"
+#include "hzccl/homomorphic/hz_ops.hpp"
+#include "hzccl/homomorphic/hz_static.hpp"
+#include "hzccl/stats/metrics.hpp"
+#include "hzccl/util/random.hpp"
+
+namespace hzccl {
+namespace {
+
+/// A random field with varied local character: constant runs, smooth ramps,
+/// white noise bursts, sign flips and exact zeros — every block shape the
+/// codec distinguishes.
+std::vector<float> random_field(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<float> f(n);
+  size_t i = 0;
+  while (i < n) {
+    const size_t run = 1 + rng.below(200);
+    const int kind = static_cast<int>(rng.below(5));
+    const double base = rng.uniform(-100.0, 100.0);
+    const double slope = rng.uniform(-0.5, 0.5);
+    for (size_t j = 0; j < run && i < n; ++j, ++i) {
+      switch (kind) {
+        case 0: f[i] = static_cast<float>(base); break;                       // constant
+        case 1: f[i] = static_cast<float>(base + slope * static_cast<double>(j)); break;
+        case 2: f[i] = static_cast<float>(base + rng.normal() * 5.0); break;  // noisy
+        case 3: f[i] = 0.0f; break;                                           // exact zero
+        default: f[i] = static_cast<float>(base * std::sin(0.2 * static_cast<double>(j)));
+      }
+    }
+  }
+  return f;
+}
+
+struct PropertyCase {
+  uint64_t seed;
+  size_t elements;
+  double eb;
+  uint32_t block_len;
+};
+
+class PropertySweep : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  FzParams params() const {
+    FzParams p;
+    p.abs_error_bound = GetParam().eb;
+    p.block_len = GetParam().block_len;
+    return p;
+  }
+};
+
+TEST_P(PropertySweep, P1_RoundTripBound) {
+  const PropertyCase c = GetParam();
+  const std::vector<float> x = random_field(c.seed, c.elements);
+  const std::vector<float> d = fz_decompress(fz_compress(x, params()));
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double slack = 1.2e-7 * std::abs(d[i]);
+    ASSERT_LE(std::abs(static_cast<double>(x[i]) - d[i]), c.eb * (1 + 1e-9) + slack)
+        << "seed " << c.seed << " elem " << i;
+  }
+}
+
+TEST_P(PropertySweep, P2_RecompressionIsIdempotent) {
+  const PropertyCase c = GetParam();
+  const std::vector<float> x = random_field(c.seed, c.elements);
+  const CompressedBuffer once = fz_compress(x, params());
+  const CompressedBuffer twice = fz_compress(fz_decompress(once), params());
+  // Decompressed values are exact grid points; re-quantizing them is the
+  // identity, so the streams must match bit for bit.
+  EXPECT_EQ(once.bytes, twice.bytes) << "seed " << c.seed;
+}
+
+TEST_P(PropertySweep, P3_HomomorphicSumIsExactOnTheGrid) {
+  const PropertyCase c = GetParam();
+  const std::vector<float> x = random_field(c.seed, c.elements);
+  const std::vector<float> y = random_field(c.seed ^ 0xFEEDULL, c.elements);
+  const CompressedBuffer a = fz_compress(x, params());
+  const CompressedBuffer b = fz_compress(y, params());
+
+  const std::vector<float> da = fz_decompress(a);
+  const std::vector<float> db = fz_decompress(b);
+  const std::vector<float> sum = fz_decompress(hz_add(a, b));
+  for (size_t i = 0; i < sum.size(); ++i) {
+    const double want = static_cast<double>(da[i]) + db[i];
+    ASSERT_NEAR(sum[i], want, 1.2e-7 * (std::abs(da[i]) + std::abs(db[i])) + 1e-30)
+        << "seed " << c.seed << " elem " << i;
+  }
+}
+
+TEST_P(PropertySweep, P4_LinearAlgebraComposes) {
+  const PropertyCase c = GetParam();
+  const std::vector<float> x = random_field(c.seed, c.elements);
+  const std::vector<float> y = random_field(c.seed ^ 0xBEEFULL, c.elements);
+  const CompressedBuffer a = fz_compress(x, params());
+  const CompressedBuffer b = fz_compress(y, params());
+
+  // (a + b) - b reconstructs a exactly (integer arithmetic).
+  EXPECT_EQ(fz_decompress(hz_sub(hz_add(a, b), b)), fz_decompress(a)) << "seed " << c.seed;
+  // 3a == a + a + a.
+  EXPECT_EQ(fz_decompress(hz_scale(a, 3)), fz_decompress(hz_add(hz_add(a, a), a)))
+      << "seed " << c.seed;
+  // -(a - b) == b - a.
+  EXPECT_EQ(fz_decompress(hz_negate(hz_sub(a, b))), fz_decompress(hz_sub(b, a)))
+      << "seed " << c.seed;
+}
+
+TEST_P(PropertySweep, P5_DynamicMatchesStaticBytes) {
+  const PropertyCase c = GetParam();
+  const std::vector<float> x = random_field(c.seed, c.elements);
+  const std::vector<float> y = random_field(c.seed ^ 0x1234ULL, c.elements);
+  const CompressedBuffer a = fz_compress(x, params());
+  const CompressedBuffer b = fz_compress(y, params());
+  EXPECT_EQ(hz_add(a, b).bytes, hz_add_static(a, b).bytes) << "seed " << c.seed;
+}
+
+std::vector<PropertyCase> property_cases() {
+  std::vector<PropertyCase> cases;
+  Rng rng(0xCA5E);
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    const size_t elements = 1 + rng.below(40000);
+    const double eb = std::pow(10.0, rng.uniform(-4.0, -1.0));
+    const uint32_t block_len = static_cast<uint32_t>(1 + rng.below(256));
+    cases.push_back({seed, elements, eb, block_len});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedSweep, PropertySweep, ::testing::ValuesIn(property_cases()),
+                         [](const auto& pinfo) {
+                           const PropertyCase& c = pinfo.param;
+                           return "seed" + std::to_string(c.seed) + "_n" +
+                                  std::to_string(c.elements) + "_bl" +
+                                  std::to_string(c.block_len);
+                         });
+
+}  // namespace
+}  // namespace hzccl

@@ -1,0 +1,70 @@
+// Direct tests of the quantizer — the single error source of the whole
+// stack — pinning its rounding rule, bound, range guard and reconstruction
+// semantics independent of the compressor around it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hzccl/compressor/quantize.hpp"
+#include "hzccl/util/error.hpp"
+#include "hzccl/util/random.hpp"
+
+namespace hzccl {
+namespace {
+
+TEST(Quantizer, RejectsNonPositiveBound) {
+  EXPECT_THROW(Quantizer(0.0), Error);
+  EXPECT_THROW(Quantizer(-1e-3), Error);
+}
+
+TEST(Quantizer, RoundTripWithinBound) {
+  const Quantizer q(1e-3);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const float v = static_cast<float>(rng.uniform(-1000.0, 1000.0));
+    const float recon = q.dequantize(q.quantize(v));
+    ASSERT_LE(std::abs(static_cast<double>(v) - recon), 1e-3 * (1 + 1e-9) + 1.2e-7 * std::abs(v));
+  }
+}
+
+TEST(Quantizer, GridPointsAreFixedPoints) {
+  const Quantizer q(0.5);  // quantum 1.0
+  for (int64_t k : {-1000000L, -3L, 0L, 7L, 123456L}) {
+    EXPECT_EQ(q.quantize(static_cast<float>(k)), k);
+    EXPECT_EQ(q.dequantize(k), static_cast<float>(k));
+  }
+}
+
+TEST(Quantizer, RoundsHalfToEven) {
+  const Quantizer q(0.5);  // quantum 1.0: .5 boundaries at half-integers
+  EXPECT_EQ(q.quantize(0.5f), 0);   // ties to even
+  EXPECT_EQ(q.quantize(1.5f), 2);
+  EXPECT_EQ(q.quantize(2.5f), 2);
+  EXPECT_EQ(q.quantize(-0.5f), 0);
+  EXPECT_EQ(q.quantize(-1.5f), -2);
+}
+
+TEST(Quantizer, RangeGuardFiresPastThirtyBits) {
+  const Quantizer q(0.5);  // quantum 1.0: q == value
+  EXPECT_NO_THROW(q.quantize(static_cast<float>((1 << 30) - 512)));
+  EXPECT_THROW(q.quantize(2.5e9f), QuantizationRangeError);
+  EXPECT_THROW(q.quantize(-2.5e9f), QuantizationRangeError);
+  EXPECT_THROW(q.quantize(1e30f), QuantizationRangeError);
+}
+
+TEST(Quantizer, SixtyFourBitDequantizeForReducedStreams) {
+  // Reduced streams carry sums of many operands: the reconstruction path
+  // must accept accumulators beyond int32.
+  const Quantizer q(0.5);
+  const int64_t big = int64_t{3} << 32;
+  EXPECT_FLOAT_EQ(q.dequantize(big), static_cast<float>(big));
+}
+
+TEST(Quantizer, TightBoundsStayExact) {
+  const Quantizer q(1e-7);
+  const float v = 0.123456f;
+  EXPECT_NEAR(q.dequantize(q.quantize(v)), v, 1e-7 * 1.01);
+}
+
+}  // namespace
+}  // namespace hzccl

@@ -1,0 +1,124 @@
+// Unit tests for error metrics and the STREAM substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hzccl/stats/error_model.hpp"
+#include "hzccl/stats/metrics.hpp"
+#include "hzccl/stats/stream.hpp"
+#include "hzccl/util/error.hpp"
+
+namespace hzccl {
+namespace {
+
+TEST(Compare, IdenticalDataHasZeroError) {
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f, -4.0f};
+  const ErrorStats s = compare(a, a);
+  EXPECT_EQ(s.max_abs_err, 0.0);
+  EXPECT_EQ(s.rmse, 0.0);
+  EXPECT_EQ(s.nrmse, 0.0);
+  EXPECT_TRUE(std::isinf(s.psnr));
+  EXPECT_DOUBLE_EQ(s.min, -4.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.range, 7.0);
+}
+
+TEST(Compare, KnownUniformError) {
+  const std::vector<float> orig = {0.0f, 1.0f, 2.0f, 3.0f};
+  const std::vector<float> recon = {0.5f, 1.5f, 2.5f, 3.5f};
+  const ErrorStats s = compare(orig, recon);
+  EXPECT_DOUBLE_EQ(s.max_abs_err, 0.5);
+  EXPECT_DOUBLE_EQ(s.rmse, 0.5);
+  EXPECT_DOUBLE_EQ(s.nrmse, 0.5 / 3.0);
+  // PSNR = 20 log10(range/rmse) = 20 log10(6)
+  EXPECT_NEAR(s.psnr, 20.0 * std::log10(6.0), 1e-12);
+}
+
+TEST(Compare, PointwiseRelativeSkipsZeros) {
+  const std::vector<float> orig = {0.0f, 2.0f};
+  const std::vector<float> recon = {0.5f, 1.0f};
+  const ErrorStats s = compare(orig, recon);
+  EXPECT_DOUBLE_EQ(s.max_pw_rel_err, 0.5);  // only the nonzero original counts
+}
+
+TEST(Compare, SizeMismatchThrows) {
+  const std::vector<float> a = {1.0f};
+  const std::vector<float> b = {1.0f, 2.0f};
+  EXPECT_THROW(compare(a, b), Error);
+}
+
+TEST(Compare, EmptyInputIsAllZeros) {
+  const ErrorStats s = compare({}, {});
+  EXPECT_EQ(s.rmse, 0.0);
+  EXPECT_EQ(s.range, 0.0);
+}
+
+TEST(ValueRangeTest, FindsExtremes) {
+  const std::vector<float> v = {3.0f, -7.0f, 2.0f, 11.0f};
+  const ValueRange r = value_range(v);
+  EXPECT_DOUBLE_EQ(r.min, -7.0);
+  EXPECT_DOUBLE_EQ(r.max, 11.0);
+  EXPECT_DOUBLE_EQ(r.span(), 18.0);
+}
+
+TEST(AbsBoundFromRel, ScalesWithRange) {
+  const std::vector<float> v = {0.0f, 10.0f};
+  EXPECT_DOUBLE_EQ(abs_bound_from_rel(v, 1e-3), 1e-2);
+}
+
+TEST(AbsBoundFromRel, ConstantFieldFallsBackToRel) {
+  const std::vector<float> v = {5.0f, 5.0f, 5.0f};
+  EXPECT_DOUBLE_EQ(abs_bound_from_rel(v, 1e-3), 1e-3);
+}
+
+TEST(CompressionRatio, Basics) {
+  EXPECT_DOUBLE_EQ(compression_ratio(100, 10), 10.0);
+  EXPECT_EQ(compression_ratio(100, 0), 0.0);
+}
+
+TEST(Summarize, MeanAndStd) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summarize, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+// --- error-propagation model ---------------------------------------------
+
+TEST(ErrorModel, BoundsOrderAsDerived) {
+  const double eb = 1e-3;
+  for (int n : {1, 2, 16, 512}) {
+    EXPECT_EQ(collective_error_bound(StackKind::kRawMpi, n, eb), 0.0);
+    EXPECT_DOUBLE_EQ(collective_error_bound(StackKind::kHzccl, n, eb), n * eb);
+    EXPECT_DOUBLE_EQ(collective_error_bound(StackKind::kCColl, n, eb), (n + 1) * eb);
+    EXPECT_DOUBLE_EQ(hzccl_accuracy_gain(n, eb), eb);
+  }
+}
+
+TEST(ErrorModel, RejectsDegenerateArguments) {
+  EXPECT_THROW(collective_error_bound(StackKind::kHzccl, 0, 1e-3), Error);
+  EXPECT_THROW(collective_error_bound(StackKind::kHzccl, 4, 0.0), Error);
+}
+
+TEST(Stream, ProducesPositiveBandwidths) {
+  // Small arrays: this validates plumbing, not peak accuracy.
+  const StreamResult r = run_stream(size_t{1} << 16, 2);
+  EXPECT_GT(r.copy_gbps, 0.0);
+  EXPECT_GT(r.scale_gbps, 0.0);
+  EXPECT_GT(r.add_gbps, 0.0);
+  EXPECT_GT(r.triad_gbps, 0.0);
+  EXPECT_GE(r.peak(), r.copy_gbps);
+  EXPECT_GE(r.peak(), r.triad_gbps);
+}
+
+}  // namespace
+}  // namespace hzccl

@@ -1,0 +1,197 @@
+// hzcclc — command-line front end for the hZCCL compressor.
+//
+//   hzcclc compress   <in.f32> <out.fz>  [--rel R | --abs E] [--block N]
+//   hzcclc decompress <in.fz>  <out.f32>
+//   hzcclc info       <in.fz>
+//   hzcclc add        <a.fz> <b.fz> <out.fz>        (homomorphic sum)
+//   hzcclc sub        <a.fz> <b.fz> <out.fz>        (homomorphic difference)
+//   hzcclc stats      <orig.f32> <recon.f32>        (error metrics)
+//
+// Works on SDRBench-style raw little-endian float32 files, so the synthetic
+// datasets can be swapped for the real NYX / CESM-ATM / Hurricane fields.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "hzccl/compressor/fixed_len.hpp"
+#include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/datasets/io.hpp"
+#include "hzccl/homomorphic/hz_dynamic.hpp"
+#include "hzccl/homomorphic/hz_ops.hpp"
+#include "hzccl/stats/metrics.hpp"
+#include "hzccl/util/threading.hpp"
+#include "hzccl/util/timer.hpp"
+
+namespace {
+
+using namespace hzccl;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  hzcclc compress   <in.f32> <out.fz> [--rel R | --abs E] [--block N] [--crc]\n"
+               "  hzcclc decompress <in.fz> <out.f32>\n"
+               "  hzcclc info       <in.fz>\n"
+               "  hzcclc add        <a.fz> <b.fz> <out.fz>\n"
+               "  hzcclc sub        <a.fz> <b.fz> <out.fz>\n"
+               "  hzcclc stats      <orig.f32> <recon.f32>\n");
+  return 2;
+}
+
+std::vector<uint8_t> load_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw Error("cannot open " + path);
+  std::vector<uint8_t> bytes(static_cast<size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
+  if (!in) throw Error("short read from " + path);
+  return bytes;
+}
+
+void store_bytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot create " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw Error("short write to " + path);
+}
+
+int cmd_compress(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string in_path = argv[2], out_path = argv[3];
+  double rel = 1e-3, abs = 0.0;
+  uint32_t block = 32;
+  bool crc = false;
+  for (int i = 4; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--rel" && i + 1 < argc) {
+      rel = std::stod(argv[++i]);
+    } else if (flag == "--abs" && i + 1 < argc) {
+      abs = std::stod(argv[++i]);
+    } else if (flag == "--block" && i + 1 < argc) {
+      block = static_cast<uint32_t>(std::stoul(argv[++i]));
+    } else if (flag == "--crc") {
+      crc = true;
+    } else {
+      return usage();
+    }
+  }
+  const std::vector<float> data = load_f32(in_path);
+  FzParams params;
+  params.abs_error_bound = abs > 0.0 ? abs : abs_bound_from_rel(data, rel);
+  params.block_len = block;
+
+  Timer timer;
+  CompressedBuffer compressed = fz_compress(data, params);
+  const double seconds = timer.seconds();
+  if (crc) compressed = add_checksum(std::move(compressed));
+  store_bytes(out_path, compressed.bytes);
+  std::printf("%zu floats -> %zu bytes  ratio %.2f  eb %.3e  %.2f GB/s\n", data.size(),
+              compressed.size_bytes(),
+              compression_ratio(data.size() * sizeof(float), compressed.size_bytes()),
+              params.abs_error_bound,
+              gb_per_s(static_cast<double>(data.size()) * sizeof(float), seconds));
+  return 0;
+}
+
+int cmd_decompress(int argc, char** argv) {
+  if (argc != 4) return usage();
+  CompressedBuffer compressed;
+  compressed.bytes = load_bytes(argv[2]);
+  Timer timer;
+  const std::vector<float> data = fz_decompress(compressed);
+  const double seconds = timer.seconds();
+  store_f32(argv[3], data);
+  std::printf("%zu bytes -> %zu floats  %.2f GB/s\n", compressed.size_bytes(), data.size(),
+              gb_per_s(static_cast<double>(data.size()) * sizeof(float), seconds));
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const std::vector<uint8_t> bytes = load_bytes(argv[2]);
+  const FzView v = parse_fz(bytes);
+  std::printf("fZ-light stream\n");
+  std::printf("  elements:    %zu (%zu bytes uncompressed)\n", v.num_elements(),
+              v.num_elements() * sizeof(float));
+  std::printf("  stream size: %zu bytes (ratio %.2f)\n", bytes.size(),
+              compression_ratio(v.num_elements() * sizeof(float), bytes.size()));
+  std::printf("  error bound: %.6e (absolute)\n", v.error_bound());
+  std::printf("  block len:   %u, chunks: %u\n", v.block_len(), v.num_chunks());
+  // Block-constancy census — the property hZ-dynamic's pipelines feed on.
+  size_t constant = 0, total = 0;
+  for (uint32_t c = 0; c < v.num_chunks(); ++c) {
+    const auto chunk = v.chunk_payload(c);
+    const uint8_t* p = chunk.data();
+    const uint8_t* const end = p + chunk.size();
+    const Range r = chunk_range(v.num_elements(), static_cast<int>(v.num_chunks()),
+                                static_cast<int>(c));
+    size_t remaining = r.size();
+    while (remaining > 0 && p < end) {
+      const size_t n = std::min<size_t>(v.block_len(), remaining);
+      const size_t size = peek_block_size(p, end, n);
+      constant += (*p == 0);
+      ++total;
+      p += size;
+      remaining -= n;
+    }
+  }
+  if (total > 0) {
+    std::printf("  constant blocks: %zu / %zu (%.1f%%)\n", constant, total,
+                100.0 * static_cast<double>(constant) / static_cast<double>(total));
+  }
+  return 0;
+}
+
+int cmd_binary_op(int argc, char** argv, bool subtract) {
+  if (argc != 5) return usage();
+  CompressedBuffer a, b;
+  a.bytes = load_bytes(argv[2]);
+  b.bytes = load_bytes(argv[3]);
+  HzPipelineStats stats;
+  Timer timer;
+  const CompressedBuffer out = subtract ? hz_sub(a, b, &stats) : hz_add(a, b, &stats);
+  const double seconds = timer.seconds();
+  store_bytes(argv[4], out.bytes);
+  const FzView v = parse_fz(out.bytes);
+  std::printf("homomorphic %s: %zu bytes out, %.2f GB/s (uncompressed basis)\n",
+              subtract ? "sub" : "add", out.size_bytes(),
+              gb_per_s(static_cast<double>(v.num_elements()) * sizeof(float), seconds));
+  std::printf("  pipelines: P1 %.1f%%  P2 %.1f%%  P3 %.1f%%  P4 %.1f%%\n", stats.percent(1),
+              stats.percent(2), stats.percent(3), stats.percent(4));
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc != 4) return usage();
+  const std::vector<float> orig = load_f32(argv[2]);
+  const std::vector<float> recon = load_f32(argv[3]);
+  const ErrorStats s = compare(orig, recon);
+  std::printf("Min=%.10g, Max=%.10g, range=%.10g\n", s.min, s.max, s.range);
+  std::printf("Max absolute error = %.10g\n", s.max_abs_err);
+  std::printf("Max relative error = %.6g\n", s.max_rel_err);
+  std::printf("Max pw relative error = %.6g\n", s.max_pw_rel_err);
+  std::printf("PSNR = %.3f, NRMSE = %.8g\n", s.psnr, s.nrmse);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "compress") return cmd_compress(argc, argv);
+    if (cmd == "decompress") return cmd_decompress(argc, argv);
+    if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "add") return cmd_binary_op(argc, argv, /*subtract=*/false);
+    if (cmd == "sub") return cmd_binary_op(argc, argv, /*subtract=*/true);
+    if (cmd == "stats") return cmd_stats(argc, argv);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "hzcclc: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
