@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_block_len.dir/bench_ablation_block_len.cpp.o"
+  "CMakeFiles/bench_ablation_block_len.dir/bench_ablation_block_len.cpp.o.d"
+  "bench_ablation_block_len"
+  "bench_ablation_block_len.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_block_len.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

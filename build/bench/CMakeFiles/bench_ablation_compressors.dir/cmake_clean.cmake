@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_compressors.dir/bench_ablation_compressors.cpp.o"
+  "CMakeFiles/bench_ablation_compressors.dir/bench_ablation_compressors.cpp.o.d"
+  "bench_ablation_compressors"
+  "bench_ablation_compressors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_compressors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_rs_vs_ccoll.dir/bench_fig7_rs_vs_ccoll.cpp.o"
+  "CMakeFiles/bench_fig7_rs_vs_ccoll.dir/bench_fig7_rs_vs_ccoll.cpp.o.d"
+  "bench_fig7_rs_vs_ccoll"
+  "bench_fig7_rs_vs_ccoll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_rs_vs_ccoll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

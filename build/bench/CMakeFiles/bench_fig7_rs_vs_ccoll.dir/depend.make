@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_rs_vs_ccoll.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_membw.dir/bench_table4_membw.cpp.o"
+  "CMakeFiles/bench_table4_membw.dir/bench_table4_membw.cpp.o.d"
+  "bench_table4_membw"
+  "bench_table4_membw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_membw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

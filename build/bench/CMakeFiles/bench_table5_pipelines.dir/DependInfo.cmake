@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_pipelines.cpp" "bench/CMakeFiles/bench_table5_pipelines.dir/bench_table5_pipelines.cpp.o" "gcc" "bench/CMakeFiles/bench_table5_pipelines.dir/bench_table5_pipelines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hzccl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hzccl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/hzccl_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/hzccl_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/homomorphic/CMakeFiles/hzccl_homomorphic.dir/DependInfo.cmake"
+  "/root/repo/build/src/compressor/CMakeFiles/hzccl_compressor.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/hzccl_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hzccl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hzccl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_pipelines.dir/bench_table5_pipelines.cpp.o"
+  "CMakeFiles/bench_table5_pipelines.dir/bench_table5_pipelines.cpp.o.d"
+  "bench_table5_pipelines"
+  "bench_table5_pipelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

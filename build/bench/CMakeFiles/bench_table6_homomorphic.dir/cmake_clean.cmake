@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_homomorphic.dir/bench_table6_homomorphic.cpp.o"
+  "CMakeFiles/bench_table6_homomorphic.dir/bench_table6_homomorphic.cpp.o.d"
+  "bench_table6_homomorphic"
+  "bench_table6_homomorphic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_homomorphic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

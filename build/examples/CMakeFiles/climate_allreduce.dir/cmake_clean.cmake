@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_allreduce.dir/climate_allreduce.cpp.o"
+  "CMakeFiles/climate_allreduce.dir/climate_allreduce.cpp.o.d"
+  "climate_allreduce"
+  "climate_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

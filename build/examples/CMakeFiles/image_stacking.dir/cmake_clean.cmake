@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_stacking.dir/image_stacking.cpp.o"
+  "CMakeFiles/image_stacking.dir/image_stacking.cpp.o.d"
+  "image_stacking"
+  "image_stacking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_stacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

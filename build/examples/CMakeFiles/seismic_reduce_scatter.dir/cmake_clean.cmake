@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seismic_reduce_scatter.dir/seismic_reduce_scatter.cpp.o"
+  "CMakeFiles/seismic_reduce_scatter.dir/seismic_reduce_scatter.cpp.o.d"
+  "seismic_reduce_scatter"
+  "seismic_reduce_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seismic_reduce_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

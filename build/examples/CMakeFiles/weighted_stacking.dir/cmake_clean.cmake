@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_stacking.dir/weighted_stacking.cpp.o"
+  "CMakeFiles/weighted_stacking.dir/weighted_stacking.cpp.o.d"
+  "weighted_stacking"
+  "weighted_stacking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_stacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

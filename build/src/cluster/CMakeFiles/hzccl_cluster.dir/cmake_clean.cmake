@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hzccl_cluster.dir/autotune.cpp.o"
+  "CMakeFiles/hzccl_cluster.dir/autotune.cpp.o.d"
+  "CMakeFiles/hzccl_cluster.dir/roundsim.cpp.o"
+  "CMakeFiles/hzccl_cluster.dir/roundsim.cpp.o.d"
+  "libhzccl_cluster.a"
+  "libhzccl_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hzccl_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hzccl_collectives.dir/algorithms.cpp.o"
+  "CMakeFiles/hzccl_collectives.dir/algorithms.cpp.o.d"
+  "CMakeFiles/hzccl_collectives.dir/ccoll.cpp.o"
+  "CMakeFiles/hzccl_collectives.dir/ccoll.cpp.o.d"
+  "CMakeFiles/hzccl_collectives.dir/hzccl_coll.cpp.o"
+  "CMakeFiles/hzccl_collectives.dir/hzccl_coll.cpp.o.d"
+  "CMakeFiles/hzccl_collectives.dir/movement.cpp.o"
+  "CMakeFiles/hzccl_collectives.dir/movement.cpp.o.d"
+  "CMakeFiles/hzccl_collectives.dir/raw.cpp.o"
+  "CMakeFiles/hzccl_collectives.dir/raw.cpp.o.d"
+  "libhzccl_collectives.a"
+  "libhzccl_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hzccl_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

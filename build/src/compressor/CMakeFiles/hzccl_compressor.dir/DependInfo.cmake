@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compressor/fixed_len.cpp" "src/compressor/CMakeFiles/hzccl_compressor.dir/fixed_len.cpp.o" "gcc" "src/compressor/CMakeFiles/hzccl_compressor.dir/fixed_len.cpp.o.d"
+  "/root/repo/src/compressor/format.cpp" "src/compressor/CMakeFiles/hzccl_compressor.dir/format.cpp.o" "gcc" "src/compressor/CMakeFiles/hzccl_compressor.dir/format.cpp.o.d"
+  "/root/repo/src/compressor/fz_light.cpp" "src/compressor/CMakeFiles/hzccl_compressor.dir/fz_light.cpp.o" "gcc" "src/compressor/CMakeFiles/hzccl_compressor.dir/fz_light.cpp.o.d"
+  "/root/repo/src/compressor/omp_szp.cpp" "src/compressor/CMakeFiles/hzccl_compressor.dir/omp_szp.cpp.o" "gcc" "src/compressor/CMakeFiles/hzccl_compressor.dir/omp_szp.cpp.o.d"
+  "/root/repo/src/compressor/szx_like.cpp" "src/compressor/CMakeFiles/hzccl_compressor.dir/szx_like.cpp.o" "gcc" "src/compressor/CMakeFiles/hzccl_compressor.dir/szx_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hzccl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hzccl_compressor.dir/fixed_len.cpp.o"
+  "CMakeFiles/hzccl_compressor.dir/fixed_len.cpp.o.d"
+  "CMakeFiles/hzccl_compressor.dir/format.cpp.o"
+  "CMakeFiles/hzccl_compressor.dir/format.cpp.o.d"
+  "CMakeFiles/hzccl_compressor.dir/fz_light.cpp.o"
+  "CMakeFiles/hzccl_compressor.dir/fz_light.cpp.o.d"
+  "CMakeFiles/hzccl_compressor.dir/omp_szp.cpp.o"
+  "CMakeFiles/hzccl_compressor.dir/omp_szp.cpp.o.d"
+  "CMakeFiles/hzccl_compressor.dir/szx_like.cpp.o"
+  "CMakeFiles/hzccl_compressor.dir/szx_like.cpp.o.d"
+  "libhzccl_compressor.a"
+  "libhzccl_compressor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hzccl_compressor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

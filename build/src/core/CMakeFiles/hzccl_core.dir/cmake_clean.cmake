@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hzccl_core.dir/hzccl.cpp.o"
+  "CMakeFiles/hzccl_core.dir/hzccl.cpp.o.d"
+  "libhzccl_core.a"
+  "libhzccl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hzccl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

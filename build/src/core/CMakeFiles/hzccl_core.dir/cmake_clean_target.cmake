@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhzccl_core.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/fields.cpp" "src/datasets/CMakeFiles/hzccl_datasets.dir/fields.cpp.o" "gcc" "src/datasets/CMakeFiles/hzccl_datasets.dir/fields.cpp.o.d"
+  "/root/repo/src/datasets/io.cpp" "src/datasets/CMakeFiles/hzccl_datasets.dir/io.cpp.o" "gcc" "src/datasets/CMakeFiles/hzccl_datasets.dir/io.cpp.o.d"
+  "/root/repo/src/datasets/registry.cpp" "src/datasets/CMakeFiles/hzccl_datasets.dir/registry.cpp.o" "gcc" "src/datasets/CMakeFiles/hzccl_datasets.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hzccl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

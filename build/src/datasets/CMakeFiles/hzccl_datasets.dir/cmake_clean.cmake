@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hzccl_datasets.dir/fields.cpp.o"
+  "CMakeFiles/hzccl_datasets.dir/fields.cpp.o.d"
+  "CMakeFiles/hzccl_datasets.dir/io.cpp.o"
+  "CMakeFiles/hzccl_datasets.dir/io.cpp.o.d"
+  "CMakeFiles/hzccl_datasets.dir/registry.cpp.o"
+  "CMakeFiles/hzccl_datasets.dir/registry.cpp.o.d"
+  "libhzccl_datasets.a"
+  "libhzccl_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hzccl_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

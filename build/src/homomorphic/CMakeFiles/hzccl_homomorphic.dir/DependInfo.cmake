@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/homomorphic/doc.cpp" "src/homomorphic/CMakeFiles/hzccl_homomorphic.dir/doc.cpp.o" "gcc" "src/homomorphic/CMakeFiles/hzccl_homomorphic.dir/doc.cpp.o.d"
+  "/root/repo/src/homomorphic/hz_dynamic.cpp" "src/homomorphic/CMakeFiles/hzccl_homomorphic.dir/hz_dynamic.cpp.o" "gcc" "src/homomorphic/CMakeFiles/hzccl_homomorphic.dir/hz_dynamic.cpp.o.d"
+  "/root/repo/src/homomorphic/hz_ops.cpp" "src/homomorphic/CMakeFiles/hzccl_homomorphic.dir/hz_ops.cpp.o" "gcc" "src/homomorphic/CMakeFiles/hzccl_homomorphic.dir/hz_ops.cpp.o.d"
+  "/root/repo/src/homomorphic/hz_static.cpp" "src/homomorphic/CMakeFiles/hzccl_homomorphic.dir/hz_static.cpp.o" "gcc" "src/homomorphic/CMakeFiles/hzccl_homomorphic.dir/hz_static.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compressor/CMakeFiles/hzccl_compressor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hzccl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

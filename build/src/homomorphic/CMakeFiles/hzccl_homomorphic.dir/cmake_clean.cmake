@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hzccl_homomorphic.dir/doc.cpp.o"
+  "CMakeFiles/hzccl_homomorphic.dir/doc.cpp.o.d"
+  "CMakeFiles/hzccl_homomorphic.dir/hz_dynamic.cpp.o"
+  "CMakeFiles/hzccl_homomorphic.dir/hz_dynamic.cpp.o.d"
+  "CMakeFiles/hzccl_homomorphic.dir/hz_ops.cpp.o"
+  "CMakeFiles/hzccl_homomorphic.dir/hz_ops.cpp.o.d"
+  "CMakeFiles/hzccl_homomorphic.dir/hz_static.cpp.o"
+  "CMakeFiles/hzccl_homomorphic.dir/hz_static.cpp.o.d"
+  "libhzccl_homomorphic.a"
+  "libhzccl_homomorphic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hzccl_homomorphic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simmpi/costmodel.cpp" "src/simmpi/CMakeFiles/hzccl_simmpi.dir/costmodel.cpp.o" "gcc" "src/simmpi/CMakeFiles/hzccl_simmpi.dir/costmodel.cpp.o.d"
+  "/root/repo/src/simmpi/runtime.cpp" "src/simmpi/CMakeFiles/hzccl_simmpi.dir/runtime.cpp.o" "gcc" "src/simmpi/CMakeFiles/hzccl_simmpi.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hzccl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/homomorphic/CMakeFiles/hzccl_homomorphic.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/hzccl_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/compressor/CMakeFiles/hzccl_compressor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

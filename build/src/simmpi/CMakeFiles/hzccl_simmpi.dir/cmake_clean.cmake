@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hzccl_simmpi.dir/costmodel.cpp.o"
+  "CMakeFiles/hzccl_simmpi.dir/costmodel.cpp.o.d"
+  "CMakeFiles/hzccl_simmpi.dir/runtime.cpp.o"
+  "CMakeFiles/hzccl_simmpi.dir/runtime.cpp.o.d"
+  "libhzccl_simmpi.a"
+  "libhzccl_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hzccl_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hzccl_stats.dir/error_model.cpp.o"
+  "CMakeFiles/hzccl_stats.dir/error_model.cpp.o.d"
+  "CMakeFiles/hzccl_stats.dir/metrics.cpp.o"
+  "CMakeFiles/hzccl_stats.dir/metrics.cpp.o.d"
+  "CMakeFiles/hzccl_stats.dir/stream.cpp.o"
+  "CMakeFiles/hzccl_stats.dir/stream.cpp.o.d"
+  "libhzccl_stats.a"
+  "libhzccl_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hzccl_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hzccl_util.dir/crc32.cpp.o"
+  "CMakeFiles/hzccl_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/hzccl_util.dir/threading.cpp.o"
+  "CMakeFiles/hzccl_util.dir/threading.cpp.o.d"
+  "libhzccl_util.a"
+  "libhzccl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hzccl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allgather_test.dir/allgather_test.cpp.o"
+  "CMakeFiles/allgather_test.dir/allgather_test.cpp.o.d"
+  "allgather_test"
+  "allgather_test.pdb"
+  "allgather_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allgather_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixed_len_test.dir/fixed_len_test.cpp.o"
+  "CMakeFiles/fixed_len_test.dir/fixed_len_test.cpp.o.d"
+  "fixed_len_test"
+  "fixed_len_test.pdb"
+  "fixed_len_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixed_len_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

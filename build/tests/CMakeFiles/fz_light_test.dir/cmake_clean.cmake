@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fz_light_test.dir/fz_light_test.cpp.o"
+  "CMakeFiles/fz_light_test.dir/fz_light_test.cpp.o.d"
+  "fz_light_test"
+  "fz_light_test.pdb"
+  "fz_light_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fz_light_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

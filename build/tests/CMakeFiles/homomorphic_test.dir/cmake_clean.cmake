@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homomorphic_test.dir/homomorphic_test.cpp.o"
+  "CMakeFiles/homomorphic_test.dir/homomorphic_test.cpp.o.d"
+  "homomorphic_test"
+  "homomorphic_test.pdb"
+  "homomorphic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homomorphic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hz_ops_test.dir/hz_ops_test.cpp.o"
+  "CMakeFiles/hz_ops_test.dir/hz_ops_test.cpp.o.d"
+  "hz_ops_test"
+  "hz_ops_test.pdb"
+  "hz_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hz_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movement_test.dir/movement_test.cpp.o"
+  "CMakeFiles/movement_test.dir/movement_test.cpp.o.d"
+  "movement_test"
+  "movement_test.pdb"
+  "movement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omp_szp_test.dir/omp_szp_test.cpp.o"
+  "CMakeFiles/omp_szp_test.dir/omp_szp_test.cpp.o.d"
+  "omp_szp_test"
+  "omp_szp_test.pdb"
+  "omp_szp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omp_szp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

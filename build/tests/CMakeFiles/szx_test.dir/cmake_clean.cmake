@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szx_test.dir/szx_test.cpp.o"
+  "CMakeFiles/szx_test.dir/szx_test.cpp.o.d"
+  "szx_test"
+  "szx_test.pdb"
+  "szx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

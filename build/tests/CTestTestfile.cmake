@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/datasets_test[1]_include.cmake")
+include("/root/repo/build/tests/fixed_len_test[1]_include.cmake")
+include("/root/repo/build/tests/format_test[1]_include.cmake")
+include("/root/repo/build/tests/fz_light_test[1]_include.cmake")
+include("/root/repo/build/tests/quantize_test[1]_include.cmake")
+include("/root/repo/build/tests/omp_szp_test[1]_include.cmake")
+include("/root/repo/build/tests/szx_test[1]_include.cmake")
+include("/root/repo/build/tests/homomorphic_test[1]_include.cmake")
+include("/root/repo/build/tests/hz_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/doc_test[1]_include.cmake")
+include("/root/repo/build/tests/simmpi_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/allgather_test[1]_include.cmake")
+include("/root/repo/build/tests/movement_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/autotune_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hzcclc.dir/hzcclc.cpp.o"
+  "CMakeFiles/hzcclc.dir/hzcclc.cpp.o.d"
+  "hzcclc"
+  "hzcclc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hzcclc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
