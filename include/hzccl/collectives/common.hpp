@@ -92,4 +92,47 @@ inline constexpr int kTagReduceScatter = 0;
 inline constexpr int kTagAllgather = 1 << 20;
 inline constexpr int kTagSize = 1 << 21;
 
+// ---------------------------------------------------------------------------
+// Receive-side healing of compressed blocks (graceful degradation).
+//
+// The simmpi transport already heals wire-level damage (CRC-rejected frames,
+// drops, duplicates) transparently inside Comm::recv.  What it cannot catch
+// is CRC-*valid* corruption — a faulty sender whose encoder scribbled the
+// stream before framing.  These helpers close that gap: validate that a
+// received stream actually decodes, NACK once for a retransmission, and on
+// persistent failure request the raw block instead of aborting the job.
+// ---------------------------------------------------------------------------
+
+/// True when `bytes` parse as an fZ-light stream carrying `expect_elements`
+/// elements (0 accepts any element count).  Never throws.
+bool fz_stream_decodes(std::span<const uint8_t> bytes, size_t expect_elements);
+
+/// A compressed block received through the fault-hardened transport.  When
+/// receive-side healing had to fall back to the raw block, the block arrives
+/// `degraded`: `raw` holds the sender's data as floats and `compressed` is
+/// empty.  Callers decide how to reintegrate it (reduce over floats, or
+/// re-encode before forwarding).
+struct CheckedBlock {
+  CompressedBuffer compressed;
+  std::vector<float> raw;
+  bool degraded = false;
+};
+
+/// Receive one fZ-light block from (src, tag) and validate that it decodes
+/// to `expect_elements` elements.  Decode failures under a FaultPlan heal in
+/// two stages: one NACK/retransmit, then the raw-block fallback (the sender
+/// decompresses its intact copy and ships floats; the sender-side decode is
+/// charged to DPR here and the wire is priced at raw size by the runtime).
+/// Without a FaultPlan a decode failure throws FormatError.
+CheckedBlock recv_checked_block(simmpi::Comm& comm, int src, int tag, size_t expect_elements,
+                                const CollectiveConfig& config);
+
+/// Validate-and-heal an already received stream in place: returns bytes
+/// guaranteed to parse as fZ-light, retransmitting and finally refetching
+/// the sender's pristine stream if needed.  For paths (like bcast) that
+/// must forward a decodable stream but learn the element count only from
+/// its header.
+CompressedBuffer heal_stream(simmpi::Comm& comm, int src, int tag, CompressedBuffer received,
+                             const CollectiveConfig& config);
+
 }  // namespace hzccl::coll

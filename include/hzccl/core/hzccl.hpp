@@ -55,6 +55,9 @@ struct JobConfig {
   simmpi::NetModel net = simmpi::NetModel::omnipath_100g();
   simmpi::CostModel cost = simmpi::CostModel::paper_broadwell();
   int host_threads = 1;  ///< OpenMP threads per rank on this host (functional)
+  /// Seeded fault injection for the simulated fabric; FaultPlan::none()
+  /// keeps the transport on its clean fast path.
+  simmpi::FaultPlan faults = simmpi::FaultPlan::none();
 
   coll::CollectiveConfig collective_config(simmpi::Mode mode) const {
     coll::CollectiveConfig c;
@@ -73,6 +76,8 @@ struct JobResult {
   std::vector<float> rank0_output;              ///< reduced block (RS) or full vector (AR)
   HzPipelineStats pipeline_stats;               ///< populated for hZCCL kernels
   size_t input_bytes_per_rank = 0;
+  std::vector<TransportStats> transport_per_rank;  ///< fault/recovery counters
+  TransportStats transport;                        ///< sum over ranks
 };
 
 /// Produces rank `r`'s input vector; every rank must return the same length.

@@ -1,0 +1,119 @@
+// Deterministic fault injection for the simmpi transport.
+//
+// The paper's collectives ran on 512 real nodes where links drop, reorder
+// and corrupt packets; a perfect simulated network never exercises any of
+// the recovery machinery.  A FaultPlan gives every link seeded, replayable
+// misbehavior:
+//
+//   * drop       — the frame vanishes on the wire
+//   * duplicate  — the frame is delivered twice
+//   * reorder    — the frame is held back behind the next frame on its link
+//   * corrupt    — one bit of the framed bytes is flipped in flight
+//   * mangle     — the payload is scribbled *before* framing (models
+//                  sender-side memory/encoder corruption that a wire CRC
+//                  cannot catch; surfaces as a decode failure downstream)
+//   * stall      — a rank pauses around one transport operation
+//
+// Every decision is a pure function of (seed, fault kind, link, sequence
+// number) through a counter-based hash — no sequential generator state — so
+// a run replays *exactly* from its seed no matter how the rank threads are
+// scheduled.  The transport hardens itself against the plan: payloads are
+// framed with a length + CRC-32C header, receivers time out on the virtual
+// clock and NACK for a retransmit (the runtime keeps the sender's pristine
+// copy in an in-flight window until it is acked), and all recovery traffic
+// is charged to the cost model so degraded runs still produce meaningful
+// virtual times.  Per-rank counters land in hzccl::TransportStats.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hzccl::simmpi {
+
+/// The coordinates of one fault decision (see fault_roll).
+enum class FaultKind : uint64_t {
+  kDrop = 1,
+  kDuplicate = 2,
+  kReorder = 3,
+  kCorrupt = 4,
+  kCorruptBit = 5,  ///< which bit of the frame the corruption flips
+  kMangle = 6,
+  kStallSend = 7,
+  kStallRecv = 8,
+};
+
+/// Strong stateless 64-bit mix (splitmix64 finalizer chain).
+uint64_t fault_mix(uint64_t seed, uint64_t stream, uint64_t counter);
+
+/// Uniform double in [0, 1) as a pure function of its coordinates — the
+/// counter-based PRNG behind every fault decision.
+double fault_roll(uint64_t seed, FaultKind kind, int src, int dst, uint64_t counter);
+
+/// Per-link fault probabilities plus the recovery-timing knobs.  All
+/// probabilities are per frame; 0 everywhere (the default) is a perfect
+/// network and disables the in-flight window entirely.
+struct FaultPlan {
+  uint64_t seed = 0;
+  double drop = 0.0;
+  double corrupt = 0.0;
+  double reorder = 0.0;
+  double duplicate = 0.0;
+  double stall = 0.0;
+  double mangle = 0.0;
+
+  /// Virtual seconds a stalled rank loses around one transport operation.
+  double stall_seconds = 50e-6;
+  /// Virtual-clock patience of Comm::recv before it NACKs a missing frame.
+  double recv_timeout_s = 200e-6;
+
+  bool enabled() const {
+    return drop > 0.0 || corrupt > 0.0 || reorder > 0.0 || duplicate > 0.0 ||
+           stall > 0.0 || mangle > 0.0;
+  }
+
+  /// Perfect network (all probabilities zero).
+  static FaultPlan none() { return FaultPlan{}; }
+
+  /// Parse the hzcclc flag syntax "seed,drop,corrupt[,reorder[,dup[,stall]]]".
+  static FaultPlan parse(const std::string& spec);
+
+  /// One-line human summary ("seed=42 drop=0.05 corrupt=0.02 ...").
+  std::string describe() const;
+};
+
+// ---------------------------------------------------------------------------
+// Wire framing: every payload travels as [FrameHeader][payload] so receivers
+// can detect truncation and in-flight corruption.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint32_t kFrameMagic = 0x485A4652;  // "HZFR"
+
+#pragma pack(push, 1)
+struct FrameHeader {
+  uint32_t magic = kFrameMagic;
+  uint32_t seq_lo = 0;       ///< per-link sequence number, low half
+  uint32_t seq_hi = 0;       ///< per-link sequence number, high half
+  uint32_t payload_len = 0;  ///< bytes following this header
+  uint32_t payload_crc = 0;  ///< CRC-32C of the payload
+  uint32_t header_crc = 0;   ///< CRC-32C of the preceding 20 header bytes
+};
+#pragma pack(pop)
+static_assert(sizeof(FrameHeader) == 24, "wire frame header must be 24 bytes");
+
+/// Wrap `payload` into a framed wire message carrying `seq`.
+std::vector<uint8_t> encode_frame(uint64_t seq, std::span<const uint8_t> payload);
+
+/// Result of validating a framed message.
+struct FrameView {
+  bool valid = false;                 ///< magic, lengths and both CRCs check out
+  uint64_t seq = 0;                   ///< meaningful only when valid
+  std::span<const uint8_t> payload;   ///< meaningful only when valid
+};
+
+/// Validate a framed message; never throws — corruption yields !valid.
+FrameView decode_frame(std::span<const uint8_t> frame);
+
+}  // namespace hzccl::simmpi

@@ -38,6 +38,13 @@ struct NetModel {
     return latency_s + static_cast<double>(bytes) / effective_bytes_per_s(nodes);
   }
 
+  /// Seconds for one NACK control message plus the retransmission of
+  /// `bytes` — the recovery round-trip the fault-hardened transport charges
+  /// when a frame was lost, held back, or rejected by its CRC.
+  double retransmit_seconds(size_t bytes, int nodes) const {
+    return latency_s + transfer_seconds(bytes, nodes);
+  }
+
   /// The paper's testbed fabric.
   static NetModel omnipath_100g() { return NetModel{}; }
 

@@ -14,6 +14,23 @@
 //    before the wire moved it.  Waiting lands in the kMpi bucket.
 //  * barrier()       — all ranks leave at max(arrival times) + α·ceil(log2 P).
 //
+// Transport hardening (see faults.hpp): every payload travels framed with a
+// length + CRC-32C header, and a seeded FaultPlan can drop, duplicate,
+// reorder, corrupt or stall traffic per link.  The runtime keeps each
+// sender's pristine payload in an in-flight window until the receiver
+// accepts it; receivers heal missing or corrupt frames with a virtual-clock
+// timeout + NACK/retransmit exchange whose cost is charged to the clock, so
+// degraded runs still produce meaningful virtual times.  Recovery activity
+// is counted per rank in hzccl::TransportStats.
+//
+// Determinism: every fault decision is a counter-based hash of the link and
+// sequence number (faults.hpp), and every recovery decision depends only on
+// a frame's *final* wire outcome — a dropped frame is recoverable from the
+// window, a held frame is always eventually delivered (released at the
+// sender's next transport operation or rank-function return), never raced
+// for.  Virtual times and transport counters therefore replay exactly from
+// a seed no matter how the host schedules the rank threads.
+//
 // Because rank threads block on condition variables while waiting for
 // matching messages, hundreds of mostly-idle ranks simulate fine on a small
 // host; the paper's 512-node runs map to 512 threads.
@@ -27,14 +44,26 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "hzccl/simmpi/clock.hpp"
+#include "hzccl/simmpi/faults.hpp"
 #include "hzccl/simmpi/netmodel.hpp"
+#include "hzccl/stats/metrics.hpp"
 
 namespace hzccl::simmpi {
 
 class Runtime;
+
+/// One framed message on the (simulated) wire.
+struct WireMessage {
+  int src = 0;
+  int tag = 0;
+  uint64_t seq = 0;            ///< per-link sequence number (metadata mirror)
+  std::vector<uint8_t> frame;  ///< framed bytes, possibly corrupted in flight
+  double send_vtime = 0.0;
+};
 
 /// Per-rank communicator handle, valid only inside Runtime::run.
 class Comm {
@@ -43,15 +72,33 @@ class Comm {
   int size() const { return size_; }
   VirtualClock& clock() { return clock_; }
   const NetModel& net() const;
+  const FaultPlan& faults() const;
 
   /// Eager, buffered send (never blocks on the receiver).
   void send(int dst, int tag, std::span<const uint8_t> payload);
 
-  /// Blocking receive of the next message matching (src, tag).
+  /// Blocking receive of the next message matching (src, tag).  Under a
+  /// FaultPlan this transparently heals dropped, corrupt and duplicate
+  /// frames (virtual-clock timeout + NACK + retransmit, all charged to the
+  /// clock); reordered frames are simply consumed late.
   std::vector<uint8_t> recv(int src, int tag);
 
   /// Receive into an existing buffer; the message size must match exactly.
   void recv_into(int src, int tag, std::span<uint8_t> out);
+
+  /// What a refetch of the last consumed message should return.
+  enum class Refetch {
+    kRetransmit,   ///< the sender's wire copy again (mangle re-rolls, so a
+                   ///< persistently corrupting sender stays corrupt)
+    kRawFallback,  ///< the sender's pristine source bytes — the "send me the
+                   ///< raw block" degradation path for persistent decode
+                   ///< failures; `raw_bytes_hint` prices the raw transfer
+  };
+
+  /// NACK the most recently consumed (src, tag) message and fetch it again
+  /// from the sender's in-flight window.  Requires an enabled FaultPlan;
+  /// the recovery round-trip is charged to the virtual clock.
+  std::vector<uint8_t> refetch(int src, int tag, Refetch mode, size_t raw_bytes_hint = 0);
 
   /// Synchronize all ranks (both thread-level and virtual-clock-level).
   void barrier();
@@ -64,9 +111,15 @@ class Comm {
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t bytes_received() const { return bytes_received_; }
 
+  /// Transport health counters accumulated by this rank so far.
+  const hzccl::TransportStats& transport() const { return transport_; }
+
  private:
   friend class Runtime;
-  Comm(Runtime* rt, int rank, int size) : runtime_(rt), rank_(rank), size_(size) {}
+  Comm(Runtime* rt, int rank, int size);
+
+  /// Roll the per-rank stall die around one transport operation.
+  void maybe_stall(FaultKind kind);
 
   Runtime* runtime_;
   int rank_;
@@ -74,12 +127,20 @@ class Comm {
   VirtualClock clock_;
   uint64_t bytes_sent_ = 0;
   uint64_t bytes_received_ = 0;
+  hzccl::TransportStats transport_;
+  std::vector<uint64_t> send_seq_;                      ///< next seq per destination
+  std::vector<std::unordered_set<uint64_t>> accepted_;  ///< accepted seqs per source
+  /// Frames held back by the reorder fault, one slot per destination; a held
+  /// frame is released behind the next frame to that destination, or at this
+  /// rank's next recv/barrier/return (the NIC drains while the CPU waits).
+  std::vector<std::unique_ptr<WireMessage>> limbo_;
+  uint64_t stall_counter_ = 0;
 };
 
 /// Owns the rank threads and mailboxes for one collective job.
 class Runtime {
  public:
-  Runtime(int nranks, NetModel net);
+  Runtime(int nranks, NetModel net, FaultPlan faults = FaultPlan::none());
   ~Runtime();
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -92,7 +153,11 @@ class Runtime {
   std::vector<ClockReport> run(const RankFn& fn);
 
   const NetModel& net() const { return net_; }
+  const FaultPlan& faults() const { return faults_; }
   int size() const { return nranks_; }
+
+  /// Per-rank transport counters of the most recent run.
+  const std::vector<hzccl::TransportStats>& transport_stats() const { return transport_stats_; }
 
   /// Completion time of the collective = slowest rank.
   static ClockReport slowest(const std::vector<ClockReport>& reports);
@@ -100,28 +165,56 @@ class Runtime {
  private:
   friend class Comm;
 
-  struct Message {
+  /// Final wire fate of a transmission.  Delivered frames (corrupt or not)
+  /// sit in the destination mailbox; dropped ones exist only in the window
+  /// until the receiver times out and NACKs; held ones are in the sender's
+  /// limbo and flip to delivered when released.
+  enum class WireOutcome { kDelivered, kDropped, kHeld };
+
+  /// Sender-side in-flight window entry: the pristine payload is retained
+  /// until the receiver accepts it (implicit ack), backing the
+  /// NACK/retransmit and raw-fallback paths.  Lives in the *destination's*
+  /// mailbox so receiver-side recovery shares one lock with the messages.
+  struct WindowEntry {
     int src = 0;
     int tag = 0;
-    std::vector<uint8_t> payload;
+    uint64_t seq = 0;
+    std::vector<uint8_t> pristine;  ///< payload before mangling and framing
     double send_vtime = 0.0;
+    WireOutcome outcome = WireOutcome::kDelivered;
+    bool consumed = false;
+    uint64_t attempts = 1;  ///< transmissions so far (mangle re-rolls per attempt)
   };
 
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable cv;
-    std::deque<Message> messages;
+    std::deque<WireMessage> messages;
+    std::deque<WindowEntry> window;
   };
 
-  void post(int dst, Message msg);
-  Message take(int dst, int src, int tag);
+  /// Frame, fault and deliver one payload from `sender` to `dst`.
+  void transmit(Comm& sender, int dst, int tag, std::span<const uint8_t> payload);
+
+  /// Release every frame `sender` is holding in limbo (reorder fault).
+  void flush_limbo(Comm& sender);
+
+  /// One blocking receive with the full recovery state machine.
+  std::vector<uint8_t> take(Comm& receiver, int src, int tag);
+
+  std::vector<uint8_t> refetch(Comm& receiver, int src, int tag, Comm::Refetch mode,
+                               size_t raw_bytes_hint);
+
+  void post(int dst, WireMessage msg);
 
   // Barrier bookkeeping (virtual-time max across arrivals).
   void barrier_wait(VirtualClock& clock);
 
   int nranks_;
   NetModel net_;
+  FaultPlan faults_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<hzccl::TransportStats> transport_stats_;
   /// Set when any rank throws, so peers blocked on that rank's messages or
   /// on the barrier fail fast instead of deadlocking the join.
   std::atomic<bool> aborted_{false};

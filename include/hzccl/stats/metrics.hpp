@@ -1,10 +1,13 @@
 // Error and data-quality metrics used across the evaluation: the quantities
 // reported in the paper's Tables III, VI and VII (compression ratio, NRMSE,
-// PSNR, max abs/rel/pointwise-relative error) plus summary statistics.
+// PSNR, max abs/rel/pointwise-relative error) plus summary statistics, and
+// the per-rank transport health counters of the fault-injected simmpi runs.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace hzccl {
@@ -39,6 +42,33 @@ double abs_bound_from_rel(std::span<const float> data, double rel_bound);
 
 /// original bytes / compressed bytes.
 double compression_ratio(size_t original_bytes, size_t compressed_bytes);
+
+/// Per-rank health counters of the framed simmpi transport, reported
+/// alongside the ClockReport.  Sender-side events (frames sent, injected
+/// wire faults, send stalls) accumulate on the sending rank; recovery events
+/// (retransmits, corrupt frames caught, duplicate discards, timeouts, raw
+/// fallbacks) accumulate on the receiving rank that performed the recovery.
+struct TransportStats {
+  uint64_t frames_sent = 0;        ///< framed messages injected into the wire
+  uint64_t frames_accepted = 0;    ///< frames that passed validation and were consumed
+  uint64_t faults_injected = 0;    ///< wire faults the plan fired on this rank's sends
+  uint64_t retransmits = 0;        ///< NACK-driven refetches from the in-flight window
+  uint64_t corrupt_frames = 0;     ///< frames the CRC/length validation rejected
+  uint64_t duplicate_discards = 0; ///< frames dropped because their seq was already accepted
+  uint64_t timeout_waits = 0;      ///< receives that timed out on a dropped/held frame
+  uint64_t raw_fallbacks = 0;      ///< persistent decode failures healed with a raw block
+  uint64_t stalls = 0;             ///< injected per-rank stalls
+
+  /// True when no fault fired and no recovery was needed.
+  bool clean() const;
+  TransportStats& operator+=(const TransportStats& other);
+};
+
+/// Element-wise sum over all ranks of a job.
+TransportStats total_transport(std::span<const TransportStats> per_rank);
+
+/// One-line summary ("sent=96 retx=7 corrupt=2 dup=1 timeout=4 raw=0 ...").
+std::string describe(const TransportStats& s);
 
 /// Sample mean and (population) standard deviation of a series; used for the
 /// per-field NRMSE STD columns of Tables III and VI.

@@ -50,11 +50,17 @@ void ccoll_reduce_scatter(Comm& comm, std::span<const float> input,
         comm, std::span<const float>(acc.data() + send_r.begin, send_r.size()), config);
     comm.send(ring_next(rank, size), kTagReduceScatter + step, to_send.span());
 
-    // DOC round, receive side: decompress, then reduce over floats.
-    CompressedBuffer received;
-    received.bytes = comm.recv(ring_prev(rank, size), kTagReduceScatter + step);
-    decoded.resize(recv_r.size());
-    decompress_block(comm, received, decoded, config);
+    // DOC round, receive side: decompress, then reduce over floats.  A
+    // degraded block already arrives as floats (sender-side decode charged
+    // by the healing path), so it skips the local decompression.
+    CheckedBlock received = recv_checked_block(comm, ring_prev(rank, size),
+                                               kTagReduceScatter + step, recv_r.size(), config);
+    if (received.degraded) {
+      decoded = std::move(received.raw);
+    } else {
+      decoded.resize(recv_r.size());
+      decompress_block(comm, received.compressed, decoded, config);
+    }
 
     float* dst = acc.data() + recv_r.begin;
     for (size_t i = 0; i < recv_r.size(); ++i) {
@@ -90,7 +96,14 @@ void ccoll_allgather(Comm& comm, std::span<const float> my_block, size_t total_e
     const int send_idx = ag_send_block(rank, step, size);
     const int recv_idx = ag_recv_block(rank, step, size);
     comm.send(ring_next(rank, size), kTagAllgather + step, blocks[send_idx].span());
-    blocks[recv_idx].bytes = comm.recv(ring_prev(rank, size), kTagAllgather + step);
+    const Range recv_r = ring_block_range(total_elements, size, recv_idx);
+    CheckedBlock received = recv_checked_block(comm, ring_prev(rank, size),
+                                               kTagAllgather + step, recv_r.size(), config);
+    if (received.degraded) {
+      blocks[recv_idx] = compress_block(comm, received.raw, config);
+    } else {
+      blocks[recv_idx] = std::move(received.compressed);
+    }
   }
 
   // Decompress the N-1 received chunks (own block is already in place).

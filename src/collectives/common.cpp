@@ -1,0 +1,67 @@
+#include "hzccl/collectives/common.hpp"
+
+namespace hzccl::coll {
+
+using simmpi::Comm;
+using simmpi::CostBucket;
+
+bool fz_stream_decodes(std::span<const uint8_t> bytes, size_t expect_elements) {
+  try {
+    const FzView view = parse_fz(bytes);
+    return expect_elements == 0 || view.num_elements() == expect_elements;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+CheckedBlock recv_checked_block(Comm& comm, int src, int tag, size_t expect_elements,
+                                const CollectiveConfig& config) {
+  CheckedBlock out;
+  out.compressed.bytes = comm.recv(src, tag);
+  if (fz_stream_decodes(out.compressed.bytes, expect_elements)) return out;
+
+  if (!comm.faults().enabled()) {
+    // No faults were injected, so this is a genuine producer bug — surface
+    // it instead of silently working around it.
+    throw FormatError("received stream does not decode to the expected block");
+  }
+
+  // Stage 1: one NACK/retransmit.  Heals anything that damaged only this
+  // wire copy; a sender whose encoder is corrupting the stream itself
+  // re-rolls its fault and may fail again.
+  out.compressed.bytes = comm.refetch(src, tag, Comm::Refetch::kRetransmit);
+  if (fz_stream_decodes(out.compressed.bytes, expect_elements)) return out;
+
+  // Stage 2: persistent decode failure — request the raw block.  The
+  // transport hands back the sender's pristine stream and prices the wire
+  // at raw size; decoding it locally stands in for the sender decompressing
+  // its intact copy before shipping floats, so the DPR charge lands here.
+  const size_t raw_bytes = expect_elements * sizeof(float);
+  CompressedBuffer pristine;
+  pristine.bytes = comm.refetch(src, tag, Comm::Refetch::kRawFallback, raw_bytes);
+  out.raw.resize(expect_elements);
+  fz_decompress(pristine, out.raw, config.host_threads);
+  comm.clock().advance(config.cost.seconds_fz_decompress(raw_bytes, config.mode),
+                       CostBucket::kDpr);
+  out.compressed = CompressedBuffer{};
+  out.degraded = true;
+  return out;
+}
+
+CompressedBuffer heal_stream(Comm& comm, int src, int tag, CompressedBuffer received,
+                             const CollectiveConfig& config) {
+  (void)config;
+  if (fz_stream_decodes(received.bytes, 0)) return received;
+  if (!comm.faults().enabled()) {
+    throw FormatError("received stream does not parse as fZ-light");
+  }
+  received.bytes = comm.refetch(src, tag, Comm::Refetch::kRetransmit);
+  if (fz_stream_decodes(received.bytes, 0)) return received;
+  // The pristine copy always parses (the sender produced it with
+  // fz_compress); with no element count known yet, the wire is priced at
+  // the stored stream size.
+  received.bytes = comm.refetch(src, tag, Comm::Refetch::kRawFallback);
+  return received;
+}
+
+}  // namespace hzccl::coll

@@ -46,16 +46,54 @@ CompressedBuffer hzccl_reduce_scatter_compressed(Comm& comm, std::span<const flo
 
     comm.send(ring_next(rank, size), kTagReduceScatter + step, blocks[send_idx].span());
 
-    CompressedBuffer received;
-    received.bytes = comm.recv(ring_prev(rank, size), kTagReduceScatter + step);
+    const Range recv_r = ring_block_range(input.size(), size, recv_idx);
+    CheckedBlock received = recv_checked_block(comm, ring_prev(rank, size),
+                                               kTagReduceScatter + step, recv_r.size(), config);
 
-    // The co-designed round: reduce two compressed blocks directly.
-    HzPipelineStats stats;
-    blocks[recv_idx] =
-        hz_add(blocks[recv_idx], received, &stats, config.host_threads);
+    if (!received.degraded) {
+      try {
+        // The co-designed round: reduce two compressed blocks directly.
+        HzPipelineStats stats;
+        CompressedBuffer summed =
+            hz_add(blocks[recv_idx], received.compressed, &stats, config.host_threads);
+        comm.clock().advance(
+            config.cost.seconds_hz_add(stats, config.block_len, config.mode), CostBucket::kHpr);
+        if (pipeline_stats) *pipeline_stats += stats;
+        blocks[recv_idx] = std::move(summed);
+        continue;
+      } catch (const Error&) {
+        // The stream parsed but could not be reduced homomorphically
+        // (deeper corruption, layout drift, residual overflow).  Fetch the
+        // raw block and degrade just this round instead of aborting.
+        if (!comm.faults().enabled()) throw;
+        const size_t raw_bytes = recv_r.size() * sizeof(float);
+        CompressedBuffer pristine;
+        pristine.bytes = comm.refetch(ring_prev(rank, size), kTagReduceScatter + step,
+                                      Comm::Refetch::kRawFallback, raw_bytes);
+        received.raw.resize(recv_r.size());
+        fz_decompress(pristine, received.raw, config.host_threads);
+        comm.clock().advance(config.cost.seconds_fz_decompress(raw_bytes, config.mode),
+                             CostBucket::kDpr);
+        received.degraded = true;
+      }
+    }
+
+    // Degraded DOC round: the incoming operand is raw floats, so reduce the
+    // classic way — decompress our partial, add, re-encode — and rejoin the
+    // homomorphic pipeline at the next step.
+    std::vector<float> own(recv_r.size());
+    fz_decompress(blocks[recv_idx], own, config.host_threads);
     comm.clock().advance(
-        config.cost.seconds_hz_add(stats, config.block_len, config.mode), CostBucket::kHpr);
-    if (pipeline_stats) *pipeline_stats += stats;
+        config.cost.seconds_fz_decompress(recv_r.size() * sizeof(float), config.mode),
+        CostBucket::kDpr);
+    for (size_t i = 0; i < own.size(); ++i) own[i] += received.raw[i];
+    comm.clock().advance(
+        config.cost.seconds_raw_sum(recv_r.size() * sizeof(float), config.mode),
+        CostBucket::kCpt);
+    blocks[recv_idx] = fz_compress(own, config.fz_params(own.size()));
+    comm.clock().advance(
+        config.cost.seconds_fz_compress(recv_r.size() * sizeof(float), config.mode),
+        CostBucket::kCpr);
   }
 
   return std::move(blocks[rs_owned_block(rank, size)]);
@@ -91,7 +129,19 @@ void hzccl_allgather_compressed(Comm& comm, const CompressedBuffer& my_block,
     const int send_idx = ag_send_block(rank, step, size);
     const int recv_idx = ag_recv_block(rank, step, size);
     comm.send(ring_next(rank, size), kTagAllgather + step, blocks[send_idx].span());
-    blocks[recv_idx].bytes = comm.recv(ring_prev(rank, size), kTagAllgather + step);
+    const Range recv_r = ring_block_range(total_elements, size, recv_idx);
+    CheckedBlock received = recv_checked_block(comm, ring_prev(rank, size),
+                                               kTagAllgather + step, recv_r.size(), config);
+    if (received.degraded) {
+      // A raw-fallback block must be re-encoded before the next hop so
+      // downstream ranks keep receiving compressed traffic.
+      blocks[recv_idx] = fz_compress(received.raw, config.fz_params(recv_r.size()));
+      comm.clock().advance(
+          config.cost.seconds_fz_compress(recv_r.size() * sizeof(float), config.mode),
+          CostBucket::kCpr);
+    } else {
+      blocks[recv_idx] = std::move(received.compressed);
+    }
   }
 
   out_full.assign(total_elements, 0.0f);

@@ -64,7 +64,11 @@ void ccoll_bcast(Comm& comm, std::vector<float>& data, int root,
   int mask = 0;
   const int parent = binomial_parent(relative, size, mask);
   if (parent >= 0) {
-    compressed.bytes = comm.recv(absolute_rank(parent, root, size), kTagBcast);
+    const int parent_rank = absolute_rank(parent, root, size);
+    compressed.bytes = comm.recv(parent_rank, kTagBcast);
+    // Heal before forwarding, so a corrupt stream never propagates down
+    // the broadcast tree.
+    compressed = heal_stream(comm, parent_rank, kTagBcast, std::move(compressed), config);
   }
   for (mask >>= 1; mask > 0; mask >>= 1) {
     const int child = relative + mask;

@@ -36,7 +36,7 @@ std::string op_name(Op op) {
 
 JobResult run_collective(Kernel kernel, Op op, const JobConfig& config,
                          const RankInputFn& rank_input) {
-  simmpi::Runtime runtime(config.nranks, config.net);
+  simmpi::Runtime runtime(config.nranks, config.net, config.faults);
   const coll::CollectiveConfig cc = config.collective_config(kernel_mode(kernel));
 
   JobResult result;
@@ -83,6 +83,8 @@ JobResult run_collective(Kernel kernel, Op op, const JobConfig& config,
 
   result.per_rank = runtime.run(rank_fn);
   result.slowest = simmpi::Runtime::slowest(result.per_rank);
+  result.transport_per_rank = runtime.transport_stats();
+  result.transport = total_transport(result.transport_per_rank);
   return result;
 }
 

@@ -1,0 +1,122 @@
+#include "hzccl/simmpi/faults.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "hzccl/util/crc32.hpp"
+#include "hzccl/util/error.hpp"
+
+namespace hzccl::simmpi {
+
+namespace {
+
+/// splitmix64 finalizer: the mixing half of hzccl::splitmix64 without the
+/// sequential state update, usable as a pure hash stage.
+uint64_t mix_stage(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t fault_mix(uint64_t seed, uint64_t stream, uint64_t counter) {
+  uint64_t h = mix_stage(seed + 0x9E3779B97F4A7C15ULL);
+  h = mix_stage(h ^ stream);
+  h = mix_stage(h ^ counter);
+  return h;
+}
+
+double fault_roll(uint64_t seed, FaultKind kind, int src, int dst, uint64_t counter) {
+  // Pack the decision coordinates into one stream id; links and kinds get
+  // independent streams so e.g. drop and corrupt decisions never correlate.
+  const uint64_t stream = (static_cast<uint64_t>(kind) << 48) |
+                          (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 24) |
+                          static_cast<uint64_t>(static_cast<uint32_t>(dst));
+  return static_cast<double>(fault_mix(seed, stream, counter) >> 11) * 0x1.0p-53;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  double* const slots[] = {&plan.corrupt, &plan.reorder, &plan.duplicate, &plan.stall};
+  size_t pos = 0;
+  int field = 0;
+  while (pos <= spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const std::string token =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    try {
+      if (field == 0) {
+        plan.seed = std::stoull(token);
+      } else if (field == 1) {
+        plan.drop = std::stod(token);
+      } else if (field - 2 < static_cast<int>(std::size(slots))) {
+        *slots[field - 2] = std::stod(token);
+      } else {
+        throw Error("FaultPlan: too many fields in '" + spec + "'");
+      }
+    } catch (const std::logic_error&) {  // stoull/stod failures
+      throw Error("FaultPlan: cannot parse '" + token + "' in '" + spec + "'");
+    }
+    ++field;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (field < 2) {
+    throw Error("FaultPlan: expected at least 'seed,drop' in '" + spec + "'");
+  }
+  for (double p : {plan.drop, plan.corrupt, plan.reorder, plan.duplicate, plan.stall}) {
+    if (p < 0.0 || p > 1.0) throw Error("FaultPlan: probabilities must be in [0, 1]");
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "seed=%llu drop=%g corrupt=%g reorder=%g dup=%g stall=%g mangle=%g",
+                static_cast<unsigned long long>(seed), drop, corrupt, reorder, duplicate,
+                stall, mangle);
+  return buf;
+}
+
+std::vector<uint8_t> encode_frame(uint64_t seq, std::span<const uint8_t> payload) {
+  FrameHeader h;
+  h.seq_lo = static_cast<uint32_t>(seq);
+  h.seq_hi = static_cast<uint32_t>(seq >> 32);
+  h.payload_len = static_cast<uint32_t>(payload.size());
+  if (h.payload_len != payload.size()) {
+    throw Error("encode_frame: payload exceeds the 32-bit frame length field");
+  }
+  h.payload_crc = crc32c(payload);
+  h.header_crc = crc32c({reinterpret_cast<const uint8_t*>(&h), offsetof(FrameHeader, header_crc)});
+
+  std::vector<uint8_t> frame(sizeof(FrameHeader) + payload.size());
+  std::memcpy(frame.data(), &h, sizeof(h));
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + sizeof(h), payload.data(), payload.size());
+  }
+  return frame;
+}
+
+FrameView decode_frame(std::span<const uint8_t> frame) {
+  FrameView view;
+  if (frame.size() < sizeof(FrameHeader)) return view;
+  FrameHeader h;
+  std::memcpy(&h, frame.data(), sizeof(h));
+  if (h.magic != kFrameMagic) return view;
+  if (h.header_crc !=
+      crc32c({reinterpret_cast<const uint8_t*>(&h), offsetof(FrameHeader, header_crc)})) {
+    return view;
+  }
+  if (frame.size() != sizeof(FrameHeader) + h.payload_len) return view;
+  const std::span<const uint8_t> payload = frame.subspan(sizeof(FrameHeader));
+  if (h.payload_crc != crc32c(payload)) return view;
+  view.valid = true;
+  view.seq = (static_cast<uint64_t>(h.seq_hi) << 32) | h.seq_lo;
+  view.payload = payload;
+  return view;
+}
+
+}  // namespace hzccl::simmpi

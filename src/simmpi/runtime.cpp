@@ -36,35 +36,69 @@ ClockReport ClockReport::max_of(const ClockReport& a, const ClockReport& b) {
   return a.total_seconds >= b.total_seconds ? a : b;
 }
 
+namespace {
+
+/// Sender-side corruption (the mangle fault): scribble over the payload's
+/// leading magic so downstream decoding fails *detectably*.  The wire CRC is
+/// computed over the mangled bytes, so framing cannot catch this — only the
+/// consumer's decode can, which is what the graceful-degradation path needs.
+void mangle_payload(std::vector<uint8_t>& payload) {
+  static constexpr uint8_t kScribble[4] = {0xDE, 0xAD, 0xBE, 0xEF};
+  for (size_t i = 0; i < payload.size() && i < sizeof(kScribble); ++i) {
+    payload[i] = kScribble[i];
+  }
+}
+
+/// Counter for per-attempt mangle re-rolls: 64 attempts per sequence number
+/// is far beyond any retry depth the recovery paths use.
+uint64_t attempt_counter(uint64_t seq, uint64_t attempt) { return (seq << 6) | (attempt & 63); }
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Comm
 // ---------------------------------------------------------------------------
 
+Comm::Comm(Runtime* rt, int rank, int size)
+    : runtime_(rt),
+      rank_(rank),
+      size_(size),
+      send_seq_(static_cast<size_t>(size), 0),
+      accepted_(static_cast<size_t>(size)),
+      limbo_(static_cast<size_t>(size)) {}
+
 const NetModel& Comm::net() const { return runtime_->net(); }
+const FaultPlan& Comm::faults() const { return runtime_->faults(); }
+
+void Comm::maybe_stall(FaultKind kind) {
+  const FaultPlan& plan = runtime_->faults();
+  if (plan.stall <= 0.0) return;
+  if (fault_roll(plan.seed, kind, rank_, rank_, stall_counter_++) < plan.stall) {
+    clock_.advance(plan.stall_seconds, CostBucket::kMpi);
+    ++transport_.stalls;
+  }
+}
 
 void Comm::send(int dst, int tag, std::span<const uint8_t> payload) {
   if (dst < 0 || dst >= size_) throw hzccl::Error("send: bad destination rank");
+  maybe_stall(FaultKind::kStallSend);
   // Eager protocol: the sender only pays injection latency; the transfer
   // itself is accounted at the receiver against the send timestamp.
   clock_.advance(runtime_->net().latency_s, CostBucket::kMpi);
-  Runtime::Message msg;
-  msg.src = rank_;
-  msg.tag = tag;
-  msg.payload.assign(payload.begin(), payload.end());
-  msg.send_vtime = clock_.now();
   bytes_sent_ += payload.size();
-  runtime_->post(dst, std::move(msg));
+  runtime_->transmit(*this, dst, tag, payload);
 }
 
 std::vector<uint8_t> Comm::recv(int src, int tag) {
   if (src < 0 || src >= size_) throw hzccl::Error("recv: bad source rank");
-  Runtime::Message msg = runtime_->take(rank_, src, tag);
-  const double transfer =
-      runtime_->net().transfer_seconds(msg.payload.size(), size_);
-  const double ready = std::max(clock_.now(), msg.send_vtime) + transfer;
-  clock_.advance_to(ready, CostBucket::kMpi);
-  bytes_received_ += msg.payload.size();
-  return std::move(msg.payload);
+  // The NIC drains any reorder-held frames while this rank is about to wait;
+  // this keeps the release points deterministic and the transport
+  // deadlock-free (a blocked rank never sits on undelivered traffic).
+  runtime_->flush_limbo(*this);
+  maybe_stall(FaultKind::kStallRecv);
+  std::vector<uint8_t> payload = runtime_->take(*this, src, tag);
+  bytes_received_ += payload.size();
+  return payload;
 }
 
 void Comm::recv_into(int src, int tag, std::span<uint8_t> out) {
@@ -76,7 +110,15 @@ void Comm::recv_into(int src, int tag, std::span<uint8_t> out) {
   std::memcpy(out.data(), msg.data(), msg.size());
 }
 
-void Comm::barrier() { runtime_->barrier_wait(clock_); }
+std::vector<uint8_t> Comm::refetch(int src, int tag, Refetch mode, size_t raw_bytes_hint) {
+  if (src < 0 || src >= size_) throw hzccl::Error("refetch: bad source rank");
+  return runtime_->refetch(*this, src, tag, mode, raw_bytes_hint);
+}
+
+void Comm::barrier() {
+  runtime_->flush_limbo(*this);
+  runtime_->barrier_wait(clock_);
+}
 
 void Comm::send_floats(int dst, int tag, std::span<const float> data) {
   send(dst, tag,
@@ -91,7 +133,8 @@ void Comm::recv_floats_into(int src, int tag, std::span<float> out) {
 // Runtime
 // ---------------------------------------------------------------------------
 
-Runtime::Runtime(int nranks, NetModel net) : nranks_(nranks), net_(net) {
+Runtime::Runtime(int nranks, NetModel net, FaultPlan faults)
+    : nranks_(nranks), net_(net), faults_(faults) {
   if (nranks <= 0) throw hzccl::Error("Runtime: rank count must be positive");
   mailboxes_.reserve(static_cast<size_t>(nranks));
   for (int i = 0; i < nranks; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
@@ -99,7 +142,7 @@ Runtime::Runtime(int nranks, NetModel net) : nranks_(nranks), net_(net) {
 
 Runtime::~Runtime() = default;
 
-void Runtime::post(int dst, Message msg) {
+void Runtime::post(int dst, WireMessage msg) {
   Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
@@ -108,22 +151,297 @@ void Runtime::post(int dst, Message msg) {
   box.cv.notify_all();
 }
 
-Runtime::Message Runtime::take(int dst, int src, int tag) {
+void Runtime::transmit(Comm& sender, int dst, int tag, std::span<const uint8_t> payload) {
+  const int src = sender.rank_;
+  const uint64_t seq = sender.send_seq_[static_cast<size_t>(dst)]++;
+  const bool on = faults_.enabled();
+  ++sender.transport_.frames_sent;
+
+  std::vector<uint8_t> wire_payload(payload.begin(), payload.end());
+  if (on && faults_.mangle > 0.0 &&
+      fault_roll(faults_.seed, FaultKind::kMangle, src, dst, attempt_counter(seq, 0)) <
+          faults_.mangle) {
+    mangle_payload(wire_payload);
+    ++sender.transport_.faults_injected;
+  }
+
+  WireMessage msg;
+  msg.src = src;
+  msg.tag = tag;
+  msg.seq = seq;
+  msg.send_vtime = sender.clock_.now();
+  msg.frame = encode_frame(seq, wire_payload);
+
+  // Roll the wire dice.  Drop preempts everything; the others compose.
+  const bool dropped =
+      on && faults_.drop > 0.0 &&
+      fault_roll(faults_.seed, FaultKind::kDrop, src, dst, seq) < faults_.drop;
+  const bool corrupted =
+      !dropped && on && faults_.corrupt > 0.0 &&
+      fault_roll(faults_.seed, FaultKind::kCorrupt, src, dst, seq) < faults_.corrupt;
+  const bool duplicated =
+      !dropped && on && faults_.duplicate > 0.0 &&
+      fault_roll(faults_.seed, FaultKind::kDuplicate, src, dst, seq) < faults_.duplicate;
+  const bool held =
+      !dropped && on && faults_.reorder > 0.0 &&
+      sender.limbo_[static_cast<size_t>(dst)] == nullptr &&
+      fault_roll(faults_.seed, FaultKind::kReorder, src, dst, seq) < faults_.reorder;
+  sender.transport_.faults_injected +=
+      static_cast<uint64_t>(dropped) + static_cast<uint64_t>(corrupted) +
+      static_cast<uint64_t>(duplicated) + static_cast<uint64_t>(held);
+
+  if (corrupted) {
+    const uint64_t bit = fault_mix(faults_.seed,
+                                   (static_cast<uint64_t>(FaultKind::kCorruptBit) << 48) |
+                                       (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 24) |
+                                       static_cast<uint64_t>(static_cast<uint32_t>(dst)),
+                                   seq) %
+                         (msg.frame.size() * 8);
+    msg.frame[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+
   Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
-  std::unique_lock<std::mutex> lock(box.mutex);
-  for (;;) {
-    auto it = std::find_if(box.messages.begin(), box.messages.end(),
-                           [&](const Message& m) { return m.src == src && m.tag == tag; });
-    if (it != box.messages.end()) {
-      Message msg = std::move(*it);
-      box.messages.erase(it);
-      return msg;
+  if (on) {
+    WindowEntry entry;
+    entry.src = src;
+    entry.tag = tag;
+    entry.seq = seq;
+    entry.pristine.assign(payload.begin(), payload.end());
+    entry.send_vtime = msg.send_vtime;
+    entry.outcome = dropped ? WireOutcome::kDropped
+                            : (held ? WireOutcome::kHeld : WireOutcome::kDelivered);
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.window.push_back(std::move(entry));
+  }
+
+  if (dropped) {
+    // Nothing reaches the mailbox; wake the receiver so it can observe the
+    // window entry and start its timeout/NACK recovery.
+    box.cv.notify_all();
+    return;
+  }
+  if (held) {
+    sender.limbo_[static_cast<size_t>(dst)] = std::make_unique<WireMessage>(std::move(msg));
+    return;
+  }
+  if (duplicated) {
+    // Both copies enter the mailbox atomically, so the receiver's view of
+    // "original accepted, duplicate pending" is the same on every replay.
+    WireMessage copy = msg;
+    {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      box.messages.push_back(std::move(msg));
+      box.messages.push_back(std::move(copy));
     }
+    box.cv.notify_all();
+  } else {
+    post(dst, std::move(msg));
+  }
+
+  // Release a previously held frame *behind* the one just posted — the
+  // observable reordering on this link.
+  if (std::unique_ptr<WireMessage>& heldmsg = sender.limbo_[static_cast<size_t>(dst)]; heldmsg) {
+    {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      for (WindowEntry& e : box.window) {
+        if (e.src == src && e.seq == heldmsg->seq && e.outcome == WireOutcome::kHeld) {
+          e.outcome = WireOutcome::kDelivered;
+          break;
+        }
+      }
+    }
+    post(dst, std::move(*heldmsg));
+    heldmsg.reset();
+  }
+}
+
+void Runtime::flush_limbo(Comm& sender) {
+  for (int dst = 0; dst < nranks_; ++dst) {
+    std::unique_ptr<WireMessage>& heldmsg = sender.limbo_[static_cast<size_t>(dst)];
+    if (!heldmsg) continue;
+    Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
+    {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      for (WindowEntry& e : box.window) {
+        if (e.src == sender.rank_ && e.seq == heldmsg->seq && e.outcome == WireOutcome::kHeld) {
+          e.outcome = WireOutcome::kDelivered;
+          break;
+        }
+      }
+    }
+    post(dst, std::move(*heldmsg));
+    heldmsg.reset();
+  }
+}
+
+std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
+  const int me = receiver.rank_;
+  Mailbox& box = *mailboxes_[static_cast<size_t>(me)];
+  std::unordered_set<uint64_t>& accepted = receiver.accepted_[static_cast<size_t>(src)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+
+  // Recover the pristine payload of window entry `e` after a NACK:
+  // re-transmission re-rolls the mangle die (a persistently corrupting
+  // sender stays corrupt), marks the entry consumed and prunes stale
+  // consumed entries on the same (src, tag) flow.
+  const auto recover = [&](WindowEntry& e, double start_time) {
+    ++e.attempts;
+    ++receiver.transport_.retransmits;
+    std::vector<uint8_t> payload = e.pristine;
+    if (faults_.mangle > 0.0 &&
+        fault_roll(faults_.seed, FaultKind::kMangle, src, me,
+                   attempt_counter(e.seq, e.attempts - 1)) < faults_.mangle) {
+      mangle_payload(payload);
+    }
+    const size_t frame_bytes = sizeof(FrameHeader) + payload.size();
+    receiver.clock_.advance_to(start_time + net_.retransmit_seconds(frame_bytes, nranks_),
+                               CostBucket::kMpi);
+    accepted.insert(e.seq);
+    ++receiver.transport_.frames_accepted;
+    const uint64_t keep_seq = e.seq;
+    std::erase_if(box.window, [&](const WindowEntry& w) {
+      return w.src == src && w.tag == tag && w.consumed && w.seq != keep_seq;
+    });
+    for (WindowEntry& w : box.window) {
+      if (w.src == src && w.seq == keep_seq) w.consumed = true;
+    }
+    return payload;
+  };
+
+  for (;;) {
+    // Purge duplicates of already-accepted transmissions from this source.
+    // A duplicate enters the mailbox atomically with its original, so by
+    // the time the original is accepted the copy is visible here — the
+    // discard count replays exactly.
+    for (auto dup = box.messages.begin(); dup != box.messages.end();) {
+      if (dup->src == src && accepted.count(dup->seq)) {
+        ++receiver.transport_.duplicate_discards;
+        receiver.clock_.advance(net_.latency_s, CostBucket::kMpi);
+        dup = box.messages.erase(dup);
+      } else {
+        ++dup;
+      }
+    }
+
+    const auto it = std::find_if(
+        box.messages.begin(), box.messages.end(),
+        [&](const WireMessage& m) { return m.src == src && m.tag == tag; });
+    if (it != box.messages.end()) {
+      WireMessage msg = std::move(*it);
+      box.messages.erase(it);
+      const FrameView frame = decode_frame(msg.frame);
+
+      if (accepted.count(msg.seq)) {
+        // A duplicate (possibly also corrupted) of something already
+        // consumed: discard after the header sniff.
+        ++receiver.transport_.duplicate_discards;
+        receiver.clock_.advance(net_.latency_s, CostBucket::kMpi);
+        continue;
+      }
+
+      if (frame.valid) {
+        accepted.insert(frame.seq);
+        ++receiver.transport_.frames_accepted;
+        const double ready = std::max(receiver.clock_.now(), msg.send_vtime) +
+                             net_.transfer_seconds(msg.frame.size(), nranks_);
+        receiver.clock_.advance_to(ready, CostBucket::kMpi);
+        std::vector<uint8_t> payload(frame.payload.begin(), frame.payload.end());
+        if (faults_.enabled()) {
+          const uint64_t keep_seq = msg.seq;
+          std::erase_if(box.window, [&](const WindowEntry& w) {
+            return w.src == src && w.tag == tag && w.consumed && w.seq != keep_seq;
+          });
+          for (WindowEntry& w : box.window) {
+            if (w.src == src && w.seq == keep_seq) w.consumed = true;
+          }
+        }
+        return payload;
+      }
+
+      // The CRC/length validation rejected the frame: pay for having
+      // received the damaged bytes, then NACK for a retransmission.
+      ++receiver.transport_.corrupt_frames;
+      const double got_bad = std::max(receiver.clock_.now(), msg.send_vtime) +
+                             net_.transfer_seconds(msg.frame.size(), nranks_);
+      const auto wit = std::find_if(box.window.begin(), box.window.end(), [&](const WindowEntry& w) {
+        return w.src == src && w.seq == msg.seq && !w.consumed;
+      });
+      if (wit == box.window.end()) {
+        throw hzccl::Error("simmpi: corrupt frame with no in-flight window entry");
+      }
+      return recover(*wit, got_bad);
+    }
+
+    // No matching frame on the wire.  A window entry whose final outcome is
+    // "dropped" can never arrive, so the receiver times out on the virtual
+    // clock and NACKs; anything else (not yet sent, or held and guaranteed
+    // to be released) is worth blocking for.
+    if (faults_.enabled()) {
+      WindowEntry* lost = nullptr;
+      for (WindowEntry& w : box.window) {
+        if (w.src == src && w.tag == tag && !w.consumed &&
+            w.outcome == WireOutcome::kDropped && (!lost || w.seq < lost->seq)) {
+          lost = &w;
+        }
+      }
+      if (lost) {
+        ++receiver.transport_.timeout_waits;
+        const double timed_out =
+            std::max(receiver.clock_.now(), lost->send_vtime) + faults_.recv_timeout_s;
+        return recover(*lost, timed_out);
+      }
+    }
+
     if (aborted_.load(std::memory_order_acquire)) {
       throw hzccl::Error("simmpi: a peer rank failed while this rank was receiving");
     }
     box.cv.wait(lock);
   }
+}
+
+std::vector<uint8_t> Runtime::refetch(Comm& receiver, int src, int tag, Comm::Refetch mode,
+                                      size_t raw_bytes_hint) {
+  if (!faults_.enabled()) {
+    throw hzccl::Error("refetch: the in-flight window is only kept under a FaultPlan");
+  }
+  const int me = receiver.rank_;
+  Mailbox& box = *mailboxes_[static_cast<size_t>(me)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+
+  // The most recently consumed message on this (src, tag) flow is the one
+  // the caller just failed to decode.
+  WindowEntry* entry = nullptr;
+  for (WindowEntry& w : box.window) {
+    if (w.src == src && w.tag == tag && w.consumed && (!entry || w.seq > entry->seq)) {
+      entry = &w;
+    }
+  }
+  if (!entry) {
+    throw hzccl::Error("refetch: no consumed message from rank " + std::to_string(src) +
+                       " tag " + std::to_string(tag) + " in the in-flight window");
+  }
+
+  if (mode == Comm::Refetch::kRetransmit) {
+    ++entry->attempts;
+    ++receiver.transport_.retransmits;
+    std::vector<uint8_t> payload = entry->pristine;
+    if (faults_.mangle > 0.0 &&
+        fault_roll(faults_.seed, FaultKind::kMangle, src, me,
+                   attempt_counter(entry->seq, entry->attempts - 1)) < faults_.mangle) {
+      mangle_payload(payload);
+    }
+    const size_t frame_bytes = sizeof(FrameHeader) + payload.size();
+    receiver.clock_.advance(net_.retransmit_seconds(frame_bytes, nranks_), CostBucket::kMpi);
+    return payload;
+  }
+
+  // Raw fallback: the sender re-reads its intact source copy and ships the
+  // uncompressed block, priced at the raw size.  The data path returns the
+  // pristine payload; the caller models the sender-side decode.
+  ++receiver.transport_.raw_fallbacks;
+  const size_t raw_bytes = raw_bytes_hint != 0 ? raw_bytes_hint : entry->pristine.size();
+  receiver.clock_.advance(net_.retransmit_seconds(raw_bytes, nranks_), CostBucket::kMpi);
+  return entry->pristine;
 }
 
 void Runtime::barrier_wait(VirtualClock& clock) {
@@ -154,6 +472,7 @@ void Runtime::barrier_wait(VirtualClock& clock) {
 
 std::vector<ClockReport> Runtime::run(const RankFn& fn) {
   std::vector<ClockReport> reports(static_cast<size_t>(nranks_));
+  std::vector<hzccl::TransportStats> transport(static_cast<size_t>(nranks_));
   std::vector<std::exception_ptr> errors(static_cast<size_t>(nranks_));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(nranks_));
@@ -163,6 +482,9 @@ std::vector<ClockReport> Runtime::run(const RankFn& fn) {
       Comm comm(this, r, nranks_);
       try {
         fn(comm);
+        // A returning rank drains its NIC: any reorder-held frame is
+        // delivered now so no peer blocks on it forever.
+        flush_limbo(comm);
       } catch (...) {
         errors[static_cast<size_t>(r)] = std::current_exception();
         // Unblock peers waiting on this rank's messages or on the barrier;
@@ -178,6 +500,7 @@ std::vector<ClockReport> Runtime::run(const RankFn& fn) {
         }
       }
       reports[static_cast<size_t>(r)] = comm.clock().report();
+      transport[static_cast<size_t>(r)] = comm.transport();
     });
   }
   for (auto& t : threads) t.join();
@@ -186,8 +509,10 @@ std::vector<ClockReport> Runtime::run(const RankFn& fn) {
   for (auto& box : mailboxes_) {
     std::lock_guard<std::mutex> lock(box->mutex);
     box->messages.clear();
+    box->window.clear();
   }
   aborted_.store(false, std::memory_order_release);
+  transport_stats_ = std::move(transport);
 
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "hzccl/util/error.hpp"
@@ -67,6 +68,47 @@ double abs_bound_from_rel(std::span<const float> data, double rel_bound) {
 double compression_ratio(size_t original_bytes, size_t compressed_bytes) {
   if (compressed_bytes == 0) return 0.0;
   return static_cast<double>(original_bytes) / static_cast<double>(compressed_bytes);
+}
+
+bool TransportStats::clean() const {
+  return faults_injected == 0 && retransmits == 0 && corrupt_frames == 0 &&
+         duplicate_discards == 0 && timeout_waits == 0 && raw_fallbacks == 0 && stalls == 0;
+}
+
+TransportStats& TransportStats::operator+=(const TransportStats& other) {
+  frames_sent += other.frames_sent;
+  frames_accepted += other.frames_accepted;
+  faults_injected += other.faults_injected;
+  retransmits += other.retransmits;
+  corrupt_frames += other.corrupt_frames;
+  duplicate_discards += other.duplicate_discards;
+  timeout_waits += other.timeout_waits;
+  raw_fallbacks += other.raw_fallbacks;
+  stalls += other.stalls;
+  return *this;
+}
+
+TransportStats total_transport(std::span<const TransportStats> per_rank) {
+  TransportStats sum;
+  for (const TransportStats& s : per_rank) sum += s;
+  return sum;
+}
+
+std::string describe(const TransportStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "sent=%llu accepted=%llu faults=%llu retx=%llu corrupt=%llu dup=%llu "
+                "timeout=%llu raw=%llu stalls=%llu",
+                static_cast<unsigned long long>(s.frames_sent),
+                static_cast<unsigned long long>(s.frames_accepted),
+                static_cast<unsigned long long>(s.faults_injected),
+                static_cast<unsigned long long>(s.retransmits),
+                static_cast<unsigned long long>(s.corrupt_frames),
+                static_cast<unsigned long long>(s.duplicate_discards),
+                static_cast<unsigned long long>(s.timeout_waits),
+                static_cast<unsigned long long>(s.raw_fallbacks),
+                static_cast<unsigned long long>(s.stalls));
+  return buf;
 }
 
 Summary summarize(std::span<const double> values) {

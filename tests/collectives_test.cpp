@@ -191,6 +191,55 @@ TEST(Collectives, HzcclRejectsNonSumReduceOps) {
                Error);
 }
 
+// Composition law: hzccl_allreduce is *defined* as reduce-scatter followed
+// by compressed allgather, so composing the two stages by hand must produce
+// the identical output vector — across every dataset in the registry and a
+// sweep of error-bound / block-length / rank-count variants.
+TEST(Collectives, AllreduceIsReduceScatterComposedWithAllgather) {
+  struct Variant {
+    double rel;
+    uint32_t block_len;
+    int nranks;
+  };
+  const Variant variants[] = {{1e-3, 32, 4}, {1e-2, 128, 5}, {1e-4, 17, 3}};
+
+  for (DatasetId id : all_datasets()) {
+    for (const Variant& v : variants) {
+      const RankInputFn inputs = [id](int rank) {
+        return generate_correlated_field(id, Scale::kTiny, static_cast<uint32_t>(rank));
+      };
+      const size_t elements = inputs(0).size();
+
+      CollectiveConfig cc;
+      cc.abs_error_bound = abs_bound_from_rel(inputs(0), v.rel);
+      cc.block_len = v.block_len;
+
+      Runtime fused_rt(v.nranks, NetModel::omnipath_100g());
+      std::vector<std::vector<float>> fused(static_cast<size_t>(v.nranks));
+      fused_rt.run([&](simmpi::Comm& comm) {
+        coll::hzccl_allreduce(comm, inputs(comm.rank()),
+                              fused[static_cast<size_t>(comm.rank())], cc);
+      });
+
+      Runtime composed_rt(v.nranks, NetModel::omnipath_100g());
+      std::vector<std::vector<float>> composed(static_cast<size_t>(v.nranks));
+      composed_rt.run([&](simmpi::Comm& comm) {
+        const std::vector<float> input = inputs(comm.rank());
+        const CompressedBuffer owned =
+            coll::hzccl_reduce_scatter_compressed(comm, input, cc);
+        coll::hzccl_allgather_compressed(comm, owned, input.size(),
+                                         composed[static_cast<size_t>(comm.rank())], cc);
+      });
+
+      for (int r = 0; r < v.nranks; ++r) {
+        ASSERT_EQ(composed[static_cast<size_t>(r)], fused[static_cast<size_t>(r)])
+            << dataset_slug(id) << " rel=" << v.rel << " bl=" << v.block_len << " N="
+            << v.nranks << " rank " << r << " (elements=" << elements << ")";
+      }
+    }
+  }
+}
+
 TEST(Collectives, SingleRankDegenerate) {
   JobConfig config;
   config.nranks = 1;

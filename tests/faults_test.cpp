@@ -1,0 +1,439 @@
+// Chaos tier: seeded fault injection against every collective stack.
+//
+// Three layers of coverage:
+//   1. Unit: FaultPlan parsing, the counter-based PRNG, wire framing.
+//   2. Transport: each fault kind in isolation against raw sends — the
+//      healing machinery (timeout/NACK/retransmit, duplicate discard,
+//      reorder release) restores intact delivery and counts its work.
+//   3. Chaos sweeps: every collective (raw, DOC, hZCCL; reduce-scatter,
+//      allreduce, bcast) under a mixed seeded plan at P ∈ {4, 8, 16} must
+//      match its fault-free result, and replay byte-identically from the
+//      same seed — virtual times and counters included.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <vector>
+
+#include "hzccl/collectives/movement.hpp"
+#include "hzccl/core/hzccl.hpp"
+#include "hzccl/datasets/registry.hpp"
+#include "hzccl/simmpi/faults.hpp"
+
+namespace hzccl {
+namespace {
+
+using coll::CollectiveConfig;
+using simmpi::Comm;
+using simmpi::decode_frame;
+using simmpi::encode_frame;
+using simmpi::fault_roll;
+using simmpi::FaultKind;
+using simmpi::FaultPlan;
+using simmpi::FrameView;
+using simmpi::NetModel;
+using simmpi::Runtime;
+
+// ---------------------------------------------------------------------------
+// 1. Unit: plan parsing, PRNG, framing
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, ParsesTheFlagSyntax) {
+  const FaultPlan p = FaultPlan::parse("42,0.05,0.02,0.1,0.04,0.3");
+  EXPECT_EQ(p.seed, 42u);
+  EXPECT_DOUBLE_EQ(p.drop, 0.05);
+  EXPECT_DOUBLE_EQ(p.corrupt, 0.02);
+  EXPECT_DOUBLE_EQ(p.reorder, 0.1);
+  EXPECT_DOUBLE_EQ(p.duplicate, 0.04);
+  EXPECT_DOUBLE_EQ(p.stall, 0.3);
+  EXPECT_TRUE(p.enabled());
+
+  const FaultPlan short_form = FaultPlan::parse("7,0.5");
+  EXPECT_EQ(short_form.seed, 7u);
+  EXPECT_DOUBLE_EQ(short_form.drop, 0.5);
+  EXPECT_DOUBLE_EQ(short_form.corrupt, 0.0);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse(""), Error);
+  EXPECT_THROW(FaultPlan::parse("abc,0.1"), Error);
+  EXPECT_THROW(FaultPlan::parse("1,1.5"), Error);   // probability > 1
+  EXPECT_THROW(FaultPlan::parse("1,-0.1"), Error);  // probability < 0
+  EXPECT_THROW(FaultPlan::parse("1,0.1,0.1,0.1,0.1,0.1,0.1"), Error);  // too many
+}
+
+TEST(FaultPlan, NoneIsDisabled) {
+  EXPECT_FALSE(FaultPlan::none().enabled());
+  FaultPlan p;
+  p.mangle = 0.01;
+  EXPECT_TRUE(p.enabled());
+}
+
+TEST(FaultRoll, IsAPureFunctionOfItsCoordinates) {
+  const double a = fault_roll(42, FaultKind::kDrop, 3, 4, 17);
+  EXPECT_DOUBLE_EQ(a, fault_roll(42, FaultKind::kDrop, 3, 4, 17));
+  // Any coordinate change decorrelates the roll.
+  EXPECT_NE(a, fault_roll(43, FaultKind::kDrop, 3, 4, 17));
+  EXPECT_NE(a, fault_roll(42, FaultKind::kCorrupt, 3, 4, 17));
+  EXPECT_NE(a, fault_roll(42, FaultKind::kDrop, 4, 3, 17));
+  EXPECT_NE(a, fault_roll(42, FaultKind::kDrop, 3, 4, 18));
+}
+
+TEST(FaultRoll, IsUniformEnoughToUseAsAProbability) {
+  double sum = 0.0;
+  for (uint64_t c = 0; c < 4096; ++c) {
+    const double r = fault_roll(9, FaultKind::kDrop, 0, 1, c);
+    ASSERT_GE(r, 0.0);
+    ASSERT_LT(r, 1.0);
+    sum += r;
+  }
+  EXPECT_NEAR(sum / 4096.0, 0.5, 0.02);
+}
+
+TEST(Framing, RoundTripsSequenceAndPayload) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 250, 0, 42};
+  const uint64_t seq = (uint64_t{7} << 40) | 12345;  // exercises both halves
+  const std::vector<uint8_t> frame = encode_frame(seq, payload);
+  ASSERT_EQ(frame.size(), payload.size() + sizeof(simmpi::FrameHeader));
+
+  const FrameView view = decode_frame(frame);
+  ASSERT_TRUE(view.valid);
+  EXPECT_EQ(view.seq, seq);
+  EXPECT_EQ(std::vector<uint8_t>(view.payload.begin(), view.payload.end()), payload);
+
+  const std::vector<uint8_t> empty_frame = encode_frame(0, {});
+  EXPECT_TRUE(decode_frame(empty_frame).valid);
+  EXPECT_TRUE(decode_frame(empty_frame).payload.empty());
+}
+
+TEST(Framing, EverySingleBitFlipIsDetected) {
+  const std::vector<uint8_t> payload = {0xAA, 0x55, 0x00, 0xFF, 0x10};
+  const std::vector<uint8_t> frame = encode_frame(99, payload);
+  for (size_t bit = 0; bit < frame.size() * 8; ++bit) {
+    std::vector<uint8_t> damaged = frame;
+    damaged[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(decode_frame(damaged).valid) << "bit " << bit;
+  }
+}
+
+TEST(Framing, TruncationAndGarbageAreDetected) {
+  const std::vector<uint8_t> frame = encode_frame(5, std::vector<uint8_t>{9, 8, 7});
+  for (size_t n = 0; n < frame.size(); ++n) {
+    EXPECT_FALSE(decode_frame(std::span<const uint8_t>(frame.data(), n)).valid) << n;
+  }
+  const std::vector<uint8_t> garbage(64, 0x5A);
+  EXPECT_FALSE(decode_frame(garbage).valid);
+}
+
+TEST(TransportStats, SumAndDescribe) {
+  TransportStats a, b;
+  a.retransmits = 2;
+  a.frames_sent = 10;
+  b.corrupt_frames = 3;
+  b.frames_sent = 5;
+  EXPECT_TRUE(TransportStats{}.clean());
+  EXPECT_FALSE(b.clean());
+  const TransportStats sum = total_transport(std::vector<TransportStats>{a, b});
+  EXPECT_EQ(sum.frames_sent, 15u);
+  EXPECT_EQ(sum.retransmits, 2u);
+  EXPECT_EQ(sum.corrupt_frames, 3u);
+  EXPECT_NE(describe(sum).find("retx=2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Transport: each fault kind in isolation
+// ---------------------------------------------------------------------------
+
+/// Ping `count` distinct payloads 0→1 under `plan`; returns the summed
+/// transport counters after asserting every payload arrived intact.
+/// (Injection is counted on the sender, recovery on the receiver.)
+TransportStats exchange_under(const FaultPlan& plan, int count) {
+  Runtime rt(2, NetModel::omnipath_100g(), plan);
+  rt.run([&](Comm& comm) {
+    for (int i = 0; i < count; ++i) {
+      std::vector<uint8_t> payload(64 + static_cast<size_t>(i));
+      for (size_t j = 0; j < payload.size(); ++j) {
+        payload[j] = static_cast<uint8_t>((i * 31 + static_cast<int>(j)) & 0xFF);
+      }
+      if (comm.rank() == 0) {
+        comm.send(1, i, payload);
+      } else {
+        ASSERT_EQ(comm.recv(0, i), payload) << "message " << i;
+      }
+    }
+  });
+  return total_transport(rt.transport_stats());
+}
+
+TEST(Transport, CleanFabricStaysOnTheFastPath) {
+  const TransportStats s = exchange_under(FaultPlan::none(), 32);
+  EXPECT_EQ(s.frames_accepted, 32u);
+  EXPECT_TRUE(s.clean());
+}
+
+TEST(Transport, DropsHealViaTimeoutAndRetransmit) {
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.drop = 0.4;
+  const TransportStats s = exchange_under(plan, 64);
+  EXPECT_EQ(s.frames_accepted, 64u);
+  EXPECT_GT(s.timeout_waits, 0u);
+  EXPECT_GT(s.retransmits, 0u);
+}
+
+TEST(Transport, CorruptionIsCaughtByTheCrcAndHealed) {
+  FaultPlan plan;
+  plan.seed = 2;
+  plan.corrupt = 0.4;
+  const TransportStats s = exchange_under(plan, 64);
+  EXPECT_EQ(s.frames_accepted, 64u);
+  EXPECT_GT(s.corrupt_frames, 0u);
+  EXPECT_GT(s.retransmits, 0u);
+}
+
+TEST(Transport, DuplicatesAreDiscardedOnce) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.duplicate = 0.5;
+  const TransportStats s = exchange_under(plan, 64);
+  EXPECT_EQ(s.frames_accepted, 64u);
+  EXPECT_GT(s.duplicate_discards, 0u);
+}
+
+TEST(Transport, ReorderedFramesStillMatchByTag) {
+  FaultPlan plan;
+  plan.seed = 4;
+  plan.reorder = 0.6;
+  const TransportStats s = exchange_under(plan, 64);
+  EXPECT_EQ(s.frames_accepted, 64u);
+  EXPECT_GT(s.faults_injected, 0u);
+}
+
+TEST(Transport, StallsChargeOnlyTime) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.stall = 0.5;
+
+  Runtime faulted(2, NetModel::omnipath_100g(), plan);
+  Runtime clean(2, NetModel::omnipath_100g());
+  const auto job = [](Comm& comm) {
+    std::vector<uint8_t> payload(256, 0x42);
+    for (int i = 0; i < 32; ++i) {
+      if (comm.rank() == 0) {
+        comm.send(1, i, payload);
+      } else {
+        (void)comm.recv(0, i);
+      }
+    }
+  };
+  const auto slow = Runtime::slowest(faulted.run(job));
+  const auto fast = Runtime::slowest(clean.run(job));
+  EXPECT_GT(faulted.transport_stats()[0].stalls + faulted.transport_stats()[1].stalls, 0u);
+  EXPECT_GT(slow.total_seconds, fast.total_seconds);
+}
+
+TEST(Transport, RefetchRequiresAnEnabledPlan) {
+  Runtime rt(2, NetModel::omnipath_100g());
+  rt.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::vector<uint8_t>{1, 2, 3});
+    } else {
+      (void)comm.recv(0, 0);
+      EXPECT_THROW((void)comm.refetch(0, 0, Comm::Refetch::kRetransmit), Error);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// 3. Chaos sweeps over the collective stacks
+// ---------------------------------------------------------------------------
+
+RankInputFn chaos_inputs(size_t elements, DatasetId id = DatasetId::kHurricane) {
+  return [elements, id](int rank) {
+    std::vector<float> full = generate_field(id, Scale::kTiny, static_cast<uint32_t>(rank));
+    full.resize(elements);
+    return full;
+  };
+}
+
+/// The mixed plan the sweeps run under.  No mangle: raw-float payloads have
+/// no decode layer to detect sender-side scribbling (the mangle fault gets
+/// its own compressed-only test below).
+FaultPlan mixed_plan(uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.drop = 0.05;
+  plan.corrupt = 0.03;
+  plan.reorder = 0.1;
+  plan.duplicate = 0.05;
+  plan.stall = 0.05;
+  return plan;
+}
+
+struct ChaosCase {
+  Kernel kernel;
+  Op op;
+  int nranks;
+};
+
+class ChaosSweepTest : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosSweepTest, FaultedRunMatchesFaultFreeRun) {
+  const ChaosCase c = GetParam();
+  const size_t elements = 6000;
+  const RankInputFn inputs = chaos_inputs(elements);
+
+  JobConfig config;
+  config.nranks = c.nranks;
+  config.abs_error_bound = 1e-3;
+  const JobResult clean = run_collective(c.kernel, c.op, config, inputs);
+  ASSERT_TRUE(clean.transport.clean());
+
+  config.faults = mixed_plan(0xC0FFEE ^ static_cast<uint64_t>(c.nranks));
+  const JobResult faulted = run_collective(c.kernel, c.op, config, inputs);
+
+  // Transport healing is exact: the collective's bytes are untouched by the
+  // wire faults, so faulted output == clean output bit for bit.
+  EXPECT_EQ(faulted.rank0_output, clean.rank0_output)
+      << kernel_name(c.kernel) << " " << op_name(c.op) << " N=" << c.nranks;
+  EXPECT_GT(faulted.transport.faults_injected, 0u);
+  EXPECT_EQ(faulted.transport.frames_sent, clean.transport.frames_sent);
+  // Recovery costs time, never correctness.
+  EXPECT_GE(faulted.slowest.total_seconds, clean.slowest.total_seconds);
+}
+
+std::vector<ChaosCase> chaos_cases() {
+  std::vector<ChaosCase> cases;
+  for (Kernel k : {Kernel::kMpi, Kernel::kCCollMultiThread, Kernel::kHzcclMultiThread}) {
+    for (Op op : {Op::kReduceScatter, Op::kAllreduce}) {
+      for (int n : {4, 8, 16}) cases.push_back({k, op, n});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStacks, ChaosSweepTest, ::testing::ValuesIn(chaos_cases()),
+                         [](const auto& info) {
+                           const ChaosCase& c = info.param;
+                           std::string name = kernel_name(c.kernel) + "_" + op_name(c.op) +
+                                              "_N" + std::to_string(c.nranks);
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Chaos, BroadcastHealsUnderMixedFaults) {
+  const int n = 8;
+  const RankInputFn inputs = chaos_inputs(5000, DatasetId::kCesmAtm);
+  CollectiveConfig cc;
+  cc.abs_error_bound = 1e-3;
+
+  for (const bool compressed : {false, true}) {
+    Runtime clean_rt(n, NetModel::omnipath_100g());
+    std::vector<std::vector<float>> clean_out(n);
+    clean_rt.run([&](Comm& comm) {
+      std::vector<float> data = comm.rank() == 2 ? inputs(2) : std::vector<float>{};
+      if (compressed) {
+        coll::ccoll_bcast(comm, data, 2, cc);
+      } else {
+        coll::raw_bcast(comm, data, 2, cc);
+      }
+      clean_out[static_cast<size_t>(comm.rank())] = std::move(data);
+    });
+
+    FaultPlan plan = mixed_plan(0xB0A7);
+    if (compressed) plan.mangle = 0.1;  // the decode layer can catch this one
+    Runtime rt(n, NetModel::omnipath_100g(), plan);
+    std::vector<std::vector<float>> out(n);
+    rt.run([&](Comm& comm) {
+      std::vector<float> data = comm.rank() == 2 ? inputs(2) : std::vector<float>{};
+      if (compressed) {
+        coll::ccoll_bcast(comm, data, 2, cc);
+      } else {
+        coll::raw_bcast(comm, data, 2, cc);
+      }
+      out[static_cast<size_t>(comm.rank())] = std::move(data);
+    });
+
+    const TransportStats total = total_transport(rt.transport_stats());
+    EXPECT_GT(total.faults_injected, 0u);
+    for (int r = 0; r < n; ++r) {
+      EXPECT_EQ(out[r], clean_out[r]) << (compressed ? "ccoll" : "raw") << " rank " << r;
+    }
+  }
+}
+
+TEST(Chaos, PersistentManglingFallsBackToTheRawBlock) {
+  // Mangle every frame: retransmits re-roll but always fail too, so every
+  // compressed hop must take the raw-block fallback — and the collective
+  // still completes within its error bound.
+  const int n = 4;
+  const size_t elements = 4000;
+  const RankInputFn inputs = chaos_inputs(elements, DatasetId::kRtmSim1);
+
+  JobConfig config;
+  config.nranks = n;
+  config.abs_error_bound = 1e-3;
+  config.faults.seed = 11;
+  config.faults.mangle = 1.0;
+
+  for (Kernel k : {Kernel::kCCollMultiThread, Kernel::kHzcclMultiThread}) {
+    const JobResult faulted = run_collective(k, Op::kAllreduce, config, inputs);
+    EXPECT_GT(faulted.transport.raw_fallbacks, 0u) << kernel_name(k);
+    EXPECT_GT(faulted.transport.retransmits, 0u) << kernel_name(k);
+
+    const std::vector<float> exact = exact_reduction(n, inputs);
+    ASSERT_EQ(faulted.rank0_output.size(), exact.size());
+    // Degraded rounds re-quantize like DOC, so allow the C-Coll growth law.
+    const double bound = 3.0 * n * config.abs_error_bound;
+    for (size_t i = 0; i < exact.size(); ++i) {
+      ASSERT_NEAR(faulted.rank0_output[i], exact[i], bound) << kernel_name(k) << " i=" << i;
+    }
+  }
+}
+
+// The ISSUE's acceptance scenario, verbatim: seeded chaos on an 8-rank
+// hZCCL allreduce completes, matches the fault-free run, reports recovery
+// work, and replays byte-identically — counters and virtual times included.
+TEST(Chaos, AcceptanceSeededRunMatchesAndReplays) {
+  const size_t elements = 6000;
+  const RankInputFn inputs = chaos_inputs(elements);
+
+  JobConfig config;
+  config.nranks = 8;
+  config.abs_error_bound = 1e-3;
+  const JobResult clean = run_collective(Kernel::kHzcclMultiThread, Op::kAllreduce, config,
+                                         inputs);
+
+  config.faults.seed = 42;
+  config.faults.drop = 0.05;
+  config.faults.corrupt = 0.02;
+  config.faults.reorder = 0.1;
+  const JobResult first = run_collective(Kernel::kHzcclMultiThread, Op::kAllreduce, config,
+                                         inputs);
+  const JobResult second = run_collective(Kernel::kHzcclMultiThread, Op::kAllreduce, config,
+                                          inputs);
+
+  // Completes and matches the fault-free result (within the bound — here
+  // exactly, because wire healing is lossless).
+  EXPECT_EQ(first.rank0_output, clean.rank0_output);
+
+  // Reports the recovery work.
+  EXPECT_GT(first.transport.retransmits, 0u);
+  EXPECT_GT(first.transport.corrupt_frames, 0u);
+
+  // Replays byte-identically from the seed.
+  EXPECT_EQ(first.rank0_output, second.rank0_output);
+  ASSERT_EQ(first.transport_per_rank.size(), second.transport_per_rank.size());
+  for (size_t r = 0; r < first.transport_per_rank.size(); ++r) {
+    const TransportStats& a = first.transport_per_rank[r];
+    const TransportStats& b = second.transport_per_rank[r];
+    EXPECT_EQ(describe(a), describe(b)) << "rank " << r;
+    EXPECT_EQ(first.per_rank[r].total_seconds, second.per_rank[r].total_seconds) << "rank " << r;
+  }
+  EXPECT_EQ(first.slowest.total_seconds, second.slowest.total_seconds);
+}
+
+}  // namespace
+}  // namespace hzccl

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/datasets/registry.hpp"
 #include "hzccl/homomorphic/hz_dynamic.hpp"
 #include "hzccl/homomorphic/hz_ops.hpp"
 #include "hzccl/homomorphic/hz_static.hpp"
@@ -149,6 +150,74 @@ INSTANTIATE_TEST_SUITE_P(RandomizedSweep, PropertySweep, ::testing::ValuesIn(pro
                                   std::to_string(c.elements) + "_bl" +
                                   std::to_string(c.block_len);
                          });
+
+// ---------------------------------------------------------------------------
+// P6. Differential: on every dataset generator, under randomized relative
+// error bounds and block lengths, the homomorphic sum agrees with the
+// decompress-add-recompress reference — both on decompressed values (exact
+// grid arithmetic) and on the recompressed stream (P2 makes the reference
+// re-encode the identity, so the bytes must match too).
+// ---------------------------------------------------------------------------
+
+struct DifferentialCase {
+  DatasetId dataset;
+  uint64_t seed;
+};
+
+class DifferentialSweep : public ::testing::TestWithParam<DifferentialCase> {};
+
+TEST_P(DifferentialSweep, P6_HzAddMatchesDecompressAddRecompress) {
+  const DifferentialCase c = GetParam();
+  Rng rng(c.seed);
+  for (int round = 0; round < 4; ++round) {
+    const std::vector<float> x =
+        generate_correlated_field(c.dataset, Scale::kTiny, 2 * static_cast<uint32_t>(round));
+    const std::vector<float> y =
+        generate_correlated_field(c.dataset, Scale::kTiny, 2 * static_cast<uint32_t>(round) + 1);
+
+    FzParams params;
+    // Relative bounds keep every dataset inside the quantization domain
+    // regardless of its native value range.
+    const double rel = std::pow(10.0, rng.uniform(-4.0, -1.5));
+    params.abs_error_bound = abs_bound_from_rel(x, rel);
+    params.block_len = static_cast<uint32_t>(1 + rng.below(256));
+
+    const CompressedBuffer a = fz_compress(x, params);
+    const CompressedBuffer b = fz_compress(y, params);
+    const std::vector<float> da = fz_decompress(a);
+    const std::vector<float> db = fz_decompress(b);
+
+    const std::vector<float> sum = fz_decompress(hz_add(a, b));
+    std::vector<float> reference(da.size());
+    for (size_t i = 0; i < da.size(); ++i) reference[i] = da[i] + db[i];
+
+    ASSERT_EQ(sum.size(), reference.size());
+    for (size_t i = 0; i < sum.size(); ++i) {
+      const double slack =
+          1.2e-7 * (std::abs(static_cast<double>(da[i])) + std::abs(static_cast<double>(db[i])));
+      ASSERT_NEAR(sum[i], reference[i], slack + 1e-30)
+          << dataset_slug(c.dataset) << " round " << round << " elem " << i
+          << " bl=" << params.block_len << " eb=" << params.abs_error_bound;
+    }
+
+    // Stream-level agreement: recompressing the reference values is the
+    // identity on grid points, so the reference *stream* equals hz_add's.
+    const CompressedBuffer recompressed = fz_compress(reference, params);
+    EXPECT_EQ(hz_add(a, b).bytes, recompressed.bytes)
+        << dataset_slug(c.dataset) << " round " << round;
+  }
+}
+
+std::vector<DifferentialCase> differential_cases() {
+  std::vector<DifferentialCase> cases;
+  uint64_t seed = 0xD1FF;
+  for (DatasetId id : all_datasets()) cases.push_back({id, seed++});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DifferentialSweep,
+                         ::testing::ValuesIn(differential_cases()),
+                         [](const auto& pinfo) { return dataset_slug(pinfo.param.dataset); });
 
 }  // namespace
 }  // namespace hzccl

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Tier-1 gate plus sanitized chaos tier.
+#
+#   tools/check.sh            # release build + full ctest, then ASan/UBSan chaos
+#   tools/check.sh --fast     # tier-1 only (skip the sanitizer rebuild)
+#
+# Exit nonzero on the first failing stage.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+jobs=$(nproc 2>/dev/null || echo 4)
+fast=0
+[ "${1:-}" = "--fast" ] && fast=1
+
+echo "== tier 1: configure + build + ctest =="
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j "$jobs"
+(cd "$repo/build" && ctest --output-on-failure)
+
+if [ "$fast" = "1" ]; then
+  echo "== done (fast mode, sanitizer tier skipped) =="
+  exit 0
+fi
+
+echo "== tier 2: ASan/UBSan chaos + property tiers =="
+san_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
+cmake -B "$repo/build-asan" -S "$repo" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="$san_flags" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "$repo/build-asan" -j "$jobs" --target faults_test property_test
+(cd "$repo/build-asan" && ctest -L 'chaos|property' --output-on-failure)
+
+echo "== all checks passed =="

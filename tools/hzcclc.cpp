@@ -17,7 +17,9 @@
 
 #include "hzccl/compressor/fixed_len.hpp"
 #include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/core/hzccl.hpp"
 #include "hzccl/datasets/io.hpp"
+#include "hzccl/datasets/registry.hpp"
 #include "hzccl/homomorphic/hz_dynamic.hpp"
 #include "hzccl/homomorphic/hz_ops.hpp"
 #include "hzccl/stats/metrics.hpp"
@@ -36,7 +38,11 @@ int usage() {
                "  hzcclc info       <in.fz>\n"
                "  hzcclc add        <a.fz> <b.fz> <out.fz>\n"
                "  hzcclc sub        <a.fz> <b.fz> <out.fz>\n"
-               "  hzcclc stats      <orig.f32> <recon.f32>\n");
+               "  hzcclc stats      <orig.f32> <recon.f32>\n"
+               "  hzcclc collective [--kernel 0..4] [--op allreduce|reduce_scatter]\n"
+               "                    [--ranks P] [--dataset SLUG] [--scale tiny|small|medium]\n"
+               "                    [--rel R | --abs E] [--block N]\n"
+               "                    [--faults seed,drop[,corrupt[,reorder[,dup[,stall]]]]]\n");
   return 2;
 }
 
@@ -164,6 +170,94 @@ int cmd_binary_op(int argc, char** argv, bool subtract) {
   return 0;
 }
 
+int cmd_collective(int argc, char** argv) {
+  int kernel = static_cast<int>(Kernel::kHzcclMultiThread);
+  Op op = Op::kAllreduce;
+  JobConfig config;
+  DatasetId dataset = DatasetId::kNyx;
+  Scale scale = Scale::kSmall;
+  double rel = 1e-3, abs = 0.0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--kernel" && i + 1 < argc) {
+      kernel = std::stoi(argv[++i]);
+      if (kernel < 0 || kernel > 4) return usage();
+    } else if (flag == "--op" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "allreduce") {
+        op = Op::kAllreduce;
+      } else if (name == "reduce_scatter") {
+        op = Op::kReduceScatter;
+      } else {
+        return usage();
+      }
+    } else if (flag == "--ranks" && i + 1 < argc) {
+      config.nranks = std::stoi(argv[++i]);
+    } else if (flag == "--dataset" && i + 1 < argc) {
+      dataset = parse_dataset(argv[++i]);
+    } else if (flag == "--scale" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "tiny") {
+        scale = Scale::kTiny;
+      } else if (name == "small") {
+        scale = Scale::kSmall;
+      } else if (name == "medium") {
+        scale = Scale::kMedium;
+      } else if (name == "large") {
+        scale = Scale::kLarge;
+      } else {
+        return usage();
+      }
+    } else if (flag == "--abs" && i + 1 < argc) {
+      abs = std::stod(argv[++i]);
+    } else if (flag == "--rel" && i + 1 < argc) {
+      rel = std::stod(argv[++i]);
+    } else if (flag == "--block" && i + 1 < argc) {
+      config.block_len = static_cast<uint32_t>(std::stoul(argv[++i]));
+    } else if (flag == "--faults" && i + 1 < argc) {
+      config.faults = simmpi::FaultPlan::parse(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+
+  const auto rank_input = [&](int rank) {
+    return generate_correlated_field(dataset, scale, static_cast<uint32_t>(rank));
+  };
+  // Like `compress`: a relative bound is resolved against the data's value
+  // range (rank 0's field is representative — members share structure).
+  config.abs_error_bound = abs > 0.0 ? abs : abs_bound_from_rel(rank_input(0), rel);
+  const JobResult result = run_collective(static_cast<Kernel>(kernel), op, config, rank_input);
+
+  std::printf("%s %s, %d ranks, %s @ %s, %zu bytes/rank\n",
+              kernel_name(static_cast<Kernel>(kernel)).c_str(), op_name(op).c_str(),
+              config.nranks, dataset_name(dataset).c_str(),
+              config.faults.enabled() ? config.faults.describe().c_str() : "clean fabric",
+              result.input_bytes_per_rank);
+  const simmpi::ClockReport& r = result.slowest;
+  std::printf("  modeled time: %.3f ms  (MPI %.1f%%  CPR %.1f%%  DPR %.1f%%  CPT %.1f%%  "
+              "HPR %.1f%%)\n",
+              r.total_seconds * 1e3, r.percent(simmpi::CostBucket::kMpi),
+              r.percent(simmpi::CostBucket::kCpr), r.percent(simmpi::CostBucket::kDpr),
+              r.percent(simmpi::CostBucket::kCpt), r.percent(simmpi::CostBucket::kHpr));
+  std::printf("  transport:    %s\n", describe(result.transport).c_str());
+
+  // Accuracy against the exact (double-accumulated) reduction; for
+  // reduce-scatter, rank 0 owns ring block 1.
+  std::vector<float> reference = exact_reduction(config.nranks, rank_input);
+  if (op == Op::kReduceScatter) {
+    const Range owned =
+        coll::ring_block_range(reference.size(), config.nranks,
+                               coll::rs_owned_block(0, config.nranks));
+    reference.assign(reference.begin() + static_cast<ptrdiff_t>(owned.begin),
+                     reference.begin() + static_cast<ptrdiff_t>(owned.end));
+  }
+  const ErrorStats err = compare(reference, result.rank0_output);
+  std::printf("  accuracy:     max abs err %.3e (bound %.3e), NRMSE %.3e\n", err.max_abs_err,
+              config.abs_error_bound * config.nranks, err.nrmse);
+  return 0;
+}
+
 int cmd_stats(int argc, char** argv) {
   if (argc != 4) return usage();
   const std::vector<float> orig = load_f32(argv[2]);
@@ -189,6 +283,7 @@ int main(int argc, char** argv) {
     if (cmd == "add") return cmd_binary_op(argc, argv, /*subtract=*/false);
     if (cmd == "sub") return cmd_binary_op(argc, argv, /*subtract=*/true);
     if (cmd == "stats") return cmd_stats(argc, argv);
+    if (cmd == "collective") return cmd_collective(argc, argv);
   } catch (const Error& e) {
     std::fprintf(stderr, "hzcclc: %s\n", e.what());
     return 1;
