@@ -61,7 +61,7 @@ void BM_EncodeBlock(benchmark::State& state) {
   }
   std::vector<uint8_t> out(max_encoded_block_size(n));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(encode_block(residuals.data(), n, out.data()));
+    benchmark::DoNotOptimize(encode_block(residuals.data(), n, out.data(), out.data() + out.size()));
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * sizeof(int32_t));
 }
@@ -76,7 +76,7 @@ void BM_DecodeBlock(benchmark::State& state) {
     r = static_cast<int32_t>(rng.below(1ull << code_len)) - (1 << (code_len - 1));
   }
   std::vector<uint8_t> buf(max_encoded_block_size(n));
-  const uint8_t* end = encode_block(residuals.data(), n, buf.data());
+  const uint8_t* end = encode_block(residuals.data(), n, buf.data(), buf.data() + buf.size());
   std::vector<int32_t> out(n);
   for (auto _ : state) {
     benchmark::DoNotOptimize(decode_block(buf.data(), end, n, out.data()));

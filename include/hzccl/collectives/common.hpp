@@ -132,7 +132,7 @@ CheckedBlock recv_checked_block(simmpi::Comm& comm, int src, int tag, size_t exp
 /// the sender's pristine stream if needed.  For paths (like bcast) that
 /// must forward a decodable stream but learn the element count only from
 /// its header.
-CompressedBuffer heal_stream(simmpi::Comm& comm, int src, int tag, CompressedBuffer received,
+[[nodiscard]] CompressedBuffer heal_stream(simmpi::Comm& comm, int src, int tag, CompressedBuffer received,
                              const CollectiveConfig& config);
 
 }  // namespace hzccl::coll

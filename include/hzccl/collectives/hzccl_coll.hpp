@@ -31,7 +31,7 @@ void hzccl_reduce_scatter(simmpi::Comm& comm, std::span<const float> input,
 
 /// The allreduce-fused variant: returns the reduced owned block still
 /// compressed (the final-round DPR the co-design eliminates).
-CompressedBuffer hzccl_reduce_scatter_compressed(simmpi::Comm& comm,
+[[nodiscard]] CompressedBuffer hzccl_reduce_scatter_compressed(simmpi::Comm& comm,
                                                  std::span<const float> input,
                                                  const CollectiveConfig& config,
                                                  HzPipelineStats* pipeline_stats = nullptr);

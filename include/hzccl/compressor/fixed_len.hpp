@@ -79,17 +79,22 @@ inline size_t packed_size(size_t n, int bits) {
 // Block codec.
 // ---------------------------------------------------------------------------
 
-/// Encode `n` residuals; writes at most max_encoded_block_size(n) bytes at
-/// `out` and returns the first byte past the encoded block.
-uint8_t* encode_block(const int32_t* residuals, size_t n, uint8_t* out);
+/// Encode `n` residuals into [out, out_end); returns the first byte past the
+/// encoded block.  Throws CapacityError if the encoded block would not fit —
+/// the capacity contract every encoder write path goes through, so a
+/// mis-sized buffer (or a malformed operand smuggling oversized payload into
+/// a homomorphic operator) can never scribble past the destination.
+uint8_t* encode_block(const int32_t* residuals, size_t n, uint8_t* out,
+                      const uint8_t* out_end);
 
 /// Encode when the caller already knows the code length and magnitudes
 /// (the compressor's fused path and hZ-dynamic's pipeline 4 both have them).
+/// Same [out, out_end) capacity contract as encode_block.
 uint8_t* encode_block_prepared(const uint32_t* magnitudes, const uint32_t* sign_bits, size_t n,
-                               int code_len, uint8_t* out);
+                               int code_len, uint8_t* out, const uint8_t* out_end);
 
 /// Decode one block of `n` residuals from [src, end); returns the first byte
-/// past the block.  Throws FormatError if the block runs past `end` or the
+/// past the block.  Throws ParseError if the block runs past `end` or the
 /// code length is out of range.
 const uint8_t* decode_block(const uint8_t* src, const uint8_t* end, size_t n,
                             int32_t* residuals);

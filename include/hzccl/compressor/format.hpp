@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "hzccl/util/bytes.hpp"
 #include "hzccl/util/error.hpp"
 
 namespace hzccl {
@@ -33,6 +34,11 @@ inline constexpr uint16_t kFormatVersion = 1;
 /// encoder; quantized values are bounded one bit lower so a single
 /// homomorphic addition can never overflow the residual domain silently.
 inline constexpr int32_t kMaxQuantMagnitude = (1 << 30) - 1;
+
+/// Largest block length any wire format may carry: every decoder stages one
+/// block in fixed stack scratch of this size, so parsers reject anything
+/// larger before a decode loop ever runs.
+inline constexpr uint32_t kMaxWireBlockLen = 512;
 
 #pragma pack(push, 1)
 struct FzHeader {
@@ -57,11 +63,14 @@ struct CompressedBuffer {
   std::span<const uint8_t> span() const { return bytes; }
 };
 
-/// Borrowed, validated view into a serialized fZ-light stream.
+/// Validated view into a serialized fZ-light stream.  The offset/outlier
+/// tables are owned, naturally-aligned copies (read through ByteReader — the
+/// wire bytes carry no alignment guarantee); `payload` still borrows the
+/// underlying buffer, which must outlive the view.
 struct FzView {
   FzHeader header;
-  std::span<const uint64_t> chunk_offsets;  ///< offsets into `payload`
-  std::span<const int32_t> chunk_outliers;
+  std::vector<uint64_t> chunk_offsets;  ///< offsets into `payload`
+  std::vector<int32_t> chunk_outliers;
   std::span<const uint8_t> payload;
 
   size_t num_elements() const { return header.num_elements; }
@@ -71,6 +80,9 @@ struct FzView {
 
   /// Payload byte range of one chunk.
   std::span<const uint8_t> chunk_payload(uint32_t chunk) const {
+    if (chunk >= header.num_chunks) {
+      throw ParseError("chunk index " + std::to_string(chunk) + " out of range");
+    }
     const uint64_t begin = chunk_offsets[chunk];
     const uint64_t end =
         (chunk + 1 < header.num_chunks) ? chunk_offsets[chunk + 1] : payload.size();
@@ -82,7 +94,7 @@ struct FzView {
 };
 
 /// Parse + validate a serialized fZ-light stream (throws FormatError).
-FzView parse_fz(std::span<const uint8_t> bytes);
+[[nodiscard]] FzView parse_fz(std::span<const uint8_t> bytes);
 
 /// True when two streams can be combined homomorphically: identical element
 /// count, block length, chunk partition and error bound.
@@ -104,10 +116,10 @@ inline constexpr uint16_t kFlagChecksummed = 1u << 0;
 /// Append an integrity trailer (and set the flag).  Idempotent on streams
 /// that already carry one.  Intended for streams that cross storage or an
 /// untrusted transport; the in-memory collectives skip it.
-CompressedBuffer add_checksum(CompressedBuffer stream);
+[[nodiscard]] CompressedBuffer add_checksum(CompressedBuffer stream);
 
 /// Strip the trailer (and clear the flag); no-op on unchecksummed streams.
-CompressedBuffer strip_checksum(CompressedBuffer stream);
+[[nodiscard]] CompressedBuffer strip_checksum(CompressedBuffer stream);
 
 /// Assembles an fZ-light stream from per-chunk payloads produced in
 /// parallel.  Each chunk gets a worst-case padded region that threads write
@@ -134,7 +146,7 @@ class ChunkedStreamAssembler {
   void set_chunk(uint32_t c, size_t payload_size, int32_t outlier);
 
   /// Compact and seal; the assembler is spent afterwards.
-  CompressedBuffer finish();
+  [[nodiscard]] CompressedBuffer finish();
 
  private:
   FzHeader header_;

@@ -38,7 +38,7 @@ struct FzParams {
 
 /// Compress a float field.  Throws QuantizationRangeError if the data cannot
 /// be quantized under the bound, Error on invalid parameters.
-CompressedBuffer fz_compress(std::span<const float> data, const FzParams& params);
+[[nodiscard]] CompressedBuffer fz_compress(std::span<const float> data, const FzParams& params);
 
 /// Decompress into a caller-provided buffer of exactly the original size.
 void fz_decompress(const CompressedBuffer& compressed, std::span<float> out,

@@ -49,9 +49,9 @@ struct SzpView {
   double error_bound() const { return header.error_bound; }
 };
 
-SzpView parse_szp(std::span<const uint8_t> bytes);
+[[nodiscard]] SzpView parse_szp(std::span<const uint8_t> bytes);
 
-CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& params);
+[[nodiscard]] CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& params);
 
 void szp_decompress(const CompressedBuffer& compressed, std::span<float> out,
                     int num_threads = 0);

@@ -46,9 +46,9 @@ struct SzxView {
   double error_bound() const { return header.error_bound; }
 };
 
-SzxView parse_szx(std::span<const uint8_t> bytes);
+[[nodiscard]] SzxView parse_szx(std::span<const uint8_t> bytes);
 
-CompressedBuffer szx_compress(std::span<const float> data, const SzxParams& params);
+[[nodiscard]] CompressedBuffer szx_compress(std::span<const float> data, const SzxParams& params);
 
 void szx_decompress(const CompressedBuffer& compressed, std::span<float> out,
                     int num_threads = 0);

@@ -22,7 +22,7 @@ struct DocBreakdown {
 
 /// sum(a, b) through DOC.  Layouts must match (same guarantee the
 /// homomorphic path requires, so comparisons are apples-to-apples).
-CompressedBuffer doc_add(const CompressedBuffer& a, const CompressedBuffer& b,
+[[nodiscard]] CompressedBuffer doc_add(const CompressedBuffer& a, const CompressedBuffer& b,
                          DocBreakdown* breakdown = nullptr, int num_threads = 0);
 
 /// DOC against an uncompressed accumulator: decompress `incoming`, add into

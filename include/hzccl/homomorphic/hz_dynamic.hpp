@@ -39,9 +39,9 @@ struct HzPipelineStats {
 /// sum(a, b) directly in the compressed domain.  Operand layouts must match
 /// (LayoutMismatchError otherwise); residual or outlier overflow past 31 bits
 /// raises HomomorphicOverflowError.
-CompressedBuffer hz_add(const CompressedBuffer& a, const CompressedBuffer& b,
+[[nodiscard]] CompressedBuffer hz_add(const CompressedBuffer& a, const CompressedBuffer& b,
                         HzPipelineStats* stats = nullptr, int num_threads = 0);
-CompressedBuffer hz_add(const FzView& a, const FzView& b, HzPipelineStats* stats = nullptr,
+[[nodiscard]] CompressedBuffer hz_add(const FzView& a, const FzView& b, HzPipelineStats* stats = nullptr,
                         int num_threads = 0);
 
 }  // namespace hzccl

@@ -27,23 +27,23 @@ namespace hzccl {
 /// factor may be negative; factor == 0 yields an all-constant-zero stream.
 /// Throws HomomorphicOverflowError if any scaled residual or outlier leaves
 /// the 31-bit magnitude domain.
-CompressedBuffer hz_scale(const CompressedBuffer& a, int32_t factor, int num_threads = 0);
-CompressedBuffer hz_scale(const FzView& a, int32_t factor, int num_threads = 0);
+[[nodiscard]] CompressedBuffer hz_scale(const CompressedBuffer& a, int32_t factor, int num_threads = 0);
+[[nodiscard]] CompressedBuffer hz_scale(const FzView& a, int32_t factor, int num_threads = 0);
 
 /// result = -a.  Only sign planes are rewritten: cost is a stream copy.
-CompressedBuffer hz_negate(const CompressedBuffer& a, int num_threads = 0);
-CompressedBuffer hz_negate(const FzView& a, int num_threads = 0);
+[[nodiscard]] CompressedBuffer hz_negate(const CompressedBuffer& a, int num_threads = 0);
+[[nodiscard]] CompressedBuffer hz_negate(const FzView& a, int num_threads = 0);
 
 /// result = a - b, exactly, in the compressed domain (same pipeline
 /// structure and stats semantics as hz_add).
-CompressedBuffer hz_sub(const CompressedBuffer& a, const CompressedBuffer& b,
+[[nodiscard]] CompressedBuffer hz_sub(const CompressedBuffer& a, const CompressedBuffer& b,
                         HzPipelineStats* stats = nullptr, int num_threads = 0);
 
 /// Balanced pairwise sum of all operands.  Compared with a sequential fold,
 /// the pairwise tree keeps intermediate residual magnitudes ~log2(N) bits
 /// above the operands' instead of up to N times larger, postponing the
 /// overflow guard by many doublings.
-CompressedBuffer hz_add_many(std::span<const CompressedBuffer> operands,
+[[nodiscard]] CompressedBuffer hz_add_many(std::span<const CompressedBuffer> operands,
                              HzPipelineStats* stats = nullptr, int num_threads = 0);
 
 }  // namespace hzccl

@@ -13,8 +13,8 @@ namespace hzccl {
 /// sum(a, b) through the static pipeline.  Because the fixed-length encoding
 /// is canonical, the output is byte-identical to hz_add's — the cost, not
 /// the result, is what differs (a property the test suite pins down).
-CompressedBuffer hz_add_static(const CompressedBuffer& a, const CompressedBuffer& b,
+[[nodiscard]] CompressedBuffer hz_add_static(const CompressedBuffer& a, const CompressedBuffer& b,
                                int num_threads = 0);
-CompressedBuffer hz_add_static(const FzView& a, const FzView& b, int num_threads = 0);
+[[nodiscard]] CompressedBuffer hz_add_static(const FzView& a, const FzView& b, int num_threads = 0);
 
 }  // namespace hzccl

@@ -114,6 +114,6 @@ struct FrameView {
 };
 
 /// Validate a framed message; never throws — corruption yields !valid.
-FrameView decode_frame(std::span<const uint8_t> frame);
+[[nodiscard]] FrameView decode_frame(std::span<const uint8_t> frame);
 
 }  // namespace hzccl::simmpi

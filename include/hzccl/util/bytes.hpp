@@ -1,0 +1,199 @@
+// Bounds-checked wire-byte access: the only place in the library that is
+// allowed to turn raw bytes into typed values.
+//
+// Every compressed stream entering a decoder or homomorphic operator is
+// untrusted by construction — simmpi's fault injection deliberately delivers
+// mangled headers whose length fields lie about the buffer behind them.
+// ByteReader makes the failure mode a structured ParseError instead of an
+// out-of-bounds read: each read<T>/read_vector/read_bytes checks the
+// remaining byte count (with overflow-checked size arithmetic) before
+// touching memory, and copies through memcpy so misaligned wire offsets are
+// always safe.  ByteWriter is the dual for serializers writing into a
+// pre-sized buffer: every write checks remaining capacity and throws
+// CapacityError instead of scribbling past the end.
+//
+// tools/lint.sh enforces the contract: decode-path sources outside this
+// header may not use reinterpret_cast or parse wire structures with a raw
+// memcpy.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "hzccl/util/error.hpp"
+
+namespace hzccl {
+
+/// a * b, or ParseError if the product does not fit a size_t (a mangled
+/// 32-bit count multiplied by an element size must never wrap silently).
+inline size_t checked_mul(size_t a, size_t b, const char* what) {
+  if (a != 0 && b > static_cast<size_t>(-1) / a) {
+    throw ParseError(std::string(what) + ": size computation overflows");
+  }
+  return a * b;
+}
+
+/// Alignment-safe reinterpretation of a float's bits (and back).  The only
+/// sanctioned way to type-pun floats in this codebase.
+inline uint32_t float_bits(float v) { return std::bit_cast<uint32_t>(v); }
+inline float float_from_bits(uint32_t bits) { return std::bit_cast<float>(bits); }
+
+/// Forward cursor over a borrowed byte buffer.  All accessors validate
+/// against the remaining byte count and throw ParseError on violation; none
+/// of them ever reads past `bytes`.
+class ByteReader {
+ public:
+  /// `what` names the stream in error messages ("fz stream", "frame", ...).
+  explicit ByteReader(std::span<const uint8_t> bytes, const char* what = "stream")
+      : bytes_(bytes), what_(what) {}
+
+  size_t offset() const { return pos_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool empty() const { return remaining() == 0; }
+
+  /// Throws ParseError unless `count` more bytes are available.
+  void require(size_t count, const char* field) const {
+    if (count > remaining()) {
+      throw ParseError(std::string(what_) + ": truncated reading " + field + " (need " +
+                       std::to_string(count) + " bytes, have " + std::to_string(remaining()) +
+                       ")");
+    }
+  }
+
+  /// Read one trivially-copyable value (alignment-safe memcpy).
+  template <class T>
+  T read(const char* field) {
+    static_assert(std::is_trivially_copyable_v<T>, "wire types must be trivially copyable");
+    require(sizeof(T), field);
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  /// Read `count` values into an owned, naturally-aligned vector.  This is
+  /// the safe replacement for reinterpret_cast'ing a table in place: the
+  /// copy is alignment-safe and the elements outlive the wire buffer.
+  template <class T>
+  std::vector<T> read_vector(size_t count, const char* field) {
+    static_assert(std::is_trivially_copyable_v<T>, "wire types must be trivially copyable");
+    const size_t nbytes = checked_mul(count, sizeof(T), field);
+    require(nbytes, field);
+    std::vector<T> values(count);
+    if (nbytes > 0) std::memcpy(values.data(), bytes_.data() + pos_, nbytes);
+    pos_ += nbytes;
+    return values;
+  }
+
+  /// Borrow `count` raw bytes and advance.
+  std::span<const uint8_t> read_bytes(size_t count, const char* field) {
+    require(count, field);
+    const auto view = bytes_.subspan(pos_, count);
+    pos_ += count;
+    return view;
+  }
+
+  /// Borrow everything that is left and advance to the end.
+  std::span<const uint8_t> rest() {
+    const auto view = bytes_.subspan(pos_);
+    pos_ = bytes_.size();
+    return view;
+  }
+
+  void skip(size_t count, const char* field) {
+    require(count, field);
+    pos_ += count;
+  }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+  const char* what_;
+};
+
+/// Forward cursor writing into a caller-sized buffer.  Every write checks
+/// remaining capacity and throws CapacityError on violation, so a serializer
+/// bug (or a malformed operand smuggling extra payload through an operator)
+/// surfaces as a structured error instead of heap corruption.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::span<uint8_t> bytes, const char* what = "buffer")
+      : bytes_(bytes), what_(what) {}
+
+  size_t offset() const { return pos_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  void require(size_t count, const char* field) const {
+    if (count > remaining()) {
+      throw CapacityError(std::string(what_) + ": capacity exceeded writing " + field +
+                          " (need " + std::to_string(count) + " bytes, have " +
+                          std::to_string(remaining()) + ")");
+    }
+  }
+
+  template <class T>
+  void write(const T& value, const char* field) {
+    static_assert(std::is_trivially_copyable_v<T>, "wire types must be trivially copyable");
+    require(sizeof(T), field);
+    std::memcpy(bytes_.data() + pos_, &value, sizeof(T));
+    pos_ += sizeof(T);
+  }
+
+  template <class T>
+  void write_array(const T* values, size_t count, const char* field) {
+    static_assert(std::is_trivially_copyable_v<T>, "wire types must be trivially copyable");
+    const size_t nbytes = checked_mul(count, sizeof(T), field);
+    require(nbytes, field);
+    if (nbytes > 0) std::memcpy(bytes_.data() + pos_, values, nbytes);
+    pos_ += nbytes;
+  }
+
+  void write_bytes(std::span<const uint8_t> src, const char* field) {
+    write_array(src.data(), src.size(), field);
+  }
+
+ private:
+  std::span<uint8_t> bytes_;
+  size_t pos_ = 0;
+  const char* what_;
+};
+
+/// Byte views of a float buffer for transport (char access of any object is
+/// always legal aliasing).  Centralized here so the lint's reinterpret_cast
+/// ban holds everywhere else.
+inline std::span<const uint8_t> bytes_of(std::span<const float> values) {
+  return {reinterpret_cast<const uint8_t*>(values.data()), values.size_bytes()};
+}
+inline std::span<uint8_t> writable_bytes_of(std::span<float> values) {
+  return {reinterpret_cast<uint8_t*>(values.data()), values.size_bytes()};
+}
+
+/// CRC over the leading `prefix` bytes of a trivially-copyable struct,
+/// staged through a byte copy instead of reinterpret_cast'ing the object.
+template <class T>
+std::vector<uint8_t> leading_bytes_of(const T& value, size_t prefix) {
+  static_assert(std::is_trivially_copyable_v<T>, "wire types must be trivially copyable");
+  std::vector<uint8_t> bytes(prefix <= sizeof(T) ? prefix : sizeof(T));
+  std::memcpy(bytes.data(), &value, bytes.size());
+  return bytes;
+}
+
+/// Reinterpret a received byte payload as a float array (the raw-transport
+/// decode path).  Rejects payloads whose length is not a whole number of
+/// floats — a truncated frame must not silently drop a fraction of a value.
+inline std::vector<float> floats_from_bytes(std::span<const uint8_t> bytes, const char* what) {
+  if (bytes.size() % sizeof(float) != 0) {
+    throw ParseError(std::string(what) + ": payload length " + std::to_string(bytes.size()) +
+                     " is not a multiple of sizeof(float)");
+  }
+  std::vector<float> out(bytes.size() / sizeof(float));
+  if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+}  // namespace hzccl

@@ -25,6 +25,24 @@ class FormatError : public Error {
   explicit FormatError(const std::string& what) : Error(what) {}
 };
 
+/// A bounds-checked read of wire bytes failed: the stream is truncated, a
+/// length field implies more bytes than the buffer holds, or a size
+/// computation would overflow.  Raised by util/bytes.hpp; a subclass of
+/// FormatError so existing malformed-stream handlers keep working.
+class ParseError : public FormatError {
+ public:
+  explicit ParseError(const std::string& what) : FormatError(what) {}
+};
+
+/// An encoder was asked to write past the end of its output buffer.  This is
+/// a capacity-contract violation: either the caller sized the buffer below
+/// the documented worst case, or a malformed operand stream carries more
+/// payload than its header's block grid allows.
+class CapacityError : public Error {
+ public:
+  explicit CapacityError(const std::string& what) : Error(what) {}
+};
+
 /// Two compressed streams cannot be combined homomorphically because their
 /// layouts differ (element count, block length, chunk count or error bound).
 class LayoutMismatchError : public Error {

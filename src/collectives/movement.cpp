@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "hzccl/util/bytes.hpp"
+
 namespace hzccl::coll {
 
 using simmpi::Comm;
@@ -37,8 +39,7 @@ void raw_bcast(Comm& comm, std::vector<float>& data, int root, const CollectiveC
   const int parent = binomial_parent(relative, size, mask);
   if (parent >= 0) {
     const auto payload = comm.recv(absolute_rank(parent, root, size), kTagBcast);
-    data.resize(payload.size() / sizeof(float));
-    std::memcpy(data.data(), payload.data(), payload.size());
+    data = floats_from_bytes(payload, "raw_bcast payload");
   }
   for (mask >>= 1; mask > 0; mask >>= 1) {
     const int child = relative + mask;
@@ -105,12 +106,14 @@ void raw_gather(Comm& comm, std::span<const float> mine, int root, std::vector<f
     const int child = relative + mask;
     if (child < size) {
       const auto payload = comm.recv(absolute_rank(child, root, size), kTagGather + mask);
-      if (payload.size() % (chunk * sizeof(float)) != 0) {
+      const size_t stride = chunk * sizeof(float);
+      // Guard the stride before the modulo: with empty contributions any
+      // nonempty payload is malformed, and chunk == 0 must not divide by 0.
+      if (stride == 0 ? !payload.empty() : payload.size() % stride != 0) {
         throw Error("raw_gather: ranks contributed unequal chunk sizes");
       }
-      const size_t at = buffer.size();
-      buffer.resize(at + payload.size() / sizeof(float));
-      std::memcpy(buffer.data() + at, payload.data(), payload.size());
+      const auto received = floats_from_bytes(payload, "raw_gather payload");
+      buffer.insert(buffer.end(), received.begin(), received.end());
     }
     mask <<= 1;
   }

@@ -132,7 +132,11 @@ void unpack_bits(const uint8_t* src, size_t n, int bits, uint32_t* v) {
 }
 
 uint8_t* encode_block_prepared(const uint32_t* magnitudes, const uint32_t* sign_bits, size_t n,
-                               int code_len, uint8_t* out) {
+                               int code_len, uint8_t* out, const uint8_t* out_end) {
+  if (out > out_end ||
+      encoded_block_size(code_len, n) > static_cast<size_t>(out_end - out)) {
+    throw CapacityError("encode_block: encoded block exceeds output capacity");
+  }
   *out++ = static_cast<uint8_t>(code_len);
   if (code_len == 0) return out;
 
@@ -181,7 +185,8 @@ uint8_t* encode_block_prepared(const uint32_t* magnitudes, const uint32_t* sign_
   return out;
 }
 
-uint8_t* encode_block(const int32_t* residuals, size_t n, uint8_t* out) {
+uint8_t* encode_block(const int32_t* residuals, size_t n, uint8_t* out,
+                      const uint8_t* out_end) {
   uint32_t mags[512];
   uint32_t signs[512];
   // Blocks longer than the stack scratch are encoded in slices; slice
@@ -203,28 +208,28 @@ uint8_t* encode_block(const int32_t* residuals, size_t n, uint8_t* out) {
   if (c > kMaxCodeLength) {
     throw QuantizationRangeError("residual magnitude exceeds 31 bits");
   }
-  return encode_block_prepared(mags, signs, n, c, out);
+  return encode_block_prepared(mags, signs, n, c, out, out_end);
 }
 
 const uint8_t* decode_block(const uint8_t* src, const uint8_t* end, size_t n,
                             int32_t* residuals) {
-  if (src >= end) throw FormatError("decode_block: empty input");
+  if (src >= end) throw ParseError("decode_block: empty input");
   const int c = *src++;
   if (c == 0) {
     std::memset(residuals, 0, n * sizeof(int32_t));
     return src;
   }
-  if (c > kMaxCodeLength) throw FormatError("decode_block: bad code length");
+  if (c > kMaxCodeLength) throw ParseError("decode_block: bad code length");
   const size_t sign_bytes = (n + 7) / 8;
   const size_t plane_bytes = static_cast<size_t>(c / 8) * n;
   const size_t rem_bytes = packed_size(n, c % 8);
   if (static_cast<size_t>(end - src) < sign_bytes + plane_bytes + rem_bytes) {
-    throw FormatError("decode_block: truncated block payload");
+    throw ParseError("decode_block: truncated block payload");
   }
 
   uint32_t signs[512];
   uint32_t mags[512];
-  if (n > 512) throw FormatError("decode_block: block length > 512 unsupported");
+  if (n > 512) throw ParseError("decode_block: block length > 512 unsupported");
   unpack_bits_1(src, n, signs);
   src += sign_bytes;
 
@@ -269,12 +274,12 @@ const uint8_t* decode_block(const uint8_t* src, const uint8_t* end, size_t n,
 }
 
 size_t peek_block_size(const uint8_t* src, const uint8_t* end, size_t n) {
-  if (src >= end) throw FormatError("peek_block_size: empty input");
+  if (src >= end) throw ParseError("peek_block_size: empty input");
   const int c = *src;
-  if (c > kMaxCodeLength) throw FormatError("peek_block_size: bad code length");
+  if (c > kMaxCodeLength) throw ParseError("peek_block_size: bad code length");
   const size_t size = encoded_block_size(c, n);
   if (static_cast<size_t>(end - src) < size) {
-    throw FormatError("peek_block_size: truncated block");
+    throw ParseError("peek_block_size: truncated block");
   }
   return size;
 }

@@ -3,24 +3,27 @@
 #include <string>
 
 #include "hzccl/compressor/fixed_len.hpp"
+#include "hzccl/util/bytes.hpp"
 #include "hzccl/util/crc32.hpp"
 #include "hzccl/util/threading.hpp"
 
 namespace hzccl {
 
 FzView parse_fz(std::span<const uint8_t> bytes) {
-  if (bytes.size() < sizeof(FzHeader)) {
-    throw FormatError("stream shorter than header");
-  }
   FzView v;
-  std::memcpy(&v.header, bytes.data(), sizeof(FzHeader));
+  {
+    ByteReader reader(bytes, "fz stream");
+    v.header = reader.read<FzHeader>("header");
+  }
   if (v.header.magic != kFzMagic) {
     throw FormatError("bad magic: not an fZ-light stream");
   }
   if (v.header.version != kFormatVersion) {
     throw FormatError("unsupported format version " + std::to_string(v.header.version));
   }
-  if (v.header.block_len == 0) throw FormatError("block length must be positive");
+  if (v.header.block_len == 0 || v.header.block_len > kMaxWireBlockLen) {
+    throw FormatError("block length out of range");
+  }
   if (v.header.num_chunks == 0 && v.header.num_elements != 0) {
     throw FormatError("nonempty stream with zero chunks");
   }
@@ -33,24 +36,39 @@ FzView parse_fz(std::span<const uint8_t> bytes) {
     if (bytes.size() < preamble + sizeof(uint32_t)) {
       throw FormatError("checksummed stream shorter than its trailer");
     }
-    uint32_t stored;
-    std::memcpy(&stored, bytes.data() + bytes.size() - sizeof stored, sizeof stored);
-    const uint32_t computed = crc32c(bytes.subspan(0, bytes.size() - sizeof stored));
+    ByteReader trailer(bytes.subspan(bytes.size() - sizeof(uint32_t)), "fz trailer");
+    const uint32_t stored = trailer.read<uint32_t>("checksum");
+    const uint32_t computed = crc32c(bytes.subspan(0, bytes.size() - sizeof(uint32_t)));
     if (stored != computed) {
       throw FormatError("stream checksum mismatch: corrupt or truncated data");
     }
-    bytes = bytes.subspan(0, bytes.size() - sizeof stored);
+    bytes = bytes.subspan(0, bytes.size() - sizeof(uint32_t));
     // The view represents the verified logical stream; clearing the flag
     // keeps header copies (e.g. homomorphic outputs) from promising a
     // trailer they do not carry.
     v.header.flags &= static_cast<uint16_t>(~kFlagChecksummed);
   }
 
-  const uint8_t* p = bytes.data() + sizeof(FzHeader);
-  v.chunk_offsets = {reinterpret_cast<const uint64_t*>(p), v.header.num_chunks};
-  p += v.header.num_chunks * sizeof(uint64_t);
-  v.chunk_outliers = {reinterpret_cast<const int32_t*>(p), v.header.num_chunks};
-  v.payload = bytes.subspan(preamble);
+  ByteReader reader(bytes, "fz stream");
+  reader.skip(sizeof(FzHeader), "header");
+  v.chunk_offsets = reader.read_vector<uint64_t>(v.header.num_chunks, "chunk offset table");
+  v.chunk_outliers = reader.read_vector<int32_t>(v.header.num_chunks, "chunk outlier table");
+  v.payload = reader.rest();
+
+  if (v.header.num_chunks == 0 && !v.payload.empty()) {
+    throw FormatError("empty stream carries trailing payload bytes");
+  }
+  // Every block occupies at least its code-length byte, so the payload must
+  // hold one byte per block of the grid the header claims.  This bounds
+  // num_elements by the actual byte count before any caller allocates a
+  // decode buffer from it.
+  if (v.header.num_elements > 0) {
+    const size_t min_blocks =
+        (v.header.num_elements + v.header.block_len - 1) / v.header.block_len;
+    if (v.payload.size() < min_blocks) {
+      throw FormatError("payload shorter than one byte per block of its grid");
+    }
+  }
 
   // Offset table sanity: monotone, in-range. chunk_payload() re-checks per
   // access, but catching corruption here gives a better error site.
@@ -102,7 +120,7 @@ size_t ChunkedStreamAssembler::chunk_capacity(uint32_t c) const {
 
 void ChunkedStreamAssembler::set_chunk(uint32_t c, size_t payload_size, int32_t outlier) {
   if (payload_size > chunk_capacity(c)) {
-    throw Error("ChunkedStreamAssembler: chunk payload exceeds worst-case capacity");
+    throw CapacityError("ChunkedStreamAssembler: chunk payload exceeds worst-case capacity");
   }
   chunk_size_[c] = payload_size;
   outliers_[c] = outlier;
@@ -124,11 +142,10 @@ CompressedBuffer ChunkedStreamAssembler::finish() {
   }
   result_.bytes.resize(preamble + write);
 
-  std::memcpy(result_.bytes.data(), &header_, sizeof header_);
-  std::memcpy(result_.bytes.data() + sizeof header_, tight_offset.data(),
-              nchunks * sizeof(uint64_t));
-  std::memcpy(result_.bytes.data() + sizeof header_ + nchunks * sizeof(uint64_t),
-              outliers_.data(), nchunks * sizeof(int32_t));
+  ByteWriter writer({result_.bytes.data(), preamble}, "fz preamble");
+  writer.write(header_, "header");
+  writer.write_array(tight_offset.data(), nchunks, "chunk offset table");
+  writer.write_array(outliers_.data(), nchunks, "chunk outlier table");
   return std::move(result_);
 }
 
@@ -136,15 +153,15 @@ CompressedBuffer add_checksum(CompressedBuffer stream) {
   if (stream.bytes.size() < sizeof(FzHeader)) {
     throw FormatError("add_checksum: stream shorter than header");
   }
-  FzHeader header;
-  std::memcpy(&header, stream.bytes.data(), sizeof header);
+  FzHeader header = ByteReader(stream.bytes, "fz stream").read<FzHeader>("header");
   if (header.flags & kFlagChecksummed) return stream;  // already sealed
   header.flags |= kFlagChecksummed;
-  std::memcpy(stream.bytes.data(), &header, sizeof header);
+  ByteWriter({stream.bytes.data(), sizeof header}, "fz stream").write(header, "header");
   const uint32_t digest = crc32c(stream.bytes);
   const size_t at = stream.bytes.size();
   stream.bytes.resize(at + sizeof digest);
-  std::memcpy(stream.bytes.data() + at, &digest, sizeof digest);
+  ByteWriter({stream.bytes.data() + at, sizeof digest}, "fz trailer")
+      .write(digest, "checksum");
   return stream;
 }
 
@@ -152,15 +169,14 @@ CompressedBuffer strip_checksum(CompressedBuffer stream) {
   if (stream.bytes.size() < sizeof(FzHeader)) {
     throw FormatError("strip_checksum: stream shorter than header");
   }
-  FzHeader header;
-  std::memcpy(&header, stream.bytes.data(), sizeof header);
+  FzHeader header = ByteReader(stream.bytes, "fz stream").read<FzHeader>("header");
   if (!(header.flags & kFlagChecksummed)) return stream;
   if (stream.bytes.size() < sizeof(FzHeader) + sizeof(uint32_t)) {
     throw FormatError("strip_checksum: missing trailer");
   }
   stream.bytes.resize(stream.bytes.size() - sizeof(uint32_t));
   header.flags &= static_cast<uint16_t>(~kFlagChecksummed);
-  std::memcpy(stream.bytes.data(), &header, sizeof header);
+  ByteWriter({stream.bytes.data(), sizeof header}, "fz stream").write(header, "header");
   return stream;
 }
 

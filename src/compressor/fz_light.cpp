@@ -19,11 +19,14 @@ void validate_params(const FzParams& p) {
   }
 }
 
-/// Compress one chunk into `out`; returns bytes written.  `out` must have
-/// room for the worst-case encoding of every block in the chunk.
+/// Compress one chunk into [out, out + out_capacity); returns bytes written.
+/// The capacity is the assembler's worst-case chunk region; every write is
+/// checked against it (CapacityError on violation).
 size_t compress_chunk(std::span<const float> data, Range range, uint32_t block_len,
-                      const Quantizer& quant, int32_t* outlier, uint8_t* out) {
+                      const Quantizer& quant, int32_t* outlier, uint8_t* out,
+                      size_t out_capacity) {
   uint8_t* const out_begin = out;
+  const uint8_t* const out_end = out + out_capacity;
   if (range.size() == 0) {
     *outlier = 0;
     return 0;
@@ -69,6 +72,7 @@ size_t compress_chunk(std::span<const float> data, Range range, uint32_t block_l
     if (max_mag == 0) {
       // Constant block: one code-length byte, no sign/magnitude work at all
       // (the quiet-data fast path that dominates scientific fields).
+      if (out >= out_end) throw CapacityError("fz_compress: chunk capacity exceeded");
       *out++ = 0;
     } else {
       for (size_t i = 0; i < n; ++i) {
@@ -78,7 +82,7 @@ size_t compress_chunk(std::span<const float> data, Range range, uint32_t block_l
             neg ? static_cast<uint32_t>(-static_cast<int64_t>(r)) : static_cast<uint32_t>(r);
         signs[i] = neg;
       }
-      out = encode_block_prepared(mags, signs, n, code_length_for(max_mag), out);
+      out = encode_block_prepared(mags, signs, n, code_length_for(max_mag), out, out_end);
     }
     pos += n;
   }
@@ -118,7 +122,8 @@ CompressedBuffer fz_compress(std::span<const float> data, const FzParams& params
         const Range r = chunk_range(d, static_cast<int>(nchunks), static_cast<int>(c));
         int32_t outlier = 0;
         const size_t size = compress_chunk(data, r, params.block_len, quant, &outlier,
-                                           assembler.chunk_buffer(c));
+                                           assembler.chunk_buffer(c),
+                                           assembler.chunk_capacity(c));
         assembler.set_chunk(c, size, outlier);
       });
     }

@@ -7,12 +7,13 @@
 
 #include "hzccl/compressor/fixed_len.hpp"
 #include "hzccl/compressor/quantize.hpp"
+#include "hzccl/util/bytes.hpp"
 #include "hzccl/util/threading.hpp"
 
 namespace hzccl {
 namespace {
 
-constexpr uint32_t kMaxBlockLen = 512;
+constexpr uint32_t kMaxBlockLen = kMaxWireBlockLen;
 
 /// Quantize one block; returns its code length, outlier and whether every
 /// quantized value is zero.  Residual prediction restarts at each block
@@ -57,9 +58,9 @@ size_t block_payload_size(uint8_t meta, size_t n) {
 }  // namespace
 
 SzpView parse_szp(std::span<const uint8_t> bytes) {
-  if (bytes.size() < sizeof(FzHeader)) throw FormatError("szp stream shorter than header");
+  ByteReader reader(bytes, "szp stream");
   SzpView v;
-  std::memcpy(&v.header, bytes.data(), sizeof(FzHeader));
+  v.header = reader.read<FzHeader>("header");
   if (v.header.magic != kSzpMagic) throw FormatError("bad magic: not an ompSZp stream");
   if (v.header.version != kFormatVersion) throw FormatError("unsupported szp version");
   if (v.header.block_len == 0 || v.header.block_len > kMaxBlockLen) {
@@ -71,11 +72,8 @@ SzpView parse_szp(std::span<const uint8_t> bytes) {
           ? 0
           : (v.header.num_elements + v.header.block_len - 1) / v.header.block_len;
   if (nblocks != expect_blocks) throw FormatError("szp block count inconsistent");
-  if (bytes.size() < sizeof(FzHeader) + nblocks) {
-    throw FormatError("szp stream shorter than block metadata");
-  }
-  v.block_meta = bytes.subspan(sizeof(FzHeader), nblocks);
-  v.payload = bytes.subspan(sizeof(FzHeader) + nblocks);
+  v.block_meta = reader.read_bytes(nblocks, "block metadata");
+  v.payload = reader.rest();
   for (size_t b = 0; b < nblocks; ++b) {
     const uint8_t m = v.block_meta[b];
     if (m != kSzpZeroBlock && m > kMaxCodeLength) {
@@ -128,10 +126,14 @@ CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& para
 
   CompressedBuffer result;
   result.bytes.resize(sizeof(FzHeader) + nblocks + payload_bytes);
-  std::memcpy(result.bytes.data() + sizeof(FzHeader), meta.data(), nblocks);
+  ByteWriter meta_writer({result.bytes.data() + sizeof(FzHeader), nblocks}, "szp metadata");
+  meta_writer.write_array(meta.data(), nblocks, "block metadata");
   uint8_t* const payload = result.bytes.data() + sizeof(FzHeader) + nblocks;
 
-  // Phase 2: re-quantize and write at the scanned offsets.
+  // Phase 2: re-quantize and write at the scanned offsets.  Each block gets
+  // a ByteWriter over exactly its scanned region, so a phase-1/phase-2
+  // disagreement surfaces as CapacityError instead of overrunning into the
+  // neighbor block.
   OmpExceptionCollector write_errors;
 #pragma omp parallel
   {
@@ -143,10 +145,12 @@ CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& para
       write_errors.run([&, b] {
         const size_t begin = b * block_len;
         const size_t n = std::min<size_t>(block_len, d - begin);
-        uint8_t* out = payload + sizes[b];
+        uint8_t* const block_begin = payload + sizes[b];
+        uint8_t* const block_end = payload + sizes[b + 1];
+        ByteWriter writer({block_begin, static_cast<size_t>(block_end - block_begin)},
+                          "szp block");
         int32_t q_prev = quant.quantize(data[begin]);
-        std::memcpy(out, &q_prev, sizeof(int32_t));
-        out += sizeof(int32_t);
+        writer.write(q_prev, "block outlier");
         if (meta[b] == 0) return;  // constant block
         rbuf[0] = 0;
         for (size_t i = 1; i < n; ++i) {
@@ -154,7 +158,7 @@ CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& para
           rbuf[i] = q - q_prev;
           q_prev = q;
         }
-        encode_block(rbuf, n, out);
+        encode_block(rbuf, n, block_begin + sizeof(int32_t), block_end);
       });
     }
   }
@@ -167,7 +171,7 @@ CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& para
   header.block_len = block_len;
   header.num_chunks = static_cast<uint32_t>(nblocks);
   header.error_bound = params.abs_error_bound;
-  std::memcpy(result.bytes.data(), &header, sizeof header);
+  ByteWriter({result.bytes.data(), sizeof header}, "szp stream").write(header, "header");
   return result;
 }
 
@@ -207,18 +211,19 @@ void szp_decompress(const CompressedBuffer& compressed, std::span<float> out, in
           std::memset(out.data() + begin, 0, n * sizeof(float));
           return;
         }
-        const uint8_t* src = v.payload.data() + offsets[b];
-        int32_t outlier;
-        std::memcpy(&outlier, src, sizeof(int32_t));
-        src += sizeof(int32_t);
+        ByteReader reader(v.payload.subspan(offsets[b], offsets[b + 1] - offsets[b]),
+                          "szp block");
+        const int32_t outlier = reader.read<int32_t>("block outlier");
         if (m == 0) {
           const float value = quant.dequantize(outlier);
           std::fill_n(out.data() + begin, n, value);
           return;
         }
-        const uint8_t* end = src + encoded_block_size(m, n);
-        if (*src != m) throw FormatError("szp block code length disagrees with metadata");
-        decode_block(src, end, n, rbuf);
+        const auto body = reader.rest();
+        if (body.empty() || body[0] != m) {
+          throw FormatError("szp block code length disagrees with metadata");
+        }
+        decode_block(body.data(), body.data() + body.size(), n, rbuf);
         int64_t q = outlier;
         for (size_t i = 0; i < n; ++i) {
           q += rbuf[i];

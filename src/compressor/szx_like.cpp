@@ -6,12 +6,13 @@
 
 #include <omp.h>
 
+#include "hzccl/util/bytes.hpp"
 #include "hzccl/util/threading.hpp"
 
 namespace hzccl {
 namespace {
 
-constexpr uint32_t kMaxBlockLen = 512;
+constexpr uint32_t kMaxBlockLen = kMaxWireBlockLen;
 constexpr uint8_t kSzxConstant = 0;
 
 /// Kept-bytes-per-float for a non-constant block whose max |value| is A:
@@ -33,9 +34,9 @@ size_t block_payload_size(uint8_t meta, size_t n) {
 }  // namespace
 
 SzxView parse_szx(std::span<const uint8_t> bytes) {
-  if (bytes.size() < sizeof(FzHeader)) throw FormatError("szx stream shorter than header");
+  ByteReader reader(bytes, "szx stream");
   SzxView v;
-  std::memcpy(&v.header, bytes.data(), sizeof(FzHeader));
+  v.header = reader.read<FzHeader>("header");
   if (v.header.magic != kSzxMagic) throw FormatError("bad magic: not an SZx-like stream");
   if (v.header.version != kFormatVersion) throw FormatError("unsupported szx version");
   if (v.header.block_len == 0 || v.header.block_len > kMaxBlockLen) {
@@ -47,11 +48,8 @@ SzxView parse_szx(std::span<const uint8_t> bytes) {
           ? 0
           : (v.header.num_elements + v.header.block_len - 1) / v.header.block_len;
   if (nblocks != expect_blocks) throw FormatError("szx block count inconsistent");
-  if (bytes.size() < sizeof(FzHeader) + nblocks) {
-    throw FormatError("szx stream shorter than block metadata");
-  }
-  v.block_meta = bytes.subspan(sizeof(FzHeader), nblocks);
-  v.payload = bytes.subspan(sizeof(FzHeader) + nblocks);
+  v.block_meta = reader.read_bytes(nblocks, "block metadata");
+  v.payload = reader.rest();
   for (size_t b = 0; b < nblocks; ++b) {
     const uint8_t m = v.block_meta[b];
     if (m != kSzxConstant && (m < 2 || m > 4)) {
@@ -102,7 +100,8 @@ CompressedBuffer szx_compress(std::span<const float> data, const SzxParams& para
 
   CompressedBuffer result;
   result.bytes.resize(sizeof(FzHeader) + nblocks + sizes[nblocks]);
-  std::memcpy(result.bytes.data() + sizeof(FzHeader), meta.data(), nblocks);
+  ByteWriter({result.bytes.data() + sizeof(FzHeader), nblocks}, "szx metadata")
+      .write_array(meta.data(), nblocks, "block metadata");
   uint8_t* const payload = result.bytes.data() + sizeof(FzHeader) + nblocks;
 
   // Phase 2: emit midranges / truncated floats.
@@ -112,13 +111,12 @@ CompressedBuffer szx_compress(std::span<const float> data, const SzxParams& para
     const size_t n = std::min<size_t>(block_len, d - begin);
     uint8_t* out = payload + sizes[b];
     if (meta[b] == kSzxConstant) {
-      std::memcpy(out, &midranges[b], sizeof(float));
+      ByteWriter({out, sizeof(float)}, "szx block").write(midranges[b], "block midrange");
       continue;
     }
     const int k = meta[b];
     for (size_t i = 0; i < n; ++i) {
-      uint32_t bits;
-      std::memcpy(&bits, &data[begin + i], sizeof bits);
+      const uint32_t bits = float_bits(data[begin + i]);
       // Keep the k most significant bytes (sign + exponent + top mantissa).
       for (int byte = 0; byte < k; ++byte) {
         out[i * k + byte] = static_cast<uint8_t>(bits >> (8 * (3 - byte)));
@@ -133,7 +131,7 @@ CompressedBuffer szx_compress(std::span<const float> data, const SzxParams& para
   header.block_len = block_len;
   header.num_chunks = static_cast<uint32_t>(nblocks);
   header.error_bound = eb;
-  std::memcpy(result.bytes.data(), &header, sizeof header);
+  ByteWriter({result.bytes.data(), sizeof header}, "szx stream").write(header, "header");
   return result;
 }
 
@@ -159,20 +157,21 @@ void szx_decompress(const CompressedBuffer& compressed, std::span<float> out, in
   for (size_t b = 0; b < nblocks; ++b) {
     const size_t begin = b * block_len;
     const size_t n = std::min<size_t>(block_len, d - begin);
-    const uint8_t* src = v.payload.data() + offsets[b];
+    ByteReader reader(v.payload.subspan(offsets[b], offsets[b + 1] - offsets[b]),
+                      "szx block");
     if (v.block_meta[b] == kSzxConstant) {
-      float value;
-      std::memcpy(&value, src, sizeof value);
+      const float value = reader.read<float>("block midrange");
       std::fill_n(out.data() + begin, n, value);
       continue;
     }
     const int k = v.block_meta[b];
+    const auto body = reader.read_bytes(n * static_cast<size_t>(k), "truncated floats");
     for (size_t i = 0; i < n; ++i) {
       uint32_t bits = 0;
       for (int byte = 0; byte < k; ++byte) {
-        bits |= static_cast<uint32_t>(src[i * k + byte]) << (8 * (3 - byte));
+        bits |= static_cast<uint32_t>(body[i * k + byte]) << (8 * (3 - byte));
       }
-      std::memcpy(&out[begin + i], &bits, sizeof(float));
+      out[begin + i] = float_from_bits(bits);
     }
   }
 }

@@ -21,11 +21,16 @@ int32_t checked_outlier_sum(int32_t a, int32_t b) {
   return static_cast<int32_t>(s);
 }
 
-/// Homomorphically reduce one chunk pair into `out`; returns bytes written.
+/// Homomorphically reduce one chunk pair into [out, out + out_capacity);
+/// returns bytes written.  Operand payloads are untrusted: the copy fast
+/// paths (pipelines 2/3) move operand bytes verbatim, so every write —
+/// copied or re-encoded — is checked against the destination's worst-case
+/// capacity before it happens (CapacityError on violation).
 size_t hz_add_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
                     size_t chunk_elems, uint32_t block_len, uint8_t* out,
-                    HzPipelineStats& stats) {
+                    size_t out_capacity, HzPipelineStats& stats) {
   uint8_t* const out_begin = out;
+  const uint8_t* const out_end = out + out_capacity;
   const uint8_t* pa = ca.data();
   const uint8_t* const ea = pa + ca.size();
   const uint8_t* pb = cb.data();
@@ -46,17 +51,24 @@ size_t hz_add_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
 
     if (x == 0 && y == 0) {
       // Pipeline 1: both constant — the sum is constant too; one byte out.
+      if (out >= out_end) throw CapacityError("hz_add: chunk output capacity exceeded");
       *out++ = 0;
       ++stats.p1;
     } else if (x == 0) {
       // Pipeline 2: a is constant (all residuals zero), so a + b has exactly
       // b's residual stream; copy b's block verbatim.
+      if (size_b > static_cast<size_t>(out_end - out)) {
+        throw CapacityError("hz_add: chunk output capacity exceeded");
+      }
       std::memcpy(out, pb, size_b);
       out += size_b;
       ++stats.p2;
       stats.copied_bytes += size_b;
     } else if (y == 0) {
       // Pipeline 3: mirror of 2.
+      if (size_a > static_cast<size_t>(out_end - out)) {
+        throw CapacityError("hz_add: chunk output capacity exceeded");
+      }
       std::memcpy(out, pa, size_a);
       out += size_a;
       ++stats.p3;
@@ -78,7 +90,7 @@ size_t hz_add_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
         signs[i] = neg;
         max_mag |= mag;
       }
-      out = encode_block_prepared(mags, signs, n, code_length_for(max_mag), out);
+      out = encode_block_prepared(mags, signs, n, code_length_for(max_mag), out, out_end);
       ++stats.p4;
       stats.p4_elements += n;
     }
@@ -143,7 +155,8 @@ CompressedBuffer hz_add(const FzView& a, const FzView& b, HzPipelineStats* stats
         size_t size = 0;
         if (r.size() > 0) {
           size = hz_add_chunk(a.chunk_payload(c), b.chunk_payload(c), r.size(), block_len,
-                              assembler.chunk_buffer(c), chunk_stats[c]);
+                              assembler.chunk_buffer(c), assembler.chunk_capacity(c),
+                              chunk_stats[c]);
         }
         assembler.set_chunk(c, size, outlier);
       });

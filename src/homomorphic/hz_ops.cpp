@@ -24,8 +24,12 @@ int32_t checked_i32(int64_t v, const char* what) {
 /// primitive).  Decoders read sign bits only where magnitudes are nonzero in
 /// value terms, so flipped signs of zero residuals are harmless but leave
 /// the stream non-canonical; value-level semantics are exact.
-size_t copy_block_negated(const uint8_t* src, const uint8_t* end, size_t n, uint8_t* out) {
+size_t copy_block_negated(const uint8_t* src, const uint8_t* end, size_t n, uint8_t* out,
+                          const uint8_t* out_end) {
   const size_t size = peek_block_size(src, end, n);
+  if (out > out_end || size > static_cast<size_t>(out_end - out)) {
+    throw CapacityError("hz negate: block copy exceeds output capacity");
+  }
   std::memcpy(out, src, size);
   const int c = out[0];
   if (c > 0) {
@@ -44,8 +48,9 @@ size_t copy_block_negated(const uint8_t* src, const uint8_t* end, size_t n, uint
 /// Per-chunk scale: decode, multiply, re-encode (copy fast paths for the
 /// trivial factors are handled by the callers).
 size_t scale_chunk(std::span<const uint8_t> ca, size_t chunk_elems, uint32_t block_len,
-                   int64_t factor, uint8_t* out) {
+                   int64_t factor, uint8_t* out, size_t out_capacity) {
   uint8_t* const out_begin = out;
+  const uint8_t* const out_end = out + out_capacity;
   const uint8_t* pa = ca.data();
   const uint8_t* const ea = pa + ca.size();
 
@@ -59,6 +64,7 @@ size_t scale_chunk(std::span<const uint8_t> ca, size_t chunk_elems, uint32_t blo
     const size_t size_a = peek_block_size(pa, ea, n);
     if (*pa == 0) {
       // Constant block: k * 0-residuals stay zero.
+      if (out >= out_end) throw CapacityError("hz_scale: chunk output capacity exceeded");
       *out++ = 0;
     } else {
       decode_block(pa, ea, n, rbuf);
@@ -73,7 +79,7 @@ size_t scale_chunk(std::span<const uint8_t> ca, size_t chunk_elems, uint32_t blo
         signs[i] = neg;
         max_mag |= mag;
       }
-      out = encode_block_prepared(mags, signs, n, code_length_for(max_mag), out);
+      out = encode_block_prepared(mags, signs, n, code_length_for(max_mag), out, out_end);
     }
     pa += size_a;
     remaining -= n;
@@ -85,8 +91,10 @@ size_t scale_chunk(std::span<const uint8_t> ca, size_t chunk_elems, uint32_t blo
 /// Per-chunk subtract with the four-pipeline dispatch (mirror of
 /// hz_add_chunk; the y-copy pipelines negate on the fly).
 size_t sub_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb, size_t chunk_elems,
-                 uint32_t block_len, uint8_t* out, HzPipelineStats& stats) {
+                 uint32_t block_len, uint8_t* out, size_t out_capacity,
+                 HzPipelineStats& stats) {
   uint8_t* const out_begin = out;
+  const uint8_t* const out_end = out + out_capacity;
   const uint8_t* pa = ca.data();
   const uint8_t* const ea = pa + ca.size();
   const uint8_t* pb = cb.data();
@@ -106,13 +114,17 @@ size_t sub_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb, size_
     const int y = *pb;
 
     if (x == 0 && y == 0) {
+      if (out >= out_end) throw CapacityError("hz_sub: chunk output capacity exceeded");
       *out++ = 0;
       ++stats.p1;
     } else if (x == 0) {
-      out += copy_block_negated(pb, eb, n, out);  // 0 - b = -b
+      out += copy_block_negated(pb, eb, n, out, out_end);  // 0 - b = -b
       ++stats.p2;
       stats.copied_bytes += size_b;
     } else if (y == 0) {
+      if (size_a > static_cast<size_t>(out_end - out)) {
+        throw CapacityError("hz_sub: chunk output capacity exceeded");
+      }
       std::memcpy(out, pa, size_a);  // a - 0 = a
       out += size_a;
       ++stats.p3;
@@ -131,7 +143,7 @@ size_t sub_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb, size_
         signs[i] = neg;
         max_mag |= mag;
       }
-      out = encode_block_prepared(mags, signs, n, code_length_for(max_mag), out);
+      out = encode_block_prepared(mags, signs, n, code_length_for(max_mag), out, out_end);
       ++stats.p4;
       stats.p4_elements += n;
     }
@@ -145,8 +157,10 @@ size_t sub_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb, size_
   return static_cast<size_t>(out - out_begin);
 }
 
-/// Shared driver: apply `chunk_fn(c, range, out) -> (size, outlier)` across
-/// all chunks in parallel and assemble the stream.
+/// Shared driver: apply `chunk_fn(c, range, out_span) -> (size, outlier)`
+/// across all chunks in parallel and assemble the stream.  The span carries
+/// the chunk's worst-case capacity so every chunk function can honor the
+/// output-capacity contract.
 template <class ChunkFn>
 CompressedBuffer assemble_parallel(const FzHeader& header, int num_threads,
                                    const ChunkFn& chunk_fn) {
@@ -158,7 +172,8 @@ CompressedBuffer assemble_parallel(const FzHeader& header, int num_threads,
     errors.run([&, c] {
       const Range r = chunk_range(header.num_elements,
                                   static_cast<int>(header.num_chunks), static_cast<int>(c));
-      const auto [size, outlier] = chunk_fn(c, r, assembler.chunk_buffer(c));
+      const std::span<uint8_t> out{assembler.chunk_buffer(c), assembler.chunk_capacity(c)};
+      const auto [size, outlier] = chunk_fn(c, r, out);
       assembler.set_chunk(c, size, outlier);
     });
   }
@@ -173,10 +188,13 @@ CompressedBuffer hz_scale(const FzView& a, int32_t factor, int num_threads) {
     // Identity: re-assemble a verbatim copy of the stream.
     return assemble_parallel(
         a.header, num_threads,
-        [&](uint32_t c, const Range& r, uint8_t* out) -> std::pair<size_t, int32_t> {
+        [&](uint32_t c, const Range& r, std::span<uint8_t> out) -> std::pair<size_t, int32_t> {
           if (r.size() == 0) return {0, a.chunk_outliers[c]};
           const auto chunk = a.chunk_payload(c);
-          std::memcpy(out, chunk.data(), chunk.size());
+          if (chunk.size() > out.size()) {
+            throw CapacityError("hz_scale: chunk copy exceeds output capacity");
+          }
+          std::memcpy(out.data(), chunk.data(), chunk.size());
           return {chunk.size(), a.chunk_outliers[c]};
         });
   }
@@ -184,11 +202,12 @@ CompressedBuffer hz_scale(const FzView& a, int32_t factor, int num_threads) {
 
   return assemble_parallel(
       a.header, num_threads,
-      [&](uint32_t c, const Range& r, uint8_t* out) -> std::pair<size_t, int32_t> {
+      [&](uint32_t c, const Range& r, std::span<uint8_t> out) -> std::pair<size_t, int32_t> {
         const int32_t outlier = checked_i32(
             static_cast<int64_t>(a.chunk_outliers[c]) * factor, "scaled outlier");
         if (r.size() == 0) return {0, outlier};
-        return {scale_chunk(a.chunk_payload(c), r.size(), a.block_len(), factor, out),
+        return {scale_chunk(a.chunk_payload(c), r.size(), a.block_len(), factor, out.data(),
+                            out.size()),
                 outlier};
       });
 }
@@ -200,18 +219,20 @@ CompressedBuffer hz_scale(const CompressedBuffer& a, int32_t factor, int num_thr
 CompressedBuffer hz_negate(const FzView& a, int num_threads) {
   return assemble_parallel(
       a.header, num_threads,
-      [&](uint32_t c, const Range& r, uint8_t* out) -> std::pair<size_t, int32_t> {
+      [&](uint32_t c, const Range& r, std::span<uint8_t> out_span) -> std::pair<size_t, int32_t> {
         const int32_t outlier =
             checked_i32(-static_cast<int64_t>(a.chunk_outliers[c]), "negated outlier");
         if (r.size() == 0) return {0, outlier};
         const auto chunk = a.chunk_payload(c);
         const uint8_t* src = chunk.data();
         const uint8_t* const end = src + chunk.size();
+        uint8_t* out = out_span.data();
         uint8_t* const out_begin = out;
+        const uint8_t* const out_end = out + out_span.size();
         size_t remaining = r.size();
         while (remaining > 0) {
           const size_t n = std::min<size_t>(a.block_len(), remaining);
-          const size_t size = copy_block_negated(src, end, n, out);
+          const size_t size = copy_block_negated(src, end, n, out, out_end);
           src += size;
           out += size;
           remaining -= n;
@@ -234,13 +255,13 @@ CompressedBuffer hz_sub(const CompressedBuffer& a, const CompressedBuffer& b,
   std::vector<HzPipelineStats> chunk_stats(va.num_chunks());
   CompressedBuffer result = assemble_parallel(
       va.header, num_threads,
-      [&](uint32_t c, const Range& r, uint8_t* out) -> std::pair<size_t, int32_t> {
+      [&](uint32_t c, const Range& r, std::span<uint8_t> out) -> std::pair<size_t, int32_t> {
         const int32_t outlier = checked_i32(
             static_cast<int64_t>(va.chunk_outliers[c]) - vb.chunk_outliers[c],
             "outlier difference");
         if (r.size() == 0) return {0, outlier};
         return {sub_chunk(va.chunk_payload(c), vb.chunk_payload(c), r.size(), va.block_len(),
-                          out, chunk_stats[c]),
+                          out.data(), out.size(), chunk_stats[c]),
                 outlier};
       });
   if (stats) {

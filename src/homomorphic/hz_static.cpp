@@ -16,7 +16,8 @@ namespace {
 /// the dynamic pipeline avoids), element-wise add, then FE of every block.
 size_t static_add_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
                         size_t chunk_elems, uint32_t block_len, uint8_t* out,
-                        std::vector<int32_t>& scratch_a, std::vector<int32_t>& scratch_b) {
+                        size_t out_capacity, std::vector<int32_t>& scratch_a,
+                        std::vector<int32_t>& scratch_b) {
   scratch_a.resize(chunk_elems);
   scratch_b.resize(chunk_elems);
 
@@ -42,9 +43,10 @@ size_t static_add_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb
   }
 
   uint8_t* const out_begin = out;
+  const uint8_t* const out_end = out + out_capacity;
   for (size_t pos = 0; pos < chunk_elems; pos += block_len) {
     const size_t n = std::min<size_t>(block_len, chunk_elems - pos);
-    out = encode_block(scratch_a.data() + pos, n, out);
+    out = encode_block(scratch_a.data() + pos, n, out, out_end);
   }
   return static_cast<size_t>(out - out_begin);
 }
@@ -81,8 +83,8 @@ CompressedBuffer hz_add_static(const FzView& a, const FzView& b, int num_threads
           size_t size = 0;
           if (r.size() > 0) {
             size = static_add_chunk(a.chunk_payload(c), b.chunk_payload(c), r.size(),
-                                    block_len, assembler.chunk_buffer(c), scratch_a,
-                                    scratch_b);
+                                    block_len, assembler.chunk_buffer(c),
+                                    assembler.chunk_capacity(c), scratch_a, scratch_b);
           }
           assembler.set_chunk(c, size, outlier);
         });

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "hzccl/util/bytes.hpp"
 #include "hzccl/util/crc32.hpp"
 #include "hzccl/util/error.hpp"
 
@@ -90,24 +91,21 @@ std::vector<uint8_t> encode_frame(uint64_t seq, std::span<const uint8_t> payload
     throw Error("encode_frame: payload exceeds the 32-bit frame length field");
   }
   h.payload_crc = crc32c(payload);
-  h.header_crc = crc32c({reinterpret_cast<const uint8_t*>(&h), offsetof(FrameHeader, header_crc)});
+  h.header_crc = crc32c(leading_bytes_of(h, offsetof(FrameHeader, header_crc)));
 
   std::vector<uint8_t> frame(sizeof(FrameHeader) + payload.size());
-  std::memcpy(frame.data(), &h, sizeof(h));
-  if (!payload.empty()) {
-    std::memcpy(frame.data() + sizeof(h), payload.data(), payload.size());
-  }
+  ByteWriter writer(frame, "frame");
+  writer.write(h, "frame header");
+  writer.write_bytes(payload, "frame payload");
   return frame;
 }
 
 FrameView decode_frame(std::span<const uint8_t> frame) {
   FrameView view;
   if (frame.size() < sizeof(FrameHeader)) return view;
-  FrameHeader h;
-  std::memcpy(&h, frame.data(), sizeof(h));
+  const FrameHeader h = ByteReader(frame, "frame").read<FrameHeader>("frame header");
   if (h.magic != kFrameMagic) return view;
-  if (h.header_crc !=
-      crc32c({reinterpret_cast<const uint8_t*>(&h), offsetof(FrameHeader, header_crc)})) {
+  if (h.header_crc != crc32c(leading_bytes_of(h, offsetof(FrameHeader, header_crc)))) {
     return view;
   }
   if (frame.size() != sizeof(FrameHeader) + h.payload_len) return view;

@@ -6,6 +6,7 @@
 #include <exception>
 #include <thread>
 
+#include "hzccl/util/bytes.hpp"
 #include "hzccl/util/error.hpp"
 
 namespace hzccl::simmpi {
@@ -121,12 +122,11 @@ void Comm::barrier() {
 }
 
 void Comm::send_floats(int dst, int tag, std::span<const float> data) {
-  send(dst, tag,
-       {reinterpret_cast<const uint8_t*>(data.data()), data.size_bytes()});
+  send(dst, tag, bytes_of(data));
 }
 
 void Comm::recv_floats_into(int src, int tag, std::span<float> out) {
-  recv_into(src, tag, {reinterpret_cast<uint8_t*>(out.data()), out.size_bytes()});
+  recv_into(src, tag, writable_bytes_of(out));
 }
 
 // ---------------------------------------------------------------------------

@@ -113,7 +113,7 @@ TEST_P(BlockCodecTest, RoundTripsSignedResiduals) {
   if (code_len > 0) residuals[n / 2] = (1 << (code_len - 1)) | 1;
 
   std::vector<uint8_t> buf(max_encoded_block_size(n) + 8, 0xEE);
-  uint8_t* end = encode_block(residuals.data(), n, buf.data());
+  uint8_t* end = encode_block(residuals.data(), n, buf.data(), buf.data() + buf.size());
   const size_t written = static_cast<size_t>(end - buf.data());
   EXPECT_EQ(written, encoded_block_size(buf[0], n));
   EXPECT_LE(written, max_encoded_block_size(n));
@@ -144,7 +144,7 @@ INSTANTIATE_TEST_SUITE_P(Sweep, BlockCodecTest, ::testing::ValuesIn(block_cases(
 TEST(BlockCodec, AllZeroBlockEncodesToOneByte) {
   const std::vector<int32_t> zeros(32, 0);
   uint8_t buf[8] = {0xAA};
-  uint8_t* end = encode_block(zeros.data(), 32, buf);
+  uint8_t* end = encode_block(zeros.data(), 32, buf, buf + sizeof buf);
   EXPECT_EQ(end - buf, 1);
   EXPECT_EQ(buf[0], 0);
 }
@@ -155,7 +155,7 @@ TEST(BlockCodec, NegativeZeroMagnitudeEdge) {
   std::vector<int32_t> residuals = {std::numeric_limits<int32_t>::min() + 1,
                                     std::numeric_limits<int32_t>::max()};
   std::vector<uint8_t> buf(max_encoded_block_size(2), 0);
-  uint8_t* end = encode_block(residuals.data(), 2, buf.data());
+  uint8_t* end = encode_block(residuals.data(), 2, buf.data(), buf.data() + buf.size());
   std::vector<int32_t> decoded(2);
   decode_block(buf.data(), end, 2, decoded.data());
   EXPECT_EQ(decoded, residuals);
@@ -164,7 +164,7 @@ TEST(BlockCodec, NegativeZeroMagnitudeEdge) {
 TEST(BlockCodec, DecodeRejectsTruncation) {
   std::vector<int32_t> residuals(32, 1000);
   std::vector<uint8_t> buf(max_encoded_block_size(32), 0);
-  uint8_t* end = encode_block(residuals.data(), 32, buf.data());
+  uint8_t* end = encode_block(residuals.data(), 32, buf.data(), buf.data() + buf.size());
   const size_t size = static_cast<size_t>(end - buf.data());
   int32_t out[32];
   EXPECT_THROW(decode_block(buf.data(), buf.data() + size - 1, 32, out), FormatError);
@@ -182,14 +182,14 @@ TEST(BlockCodec, DecodeRejectsBadCodeLength) {
 TEST(BlockCodec, PeekRejectsTruncatedBlock) {
   std::vector<int32_t> residuals(32, 77);
   std::vector<uint8_t> buf(max_encoded_block_size(32), 0);
-  uint8_t* end = encode_block(residuals.data(), 32, buf.data());
+  uint8_t* end = encode_block(residuals.data(), 32, buf.data(), buf.data() + buf.size());
   EXPECT_THROW(peek_block_size(buf.data(), end - 3, 32), FormatError);
 }
 
 TEST(BlockCodec, OversizedBlockRejected) {
   std::vector<int32_t> residuals(513, 0);
   std::vector<uint8_t> buf(4096, 0);
-  EXPECT_THROW(encode_block(residuals.data(), 513, buf.data()), Error);
+  EXPECT_THROW(encode_block(residuals.data(), 513, buf.data(), buf.data() + buf.size()), Error);
 }
 
 }  // namespace

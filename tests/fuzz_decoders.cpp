@@ -1,0 +1,277 @@
+// Deterministic structure-aware decoder fuzzer (ctest label: fuzz).
+//
+// Valid streams from every compressor are mutated with seeded,
+// format-structure-aware transformations — truncated headers, inflated chunk
+// counts, shuffled offset tables, bit-flipped payloads — and fed to the
+// parsers, decoders and the homomorphic adder.  The contract under test:
+// every input either decodes or raises a structured hzccl::Error; nothing
+// may crash, hang or read out of bounds (the fuzz tier runs this binary
+// under ASan/UBSan).
+//
+// Randomness comes from simmpi's counter-based fault_mix, so a failure
+// reproduces exactly from its (seed, format, iteration) coordinates with no
+// state to replay.  Usage: fuzz_decoders [--iterations=N] [--seed=S]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/compressor/omp_szp.hpp"
+#include "hzccl/compressor/szx_like.hpp"
+#include "hzccl/homomorphic/hz_dynamic.hpp"
+#include "hzccl/simmpi/faults.hpp"
+#include "hzccl/util/bytes.hpp"
+
+namespace {
+
+using hzccl::CompressedBuffer;
+using hzccl::FzHeader;
+
+/// Pure-function PRNG view: value i of stream s is fault_mix(seed, s, i),
+/// so any draw can be recomputed from its coordinates alone.
+class Prng {
+ public:
+  Prng(uint64_t seed, uint64_t stream) : seed_(seed), stream_(stream) {}
+
+  uint64_t next() { return hzccl::simmpi::fault_mix(seed_, stream_, counter_++); }
+
+  /// Uniform in [0, n); n == 0 yields 0.
+  size_t below(size_t n) { return n == 0 ? 0 : static_cast<size_t>(next() % n); }
+
+ private:
+  uint64_t seed_;
+  uint64_t stream_;
+  uint64_t counter_ = 0;
+};
+
+/// Synthetic field with the structure the mutators care about: smooth runs
+/// (compressible blocks), spikes (outliers), a zero plateau (ompSZp's
+/// omitted blocks) and a constant plateau (SZx's midrange blocks).
+std::vector<float> make_field(size_t n, uint64_t salt) {
+  std::vector<float> data(n);
+  for (size_t i = 0; i < n; ++i) {
+    const float base = 0.125f * static_cast<float>(i % 257);
+    const float spike = (i % 89 == 0) ? 40.0f : 0.0f;
+    data[i] = base + spike + 0.001f * static_cast<float>(salt % 17);
+  }
+  for (size_t i = n / 4; i < n / 4 + std::min<size_t>(n / 8, 200) && i < n; ++i) {
+    data[i] = 0.0f;
+  }
+  for (size_t i = n / 2; i < n / 2 + std::min<size_t>(n / 8, 200) && i < n; ++i) {
+    data[i] = -7.5f;
+  }
+  return data;
+}
+
+enum class Mutation : int {
+  kTruncate = 0,       // cut the stream at a random point (headers included)
+  kInflateCounts,      // overwrite num_chunks/num_elements with random values
+  kGarbageHeader,      // randomize one header field
+  kShuffleTables,      // permute bytes inside the offset/metadata region
+  kBitFlip,            // flip one bit anywhere
+  kByteSplice,         // overwrite a short run with random bytes
+  kExtend,             // append random bytes
+  kRangeSwap,          // swap two byte ranges
+  kCount,
+};
+
+void mutate(std::vector<uint8_t>& bytes, Prng& rng) {
+  const auto kind = static_cast<Mutation>(rng.below(static_cast<size_t>(Mutation::kCount)));
+  switch (kind) {
+    case Mutation::kTruncate:
+      bytes.resize(rng.below(bytes.size() + 1));
+      break;
+    case Mutation::kInflateCounts: {
+      if (bytes.size() < sizeof(FzHeader)) break;
+      FzHeader h;
+      std::memcpy(&h, bytes.data(), sizeof h);
+      if (rng.below(2) == 0) {
+        h.num_chunks = static_cast<uint32_t>(rng.next());
+      } else {
+        h.num_elements = rng.next() >> (rng.below(40) + 8);
+      }
+      std::memcpy(bytes.data(), &h, sizeof h);
+      break;
+    }
+    case Mutation::kGarbageHeader: {
+      if (bytes.size() < sizeof(FzHeader)) break;
+      const size_t at = rng.below(sizeof(FzHeader));
+      bytes[at] = static_cast<uint8_t>(rng.next());
+      break;
+    }
+    case Mutation::kShuffleTables: {
+      // The region after the header holds the offset (fz) or metadata
+      // (szp/szx) tables; swap pairs inside it.
+      if (bytes.size() <= sizeof(FzHeader) + 1) break;
+      const size_t table = sizeof(FzHeader);
+      const size_t len = std::min<size_t>(bytes.size() - table, 256);
+      for (int k = 0; k < 8; ++k) {
+        std::swap(bytes[table + rng.below(len)], bytes[table + rng.below(len)]);
+      }
+      break;
+    }
+    case Mutation::kBitFlip: {
+      if (bytes.empty()) break;
+      bytes[rng.below(bytes.size())] ^= static_cast<uint8_t>(1u << rng.below(8));
+      break;
+    }
+    case Mutation::kByteSplice: {
+      if (bytes.empty()) break;
+      const size_t at = rng.below(bytes.size());
+      const size_t len = std::min(bytes.size() - at, rng.below(9) + 1);
+      for (size_t i = 0; i < len; ++i) {
+        bytes[at + i] = static_cast<uint8_t>(rng.next());
+      }
+      break;
+    }
+    case Mutation::kExtend: {
+      const size_t extra = rng.below(48) + 1;
+      for (size_t i = 0; i < extra; ++i) bytes.push_back(static_cast<uint8_t>(rng.next()));
+      break;
+    }
+    case Mutation::kRangeSwap: {
+      if (bytes.size() < 2) break;
+      const size_t len = std::min(bytes.size() / 2, rng.below(24) + 1);
+      const size_t a = rng.below(bytes.size() - len + 1);
+      const size_t b = rng.below(bytes.size() - len + 1);
+      for (size_t i = 0; i < len; ++i) std::swap(bytes[a + i], bytes[b + i]);
+      break;
+    }
+    case Mutation::kCount:
+      break;
+  }
+}
+
+struct Tally {
+  uint64_t ok = 0;        // decoded successfully despite (or without) damage
+  uint64_t rejected = 0;  // structured hzccl::Error
+};
+
+/// Run `decode` on a mutated copy of `base`; any escape other than
+/// hzccl::Error is a fuzzer failure.
+template <class DecodeFn>
+bool fuzz_one(const std::vector<uint8_t>& base, Prng& rng, Tally& tally,
+              const char* format, uint64_t iteration, DecodeFn&& decode) {
+  std::vector<uint8_t> bytes = base;
+  const size_t rounds = rng.below(3) + 1;
+  for (size_t r = 0; r < rounds; ++r) mutate(bytes, rng);
+  try {
+    decode(bytes);
+    ++tally.ok;
+  } catch (const hzccl::Error&) {
+    ++tally.rejected;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FUZZ FAILURE: %s iteration %llu escaped with %s\n", format,
+                 static_cast<unsigned long long>(iteration), e.what());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t iterations = 10000;
+  uint64_t seed = 0xC0FFEE;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--iterations=", 0) == 0) {
+      iterations = std::stoull(arg.substr(13));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(7));
+    } else {
+      std::fprintf(stderr, "usage: %s [--iterations=N] [--seed=S]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Base corpus: several sizes per format so block boundaries, partial tail
+  // blocks and multi-chunk layouts are all represented.
+  std::vector<std::vector<uint8_t>> fz_bases, szp_bases, szx_bases;
+  for (const size_t n : {31u, 1000u, 4097u}) {
+    const auto data = make_field(n, n);
+    hzccl::FzParams fz_params;
+    fz_params.num_chunks = n > 2000 ? 4 : 0;
+    fz_bases.push_back(hzccl::fz_compress(data, fz_params).bytes);
+    hzccl::SzpParams szp_params;
+    szp_params.num_threads = 1;
+    szp_bases.push_back(hzccl::szp_compress(data, szp_params).bytes);
+    hzccl::SzxParams szx_params;
+    szx_params.num_threads = 1;
+    szx_bases.push_back(hzccl::szx_compress(data, szx_params).bytes);
+  }
+
+  // Untouched streams must round-trip before any fuzzing starts: a broken
+  // baseline would make every mutated "rejected" meaningless.
+  for (const auto& base : fz_bases) {
+    const auto view = hzccl::parse_fz(base);
+    std::vector<float> out(view.num_elements());
+    hzccl::fz_decompress(view, out, 1);
+  }
+
+  Tally fz_tally, szp_tally, szx_tally, add_tally;
+  bool ok = true;
+
+  Prng fz_rng(seed, /*stream=*/1);
+  for (uint64_t i = 0; i < iterations && ok; ++i) {
+    ok = fuzz_one(fz_bases[i % fz_bases.size()], fz_rng, fz_tally, "fz", i,
+                  [](const std::vector<uint8_t>& bytes) {
+                    const auto view = hzccl::parse_fz(bytes);
+                    std::vector<float> out(view.num_elements());
+                    hzccl::fz_decompress(view, out, 1);
+                  });
+  }
+
+  Prng szp_rng(seed, /*stream=*/2);
+  for (uint64_t i = 0; i < iterations && ok; ++i) {
+    ok = fuzz_one(szp_bases[i % szp_bases.size()], szp_rng, szp_tally, "szp", i,
+                  [](const std::vector<uint8_t>& bytes) {
+                    CompressedBuffer buf;
+                    buf.bytes = bytes;
+                    std::vector<float> out(hzccl::parse_szp(bytes).num_elements());
+                    hzccl::szp_decompress(buf, out, 1);
+                  });
+  }
+
+  Prng szx_rng(seed, /*stream=*/3);
+  for (uint64_t i = 0; i < iterations && ok; ++i) {
+    ok = fuzz_one(szx_bases[i % szx_bases.size()], szx_rng, szx_tally, "szx", i,
+                  [](const std::vector<uint8_t>& bytes) {
+                    CompressedBuffer buf;
+                    buf.bytes = bytes;
+                    std::vector<float> out(hzccl::parse_szx(bytes).num_elements());
+                    hzccl::szx_decompress(buf, out, 1);
+                  });
+  }
+
+  // Homomorphic adder: one mutated operand against one pristine operand, so
+  // the per-pipeline copy paths see damaged payloads that still pass header
+  // compatibility some of the time.
+  Prng add_rng(seed, /*stream=*/4);
+  for (uint64_t i = 0; i < iterations && ok; ++i) {
+    const auto& pristine = fz_bases[(i + 1) % fz_bases.size()];
+    ok = fuzz_one(fz_bases[i % fz_bases.size()], add_rng, add_tally, "hz_add", i,
+                  [&pristine](const std::vector<uint8_t>& bytes) {
+                    const auto a = hzccl::parse_fz(bytes);
+                    const auto b = hzccl::parse_fz(pristine);
+                    (void)hzccl::hz_add(a, b, nullptr, 1);
+                  });
+  }
+
+  const auto report = [](const char* format, const Tally& t) {
+    std::printf("%-8s ok=%-8llu rejected=%-8llu\n", format,
+                static_cast<unsigned long long>(t.ok),
+                static_cast<unsigned long long>(t.rejected));
+  };
+  report("fz", fz_tally);
+  report("szp", szp_tally);
+  report("szx", szx_tally);
+  report("hz_add", add_tally);
+  if (!ok) return 1;
+  std::printf("fuzz_decoders: %llu iterations x 4 targets, seed %llu, no escapes\n",
+              static_cast<unsigned long long>(iterations),
+              static_cast<unsigned long long>(seed));
+  return 0;
+}

@@ -1,34 +1,79 @@
 #!/usr/bin/env sh
-# Tier-1 gate plus sanitized chaos tier.
+# Staged verification driver (see docs/ANALYSIS.md for the tier model).
 #
-#   tools/check.sh            # release build + full ctest, then ASan/UBSan chaos
-#   tools/check.sh --fast     # tier-1 only (skip the sanitizer rebuild)
+#   tools/check.sh            # tier 1 + tier 2 (ASan/UBSan chaos + fuzz)
+#   tools/check.sh --fast     # tier 1 only: release build + full ctest
+#   tools/check.sh --lint     # tier 1 + project lint
+#   tools/check.sh --tsan     # tier 1 + ThreadSanitizer concurrency tier
+#   tools/check.sh --fuzz     # tier 1 + sanitized decoder fuzzing only
+#   tools/check.sh --all      # everything
 #
-# Exit nonzero on the first failing stage.
+# Flags combine (e.g. --lint --tsan).  Exit nonzero on the first failing
+# stage.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 jobs=$(nproc 2>/dev/null || echo 4)
-fast=0
-[ "${1:-}" = "--fast" ] && fast=1
 
-echo "== tier 1: configure + build + ctest =="
+run_asan=1 run_lint=0 run_tsan=0 run_fuzz=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) run_asan=0 ;;
+    --lint) run_lint=1 ;;
+    --tsan) run_tsan=1 ;;
+    --fuzz) run_asan=0; run_fuzz=1 ;;
+    --all)  run_asan=1 run_lint=1 run_tsan=1 ;;
+    *) echo "usage: tools/check.sh [--fast] [--lint] [--tsan] [--fuzz] [--all]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier 1: configure + build + ctest (unit/property/chaos/lint/fuzz) =="
 cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j "$jobs"
 (cd "$repo/build" && ctest --output-on-failure)
 
-if [ "$fast" = "1" ]; then
-  echo "== done (fast mode, sanitizer tier skipped) =="
-  exit 0
+if [ "$run_lint" = "1" ]; then
+  echo "== lint: project conventions (tools/lint.sh) =="
+  "$repo/tools/lint.sh"
 fi
 
-echo "== tier 2: ASan/UBSan chaos + property tiers =="
-san_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
-cmake -B "$repo/build-asan" -S "$repo" \
-  -DCMAKE_BUILD_TYPE=Debug \
-  -DCMAKE_CXX_FLAGS="$san_flags" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-cmake --build "$repo/build-asan" -j "$jobs" --target faults_test property_test
-(cd "$repo/build-asan" && ctest -L 'chaos|property' --output-on-failure)
+if [ "$run_asan" = "1" ] || [ "$run_fuzz" = "1" ]; then
+  echo "== tier 2: ASan/UBSan build =="
+  san_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
+  cmake -B "$repo/build-asan" -S "$repo" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="$san_flags" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build "$repo/build-asan" -j "$jobs" \
+    --target faults_test property_test bytes_test fuzz_decoders
+  if [ "$run_asan" = "1" ]; then
+    echo "== tier 2: sanitized chaos + property + corpus =="
+    (cd "$repo/build-asan" && ctest -L 'chaos|property' --output-on-failure)
+    "$repo/build-asan/tests/bytes_test"
+  fi
+  echo "== tier 2: sanitized decoder fuzzing =="
+  "$repo/build-asan/tests/fuzz_decoders" --iterations="${HZCCL_FUZZ_ITERATIONS:-10000}"
+fi
 
-echo "== all checks passed =="
+if [ "$run_tsan" = "1" ]; then
+  echo "== tier 3: ThreadSanitizer concurrency tier =="
+  # GCC's libgomp is not TSan-instrumented, so its internal synchronization
+  # is invisible to the runtime; tools/tsan.supp whitelists those barriers
+  # (see docs/ANALYSIS.md).  Everything else must be race-free.
+  cmake -B "$repo/build-tsan" -S "$repo" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+    -DHZCCL_BUILD_BENCH=OFF -DHZCCL_BUILD_EXAMPLES=OFF
+  cmake --build "$repo/build-tsan" -j "$jobs" \
+    --target simmpi_test collectives_test allgather_test movement_test \
+             faults_test homomorphic_test
+  for t in simmpi_test collectives_test allgather_test movement_test \
+           faults_test homomorphic_test; do
+    echo "-- tsan: $t"
+    TSAN_OPTIONS="suppressions=$repo/tools/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+      "$repo/build-tsan/tests/$t"
+  done
+fi
+
+echo "== all requested checks passed =="

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Project lint: memory-safety conventions the type system cannot enforce.
+#
+# Rules (see docs/ANALYSIS.md):
+#   1. No reinterpret_cast in stream/transport code outside util/bytes.hpp —
+#      byte<->value conversions go through ByteReader/ByteWriter or the
+#      sanctioned helpers (bytes_of, float_bits, ...).
+#   2. No wire-parse memcpy (memcpy(&dst, src, ...)) in the same scope —
+#      parsing a struct or scalar out of received bytes must bounds-check
+#      first, which is exactly what ByteReader::read<T> does.
+#   3. Stream-returning APIs (CompressedBuffer/FzView/SzpView/SzxView/
+#      FrameView) must be [[nodiscard]]: dropping one silently discards a
+#      parse/compress result and usually hides a bug.
+#   4. Header hygiene: every public header carries #pragma once and no
+#      file-scope `using namespace`.
+#
+# Exits nonzero listing every violation.  Runs clang-tidy (.clang-tidy) on
+# top when the binary exists; the baseline image is GCC-only, so the text
+# rules are the portable floor.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+report() {  # report <rule> <matches>
+  if [ -n "$2" ]; then
+    echo "LINT [$1] violations:"
+    echo "$2" | sed 's/^/  /'
+    fail=1
+  fi
+}
+
+# Stream/transport scope: everything that touches wire bytes.
+DECODE_SRC="src/compressor src/homomorphic src/collectives src/simmpi"
+DECODE_INC="include/hzccl/compressor include/hzccl/homomorphic \
+            include/hzccl/collectives include/hzccl/simmpi"
+
+# Rule 1: reinterpret_cast outside the sanctioned substrate.
+matches=$(grep -rn "reinterpret_cast" $DECODE_SRC $DECODE_INC 2>/dev/null || true)
+report "no-reinterpret-cast" "$matches"
+
+# Rule 2: wire-parse memcpy.  `memcpy(&x, ...)` pulls a typed value out of
+# raw memory with no bounds check; ByteReader::read<T> is the replacement.
+matches=$(grep -rnE "memcpy\(&" $DECODE_SRC $DECODE_INC 2>/dev/null || true)
+report "no-wire-parse-memcpy" "$matches"
+
+# Rule 3: [[nodiscard]] on stream-returning APIs in public headers.
+matches=$(grep -rnE "^\s*(CompressedBuffer|FzView|SzpView|SzxView|FrameView)\s+[a-zA-Z_]+\(" \
+  include/ 2>/dev/null || true)
+report "nodiscard-stream-apis" "$matches"
+
+# Rule 4a: #pragma once in every public header.
+matches=$(grep -rLE "^#pragma once" include/ --include="*.hpp" 2>/dev/null || true)
+report "pragma-once" "$matches"
+
+# Rule 4b: no file-scope using-namespace in headers.
+matches=$(grep -rnE "^\s*using namespace" include/ --include="*.hpp" 2>/dev/null || true)
+report "no-using-namespace-in-headers" "$matches"
+
+# Optional deep pass: clang-tidy with the checked-in .clang-tidy, if a
+# compilation database and the tool are both available.
+if command -v clang-tidy >/dev/null 2>&1 && [ -f build/compile_commands.json ]; then
+  echo "lint: running clang-tidy"
+  if ! clang-tidy -p build --quiet $(git ls-files 'src/*.cpp') >/dev/null; then
+    echo "LINT [clang-tidy] violations (run: clang-tidy -p build <file>)"
+    fail=1
+  fi
+else
+  echo "lint: clang-tidy unavailable; text rules only"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: OK"
