@@ -1,19 +1,38 @@
-// Kernel-level microbenchmarks (google-benchmark): the primitives whose
-// cost structure the paper's design arguments rest on — the bit-shifting
-// pack/unpack routines, block encode/decode, fused quantize+predict, the
-// compressors end-to-end, and hz_add versus doc_add.
+// Kernel-level microbenchmarks: the primitives whose cost structure the
+// paper's design arguments rest on — the bit-shifting pack/unpack routines,
+// block encode/decode, fused quantize+predict, the compressors end-to-end,
+// and hz_add versus doc_add.
+//
+// Two modes:
+//  * default — the google-benchmark harness (filters, repetitions, etc.);
+//  * --json [--quick] [--out PATH] [--alloc-budget N] — the hand-timed
+//    perf-regression mode: emits BENCH_kernels.json with GB/s per
+//    kernel × bit-width × dataset plus allocations-per-op measured via the
+//    pool-stats hook (pool_heap_allocations counts fresh heap blocks taken
+//    by the buffer pools and scratch arenas).  With --alloc-budget N the
+//    run fails if any pooled hot path (hz_add, the ring collective) exceeds
+//    N allocations per op in steady state — the CI regression gate.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "hzccl/compressor/fixed_len.hpp"
 #include "hzccl/compressor/fz_light.hpp"
 #include "hzccl/compressor/omp_szp.hpp"
+#include "hzccl/compressor/szx_like.hpp"
+#include "hzccl/core/hzccl.hpp"
 #include "hzccl/datasets/registry.hpp"
 #include "hzccl/homomorphic/doc.hpp"
 #include "hzccl/homomorphic/hz_dynamic.hpp"
+#include "hzccl/homomorphic/hz_ops.hpp"
 #include "hzccl/stats/metrics.hpp"
+#include "hzccl/util/pool.hpp"
 #include "hzccl/util/random.hpp"
+#include "hzccl/util/timer.hpp"
 
 namespace {
 
@@ -159,6 +178,246 @@ void BM_DocAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_DocAdd)->DenseRange(0, 4);
 
+// ---------------------------------------------------------------------------
+// --json mode: hand-timed perf-regression harness.
+// ---------------------------------------------------------------------------
+
+struct JsonOptions {
+  bool quick = false;
+  std::string out = "BENCH_kernels.json";
+  double alloc_budget = -1.0;  ///< < 0 = no gate
+};
+
+struct JsonEntry {
+  std::string kernel;
+  int bits = -1;        ///< bit-width dimension (-1 = not applicable)
+  std::string dataset;  ///< dataset slug (empty = not applicable)
+  double gbps = 0.0;
+  double allocs_per_op = 0.0;
+  bool gated = false;  ///< subject to the --alloc-budget check
+};
+
+/// Time `fn` in a repeat-until-deadline loop after warmup, reading the
+/// pool-stats hook across the timed region.  Warmup runs the op enough times
+/// for pools and arenas to reach steady state, so allocs_per_op reports the
+/// *recycled* regime, not first-touch growth.
+template <class Fn>
+JsonEntry measure_json(const std::string& kernel, int bits, const std::string& dataset,
+                       size_t bytes_per_op, double min_seconds, const Fn& fn) {
+  for (int i = 0; i < 3; ++i) fn();
+  const uint64_t alloc_before = pool_heap_allocations();
+  Timer timer;
+  size_t iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (timer.seconds() < min_seconds);
+  const double seconds = timer.seconds();
+  JsonEntry e;
+  e.kernel = kernel;
+  e.bits = bits;
+  e.dataset = dataset;
+  e.gbps = gb_per_s(static_cast<double>(bytes_per_op) * static_cast<double>(iters), seconds);
+  e.allocs_per_op =
+      static_cast<double>(pool_heap_allocations() - alloc_before) / static_cast<double>(iters);
+  return e;
+}
+
+/// Steady-state allocation behavior of the ring collectives: repeated hZCCL
+/// allreduces inside one simulated cluster (rank threads — and so their
+/// thread-local pools — persist across iterations).  Counts fresh pool/arena
+/// heap blocks across all ranks once warm; the pooled rounds should need
+/// none.
+JsonEntry measure_ring_allreduce(const JsonOptions& opts) {
+  const int nranks = 4;
+  const size_t elements = opts.quick ? (1u << 12) : (1u << 14);
+  const int warm = 3;
+  const int iters = opts.quick ? 5 : 20;
+
+  std::vector<std::vector<float>> inputs;
+  for (int r = 0; r < nranks; ++r) {
+    inputs.push_back(generate_field(DatasetId::kRtmSim1, Scale::kTiny, static_cast<uint32_t>(r)));
+    inputs.back().resize(elements, 0.0f);
+  }
+  coll::CollectiveConfig cfg;
+  cfg.abs_error_bound = abs_bound_from_rel(inputs[0], 1e-3);
+  cfg.mode = simmpi::Mode::kMultiThread;
+
+  uint64_t alloc_before = 0;
+  uint64_t alloc_after = 0;
+  simmpi::Runtime rt(nranks, simmpi::NetModel::omnipath_100g());
+  Timer timer;
+  rt.run([&](simmpi::Comm& comm) {
+    std::vector<float> out;
+    const std::vector<float>& input = inputs[static_cast<size_t>(comm.rank())];
+    for (int i = 0; i < warm; ++i) coll::hzccl_allreduce(comm, input, out, cfg);
+    comm.barrier();
+    if (comm.rank() == 0) alloc_before = pool_heap_allocations();
+    comm.barrier();
+    for (int i = 0; i < iters; ++i) coll::hzccl_allreduce(comm, input, out, cfg);
+    comm.barrier();
+    if (comm.rank() == 0) alloc_after = pool_heap_allocations();
+  });
+  const double seconds = timer.seconds();
+
+  JsonEntry e;
+  e.kernel = "hzccl_allreduce_ring";
+  e.dataset = dataset_slug(DatasetId::kRtmSim1);
+  // Wall-clock aggregate over all ranks' inputs — a simulator+kernel
+  // throughput, not a modeled network figure.
+  e.gbps = gb_per_s(static_cast<double>(elements) * sizeof(float) * nranks * iters, seconds);
+  e.allocs_per_op = static_cast<double>(alloc_after - alloc_before) /
+                    static_cast<double>(iters) / static_cast<double>(nranks);
+  e.gated = true;
+  return e;
+}
+
+int run_json_mode(const JsonOptions& opts) {
+  const double min_seconds = opts.quick ? 0.05 : 0.3;
+  std::vector<JsonEntry> entries;
+
+  // Bit-plane primitives: kernel × bit-width.
+  const std::vector<int> bit_widths =
+      opts.quick ? std::vector<int>{1, 4, 7} : std::vector<int>{1, 2, 3, 4, 5, 6, 7};
+  for (const int bits : bit_widths) {
+    constexpr size_t n = 4096;
+    std::vector<uint32_t> values(n);
+    Rng rng(1);
+    for (auto& v : values) v = static_cast<uint32_t>(rng.below(1u << bits));
+    std::vector<uint8_t> packed(packed_size(n, bits));
+    std::vector<uint32_t> unpacked(n);
+    entries.push_back(measure_json("pack_bits", bits, "", n * sizeof(uint32_t), min_seconds,
+                                   [&] { pack_bits(values.data(), n, bits, packed.data()); }));
+    entries.push_back(
+        measure_json("unpack_bits", bits, "", n * sizeof(uint32_t), min_seconds,
+                     [&] { unpack_bits(packed.data(), n, bits, unpacked.data()); }));
+  }
+
+  // Stream kernels: kernel × dataset, all on their pooled hot paths.
+  const std::vector<DatasetId> datasets =
+      opts.quick ? std::vector<DatasetId>{DatasetId::kRtmSim1, DatasetId::kCesmAtm}
+                 : std::vector<DatasetId>{DatasetId::kRtmSim1, DatasetId::kRtmSim2,
+                                          DatasetId::kNyx, DatasetId::kCesmAtm,
+                                          DatasetId::kHurricane};
+  BufferPool& pool = BufferPool::local();
+  for (const DatasetId id : datasets) {
+    const std::string slug = dataset_slug(id);
+    const std::vector<float> f0 = generate_field(id, Scale::kTiny, 0);
+    const std::vector<float> f1 = generate_field(id, Scale::kTiny, 1);
+    const size_t bytes = f0.size() * sizeof(float);
+
+    FzParams fz;
+    fz.abs_error_bound = abs_bound_from_rel(f0, 1e-3);
+    entries.push_back(measure_json("fz_compress", -1, slug, bytes, min_seconds, [&] {
+      CompressedBuffer c = fz_compress(f0, fz, &pool);
+      pool.release(std::move(c.bytes));
+    }));
+
+    const CompressedBuffer a = fz_compress(f0, fz);
+    const CompressedBuffer b = fz_compress(f1, fz);
+    std::vector<float> out(f0.size());
+    entries.push_back(measure_json("fz_decompress", -1, slug, bytes, min_seconds,
+                                   [&] { fz_decompress(a, out); }));
+
+    JsonEntry hz = measure_json("hz_add", -1, slug, bytes, min_seconds, [&] {
+      CompressedBuffer c = hz_add(a, b, nullptr, 0, &pool);
+      pool.release(std::move(c.bytes));
+    });
+    hz.gated = true;
+    entries.push_back(hz);
+
+    if (!opts.quick) {
+      SzpParams szp;
+      szp.abs_error_bound = fz.abs_error_bound;
+      entries.push_back(measure_json("szp_compress", -1, slug, bytes, min_seconds, [&] {
+        CompressedBuffer c = szp_compress(f0, szp, &pool);
+        pool.release(std::move(c.bytes));
+      }));
+      SzxParams szx;
+      szx.abs_error_bound = fz.abs_error_bound;
+      entries.push_back(measure_json("szx_compress", -1, slug, bytes, min_seconds, [&] {
+        CompressedBuffer c = szx_compress(f0, szx, &pool);
+        pool.release(std::move(c.bytes));
+      }));
+      entries.push_back(measure_json("doc_add", -1, slug, bytes, min_seconds,
+                                     [&] { benchmark::DoNotOptimize(doc_add(a, b).bytes.data()); }));
+      const std::vector<CompressedBuffer> operands = [&] {
+        std::vector<CompressedBuffer> ops;
+        for (uint32_t i = 0; i < 8; ++i) {
+          ops.push_back(fz_compress(generate_field(id, Scale::kTiny, i), fz));
+        }
+        return ops;
+      }();
+      entries.push_back(measure_json("hz_add_many8", -1, slug, bytes * 8, min_seconds, [&] {
+        CompressedBuffer c = hz_add_many(operands, nullptr, 0, &pool);
+        pool.release(std::move(c.bytes));
+      }));
+    }
+  }
+
+  entries.push_back(measure_ring_allreduce(opts));
+
+  std::FILE* f = std::fopen(opts.out.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_kernels: cannot open %s for writing\n", opts.out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"hzccl-bench-kernels-v1\",\n  \"quick\": %s,\n",
+               opts.quick ? "true" : "false");
+  std::fprintf(f, "  \"alloc_budget\": %s,\n",
+               opts.alloc_budget < 0 ? "null" : std::to_string(opts.alloc_budget).c_str());
+  std::fprintf(f, "  \"entries\": [\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const JsonEntry& e = entries[i];
+    std::fprintf(f, "    {\"kernel\": \"%s\", ", e.kernel.c_str());
+    if (e.bits >= 0) std::fprintf(f, "\"bits\": %d, ", e.bits);
+    if (!e.dataset.empty()) std::fprintf(f, "\"dataset\": \"%s\", ", e.dataset.c_str());
+    std::fprintf(f, "\"gbps\": %.4f, \"allocs_per_op\": %.4f, \"gated\": %s}%s\n", e.gbps,
+                 e.allocs_per_op, e.gated ? "true" : "false",
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  int failures = 0;
+  for (const JsonEntry& e : entries) {
+    std::printf("%-22s %4s %-12s %10.3f GB/s %8.2f allocs/op%s\n", e.kernel.c_str(),
+                e.bits >= 0 ? std::to_string(e.bits).c_str() : "-",
+                e.dataset.empty() ? "-" : e.dataset.c_str(), e.gbps, e.allocs_per_op,
+                e.gated ? "  [gated]" : "");
+    if (e.gated && opts.alloc_budget >= 0 && e.allocs_per_op > opts.alloc_budget) {
+      std::fprintf(stderr,
+                   "bench_kernels: %s (%s) spent %.2f allocations/op in steady state, "
+                   "budget is %.2f\n",
+                   e.kernel.c_str(), e.dataset.c_str(), e.allocs_per_op, opts.alloc_budget);
+      ++failures;
+    }
+  }
+  std::printf("wrote %s (%zu entries)\n", opts.out.c_str(), entries.size());
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json = false;
+  JsonOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      opts.quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opts.out = argv[++i];
+    } else if (std::strcmp(argv[i], "--alloc-budget") == 0 && i + 1 < argc) {
+      opts.alloc_budget = std::atof(argv[++i]);
+    }
+  }
+  if (json) return run_json_mode(opts);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

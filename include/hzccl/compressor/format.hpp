@@ -23,6 +23,7 @@
 
 #include "hzccl/util/bytes.hpp"
 #include "hzccl/util/error.hpp"
+#include "hzccl/util/pool.hpp"
 
 namespace hzccl {
 
@@ -64,14 +65,29 @@ struct CompressedBuffer {
 };
 
 /// Validated view into a serialized fZ-light stream.  The offset/outlier
-/// tables are owned, naturally-aligned copies (read through ByteReader — the
-/// wire bytes carry no alignment guarantee); `payload` still borrows the
-/// underlying buffer, which must outlive the view.
+/// tables are zero-copy views into the wire bytes when those bytes are
+/// naturally aligned (the common case: vector-backed streams are heap
+/// aligned, and the 32-byte header keeps both tables on their natural
+/// boundaries); when a stream arrives at a misaligned address the tables
+/// fall back to owned, aligned copies read through ByteReader, preserving
+/// every bounds check either way.  `payload` (and on the fast path the
+/// tables) borrow the underlying buffer, which must outlive the view —
+/// releasing the backing CompressedBuffer into a BufferPool invalidates it.
+/// Move-only: copying would let the spans outlive the owned fallback.
 struct FzView {
   FzHeader header;
-  std::vector<uint64_t> chunk_offsets;  ///< offsets into `payload`
-  std::vector<int32_t> chunk_outliers;
+  std::span<const uint64_t> chunk_offsets;  ///< offsets into `payload`
+  std::span<const int32_t> chunk_outliers;
   std::span<const uint8_t> payload;
+
+  FzView() = default;
+  FzView(FzView&&) noexcept = default;
+  FzView& operator=(FzView&&) noexcept = default;
+  FzView(const FzView&) = delete;
+  FzView& operator=(const FzView&) = delete;
+
+  /// True on the zero-copy fast path (tables borrow the wire bytes).
+  bool borrows_tables() const { return owned_offsets.empty() && owned_outliers.empty(); }
 
   size_t num_elements() const { return header.num_elements; }
   uint32_t block_len() const { return header.block_len; }
@@ -91,6 +107,12 @@ struct FzView {
     }
     return payload.subspan(begin, end - begin);
   }
+
+  /// Misaligned-wire fallback storage; the spans above point here when
+  /// non-empty.  std::vector moves keep heap pointers stable, so the
+  /// defaulted move operations leave the spans valid.
+  std::vector<uint64_t> owned_offsets;
+  std::vector<int32_t> owned_outliers;
 };
 
 /// Parse + validate a serialized fZ-light stream (throws FormatError).
@@ -129,8 +151,12 @@ inline constexpr uint16_t kFlagChecksummed = 1u << 0;
 class ChunkedStreamAssembler {
  public:
   /// `header` must carry the final element count, block length, chunk count
-  /// and error bound; the magic/version are forced to the fZ values.
-  explicit ChunkedStreamAssembler(FzHeader header);
+  /// and error bound; the magic/version are forced to the fZ values.  With a
+  /// `pool`, the result's byte storage is acquired from it (the caller later
+  /// releases the finished stream back); the offset/size/outlier scratch
+  /// always comes from the thread-local ScratchArena, so a warm steady-state
+  /// assembly performs no heap allocation at all.
+  explicit ChunkedStreamAssembler(FzHeader header, BufferPool* pool = nullptr);
 
   uint32_t num_chunks() const { return header_.num_chunks; }
 
@@ -150,9 +176,14 @@ class ChunkedStreamAssembler {
 
  private:
   FzHeader header_;
-  std::vector<size_t> worst_offset_;  ///< num_chunks + 1 entries
-  std::vector<size_t> chunk_size_;
-  std::vector<int32_t> outliers_;
+  /// Arena region backing the three table spans below (and finish()'s tight
+  /// offset table); rewound when the assembler dies.  Assemblers nest LIFO
+  /// (one per in-flight op per thread), which member destruction order and
+  /// RAII guarantee.
+  ArenaScope scratch_;
+  std::span<size_t> worst_offset_;  ///< num_chunks + 1 entries
+  std::span<size_t> chunk_size_;
+  std::span<int32_t> outliers_;
   CompressedBuffer result_;
 };
 

@@ -37,8 +37,12 @@ struct FzParams {
 };
 
 /// Compress a float field.  Throws QuantizationRangeError if the data cannot
-/// be quantized under the bound, Error on invalid parameters.
-[[nodiscard]] CompressedBuffer fz_compress(std::span<const float> data, const FzParams& params);
+/// be quantized under the bound, Error on invalid parameters.  With a `pool`
+/// the result's byte storage is recycled pooled memory (byte-identical
+/// output; the caller releases the stream back when done) and a warm call
+/// performs no heap allocation.
+[[nodiscard]] CompressedBuffer fz_compress(std::span<const float> data, const FzParams& params,
+                                           BufferPool* pool = nullptr);
 
 /// Decompress into a caller-provided buffer of exactly the original size.
 void fz_decompress(const CompressedBuffer& compressed, std::span<float> out,

@@ -51,7 +51,8 @@ struct SzpView {
 
 [[nodiscard]] SzpView parse_szp(std::span<const uint8_t> bytes);
 
-[[nodiscard]] CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& params);
+[[nodiscard]] CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& params,
+                                            BufferPool* pool = nullptr);
 
 void szp_decompress(const CompressedBuffer& compressed, std::span<float> out,
                     int num_threads = 0);

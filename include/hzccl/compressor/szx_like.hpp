@@ -48,7 +48,8 @@ struct SzxView {
 
 [[nodiscard]] SzxView parse_szx(std::span<const uint8_t> bytes);
 
-[[nodiscard]] CompressedBuffer szx_compress(std::span<const float> data, const SzxParams& params);
+[[nodiscard]] CompressedBuffer szx_compress(std::span<const float> data, const SzxParams& params,
+                                            BufferPool* pool = nullptr);
 
 void szx_decompress(const CompressedBuffer& compressed, std::span<float> out,
                     int num_threads = 0);

@@ -38,10 +38,13 @@ struct HzPipelineStats {
 
 /// sum(a, b) directly in the compressed domain.  Operand layouts must match
 /// (LayoutMismatchError otherwise); residual or outlier overflow past 31 bits
-/// raises HomomorphicOverflowError.
+/// raises HomomorphicOverflowError.  With a `pool`, the result lands in
+/// recycled pooled storage (byte-identical output; the caller releases the
+/// stream back when done) and a warm steady-state call is allocation-free.
 [[nodiscard]] CompressedBuffer hz_add(const CompressedBuffer& a, const CompressedBuffer& b,
-                        HzPipelineStats* stats = nullptr, int num_threads = 0);
+                        HzPipelineStats* stats = nullptr, int num_threads = 0,
+                        BufferPool* pool = nullptr);
 [[nodiscard]] CompressedBuffer hz_add(const FzView& a, const FzView& b, HzPipelineStats* stats = nullptr,
-                        int num_threads = 0);
+                        int num_threads = 0, BufferPool* pool = nullptr);
 
 }  // namespace hzccl

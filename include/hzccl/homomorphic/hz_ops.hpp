@@ -26,24 +26,37 @@ namespace hzccl {
 /// result = factor * a, exactly, in the compressed domain.
 /// factor may be negative; factor == 0 yields an all-constant-zero stream.
 /// Throws HomomorphicOverflowError if any scaled residual or outlier leaves
-/// the 31-bit magnitude domain.
-[[nodiscard]] CompressedBuffer hz_scale(const CompressedBuffer& a, int32_t factor, int num_threads = 0);
-[[nodiscard]] CompressedBuffer hz_scale(const FzView& a, int32_t factor, int num_threads = 0);
+/// the 31-bit magnitude domain.  All operators here accept an optional
+/// BufferPool: the result then lands in recycled pooled storage
+/// (byte-identical output; release it back when done) and warm steady-state
+/// calls are allocation-free.
+[[nodiscard]] CompressedBuffer hz_scale(const CompressedBuffer& a, int32_t factor, int num_threads = 0,
+                          BufferPool* pool = nullptr);
+[[nodiscard]] CompressedBuffer hz_scale(const FzView& a, int32_t factor, int num_threads = 0,
+                          BufferPool* pool = nullptr);
 
 /// result = -a.  Only sign planes are rewritten: cost is a stream copy.
-[[nodiscard]] CompressedBuffer hz_negate(const CompressedBuffer& a, int num_threads = 0);
-[[nodiscard]] CompressedBuffer hz_negate(const FzView& a, int num_threads = 0);
+[[nodiscard]] CompressedBuffer hz_negate(const CompressedBuffer& a, int num_threads = 0,
+                           BufferPool* pool = nullptr);
+[[nodiscard]] CompressedBuffer hz_negate(const FzView& a, int num_threads = 0,
+                           BufferPool* pool = nullptr);
 
 /// result = a - b, exactly, in the compressed domain (same pipeline
 /// structure and stats semantics as hz_add).
 [[nodiscard]] CompressedBuffer hz_sub(const CompressedBuffer& a, const CompressedBuffer& b,
-                        HzPipelineStats* stats = nullptr, int num_threads = 0);
+                        HzPipelineStats* stats = nullptr, int num_threads = 0,
+                        BufferPool* pool = nullptr);
 
 /// Balanced pairwise sum of all operands.  Compared with a sequential fold,
 /// the pairwise tree keeps intermediate residual magnitudes ~log2(N) bits
 /// above the operands' instead of up to N times larger, postponing the
-/// overflow guard by many doublings.
+/// overflow guard by many doublings.  Partial sums live in pooled storage
+/// and ping-pong through the pool as the tree collapses: each level's
+/// consumed operands are released and immediately recycled into the next
+/// level's outputs, so the whole reduction holds at most ~2 resident
+/// buffers per tree level in flight and allocates nothing once warm.
 [[nodiscard]] CompressedBuffer hz_add_many(std::span<const CompressedBuffer> operands,
-                             HzPipelineStats* stats = nullptr, int num_threads = 0);
+                             HzPipelineStats* stats = nullptr, int num_threads = 0,
+                             BufferPool* pool = nullptr);
 
 }  // namespace hzccl

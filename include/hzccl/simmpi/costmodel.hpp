@@ -61,9 +61,14 @@ struct CostModel {
   static CostModel paper_broadwell();
 
   /// Measure the proportional kernels on this host with the real
-  /// implementations at single-thread, then scale to `assumed_cores` with
-  /// `efficiency` to obtain the multi-thread aggregate.
-  static CostModel calibrated_from_host(int assumed_cores = 18, double efficiency = 0.78);
+  /// implementations, then scale to `assumed_cores` with `efficiency` to
+  /// obtain the multi-thread aggregate.  `measure_threads` controls the
+  /// thread count the kernels are timed at (0 = the host's effective
+  /// OpenMP thread count, matching a collective's configured host_threads);
+  /// the measured throughput is normalized back to per-thread terms before
+  /// extrapolating, so the model is consistent across measurement widths.
+  static CostModel calibrated_from_host(int assumed_cores = 18, double efficiency = 0.78,
+                                        int measure_threads = 0);
 };
 
 }  // namespace hzccl::simmpi

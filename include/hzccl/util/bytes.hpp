@@ -163,6 +163,26 @@ class ByteWriter {
   const char* what_;
 };
 
+/// Zero-copy typed view of a wire table, taken only when the bytes are
+/// naturally aligned for T; returns an empty span when they are not (the
+/// caller then falls back to an owned, aligned copy via read_vector).  The
+/// byte count is validated against `count` before the cast, so the resulting
+/// span can never index past the underlying buffer.  This is a sanctioned
+/// reinterpret_cast site (like bytes_of below): the bytes were produced by
+/// memcpy-based writers, and reading them back through an aligned T* is the
+/// standard zero-copy wire idiom.
+template <class T>
+std::span<const T> aligned_table_view(std::span<const uint8_t> bytes, size_t count,
+                                      const char* what) {
+  static_assert(std::is_trivially_copyable_v<T>, "wire types must be trivially copyable");
+  if (checked_mul(count, sizeof(T), what) != bytes.size()) {
+    throw ParseError(std::string(what) + ": table byte count does not match element count");
+  }
+  if (count == 0) return {};
+  if (std::bit_cast<uintptr_t>(bytes.data()) % alignof(T) != 0) return {};
+  return {reinterpret_cast<const T*>(bytes.data()), count};
+}
+
 /// Byte views of a float buffer for transport (char access of any object is
 /// always legal aliasing).  Centralized here so the lint's reinterpret_cast
 /// ban holds everywhere else.

@@ -11,11 +11,12 @@ using simmpi::CostBucket;
 
 namespace {
 
-/// Compress a float block and charge CPR at the configured mode.
+/// Compress a float block into pooled storage and charge CPR at the
+/// configured mode.
 CompressedBuffer compress_block(Comm& comm, std::span<const float> block,
-                                const CollectiveConfig& config) {
+                                const CollectiveConfig& config, BufferPool& pool) {
   const FzParams params = config.fz_params(block.size());
-  CompressedBuffer out = fz_compress(block, params);
+  CompressedBuffer out = fz_compress(block, params, &pool);
   comm.clock().advance(config.cost.seconds_fz_compress(block.size_bytes(), config.mode),
                        CostBucket::kCpr);
   return out;
@@ -40,15 +41,22 @@ void ccoll_reduce_scatter(Comm& comm, std::span<const float> input,
   std::vector<float> acc(input.begin(), input.end());
   comm.clock().advance(config.cost.seconds_memcpy(total * sizeof(float)), CostBucket::kOther);
 
+  // Per-rank pool: the per-round compressed send buffer ping-pongs between
+  // the pool and the wire, and received streams are recycled after decode,
+  // so warm rounds allocate nothing.
+  BufferPool& pool = BufferPool::local();
   std::vector<float> decoded;
   for (int step = 0; step < size - 1; ++step) {
     const Range send_r = ring_block_range(total, size, rs_send_block(rank, step, size));
     const Range recv_r = ring_block_range(total, size, rs_recv_block(rank, step, size));
 
-    // DOC round, send side: compress the partially reduced block.
-    const CompressedBuffer to_send = compress_block(
-        comm, std::span<const float>(acc.data() + send_r.begin, send_r.size()), config);
+    // DOC round, send side: compress the partially reduced block.  send()
+    // copies the payload synchronously, so the stream's storage goes back
+    // to the pool right away.
+    CompressedBuffer to_send = compress_block(
+        comm, std::span<const float>(acc.data() + send_r.begin, send_r.size()), config, pool);
     comm.send(ring_next(rank, size), kTagReduceScatter + step, to_send.span());
+    pool.release(std::move(to_send.bytes));
 
     // DOC round, receive side: decompress, then reduce over floats.  A
     // degraded block already arrives as floats (sender-side decode charged
@@ -60,6 +68,7 @@ void ccoll_reduce_scatter(Comm& comm, std::span<const float> input,
     } else {
       decoded.resize(recv_r.size());
       decompress_block(comm, received.compressed, decoded, config);
+      pool.release(std::move(received.compressed.bytes));
     }
 
     float* dst = acc.data() + recv_r.begin;
@@ -89,8 +98,9 @@ void ccoll_allgather(Comm& comm, std::span<const float> my_block, size_t total_e
   std::memcpy(out_full.data() + own.begin, my_block.data(), my_block.size_bytes());
 
   // Compress once; every hop forwards compressed bytes.
+  BufferPool& pool = BufferPool::local();
   std::vector<CompressedBuffer> blocks(static_cast<size_t>(size));
-  blocks[rs_owned_block(rank, size)] = compress_block(comm, my_block, config);
+  blocks[rs_owned_block(rank, size)] = compress_block(comm, my_block, config, pool);
 
   for (int step = 0; step < size - 1; ++step) {
     const int send_idx = ag_send_block(rank, step, size);
@@ -100,18 +110,21 @@ void ccoll_allgather(Comm& comm, std::span<const float> my_block, size_t total_e
     CheckedBlock received = recv_checked_block(comm, ring_prev(rank, size),
                                                kTagAllgather + step, recv_r.size(), config);
     if (received.degraded) {
-      blocks[recv_idx] = compress_block(comm, received.raw, config);
+      blocks[recv_idx] = compress_block(comm, received.raw, config, pool);
     } else {
       blocks[recv_idx] = std::move(received.compressed);
     }
   }
 
-  // Decompress the N-1 received chunks (own block is already in place).
+  // Decompress the N-1 received chunks (own block is already in place),
+  // recycling every stream's storage as it is consumed.
   for (int b = 0; b < size; ++b) {
-    if (b == rs_owned_block(rank, size)) continue;
-    const Range r = ring_block_range(total_elements, size, b);
-    decompress_block(comm, blocks[b], std::span<float>(out_full.data() + r.begin, r.size()),
-                     config);
+    if (b != rs_owned_block(rank, size)) {
+      const Range r = ring_block_range(total_elements, size, b);
+      decompress_block(comm, blocks[b], std::span<float>(out_full.data() + r.begin, r.size()),
+                       config);
+    }
+    pool.release(std::move(blocks[b].bytes));
   }
 }
 

@@ -12,13 +12,15 @@ namespace {
 /// Round 1 of the paper's Fig 5: compress all N blocks of this rank's input
 /// in one pass; total CPR charge is proportional to the full input.
 std::vector<CompressedBuffer> compress_all_blocks(Comm& comm, std::span<const float> input,
-                                                  const CollectiveConfig& config) {
+                                                  const CollectiveConfig& config,
+                                                  BufferPool& pool) {
   const int size = comm.size();
   std::vector<CompressedBuffer> blocks(static_cast<size_t>(size));
   for (int b = 0; b < size; ++b) {
     const Range r = ring_block_range(input.size(), size, b);
     const FzParams params = config.fz_params(r.size());
-    blocks[b] = fz_compress(std::span<const float>(input.data() + r.begin, r.size()), params);
+    blocks[b] =
+        fz_compress(std::span<const float>(input.data() + r.begin, r.size()), params, &pool);
   }
   comm.clock().advance(config.cost.seconds_fz_compress(input.size_bytes(), config.mode),
                        CostBucket::kCpr);
@@ -38,13 +40,23 @@ CompressedBuffer hzccl_reduce_scatter_compressed(Comm& comm, std::span<const flo
   const int size = comm.size();
   const int rank = comm.rank();
 
-  std::vector<CompressedBuffer> blocks = compress_all_blocks(comm, input, config);
+  // Per-rank recycling pool: simmpi runs one thread per rank, so the
+  // thread-local pool is effectively a per-Comm pool.  Every per-round
+  // buffer — compressed partials, hz_add outputs, degraded re-encodes —
+  // cycles through it, so warm rounds perform no heap allocation.
+  BufferPool& pool = BufferPool::local();
+  std::vector<CompressedBuffer> blocks = compress_all_blocks(comm, input, config, pool);
+  std::vector<float> own;  // degraded-round scratch, reused across rounds
 
   for (int step = 0; step < size - 1; ++step) {
     const int send_idx = rs_send_block(rank, step, size);
     const int recv_idx = rs_recv_block(rank, step, size);
 
     comm.send(ring_next(rank, size), kTagReduceScatter + step, blocks[send_idx].span());
+    // The ring schedule never touches the sent block again on this rank,
+    // and send() copies the payload synchronously, so its storage can be
+    // recycled immediately.
+    pool.release(std::move(blocks[send_idx].bytes));
 
     const Range recv_r = ring_block_range(input.size(), size, recv_idx);
     CheckedBlock received = recv_checked_block(comm, ring_prev(rank, size),
@@ -55,10 +67,12 @@ CompressedBuffer hzccl_reduce_scatter_compressed(Comm& comm, std::span<const flo
         // The co-designed round: reduce two compressed blocks directly.
         HzPipelineStats stats;
         CompressedBuffer summed =
-            hz_add(blocks[recv_idx], received.compressed, &stats, config.host_threads);
+            hz_add(blocks[recv_idx], received.compressed, &stats, config.host_threads, &pool);
         comm.clock().advance(
             config.cost.seconds_hz_add(stats, config.block_len, config.mode), CostBucket::kHpr);
         if (pipeline_stats) *pipeline_stats += stats;
+        pool.release(std::move(received.compressed.bytes));
+        pool.release(std::move(blocks[recv_idx].bytes));
         blocks[recv_idx] = std::move(summed);
         continue;
       } catch (const Error&) {
@@ -81,7 +95,7 @@ CompressedBuffer hzccl_reduce_scatter_compressed(Comm& comm, std::span<const flo
     // Degraded DOC round: the incoming operand is raw floats, so reduce the
     // classic way — decompress our partial, add, re-encode — and rejoin the
     // homomorphic pipeline at the next step.
-    std::vector<float> own(recv_r.size());
+    own.resize(recv_r.size());
     fz_decompress(blocks[recv_idx], own, config.host_threads);
     comm.clock().advance(
         config.cost.seconds_fz_decompress(recv_r.size() * sizeof(float), config.mode),
@@ -90,7 +104,8 @@ CompressedBuffer hzccl_reduce_scatter_compressed(Comm& comm, std::span<const flo
     comm.clock().advance(
         config.cost.seconds_raw_sum(recv_r.size() * sizeof(float), config.mode),
         CostBucket::kCpt);
-    blocks[recv_idx] = fz_compress(own, config.fz_params(own.size()));
+    pool.release(std::move(blocks[recv_idx].bytes));
+    blocks[recv_idx] = fz_compress(own, config.fz_params(own.size()), &pool);
     comm.clock().advance(
         config.cost.seconds_fz_compress(recv_r.size() * sizeof(float), config.mode),
         CostBucket::kCpr);
@@ -102,12 +117,12 @@ CompressedBuffer hzccl_reduce_scatter_compressed(Comm& comm, std::span<const flo
 void hzccl_reduce_scatter(Comm& comm, std::span<const float> input,
                           std::vector<float>& out_block, const CollectiveConfig& config,
                           HzPipelineStats* pipeline_stats) {
-  const CompressedBuffer owned =
-      hzccl_reduce_scatter_compressed(comm, input, config, pipeline_stats);
+  CompressedBuffer owned = hzccl_reduce_scatter_compressed(comm, input, config, pipeline_stats);
   const Range r =
       ring_block_range(input.size(), comm.size(), rs_owned_block(comm.rank(), comm.size()));
   out_block.resize(r.size());
   fz_decompress(owned, out_block, config.host_threads);
+  BufferPool::local().release(std::move(owned.bytes));
   comm.clock().advance(
       config.cost.seconds_fz_decompress(out_block.size() * sizeof(float), config.mode),
       CostBucket::kDpr);
@@ -121,9 +136,14 @@ void hzccl_allgather_compressed(Comm& comm, const CompressedBuffer& my_block,
 
   // No compression here: the input is already compressed (the co-design's
   // second saving).  Chunk sizes ride along with the self-sizing messages,
-  // standing in for C-Coll's explicit size synchronization.
+  // standing in for C-Coll's explicit size synchronization.  The own block
+  // is copied into pooled storage so every entry of `blocks` is owned
+  // uniformly and can be recycled once the gather completes.
+  BufferPool& pool = BufferPool::local();
   std::vector<CompressedBuffer> blocks(static_cast<size_t>(size));
-  blocks[rs_owned_block(rank, size)] = my_block;
+  CompressedBuffer& own = blocks[rs_owned_block(rank, size)];
+  own.bytes = pool.acquire(my_block.bytes.size());
+  own.bytes.assign(my_block.bytes.begin(), my_block.bytes.end());
 
   for (int step = 0; step < size - 1; ++step) {
     const int send_idx = ag_send_block(rank, step, size);
@@ -135,7 +155,7 @@ void hzccl_allgather_compressed(Comm& comm, const CompressedBuffer& my_block,
     if (received.degraded) {
       // A raw-fallback block must be re-encoded before the next hop so
       // downstream ranks keep receiving compressed traffic.
-      blocks[recv_idx] = fz_compress(received.raw, config.fz_params(recv_r.size()));
+      blocks[recv_idx] = fz_compress(received.raw, config.fz_params(recv_r.size()), &pool);
       comm.clock().advance(
           config.cost.seconds_fz_compress(recv_r.size() * sizeof(float), config.mode),
           CostBucket::kCpr);
@@ -149,6 +169,7 @@ void hzccl_allgather_compressed(Comm& comm, const CompressedBuffer& my_block,
     const Range r = ring_block_range(total_elements, size, b);
     fz_decompress(blocks[b], std::span<float>(out_full.data() + r.begin, r.size()),
                   config.host_threads);
+    pool.release(std::move(blocks[b].bytes));
   }
   comm.clock().advance(
       config.cost.seconds_fz_decompress(total_elements * sizeof(float), config.mode),
@@ -157,9 +178,9 @@ void hzccl_allgather_compressed(Comm& comm, const CompressedBuffer& my_block,
 
 void hzccl_allreduce(Comm& comm, std::span<const float> input, std::vector<float>& out_full,
                      const CollectiveConfig& config, HzPipelineStats* pipeline_stats) {
-  const CompressedBuffer owned =
-      hzccl_reduce_scatter_compressed(comm, input, config, pipeline_stats);
+  CompressedBuffer owned = hzccl_reduce_scatter_compressed(comm, input, config, pipeline_stats);
   hzccl_allgather_compressed(comm, owned, input.size(), out_full, config);
+  BufferPool::local().release(std::move(owned.bytes));
 }
 
 }  // namespace hzccl::coll

@@ -54,9 +54,10 @@ void ccoll_bcast(Comm& comm, std::vector<float>& data, int root,
   const int size = comm.size();
   const int relative = relative_rank(comm.rank(), root, size);
 
+  BufferPool& pool = BufferPool::local();
   CompressedBuffer compressed;
   if (relative == 0) {
-    compressed = fz_compress(data, config.fz_params(data.size()));
+    compressed = fz_compress(data, config.fz_params(data.size()), &pool);
     comm.clock().advance(
         config.cost.seconds_fz_compress(data.size() * sizeof(float), config.mode),
         CostBucket::kCpr);
@@ -80,9 +81,12 @@ void ccoll_bcast(Comm& comm, std::vector<float>& data, int root,
 
   // Everyone (root included) materializes the decompressed field, so all
   // ranks end bit-identical — the property applications actually rely on.
-  const FzView view = parse_fz(compressed.bytes);
-  data.resize(view.num_elements());
-  fz_decompress(view, data, config.host_threads);
+  {
+    const FzView view = parse_fz(compressed.bytes);
+    data.resize(view.num_elements());
+    fz_decompress(view, data, config.host_threads);
+  }
+  pool.release(std::move(compressed.bytes));
   comm.clock().advance(
       config.cost.seconds_fz_decompress(data.size() * sizeof(float), config.mode),
       CostBucket::kDpr);

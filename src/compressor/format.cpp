@@ -51,8 +51,29 @@ FzView parse_fz(std::span<const uint8_t> bytes) {
 
   ByteReader reader(bytes, "fz stream");
   reader.skip(sizeof(FzHeader), "header");
-  v.chunk_offsets = reader.read_vector<uint64_t>(v.header.num_chunks, "chunk offset table");
-  v.chunk_outliers = reader.read_vector<int32_t>(v.header.num_chunks, "chunk outlier table");
+  // Zero-copy fast path: view the offset/outlier tables in place when the
+  // wire bytes are naturally aligned (always true for vector-backed streams
+  // — the 32-byte header keeps both tables on their boundaries).  Misaligned
+  // arrivals fall back to the owned, aligned copies of the PR-2 era; the
+  // bounds checks (read_bytes / read_vector / the validation below) are
+  // identical on both paths.
+  const uint32_t nchunks = v.header.num_chunks;
+  const auto offset_bytes = reader.read_bytes(
+      checked_mul(nchunks, sizeof(uint64_t), "chunk offset table"), "chunk offset table");
+  const auto outlier_bytes = reader.read_bytes(
+      checked_mul(nchunks, sizeof(int32_t), "chunk outlier table"), "chunk outlier table");
+  v.chunk_offsets = aligned_table_view<uint64_t>(offset_bytes, nchunks, "chunk offset table");
+  v.chunk_outliers = aligned_table_view<int32_t>(outlier_bytes, nchunks, "chunk outlier table");
+  if (nchunks > 0 && v.chunk_offsets.empty()) {
+    ByteReader table(offset_bytes, "chunk offset table");
+    v.owned_offsets = table.read_vector<uint64_t>(nchunks, "chunk offset table");
+    v.chunk_offsets = v.owned_offsets;
+  }
+  if (nchunks > 0 && v.chunk_outliers.empty()) {
+    ByteReader table(outlier_bytes, "chunk outlier table");
+    v.owned_outliers = table.read_vector<int32_t>(nchunks, "chunk outlier table");
+    v.chunk_outliers = v.owned_outliers;
+  }
   v.payload = reader.rest();
 
   if (v.header.num_chunks == 0 && !v.payload.empty()) {
@@ -90,14 +111,15 @@ bool layout_compatible(const FzView& a, const FzView& b) {
          a.header.error_bound == b.header.error_bound;
 }
 
-ChunkedStreamAssembler::ChunkedStreamAssembler(FzHeader header) : header_(header) {
+ChunkedStreamAssembler::ChunkedStreamAssembler(FzHeader header, BufferPool* pool)
+    : header_(header), scratch_(ScratchArena::local()) {
   header_.magic = kFzMagic;
   header_.version = kFormatVersion;
   const uint32_t nchunks = header_.num_chunks;
   if (nchunks == 0 && header_.num_elements != 0) {
     throw Error("ChunkedStreamAssembler: nonempty stream needs chunks");
   }
-  worst_offset_.assign(nchunks + 1, 0);
+  worst_offset_ = scratch_.alloc<size_t>(nchunks + 1);
   for (uint32_t c = 0; c < nchunks; ++c) {
     const Range r = chunk_range(header_.num_elements, static_cast<int>(nchunks),
                                 static_cast<int>(c));
@@ -105,9 +127,11 @@ ChunkedStreamAssembler::ChunkedStreamAssembler(FzHeader header) : header_(header
     worst_offset_[c + 1] =
         worst_offset_[c] + nblocks * max_encoded_block_size(header_.block_len);
   }
-  chunk_size_.assign(nchunks, 0);
-  outliers_.assign(nchunks, 0);
-  result_.bytes.resize(fz_preamble_size(nchunks) + worst_offset_[nchunks]);
+  chunk_size_ = scratch_.alloc<size_t>(nchunks);
+  outliers_ = scratch_.alloc<int32_t>(nchunks);
+  const size_t total = fz_preamble_size(nchunks) + worst_offset_[nchunks];
+  if (pool) result_.bytes = pool->acquire(total);
+  result_.bytes.resize(total);
 }
 
 uint8_t* ChunkedStreamAssembler::chunk_buffer(uint32_t c) {
@@ -131,7 +155,7 @@ CompressedBuffer ChunkedStreamAssembler::finish() {
   const size_t preamble = fz_preamble_size(nchunks);
   uint8_t* const payload = result_.bytes.data() + preamble;
 
-  std::vector<uint64_t> tight_offset(nchunks, 0);
+  const std::span<uint64_t> tight_offset = scratch_.alloc<uint64_t>(nchunks);
   size_t write = 0;
   for (uint32_t c = 0; c < nchunks; ++c) {
     tight_offset[c] = write;

@@ -100,7 +100,8 @@ uint32_t FzParams::auto_chunks(size_t num_elements, uint32_t block_len) {
   return static_cast<uint32_t>(std::clamp<size_t>(chunks, 1, 256));
 }
 
-CompressedBuffer fz_compress(std::span<const float> data, const FzParams& params) {
+CompressedBuffer fz_compress(std::span<const float> data, const FzParams& params,
+                             BufferPool* pool) {
   validate_params(params);
   const size_t d = data.size();
   const uint32_t nchunks = params.resolved_chunks(d);
@@ -111,7 +112,7 @@ CompressedBuffer fz_compress(std::span<const float> data, const FzParams& params
   header.block_len = params.block_len;
   header.num_chunks = nchunks;
   header.error_bound = params.abs_error_bound;
-  ChunkedStreamAssembler assembler(header);
+  ChunkedStreamAssembler assembler(header, pool);
 
   {
     ScopedNumThreads scoped(params.num_threads);

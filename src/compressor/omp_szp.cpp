@@ -83,7 +83,8 @@ SzpView parse_szp(std::span<const uint8_t> bytes) {
   return v;
 }
 
-CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& params) {
+CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& params,
+                              BufferPool* pool) {
   if (!(params.abs_error_bound > 0.0)) throw Error("szp_compress: error bound must be positive");
   if (params.block_len == 0 || params.block_len > kMaxBlockLen) {
     throw Error("szp_compress: block_len must be in 1..512");
@@ -125,6 +126,7 @@ CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& para
   const size_t payload_bytes = sizes[nblocks];
 
   CompressedBuffer result;
+  if (pool) result.bytes = pool->acquire(sizeof(FzHeader) + nblocks + payload_bytes);
   result.bytes.resize(sizeof(FzHeader) + nblocks + payload_bytes);
   ByteWriter meta_writer({result.bytes.data() + sizeof(FzHeader), nblocks}, "szp metadata");
   meta_writer.write_array(meta.data(), nblocks, "block metadata");

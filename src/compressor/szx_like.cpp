@@ -59,7 +59,8 @@ SzxView parse_szx(std::span<const uint8_t> bytes) {
   return v;
 }
 
-CompressedBuffer szx_compress(std::span<const float> data, const SzxParams& params) {
+CompressedBuffer szx_compress(std::span<const float> data, const SzxParams& params,
+                              BufferPool* pool) {
   if (!(params.abs_error_bound > 0.0)) throw Error("szx_compress: error bound must be positive");
   if (params.block_len == 0 || params.block_len > kMaxBlockLen) {
     throw Error("szx_compress: block_len must be in 1..512");
@@ -99,6 +100,7 @@ CompressedBuffer szx_compress(std::span<const float> data, const SzxParams& para
   for (size_t b = 0; b < nblocks; ++b) sizes[b + 1] += sizes[b];
 
   CompressedBuffer result;
+  if (pool) result.bytes = pool->acquire(sizeof(FzHeader) + nblocks + sizes[nblocks]);
   result.bytes.resize(sizeof(FzHeader) + nblocks + sizes[nblocks]);
   ByteWriter({result.bytes.data() + sizeof(FzHeader), nblocks}, "szx metadata")
       .write_array(meta.data(), nblocks, "block metadata");

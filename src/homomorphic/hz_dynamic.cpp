@@ -132,7 +132,7 @@ HzPipelineStats& HzPipelineStats::operator+=(const HzPipelineStats& o) {
 }
 
 CompressedBuffer hz_add(const FzView& a, const FzView& b, HzPipelineStats* stats,
-                        int num_threads) {
+                        int num_threads, BufferPool* pool) {
   require_layout_compatible(a, b);
   const size_t d = a.num_elements();
   const uint32_t nchunks = a.num_chunks();
@@ -141,8 +141,9 @@ CompressedBuffer hz_add(const FzView& a, const FzView& b, HzPipelineStats* stats
   // Pipeline 4 can grow a block's code length by one bit, but the
   // assembler's global worst case (code length 31) still bounds every
   // outcome.
-  ChunkedStreamAssembler assembler(a.header);
-  std::vector<HzPipelineStats> chunk_stats(nchunks);
+  ChunkedStreamAssembler assembler(a.header, pool);
+  ArenaScope scratch;
+  const std::span<HzPipelineStats> chunk_stats = scratch.alloc<HzPipelineStats>(nchunks);
 
   {
     ScopedNumThreads scoped(num_threads);
@@ -171,8 +172,8 @@ CompressedBuffer hz_add(const FzView& a, const FzView& b, HzPipelineStats* stats
 }
 
 CompressedBuffer hz_add(const CompressedBuffer& a, const CompressedBuffer& b,
-                        HzPipelineStats* stats, int num_threads) {
-  return hz_add(parse_fz(a.bytes), parse_fz(b.bytes), stats, num_threads);
+                        HzPipelineStats* stats, int num_threads, BufferPool* pool) {
+  return hz_add(parse_fz(a.bytes), parse_fz(b.bytes), stats, num_threads, pool);
 }
 
 }  // namespace hzccl

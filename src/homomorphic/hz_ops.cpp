@@ -162,9 +162,9 @@ size_t sub_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb, size_
 /// the chunk's worst-case capacity so every chunk function can honor the
 /// output-capacity contract.
 template <class ChunkFn>
-CompressedBuffer assemble_parallel(const FzHeader& header, int num_threads,
+CompressedBuffer assemble_parallel(const FzHeader& header, int num_threads, BufferPool* pool,
                                    const ChunkFn& chunk_fn) {
-  ChunkedStreamAssembler assembler(header);
+  ChunkedStreamAssembler assembler(header, pool);
   ScopedNumThreads scoped(num_threads);
   OmpExceptionCollector errors;
 #pragma omp parallel for schedule(static)
@@ -183,11 +183,11 @@ CompressedBuffer assemble_parallel(const FzHeader& header, int num_threads,
 
 }  // namespace
 
-CompressedBuffer hz_scale(const FzView& a, int32_t factor, int num_threads) {
+CompressedBuffer hz_scale(const FzView& a, int32_t factor, int num_threads, BufferPool* pool) {
   if (factor == 1) {
     // Identity: re-assemble a verbatim copy of the stream.
     return assemble_parallel(
-        a.header, num_threads,
+        a.header, num_threads, pool,
         [&](uint32_t c, const Range& r, std::span<uint8_t> out) -> std::pair<size_t, int32_t> {
           if (r.size() == 0) return {0, a.chunk_outliers[c]};
           const auto chunk = a.chunk_payload(c);
@@ -198,10 +198,10 @@ CompressedBuffer hz_scale(const FzView& a, int32_t factor, int num_threads) {
           return {chunk.size(), a.chunk_outliers[c]};
         });
   }
-  if (factor == -1) return hz_negate(a, num_threads);
+  if (factor == -1) return hz_negate(a, num_threads, pool);
 
   return assemble_parallel(
-      a.header, num_threads,
+      a.header, num_threads, pool,
       [&](uint32_t c, const Range& r, std::span<uint8_t> out) -> std::pair<size_t, int32_t> {
         const int32_t outlier = checked_i32(
             static_cast<int64_t>(a.chunk_outliers[c]) * factor, "scaled outlier");
@@ -212,13 +212,14 @@ CompressedBuffer hz_scale(const FzView& a, int32_t factor, int num_threads) {
       });
 }
 
-CompressedBuffer hz_scale(const CompressedBuffer& a, int32_t factor, int num_threads) {
-  return hz_scale(parse_fz(a.bytes), factor, num_threads);
+CompressedBuffer hz_scale(const CompressedBuffer& a, int32_t factor, int num_threads,
+                          BufferPool* pool) {
+  return hz_scale(parse_fz(a.bytes), factor, num_threads, pool);
 }
 
-CompressedBuffer hz_negate(const FzView& a, int num_threads) {
+CompressedBuffer hz_negate(const FzView& a, int num_threads, BufferPool* pool) {
   return assemble_parallel(
-      a.header, num_threads,
+      a.header, num_threads, pool,
       [&](uint32_t c, const Range& r, std::span<uint8_t> out_span) -> std::pair<size_t, int32_t> {
         const int32_t outlier =
             checked_i32(-static_cast<int64_t>(a.chunk_outliers[c]), "negated outlier");
@@ -242,19 +243,20 @@ CompressedBuffer hz_negate(const FzView& a, int num_threads) {
       });
 }
 
-CompressedBuffer hz_negate(const CompressedBuffer& a, int num_threads) {
-  return hz_negate(parse_fz(a.bytes), num_threads);
+CompressedBuffer hz_negate(const CompressedBuffer& a, int num_threads, BufferPool* pool) {
+  return hz_negate(parse_fz(a.bytes), num_threads, pool);
 }
 
 CompressedBuffer hz_sub(const CompressedBuffer& a, const CompressedBuffer& b,
-                        HzPipelineStats* stats, int num_threads) {
+                        HzPipelineStats* stats, int num_threads, BufferPool* pool) {
   const FzView va = parse_fz(a.bytes);
   const FzView vb = parse_fz(b.bytes);
   require_layout_compatible(va, vb);
 
-  std::vector<HzPipelineStats> chunk_stats(va.num_chunks());
+  ArenaScope scratch;
+  const std::span<HzPipelineStats> chunk_stats = scratch.alloc<HzPipelineStats>(va.num_chunks());
   CompressedBuffer result = assemble_parallel(
-      va.header, num_threads,
+      va.header, num_threads, pool,
       [&](uint32_t c, const Range& r, std::span<uint8_t> out) -> std::pair<size_t, int32_t> {
         const int32_t outlier = checked_i32(
             static_cast<int64_t>(va.chunk_outliers[c]) - vb.chunk_outliers[c],
@@ -270,28 +272,52 @@ CompressedBuffer hz_sub(const CompressedBuffer& a, const CompressedBuffer& b,
   return result;
 }
 
+namespace {
+
+/// Byte copy of a stream into (optionally pooled) fresh storage, so every
+/// partial sum hz_add_many holds is owned uniformly and can be recycled.
+CompressedBuffer copy_stream(const CompressedBuffer& src, BufferPool* pool) {
+  CompressedBuffer out;
+  if (pool) out.bytes = pool->acquire(src.bytes.size());
+  out.bytes.assign(src.bytes.begin(), src.bytes.end());
+  return out;
+}
+
+}  // namespace
+
 CompressedBuffer hz_add_many(std::span<const CompressedBuffer> operands,
-                             HzPipelineStats* stats, int num_threads) {
+                             HzPipelineStats* stats, int num_threads, BufferPool* pool) {
   if (operands.empty()) throw Error("hz_add_many: need at least one operand");
-  if (operands.size() == 1) return operands[0];
+  if (operands.size() == 1) return copy_stream(operands[0], pool);
 
   // Balanced pairwise tree: level 0 pairs the inputs, later levels pair the
-  // partial sums.
+  // partial sums.  All partials land in pooled storage and are released as
+  // soon as the next level consumes them, so each buffer ping-pongs between
+  // the pool and at most one live partial — no per-level vector churn.
   std::vector<CompressedBuffer> level;
   level.reserve((operands.size() + 1) / 2);
   for (size_t i = 0; i + 1 < operands.size(); i += 2) {
-    level.push_back(hz_add(operands[i], operands[i + 1], stats, num_threads));
+    level.push_back(hz_add(operands[i], operands[i + 1], stats, num_threads, pool));
   }
-  if (operands.size() % 2 == 1) level.push_back(operands.back());
+  if (operands.size() % 2 == 1) level.push_back(copy_stream(operands.back(), pool));
 
   while (level.size() > 1) {
-    std::vector<CompressedBuffer> next;
-    next.reserve((level.size() + 1) / 2);
+    // Compact in place: slot w receives the sum of the pair at (i, i+1),
+    // whose storage goes straight back to the pool for the next pair's sum.
+    size_t w = 0;
     for (size_t i = 0; i + 1 < level.size(); i += 2) {
-      next.push_back(hz_add(level[i], level[i + 1], stats, num_threads));
+      CompressedBuffer sum = hz_add(level[i], level[i + 1], stats, num_threads, pool);
+      if (pool) {
+        pool->release(std::move(level[i].bytes));
+        pool->release(std::move(level[i + 1].bytes));
+      }
+      level[w++] = std::move(sum);
     }
-    if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
-    level = std::move(next);
+    if (level.size() % 2 == 1) {
+      CompressedBuffer tail = std::move(level.back());
+      level[w++] = std::move(tail);
+    }
+    level.resize(w);
   }
   return std::move(level.front());
 }

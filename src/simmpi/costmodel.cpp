@@ -4,6 +4,7 @@
 
 #include "hzccl/compressor/fz_light.hpp"
 #include "hzccl/datasets/fields.hpp"
+#include "hzccl/util/threading.hpp"
 #include "hzccl/util/timer.hpp"
 
 namespace hzccl::simmpi {
@@ -44,20 +45,23 @@ double CostModel::seconds_hz_add(const hzccl::HzPipelineStats& stats, uint32_t b
 
 CostModel CostModel::paper_broadwell() { return CostModel{}; }
 
-CostModel CostModel::calibrated_from_host(int assumed_cores, double efficiency) {
+CostModel CostModel::calibrated_from_host(int assumed_cores, double efficiency,
+                                          int measure_threads) {
   CostModel model;
-  // Measure the two proportional fZ-light kernels single-threaded on a
-  // representative mid-smoothness field, then extrapolate the socket
-  // aggregate.  Only the ratios matter for the experiment *shapes*; the
-  // paper-default pipeline constants are kept because sub-nanosecond
+  // Measure the two proportional fZ-light kernels on a representative
+  // mid-smoothness field at the configured thread width (the width the
+  // collectives will actually run the kernels at), then extrapolate the
+  // socket aggregate.  Only the ratios matter for the experiment *shapes*;
+  // the paper-default pipeline constants are kept because sub-nanosecond
   // per-block dispatch cannot be measured reliably on a shared 1-core VM.
+  const int threads = measure_threads > 0 ? measure_threads : hzccl::effective_threads();
   const Dims dims{256, 256, 16};
   const std::vector<float> field = hurricane_field(dims, /*seed=*/7);
   const size_t bytes = field.size() * sizeof(float);
 
   FzParams params;
   params.abs_error_bound = 1e-3;
-  params.num_threads = 1;
+  params.num_threads = threads;
 
   Timer timer;
   const CompressedBuffer compressed = fz_compress(field, params);
@@ -65,19 +69,27 @@ CostModel CostModel::calibrated_from_host(int assumed_cores, double efficiency) 
 
   std::vector<float> out(field.size());
   timer.reset();
-  fz_decompress(compressed, out, /*num_threads=*/1);
+  fz_decompress(compressed, out, threads);
   const double t_dpr = timer.seconds();
 
   timer.reset();
   std::vector<float> acc(field.size(), 0.0f);
-  for (size_t i = 0; i < acc.size(); ++i) acc[i] += field[i];
+  {
+    hzccl::ScopedNumThreads scoped(threads);
+#pragma omp parallel for schedule(static)
+    for (size_t i = 0; i < acc.size(); ++i) acc[i] += field[i];
+  }
   const double t_sum = timer.seconds();
 
-  const double scale = static_cast<double>(assumed_cores) * efficiency;
+  // A T-thread measurement is treated as T times the single-thread rate at
+  // the same efficiency, so the aggregate extrapolation and the
+  // single-thread slowdown stay consistent regardless of measurement width.
+  const double aggregate = static_cast<double>(assumed_cores) * efficiency;
+  const double scale = aggregate / static_cast<double>(threads);
   model.fz_compress_gbps = hzccl::gb_per_s(static_cast<double>(bytes), t_cpr) * scale;
   model.fz_decompress_gbps = hzccl::gb_per_s(static_cast<double>(bytes), t_dpr) * scale;
   model.raw_sum_gbps = hzccl::gb_per_s(static_cast<double>(bytes), t_sum) * scale;
-  model.thread_scaling = scale;
+  model.thread_scaling = aggregate;
   return model;
 }
 

@@ -205,6 +205,43 @@ TEST(Checksum, TruncatedTrailerRejected) {
   EXPECT_THROW(parse_fz(sealed.bytes), FormatError);
 }
 
+// --- zero-copy table views ----------------------------------------------------
+
+TEST(ParseFz, BorrowsTablesFromAlignedStorage) {
+  const std::vector<float> data(10000, 1.5f);
+  const CompressedBuffer c = fz_compress(data, FzParams{});
+  const FzView v = parse_fz(c.bytes);
+  // Vector storage is allocator-aligned and the 32-byte header preserves
+  // 8-byte table alignment, so parsing is zero-copy: the spans point
+  // straight into the wire bytes.
+  EXPECT_TRUE(v.borrows_tables());
+  const uint8_t* const base = c.bytes.data() + sizeof(FzHeader);
+  EXPECT_EQ(static_cast<const void*>(v.chunk_offsets.data()), static_cast<const void*>(base));
+}
+
+TEST(ParseFz, MisalignedStorageFallsBackToOwnedCopy) {
+  const std::vector<float> data(10000, 1.5f);
+  const CompressedBuffer c = fz_compress(data, FzParams{});
+  const FzView aligned = parse_fz(c.bytes);
+
+  // Re-house the stream at an odd offset so the offset table cannot be
+  // reinterpreted in place.
+  std::vector<uint8_t> shifted(c.bytes.size() + 1);
+  std::memcpy(shifted.data() + 1, c.bytes.data(), c.bytes.size());
+  const FzView v = parse_fz({shifted.data() + 1, c.bytes.size()});
+  EXPECT_FALSE(v.borrows_tables());
+
+  // The fallback view is logically identical: same tables, same decode.
+  ASSERT_EQ(v.num_chunks(), aligned.num_chunks());
+  for (uint32_t ch = 0; ch < v.num_chunks(); ++ch) {
+    EXPECT_EQ(v.chunk_offsets[ch], aligned.chunk_offsets[ch]);
+    EXPECT_EQ(v.chunk_outliers[ch], aligned.chunk_outliers[ch]);
+  }
+  std::vector<float> out(data.size());
+  fz_decompress(v, out);
+  EXPECT_EQ(out, fz_decompress(c));
+}
+
 TEST(Assembler, EmptyStream) {
   ChunkedStreamAssembler assembler(make_header(0, 32, 1));
   assembler.set_chunk(0, 0, 0);

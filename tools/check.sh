@@ -6,6 +6,7 @@
 #   tools/check.sh --lint     # tier 1 + project lint
 #   tools/check.sh --tsan     # tier 1 + ThreadSanitizer concurrency tier
 #   tools/check.sh --fuzz     # tier 1 + sanitized decoder fuzzing only
+#   tools/check.sh --perf     # tier 1 + perf smoke (zero-allocation gate)
 #   tools/check.sh --all      # everything
 #
 # Flags combine (e.g. --lint --tsan).  Exit nonzero on the first failing
@@ -15,15 +16,16 @@ set -eu
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 jobs=$(nproc 2>/dev/null || echo 4)
 
-run_asan=1 run_lint=0 run_tsan=0 run_fuzz=0
+run_asan=1 run_lint=0 run_tsan=0 run_fuzz=0 run_perf=0
 for arg in "$@"; do
   case "$arg" in
     --fast) run_asan=0 ;;
     --lint) run_lint=1 ;;
     --tsan) run_tsan=1 ;;
     --fuzz) run_asan=0; run_fuzz=1 ;;
-    --all)  run_asan=1 run_lint=1 run_tsan=1 ;;
-    *) echo "usage: tools/check.sh [--fast] [--lint] [--tsan] [--fuzz] [--all]" >&2; exit 2 ;;
+    --perf) run_perf=1 ;;
+    --all)  run_asan=1 run_lint=1 run_tsan=1 run_perf=1 ;;
+    *) echo "usage: tools/check.sh [--fast] [--lint] [--tsan] [--fuzz] [--perf] [--all]" >&2; exit 2 ;;
   esac
 done
 
@@ -53,6 +55,16 @@ if [ "$run_asan" = "1" ] || [ "$run_fuzz" = "1" ]; then
   fi
   echo "== tier 2: sanitized decoder fuzzing =="
   "$repo/build-asan/tests/fuzz_decoders" --iterations="${HZCCL_FUZZ_ITERATIONS:-10000}"
+fi
+
+if [ "$run_perf" = "1" ]; then
+  echo "== perf smoke: bench_kernels --json --quick (zero-allocation gate) =="
+  # Fails if any gated kernel (hz_add, the ring collective) mints a heap
+  # block per op in steady state; see docs/ANALYSIS.md "Performance
+  # architecture".
+  cmake --build "$repo/build" -j "$jobs" --target bench_kernels
+  "$repo/build/bench/bench_kernels" --json --quick \
+    --out "$repo/build/BENCH_kernels.json" --alloc-budget 0
 fi
 
 if [ "$run_tsan" = "1" ]; then
