@@ -58,6 +58,10 @@ struct JobConfig {
   /// Seeded fault injection for the simulated fabric; FaultPlan::none()
   /// keeps the transport on its clean fast path.
   simmpi::FaultPlan faults = simmpi::FaultPlan::none();
+  /// Virtual-clock event recording (trace.hpp); disabled by default, in
+  /// which case JobResult::trace stays empty and the hot path pays one
+  /// predictable branch per clock advance.
+  trace::Options trace;
 
   coll::CollectiveConfig collective_config(simmpi::Mode mode) const {
     coll::CollectiveConfig c;
@@ -78,6 +82,7 @@ struct JobResult {
   size_t input_bytes_per_rank = 0;
   std::vector<TransportStats> transport_per_rank;  ///< fault/recovery counters
   TransportStats transport;                        ///< sum over ranks
+  trace::Trace trace;                              ///< per-rank event streams (if enabled)
 };
 
 /// Produces rank `r`'s input vector; every rank must return the same length.

@@ -51,6 +51,7 @@
 #include "hzccl/simmpi/faults.hpp"
 #include "hzccl/simmpi/netmodel.hpp"
 #include "hzccl/stats/metrics.hpp"
+#include "hzccl/trace/trace.hpp"
 
 namespace hzccl::simmpi {
 
@@ -103,6 +104,19 @@ class Comm {
   /// Synchronize all ranks (both thread-level and virtual-clock-level).
   void barrier();
 
+  /// Spend `seconds` of local work in `bucket` AND record a typed compute
+  /// span for it: the one call the collectives use for every compute charge,
+  /// so the trace accounts for the whole virtual timeline.  `bytes` is the
+  /// uncompressed volume the step touched, `bytes_out` the compressed bytes
+  /// it produced (0 when not applicable) — together they give per-event
+  /// compression ratios.
+  void charge(CostBucket bucket, double seconds, trace::EventKind kind, uint64_t bytes = 0,
+              uint64_t bytes_out = 0);
+
+  /// This rank's event recorder (disabled unless the Runtime was built with
+  /// trace::Options::enabled).
+  trace::Recorder& tracer() { return trace_; }
+
   // Typed conveniences for float payloads.
   void send_floats(int dst, int tag, std::span<const float> data);
   void recv_floats_into(int src, int tag, std::span<float> out);
@@ -125,6 +139,7 @@ class Comm {
   int rank_;
   int size_;
   VirtualClock clock_;
+  trace::Recorder trace_;
   uint64_t bytes_sent_ = 0;
   uint64_t bytes_received_ = 0;
   hzccl::TransportStats transport_;
@@ -140,7 +155,8 @@ class Comm {
 /// Owns the rank threads and mailboxes for one collective job.
 class Runtime {
  public:
-  Runtime(int nranks, NetModel net, FaultPlan faults = FaultPlan::none());
+  Runtime(int nranks, NetModel net, FaultPlan faults = FaultPlan::none(),
+          trace::Options trace_opts = {});
   ~Runtime();
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -158,6 +174,10 @@ class Runtime {
 
   /// Per-rank transport counters of the most recent run.
   const std::vector<hzccl::TransportStats>& transport_stats() const { return transport_stats_; }
+
+  /// Per-rank event trace of the most recent run (empty unless the Runtime
+  /// was constructed with trace::Options::enabled).
+  const trace::Trace& trace() const { return trace_; }
 
   /// Completion time of the collective = slowest rank.
   static ClockReport slowest(const std::vector<ClockReport>& reports);
@@ -208,13 +228,15 @@ class Runtime {
   void post(int dst, WireMessage msg);
 
   // Barrier bookkeeping (virtual-time max across arrivals).
-  void barrier_wait(VirtualClock& clock);
+  void barrier_wait(Comm& comm);
 
   int nranks_;
   NetModel net_;
   FaultPlan faults_;
+  trace::Options trace_opts_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<hzccl::TransportStats> transport_stats_;
+  trace::Trace trace_;
   /// Set when any rank throws, so peers blocked on that rank's messages or
   /// on the barrier fail fast instead of deadlocking the join.
   std::atomic<bool> aborted_{false};

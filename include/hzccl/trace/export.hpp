@@ -1,0 +1,58 @@
+// Chrome-trace/Perfetto JSON export and validation for trace::Trace.
+//
+// The exporter emits the Trace Event Format's complete ("ph":"X") events —
+// one per recorded span, pid 0, tid = rank, timestamps in microseconds of
+// virtual time — so a trace file drops straight into chrome://tracing or
+// https://ui.perfetto.dev.  Formatting is fully deterministic (fixed-width
+// snprintf, one event per line), which is what lets the golden-trace test
+// diff exported JSON byte-for-byte across runs.
+//
+// The checker is the consumer side of `hzcclc trace --check`: a minimal
+// recursive-descent JSON parser over the bounds-checked ByteReader (no
+// external JSON dependency in CI) that validates well-formedness, the
+// required ph/ts/pid/tid fields, and that each tid's spans are sorted and
+// properly nested (non-overlapping).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hzccl/trace/trace.hpp"
+
+namespace hzccl::trace {
+
+/// Deterministic Chrome-trace JSON of the whole trace.
+std::string to_chrome_json(const Trace& trace);
+
+/// One event as read back by the checker's parser (scalar fields only; the
+/// `args` object is validated structurally but not captured).
+struct ParsedSpan {
+  std::string name;
+  std::string ph;
+  double ts = 0.0;   ///< microseconds
+  double dur = 0.0;  ///< microseconds ("X" events)
+  int64_t pid = -1;
+  int64_t tid = -1;
+  bool has_ts = false, has_pid = false, has_tid = false, has_dur = false;
+};
+
+/// Parse a Chrome-trace JSON document and return its traceEvents entries.
+/// Throws ParseError on malformed JSON or a missing traceEvents array.
+std::vector<ParsedSpan> parse_chrome_trace(std::span<const uint8_t> json);
+
+/// Validation verdict of `hzcclc trace --check`.
+struct CheckReport {
+  bool valid = false;
+  std::string error;   ///< first violation when !valid
+  uint64_t events = 0; ///< traceEvents entries seen
+  int64_t max_tid = -1;
+};
+
+/// Full validation: well-formed JSON, required ph/ts/pid/tid on every event,
+/// non-negative durations, and per-tid spans sorted without overlap.
+/// Never throws — problems land in CheckReport::error.
+CheckReport check_chrome_json(std::span<const uint8_t> json);
+
+}  // namespace hzccl::trace

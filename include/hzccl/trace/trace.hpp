@@ -1,0 +1,190 @@
+// Virtual-clock tracing: per-rank typed event streams for the simmpi runtime.
+//
+// The paper's Figure 2 breakdown (CPR/DPR/CPT vs. communication) is the
+// analytical core of hZCCL's argument.  The ClockReport buckets give the
+// per-rank *totals*, but not the structure: which round compressed how many
+// bytes, where a rank idled waiting for its ring predecessor, what a
+// retransmission storm did to the schedule.  This subsystem records exactly
+// that — a span per clock advance, typed by what the time was spent on:
+//
+//   compute:   compress / decompress / hom_reduce / reduce / pack
+//   transport: send / recv / wait / retransmit / stall / discard
+//
+// Because the virtual clock is deterministic (see runtime.hpp), the event
+// stream is too: the same seed and config replay the same trace byte for
+// byte, which makes traces a *test oracle* — invariants over the stream
+// (monotone spans, per-channel byte conservation, TransportStats
+// reconciliation) catch scheduling and accounting bugs that output-equality
+// tests cannot see.  tests/trace_test.cpp enforces them; export.hpp turns a
+// Trace into Chrome-trace JSON that Perfetto renders directly.
+//
+// Recording discipline: one Recorder per rank, written only by that rank's
+// thread (single-writer, hence lock-free), backed by a fixed-capacity ring
+// whose storage comes from the rank's BufferPool — so steady-state recording
+// performs no heap allocation and the PR-3 `--alloc-budget` gate holds with
+// tracing on.  Disabled recording is one predictable branch; compiling with
+// HZCCL_TRACE_DISABLED removes even that.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hzccl/util/pool.hpp"
+
+namespace hzccl::trace {
+
+/// What a span of virtual time was spent on.  The first five are compute
+/// kinds (emitted by the collectives through Comm::charge, mapped 1:1 onto
+/// the CostBucket the same call charges); the rest are transport kinds
+/// (emitted by the runtime's channel layer, all charged to kMpi).
+enum class EventKind : uint8_t {
+  kCompress = 0,    ///< CPR: fz/szp encode of a float block
+  kDecompress = 1,  ///< DPR: decode of a received stream
+  kHomReduce = 2,   ///< HPR: homomorphic reduction of two compressed blocks
+  kReduce = 3,      ///< CPT: raw float reduction arithmetic
+  kPack = 4,        ///< OTHER: buffer staging / memcpy
+  kSend = 5,        ///< eager injection of one framed message
+  kRecv = 6,        ///< wire transfer of an accepted frame
+  kWait = 7,        ///< blocked on a slower peer (or in a barrier)
+  kRetransmit = 8,  ///< NACK-driven recovery round-trip
+  kStall = 9,       ///< injected per-rank stall (FaultPlan)
+  kDiscard = 10,    ///< duplicate frame dropped after the header sniff
+};
+inline constexpr int kNumEventKinds = 11;
+
+std::string kind_name(EventKind k);
+bool kind_is_transport(EventKind k);
+
+/// Disambiguates kRetransmit events so TransportStats reconciles exactly:
+/// retransmits count aux==kAuxRetransmit, raw_fallbacks count kAuxRawFallback.
+inline constexpr uint8_t kAuxRetransmit = 0;
+inline constexpr uint8_t kAuxRawFallback = 1;
+
+/// One recorded span of virtual time.  Trivially copyable by design: the
+/// ring buffer stores events as raw bytes from a pooled buffer.
+struct Event {
+  double t0 = 0.0;        ///< virtual seconds, span start
+  double t1 = 0.0;        ///< virtual seconds, span end (>= t0)
+  uint64_t seq = 0;       ///< per-link sequence number (transport kinds)
+  uint64_t bytes = 0;     ///< payload bytes (transport) / uncompressed bytes (compute)
+  uint64_t bytes_out = 0; ///< compressed bytes produced (compute kinds; 0 otherwise)
+  int32_t peer = -1;      ///< other rank of a transport event; -1 for compute
+  int32_t tag = -1;       ///< message tag (transport kinds)
+  EventKind kind = EventKind::kSend;
+  uint8_t aux = 0;        ///< kind-specific detail (see kAux*)
+
+  double duration() const { return t1 - t0; }
+};
+static_assert(std::is_trivially_copyable_v<Event>, "events travel through byte rings");
+
+/// Per-job recording configuration (JobConfig::trace / Runtime ctor).
+struct Options {
+  bool enabled = false;
+  /// Ring capacity in events per rank; the oldest events are overwritten
+  /// once exceeded (Trace::dropped_events counts the loss).
+  uint32_t capacity = 1u << 14;
+};
+
+/// Single-writer ring-buffer recorder, one per rank.  enable() parks a
+/// pooled byte buffer under the ring; record() is a branch plus a 56-byte
+/// copy and never allocates.  With HZCCL_TRACE_DISABLED both compile to
+/// no-ops.
+class Recorder {
+ public:
+  Recorder() = default;
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+#if defined(HZCCL_TRACE_DISABLED)
+  void enable(uint32_t, BufferPool&) {}
+  void disable(BufferPool&) {}
+  bool enabled() const { return false; }
+  void record(const Event&) {}
+#else
+  /// Acquire ring storage for `capacity` events from `pool` (the caller's
+  /// thread-local pool; this is the only allocation tracing ever makes, and
+  /// a recycled acquire makes none).
+  void enable(uint32_t capacity, BufferPool& pool);
+
+  /// Release the ring storage back to `pool`; recording stops.
+  void disable(BufferPool& pool);
+
+  bool enabled() const { return capacity_ != 0; }
+
+  void record(const Event& e) {
+    if (capacity_ == 0) return;
+    uint8_t* slot = ring_.data() + (head_ % capacity_) * sizeof(Event);
+    std::memcpy(slot, &e, sizeof(Event));
+    ++head_;
+  }
+#endif
+
+  /// Events recorded since enable() (including any overwritten).
+  uint64_t recorded() const { return head_; }
+  /// Events lost to ring overwrite.
+  uint64_t dropped() const { return head_ > capacity_ ? head_ - capacity_ : 0; }
+
+  /// Retained events, oldest first.  Allocates (collection time, not the
+  /// recording hot path).
+  std::vector<Event> snapshot() const;
+
+ private:
+  std::vector<uint8_t> ring_;
+  uint64_t head_ = 0;
+  uint32_t capacity_ = 0;
+};
+
+/// The collected event streams of one Runtime::run, indexed by rank.
+struct Trace {
+  std::vector<std::vector<Event>> ranks;
+  uint64_t dropped_events = 0;  ///< total ring overwrites across ranks
+
+  bool empty() const { return ranks.empty(); }
+  size_t total_events() const;
+};
+
+// ---------------------------------------------------------------------------
+// Aggregation: the Fig-2-style phase breakdown.
+// ---------------------------------------------------------------------------
+
+/// Per-rank phase totals in virtual seconds, plus the byte counters that
+/// cross-check TransportStats and yield per-phase compression ratios.
+struct RankPhases {
+  double cpr = 0.0;   ///< kCompress
+  double dpr = 0.0;   ///< kDecompress
+  double hpr = 0.0;   ///< kHomReduce
+  double cpt = 0.0;   ///< kReduce
+  double pack = 0.0;  ///< kPack
+  double comm = 0.0;  ///< kSend + kRecv + kRetransmit + kDiscard
+  double idle = 0.0;  ///< kWait + kStall
+  double total = 0.0; ///< end of the rank's last span
+
+  uint64_t events = 0;
+  uint64_t bytes_sent = 0;          ///< payload bytes through kSend events
+  uint64_t bytes_uncompressed = 0;  ///< compute-kind input bytes (CPR basis)
+  uint64_t bytes_compressed = 0;    ///< compute-kind output bytes
+
+  /// DPR+CPT+CPR+HPR — the paper's "compression-related" share.
+  double doc_related() const { return cpr + dpr + cpt + hpr; }
+  /// Sum of every span duration (== total minus unattributed time).
+  double accounted() const { return doc_related() + pack + comm + idle; }
+  double percent(double part) const { return total > 0.0 ? 100.0 * part / total : 0.0; }
+};
+
+struct Breakdown {
+  std::vector<RankPhases> per_rank;
+  RankPhases slowest;  ///< the rank with the largest total (completion time)
+  RankPhases totals;   ///< element-wise sum over ranks (totals.total = max)
+};
+
+Breakdown aggregate(const Trace& trace);
+
+/// Event count per kind for one rank's stream — the reconciliation helper
+/// the trace-invariant tests difference against TransportStats.
+std::array<uint64_t, kNumEventKinds> count_kinds(const std::vector<Event>& events);
+
+}  // namespace hzccl::trace

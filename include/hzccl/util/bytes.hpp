@@ -90,6 +90,13 @@ class ByteReader {
     return values;
   }
 
+  /// Borrow the next byte without consuming it (one-byte lookahead for
+  /// text-format scanners like the trace checker's JSON reader).
+  uint8_t peek(const char* field) const {
+    require(1, field);
+    return bytes_[pos_];
+  }
+
   /// Borrow `count` raw bytes and advance.
   std::span<const uint8_t> read_bytes(size_t count, const char* field) {
     require(count, field);

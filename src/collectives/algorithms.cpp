@@ -21,9 +21,9 @@ void reduce_into(std::vector<float>& acc, std::span<const float> incoming, size_
   for (size_t i = 0; i < incoming.size(); ++i) {
     acc[offset + i] = reduce_combine(config.reduce_op, acc[offset + i], incoming[i]);
   }
-  comm.clock().advance(
-      config.cost.seconds_raw_sum(incoming.size() * sizeof(float), Mode::kSingleThread),
-      CostBucket::kCpt);
+  comm.charge(CostBucket::kCpt,
+              config.cost.seconds_raw_sum(incoming.size() * sizeof(float), Mode::kSingleThread),
+              trace::EventKind::kReduce, incoming.size() * sizeof(float));
 }
 
 int largest_power_of_two_below(int n) {
@@ -40,7 +40,8 @@ void raw_allreduce_recursive_doubling(Comm& comm, std::span<const float> input,
   const int size = comm.size();
   const int rank = comm.rank();
   std::vector<float> acc(input.begin(), input.end());
-  comm.clock().advance(config.cost.seconds_memcpy(input.size_bytes()), CostBucket::kOther);
+  comm.charge(CostBucket::kOther, config.cost.seconds_memcpy(input.size_bytes()),
+              trace::EventKind::kPack, input.size_bytes());
 
   const int p2 = largest_power_of_two_below(size);
   const int rem = size - p2;
@@ -98,18 +99,19 @@ void raw_allreduce_rabenseifner(Comm& comm, std::span<const float> input,
   }
 
   std::vector<float> acc(input.begin(), input.end());
-  comm.clock().advance(config.cost.seconds_memcpy(input.size_bytes()), CostBucket::kOther);
+  comm.charge(CostBucket::kOther, config.cost.seconds_memcpy(input.size_bytes()),
+              trace::EventKind::kPack, input.size_bytes());
 
   // Recursive-halving reduce-scatter: each exchange halves the live segment
   // [lo, hi); the lower-ranked partner keeps the lower half.
   size_t lo = 0, hi = acc.size();
-  std::vector<std::pair<size_t, size_t>> trace;  // segment before each split
+  std::vector<std::pair<size_t, size_t>> splits;  // segment before each split
   std::vector<float> incoming;
   int step = 0;
   for (int mask = size / 2; mask >= 1; mask >>= 1, ++step) {
     const int partner = rank ^ mask;
     const size_t mid = lo + (hi - lo) / 2;
-    trace.emplace_back(lo, hi);
+    splits.emplace_back(lo, hi);
     if (rank < partner) {
       comm.send_floats(partner, kTagStep + step,
                        std::span<const float>(acc.data() + mid, hi - mid));
@@ -131,8 +133,8 @@ void raw_allreduce_rabenseifner(Comm& comm, std::span<const float> input,
   // restoring the sibling half of the enclosing segment.
   for (int mask = 1; mask < size; mask <<= 1, ++step) {
     const int partner = rank ^ mask;
-    const auto [parent_lo, parent_hi] = trace.back();
-    trace.pop_back();
+    const auto [parent_lo, parent_hi] = splits.back();
+    splits.pop_back();
     comm.send_floats(partner, kTagStep + step,
                      std::span<const float>(acc.data() + lo, hi - lo));
     if (lo == parent_lo) {

@@ -17,8 +17,8 @@ CompressedBuffer compress_block(Comm& comm, std::span<const float> block,
                                 const CollectiveConfig& config, BufferPool& pool) {
   const FzParams params = config.fz_params(block.size());
   CompressedBuffer out = fz_compress(block, params, &pool);
-  comm.clock().advance(config.cost.seconds_fz_compress(block.size_bytes(), config.mode),
-                       CostBucket::kCpr);
+  comm.charge(CostBucket::kCpr, config.cost.seconds_fz_compress(block.size_bytes(), config.mode),
+              trace::EventKind::kCompress, block.size_bytes(), out.bytes.size());
   return out;
 }
 
@@ -26,8 +26,8 @@ CompressedBuffer compress_block(Comm& comm, std::span<const float> block,
 void decompress_block(Comm& comm, const CompressedBuffer& compressed, std::span<float> out,
                       const CollectiveConfig& config) {
   fz_decompress(compressed, out, config.host_threads);
-  comm.clock().advance(config.cost.seconds_fz_decompress(out.size_bytes(), config.mode),
-                       CostBucket::kDpr);
+  comm.charge(CostBucket::kDpr, config.cost.seconds_fz_decompress(out.size_bytes(), config.mode),
+              trace::EventKind::kDecompress, out.size_bytes(), compressed.bytes.size());
 }
 
 }  // namespace
@@ -39,7 +39,8 @@ void ccoll_reduce_scatter(Comm& comm, std::span<const float> input,
   const size_t total = input.size();
 
   std::vector<float> acc(input.begin(), input.end());
-  comm.clock().advance(config.cost.seconds_memcpy(total * sizeof(float)), CostBucket::kOther);
+  comm.charge(CostBucket::kOther, config.cost.seconds_memcpy(total * sizeof(float)),
+              trace::EventKind::kPack, total * sizeof(float));
 
   // Per-rank pool: the per-round compressed send buffer ping-pongs between
   // the pool and the wire, and received streams are recycled after decode,
@@ -75,9 +76,9 @@ void ccoll_reduce_scatter(Comm& comm, std::span<const float> input,
     for (size_t i = 0; i < recv_r.size(); ++i) {
       dst[i] = reduce_combine(config.reduce_op, dst[i], decoded[i]);
     }
-    comm.clock().advance(
-        config.cost.seconds_raw_sum(recv_r.size() * sizeof(float), config.mode),
-        CostBucket::kCpt);
+    comm.charge(CostBucket::kCpt,
+                config.cost.seconds_raw_sum(recv_r.size() * sizeof(float), config.mode),
+                trace::EventKind::kReduce, recv_r.size() * sizeof(float));
   }
 
   const Range owned = ring_block_range(total, size, rs_owned_block(rank, size));

@@ -41,8 +41,8 @@ CheckedBlock recv_checked_block(Comm& comm, int src, int tag, size_t expect_elem
   pristine.bytes = comm.refetch(src, tag, Comm::Refetch::kRawFallback, raw_bytes);
   out.raw.resize(expect_elements);
   fz_decompress(pristine, out.raw, config.host_threads);
-  comm.clock().advance(config.cost.seconds_fz_decompress(raw_bytes, config.mode),
-                       CostBucket::kDpr);
+  comm.charge(CostBucket::kDpr, config.cost.seconds_fz_decompress(raw_bytes, config.mode),
+              trace::EventKind::kDecompress, raw_bytes, pristine.bytes.size());
   out.compressed = CompressedBuffer{};
   out.degraded = true;
   return out;

@@ -22,8 +22,10 @@ std::vector<CompressedBuffer> compress_all_blocks(Comm& comm, std::span<const fl
     blocks[b] =
         fz_compress(std::span<const float>(input.data() + r.begin, r.size()), params, &pool);
   }
-  comm.clock().advance(config.cost.seconds_fz_compress(input.size_bytes(), config.mode),
-                       CostBucket::kCpr);
+  uint64_t compressed_bytes = 0;
+  for (const CompressedBuffer& b : blocks) compressed_bytes += b.bytes.size();
+  comm.charge(CostBucket::kCpr, config.cost.seconds_fz_compress(input.size_bytes(), config.mode),
+              trace::EventKind::kCompress, input.size_bytes(), compressed_bytes);
   return blocks;
 }
 
@@ -68,8 +70,10 @@ CompressedBuffer hzccl_reduce_scatter_compressed(Comm& comm, std::span<const flo
         HzPipelineStats stats;
         CompressedBuffer summed =
             hz_add(blocks[recv_idx], received.compressed, &stats, config.host_threads, &pool);
-        comm.clock().advance(
-            config.cost.seconds_hz_add(stats, config.block_len, config.mode), CostBucket::kHpr);
+        comm.charge(CostBucket::kHpr,
+                    config.cost.seconds_hz_add(stats, config.block_len, config.mode),
+                    trace::EventKind::kHomReduce, recv_r.size() * sizeof(float),
+                    summed.bytes.size());
         if (pipeline_stats) *pipeline_stats += stats;
         pool.release(std::move(received.compressed.bytes));
         pool.release(std::move(blocks[recv_idx].bytes));
@@ -86,8 +90,8 @@ CompressedBuffer hzccl_reduce_scatter_compressed(Comm& comm, std::span<const flo
                                       Comm::Refetch::kRawFallback, raw_bytes);
         received.raw.resize(recv_r.size());
         fz_decompress(pristine, received.raw, config.host_threads);
-        comm.clock().advance(config.cost.seconds_fz_decompress(raw_bytes, config.mode),
-                             CostBucket::kDpr);
+        comm.charge(CostBucket::kDpr, config.cost.seconds_fz_decompress(raw_bytes, config.mode),
+                    trace::EventKind::kDecompress, raw_bytes, pristine.bytes.size());
         received.degraded = true;
       }
     }
@@ -97,18 +101,20 @@ CompressedBuffer hzccl_reduce_scatter_compressed(Comm& comm, std::span<const flo
     // homomorphic pipeline at the next step.
     own.resize(recv_r.size());
     fz_decompress(blocks[recv_idx], own, config.host_threads);
-    comm.clock().advance(
-        config.cost.seconds_fz_decompress(recv_r.size() * sizeof(float), config.mode),
-        CostBucket::kDpr);
+    comm.charge(CostBucket::kDpr,
+                config.cost.seconds_fz_decompress(recv_r.size() * sizeof(float), config.mode),
+                trace::EventKind::kDecompress, recv_r.size() * sizeof(float),
+                blocks[recv_idx].bytes.size());
     for (size_t i = 0; i < own.size(); ++i) own[i] += received.raw[i];
-    comm.clock().advance(
-        config.cost.seconds_raw_sum(recv_r.size() * sizeof(float), config.mode),
-        CostBucket::kCpt);
+    comm.charge(CostBucket::kCpt,
+                config.cost.seconds_raw_sum(recv_r.size() * sizeof(float), config.mode),
+                trace::EventKind::kReduce, recv_r.size() * sizeof(float));
     pool.release(std::move(blocks[recv_idx].bytes));
     blocks[recv_idx] = fz_compress(own, config.fz_params(own.size()), &pool);
-    comm.clock().advance(
-        config.cost.seconds_fz_compress(recv_r.size() * sizeof(float), config.mode),
-        CostBucket::kCpr);
+    comm.charge(CostBucket::kCpr,
+                config.cost.seconds_fz_compress(recv_r.size() * sizeof(float), config.mode),
+                trace::EventKind::kCompress, recv_r.size() * sizeof(float),
+                blocks[recv_idx].bytes.size());
   }
 
   return std::move(blocks[rs_owned_block(rank, size)]);
@@ -122,10 +128,11 @@ void hzccl_reduce_scatter(Comm& comm, std::span<const float> input,
       ring_block_range(input.size(), comm.size(), rs_owned_block(comm.rank(), comm.size()));
   out_block.resize(r.size());
   fz_decompress(owned, out_block, config.host_threads);
+  const uint64_t compressed_bytes = owned.bytes.size();
   BufferPool::local().release(std::move(owned.bytes));
-  comm.clock().advance(
-      config.cost.seconds_fz_decompress(out_block.size() * sizeof(float), config.mode),
-      CostBucket::kDpr);
+  comm.charge(CostBucket::kDpr,
+              config.cost.seconds_fz_decompress(out_block.size() * sizeof(float), config.mode),
+              trace::EventKind::kDecompress, out_block.size() * sizeof(float), compressed_bytes);
 }
 
 void hzccl_allgather_compressed(Comm& comm, const CompressedBuffer& my_block,
@@ -156,24 +163,27 @@ void hzccl_allgather_compressed(Comm& comm, const CompressedBuffer& my_block,
       // A raw-fallback block must be re-encoded before the next hop so
       // downstream ranks keep receiving compressed traffic.
       blocks[recv_idx] = fz_compress(received.raw, config.fz_params(recv_r.size()), &pool);
-      comm.clock().advance(
-          config.cost.seconds_fz_compress(recv_r.size() * sizeof(float), config.mode),
-          CostBucket::kCpr);
+      comm.charge(CostBucket::kCpr,
+                  config.cost.seconds_fz_compress(recv_r.size() * sizeof(float), config.mode),
+                  trace::EventKind::kCompress, recv_r.size() * sizeof(float),
+                  blocks[recv_idx].bytes.size());
     } else {
       blocks[recv_idx] = std::move(received.compressed);
     }
   }
 
   out_full.assign(total_elements, 0.0f);
+  uint64_t compressed_bytes = 0;
   for (int b = 0; b < size; ++b) {
     const Range r = ring_block_range(total_elements, size, b);
     fz_decompress(blocks[b], std::span<float>(out_full.data() + r.begin, r.size()),
                   config.host_threads);
+    compressed_bytes += blocks[b].bytes.size();
     pool.release(std::move(blocks[b].bytes));
   }
-  comm.clock().advance(
-      config.cost.seconds_fz_decompress(total_elements * sizeof(float), config.mode),
-      CostBucket::kDpr);
+  comm.charge(CostBucket::kDpr,
+              config.cost.seconds_fz_decompress(total_elements * sizeof(float), config.mode),
+              trace::EventKind::kDecompress, total_elements * sizeof(float), compressed_bytes);
 }
 
 void hzccl_allreduce(Comm& comm, std::span<const float> input, std::vector<float>& out_full,

@@ -58,9 +58,10 @@ void ccoll_bcast(Comm& comm, std::vector<float>& data, int root,
   CompressedBuffer compressed;
   if (relative == 0) {
     compressed = fz_compress(data, config.fz_params(data.size()), &pool);
-    comm.clock().advance(
-        config.cost.seconds_fz_compress(data.size() * sizeof(float), config.mode),
-        CostBucket::kCpr);
+    comm.charge(CostBucket::kCpr,
+                config.cost.seconds_fz_compress(data.size() * sizeof(float), config.mode),
+                trace::EventKind::kCompress, data.size() * sizeof(float),
+                compressed.bytes.size());
   }
 
   int mask = 0;
@@ -86,10 +87,11 @@ void ccoll_bcast(Comm& comm, std::vector<float>& data, int root,
     data.resize(view.num_elements());
     fz_decompress(view, data, config.host_threads);
   }
+  const uint64_t compressed_bytes = compressed.bytes.size();
   pool.release(std::move(compressed.bytes));
-  comm.clock().advance(
-      config.cost.seconds_fz_decompress(data.size() * sizeof(float), config.mode),
-      CostBucket::kDpr);
+  comm.charge(CostBucket::kDpr,
+              config.cost.seconds_fz_decompress(data.size() * sizeof(float), config.mode),
+              trace::EventKind::kDecompress, data.size() * sizeof(float), compressed_bytes);
 }
 
 void raw_gather(Comm& comm, std::span<const float> mine, int root, std::vector<float>& out,

@@ -16,7 +16,8 @@ void raw_reduce_scatter(Comm& comm, std::span<const float> input, std::vector<fl
 
   // Working copy of the input: the ring accumulates in place.
   std::vector<float> acc(input.begin(), input.end());
-  comm.clock().advance(config.cost.seconds_memcpy(total * sizeof(float)), CostBucket::kOther);
+  comm.charge(CostBucket::kOther, config.cost.seconds_memcpy(total * sizeof(float)),
+              trace::EventKind::kPack, total * sizeof(float));
 
   std::vector<float> recv_buf;
   for (int step = 0; step < size - 1; ++step) {
@@ -33,9 +34,9 @@ void raw_reduce_scatter(Comm& comm, std::span<const float> input, std::vector<fl
       dst[i] = reduce_combine(config.reduce_op, dst[i], recv_buf[i]);
     }
     // MPI reduces inside the progress engine: single-threaded by design.
-    comm.clock().advance(
-        config.cost.seconds_raw_sum(recv_r.size() * sizeof(float), Mode::kSingleThread),
-        CostBucket::kCpt);
+    comm.charge(CostBucket::kCpt,
+                config.cost.seconds_raw_sum(recv_r.size() * sizeof(float), Mode::kSingleThread),
+                trace::EventKind::kReduce, recv_r.size() * sizeof(float));
   }
 
   const Range owned = ring_block_range(total, size, rs_owned_block(rank, size));
@@ -54,7 +55,8 @@ void raw_allgather(Comm& comm, std::span<const float> my_block, size_t total_ele
     throw Error("raw_allgather: my_block size does not match the owned block");
   }
   std::memcpy(out_full.data() + own.begin, my_block.data(), my_block.size_bytes());
-  comm.clock().advance(config.cost.seconds_memcpy(my_block.size_bytes()), CostBucket::kOther);
+  comm.charge(CostBucket::kOther, config.cost.seconds_memcpy(my_block.size_bytes()),
+              trace::EventKind::kPack, my_block.size_bytes());
 
   for (int step = 0; step < size - 1; ++step) {
     const Range send_r = ring_block_range(total_elements, size, ag_send_block(rank, step, size));

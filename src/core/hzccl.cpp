@@ -36,7 +36,7 @@ std::string op_name(Op op) {
 
 JobResult run_collective(Kernel kernel, Op op, const JobConfig& config,
                          const RankInputFn& rank_input) {
-  simmpi::Runtime runtime(config.nranks, config.net, config.faults);
+  simmpi::Runtime runtime(config.nranks, config.net, config.faults, config.trace);
   const coll::CollectiveConfig cc = config.collective_config(kernel_mode(kernel));
 
   JobResult result;
@@ -85,6 +85,7 @@ JobResult run_collective(Kernel kernel, Op op, const JobConfig& config,
   result.slowest = simmpi::Runtime::slowest(result.per_rank);
   result.transport_per_rank = runtime.transport_stats();
   result.transport = total_transport(result.transport_per_rank);
+  result.trace = runtime.trace();
   return result;
 }
 

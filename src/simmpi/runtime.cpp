@@ -75,8 +75,16 @@ void Comm::maybe_stall(FaultKind kind) {
   const FaultPlan& plan = runtime_->faults();
   if (plan.stall <= 0.0) return;
   if (fault_roll(plan.seed, kind, rank_, rank_, stall_counter_++) < plan.stall) {
+    const double t0 = clock_.now();
     clock_.advance(plan.stall_seconds, CostBucket::kMpi);
     ++transport_.stalls;
+    if (trace_.enabled()) {
+      trace::Event e;
+      e.t0 = t0;
+      e.t1 = clock_.now();
+      e.kind = trace::EventKind::kStall;
+      trace_.record(e);
+    }
   }
 }
 
@@ -85,9 +93,22 @@ void Comm::send(int dst, int tag, std::span<const uint8_t> payload) {
   maybe_stall(FaultKind::kStallSend);
   // Eager protocol: the sender only pays injection latency; the transfer
   // itself is accounted at the receiver against the send timestamp.
+  const uint64_t seq = send_seq_[static_cast<size_t>(dst)];
+  const double t0 = clock_.now();
   clock_.advance(runtime_->net().latency_s, CostBucket::kMpi);
   bytes_sent_ += payload.size();
   runtime_->transmit(*this, dst, tag, payload);
+  if (trace_.enabled()) {
+    trace::Event e;
+    e.t0 = t0;
+    e.t1 = clock_.now();
+    e.seq = seq;
+    e.bytes = payload.size();
+    e.peer = dst;
+    e.tag = tag;
+    e.kind = trace::EventKind::kSend;
+    trace_.record(e);
+  }
 }
 
 std::vector<uint8_t> Comm::recv(int src, int tag) {
@@ -118,7 +139,22 @@ std::vector<uint8_t> Comm::refetch(int src, int tag, Refetch mode, size_t raw_by
 
 void Comm::barrier() {
   runtime_->flush_limbo(*this);
-  runtime_->barrier_wait(clock_);
+  runtime_->barrier_wait(*this);
+}
+
+void Comm::charge(CostBucket bucket, double seconds, trace::EventKind kind, uint64_t bytes,
+                  uint64_t bytes_out) {
+  const double t0 = clock_.now();
+  clock_.advance(seconds, bucket);
+  if (trace_.enabled() && seconds > 0.0) {
+    trace::Event e;
+    e.t0 = t0;
+    e.t1 = clock_.now();
+    e.bytes = bytes;
+    e.bytes_out = bytes_out;
+    e.kind = kind;
+    trace_.record(e);
+  }
 }
 
 void Comm::send_floats(int dst, int tag, std::span<const float> data) {
@@ -133,8 +169,8 @@ void Comm::recv_floats_into(int src, int tag, std::span<float> out) {
 // Runtime
 // ---------------------------------------------------------------------------
 
-Runtime::Runtime(int nranks, NetModel net, FaultPlan faults)
-    : nranks_(nranks), net_(net), faults_(faults) {
+Runtime::Runtime(int nranks, NetModel net, FaultPlan faults, trace::Options trace_opts)
+    : nranks_(nranks), net_(net), faults_(faults), trace_opts_(trace_opts) {
   if (nranks <= 0) throw hzccl::Error("Runtime: rank count must be positive");
   mailboxes_.reserve(static_cast<size_t>(nranks));
   for (int i = 0; i < nranks; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
@@ -294,8 +330,21 @@ std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
       mangle_payload(payload);
     }
     const size_t frame_bytes = sizeof(FrameHeader) + payload.size();
+    const double t0 = receiver.clock_.now();
     receiver.clock_.advance_to(start_time + net_.retransmit_seconds(frame_bytes, nranks_),
                                CostBucket::kMpi);
+    if (receiver.trace_.enabled()) {
+      trace::Event ev;
+      ev.t0 = t0;
+      ev.t1 = receiver.clock_.now();
+      ev.seq = e.seq;
+      ev.bytes = payload.size();
+      ev.peer = src;
+      ev.tag = tag;
+      ev.kind = trace::EventKind::kRetransmit;
+      ev.aux = trace::kAuxRetransmit;
+      receiver.trace_.record(ev);
+    }
     accepted.insert(e.seq);
     ++receiver.transport_.frames_accepted;
     const uint64_t keep_seq = e.seq;
@@ -316,7 +365,19 @@ std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
     for (auto dup = box.messages.begin(); dup != box.messages.end();) {
       if (dup->src == src && accepted.count(dup->seq)) {
         ++receiver.transport_.duplicate_discards;
+        const double t0 = receiver.clock_.now();
         receiver.clock_.advance(net_.latency_s, CostBucket::kMpi);
+        if (receiver.trace_.enabled()) {
+          trace::Event ev;
+          ev.t0 = t0;
+          ev.t1 = receiver.clock_.now();
+          ev.seq = dup->seq;
+          ev.bytes = dup->frame.size();
+          ev.peer = src;
+          ev.tag = dup->tag;
+          ev.kind = trace::EventKind::kDiscard;
+          receiver.trace_.record(ev);
+        }
         dup = box.messages.erase(dup);
       } else {
         ++dup;
@@ -335,17 +396,53 @@ std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
         // A duplicate (possibly also corrupted) of something already
         // consumed: discard after the header sniff.
         ++receiver.transport_.duplicate_discards;
+        const double t0 = receiver.clock_.now();
         receiver.clock_.advance(net_.latency_s, CostBucket::kMpi);
+        if (receiver.trace_.enabled()) {
+          trace::Event ev;
+          ev.t0 = t0;
+          ev.t1 = receiver.clock_.now();
+          ev.seq = msg.seq;
+          ev.bytes = msg.frame.size();
+          ev.peer = src;
+          ev.tag = msg.tag;
+          ev.kind = trace::EventKind::kDiscard;
+          receiver.trace_.record(ev);
+        }
         continue;
       }
 
       if (frame.valid) {
         accepted.insert(frame.seq);
         ++receiver.transport_.frames_accepted;
-        const double ready = std::max(receiver.clock_.now(), msg.send_vtime) +
-                             net_.transfer_seconds(msg.frame.size(), nranks_);
+        // Partition the advance into a wait-for-the-sender span (idle) and a
+        // wire-transfer span (comm) so the trace attributes slack correctly.
+        const double t_enter = receiver.clock_.now();
+        const double data_ready = std::max(t_enter, msg.send_vtime);
+        const double ready = data_ready + net_.transfer_seconds(msg.frame.size(), nranks_);
         receiver.clock_.advance_to(ready, CostBucket::kMpi);
         std::vector<uint8_t> payload(frame.payload.begin(), frame.payload.end());
+        if (receiver.trace_.enabled()) {
+          if (data_ready > t_enter) {
+            trace::Event w;
+            w.t0 = t_enter;
+            w.t1 = data_ready;
+            w.seq = msg.seq;
+            w.peer = src;
+            w.tag = msg.tag;
+            w.kind = trace::EventKind::kWait;
+            receiver.trace_.record(w);
+          }
+          trace::Event ev;
+          ev.t0 = data_ready;
+          ev.t1 = receiver.clock_.now();
+          ev.seq = msg.seq;
+          ev.bytes = payload.size();
+          ev.peer = src;
+          ev.tag = msg.tag;
+          ev.kind = trace::EventKind::kRecv;
+          receiver.trace_.record(ev);
+        }
         if (faults_.enabled()) {
           const uint64_t keep_seq = msg.seq;
           std::erase_if(box.window, [&](const WindowEntry& w) {
@@ -421,6 +518,20 @@ std::vector<uint8_t> Runtime::refetch(Comm& receiver, int src, int tag, Comm::Re
                        " tag " + std::to_string(tag) + " in the in-flight window");
   }
 
+  const auto record_refetch = [&](double t0, uint64_t bytes, uint8_t aux) {
+    if (!receiver.trace_.enabled()) return;
+    trace::Event ev;
+    ev.t0 = t0;
+    ev.t1 = receiver.clock_.now();
+    ev.seq = entry->seq;
+    ev.bytes = bytes;
+    ev.peer = src;
+    ev.tag = tag;
+    ev.kind = trace::EventKind::kRetransmit;
+    ev.aux = aux;
+    receiver.trace_.record(ev);
+  };
+
   if (mode == Comm::Refetch::kRetransmit) {
     ++entry->attempts;
     ++receiver.transport_.retransmits;
@@ -431,7 +542,9 @@ std::vector<uint8_t> Runtime::refetch(Comm& receiver, int src, int tag, Comm::Re
       mangle_payload(payload);
     }
     const size_t frame_bytes = sizeof(FrameHeader) + payload.size();
+    const double t0 = receiver.clock_.now();
     receiver.clock_.advance(net_.retransmit_seconds(frame_bytes, nranks_), CostBucket::kMpi);
+    record_refetch(t0, payload.size(), trace::kAuxRetransmit);
     return payload;
   }
 
@@ -440,11 +553,15 @@ std::vector<uint8_t> Runtime::refetch(Comm& receiver, int src, int tag, Comm::Re
   // pristine payload; the caller models the sender-side decode.
   ++receiver.transport_.raw_fallbacks;
   const size_t raw_bytes = raw_bytes_hint != 0 ? raw_bytes_hint : entry->pristine.size();
+  const double t0 = receiver.clock_.now();
   receiver.clock_.advance(net_.retransmit_seconds(raw_bytes, nranks_), CostBucket::kMpi);
+  record_refetch(t0, entry->pristine.size(), trace::kAuxRawFallback);
   return entry->pristine;
 }
 
-void Runtime::barrier_wait(VirtualClock& clock) {
+void Runtime::barrier_wait(Comm& comm) {
+  VirtualClock& clock = comm.clock_;
+  const double t0 = clock.now();
   std::unique_lock<std::mutex> lock(barrier_mutex_);
   const uint64_t my_generation = barrier_generation_;
   barrier_max_time_ = std::max(barrier_max_time_, clock.now());
@@ -468,11 +585,20 @@ void Runtime::barrier_wait(VirtualClock& clock) {
     }
   }
   clock.advance_to(barrier_release_time_, CostBucket::kMpi);
+  if (comm.trace_.enabled() && clock.now() > t0) {
+    trace::Event e;
+    e.t0 = t0;
+    e.t1 = clock.now();
+    e.kind = trace::EventKind::kWait;
+    comm.trace_.record(e);
+  }
 }
 
 std::vector<ClockReport> Runtime::run(const RankFn& fn) {
   std::vector<ClockReport> reports(static_cast<size_t>(nranks_));
   std::vector<hzccl::TransportStats> transport(static_cast<size_t>(nranks_));
+  std::vector<std::vector<trace::Event>> streams(static_cast<size_t>(nranks_));
+  std::vector<uint64_t> dropped(static_cast<size_t>(nranks_), 0);
   std::vector<std::exception_ptr> errors(static_cast<size_t>(nranks_));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(nranks_));
@@ -480,6 +606,11 @@ std::vector<ClockReport> Runtime::run(const RankFn& fn) {
   for (int r = 0; r < nranks_; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(this, r, nranks_);
+      if (trace_opts_.enabled) {
+        // Ring storage comes from this rank's thread-local pool: the one
+        // allocation tracing ever makes, recycled across runs.
+        comm.trace_.enable(trace_opts_.capacity, BufferPool::local());
+      }
       try {
         fn(comm);
         // A returning rank drains its NIC: any reorder-held frame is
@@ -501,6 +632,11 @@ std::vector<ClockReport> Runtime::run(const RankFn& fn) {
       }
       reports[static_cast<size_t>(r)] = comm.clock().report();
       transport[static_cast<size_t>(r)] = comm.transport();
+      if (trace_opts_.enabled) {
+        streams[static_cast<size_t>(r)] = comm.trace_.snapshot();
+        dropped[static_cast<size_t>(r)] = comm.trace_.dropped();
+        comm.trace_.disable(BufferPool::local());
+      }
     });
   }
   for (auto& t : threads) t.join();
@@ -513,6 +649,11 @@ std::vector<ClockReport> Runtime::run(const RankFn& fn) {
   }
   aborted_.store(false, std::memory_order_release);
   transport_stats_ = std::move(transport);
+  trace_ = trace::Trace{};
+  if (trace_opts_.enabled) {
+    trace_.ranks = std::move(streams);
+    for (const uint64_t d : dropped) trace_.dropped_events += d;
+  }
 
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);

@@ -1,0 +1,329 @@
+#include "hzccl/trace/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "hzccl/util/bytes.hpp"
+#include "hzccl/util/error.hpp"
+
+namespace hzccl::trace {
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+std::string to_chrome_json(const Trace& trace) {
+  std::string out;
+  out.reserve(trace.total_events() * 160 + 64);
+  out += "{\"traceEvents\":[";
+  char buf[288];
+  bool first = true;
+  for (size_t rank = 0; rank < trace.ranks.size(); ++rank) {
+    for (const Event& e : trace.ranks[rank]) {
+      const int n = std::snprintf(
+          buf, sizeof(buf),
+          "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.6f,\"dur\":%.6f,"
+          "\"pid\":0,\"tid\":%zu,\"args\":{\"peer\":%d,\"tag\":%d,\"seq\":%llu,"
+          "\"bytes\":%llu,\"bytes_out\":%llu,\"aux\":%u}}",
+          first ? "" : ",", kind_name(e.kind).c_str(),
+          kind_is_transport(e.kind) ? "transport" : "compute", e.t0 * 1e6, e.duration() * 1e6,
+          rank, e.peer, e.tag, static_cast<unsigned long long>(e.seq),
+          static_cast<unsigned long long>(e.bytes), static_cast<unsigned long long>(e.bytes_out),
+          static_cast<unsigned>(e.aux));
+      if (n < 0 || static_cast<size_t>(n) >= sizeof(buf)) {
+        throw Error("to_chrome_json: event formatting overflow");
+      }
+      out.append(buf, static_cast<size_t>(n));
+      first = false;
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parse / check: a minimal JSON reader over the bounds-checked ByteReader.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::span<const uint8_t> bytes) : r_(bytes, "chrome trace json") {}
+
+  /// Parse one complete JSON document and return the captured traceEvents.
+  std::vector<ParsedSpan> parse_document() {
+    skip_ws();
+    if (peek() != '{') throw ParseError("chrome trace json: document must be an object");
+    parse_object(/*depth=*/0, /*top_level=*/true);
+    skip_ws();
+    if (!r_.empty()) throw ParseError("chrome trace json: trailing bytes after document");
+    if (!saw_trace_events_) throw ParseError("chrome trace json: no traceEvents array");
+    return std::move(events_);
+  }
+
+ private:
+  void skip_ws() {
+    while (r_.remaining() > 0) {
+      const uint8_t c = r_.peek("whitespace");
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        r_.skip(1, "whitespace");
+      } else {
+        return;
+      }
+    }
+  }
+
+  uint8_t peek() const { return r_.peek("json value"); }
+
+  uint8_t take() { return r_.read<uint8_t>("json byte"); }
+
+  void expect(char c, const char* where) {
+    if (take() != static_cast<uint8_t>(c)) {
+      throw ParseError(std::string("chrome trace json: expected '") + c + "' in " + where);
+    }
+  }
+
+  std::string parse_string() {
+    expect('"', "string");
+    std::string out;
+    for (;;) {
+      const uint8_t c = take();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const uint8_t esc = take();
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i) {
+              const uint8_t h = take();
+              const bool hex = (h >= '0' && h <= '9') || (h >= 'a' && h <= 'f') ||
+                               (h >= 'A' && h <= 'F');
+              if (!hex) throw ParseError("chrome trace json: bad \\u escape");
+            }
+            out += '?';  // code point not needed by the checker
+            break;
+          }
+          default: throw ParseError("chrome trace json: bad escape character");
+        }
+      } else if (c < 0x20) {
+        throw ParseError("chrome trace json: raw control character in string");
+      } else {
+        out += static_cast<char>(c);
+      }
+    }
+  }
+
+  double parse_number() {
+    std::string token;
+    while (r_.remaining() > 0) {
+      const uint8_t c = peek();
+      const bool numeric = (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+                           c == 'e' || c == 'E';
+      if (!numeric) break;
+      token += static_cast<char>(take());
+    }
+    if (token.empty()) throw ParseError("chrome trace json: expected a number");
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      throw ParseError("chrome trace json: malformed number '" + token + "'");
+    }
+    return value;
+  }
+
+  void parse_literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (take() != static_cast<uint8_t>(*p)) {
+        throw ParseError(std::string("chrome trace json: bad literal (expected ") + word + ")");
+      }
+    }
+  }
+
+  /// Parse and discard any JSON value.
+  void parse_value(int depth) {
+    if (depth > kMaxDepth) throw ParseError("chrome trace json: nesting too deep");
+    skip_ws();
+    const uint8_t c = peek();
+    if (c == '{') {
+      parse_object(depth, /*top_level=*/false);
+    } else if (c == '[') {
+      parse_array(depth, /*is_trace_events=*/false);
+    } else if (c == '"') {
+      parse_string();
+    } else if (c == 't') {
+      parse_literal("true");
+    } else if (c == 'f') {
+      parse_literal("false");
+    } else if (c == 'n') {
+      parse_literal("null");
+    } else {
+      parse_number();
+    }
+  }
+
+  void parse_object(int depth, bool top_level) {
+    expect('{', "object");
+    skip_ws();
+    if (peek() == '}') {
+      take();
+      return;
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':', "object");
+      skip_ws();
+      if (top_level && key == "traceEvents") {
+        if (peek() != '[') throw ParseError("chrome trace json: traceEvents must be an array");
+        saw_trace_events_ = true;
+        parse_array(depth + 1, /*is_trace_events=*/true);
+      } else {
+        parse_value(depth + 1);
+      }
+      skip_ws();
+      const uint8_t c = take();
+      if (c == '}') return;
+      if (c != ',') throw ParseError("chrome trace json: expected ',' or '}' in object");
+    }
+  }
+
+  void parse_array(int depth, bool is_trace_events) {
+    expect('[', "array");
+    skip_ws();
+    if (peek() == ']') {
+      take();
+      return;
+    }
+    for (;;) {
+      skip_ws();
+      if (is_trace_events) {
+        parse_event_object(depth + 1);
+      } else {
+        parse_value(depth + 1);
+      }
+      skip_ws();
+      const uint8_t c = take();
+      if (c == ']') return;
+      if (c != ',') throw ParseError("chrome trace json: expected ',' or ']' in array");
+    }
+  }
+
+  /// An element of traceEvents: a generic object whose scalar fields of
+  /// interest (name/ph/ts/dur/pid/tid) are captured into a ParsedSpan.
+  void parse_event_object(int depth) {
+    if (peek() != '{') throw ParseError("chrome trace json: traceEvents entry must be an object");
+    ParsedSpan span;
+    expect('{', "event");
+    skip_ws();
+    if (peek() == '}') {
+      take();
+      events_.push_back(std::move(span));
+      return;
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':', "event");
+      skip_ws();
+      if (key == "name") {
+        span.name = parse_string();
+      } else if (key == "ph") {
+        span.ph = parse_string();
+      } else if (key == "ts") {
+        span.ts = parse_number();
+        span.has_ts = true;
+      } else if (key == "dur") {
+        span.dur = parse_number();
+        span.has_dur = true;
+      } else if (key == "pid") {
+        span.pid = static_cast<int64_t>(parse_number());
+        span.has_pid = true;
+      } else if (key == "tid") {
+        span.tid = static_cast<int64_t>(parse_number());
+        span.has_tid = true;
+      } else {
+        parse_value(depth + 1);
+      }
+      skip_ws();
+      const uint8_t c = take();
+      if (c == '}') break;
+      if (c != ',') throw ParseError("chrome trace json: expected ',' or '}' in event");
+    }
+    events_.push_back(std::move(span));
+  }
+
+  ByteReader r_;
+  std::vector<ParsedSpan> events_;
+  bool saw_trace_events_ = false;
+};
+
+}  // namespace
+
+std::vector<ParsedSpan> parse_chrome_trace(std::span<const uint8_t> json) {
+  JsonReader reader(json);
+  return reader.parse_document();
+}
+
+CheckReport check_chrome_json(std::span<const uint8_t> json) {
+  CheckReport report;
+  std::vector<ParsedSpan> spans;
+  try {
+    spans = parse_chrome_trace(json);
+  } catch (const Error& e) {
+    report.error = e.what();
+    return report;
+  }
+  report.events = spans.size();
+
+  // Required fields and per-tid nesting: complete events on one thread must
+  // be sorted by start and end before the next begins (slack of 1 ns of
+  // virtual time absorbs the exporter's fixed-precision rounding).
+  std::map<int64_t, double> last_end_us;
+  constexpr double kSlackUs = 1e-3;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const ParsedSpan& s = spans[i];
+    const std::string at = "event " + std::to_string(i);
+    if (s.ph.empty()) {
+      report.error = at + ": missing ph";
+      return report;
+    }
+    if (!s.has_ts || !s.has_pid || !s.has_tid) {
+      report.error = at + ": missing required ts/pid/tid field";
+      return report;
+    }
+    if (s.ph == "X") {
+      if (!s.has_dur || s.dur < 0.0) {
+        report.error = at + ": complete event without a non-negative dur";
+        return report;
+      }
+      auto [it, inserted] = last_end_us.try_emplace(s.tid, 0.0);
+      if (!inserted) {
+        if (s.ts + kSlackUs < it->second) {
+          report.error = at + ": span overlaps the previous span on tid " +
+                         std::to_string(s.tid);
+          return report;
+        }
+      }
+      it->second = std::max(it->second, s.ts + s.dur);
+      report.max_tid = std::max(report.max_tid, s.tid);
+    }
+  }
+  report.valid = true;
+  return report;
+}
+
+}  // namespace hzccl::trace

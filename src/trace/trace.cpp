@@ -1,0 +1,124 @@
+#include "hzccl/trace/trace.hpp"
+
+#include <algorithm>
+
+#include "hzccl/util/error.hpp"
+
+namespace hzccl::trace {
+
+std::string kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kCompress: return "compress";
+    case EventKind::kDecompress: return "decompress";
+    case EventKind::kHomReduce: return "hom_reduce";
+    case EventKind::kReduce: return "reduce";
+    case EventKind::kPack: return "pack";
+    case EventKind::kSend: return "send";
+    case EventKind::kRecv: return "recv";
+    case EventKind::kWait: return "wait";
+    case EventKind::kRetransmit: return "retransmit";
+    case EventKind::kStall: return "stall";
+    case EventKind::kDiscard: return "discard";
+  }
+  return "?";
+}
+
+bool kind_is_transport(EventKind k) {
+  return static_cast<uint8_t>(k) >= static_cast<uint8_t>(EventKind::kSend);
+}
+
+#if !defined(HZCCL_TRACE_DISABLED)
+
+void Recorder::enable(uint32_t capacity, BufferPool& pool) {
+  if (capacity == 0) throw Error("trace::Recorder: capacity must be positive");
+  if (capacity_ != 0) throw Error("trace::Recorder: already enabled");
+  ring_ = pool.acquire(static_cast<size_t>(capacity) * sizeof(Event));
+  ring_.resize(static_cast<size_t>(capacity) * sizeof(Event));
+  head_ = 0;
+  capacity_ = capacity;
+}
+
+void Recorder::disable(BufferPool& pool) {
+  if (capacity_ == 0) return;
+  pool.release(std::move(ring_));
+  ring_ = {};
+  head_ = 0;
+  capacity_ = 0;
+}
+
+#endif  // !HZCCL_TRACE_DISABLED
+
+std::vector<Event> Recorder::snapshot() const {
+  const uint64_t kept = std::min<uint64_t>(head_, capacity_);
+  std::vector<Event> out(static_cast<size_t>(kept));
+  const uint64_t start = head_ - kept;
+  for (uint64_t i = 0; i < kept; ++i) {
+    const size_t slot = static_cast<size_t>((start + i) % capacity_) * sizeof(Event);
+    std::memcpy(out.data() + i, ring_.data() + slot, sizeof(Event));
+  }
+  return out;
+}
+
+size_t Trace::total_events() const {
+  size_t n = 0;
+  for (const auto& r : ranks) n += r.size();
+  return n;
+}
+
+Breakdown aggregate(const Trace& trace) {
+  Breakdown b;
+  b.per_rank.reserve(trace.ranks.size());
+  for (const auto& events : trace.ranks) {
+    RankPhases p;
+    for (const Event& e : events) {
+      const double dt = e.duration();
+      switch (e.kind) {
+        case EventKind::kCompress: p.cpr += dt; break;
+        case EventKind::kDecompress: p.dpr += dt; break;
+        case EventKind::kHomReduce: p.hpr += dt; break;
+        case EventKind::kReduce: p.cpt += dt; break;
+        case EventKind::kPack: p.pack += dt; break;
+        case EventKind::kSend:
+          p.comm += dt;
+          p.bytes_sent += e.bytes;
+          break;
+        case EventKind::kRecv:
+        case EventKind::kRetransmit:
+        case EventKind::kDiscard: p.comm += dt; break;
+        case EventKind::kWait:
+        case EventKind::kStall: p.idle += dt; break;
+      }
+      if (!kind_is_transport(e.kind)) {
+        p.bytes_uncompressed += e.bytes;
+        p.bytes_compressed += e.bytes_out;
+      }
+      ++p.events;
+      p.total = std::max(p.total, e.t1);
+    }
+    b.per_rank.push_back(p);
+  }
+  for (const RankPhases& p : b.per_rank) {
+    if (p.total > b.slowest.total) b.slowest = p;
+    b.totals.cpr += p.cpr;
+    b.totals.dpr += p.dpr;
+    b.totals.hpr += p.hpr;
+    b.totals.cpt += p.cpt;
+    b.totals.pack += p.pack;
+    b.totals.comm += p.comm;
+    b.totals.idle += p.idle;
+    b.totals.events += p.events;
+    b.totals.bytes_sent += p.bytes_sent;
+    b.totals.bytes_uncompressed += p.bytes_uncompressed;
+    b.totals.bytes_compressed += p.bytes_compressed;
+    b.totals.total = std::max(b.totals.total, p.total);
+  }
+  return b;
+}
+
+std::array<uint64_t, kNumEventKinds> count_kinds(const std::vector<Event>& events) {
+  std::array<uint64_t, kNumEventKinds> counts{};
+  for (const Event& e : events) ++counts[static_cast<size_t>(e.kind)];
+  return counts;
+}
+
+}  // namespace hzccl::trace

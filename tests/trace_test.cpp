@@ -1,0 +1,576 @@
+// Trace tier: the virtual-clock event stream as a test oracle.
+//
+// Five layers of coverage (see docs/ANALYSIS.md, "Observability"):
+//   1. Recorder mechanics: pooled ring storage, wrap-around, zero
+//      steady-state allocation, disabled no-op.
+//   2. Trace invariants over a collective × kernel × rank-count sweep, on a
+//      clean fabric and under a seeded FaultPlan: monotone non-overlapping
+//      per-rank spans, exact per-bucket reconciliation against ClockReport,
+//      exact TransportStats reconciliation against event counts, and
+//      per-channel byte conservation between senders and receivers.
+//   3. Golden determinism: the exported Chrome-trace JSON is byte-identical
+//      across runs from the same seed, and matches a checked-in golden file
+//      (regenerate with HZCCL_UPDATE_GOLDEN=1).
+//   4. Exporter validity: generated JSON round-trips through the
+//      ByteReader-based parser behind `hzcclc trace --check`; malformed
+//      documents are rejected.
+//   5. Aggregation: the Fig-2-style phase breakdown accounts for the whole
+//      virtual timeline (within 1%) on every rank.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "hzccl/collectives/algorithms.hpp"
+#include "hzccl/collectives/movement.hpp"
+#include "hzccl/core/hzccl.hpp"
+#include "hzccl/trace/export.hpp"
+#include "hzccl/trace/trace.hpp"
+#include "hzccl/util/error.hpp"
+#include "hzccl/util/pool.hpp"
+
+#ifndef HZCCL_TEST_DATA_DIR
+#define HZCCL_TEST_DATA_DIR "."
+#endif
+
+namespace hzccl {
+namespace {
+
+using simmpi::CostBucket;
+using simmpi::FaultPlan;
+using simmpi::NetModel;
+using simmpi::Runtime;
+
+std::span<const uint8_t> bytes_of_string(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+/// Deterministic synthetic member fields: smooth + rank offset, so compressed
+/// kernels see realistic block structure without dataset machinery.
+RankInputFn ramp_inputs(size_t elements) {
+  return [elements](int rank) {
+    std::vector<float> v(elements);
+    for (size_t i = 0; i < elements; ++i) {
+      v[i] = std::sin(0.002f * static_cast<float>(i)) +
+             0.125f * static_cast<float>(rank) * std::cos(0.001f * static_cast<float>(i));
+    }
+    return v;
+  };
+}
+
+FaultPlan chaos_plan(uint64_t seed, bool with_mangle) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.drop = 0.05;
+  plan.corrupt = 0.03;
+  plan.reorder = 0.08;
+  plan.duplicate = 0.05;
+  plan.stall = 0.05;
+  // Sender-side scribbling is only recoverable when the payload has a decode
+  // layer (compressed kernels); raw floats would silently carry the damage.
+  if (with_mangle) plan.mangle = 0.05;
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// 1. Recorder mechanics
+// ---------------------------------------------------------------------------
+
+TEST(Recorder, StartsDisabledAndIgnoresRecords) {
+  trace::Recorder rec;
+  EXPECT_FALSE(rec.enabled());
+  rec.record(trace::Event{});  // must be a no-op, not a crash
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST(Recorder, RingWrapKeepsTheNewestEvents) {
+  BufferPool pool;
+  trace::Recorder rec;
+  rec.enable(8, pool);
+  ASSERT_TRUE(rec.enabled());
+  for (int i = 0; i < 20; ++i) {
+    trace::Event e;
+    e.t0 = static_cast<double>(i);
+    e.t1 = static_cast<double>(i) + 0.5;
+    e.seq = static_cast<uint64_t>(i);
+    rec.record(e);
+  }
+  EXPECT_EQ(rec.recorded(), 20u);
+  EXPECT_EQ(rec.dropped(), 12u);
+  const std::vector<trace::Event> snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  for (size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].seq, 12u + i);  // oldest first
+  }
+  rec.disable(pool);
+  EXPECT_FALSE(rec.enabled());
+}
+
+TEST(Recorder, SteadyStateRecordingDoesNotTouchTheHeap) {
+  BufferPool pool;
+  trace::Recorder rec;
+  rec.enable(1u << 10, pool);  // the one (pooled) allocation tracing makes
+  const uint64_t before = pool_heap_allocations();
+  trace::Event e;
+  for (int i = 0; i < 5000; ++i) {  // wraps the ring several times
+    e.t0 = static_cast<double>(i);
+    e.t1 = e.t0 + 1.0;
+    rec.record(e);
+  }
+  EXPECT_EQ(pool_heap_allocations(), before) << "record() must never allocate";
+  EXPECT_EQ(rec.recorded(), 5000u);
+  rec.disable(pool);
+
+  // Re-enabling reuses the parked ring buffer: still no fresh heap block.
+  rec.enable(1u << 10, pool);
+  EXPECT_EQ(pool_heap_allocations(), before);
+  rec.disable(pool);
+}
+
+TEST(Recorder, RejectsZeroCapacityAndDoubleEnable) {
+  BufferPool pool;
+  trace::Recorder rec;
+  EXPECT_THROW(rec.enable(0, pool), Error);
+  rec.enable(16, pool);
+  EXPECT_THROW(rec.enable(16, pool), Error);
+  rec.disable(pool);
+}
+
+TEST(Trace, DisabledRuntimeProducesAnEmptyTrace) {
+  JobConfig config;
+  config.nranks = 4;
+  config.abs_error_bound = 1e-3;
+  const JobResult r = run_collective(Kernel::kMpi, Op::kAllreduce, config, ramp_inputs(256));
+  EXPECT_TRUE(r.trace.empty());
+  EXPECT_EQ(r.trace.total_events(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Trace invariants over the collective stacks
+// ---------------------------------------------------------------------------
+
+/// Every structural property a correct trace must have, checked against the
+/// job's clock reports and transport counters.
+void check_trace_invariants(const JobResult& result, int nranks) {
+  const trace::Trace& t = result.trace;
+  ASSERT_EQ(t.ranks.size(), static_cast<size_t>(nranks));
+  EXPECT_EQ(t.dropped_events, 0u) << "ring capacity too small for this sweep";
+  ASSERT_EQ(result.per_rank.size(), static_cast<size_t>(nranks));
+  ASSERT_EQ(result.transport_per_rank.size(), static_cast<size_t>(nranks));
+
+  // (src, dst, seq) -> payload bytes of the sender's kSend event.
+  std::map<std::tuple<int, int, uint64_t>, uint64_t> sends;
+  for (int r = 0; r < nranks; ++r) {
+    for (const trace::Event& e : t.ranks[static_cast<size_t>(r)]) {
+      if (e.kind == trace::EventKind::kSend) {
+        const auto [it, inserted] = sends.emplace(std::make_tuple(r, e.peer, e.seq), e.bytes);
+        EXPECT_TRUE(inserted) << "duplicate send seq " << e.seq << " on link " << r << "->"
+                              << e.peer;
+      }
+    }
+  }
+
+  for (int r = 0; r < nranks; ++r) {
+    const std::vector<trace::Event>& events = t.ranks[static_cast<size_t>(r)];
+    const simmpi::ClockReport& report = result.per_rank[static_cast<size_t>(r)];
+    const TransportStats& stats = result.transport_per_rank[static_cast<size_t>(r)];
+
+    // Monotone, non-overlapping spans: each event starts no earlier than the
+    // previous one ended (events partition the rank's virtual timeline).
+    double prev_end = 0.0;
+    for (const trace::Event& e : events) {
+      EXPECT_LE(e.t0, e.t1);
+      EXPECT_GE(e.t0, prev_end) << "overlapping spans on rank " << r;
+      prev_end = e.t1;
+      if (trace::kind_is_transport(e.kind)) {
+        if (e.kind != trace::EventKind::kStall) {
+          EXPECT_GE(e.peer, -1);
+          EXPECT_LT(e.peer, nranks);
+        }
+      } else {
+        EXPECT_EQ(e.peer, -1) << "compute events carry no peer";
+      }
+    }
+    EXPECT_LE(prev_end, report.total_seconds + 1e-12);
+
+    // Exact per-bucket reconciliation: the typed spans must re-derive every
+    // ClockReport bucket (tolerance = double accumulation order only).
+    std::array<double, simmpi::kNumBuckets> bucket{};
+    for (const trace::Event& e : events) {
+      switch (e.kind) {
+        case trace::EventKind::kCompress: bucket[1] += e.duration(); break;
+        case trace::EventKind::kDecompress: bucket[2] += e.duration(); break;
+        case trace::EventKind::kHomReduce: bucket[4] += e.duration(); break;
+        case trace::EventKind::kReduce: bucket[3] += e.duration(); break;
+        case trace::EventKind::kPack: bucket[5] += e.duration(); break;
+        default: bucket[0] += e.duration(); break;  // all transport kinds -> kMpi
+      }
+    }
+    const double eps = 1e-9 + 1e-9 * report.total_seconds;
+    EXPECT_NEAR(bucket[0], report[CostBucket::kMpi], eps) << "rank " << r;
+    EXPECT_NEAR(bucket[1], report[CostBucket::kCpr], eps) << "rank " << r;
+    EXPECT_NEAR(bucket[2], report[CostBucket::kDpr], eps) << "rank " << r;
+    EXPECT_NEAR(bucket[3], report[CostBucket::kCpt], eps) << "rank " << r;
+    EXPECT_NEAR(bucket[4], report[CostBucket::kHpr], eps) << "rank " << r;
+    EXPECT_NEAR(bucket[5], report[CostBucket::kOther], eps) << "rank " << r;
+
+    // Exact TransportStats reconciliation against typed event counts.
+    const auto counts = trace::count_kinds(events);
+    uint64_t retx = 0, raw = 0;
+    for (const trace::Event& e : events) {
+      if (e.kind != trace::EventKind::kRetransmit) continue;
+      (e.aux == trace::kAuxRetransmit ? retx : raw) += 1;
+    }
+    EXPECT_EQ(stats.frames_sent, counts[static_cast<size_t>(trace::EventKind::kSend)]);
+    EXPECT_EQ(stats.stalls, counts[static_cast<size_t>(trace::EventKind::kStall)]);
+    EXPECT_EQ(stats.duplicate_discards,
+              counts[static_cast<size_t>(trace::EventKind::kDiscard)]);
+    EXPECT_EQ(stats.retransmits, retx) << "rank " << r;
+    EXPECT_EQ(stats.raw_fallbacks, raw) << "rank " << r;
+
+    // Byte conservation: every accepted payload (first delivery or recovery)
+    // matches its sender's kSend event in link, sequence and size — drops,
+    // duplicates and corruption never change what ultimately arrives.
+    for (const trace::Event& e : events) {
+      if (e.kind != trace::EventKind::kRecv && e.kind != trace::EventKind::kRetransmit) {
+        continue;
+      }
+      const auto it = sends.find(std::make_tuple(e.peer, r, e.seq));
+      ASSERT_NE(it, sends.end())
+          << "rank " << r << " accepted seq " << e.seq << " from " << e.peer
+          << " with no matching send event";
+      EXPECT_EQ(it->second, e.bytes)
+          << "payload size changed on link " << e.peer << "->" << r << " seq " << e.seq;
+    }
+  }
+}
+
+/// On a clean fabric the channel accounting is 1:1: every send is accepted
+/// exactly once and no recovery machinery fires.
+void check_clean_channel_counts(const JobResult& result, int nranks) {
+  uint64_t sends = 0, recvs = 0;
+  std::set<std::tuple<int, int, uint64_t>> accepted;
+  for (int r = 0; r < nranks; ++r) {
+    for (const trace::Event& e : result.trace.ranks[static_cast<size_t>(r)]) {
+      EXPECT_NE(e.kind, trace::EventKind::kRetransmit);
+      EXPECT_NE(e.kind, trace::EventKind::kStall);
+      EXPECT_NE(e.kind, trace::EventKind::kDiscard);
+      if (e.kind == trace::EventKind::kSend) ++sends;
+      if (e.kind == trace::EventKind::kRecv) {
+        ++recvs;
+        EXPECT_TRUE(accepted.insert(std::make_tuple(e.peer, r, e.seq)).second);
+      }
+    }
+  }
+  EXPECT_EQ(sends, recvs);
+  EXPECT_EQ(result.transport.frames_sent, sends);
+}
+
+struct TraceCase {
+  Kernel kernel;
+  Op op;
+  int nranks;
+  bool faults;
+};
+
+class TraceSweepTest : public ::testing::TestWithParam<TraceCase> {};
+
+TEST_P(TraceSweepTest, InvariantsHold) {
+  const TraceCase c = GetParam();
+  JobConfig config;
+  config.nranks = c.nranks;
+  config.abs_error_bound = 1e-3;
+  config.trace.enabled = true;
+  if (c.faults) {
+    config.faults = chaos_plan(0x7A3C ^ static_cast<uint64_t>(c.nranks),
+                               kernel_uses_compression(c.kernel));
+  }
+  const JobResult result = run_collective(c.kernel, c.op, config, ramp_inputs(4096));
+  ASSERT_GT(result.trace.total_events(), 0u);
+  check_trace_invariants(result, c.nranks);
+  if (!c.faults) check_clean_channel_counts(result, c.nranks);
+
+  // The aggregated phases account for (essentially all of) each rank's
+  // timeline — the property bench_fig2_breakdown's table rests on.
+  const trace::Breakdown b = trace::aggregate(result.trace);
+  ASSERT_EQ(b.per_rank.size(), static_cast<size_t>(c.nranks));
+  for (int r = 0; r < c.nranks; ++r) {
+    const trace::RankPhases& p = b.per_rank[static_cast<size_t>(r)];
+    const double elapsed = result.per_rank[static_cast<size_t>(r)].total_seconds;
+    EXPECT_NEAR(p.total, elapsed, 1e-12 + 1e-9 * elapsed);
+    EXPECT_NEAR(p.accounted(), elapsed, 0.01 * elapsed) << "rank " << r;
+  }
+  EXPECT_NEAR(b.slowest.total, result.slowest.total_seconds,
+              1e-12 + 1e-9 * result.slowest.total_seconds);
+}
+
+std::vector<TraceCase> trace_cases() {
+  std::vector<TraceCase> cases;
+  for (Kernel k : {Kernel::kMpi, Kernel::kCCollMultiThread, Kernel::kHzcclMultiThread,
+                   Kernel::kCCollSingleThread, Kernel::kHzcclSingleThread}) {
+    for (Op op : {Op::kReduceScatter, Op::kAllreduce}) {
+      for (int n : {2, 4, 5, 8}) {
+        cases.push_back({k, op, n, false});
+        cases.push_back({k, op, n, true});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStacks, TraceSweepTest, ::testing::ValuesIn(trace_cases()),
+                         [](const auto& param_info) {
+                           const TraceCase& c = param_info.param;
+                           std::string name = kernel_name(c.kernel) + "_" + op_name(c.op) +
+                                              "_N" + std::to_string(c.nranks) +
+                                              (c.faults ? "_chaos" : "_clean");
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+                           }
+                           return name;
+                         });
+
+/// The algorithm variants and movement collectives emit through the same
+/// Comm::charge funnel — drive them directly on a Runtime and re-check.
+TEST(TraceAlgorithms, VariantsAndMovementEmitConsistentTraces) {
+  const int nranks = 6;  // non-power-of-two: exercises fold + ring fallback
+  trace::Options opts;
+  opts.enabled = true;
+  Runtime runtime(nranks, NetModel::omnipath_100g(), FaultPlan::none(), opts);
+  const RankInputFn inputs = ramp_inputs(2048);
+  coll::CollectiveConfig cc;
+  cc.abs_error_bound = 1e-3;
+
+  const std::vector<simmpi::ClockReport> reports = runtime.run([&](simmpi::Comm& comm) {
+    const std::vector<float> input = inputs(comm.rank());
+    std::vector<float> out;
+    coll::raw_allreduce_recursive_doubling(comm, input, out, cc);
+    comm.barrier();
+    coll::raw_allreduce_rabenseifner(comm, input, out, cc);
+    comm.barrier();
+    std::vector<float> field = inputs(0);
+    coll::ccoll_bcast(comm, field, /*root=*/0, cc);
+  });
+
+  const trace::Trace& t = runtime.trace();
+  ASSERT_EQ(t.ranks.size(), static_cast<size_t>(nranks));
+  EXPECT_EQ(t.dropped_events, 0u);
+  for (int r = 0; r < nranks; ++r) {
+    const auto& events = t.ranks[static_cast<size_t>(r)];
+    ASSERT_FALSE(events.empty());
+    double prev_end = 0.0, mpi = 0.0, compute = 0.0;
+    for (const trace::Event& e : events) {
+      EXPECT_GE(e.t0, prev_end);
+      EXPECT_LE(e.t0, e.t1);
+      prev_end = e.t1;
+      (trace::kind_is_transport(e.kind) ? mpi : compute) += e.duration();
+    }
+    const simmpi::ClockReport& rep = reports[static_cast<size_t>(r)];
+    EXPECT_NEAR(mpi, rep[CostBucket::kMpi], 1e-9);
+    EXPECT_NEAR(compute, rep.total_seconds - rep[CostBucket::kMpi], 1e-9);
+    // The bcast path must have produced compression spans on some rank.
+  }
+  const auto counts_all = [&t] {
+    std::array<uint64_t, trace::kNumEventKinds> sum{};
+    for (const auto& rank_events : t.ranks) {
+      const auto c = trace::count_kinds(rank_events);
+      for (size_t i = 0; i < c.size(); ++i) sum[i] += c[i];
+    }
+    return sum;
+  }();
+  EXPECT_GT(counts_all[static_cast<size_t>(trace::EventKind::kCompress)], 0u);
+  EXPECT_GT(counts_all[static_cast<size_t>(trace::EventKind::kDecompress)], 0u);
+  EXPECT_GT(counts_all[static_cast<size_t>(trace::EventKind::kReduce)], 0u);
+  EXPECT_GT(counts_all[static_cast<size_t>(trace::EventKind::kWait)], 0u);  // barriers
+}
+
+// ---------------------------------------------------------------------------
+// 3. Golden determinism
+// ---------------------------------------------------------------------------
+
+JobConfig golden_config() {
+  JobConfig config;
+  config.nranks = 4;
+  config.abs_error_bound = 1e-3;
+  config.trace.enabled = true;
+  // The raw MPI kernel's event stream depends only on byte counts and the
+  // (double) cost model — not on float compression output — so the golden
+  // file is robust to microarchitecture differences in the compressor.
+  config.faults = chaos_plan(/*seed=*/7, /*with_mangle=*/false);
+  return config;
+}
+
+std::string golden_json() {
+  const JobResult r =
+      run_collective(Kernel::kMpi, Op::kAllreduce, golden_config(), ramp_inputs(512));
+  return trace::to_chrome_json(r.trace);
+}
+
+TEST(GoldenTrace, SameSeedReplaysByteIdentically) {
+  const std::string a = golden_json();
+  const std::string b = golden_json();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "trace export must be deterministic for a fixed seed+config";
+}
+
+TEST(GoldenTrace, MatchesCheckedInGoldenFile) {
+  const std::string path = std::string(HZCCL_TEST_DATA_DIR) + "/golden_trace.json";
+  const std::string current = golden_json();
+  if (std::getenv("HZCCL_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << current;
+    GTEST_SKIP() << "golden trace regenerated at " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — run with HZCCL_UPDATE_GOLDEN=1 to create it";
+  std::string golden((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(current, golden)
+      << "exported trace drifted from tests/data/golden_trace.json; if the change is "
+         "intentional, regenerate with HZCCL_UPDATE_GOLDEN=1";
+}
+
+// ---------------------------------------------------------------------------
+// 4. Exporter validity and the --check parser
+// ---------------------------------------------------------------------------
+
+TEST(TraceExport, GeneratedJsonRoundTripsThroughTheChecker) {
+  JobConfig config;
+  config.nranks = 4;
+  config.abs_error_bound = 1e-3;
+  config.trace.enabled = true;
+  const JobResult r =
+      run_collective(Kernel::kHzcclMultiThread, Op::kAllreduce, config, ramp_inputs(2048));
+  const std::string json = trace::to_chrome_json(r.trace);
+
+  const std::vector<trace::ParsedSpan> spans = trace::parse_chrome_trace(bytes_of_string(json));
+  EXPECT_EQ(spans.size(), r.trace.total_events());
+  for (const trace::ParsedSpan& s : spans) {
+    EXPECT_EQ(s.ph, "X");
+    EXPECT_TRUE(s.has_ts && s.has_dur && s.has_pid && s.has_tid);
+    EXPECT_EQ(s.pid, 0);
+    EXPECT_GE(s.tid, 0);
+    EXPECT_LT(s.tid, config.nranks);
+    EXPECT_GE(s.dur, 0.0);
+    EXPECT_FALSE(s.name.empty());
+  }
+
+  const trace::CheckReport report = trace::check_chrome_json(bytes_of_string(json));
+  EXPECT_TRUE(report.valid) << report.error;
+  EXPECT_EQ(report.events, r.trace.total_events());
+  EXPECT_EQ(report.max_tid, config.nranks - 1);
+}
+
+TEST(TraceExport, EmptyTraceExportsAValidDocument) {
+  const trace::Trace empty;
+  const std::string json = trace::to_chrome_json(empty);
+  const trace::CheckReport report = trace::check_chrome_json(bytes_of_string(json));
+  EXPECT_TRUE(report.valid) << report.error;
+  EXPECT_EQ(report.events, 0u);
+}
+
+TEST(TraceExport, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",                                             // empty
+      "[]",                                           // not an object
+      "{\"foo\": 1}",                                 // no traceEvents
+      "{\"traceEvents\": 3}",                         // traceEvents not an array
+      "{\"traceEvents\":[",                           // truncated
+      "{\"traceEvents\":[{\"ph\":\"X\"}]} trailing",  // trailing bytes
+      "{\"traceEvents\":[{\"ph\": nul}]}",            // bad literal
+      "{\"traceEvents\":[{\"ts\": 12..3}]}",          // malformed number
+      "{\"traceEvents\":[{\"name\":\"\\q\"}]}",       // bad escape
+  };
+  for (const char* doc : bad) {
+    const trace::CheckReport report = trace::check_chrome_json(bytes_of_string(doc));
+    EXPECT_FALSE(report.valid) << "accepted: " << doc;
+    EXPECT_FALSE(report.error.empty());
+  }
+}
+
+TEST(TraceExport, RejectsStructurallyInvalidEvents) {
+  // Parses fine, but violates the event contract.
+  const char* missing_ph =
+      "{\"traceEvents\":[{\"ts\":1.0,\"pid\":0,\"tid\":0}]}";
+  const char* missing_dur =
+      "{\"traceEvents\":[{\"ph\":\"X\",\"ts\":1.0,\"pid\":0,\"tid\":0}]}";
+  const char* negative_dur =
+      "{\"traceEvents\":[{\"ph\":\"X\",\"ts\":1.0,\"dur\":-2.0,\"pid\":0,\"tid\":0}]}";
+  const char* overlap =
+      "{\"traceEvents\":["
+      "{\"ph\":\"X\",\"ts\":0.0,\"dur\":10.0,\"pid\":0,\"tid\":0},"
+      "{\"ph\":\"X\",\"ts\":5.0,\"dur\":1.0,\"pid\":0,\"tid\":0}]}";
+  for (const char* doc : {missing_ph, missing_dur, negative_dur, overlap}) {
+    const trace::CheckReport report = trace::check_chrome_json(bytes_of_string(doc));
+    EXPECT_FALSE(report.valid) << "accepted: " << doc;
+  }
+  // The same two spans on *different* tids are fine.
+  const char* disjoint_tids =
+      "{\"traceEvents\":["
+      "{\"ph\":\"X\",\"ts\":0.0,\"dur\":10.0,\"pid\":0,\"tid\":0},"
+      "{\"ph\":\"X\",\"ts\":5.0,\"dur\":1.0,\"pid\":0,\"tid\":1}]}";
+  EXPECT_TRUE(trace::check_chrome_json(bytes_of_string(disjoint_tids)).valid);
+}
+
+// ---------------------------------------------------------------------------
+// 5. Aggregation
+// ---------------------------------------------------------------------------
+
+TEST(TraceAggregate, SumsKindsIntoPhases) {
+  trace::Trace t;
+  t.ranks.resize(1);
+  const auto push = [&](trace::EventKind kind, double t0, double t1, uint64_t bytes,
+                        uint64_t bytes_out) {
+    trace::Event e;
+    e.kind = kind;
+    e.t0 = t0;
+    e.t1 = t1;
+    e.bytes = bytes;
+    e.bytes_out = bytes_out;
+    t.ranks[0].push_back(e);
+  };
+  push(trace::EventKind::kCompress, 0.0, 1.0, 800, 100);
+  push(trace::EventKind::kSend, 1.0, 1.5, 100, 0);
+  push(trace::EventKind::kWait, 1.5, 2.0, 0, 0);
+  push(trace::EventKind::kRecv, 2.0, 2.5, 100, 0);
+  push(trace::EventKind::kHomReduce, 2.5, 4.0, 800, 120);
+  push(trace::EventKind::kDecompress, 4.0, 4.5, 800, 120);
+
+  const trace::Breakdown b = trace::aggregate(t);
+  ASSERT_EQ(b.per_rank.size(), 1u);
+  const trace::RankPhases& p = b.per_rank[0];
+  EXPECT_DOUBLE_EQ(p.cpr, 1.0);
+  EXPECT_DOUBLE_EQ(p.comm, 1.0);   // send + recv
+  EXPECT_DOUBLE_EQ(p.idle, 0.5);   // wait
+  EXPECT_DOUBLE_EQ(p.hpr, 1.5);
+  EXPECT_DOUBLE_EQ(p.dpr, 0.5);
+  EXPECT_DOUBLE_EQ(p.total, 4.5);
+  EXPECT_DOUBLE_EQ(p.accounted(), 4.5);
+  EXPECT_EQ(p.bytes_sent, 100u);
+  EXPECT_EQ(p.bytes_uncompressed, 2400u);
+  EXPECT_EQ(p.bytes_compressed, 340u);
+  EXPECT_DOUBLE_EQ(b.slowest.total, 4.5);
+  EXPECT_DOUBLE_EQ(b.totals.total, 4.5);
+}
+
+TEST(TraceAggregate, KindNamesAreStable) {
+  // The exporter's span names are part of the golden-trace contract.
+  EXPECT_EQ(trace::kind_name(trace::EventKind::kCompress), "compress");
+  EXPECT_EQ(trace::kind_name(trace::EventKind::kHomReduce), "hom_reduce");
+  EXPECT_EQ(trace::kind_name(trace::EventKind::kRetransmit), "retransmit");
+  EXPECT_FALSE(trace::kind_is_transport(trace::EventKind::kPack));
+  EXPECT_TRUE(trace::kind_is_transport(trace::EventKind::kDiscard));
+}
+
+}  // namespace
+}  // namespace hzccl

@@ -7,6 +7,7 @@
 #   tools/check.sh --tsan     # tier 1 + ThreadSanitizer concurrency tier
 #   tools/check.sh --fuzz     # tier 1 + sanitized decoder fuzzing only
 #   tools/check.sh --perf     # tier 1 + perf smoke (zero-allocation gate)
+#   tools/check.sh --cov      # tier 1 + line-coverage gate (unit/property/trace)
 #   tools/check.sh --all      # everything
 #
 # Flags combine (e.g. --lint --tsan).  Exit nonzero on the first failing
@@ -16,7 +17,7 @@ set -eu
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 jobs=$(nproc 2>/dev/null || echo 4)
 
-run_asan=1 run_lint=0 run_tsan=0 run_fuzz=0 run_perf=0
+run_asan=1 run_lint=0 run_tsan=0 run_fuzz=0 run_perf=0 run_cov=0
 for arg in "$@"; do
   case "$arg" in
     --fast) run_asan=0 ;;
@@ -24,8 +25,9 @@ for arg in "$@"; do
     --tsan) run_tsan=1 ;;
     --fuzz) run_asan=0; run_fuzz=1 ;;
     --perf) run_perf=1 ;;
-    --all)  run_asan=1 run_lint=1 run_tsan=1 run_perf=1 ;;
-    *) echo "usage: tools/check.sh [--fast] [--lint] [--tsan] [--fuzz] [--perf] [--all]" >&2; exit 2 ;;
+    --cov)  run_cov=1 ;;
+    --all)  run_asan=1 run_lint=1 run_tsan=1 run_perf=1 run_cov=1 ;;
+    *) echo "usage: tools/check.sh [--fast] [--lint] [--tsan] [--fuzz] [--perf] [--cov] [--all]" >&2; exit 2 ;;
   esac
 done
 
@@ -47,10 +49,10 @@ if [ "$run_asan" = "1" ] || [ "$run_fuzz" = "1" ]; then
     -DCMAKE_CXX_FLAGS="$san_flags" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
   cmake --build "$repo/build-asan" -j "$jobs" \
-    --target faults_test property_test bytes_test fuzz_decoders
+    --target faults_test property_test trace_test bytes_test fuzz_decoders
   if [ "$run_asan" = "1" ]; then
-    echo "== tier 2: sanitized chaos + property + corpus =="
-    (cd "$repo/build-asan" && ctest -L 'chaos|property' --output-on-failure)
+    echo "== tier 2: sanitized chaos + property + trace + corpus =="
+    (cd "$repo/build-asan" && ctest -L 'chaos|property|trace' --output-on-failure)
     "$repo/build-asan/tests/bytes_test"
   fi
   echo "== tier 2: sanitized decoder fuzzing =="
@@ -65,6 +67,31 @@ if [ "$run_perf" = "1" ]; then
   cmake --build "$repo/build" -j "$jobs" --target bench_kernels
   "$repo/build/bench/bench_kernels" --json --quick \
     --out "$repo/build/BENCH_kernels.json" --alloc-budget 0
+fi
+
+if [ "$run_cov" = "1" ]; then
+  echo "== coverage: Debug --coverage build + unit/property/trace tiers =="
+  cmake -B "$repo/build-cov" -S "$repo" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="--coverage -O0 -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="--coverage" \
+    -DHZCCL_BUILD_BENCH=OFF -DHZCCL_BUILD_EXAMPLES=OFF
+  cmake --build "$repo/build-cov" -j "$jobs"
+  (cd "$repo/build-cov" && ctest -L 'unit|property|trace' --output-on-failure)
+  baseline=$(grep -v '^#' "$repo/tools/coverage_baseline.txt" | head -n 1)
+  if command -v gcovr >/dev/null 2>&1; then
+    # CI runners install gcovr for the nicer per-line HTML; the gate is the
+    # same baseline either way.
+    gcovr --root "$repo" --filter "$repo/src" --filter "$repo/include" \
+      "$repo/build-cov" \
+      --html --html-details -o "$repo/build-cov/coverage.html" \
+      --print-summary --fail-under-line "$baseline"
+  else
+    # Hermetic fallback: plain gcov --json-format through the stdlib driver.
+    python3 "$repo/tools/coverage.py" --build-dir "$repo/build-cov" \
+      --root "$repo" --baseline "$repo/tools/coverage_baseline.txt" \
+      --html-out "$repo/build-cov/coverage.html"
+  fi
 fi
 
 if [ "$run_tsan" = "1" ]; then

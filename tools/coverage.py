@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Line-coverage reporter for the --coverage build, stdlib only.
+
+The CI coverage job prefers gcovr when it is installed; this script is the
+fallback (and the driver in hermetic containers): it walks a build tree for
+.gcda counters, asks `gcov --json-format --stdout` for the per-line counts,
+aggregates them over the project's src/ and include/ trees, writes an HTML
+report, and compares total line coverage against the checked-in baseline in
+tools/coverage_baseline.txt (first non-comment line, a percentage).
+
+Usage:
+  tools/coverage.py --build-dir build-cov [--root .]
+                    [--baseline tools/coverage_baseline.txt]
+                    [--html-out build-cov/coverage.html]
+                    [--update-baseline]
+
+Exits 1 when coverage falls below the baseline (the regression gate), 2 on
+usage/tooling errors.
+"""
+
+import argparse
+import html
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(build_dir):
+        for name in filenames:
+            if name.endswith(".gcda"):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def run_gcov(gcda, gcov="gcov"):
+    """One JSON document per .gcda; gcov finds the .gcno next to it."""
+    proc = subprocess.run(
+        [gcov, "--json-format", "--stdout", gcda],
+        cwd=os.path.dirname(gcda),
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"gcov failed on {gcda}: {proc.stderr.strip()}")
+    # With --stdout gcov streams one JSON object per line per input file.
+    docs = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if line.startswith("{"):
+            docs.append(json.loads(line))
+    return docs
+
+
+def in_scope(path, root):
+    for sub in ("src", "include"):
+        if path.startswith(os.path.join(root, sub) + os.sep):
+            return True
+    return False
+
+
+def collect(build_dir, root, gcov="gcov"):
+    """-> {source_path: {line_number: max_hit_count}}"""
+    coverage = {}
+    gcda_files = find_gcda(build_dir)
+    if not gcda_files:
+        raise RuntimeError(
+            f"no .gcda files under {build_dir}; build with --coverage and run the tests first"
+        )
+    for gcda in gcda_files:
+        for doc in run_gcov(gcda):
+            cwd = doc.get("current_working_directory", os.path.dirname(gcda))
+            for f in doc.get("files", []):
+                path = f.get("file", "")
+                if not os.path.isabs(path):
+                    path = os.path.join(cwd, path)
+                path = os.path.realpath(path)
+                if not in_scope(path, root):
+                    continue
+                lines = coverage.setdefault(path, {})
+                for entry in f.get("lines", []):
+                    num = entry.get("line_number")
+                    count = entry.get("count", 0)
+                    if num is None:
+                        continue
+                    lines[num] = max(lines.get(num, 0), count)
+    return coverage
+
+
+def as_ranges(numbers):
+    """[1,2,3,7,9,10] -> '1-3, 7, 9-10'"""
+    parts = []
+    start = prev = None
+    for n in sorted(numbers):
+        if prev is not None and n == prev + 1:
+            prev = n
+            continue
+        if start is not None:
+            parts.append(f"{start}-{prev}" if prev != start else f"{start}")
+        start = prev = n
+    if start is not None:
+        parts.append(f"{start}-{prev}" if prev != start else f"{start}")
+    return ", ".join(parts)
+
+
+def summarize(coverage, root):
+    rows = []
+    total_lines = total_hit = 0
+    for path in sorted(coverage):
+        lines = coverage[path]
+        hit = sum(1 for c in lines.values() if c > 0)
+        missed = sorted(n for n, c in lines.items() if c == 0)
+        total_lines += len(lines)
+        total_hit += hit
+        pct = 100.0 * hit / len(lines) if lines else 100.0
+        rows.append((os.path.relpath(path, root), len(lines), hit, pct, missed))
+    total_pct = 100.0 * total_hit / total_lines if total_lines else 0.0
+    return rows, total_lines, total_hit, total_pct
+
+
+def write_html(path, rows, total_lines, total_hit, total_pct):
+    def bar(pct):
+        color = "#2e7d32" if pct >= 90 else ("#f9a825" if pct >= 70 else "#c62828")
+        return (
+            f'<div class="bar"><div style="width:{pct:.1f}%;background:{color}"></div></div>'
+            f"<span>{pct:.1f}%</span>"
+        )
+
+    out = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'><title>hzccl coverage</title>",
+        "<style>body{font-family:monospace;margin:2em}table{border-collapse:collapse}",
+        "td,th{border:1px solid #ccc;padding:4px 8px;text-align:left}",
+        ".bar{display:inline-block;width:120px;height:10px;background:#eee;margin-right:6px}",
+        ".bar div{height:10px}.missed{color:#c62828;font-size:90%}</style></head><body>",
+        f"<h1>hzccl line coverage: {total_pct:.2f}% ({total_hit}/{total_lines})</h1>",
+        "<table><tr><th>file</th><th>lines</th><th>hit</th><th>coverage</th>"
+        "<th>uncovered lines</th></tr>",
+    ]
+    for rel, nlines, hit, pct, missed in rows:
+        out.append(
+            f"<tr><td>{html.escape(rel)}</td><td>{nlines}</td><td>{hit}</td>"
+            f"<td>{bar(pct)}</td><td class='missed'>{html.escape(as_ranges(missed))}</td></tr>"
+        )
+    out.append("</table></body></html>")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("\n".join(out) + "\n")
+
+
+def read_baseline(path):
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                return float(line)
+    raise RuntimeError(f"no baseline percentage found in {path}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", required=True)
+    ap.add_argument("--root", default=".")
+    ap.add_argument("--baseline", default=None, help="baseline file with minimum line %%")
+    ap.add_argument("--html-out", default=None)
+    ap.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"))
+    ap.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file to the measured total (floored to 0.1)",
+    )
+    args = ap.parse_args()
+
+    root = os.path.realpath(args.root)
+    try:
+        coverage = collect(os.path.realpath(args.build_dir), root, args.gcov)
+    except RuntimeError as e:
+        print(f"coverage.py: {e}", file=sys.stderr)
+        return 2
+
+    rows, total_lines, total_hit, total_pct = summarize(coverage, root)
+    width = max((len(r[0]) for r in rows), default=10)
+    for rel, nlines, hit, pct, _missed in rows:
+        print(f"{rel:<{width}}  {hit:>5}/{nlines:<5}  {pct:6.1f}%")
+    print(f"{'TOTAL':<{width}}  {total_hit:>5}/{total_lines:<5}  {total_pct:6.1f}%")
+
+    if args.html_out:
+        write_html(args.html_out, rows, total_lines, total_hit, total_pct)
+        print(f"HTML report: {args.html_out}")
+
+    if args.baseline:
+        if args.update_baseline:
+            floored = int(total_pct * 10) / 10.0
+            with open(args.baseline, "w", encoding="utf-8") as f:
+                f.write(
+                    "# Minimum total line coverage (%) over src/ + include/ for the\n"
+                    "# unit+property+trace tiers; tools/check.sh --cov fails below this.\n"
+                    f"{floored}\n"
+                )
+            print(f"baseline updated: {args.baseline} = {floored}")
+            return 0
+        baseline = read_baseline(args.baseline)
+        if total_pct + 1e-9 < baseline:
+            print(
+                f"FAIL: line coverage {total_pct:.2f}% is below the baseline {baseline:.2f}% "
+                f"({args.baseline})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"coverage OK: {total_pct:.2f}% >= baseline {baseline:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@
 #include "hzccl/homomorphic/hz_dynamic.hpp"
 #include "hzccl/homomorphic/hz_ops.hpp"
 #include "hzccl/stats/metrics.hpp"
+#include "hzccl/trace/export.hpp"
 #include "hzccl/util/threading.hpp"
 #include "hzccl/util/timer.hpp"
 
@@ -42,7 +43,9 @@ int usage() {
                "  hzcclc collective [--kernel 0..4] [--op allreduce|reduce_scatter]\n"
                "                    [--ranks P] [--dataset SLUG] [--scale tiny|small|medium]\n"
                "                    [--rel R | --abs E] [--block N]\n"
-               "                    [--faults seed,drop[,corrupt[,reorder[,dup[,stall]]]]]\n");
+               "                    [--faults seed,drop[,corrupt[,reorder[,dup[,stall]]]]]\n"
+               "  hzcclc trace      --check <trace.json>\n"
+               "  hzcclc trace      [collective flags] [--out <trace.json>] [--capacity N]\n");
   return 2;
 }
 
@@ -170,63 +173,89 @@ int cmd_binary_op(int argc, char** argv, bool subtract) {
   return 0;
 }
 
-int cmd_collective(int argc, char** argv) {
+/// Shared CLI state for the collective-running subcommands (collective,
+/// trace): the job description plus the dataset the ranks synthesize.
+struct CollectiveCli {
   int kernel = static_cast<int>(Kernel::kHzcclMultiThread);
   Op op = Op::kAllreduce;
   JobConfig config;
   DatasetId dataset = DatasetId::kNyx;
   Scale scale = Scale::kSmall;
   double rel = 1e-3, abs = 0.0;
-  for (int i = 2; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (flag == "--kernel" && i + 1 < argc) {
-      kernel = std::stoi(argv[++i]);
-      if (kernel < 0 || kernel > 4) return usage();
-    } else if (flag == "--op" && i + 1 < argc) {
-      const std::string name = argv[++i];
-      if (name == "allreduce") {
-        op = Op::kAllreduce;
-      } else if (name == "reduce_scatter") {
-        op = Op::kReduceScatter;
-      } else {
-        return usage();
-      }
-    } else if (flag == "--ranks" && i + 1 < argc) {
-      config.nranks = std::stoi(argv[++i]);
-    } else if (flag == "--dataset" && i + 1 < argc) {
-      dataset = parse_dataset(argv[++i]);
-    } else if (flag == "--scale" && i + 1 < argc) {
-      const std::string name = argv[++i];
-      if (name == "tiny") {
-        scale = Scale::kTiny;
-      } else if (name == "small") {
-        scale = Scale::kSmall;
-      } else if (name == "medium") {
-        scale = Scale::kMedium;
-      } else if (name == "large") {
-        scale = Scale::kLarge;
-      } else {
-        return usage();
-      }
-    } else if (flag == "--abs" && i + 1 < argc) {
-      abs = std::stod(argv[++i]);
-    } else if (flag == "--rel" && i + 1 < argc) {
-      rel = std::stod(argv[++i]);
-    } else if (flag == "--block" && i + 1 < argc) {
-      config.block_len = static_cast<uint32_t>(std::stoul(argv[++i]));
-    } else if (flag == "--faults" && i + 1 < argc) {
-      config.faults = simmpi::FaultPlan::parse(argv[++i]);
-    } else {
-      return usage();
-    }
-  }
+};
 
-  const auto rank_input = [&](int rank) {
+/// Consume argv[i] (and its value) into `cli`; advances i past the value.
+/// Returns false on an unknown flag so the caller can try its own flags or
+/// bail to usage().
+bool parse_collective_flag(CollectiveCli& cli, int argc, char** argv, int& i) {
+  const std::string flag = argv[i];
+  if (flag == "--kernel" && i + 1 < argc) {
+    cli.kernel = std::stoi(argv[++i]);
+    if (cli.kernel < 0 || cli.kernel > 4) return false;
+  } else if (flag == "--op" && i + 1 < argc) {
+    const std::string name = argv[++i];
+    if (name == "allreduce") {
+      cli.op = Op::kAllreduce;
+    } else if (name == "reduce_scatter") {
+      cli.op = Op::kReduceScatter;
+    } else {
+      return false;
+    }
+  } else if (flag == "--ranks" && i + 1 < argc) {
+    cli.config.nranks = std::stoi(argv[++i]);
+  } else if (flag == "--dataset" && i + 1 < argc) {
+    cli.dataset = parse_dataset(argv[++i]);
+  } else if (flag == "--scale" && i + 1 < argc) {
+    const std::string name = argv[++i];
+    if (name == "tiny") {
+      cli.scale = Scale::kTiny;
+    } else if (name == "small") {
+      cli.scale = Scale::kSmall;
+    } else if (name == "medium") {
+      cli.scale = Scale::kMedium;
+    } else if (name == "large") {
+      cli.scale = Scale::kLarge;
+    } else {
+      return false;
+    }
+  } else if (flag == "--abs" && i + 1 < argc) {
+    cli.abs = std::stod(argv[++i]);
+  } else if (flag == "--rel" && i + 1 < argc) {
+    cli.rel = std::stod(argv[++i]);
+  } else if (flag == "--block" && i + 1 < argc) {
+    cli.config.block_len = static_cast<uint32_t>(std::stoul(argv[++i]));
+  } else if (flag == "--faults" && i + 1 < argc) {
+    cli.config.faults = simmpi::FaultPlan::parse(argv[++i]);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// The rank-input generator and error bound shared by collective/trace.
+RankInputFn make_rank_input(CollectiveCli& cli) {
+  const DatasetId dataset = cli.dataset;
+  const Scale scale = cli.scale;
+  auto rank_input = [dataset, scale](int rank) {
     return generate_correlated_field(dataset, scale, static_cast<uint32_t>(rank));
   };
   // Like `compress`: a relative bound is resolved against the data's value
   // range (rank 0's field is representative — members share structure).
-  config.abs_error_bound = abs > 0.0 ? abs : abs_bound_from_rel(rank_input(0), rel);
+  cli.config.abs_error_bound =
+      cli.abs > 0.0 ? cli.abs : abs_bound_from_rel(rank_input(0), cli.rel);
+  return rank_input;
+}
+
+int cmd_collective(int argc, char** argv) {
+  CollectiveCli cli;
+  for (int i = 2; i < argc; ++i) {
+    if (!parse_collective_flag(cli, argc, argv, i)) return usage();
+  }
+  const int kernel = cli.kernel;
+  const Op op = cli.op;
+  const DatasetId dataset = cli.dataset;
+  const RankInputFn rank_input = make_rank_input(cli);
+  const JobConfig& config = cli.config;
   const JobResult result = run_collective(static_cast<Kernel>(kernel), op, config, rank_input);
 
   std::printf("%s %s, %d ranks, %s @ %s, %zu bytes/rank\n",
@@ -258,6 +287,94 @@ int cmd_collective(int argc, char** argv) {
   return 0;
 }
 
+void print_breakdown(const trace::Breakdown& b) {
+  std::printf("  %-4s %10s %6s %6s %6s %6s %6s %6s %6s\n", "rank", "total(ms)", "CPR%", "DPR%",
+              "HPR%", "CPT%", "pack%", "comm%", "idle%");
+  for (size_t r = 0; r < b.per_rank.size(); ++r) {
+    const trace::RankPhases& p = b.per_rank[r];
+    std::printf("  %-4zu %10.3f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f\n", r, p.total * 1e3,
+                p.percent(p.cpr), p.percent(p.dpr), p.percent(p.hpr), p.percent(p.cpt),
+                p.percent(p.pack), p.percent(p.comm), p.percent(p.idle));
+  }
+  const trace::RankPhases& s = b.slowest;
+  std::printf("  slowest rank: %.3f ms, compression-related %.1f%% "
+              "(CPR %.1f%%  DPR %.1f%%  HPR %.1f%%  CPT %.1f%%)\n",
+              s.total * 1e3, s.percent(s.doc_related()), s.percent(s.cpr), s.percent(s.dpr),
+              s.percent(s.hpr), s.percent(s.cpt));
+  if (b.totals.bytes_compressed > 0) {
+    std::printf("  traffic: %llu payload bytes sent; compute ratio %.2f "
+                "(%llu uncompressed / %llu compressed)\n",
+                static_cast<unsigned long long>(b.totals.bytes_sent),
+                static_cast<double>(b.totals.bytes_uncompressed) /
+                    static_cast<double>(b.totals.bytes_compressed),
+                static_cast<unsigned long long>(b.totals.bytes_uncompressed),
+                static_cast<unsigned long long>(b.totals.bytes_compressed));
+  }
+}
+
+int cmd_trace(int argc, char** argv) {
+  // Validation mode: parse + structurally check an exported trace file.
+  if (argc >= 3 && std::string(argv[2]) == "--check") {
+    if (argc != 4) return usage();
+    const std::vector<uint8_t> bytes = load_bytes(argv[3]);
+    const trace::CheckReport report = trace::check_chrome_json(bytes);
+    if (!report.valid) {
+      std::fprintf(stderr, "hzcclc trace: INVALID: %s\n", report.error.c_str());
+      return 1;
+    }
+    std::printf("valid Chrome trace: %llu events across %lld ranks\n",
+                static_cast<unsigned long long>(report.events),
+                static_cast<long long>(report.max_tid + 1));
+    return 0;
+  }
+
+  // Run mode: execute one collective with recording on, export, self-check.
+  CollectiveCli cli;
+  std::string out_path;
+  cli.config.trace.enabled = true;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (flag == "--capacity" && i + 1 < argc) {
+      cli.config.trace.capacity = static_cast<uint32_t>(std::stoul(argv[++i]));
+    } else if (!parse_collective_flag(cli, argc, argv, i)) {
+      return usage();
+    }
+  }
+
+  const RankInputFn rank_input = make_rank_input(cli);
+  const JobResult result =
+      run_collective(static_cast<Kernel>(cli.kernel), cli.op, cli.config, rank_input);
+
+  std::printf("%s %s, %d ranks, %s @ %s\n", kernel_name(static_cast<Kernel>(cli.kernel)).c_str(),
+              op_name(cli.op).c_str(), cli.config.nranks, dataset_name(cli.dataset).c_str(),
+              cli.config.faults.enabled() ? cli.config.faults.describe().c_str()
+                                          : "clean fabric");
+  std::printf("  %zu events recorded (%llu dropped to ring overwrite)\n",
+              result.trace.total_events(),
+              static_cast<unsigned long long>(result.trace.dropped_events));
+  print_breakdown(trace::aggregate(result.trace));
+
+  const std::string json = trace::to_chrome_json(result.trace);
+  const trace::CheckReport report = trace::check_chrome_json(
+      std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(json.data()), json.size()));
+  if (!report.valid) {
+    std::fprintf(stderr, "hzcclc trace: exported JSON failed self-check: %s\n",
+                 report.error.c_str());
+    return 1;
+  }
+  if (!out_path.empty()) {
+    store_bytes(out_path, std::vector<uint8_t>(json.begin(), json.end()));
+    std::printf("  wrote %zu bytes to %s (self-check OK; open in ui.perfetto.dev)\n",
+                json.size(), out_path.c_str());
+  } else {
+    std::printf("  export self-check OK (%llu events); use --out to write the JSON\n",
+                static_cast<unsigned long long>(report.events));
+  }
+  return 0;
+}
+
 int cmd_stats(int argc, char** argv) {
   if (argc != 4) return usage();
   const std::vector<float> orig = load_f32(argv[2]);
@@ -284,6 +401,7 @@ int main(int argc, char** argv) {
     if (cmd == "sub") return cmd_binary_op(argc, argv, /*subtract=*/true);
     if (cmd == "stats") return cmd_stats(argc, argv);
     if (cmd == "collective") return cmd_collective(argc, argv);
+    if (cmd == "trace") return cmd_trace(argc, argv);
   } catch (const Error& e) {
     std::fprintf(stderr, "hzcclc: %s\n", e.what());
     return 1;
