@@ -15,6 +15,12 @@
 //
 // c == 0 marks a constant (all-zero-residual) block with no further bytes —
 // the case hZ-dynamic's pipeline 1 reduces to a single byte write.
+//
+// c == 0xFF marks a *raw* block: the n original floats stored verbatim
+// (little-endian), the fallback encoders use for values the quantized
+// residual domain cannot carry (NaN/Inf, denormal-heavy blocks).  Raw blocks
+// sit outside the prediction chain: the running quantized value is neither
+// advanced by them on encode nor consumed by them on decode.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +29,9 @@
 namespace hzccl {
 
 inline constexpr int kMaxCodeLength = 31;
+
+/// Code-length byte value marking a raw (verbatim float) block.
+inline constexpr int kRawBlockMarker = 0xFF;
 
 /// Bits needed to represent `max_magnitude` (0 for 0).
 inline int code_length_for(uint32_t max_magnitude) {
@@ -39,10 +48,15 @@ inline size_t encoded_block_size(int c, size_t n) {
   return 1 + sign_bytes + plane_bytes + rem_bytes;
 }
 
-/// Worst-case encoded size for a block of n elements (c = 31).
+/// Worst-case encoded size for a block of n elements (c = 31).  A raw block
+/// (1 + 4n bytes) never exceeds this: ceil(n/8) + ceil(7n/8) >= n, so the
+/// c = 31 layout is the global worst case and existing capacity math holds.
 inline size_t max_encoded_block_size(size_t n) {
   return encoded_block_size(kMaxCodeLength, n);
 }
+
+/// Encoded byte size of a raw block of n floats (marker byte + payload).
+inline size_t raw_block_size(size_t n) { return 1 + 4 * n; }
 
 // ---------------------------------------------------------------------------
 // ultra_fast_bit_shifting_x: pack n values of x significant bits each.
@@ -94,12 +108,26 @@ uint8_t* encode_block_prepared(const uint32_t* magnitudes, const uint32_t* sign_
                                int code_len, uint8_t* out, const uint8_t* out_end);
 
 /// Decode one block of `n` residuals from [src, end); returns the first byte
-/// past the block.  Throws ParseError if the block runs past `end` or the
-/// code length is out of range.
+/// past the block.  Throws ParseError if the block runs past `end`, the
+/// code length is out of range, or the block is a raw block (raw blocks
+/// carry floats, not residuals — callers that accept them must branch on
+/// the kRawBlockMarker byte before decoding).
 const uint8_t* decode_block(const uint8_t* src, const uint8_t* end, size_t n,
                             int32_t* residuals);
 
-/// Byte size of the encoded block starting at `src` (bounds-checked peek).
+/// Store `n` floats verbatim as a raw block; same [out, out_end) capacity
+/// contract as encode_block.
+uint8_t* encode_raw_block(const float* values, size_t n, uint8_t* out,
+                          const uint8_t* out_end);
+
+/// Decode one raw block from [src, end) into `values`; returns the first
+/// byte past the block.  Throws ParseError when `src` does not start a raw
+/// block or the payload is truncated.
+const uint8_t* decode_raw_block(const uint8_t* src, const uint8_t* end, size_t n,
+                                float* values);
+
+/// Byte size of the encoded block starting at `src` (bounds-checked peek;
+/// handles residual, constant and raw blocks).
 size_t peek_block_size(const uint8_t* src, const uint8_t* end, size_t n);
 
 }  // namespace hzccl

@@ -135,6 +135,16 @@ inline size_t fz_preamble_size(uint32_t num_chunks) {
 /// digest and excludes the trailer from the payload view.
 inline constexpr uint16_t kFlagChecksummed = 1u << 0;
 
+/// Header flag: at least one block of the stream is a raw (verbatim float)
+/// fallback block (see kRawBlockMarker in fixed_len.hpp).  The homomorphic
+/// operators branch on it: unflagged operand pairs take the block-copy fast
+/// pipelines untouched, flagged ones go through the chain-tracking slow path
+/// that combines raw blocks in the float domain.
+inline constexpr uint16_t kFlagHasRawBlocks = 1u << 1;
+
+/// True when the stream may carry raw fallback blocks.
+inline bool has_raw_blocks(const FzHeader& h) { return (h.flags & kFlagHasRawBlocks) != 0; }
+
 /// Append an integrity trailer (and set the flag).  Idempotent on streams
 /// that already carry one.  Intended for streams that cross storage or an
 /// untrusted transport; the in-memory collectives skip it.
@@ -170,6 +180,11 @@ class ChunkedStreamAssembler {
   /// Record chunk `c`'s final payload size and outlier (thread-safe across
   /// distinct chunks).
   void set_chunk(uint32_t c, size_t payload_size, int32_t outlier);
+
+  /// OR extra flags into the header before finish() (e.g. kFlagHasRawBlocks
+  /// once a chunk emitted a raw block).  Not thread-safe: call from the
+  /// serial region after the chunk loop.
+  void merge_flags(uint16_t flags) { header_.flags |= flags; }
 
   /// Compact and seal; the assembler is spent afterwards.
   [[nodiscard]] CompressedBuffer finish();

@@ -17,8 +17,10 @@
 //
 // Wire layout: [FzHeader magic=HZSP, num_chunks = number of blocks]
 //              [u8 block_meta[num_blocks]]  0xFF = omitted zero block,
+//                                           0xFE = raw fallback block,
 //                                           else the block code length
-//              [payload: per kept block, i32 outlier + encoded residuals]
+//              [payload: per kept block, i32 outlier + encoded residuals;
+//               per raw block, the n original floats verbatim]
 #pragma once
 
 #include <cstdint>
@@ -30,6 +32,11 @@
 namespace hzccl {
 
 inline constexpr uint8_t kSzpZeroBlock = 0xFF;
+
+/// Metadata sentinel for the raw fallback: the block's floats are stored
+/// verbatim because the quantized residual domain cannot carry them
+/// (NaN/Inf, denormal-heavy blocks).
+inline constexpr uint8_t kSzpRawBlock = 0xFE;
 
 struct SzpParams {
   double abs_error_bound = 1e-4;

@@ -58,6 +58,10 @@ struct JobConfig {
   /// Seeded fault injection for the simulated fabric; FaultPlan::none()
   /// keeps the transport on its clean fast path.
   simmpi::FaultPlan faults = simmpi::FaultPlan::none();
+  /// Reaction to rank failures: on RankFailedError the job shrinks to the
+  /// survivors and re-runs, up to max_attempts times, charging the backoff
+  /// to the virtual clock.  The default (1 attempt) propagates the error.
+  simmpi::RetryPolicy retry;
   /// Virtual-clock event recording (trace.hpp); disabled by default, in
   /// which case JobResult::trace stays empty and the hot path pays one
   /// predictable branch per clock advance.
@@ -82,7 +86,17 @@ struct JobResult {
   size_t input_bytes_per_rank = 0;
   std::vector<TransportStats> transport_per_rank;  ///< fault/recovery counters
   TransportStats transport;                        ///< sum over ranks
+  std::vector<HealthStats> health_per_rank;        ///< rank-failure counters
+  HealthStats health;                              ///< sum over ranks
   trace::Trace trace;                              ///< per-rank event streams (if enabled)
+
+  // Rank-failure outcome (meaningful when JobConfig::faults schedules rank
+  // faults).  A completed job with a non-empty failed_ranks finished over
+  // the survivors after shrink-and-retry.
+  std::vector<int> failed_ranks;  ///< physical ranks lost across all attempts
+  std::vector<int> final_group;   ///< surviving physical ranks (completion group)
+  uint32_t final_epoch = 0;       ///< group epoch of the completing attempt
+  int attempts = 1;               ///< collective runs including the final one
 };
 
 /// Produces rank `r`'s input vector; every rank must return the same length.
@@ -96,5 +110,10 @@ JobResult run_collective(Kernel kernel, Op op, const JobConfig& config,
 /// Exact (double-accumulated) element-wise sum of all ranks' inputs — the
 /// reference the accuracy checks compare against.
 std::vector<float> exact_reduction(int nranks, const RankInputFn& rank_input);
+
+/// Same, over an explicit set of physical ranks — the reference for a job
+/// that completed over the survivors (JobResult::final_group).
+std::vector<float> exact_reduction(const std::vector<int>& ranks,
+                                   const RankInputFn& rank_input);
 
 }  // namespace hzccl

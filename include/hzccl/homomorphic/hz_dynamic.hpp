@@ -30,8 +30,10 @@ struct HzPipelineStats {
   uint64_t p4 = 0;
   uint64_t copied_bytes = 0;  ///< payload bytes moved by pipelines 2-3
   uint64_t p4_elements = 0;   ///< residuals decoded+added+re-encoded by pipeline 4
+  uint64_t raw = 0;           ///< raw-fallback blocks combined in the float domain
 
-  uint64_t blocks() const { return p1 + p2 + p3 + p4; }
+  uint64_t blocks() const { return p1 + p2 + p3 + p4 + raw; }
+  /// Share of blocks handled by pipeline 1..4, or 0 for the raw fallback.
   double percent(int pipeline) const;
   HzPipelineStats& operator+=(const HzPipelineStats& other);
 };
@@ -46,5 +48,19 @@ struct HzPipelineStats {
                         BufferPool* pool = nullptr);
 [[nodiscard]] CompressedBuffer hz_add(const FzView& a, const FzView& b, HzPipelineStats* stats = nullptr,
                         int num_threads = 0, BufferPool* pool = nullptr);
+
+namespace detail {
+
+/// Raw-aware combine: result = a + sign_b * b (sign_b in {+1, -1}), taken by
+/// hz_add/hz_sub when either operand carries raw fallback blocks
+/// (kFlagHasRawBlocks).  Tracks the absolute quantized chains of both
+/// operands so raw blocks — which sit outside the chains — can be combined
+/// in the float domain while residual blocks keep the exact integer path;
+/// any chain drift a raw output block hides from the decoder is folded into
+/// the next residual block's first residual.
+[[nodiscard]] CompressedBuffer hz_combine_raw(const FzView& a, const FzView& b, int sign_b,
+                                HzPipelineStats* stats, int num_threads, BufferPool* pool);
+
+}  // namespace detail
 
 }  // namespace hzccl

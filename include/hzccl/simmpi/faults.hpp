@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "hzccl/util/error.hpp"
+
 namespace hzccl::simmpi {
 
 /// The coordinates of one fault decision (see fault_roll).
@@ -52,6 +54,44 @@ uint64_t fault_mix(uint64_t seed, uint64_t stream, uint64_t counter);
 /// counter-based PRNG behind every fault decision.
 double fault_roll(uint64_t seed, FaultKind kind, int src, int dst, uint64_t counter);
 
+// ---------------------------------------------------------------------------
+// Rank-level failures.  Links misbehave per frame; *ranks* fail per process:
+// they crash (stop responding, in-flight frames lost), hang (stop responding
+// mid-collective but their already-queued frames still drain), or straggle
+// (every local virtual cost is multiplied by a factor).  Schedules are part
+// of the FaultPlan so a failing run replays exactly from its seed.
+// ---------------------------------------------------------------------------
+
+enum class RankFaultKind : uint8_t {
+  /// Stops at the trigger; frames parked in its NIC are abandoned and must
+  /// be recovered by receiver timeout/NACK from the in-flight window.
+  kCrash = 0,
+  /// Stops at the trigger but stays attached: its queued frames drain
+  /// normally before the death is visible.
+  kHang = 1,
+  /// Stays alive; all its local virtual costs scale by `factor`.
+  kStraggler = 2,
+};
+
+/// One scheduled rank failure.  `rank` is a *physical* rank; -1 picks one
+/// deterministically from the plan seed at runtime.  Crash/hang fire at the
+/// first trigger reached: before the rank's `after_ops`-th transport
+/// operation (1-based; send/recv/barrier each count as one), or once its
+/// virtual clock reaches `at_vtime`.  If neither trigger is set, a crash
+/// point is derived from the seed.  `factor` only applies to stragglers.
+struct RankFault {
+  RankFaultKind kind = RankFaultKind::kCrash;
+  int rank = -1;
+  uint64_t after_ops = 0;
+  double at_vtime = 0.0;
+  double factor = 4.0;
+
+  /// Parse one schedule entry: "crash@rank=2,op=7", "hang@rank=1,t=2.5e-4",
+  /// "straggler@rank=3,x=8", or a bare kind ("crash") for seed-derived
+  /// placement.
+  static RankFault parse(const std::string& entry);
+};
+
 /// Per-link fault probabilities plus the recovery-timing knobs.  All
 /// probabilities are per frame; 0 everywhere (the default) is a perfect
 /// network and disables the in-flight window entirely.
@@ -68,19 +108,80 @@ struct FaultPlan {
   double stall_seconds = 50e-6;
   /// Virtual-clock patience of Comm::recv before it NACKs a missing frame.
   double recv_timeout_s = 200e-6;
+  /// Additional virtual-clock patience after a peer turns Suspect before it
+  /// is declared Dead (the Alive → Suspect → Dead health machine).
+  double fail_timeout_s = 400e-6;
 
+  /// Scheduled rank failures (crash/hang/straggler); empty = all healthy.
+  std::vector<RankFault> rank_faults;
+
+  /// True when any *link* fault can fire (this is what arms the in-flight
+  /// window and the retransmit machinery).
   bool enabled() const {
     return drop > 0.0 || corrupt > 0.0 || reorder > 0.0 || duplicate > 0.0 ||
            stall > 0.0 || mangle > 0.0;
   }
 
+  /// True when any rank-level failure is scheduled (this is what arms the
+  /// health state machine, agreement and epochs in the runtime).
+  bool rank_faults_enabled() const { return !rank_faults.empty(); }
+
   /// Perfect network (all probabilities zero).
   static FaultPlan none() { return FaultPlan{}; }
 
-  /// Parse the hzcclc flag syntax "seed,drop,corrupt[,reorder[,dup[,stall]]]".
+  /// Parse the hzcclc flag syntax
+  /// "seed,drop[,corrupt[,reorder[,dup[,stall[,mangle[,stall_s[,recv_timeout]]]]]]]".
   static FaultPlan parse(const std::string& spec);
 
+  /// Parse the hzcclc --rank-faults syntax: ';'-separated RankFault entries.
+  static std::vector<RankFault> parse_rank_faults(const std::string& spec);
+
+  /// Throw ParseError unless every probability is in [0,1], every timing is
+  /// > 0 and every rank-fault entry is well formed.  parse() validates; a
+  /// plan assembled field-by-field should call this before use.
+  void validate() const;
+
   /// One-line human summary ("seed=42 drop=0.05 corrupt=0.02 ...").
+  std::string describe() const;
+};
+
+// ---------------------------------------------------------------------------
+// Failure agreement surface: the typed error every survivor throws, and the
+// collective-level retry knobs.
+// ---------------------------------------------------------------------------
+
+/// Thrown by every survivor of a failed agreement round: the runtime
+/// guarantees each survivor of epoch `epoch` observes the *same* sorted
+/// `failed_ranks` set (physical ranks), ULFM-style — no hangs, no
+/// split-brain.  Recoverable via Comm::shrink() + retry.
+class RankFailedError : public hzccl::Error {
+ public:
+  RankFailedError(std::vector<int> failed_ranks, uint32_t epoch);
+  const std::vector<int>& failed_ranks() const { return failed_ranks_; }
+  uint32_t epoch() const { return epoch_; }
+
+ private:
+  std::vector<int> failed_ranks_;
+  uint32_t epoch_ = 0;
+};
+
+/// How a collective reacts to a RankFailedError: up to `max_attempts` runs,
+/// shrinking to the survivors and charging `backoff_base_s * factor^attempt`
+/// of virtual time between attempts.  The default (1 attempt) propagates the
+/// error unchanged.
+struct RetryPolicy {
+  int max_attempts = 1;
+  double backoff_base_s = 100e-6;
+  double backoff_factor = 2.0;
+
+  bool enabled() const { return max_attempts > 1; }
+  /// Virtual seconds charged before re-running attempt `attempt` (1-based
+  /// count of failures so far).
+  double backoff_for(int attempt) const;
+
+  /// Parse the hzcclc flag syntax "attempts[,backoff_base[,factor]]".
+  static RetryPolicy parse(const std::string& spec);
+  void validate() const;
   std::string describe() const;
 };
 

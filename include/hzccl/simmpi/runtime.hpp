@@ -31,6 +31,16 @@
 // for.  Virtual times and transport counters therefore replay exactly from
 // a seed no matter how the host schedules the rank threads.
 //
+// Rank failures (see faults.hpp): a FaultPlan can additionally schedule
+// crash/hang/straggler faults per rank.  The runtime then arms an endpoint
+// health machine (Alive → Suspect → Dead on virtual-clock deadlines), an
+// agreement round guaranteeing every survivor of a failure throws the same
+// RankFailedError, and Comm::shrink() + retry to complete the collective
+// over the survivors under a new epoch.  Detection acts only on *final*
+// control-plane facts (a peer is dead, parked in the agreement, or
+// finished) — never on wall-clock races — so failed runs replay exactly
+// from their seed too.
+//
 // Because rank threads block on condition variables while waiting for
 // matching messages, hundreds of mostly-idle ranks simulate fine on a small
 // host; the paper's 512-node runs map to 512 threads.
@@ -59,18 +69,31 @@ class Runtime;
 
 /// One framed message on the (simulated) wire.
 struct WireMessage {
-  int src = 0;
+  int src = 0;                 ///< physical sender rank
   int tag = 0;
   uint64_t seq = 0;            ///< per-link sequence number (metadata mirror)
+  uint32_t epoch = 0;          ///< sender's group epoch (metadata mirror)
   std::vector<uint8_t> frame;  ///< framed bytes, possibly corrupted in flight
   double send_vtime = 0.0;
 };
 
 /// Per-rank communicator handle, valid only inside Runtime::run.
+///
+/// Rank addressing: `rank()`/`size()` and every src/dst argument are
+/// *virtual* ranks within the current group.  Until a shrink() the group is
+/// the identity over all ranks; after a shrink the survivors are renumbered
+/// densely (sorted by physical rank) under a new epoch.  `phys_rank()` is
+/// the immutable physical identity (thread index, fault-schedule key).
 class Comm {
  public:
   int rank() const { return rank_; }
   int size() const { return size_; }
+  int phys_rank() const { return phys_rank_; }
+  /// Current group epoch; bumped by every shrink().  Frames from older
+  /// epochs are discarded on receive.
+  uint32_t epoch() const { return epoch_view_; }
+  /// Physical ranks of the current group, indexed by virtual rank.
+  const std::vector<int>& group() const { return group_; }
   VirtualClock& clock() { return clock_; }
   const NetModel& net() const;
   const FaultPlan& faults() const;
@@ -104,6 +127,22 @@ class Comm {
   /// Synchronize all ranks (both thread-level and virtual-clock-level).
   void barrier();
 
+  /// Run one collective attempt under the rank-failure contract: with rank
+  /// faults scheduled, `body` is followed by an agreement round so either
+  /// every survivor returns normally or every survivor throws the *same*
+  /// RankFailedError{failed_ranks, epoch} — no hangs, no split-brain.
+  /// Without rank faults this is exactly `body()` (zero overhead).
+  void guarded(const std::function<void()>& body);
+
+  /// Rebuild the group over the survivors of the last failed agreement
+  /// under a new epoch; stale-epoch frames are discarded.  Call between a
+  /// caught RankFailedError and the retry of the collective.
+  void shrink();
+
+  /// Charge the retry-policy backoff before re-running a failed collective
+  /// (`failures` = number of failed attempts so far, 1-based).
+  void retry_backoff(const RetryPolicy& policy, int failures);
+
   /// Spend `seconds` of local work in `bucket` AND record a typed compute
   /// span for it: the one call the collectives use for every compute charge,
   /// so the trace accounts for the whole virtual timeline.  `bytes` is the
@@ -128,6 +167,9 @@ class Comm {
   /// Transport health counters accumulated by this rank so far.
   const hzccl::TransportStats& transport() const { return transport_; }
 
+  /// Endpoint-health counters accumulated by this rank so far.
+  const hzccl::HealthStats& health() const { return health_; }
+
  private:
   friend class Runtime;
   Comm(Runtime* rt, int rank, int size);
@@ -135,16 +177,26 @@ class Comm {
   /// Roll the per-rank stall die around one transport operation.
   void maybe_stall(FaultKind kind);
 
+  /// Translate a virtual rank of the current group to its physical rank.
+  int to_phys(int vrank) const { return group_[static_cast<size_t>(vrank)]; }
+
   Runtime* runtime_;
-  int rank_;
-  int size_;
+  int rank_;       ///< virtual rank within group_
+  int size_;       ///< group_.size()
+  int phys_rank_;  ///< immutable physical identity
+  std::vector<int> group_;    ///< virtual rank -> physical rank
+  uint32_t epoch_view_ = 0;   ///< this rank's installed group epoch
+  double cost_factor_ = 1.0;  ///< straggler multiplier on local virtual costs
+  uint64_t transport_ops_ = 0;             ///< send/recv/barrier ops performed
+  const RankFault* stop_fault_ = nullptr;  ///< pending crash/hang, if scheduled
   VirtualClock clock_;
   trace::Recorder trace_;
   uint64_t bytes_sent_ = 0;
   uint64_t bytes_received_ = 0;
   hzccl::TransportStats transport_;
-  std::vector<uint64_t> send_seq_;                      ///< next seq per destination
-  std::vector<std::unordered_set<uint64_t>> accepted_;  ///< accepted seqs per source
+  hzccl::HealthStats health_;
+  std::vector<uint64_t> send_seq_;                      ///< next seq per physical destination
+  std::vector<std::unordered_set<uint64_t>> accepted_;  ///< accepted seqs per physical source
   /// Frames held back by the reorder fault, one slot per destination; a held
   /// frame is released behind the next frame to that destination, or at this
   /// rank's next recv/barrier/return (the NIC drains while the CPU waits).
@@ -175,6 +227,9 @@ class Runtime {
   /// Per-rank transport counters of the most recent run.
   const std::vector<hzccl::TransportStats>& transport_stats() const { return transport_stats_; }
 
+  /// Per-rank endpoint-health counters of the most recent run.
+  const std::vector<hzccl::HealthStats>& health_stats() const { return health_stats_; }
+
   /// Per-rank event trace of the most recent run (empty unless the Runtime
   /// was constructed with trace::Options::enabled).
   const trace::Trace& trace() const { return trace_; }
@@ -199,6 +254,7 @@ class Runtime {
     int src = 0;
     int tag = 0;
     uint64_t seq = 0;
+    uint32_t epoch = 0;             ///< sender's group epoch at transmission
     std::vector<uint8_t> pristine;  ///< payload before mangling and framing
     double send_vtime = 0.0;
     WireOutcome outcome = WireOutcome::kDelivered;
@@ -230,12 +286,68 @@ class Runtime {
   // Barrier bookkeeping (virtual-time max across arrivals).
   void barrier_wait(Comm& comm);
 
+  // -------------------------------------------------------------------------
+  // Rank-failure control plane.  Armed only when the FaultPlan schedules
+  // rank faults; every member below is untouched otherwise, so clean runs
+  // (and link-fault-only runs) are byte-identical to the pre-failure-model
+  // runtime.  Lock ordering: control_mutex_ is a leaf — it is never held
+  // while acquiring a mailbox mutex.
+  // -------------------------------------------------------------------------
+
+  /// Ground truth about one physical rank, guarded by control_mutex_.
+  /// Detection decisions derive *only* from this final state (a rank is
+  /// hopeless to wait for iff it is dead, parked in the current agreement
+  /// round, or finished), never from wall-clock timers — which is what keeps
+  /// failure detection deterministic under any host scheduling.
+  struct RankState {
+    bool dead = false;      ///< crashed or hung: will never execute again
+    bool stopped = false;   ///< parked in the current agreement round
+    bool finished = false;  ///< rank function returned; agrees with anything
+    double stop_vtime = 0.0;  ///< virtual time of death / park / finish
+  };
+
+  bool rank_faults_on() const { return faults_.rank_faults_enabled(); }
+
+  /// Fill seed-derived slots (rank = -1, missing crash points) of the
+  /// schedule via the counter-based PRNG and validate ranks.
+  void resolve_rank_faults();
+
+  /// Fire this rank's scheduled crash/hang if a trigger is reached; called
+  /// at every transport-operation entry (send/recv/barrier/shrink).
+  void check_rank_fault(Comm& comm);
+
+  /// Stop `comm`'s rank: settle its wire state (hang drains the NIC, crash
+  /// abandons held frames to timeout/NACK recovery), record the death and
+  /// unwind the thread via an internal signal (not an error).
+  [[noreturn]] void kill_rank(Comm& comm, bool hang);
+
+  /// Charge the Alive → Suspect → Dead deadlines against `peer` (whose
+  /// final stop time is `stop_vtime`; < 0 when unknown, e.g. a barrier
+  /// abandoned for a failure elsewhere) and unwind to the agreement round.
+  [[noreturn]] void declare_peer_failed(Comm& receiver, int peer, double stop_vtime);
+
+  /// Park in the agreement round; returns on unanimous success, throws
+  /// RankFailedError when the agreed failed-rank set is non-empty.
+  void agreement(Comm& comm);
+
+  /// Survivor-side group rebuild (Comm::shrink body).
+  void shrink_group(Comm& comm);
+
+  /// Group-aware barrier used when rank faults are armed.
+  void rf_barrier_wait(Comm& comm);
+
+  void mark_finished(Comm& comm);
+  void try_complete_agreement_locked();
+  void try_complete_shrink_locked();
+  void wake_all_mailboxes();
+
   int nranks_;
   NetModel net_;
   FaultPlan faults_;
   trace::Options trace_opts_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<hzccl::TransportStats> transport_stats_;
+  std::vector<hzccl::HealthStats> health_stats_;
   trace::Trace trace_;
   /// Set when any rank throws, so peers blocked on that rank's messages or
   /// on the barrier fail fast instead of deadlocking the join.
@@ -247,6 +359,30 @@ class Runtime {
   uint64_t barrier_generation_ = 0;
   double barrier_max_time_ = 0.0;
   double barrier_release_time_ = 0.0;
+
+  // Rank-failure control plane state (see RankState above).
+  std::mutex control_mutex_;
+  std::condition_variable control_cv_;
+  std::vector<RankFault> resolved_faults_;
+  std::vector<RankState> rank_state_;
+  uint32_t epoch_ = 0;
+  std::vector<int> members_;  ///< physical ranks of the current group
+  // Agreement-round bookkeeping.
+  uint64_t agree_generation_ = 0;
+  double agree_max_vtime_ = 0.0;
+  std::vector<int> agree_failed_;  ///< result of the last completed round
+  double agree_release_vtime_ = 0.0;
+  uint32_t agree_epoch_ = 0;  ///< epoch the last completed round ran under
+  // Shrink-round bookkeeping.
+  uint64_t shrink_generation_ = 0;
+  std::vector<char> shrink_arrived_;
+  double shrink_max_vtime_ = 0.0;
+  double shrink_release_vtime_ = 0.0;
+  // Group-aware barrier bookkeeping (rank-fault mode shares control_mutex_).
+  int rf_barrier_arrived_ = 0;
+  uint64_t rf_barrier_generation_ = 0;
+  double rf_barrier_max_ = 0.0;
+  double rf_barrier_release_ = 0.0;
 };
 
 }  // namespace hzccl::simmpi

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -43,6 +44,25 @@ double abs_bound_from_rel(std::span<const float> data, double rel_bound);
 /// original bytes / compressed bytes.
 double compression_ratio(size_t original_bytes, size_t compressed_bytes);
 
+/// Why a block encoder routed a block to the raw (verbatim float) fallback
+/// instead of the quantized residual domain.
+enum class RawBlockReason {
+  kNonFinite,      ///< the block contains a NaN or an infinity
+  kDenormalHeavy,  ///< more than half of the block's values are subnormal
+};
+
+/// Cheap bit-level scan deciding whether a block must take the raw fallback:
+/// one pass over the exponent fields, no floating-point comparisons (so NaNs
+/// cannot poison the decision the way they poison min/max scans).
+std::optional<RawBlockReason> classify_raw_block(const float* values, size_t n);
+
+/// Process-wide raw-fallback counters, one per reason — the
+/// pool_heap_allocations() idiom: encoders bump them from any thread; tests
+/// and tools read deltas around the region of interest.
+void count_raw_block(RawBlockReason reason);
+uint64_t raw_block_encodes(RawBlockReason reason);
+uint64_t raw_block_encodes();  ///< total across all reasons
+
 /// Per-rank health counters of the framed simmpi transport, reported
 /// alongside the ClockReport.  Sender-side events (frames sent, injected
 /// wire faults, send stalls) accumulate on the sending rank; recovery events
@@ -69,6 +89,33 @@ TransportStats total_transport(std::span<const TransportStats> per_rank);
 
 /// One-line summary ("sent=96 retx=7 corrupt=2 dup=1 timeout=4 raw=0 ...").
 std::string describe(const TransportStats& s);
+
+/// Per-rank endpoint-health counters of the rank-failure subsystem.
+/// Injection events (crashes, hangs, straggles) accumulate on the faulted
+/// rank itself; detection/agreement/recovery events accumulate on each
+/// survivor that performed them.
+struct HealthStats {
+  uint64_t crashes = 0;            ///< injected crash faults fired on this rank
+  uint64_t hangs = 0;              ///< injected hang faults fired on this rank
+  uint64_t straggles = 0;          ///< 1 when this rank ran with a straggler factor
+  uint64_t suspects = 0;           ///< Alive → Suspect transitions this rank observed
+  uint64_t dead_declared = 0;      ///< Suspect → Dead declarations this rank made
+  uint64_t agreements = 0;         ///< agreement rounds this rank completed
+  uint64_t failed_agreements = 0;  ///< agreement rounds that reported failed ranks
+  uint64_t stale_discards = 0;     ///< frames discarded for carrying an old epoch
+  uint64_t shrinks = 0;            ///< group shrinks this rank participated in
+  uint64_t retries = 0;            ///< collective attempts re-run after a shrink
+
+  /// True when no rank failure fired and no recovery happened.
+  bool clean() const;
+  HealthStats& operator+=(const HealthStats& other);
+};
+
+/// Element-wise sum over all ranks of a job.
+HealthStats total_health(std::span<const HealthStats> per_rank);
+
+/// One-line summary ("crashes=1 suspects=7 dead=7 agree=14 shrink=7 ...").
+std::string describe(const HealthStats& s);
 
 /// Sample mean and (population) standard deviation of a series; used for the
 /// per-field NRMSE STD columns of Tables III and VI.

@@ -52,9 +52,14 @@ enum class EventKind : uint8_t {
   kWait = 7,        ///< blocked on a slower peer (or in a barrier)
   kRetransmit = 8,  ///< NACK-driven recovery round-trip
   kStall = 9,       ///< injected per-rank stall (FaultPlan)
-  kDiscard = 10,    ///< duplicate frame dropped after the header sniff
+  kDiscard = 10,    ///< duplicate or stale-epoch frame dropped after the sniff
+  kSuspect = 11,    ///< recv deadline passed: peer Alive → Suspect
+  kDetect = 12,     ///< failure deadline passed: peer Suspect → Dead
+  kAgree = 13,      ///< agreement round over the failed-rank set
+  kShrink = 14,     ///< group rebuild over the survivors (epoch bump)
+  kBackoff = 15,    ///< retry-policy backoff before re-running a collective
 };
-inline constexpr int kNumEventKinds = 11;
+inline constexpr int kNumEventKinds = 16;
 
 std::string kind_name(EventKind k);
 bool kind_is_transport(EventKind k);
@@ -63,6 +68,8 @@ bool kind_is_transport(EventKind k);
 /// retransmits count aux==kAuxRetransmit, raw_fallbacks count kAuxRawFallback.
 inline constexpr uint8_t kAuxRetransmit = 0;
 inline constexpr uint8_t kAuxRawFallback = 1;
+/// kDiscard detail: duplicate seq (default 0) vs. stale-epoch frame.
+inline constexpr uint8_t kAuxStaleEpoch = 2;
 
 /// One recorded span of virtual time.  Trivially copyable by design: the
 /// ring buffer stores events as raw bytes from a pooled buffer.
@@ -161,6 +168,7 @@ struct RankPhases {
   double pack = 0.0;  ///< kPack
   double comm = 0.0;  ///< kSend + kRecv + kRetransmit + kDiscard
   double idle = 0.0;  ///< kWait + kStall
+  double recovery = 0.0;  ///< kSuspect + kDetect + kAgree + kShrink + kBackoff
   double total = 0.0; ///< end of the rank's last span
 
   uint64_t events = 0;
@@ -171,7 +179,7 @@ struct RankPhases {
   /// DPR+CPT+CPR+HPR — the paper's "compression-related" share.
   double doc_related() const { return cpr + dpr + cpt + hpr; }
   /// Sum of every span duration (== total minus unattributed time).
-  double accounted() const { return doc_related() + pack + comm + idle; }
+  double accounted() const { return doc_related() + pack + comm + idle + recovery; }
   double percent(double part) const { return total > 0.0 ? 100.0 * part / total : 0.0; }
 };
 

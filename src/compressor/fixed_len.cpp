@@ -219,6 +219,9 @@ const uint8_t* decode_block(const uint8_t* src, const uint8_t* end, size_t n,
     std::memset(residuals, 0, n * sizeof(int32_t));
     return src;
   }
+  if (c == kRawBlockMarker) {
+    throw ParseError("decode_block: raw block in a residual-only context");
+  }
   if (c > kMaxCodeLength) throw ParseError("decode_block: bad code length");
   const size_t sign_bytes = (n + 7) / 8;
   const size_t plane_bytes = static_cast<size_t>(c / 8) * n;
@@ -273,11 +276,36 @@ const uint8_t* decode_block(const uint8_t* src, const uint8_t* end, size_t n,
   return src;
 }
 
+uint8_t* encode_raw_block(const float* values, size_t n, uint8_t* out,
+                          const uint8_t* out_end) {
+  const size_t size = raw_block_size(n);
+  if (out > out_end || size > static_cast<size_t>(out_end - out)) {
+    throw CapacityError("encode_raw_block: raw block exceeds output capacity");
+  }
+  *out++ = static_cast<uint8_t>(kRawBlockMarker);
+  std::memcpy(out, values, n * sizeof(float));
+  return out + n * sizeof(float);
+}
+
+const uint8_t* decode_raw_block(const uint8_t* src, const uint8_t* end, size_t n,
+                                float* values) {
+  if (src >= end) throw ParseError("decode_raw_block: empty input");
+  if (*src != kRawBlockMarker) throw ParseError("decode_raw_block: not a raw block");
+  const size_t size = raw_block_size(n);
+  if (static_cast<size_t>(end - src) < size) {
+    throw ParseError("decode_raw_block: truncated raw payload");
+  }
+  std::memcpy(values, src + 1, n * sizeof(float));
+  return src + size;
+}
+
 size_t peek_block_size(const uint8_t* src, const uint8_t* end, size_t n) {
   if (src >= end) throw ParseError("peek_block_size: empty input");
   const int c = *src;
-  if (c > kMaxCodeLength) throw ParseError("peek_block_size: bad code length");
-  const size_t size = encoded_block_size(c, n);
+  const size_t size = c == kRawBlockMarker ? raw_block_size(n) : encoded_block_size(c, n);
+  if (c != kRawBlockMarker && c > kMaxCodeLength) {
+    throw ParseError("peek_block_size: bad code length");
+  }
   if (static_cast<size_t>(end - src) < size) {
     throw ParseError("peek_block_size: truncated block");
   }

@@ -1,10 +1,13 @@
 #include "hzccl/compressor/fz_light.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstring>
 
 #include "hzccl/compressor/fixed_len.hpp"
 #include "hzccl/compressor/quantize.hpp"
+#include "hzccl/stats/metrics.hpp"
 #include "hzccl/util/threading.hpp"
 
 namespace hzccl {
@@ -24,7 +27,7 @@ void validate_params(const FzParams& p) {
 /// checked against it (CapacityError on violation).
 size_t compress_chunk(std::span<const float> data, Range range, uint32_t block_len,
                       const Quantizer& quant, int32_t* outlier, uint8_t* out,
-                      size_t out_capacity) {
+                      size_t out_capacity, bool* emitted_raw) {
   uint8_t* const out_begin = out;
   const uint8_t* const out_end = out + out_capacity;
   if (range.size() == 0) {
@@ -32,8 +35,12 @@ size_t compress_chunk(std::span<const float> data, Range range, uint32_t block_l
     return 0;
   }
   // The chunk outlier is the first quantized value; the first residual is
-  // then zero by construction, which keeps every block the same shape.
-  const int32_t q0 = quant.quantize(data[range.begin]);
+  // then zero by construction, which keeps every block the same shape.  A
+  // non-finite first value anchors the chain at zero instead — its block is
+  // about to take the raw fallback, so the anchor only has to be a value
+  // every later (finite) block can predict from deterministically.
+  const float f0 = data[range.begin];
+  const int32_t q0 = std::isfinite(f0) ? quant.quantize(f0) : 0;
   *outlier = q0;
 
   uint32_t mags[kMaxBlockLen];
@@ -44,6 +51,17 @@ size_t compress_chunk(std::span<const float> data, Range range, uint32_t block_l
   size_t pos = range.begin;
   while (pos < range.end) {
     const size_t n = std::min<size_t>(block_len, range.end - pos);
+    // Raw fallback: blocks the residual domain cannot carry faithfully
+    // (NaN/Inf would poison llrint; denormal-heavy blocks would collapse to
+    // zeros) store their floats verbatim and stay outside the prediction
+    // chain — q_prev is deliberately not advanced.
+    if (const auto reason = classify_raw_block(data.data() + pos, n)) {
+      count_raw_block(*reason);
+      out = encode_raw_block(data.data() + pos, n, out, out_end);
+      *emitted_raw = true;
+      pos += n;
+      continue;
+    }
     // Fused quantize + predict (paper §III-B2), staged per block: a
     // branch-free quantization pass (the range guard is OR-accumulated and
     // checked once per block), then the prediction pass.  Staging keeps the
@@ -114,6 +132,7 @@ CompressedBuffer fz_compress(std::span<const float> data, const FzParams& params
   header.error_bound = params.abs_error_bound;
   ChunkedStreamAssembler assembler(header, pool);
 
+  std::atomic<bool> any_raw{false};
   {
     ScopedNumThreads scoped(params.num_threads);
     OmpExceptionCollector errors;
@@ -122,14 +141,17 @@ CompressedBuffer fz_compress(std::span<const float> data, const FzParams& params
       errors.run([&, c] {
         const Range r = chunk_range(d, static_cast<int>(nchunks), static_cast<int>(c));
         int32_t outlier = 0;
+        bool raw = false;
         const size_t size = compress_chunk(data, r, params.block_len, quant, &outlier,
                                            assembler.chunk_buffer(c),
-                                           assembler.chunk_capacity(c));
+                                           assembler.chunk_capacity(c), &raw);
+        if (raw) any_raw.store(true, std::memory_order_relaxed);
         assembler.set_chunk(c, size, outlier);
       });
     }
     errors.rethrow();
   }
+  if (any_raw.load(std::memory_order_relaxed)) assembler.merge_flags(kFlagHasRawBlocks);
   return assembler.finish();
 }
 
@@ -160,6 +182,13 @@ void fz_decompress(const FzView& view, std::span<float> out, int num_threads) {
       size_t pos = r.begin;
       while (pos < r.end) {
         const size_t n = std::min<size_t>(block_len, r.end - pos);
+        // Raw fallback block: the original floats verbatim, outside the
+        // quantized chain — q carries over it untouched.
+        if (src < end && *src == kRawBlockMarker) {
+          src = decode_raw_block(src, end, n, out.data() + pos);
+          pos += n;
+          continue;
+        }
         // Constant-block fast path: a zero code length means every residual
         // is zero, so the whole block is one fill — the dominant case on
         // quiet scientific data and the reason fZ-light's decompression can
@@ -229,6 +258,17 @@ void fz_decompress_range(const FzView& view, size_t begin, size_t end, std::span
       size_t pos = r.begin;
       while (pos < r.end && pos < end) {
         const size_t n = std::min<size_t>(block_len, r.end - pos);
+        if (src < chunk_end && *src == kRawBlockMarker) {
+          // Raw block: decode to scratch, copy the overlap; q is untouched.
+          float fbuf[kMaxBlockLen];
+          src = decode_raw_block(src, chunk_end, n, fbuf);
+          for (size_t i = 0; i < n; ++i) {
+            const size_t elem = pos + i;
+            if (elem >= begin && elem < end) out[elem - begin] = fbuf[i];
+          }
+          pos += n;
+          continue;
+        }
         if (pos + n <= begin && src < chunk_end && *src == 0) {
           // Constant block entirely before the range: skip without touching q.
           ++src;

@@ -7,6 +7,7 @@
 
 #include "hzccl/compressor/fixed_len.hpp"
 #include "hzccl/compressor/quantize.hpp"
+#include "hzccl/stats/metrics.hpp"
 #include "hzccl/util/bytes.hpp"
 #include "hzccl/util/threading.hpp"
 
@@ -50,6 +51,7 @@ BlockScan scan_block(const float* data, size_t n, const Quantizer& quant) {
 /// mirroring cuSZp, which also keeps block metadata in a separate array.
 size_t block_payload_size(uint8_t meta, size_t n) {
   if (meta == kSzpZeroBlock) return 0;
+  if (meta == kSzpRawBlock) return n * sizeof(float);
   const int c = meta;
   if (c == 0) return sizeof(int32_t);  // constant block: outlier only
   return sizeof(int32_t) + encoded_block_size(c, n);
@@ -76,7 +78,7 @@ SzpView parse_szp(std::span<const uint8_t> bytes) {
   v.payload = reader.rest();
   for (size_t b = 0; b < nblocks; ++b) {
     const uint8_t m = v.block_meta[b];
-    if (m != kSzpZeroBlock && m > kMaxCodeLength) {
+    if (m != kSzpZeroBlock && m != kSzpRawBlock && m > kMaxCodeLength) {
       throw FormatError("szp metadata carries invalid code length");
     }
   }
@@ -111,8 +113,14 @@ CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& para
       scan_errors.run([&, b] {
         const size_t begin = b * block_len;
         const size_t n = std::min<size_t>(block_len, d - begin);
-        const BlockScan s = scan_block(data.data() + begin, n, quant);
-        const uint8_t m = s.all_zero ? kSzpZeroBlock : static_cast<uint8_t>(s.code_len);
+        uint8_t m;
+        if (const auto reason = classify_raw_block(data.data() + begin, n)) {
+          count_raw_block(*reason);
+          m = kSzpRawBlock;
+        } else {
+          const BlockScan s = scan_block(data.data() + begin, n, quant);
+          m = s.all_zero ? kSzpZeroBlock : static_cast<uint8_t>(s.code_len);
+        }
         meta[b] = m;
         sizes[b + 1] = block_payload_size(m, n);
       });
@@ -151,6 +159,10 @@ CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& para
         uint8_t* const block_end = payload + sizes[b + 1];
         ByteWriter writer({block_begin, static_cast<size_t>(block_end - block_begin)},
                           "szp block");
+        if (meta[b] == kSzpRawBlock) {
+          writer.write_array(data.data() + begin, n, "raw block floats");
+          return;
+        }
         int32_t q_prev = quant.quantize(data[begin]);
         writer.write(q_prev, "block outlier");
         if (meta[b] == 0) return;  // constant block
@@ -211,6 +223,13 @@ void szp_decompress(const CompressedBuffer& compressed, std::span<float> out, in
         const uint8_t m = v.block_meta[b];
         if (m == kSzpZeroBlock) {
           std::memset(out.data() + begin, 0, n * sizeof(float));
+          return;
+        }
+        if (m == kSzpRawBlock) {
+          ByteReader reader(v.payload.subspan(offsets[b], offsets[b + 1] - offsets[b]),
+                            "szp raw block");
+          const auto body = reader.read_bytes(n * sizeof(float), "raw block floats");
+          std::memcpy(out.data() + begin, body.data(), n * sizeof(float));
           return;
         }
         ByteReader reader(v.payload.subspan(offsets[b], offsets[b + 1] - offsets[b]),

@@ -6,6 +6,7 @@
 
 #include <omp.h>
 
+#include "hzccl/stats/metrics.hpp"
 #include "hzccl/util/bytes.hpp"
 #include "hzccl/util/threading.hpp"
 
@@ -81,6 +82,15 @@ CompressedBuffer szx_compress(std::span<const float> data, const SzxParams& para
   for (size_t b = 0; b < nblocks; ++b) {
     const size_t begin = b * block_len;
     const size_t n = std::min<size_t>(block_len, d - begin);
+    // Raw fallback: NaNs poison the min/max scan below (every comparison is
+    // false) and truncation can turn a NaN into an infinity; keeping all
+    // four bytes is SZx's natural lossless mode, so such blocks route there.
+    if (const auto reason = classify_raw_block(data.data() + begin, n)) {
+      count_raw_block(*reason);
+      meta[b] = 4;
+      sizes[b + 1] = block_payload_size(meta[b], n);
+      continue;
+    }
     float mn = data[begin], mx = data[begin];
     float max_abs = std::abs(data[begin]);
     for (size_t i = 1; i < n; ++i) {

@@ -43,41 +43,70 @@ JobResult run_collective(Kernel kernel, Op op, const JobConfig& config,
   std::mutex result_mutex;
 
   auto rank_fn = [&](simmpi::Comm& comm) {
-    const std::vector<float> input = rank_input(comm.rank());
+    // Inputs are keyed by *physical* rank: a survivor contributes the same
+    // vector on every attempt no matter how the group is renumbered.
+    const std::vector<float> input = rank_input(comm.phys_rank());
     std::vector<float> output;
     HzPipelineStats stats;
 
-    switch (kernel) {
-      case Kernel::kMpi:
-        if (op == Op::kReduceScatter) {
-          coll::raw_reduce_scatter(comm, input, output, cc);
-        } else {
-          coll::raw_allreduce(comm, input, output, cc);
-        }
+    auto attempt = [&] {
+      // A retried attempt starts from scratch: partial results and stats of
+      // the failed run are discarded, not merged.
+      output.clear();
+      stats = HzPipelineStats{};
+      switch (kernel) {
+        case Kernel::kMpi:
+          if (op == Op::kReduceScatter) {
+            coll::raw_reduce_scatter(comm, input, output, cc);
+          } else {
+            coll::raw_allreduce(comm, input, output, cc);
+          }
+          break;
+        case Kernel::kCCollMultiThread:
+        case Kernel::kCCollSingleThread:
+          if (op == Op::kReduceScatter) {
+            coll::ccoll_reduce_scatter(comm, input, output, cc);
+          } else {
+            coll::ccoll_allreduce(comm, input, output, cc);
+          }
+          break;
+        case Kernel::kHzcclMultiThread:
+        case Kernel::kHzcclSingleThread:
+          if (op == Op::kReduceScatter) {
+            coll::hzccl_reduce_scatter(comm, input, output, cc, &stats);
+          } else {
+            coll::hzccl_allreduce(comm, input, output, cc, &stats);
+          }
+          break;
+      }
+    };
+
+    std::vector<int> lost;
+    int failures = 0;
+    for (;;) {
+      try {
+        comm.guarded(attempt);
         break;
-      case Kernel::kCCollMultiThread:
-      case Kernel::kCCollSingleThread:
-        if (op == Op::kReduceScatter) {
-          coll::ccoll_reduce_scatter(comm, input, output, cc);
-        } else {
-          coll::ccoll_allreduce(comm, input, output, cc);
-        }
-        break;
-      case Kernel::kHzcclMultiThread:
-      case Kernel::kHzcclSingleThread:
-        if (op == Op::kReduceScatter) {
-          coll::hzccl_reduce_scatter(comm, input, output, cc, &stats);
-        } else {
-          coll::hzccl_allreduce(comm, input, output, cc, &stats);
-        }
-        break;
+      } catch (const simmpi::RankFailedError& e) {
+        lost.insert(lost.end(), e.failed_ranks().begin(), e.failed_ranks().end());
+        ++failures;
+        if (failures >= config.retry.max_attempts) throw;
+        comm.retry_backoff(config.retry, failures);
+        comm.shrink();
+      }
     }
 
     std::lock_guard<std::mutex> lock(result_mutex);
     result.pipeline_stats += stats;
+    // Virtual rank 0 — the lowest surviving physical rank — owns the
+    // outcome record; after a shrink that need not be physical rank 0.
     if (comm.rank() == 0) {
       result.rank0_output = std::move(output);
       result.input_bytes_per_rank = input.size() * sizeof(float);
+      result.failed_ranks = std::move(lost);
+      result.final_group = comm.group();
+      result.final_epoch = comm.epoch();
+      result.attempts = failures + 1;
     }
   };
 
@@ -85,13 +114,16 @@ JobResult run_collective(Kernel kernel, Op op, const JobConfig& config,
   result.slowest = simmpi::Runtime::slowest(result.per_rank);
   result.transport_per_rank = runtime.transport_stats();
   result.transport = total_transport(result.transport_per_rank);
+  result.health_per_rank = runtime.health_stats();
+  result.health = total_health(result.health_per_rank);
   result.trace = runtime.trace();
   return result;
 }
 
-std::vector<float> exact_reduction(int nranks, const RankInputFn& rank_input) {
+std::vector<float> exact_reduction(const std::vector<int>& ranks,
+                                   const RankInputFn& rank_input) {
   std::vector<double> acc;
-  for (int r = 0; r < nranks; ++r) {
+  for (const int r : ranks) {
     const std::vector<float> input = rank_input(r);
     if (acc.empty()) acc.resize(input.size(), 0.0);
     if (acc.size() != input.size()) throw Error("exact_reduction: rank inputs differ in size");
@@ -100,6 +132,12 @@ std::vector<float> exact_reduction(int nranks, const RankInputFn& rank_input) {
   std::vector<float> out(acc.size());
   for (size_t i = 0; i < acc.size(); ++i) out[i] = static_cast<float>(acc[i]);
   return out;
+}
+
+std::vector<float> exact_reduction(int nranks, const RankInputFn& rank_input) {
+  std::vector<int> ranks(static_cast<size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) ranks[static_cast<size_t>(r)] = r;
+  return exact_reduction(ranks, rank_input);
 }
 
 }  // namespace hzccl

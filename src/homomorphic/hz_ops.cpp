@@ -32,6 +32,13 @@ size_t copy_block_negated(const uint8_t* src, const uint8_t* end, size_t n, uint
   }
   std::memcpy(out, src, size);
   const int c = out[0];
+  if (c == kRawBlockMarker) {
+    // Raw block: negation is a sign-bit flip on each stored float (exact for
+    // every value, infinities and NaN payloads included).
+    uint8_t* floats = out + 1;
+    for (size_t i = 0; i < n; ++i) floats[i * 4 + 3] ^= 0x80u;
+    return size;
+  }
   if (c > 0) {
     const size_t sign_bytes = (n + 7) / 8;
     uint8_t* signs = out + 1;
@@ -62,7 +69,16 @@ size_t scale_chunk(std::span<const uint8_t> ca, size_t chunk_elems, uint32_t blo
   while (remaining > 0) {
     const size_t n = std::min<size_t>(block_len, remaining);
     const size_t size_a = peek_block_size(pa, ea, n);
-    if (*pa == 0) {
+    if (*pa == kRawBlockMarker) {
+      // Raw block: scale the stored floats directly; the block stays outside
+      // the quantized chain in the result exactly as in the operand.
+      float fbuf[kMaxBlockLen];
+      decode_raw_block(pa, ea, n, fbuf);
+      for (size_t i = 0; i < n; ++i) {
+        fbuf[i] = static_cast<float>(static_cast<double>(fbuf[i]) * static_cast<double>(factor));
+      }
+      out = encode_raw_block(fbuf, n, out, out_end);
+    } else if (*pa == 0) {
       // Constant block: k * 0-residuals stay zero.
       if (out >= out_end) throw CapacityError("hz_scale: chunk output capacity exceeded");
       *out++ = 0;
@@ -252,6 +268,9 @@ CompressedBuffer hz_sub(const CompressedBuffer& a, const CompressedBuffer& b,
   const FzView va = parse_fz(a.bytes);
   const FzView vb = parse_fz(b.bytes);
   require_layout_compatible(va, vb);
+  if (has_raw_blocks(va.header) || has_raw_blocks(vb.header)) {
+    return detail::hz_combine_raw(va, vb, -1, stats, num_threads, pool);
+  }
 
   ArenaScope scratch;
   const std::span<HzPipelineStats> chunk_stats = scratch.alloc<HzPipelineStats>(va.num_chunks());

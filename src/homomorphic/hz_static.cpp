@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hzccl/compressor/fixed_len.hpp"
+#include "hzccl/homomorphic/hz_dynamic.hpp"
 #include "hzccl/util/threading.hpp"
 
 namespace hzccl {
@@ -63,6 +64,12 @@ int32_t checked_outlier_sum(int32_t a, int32_t b) {
 
 CompressedBuffer hz_add_static(const FzView& a, const FzView& b, int num_threads) {
   require_layout_compatible(a, b);
+  // Raw fallback blocks carry floats, not residuals, so the whole-chunk IFE
+  // below cannot represent them; such streams take the chain-tracking raw
+  // path shared with hZ-dynamic.
+  if (has_raw_blocks(a.header) || has_raw_blocks(b.header)) {
+    return detail::hz_combine_raw(a, b, +1, nullptr, num_threads, nullptr);
+  }
   const size_t d = a.num_elements();
   const uint32_t nchunks = a.num_chunks();
   const uint32_t block_len = a.block_len();

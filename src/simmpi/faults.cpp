@@ -40,7 +40,9 @@ double fault_roll(uint64_t seed, FaultKind kind, int src, int dst, uint64_t coun
 
 FaultPlan FaultPlan::parse(const std::string& spec) {
   FaultPlan plan;
-  double* const slots[] = {&plan.corrupt, &plan.reorder, &plan.duplicate, &plan.stall};
+  double* const slots[] = {&plan.corrupt,       &plan.reorder, &plan.duplicate,
+                           &plan.stall,         &plan.mangle,  &plan.stall_seconds,
+                           &plan.recv_timeout_s};
   size_t pos = 0;
   int field = 0;
   while (pos <= spec.size()) {
@@ -67,18 +69,191 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
   if (field < 2) {
     throw Error("FaultPlan: expected at least 'seed,drop' in '" + spec + "'");
   }
-  for (double p : {plan.drop, plan.corrupt, plan.reorder, plan.duplicate, plan.stall}) {
-    if (p < 0.0 || p > 1.0) throw Error("FaultPlan: probabilities must be in [0, 1]");
-  }
+  plan.validate();
   return plan;
 }
 
+void FaultPlan::validate() const {
+  for (double p : {drop, corrupt, reorder, duplicate, stall, mangle}) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw Error("FaultPlan: probabilities must be in [0, 1]");
+    }
+  }
+  for (double t : {stall_seconds, recv_timeout_s, fail_timeout_s}) {
+    if (!(t > 0.0)) {
+      throw Error("FaultPlan: stall_seconds/recv_timeout_s/fail_timeout_s must be > 0");
+    }
+  }
+  for (const RankFault& f : rank_faults) {
+    if (f.rank < -1) throw Error("FaultPlan: rank-fault rank must be >= -1");
+    if (f.at_vtime < 0.0) throw Error("FaultPlan: rank-fault trigger time must be >= 0");
+    if (f.kind == RankFaultKind::kStraggler && !(f.factor > 0.0)) {
+      throw Error("FaultPlan: straggler factor must be > 0");
+    }
+  }
+}
+
+namespace {
+
+/// Parse "key=value" pairs after the '@' of a rank-fault entry.
+void apply_rank_fault_field(RankFault& fault, const std::string& token,
+                            const std::string& entry) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    throw Error("RankFault: expected key=value, got '" + token + "' in '" + entry + "'");
+  }
+  const std::string key = token.substr(0, eq);
+  const std::string value = token.substr(eq + 1);
+  try {
+    if (key == "rank") {
+      fault.rank = std::stoi(value);
+    } else if (key == "op") {
+      fault.after_ops = std::stoull(value);
+    } else if (key == "t") {
+      fault.at_vtime = std::stod(value);
+    } else if (key == "x") {
+      fault.factor = std::stod(value);
+    } else {
+      throw Error("RankFault: unknown field '" + key + "' in '" + entry + "'");
+    }
+  } catch (const std::logic_error&) {  // stoi/stoull/stod failures
+    throw Error("RankFault: cannot parse '" + value + "' in '" + entry + "'");
+  }
+}
+
+}  // namespace
+
+RankFault RankFault::parse(const std::string& entry) {
+  RankFault fault;
+  const size_t at = entry.find('@');
+  const std::string kind = entry.substr(0, at);
+  if (kind == "crash") {
+    fault.kind = RankFaultKind::kCrash;
+  } else if (kind == "hang") {
+    fault.kind = RankFaultKind::kHang;
+  } else if (kind == "straggler") {
+    fault.kind = RankFaultKind::kStraggler;
+  } else {
+    throw Error("RankFault: unknown kind '" + kind + "' in '" + entry +
+                "' (want crash|hang|straggler)");
+  }
+  if (at == std::string::npos) return fault;
+  size_t pos = at + 1;
+  while (pos <= entry.size()) {
+    const size_t comma = entry.find(',', pos);
+    apply_rank_fault_field(
+        fault,
+        entry.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos),
+        entry);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return fault;
+}
+
+std::vector<RankFault> FaultPlan::parse_rank_faults(const std::string& spec) {
+  std::vector<RankFault> faults;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t semi = spec.find(';', pos);
+    const std::string entry =
+        spec.substr(pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    if (!entry.empty()) faults.push_back(RankFault::parse(entry));
+    if (semi == std::string::npos) break;
+    pos = semi + 1;
+  }
+  if (faults.empty()) {
+    throw Error("RankFault: empty schedule '" + spec + "'");
+  }
+  return faults;
+}
+
 std::string FaultPlan::describe() const {
-  char buf[160];
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "seed=%llu drop=%g corrupt=%g reorder=%g dup=%g stall=%g mangle=%g",
                 static_cast<unsigned long long>(seed), drop, corrupt, reorder, duplicate,
                 stall, mangle);
+  std::string out = buf;
+  for (const RankFault& f : rank_faults) {
+    const char* kind = f.kind == RankFaultKind::kCrash  ? "crash"
+                       : f.kind == RankFaultKind::kHang ? "hang"
+                                                        : "straggler";
+    std::snprintf(buf, sizeof(buf), " %s@rank=%d", kind, f.rank);
+    out += buf;
+    if (f.kind == RankFaultKind::kStraggler) {
+      std::snprintf(buf, sizeof(buf), ",x=%g", f.factor);
+      out += buf;
+    } else if (f.after_ops > 0) {
+      std::snprintf(buf, sizeof(buf), ",op=%llu",
+                    static_cast<unsigned long long>(f.after_ops));
+      out += buf;
+    } else if (f.at_vtime > 0.0) {
+      std::snprintf(buf, sizeof(buf), ",t=%g", f.at_vtime);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+RankFailedError::RankFailedError(std::vector<int> failed_ranks, uint32_t epoch)
+    : Error([&] {
+        std::string msg = "rank failure in epoch " + std::to_string(epoch) +
+                          ": failed ranks {";
+        for (size_t i = 0; i < failed_ranks.size(); ++i) {
+          if (i) msg += ",";
+          msg += std::to_string(failed_ranks[i]);
+        }
+        msg += "}";
+        return msg;
+      }()),
+      failed_ranks_(std::move(failed_ranks)),
+      epoch_(epoch) {}
+
+double RetryPolicy::backoff_for(int attempt) const {
+  double backoff = backoff_base_s;
+  for (int i = 1; i < attempt; ++i) backoff *= backoff_factor;
+  return backoff;
+}
+
+RetryPolicy RetryPolicy::parse(const std::string& spec) {
+  RetryPolicy policy;
+  double* const slots[] = {&policy.backoff_base_s, &policy.backoff_factor};
+  size_t pos = 0;
+  int field = 0;
+  while (pos <= spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const std::string token =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    try {
+      if (field == 0) {
+        policy.max_attempts = std::stoi(token);
+      } else if (field - 1 < static_cast<int>(std::size(slots))) {
+        *slots[field - 1] = std::stod(token);
+      } else {
+        throw Error("RetryPolicy: too many fields in '" + spec + "'");
+      }
+    } catch (const std::logic_error&) {
+      throw Error("RetryPolicy: cannot parse '" + token + "' in '" + spec + "'");
+    }
+    ++field;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  policy.validate();
+  return policy;
+}
+
+void RetryPolicy::validate() const {
+  if (max_attempts < 1) throw Error("RetryPolicy: max_attempts must be >= 1");
+  if (!(backoff_base_s > 0.0)) throw Error("RetryPolicy: backoff_base must be > 0");
+  if (!(backoff_factor >= 1.0)) throw Error("RetryPolicy: backoff_factor must be >= 1");
+}
+
+std::string RetryPolicy::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "attempts=%d backoff=%gs x%g", max_attempts,
+                backoff_base_s, backoff_factor);
   return buf;
 }
 

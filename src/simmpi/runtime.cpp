@@ -54,6 +54,16 @@ void mangle_payload(std::vector<uint8_t>& payload) {
 /// is far beyond any retry depth the recovery paths use.
 uint64_t attempt_counter(uint64_t seq, uint64_t attempt) { return (seq << 6) | (attempt & 63); }
 
+/// Internal unwind signals of the rank-failure control plane.  Deliberately
+/// NOT derived from hzccl::Error: collective bodies catch Error for the
+/// degraded-block healing paths, and these must pass through untouched.
+struct RankStopSignal {};     ///< this rank's scheduled crash/hang fired
+struct RankRevokedSignal {};  ///< a hopeless wait revoked the current attempt
+
+/// PRNG stream tags for seed-derived rank-fault placement.
+constexpr uint64_t kRankFaultRankStream = 0x52414E4BULL;  // "RANK"
+constexpr uint64_t kRankFaultOpStream = 0x4F505321ULL;    // "OPS!"
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -64,9 +74,24 @@ Comm::Comm(Runtime* rt, int rank, int size)
     : runtime_(rt),
       rank_(rank),
       size_(size),
+      phys_rank_(rank),
+      group_(static_cast<size_t>(size)),
       send_seq_(static_cast<size_t>(size), 0),
       accepted_(static_cast<size_t>(size)),
-      limbo_(static_cast<size_t>(size)) {}
+      limbo_(static_cast<size_t>(size)) {
+  for (int i = 0; i < size; ++i) group_[static_cast<size_t>(i)] = i;
+  for (const RankFault& f : rt->resolved_faults_) {
+    if (f.rank != rank) continue;
+    if (f.kind == RankFaultKind::kStraggler) {
+      if (cost_factor_ == 1.0) {
+        cost_factor_ = f.factor;
+        ++health_.straggles;
+      }
+    } else if (stop_fault_ == nullptr) {
+      stop_fault_ = &f;
+    }
+  }
+}
 
 const NetModel& Comm::net() const { return runtime_->net(); }
 const FaultPlan& Comm::faults() const { return runtime_->faults(); }
@@ -74,9 +99,9 @@ const FaultPlan& Comm::faults() const { return runtime_->faults(); }
 void Comm::maybe_stall(FaultKind kind) {
   const FaultPlan& plan = runtime_->faults();
   if (plan.stall <= 0.0) return;
-  if (fault_roll(plan.seed, kind, rank_, rank_, stall_counter_++) < plan.stall) {
+  if (fault_roll(plan.seed, kind, phys_rank_, phys_rank_, stall_counter_++) < plan.stall) {
     const double t0 = clock_.now();
-    clock_.advance(plan.stall_seconds, CostBucket::kMpi);
+    clock_.advance(plan.stall_seconds * cost_factor_, CostBucket::kMpi);
     ++transport_.stalls;
     if (trace_.enabled()) {
       trace::Event e;
@@ -90,21 +115,23 @@ void Comm::maybe_stall(FaultKind kind) {
 
 void Comm::send(int dst, int tag, std::span<const uint8_t> payload) {
   if (dst < 0 || dst >= size_) throw hzccl::Error("send: bad destination rank");
+  runtime_->check_rank_fault(*this);
   maybe_stall(FaultKind::kStallSend);
   // Eager protocol: the sender only pays injection latency; the transfer
   // itself is accounted at the receiver against the send timestamp.
-  const uint64_t seq = send_seq_[static_cast<size_t>(dst)];
+  const int pdst = to_phys(dst);
+  const uint64_t seq = send_seq_[static_cast<size_t>(pdst)];
   const double t0 = clock_.now();
-  clock_.advance(runtime_->net().latency_s, CostBucket::kMpi);
+  clock_.advance(runtime_->net().latency_s * cost_factor_, CostBucket::kMpi);
   bytes_sent_ += payload.size();
-  runtime_->transmit(*this, dst, tag, payload);
+  runtime_->transmit(*this, pdst, tag, payload);
   if (trace_.enabled()) {
     trace::Event e;
     e.t0 = t0;
     e.t1 = clock_.now();
     e.seq = seq;
     e.bytes = payload.size();
-    e.peer = dst;
+    e.peer = pdst;
     e.tag = tag;
     e.kind = trace::EventKind::kSend;
     trace_.record(e);
@@ -113,12 +140,13 @@ void Comm::send(int dst, int tag, std::span<const uint8_t> payload) {
 
 std::vector<uint8_t> Comm::recv(int src, int tag) {
   if (src < 0 || src >= size_) throw hzccl::Error("recv: bad source rank");
+  runtime_->check_rank_fault(*this);
   // The NIC drains any reorder-held frames while this rank is about to wait;
   // this keeps the release points deterministic and the transport
   // deadlock-free (a blocked rank never sits on undelivered traffic).
   runtime_->flush_limbo(*this);
   maybe_stall(FaultKind::kStallRecv);
-  std::vector<uint8_t> payload = runtime_->take(*this, src, tag);
+  std::vector<uint8_t> payload = runtime_->take(*this, to_phys(src), tag);
   bytes_received_ += payload.size();
   return payload;
 }
@@ -134,18 +162,54 @@ void Comm::recv_into(int src, int tag, std::span<uint8_t> out) {
 
 std::vector<uint8_t> Comm::refetch(int src, int tag, Refetch mode, size_t raw_bytes_hint) {
   if (src < 0 || src >= size_) throw hzccl::Error("refetch: bad source rank");
-  return runtime_->refetch(*this, src, tag, mode, raw_bytes_hint);
+  return runtime_->refetch(*this, to_phys(src), tag, mode, raw_bytes_hint);
 }
 
 void Comm::barrier() {
+  runtime_->check_rank_fault(*this);
   runtime_->flush_limbo(*this);
-  runtime_->barrier_wait(*this);
+  if (runtime_->rank_faults_on()) {
+    runtime_->rf_barrier_wait(*this);
+  } else {
+    runtime_->barrier_wait(*this);
+  }
+}
+
+void Comm::guarded(const std::function<void()>& body) {
+  if (!runtime_->rank_faults_on()) {
+    body();
+    return;
+  }
+  try {
+    body();
+  } catch (const RankRevokedSignal&) {
+    // A hopeless wait revoked this attempt; the agreement below settles
+    // which ranks actually failed.
+  }
+  runtime_->flush_limbo(*this);
+  runtime_->agreement(*this);
+}
+
+void Comm::shrink() { runtime_->shrink_group(*this); }
+
+void Comm::retry_backoff(const RetryPolicy& policy, int failures) {
+  const double t0 = clock_.now();
+  clock_.advance(policy.backoff_for(failures), CostBucket::kMpi);
+  ++health_.retries;
+  if (trace_.enabled()) {
+    trace::Event e;
+    e.t0 = t0;
+    e.t1 = clock_.now();
+    e.seq = failures;
+    e.kind = trace::EventKind::kBackoff;
+    trace_.record(e);
+  }
 }
 
 void Comm::charge(CostBucket bucket, double seconds, trace::EventKind kind, uint64_t bytes,
                   uint64_t bytes_out) {
   const double t0 = clock_.now();
-  clock_.advance(seconds, bucket);
+  clock_.advance(seconds * cost_factor_, bucket);
   if (trace_.enabled() && seconds > 0.0) {
     trace::Event e;
     e.t0 = t0;
@@ -170,13 +234,396 @@ void Comm::recv_floats_into(int src, int tag, std::span<float> out) {
 // ---------------------------------------------------------------------------
 
 Runtime::Runtime(int nranks, NetModel net, FaultPlan faults, trace::Options trace_opts)
-    : nranks_(nranks), net_(net), faults_(faults), trace_opts_(trace_opts) {
+    : nranks_(nranks), net_(net), faults_(std::move(faults)), trace_opts_(trace_opts) {
   if (nranks <= 0) throw hzccl::Error("Runtime: rank count must be positive");
   mailboxes_.reserve(static_cast<size_t>(nranks));
   for (int i = 0; i < nranks; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+  if (rank_faults_on()) {
+    faults_.validate();
+    resolve_rank_faults();
+    rank_state_.assign(static_cast<size_t>(nranks), RankState{});
+    shrink_arrived_.assign(static_cast<size_t>(nranks), 0);
+    members_.resize(static_cast<size_t>(nranks));
+    for (int i = 0; i < nranks; ++i) members_[static_cast<size_t>(i)] = i;
+  }
 }
 
 Runtime::~Runtime() = default;
+
+void Runtime::resolve_rank_faults() {
+  resolved_faults_ = faults_.rank_faults;
+  uint64_t idx = 0;
+  for (RankFault& f : resolved_faults_) {
+    if (f.rank < 0) {
+      f.rank = static_cast<int>(fault_mix(faults_.seed, kRankFaultRankStream, idx) %
+                                static_cast<uint64_t>(nranks_));
+    }
+    if (f.rank >= nranks_) {
+      throw hzccl::Error("FaultPlan: rank-fault rank " + std::to_string(f.rank) +
+                         " out of range for " + std::to_string(nranks_) + " ranks");
+    }
+    if (f.kind != RankFaultKind::kStraggler && f.after_ops == 0 && f.at_vtime <= 0.0) {
+      // Seed-derived crash point: somewhere in the first rounds of a ring
+      // schedule, so small collectives still hit it.
+      f.after_ops = 1 + fault_mix(faults_.seed, kRankFaultOpStream, idx) % 24;
+    }
+    ++idx;
+  }
+}
+
+void Runtime::check_rank_fault(Comm& comm) {
+  if (!rank_faults_on()) return;
+  ++comm.transport_ops_;
+  const RankFault* f = comm.stop_fault_;
+  if (f == nullptr) return;
+  const bool fire = (f->after_ops > 0 && comm.transport_ops_ >= f->after_ops) ||
+                    (f->at_vtime > 0.0 && comm.clock_.now() >= f->at_vtime);
+  if (fire) kill_rank(comm, f->kind == RankFaultKind::kHang);
+}
+
+void Runtime::wake_all_mailboxes() {
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->cv.notify_all();
+  }
+}
+
+void Runtime::kill_rank(Comm& comm, bool hang) {
+  const int me = comm.phys_rank_;
+  if (hang) {
+    // A hung rank stays attached: its NIC drains the reorder-held frames
+    // before the death becomes visible, so peers consume them normally.
+    flush_limbo(comm);
+  } else if (faults_.enabled()) {
+    // Crash: the NIC dies with held frames still parked.  Their window
+    // entries flip to "dropped" so receivers recover them with the standard
+    // timeout/NACK machinery instead of blocking forever — the fabric, not
+    // the dead process, retains the pristine copy.
+    for (int dst = 0; dst < nranks_; ++dst) {
+      std::unique_ptr<WireMessage>& heldmsg = comm.limbo_[static_cast<size_t>(dst)];
+      if (!heldmsg) continue;
+      Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
+      {
+        std::lock_guard<std::mutex> lock(box.mutex);
+        for (WindowEntry& e : box.window) {
+          if (e.src == me && e.seq == heldmsg->seq && e.outcome == WireOutcome::kHeld) {
+            e.outcome = WireOutcome::kDropped;
+            break;
+          }
+        }
+      }
+      box.cv.notify_all();
+      heldmsg.reset();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    RankState& st = rank_state_[static_cast<size_t>(me)];
+    st.dead = true;
+    st.stop_vtime = comm.clock_.now();
+    if (hang) {
+      ++comm.health_.hangs;
+    } else {
+      ++comm.health_.crashes;
+    }
+    try_complete_agreement_locked();
+    try_complete_shrink_locked();
+  }
+  control_cv_.notify_all();
+  wake_all_mailboxes();
+  throw RankStopSignal{};
+}
+
+void Runtime::mark_finished(Comm& comm) {
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    RankState& st = rank_state_[static_cast<size_t>(comm.phys_rank_)];
+    st.finished = true;
+    st.stop_vtime = comm.clock_.now();
+    try_complete_agreement_locked();
+    try_complete_shrink_locked();
+  }
+  control_cv_.notify_all();
+  wake_all_mailboxes();
+}
+
+void Runtime::declare_peer_failed(Comm& receiver, int peer, double stop_vtime) {
+  VirtualClock& clock = receiver.clock_;
+  // Charge the health-machine deadlines: the receiver's patience runs from
+  // the later of its own clock and the peer's final stop time — both pure
+  // virtual quantities, so the charge replays exactly.
+  const double base = std::max(clock.now(), stop_vtime);
+  const double t0 = clock.now();
+  const double suspect_at = base + faults_.recv_timeout_s;
+  clock.advance_to(suspect_at, CostBucket::kMpi);
+  ++receiver.health_.suspects;
+  if (receiver.trace_.enabled()) {
+    trace::Event e;
+    e.t0 = t0;
+    e.t1 = clock.now();
+    e.peer = peer;
+    e.kind = trace::EventKind::kSuspect;
+    receiver.trace_.record(e);
+  }
+  const double mid = clock.now();
+  clock.advance_to(suspect_at + faults_.fail_timeout_s, CostBucket::kMpi);
+  ++receiver.health_.dead_declared;
+  if (receiver.trace_.enabled()) {
+    trace::Event e;
+    e.t0 = mid;
+    e.t1 = clock.now();
+    e.peer = peer;
+    e.kind = trace::EventKind::kDetect;
+    receiver.trace_.record(e);
+  }
+  throw RankRevokedSignal{};
+}
+
+void Runtime::try_complete_agreement_locked() {
+  if (members_.empty()) return;
+  // The round completes when every member has a final verdict: parked in
+  // the round, dead, or finished.  At least one parked rank must exist —
+  // otherwise no round is in progress.
+  bool any_stopped = false;
+  for (int m : members_) {
+    const RankState& st = rank_state_[static_cast<size_t>(m)];
+    if (st.stopped) {
+      any_stopped = true;
+    } else if (!st.dead && !st.finished) {
+      return;
+    }
+  }
+  if (!any_stopped) return;
+  agree_failed_.clear();
+  int survivors = 0;
+  for (int m : members_) {
+    const RankState& st = rank_state_[static_cast<size_t>(m)];
+    if (st.dead) {
+      agree_failed_.push_back(m);
+    } else {
+      ++survivors;
+    }
+  }
+  // Ring collect + broadcast of the failed-rank set over the survivors,
+  // skipping dead hops: 2(S-1) latency-priced hops after the last arrival.
+  const double hops = survivors > 1 ? 2.0 * static_cast<double>(survivors - 1) : 0.0;
+  agree_release_vtime_ = agree_max_vtime_ + hops * net_.latency_s;
+  agree_epoch_ = epoch_;
+  if (agree_failed_.empty()) {
+    // Unanimous success: the group continues unchanged into the next round.
+    for (int m : members_) rank_state_[static_cast<size_t>(m)].stopped = false;
+  }
+  // On failure the parked flags stay set until shrink() installs the new
+  // epoch: a failed-epoch rank must remain hopeless to wait for.
+  agree_max_vtime_ = 0.0;
+  ++agree_generation_;
+}
+
+void Runtime::agreement(Comm& comm) {
+  const int me = comm.phys_rank_;
+  const double arrival = comm.clock_.now();
+  uint64_t my_generation;
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    RankState& st = rank_state_[static_cast<size_t>(me)];
+    st.stopped = true;
+    st.stop_vtime = arrival;
+    agree_max_vtime_ = std::max(agree_max_vtime_, arrival);
+    my_generation = agree_generation_;
+    try_complete_agreement_locked();
+  }
+  control_cv_.notify_all();
+  // Peers blocked in take() re-evaluate hopelessness against this arrival.
+  wake_all_mailboxes();
+
+  std::vector<int> failed;
+  double release = 0.0;
+  uint32_t epoch = 0;
+  {
+    std::unique_lock<std::mutex> lock(control_mutex_);
+    control_cv_.wait(lock, [&] {
+      return agree_generation_ != my_generation || aborted_.load(std::memory_order_acquire);
+    });
+    if (agree_generation_ == my_generation) {
+      throw hzccl::Error("simmpi: a peer rank failed while this rank was in an agreement");
+    }
+    failed = agree_failed_;
+    release = agree_release_vtime_;
+    epoch = agree_epoch_;
+  }
+  const double t0 = comm.clock_.now();
+  comm.clock_.advance_to(release, CostBucket::kMpi);
+  ++comm.health_.agreements;
+  if (comm.trace_.enabled()) {
+    trace::Event e;
+    e.t0 = t0;
+    e.t1 = comm.clock_.now();
+    e.seq = epoch;
+    e.bytes = failed.size();
+    e.kind = trace::EventKind::kAgree;
+    comm.trace_.record(e);
+  }
+  if (!failed.empty()) {
+    ++comm.health_.failed_agreements;
+    throw RankFailedError(std::move(failed), epoch);
+  }
+}
+
+void Runtime::try_complete_shrink_locked() {
+  if (agree_failed_.empty()) return;  // no failed agreement pending recovery
+  bool any_arrived = false;
+  for (int m : members_) {
+    if (std::find(agree_failed_.begin(), agree_failed_.end(), m) != agree_failed_.end()) {
+      continue;  // agreed-dead: excluded from the rebuild
+    }
+    const RankState& st = rank_state_[static_cast<size_t>(m)];
+    if (shrink_arrived_[static_cast<size_t>(m)]) {
+      any_arrived = true;
+    } else if (!st.dead && !st.finished) {
+      return;  // a survivor is still on its way
+    }
+  }
+  if (!any_arrived) return;
+  // Install the new epoch over the agreed survivors.  A rank that died
+  // *during* the shrink stays in the new group as a dead member; the next
+  // attempt detects it and shrinks again.
+  std::vector<int> next;
+  next.reserve(members_.size());
+  for (int m : members_) {
+    if (std::find(agree_failed_.begin(), agree_failed_.end(), m) == agree_failed_.end()) {
+      next.push_back(m);
+    }
+  }
+  members_ = std::move(next);
+  ++epoch_;
+  for (int m : members_) rank_state_[static_cast<size_t>(m)].stopped = false;
+  agree_failed_.clear();
+  const size_t survivors = members_.size();
+  const double hops = survivors > 1 ? 2.0 * static_cast<double>(survivors - 1) : 0.0;
+  shrink_release_vtime_ = shrink_max_vtime_ + hops * net_.latency_s;
+  shrink_max_vtime_ = 0.0;
+  std::fill(shrink_arrived_.begin(), shrink_arrived_.end(), 0);
+  ++shrink_generation_;
+}
+
+void Runtime::shrink_group(Comm& comm) {
+  if (!rank_faults_on()) {
+    throw hzccl::Error("shrink: only meaningful with scheduled rank faults");
+  }
+  check_rank_fault(comm);
+  flush_limbo(comm);
+  const int me = comm.phys_rank_;
+  const double arrival = comm.clock_.now();
+  uint64_t my_generation;
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    if (agree_failed_.empty() && shrink_generation_ == 0) {
+      throw hzccl::Error("shrink: no failed agreement to recover from");
+    }
+    shrink_arrived_[static_cast<size_t>(me)] = 1;
+    shrink_max_vtime_ = std::max(shrink_max_vtime_, arrival);
+    my_generation = shrink_generation_;
+    try_complete_shrink_locked();
+  }
+  control_cv_.notify_all();
+
+  double release = 0.0;
+  uint32_t new_epoch = 0;
+  {
+    std::unique_lock<std::mutex> lock(control_mutex_);
+    control_cv_.wait(lock, [&] {
+      return shrink_generation_ != my_generation || aborted_.load(std::memory_order_acquire);
+    });
+    if (shrink_generation_ == my_generation) {
+      throw hzccl::Error("simmpi: a peer rank failed while this rank was in a shrink");
+    }
+    release = shrink_release_vtime_;
+    new_epoch = epoch_;
+    comm.group_ = members_;
+  }
+  comm.epoch_view_ = new_epoch;
+  comm.size_ = static_cast<int>(comm.group_.size());
+  comm.rank_ = static_cast<int>(
+      std::find(comm.group_.begin(), comm.group_.end(), me) - comm.group_.begin());
+  if (comm.rank_ >= comm.size_) {
+    throw hzccl::Error("shrink: this rank is not part of the surviving group");
+  }
+  // Purge this rank's mailbox of old-epoch traffic from the failed attempt.
+  {
+    Mailbox& box = *mailboxes_[static_cast<size_t>(me)];
+    std::lock_guard<std::mutex> lock(box.mutex);
+    const size_t before = box.messages.size();
+    std::erase_if(box.messages,
+                  [&](const WireMessage& m) { return m.epoch < new_epoch; });
+    comm.health_.stale_discards += before - box.messages.size();
+    std::erase_if(box.window, [&](const WindowEntry& w) { return w.epoch < new_epoch; });
+  }
+  const double t0 = comm.clock_.now();
+  comm.clock_.advance_to(release, CostBucket::kMpi);
+  ++comm.health_.shrinks;
+  if (comm.trace_.enabled()) {
+    trace::Event e;
+    e.t0 = t0;
+    e.t1 = comm.clock_.now();
+    e.seq = new_epoch;
+    e.kind = trace::EventKind::kShrink;
+    comm.trace_.record(e);
+  }
+}
+
+void Runtime::rf_barrier_wait(Comm& comm) {
+  VirtualClock& clock = comm.clock_;
+  const double t0 = clock.now();
+  const int me = comm.phys_rank_;
+  std::unique_lock<std::mutex> lock(control_mutex_);
+  const uint64_t my_generation = rf_barrier_generation_;
+  rf_barrier_max_ = std::max(rf_barrier_max_, clock.now());
+  ++rf_barrier_arrived_;
+  for (;;) {
+    if (rf_barrier_generation_ != my_generation) break;  // released
+    if (rf_barrier_arrived_ == static_cast<int>(members_.size())) {
+      const size_t n = members_.size();
+      const double hops = n > 1 ? std::ceil(std::log2(static_cast<double>(n))) : 0.0;
+      rf_barrier_release_ = rf_barrier_max_ + hops * net_.latency_s;
+      rf_barrier_arrived_ = 0;
+      rf_barrier_max_ = 0.0;
+      ++rf_barrier_generation_;
+      control_cv_.notify_all();
+      break;
+    }
+    // A dead, parked or finished member can never arrive: the barrier is
+    // hopeless.  The failure charge uses only this rank's own arrival time
+    // (never the racy set of currently-visible causes), so it replays
+    // exactly; peer=-1 marks "a member", not a specific culprit.
+    bool hopeless = false;
+    for (int m : members_) {
+      if (m == me) continue;
+      const RankState& st = rank_state_[static_cast<size_t>(m)];
+      if (st.dead || st.stopped || st.finished) {
+        hopeless = true;
+        break;
+      }
+    }
+    if (hopeless) {
+      --rf_barrier_arrived_;
+      lock.unlock();
+      declare_peer_failed(comm, -1, -1.0);
+    }
+    if (aborted_.load(std::memory_order_acquire)) {
+      --rf_barrier_arrived_;
+      throw hzccl::Error("simmpi: a peer rank failed while this rank was in a barrier");
+    }
+    control_cv_.wait(lock);
+  }
+  clock.advance_to(rf_barrier_release_, CostBucket::kMpi);
+  if (comm.trace_.enabled() && clock.now() > t0) {
+    trace::Event e;
+    e.t0 = t0;
+    e.t1 = clock.now();
+    e.kind = trace::EventKind::kWait;
+    comm.trace_.record(e);
+  }
+}
 
 void Runtime::post(int dst, WireMessage msg) {
   Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
@@ -188,7 +635,7 @@ void Runtime::post(int dst, WireMessage msg) {
 }
 
 void Runtime::transmit(Comm& sender, int dst, int tag, std::span<const uint8_t> payload) {
-  const int src = sender.rank_;
+  const int src = sender.phys_rank_;
   const uint64_t seq = sender.send_seq_[static_cast<size_t>(dst)]++;
   const bool on = faults_.enabled();
   ++sender.transport_.frames_sent;
@@ -205,6 +652,7 @@ void Runtime::transmit(Comm& sender, int dst, int tag, std::span<const uint8_t> 
   msg.src = src;
   msg.tag = tag;
   msg.seq = seq;
+  msg.epoch = sender.epoch_view_;
   msg.send_vtime = sender.clock_.now();
   msg.frame = encode_frame(seq, wire_payload);
 
@@ -242,6 +690,7 @@ void Runtime::transmit(Comm& sender, int dst, int tag, std::span<const uint8_t> 
     entry.src = src;
     entry.tag = tag;
     entry.seq = seq;
+    entry.epoch = msg.epoch;
     entry.pristine.assign(payload.begin(), payload.end());
     entry.send_vtime = msg.send_vtime;
     entry.outcome = dropped ? WireOutcome::kDropped
@@ -299,7 +748,8 @@ void Runtime::flush_limbo(Comm& sender) {
     {
       std::lock_guard<std::mutex> lock(box.mutex);
       for (WindowEntry& e : box.window) {
-        if (e.src == sender.rank_ && e.seq == heldmsg->seq && e.outcome == WireOutcome::kHeld) {
+        if (e.src == sender.phys_rank_ && e.seq == heldmsg->seq &&
+            e.outcome == WireOutcome::kHeld) {
           e.outcome = WireOutcome::kDelivered;
           break;
         }
@@ -311,7 +761,7 @@ void Runtime::flush_limbo(Comm& sender) {
 }
 
 std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
-  const int me = receiver.rank_;
+  const int me = receiver.phys_rank_;
   Mailbox& box = *mailboxes_[static_cast<size_t>(me)];
   std::unordered_set<uint64_t>& accepted = receiver.accepted_[static_cast<size_t>(src)];
   std::unique_lock<std::mutex> lock(box.mutex);
@@ -331,8 +781,9 @@ std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
     }
     const size_t frame_bytes = sizeof(FrameHeader) + payload.size();
     const double t0 = receiver.clock_.now();
-    receiver.clock_.advance_to(start_time + net_.retransmit_seconds(frame_bytes, nranks_),
-                               CostBucket::kMpi);
+    receiver.clock_.advance_to(
+        start_time + net_.retransmit_seconds(frame_bytes, nranks_) * receiver.cost_factor_,
+        CostBucket::kMpi);
     if (receiver.trace_.enabled()) {
       trace::Event ev;
       ev.t0 = t0;
@@ -358,13 +809,21 @@ std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
   };
 
   for (;;) {
-    // Purge duplicates of already-accepted transmissions from this source.
+    // Purge duplicates of already-accepted transmissions from this source,
+    // and (under rank faults) frames stamped with an epoch older than this
+    // rank's group view — traffic of a failed attempt that shrink missed.
     // A duplicate enters the mailbox atomically with its original, so by
     // the time the original is accepted the copy is visible here — the
     // discard count replays exactly.
     for (auto dup = box.messages.begin(); dup != box.messages.end();) {
-      if (dup->src == src && accepted.count(dup->seq)) {
-        ++receiver.transport_.duplicate_discards;
+      const bool stale =
+          rank_faults_on() && dup->src == src && dup->epoch < receiver.epoch_view_;
+      if (stale || (dup->src == src && accepted.count(dup->seq))) {
+        if (stale) {
+          ++receiver.health_.stale_discards;
+        } else {
+          ++receiver.transport_.duplicate_discards;
+        }
         const double t0 = receiver.clock_.now();
         receiver.clock_.advance(net_.latency_s, CostBucket::kMpi);
         if (receiver.trace_.enabled()) {
@@ -376,6 +835,7 @@ std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
           ev.peer = src;
           ev.tag = dup->tag;
           ev.kind = trace::EventKind::kDiscard;
+          if (stale) ev.aux = trace::kAuxStaleEpoch;
           receiver.trace_.record(ev);
         }
         dup = box.messages.erase(dup);
@@ -419,7 +879,8 @@ std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
         // wire-transfer span (comm) so the trace attributes slack correctly.
         const double t_enter = receiver.clock_.now();
         const double data_ready = std::max(t_enter, msg.send_vtime);
-        const double ready = data_ready + net_.transfer_seconds(msg.frame.size(), nranks_);
+        const double ready =
+            data_ready + net_.transfer_seconds(msg.frame.size(), nranks_) * receiver.cost_factor_;
         receiver.clock_.advance_to(ready, CostBucket::kMpi);
         std::vector<uint8_t> payload(frame.payload.begin(), frame.payload.end());
         if (receiver.trace_.enabled()) {
@@ -458,8 +919,9 @@ std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
       // The CRC/length validation rejected the frame: pay for having
       // received the damaged bytes, then NACK for a retransmission.
       ++receiver.transport_.corrupt_frames;
-      const double got_bad = std::max(receiver.clock_.now(), msg.send_vtime) +
-                             net_.transfer_seconds(msg.frame.size(), nranks_);
+      const double got_bad =
+          std::max(receiver.clock_.now(), msg.send_vtime) +
+          net_.transfer_seconds(msg.frame.size(), nranks_) * receiver.cost_factor_;
       const auto wit = std::find_if(box.window.begin(), box.window.end(), [&](const WindowEntry& w) {
         return w.src == src && w.seq == msg.seq && !w.consumed;
       });
@@ -476,7 +938,7 @@ std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
     if (faults_.enabled()) {
       WindowEntry* lost = nullptr;
       for (WindowEntry& w : box.window) {
-        if (w.src == src && w.tag == tag && !w.consumed &&
+        if (w.src == src && w.tag == tag && !w.consumed && w.epoch == receiver.epoch_view_ &&
             w.outcome == WireOutcome::kDropped && (!lost || w.seq < lost->seq)) {
           lost = &w;
         }
@@ -486,6 +948,29 @@ std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
         const double timed_out =
             std::max(receiver.clock_.now(), lost->send_vtime) + faults_.recv_timeout_s;
         return recover(*lost, timed_out);
+      }
+    }
+
+    // Nothing on the wire and nothing recoverable: with rank faults armed,
+    // check whether `src` can still produce the frame at all.  A dead,
+    // agreement-parked or finished peer never sends again — and everything
+    // it *did* send was already visible above — so the wait is hopeless and
+    // the health machine takes over.  Frame availability is always checked
+    // first, which keeps this decision identical under any host scheduling.
+    if (rank_faults_on()) {
+      bool hopeless = false;
+      double stop_vtime = 0.0;
+      {
+        std::lock_guard<std::mutex> control(control_mutex_);
+        const RankState& st = rank_state_[static_cast<size_t>(src)];
+        if (st.dead || st.stopped || st.finished) {
+          hopeless = true;
+          stop_vtime = st.stop_vtime;
+        }
+      }
+      if (hopeless) {
+        lock.unlock();
+        declare_peer_failed(receiver, src, stop_vtime);
       }
     }
 
@@ -501,7 +986,7 @@ std::vector<uint8_t> Runtime::refetch(Comm& receiver, int src, int tag, Comm::Re
   if (!faults_.enabled()) {
     throw hzccl::Error("refetch: the in-flight window is only kept under a FaultPlan");
   }
-  const int me = receiver.rank_;
+  const int me = receiver.phys_rank_;
   Mailbox& box = *mailboxes_[static_cast<size_t>(me)];
   std::lock_guard<std::mutex> lock(box.mutex);
 
@@ -509,7 +994,8 @@ std::vector<uint8_t> Runtime::refetch(Comm& receiver, int src, int tag, Comm::Re
   // the caller just failed to decode.
   WindowEntry* entry = nullptr;
   for (WindowEntry& w : box.window) {
-    if (w.src == src && w.tag == tag && w.consumed && (!entry || w.seq > entry->seq)) {
+    if (w.src == src && w.tag == tag && w.consumed && w.epoch == receiver.epoch_view_ &&
+        (!entry || w.seq > entry->seq)) {
       entry = &w;
     }
   }
@@ -543,7 +1029,8 @@ std::vector<uint8_t> Runtime::refetch(Comm& receiver, int src, int tag, Comm::Re
     }
     const size_t frame_bytes = sizeof(FrameHeader) + payload.size();
     const double t0 = receiver.clock_.now();
-    receiver.clock_.advance(net_.retransmit_seconds(frame_bytes, nranks_), CostBucket::kMpi);
+    receiver.clock_.advance(net_.retransmit_seconds(frame_bytes, nranks_) * receiver.cost_factor_,
+                            CostBucket::kMpi);
     record_refetch(t0, payload.size(), trace::kAuxRetransmit);
     return payload;
   }
@@ -554,7 +1041,8 @@ std::vector<uint8_t> Runtime::refetch(Comm& receiver, int src, int tag, Comm::Re
   ++receiver.transport_.raw_fallbacks;
   const size_t raw_bytes = raw_bytes_hint != 0 ? raw_bytes_hint : entry->pristine.size();
   const double t0 = receiver.clock_.now();
-  receiver.clock_.advance(net_.retransmit_seconds(raw_bytes, nranks_), CostBucket::kMpi);
+  receiver.clock_.advance(net_.retransmit_seconds(raw_bytes, nranks_) * receiver.cost_factor_,
+                          CostBucket::kMpi);
   record_refetch(t0, entry->pristine.size(), trace::kAuxRawFallback);
   return entry->pristine;
 }
@@ -597,6 +1085,7 @@ void Runtime::barrier_wait(Comm& comm) {
 std::vector<ClockReport> Runtime::run(const RankFn& fn) {
   std::vector<ClockReport> reports(static_cast<size_t>(nranks_));
   std::vector<hzccl::TransportStats> transport(static_cast<size_t>(nranks_));
+  std::vector<hzccl::HealthStats> health(static_cast<size_t>(nranks_));
   std::vector<std::vector<trace::Event>> streams(static_cast<size_t>(nranks_));
   std::vector<uint64_t> dropped(static_cast<size_t>(nranks_), 0);
   std::vector<std::exception_ptr> errors(static_cast<size_t>(nranks_));
@@ -616,6 +1105,12 @@ std::vector<ClockReport> Runtime::run(const RankFn& fn) {
         // A returning rank drains its NIC: any reorder-held frame is
         // delivered now so no peer blocks on it forever.
         flush_limbo(comm);
+        // ... and tells the control plane it agrees with anything from now
+        // on, so agreement rounds never wait on a rank that already left.
+        if (rank_faults_on()) mark_finished(comm);
+      } catch (const RankStopSignal&) {
+        // An injected crash/hang, not an error: the control plane already
+        // recorded the death and peers recover through detection/agreement.
       } catch (...) {
         errors[static_cast<size_t>(r)] = std::current_exception();
         // Unblock peers waiting on this rank's messages or on the barrier;
@@ -629,9 +1124,14 @@ std::vector<ClockReport> Runtime::run(const RankFn& fn) {
           std::lock_guard<std::mutex> lock(barrier_mutex_);
           barrier_cv_.notify_all();
         }
+        {
+          std::lock_guard<std::mutex> lock(control_mutex_);
+          control_cv_.notify_all();
+        }
       }
       reports[static_cast<size_t>(r)] = comm.clock().report();
       transport[static_cast<size_t>(r)] = comm.transport();
+      health[static_cast<size_t>(r)] = comm.health();
       if (trace_opts_.enabled) {
         streams[static_cast<size_t>(r)] = comm.trace_.snapshot();
         dropped[static_cast<size_t>(r)] = comm.trace_.dropped();
@@ -648,7 +1148,28 @@ std::vector<ClockReport> Runtime::run(const RankFn& fn) {
     box->window.clear();
   }
   aborted_.store(false, std::memory_order_release);
+  if (rank_faults_on()) {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    rank_state_.assign(static_cast<size_t>(nranks_), RankState{});
+    std::fill(shrink_arrived_.begin(), shrink_arrived_.end(), 0);
+    members_.resize(static_cast<size_t>(nranks_));
+    for (int i = 0; i < nranks_; ++i) members_[static_cast<size_t>(i)] = i;
+    epoch_ = 0;
+    agree_generation_ = 0;
+    agree_max_vtime_ = 0.0;
+    agree_failed_.clear();
+    agree_release_vtime_ = 0.0;
+    agree_epoch_ = 0;
+    shrink_generation_ = 0;
+    shrink_max_vtime_ = 0.0;
+    shrink_release_vtime_ = 0.0;
+    rf_barrier_arrived_ = 0;
+    rf_barrier_generation_ = 0;
+    rf_barrier_max_ = 0.0;
+    rf_barrier_release_ = 0.0;
+  }
   transport_stats_ = std::move(transport);
+  health_stats_ = std::move(health);
   trace_ = trace::Trace{};
   if (trace_opts_.enabled) {
     trace_.ranks = std::move(streams);

@@ -1,8 +1,10 @@
 #include "hzccl/stats/metrics.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 
 #include "hzccl/util/error.hpp"
@@ -43,6 +45,40 @@ ErrorStats compare(std::span<const float> original, std::span<const float> recon
                           : std::numeric_limits<double>::infinity();
   }
   return s;
+}
+
+std::optional<RawBlockReason> classify_raw_block(const float* values, size_t n) {
+  constexpr uint32_t kExpMask = 0x7f800000u;
+  constexpr uint32_t kMantissaMask = 0x007fffffu;
+  uint32_t nonfinite = 0;
+  size_t subnormals = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t bits;
+    std::memcpy(&bits, &values[i], sizeof bits);
+    const uint32_t exp = bits & kExpMask;
+    nonfinite |= static_cast<uint32_t>(exp == kExpMask);
+    subnormals += static_cast<size_t>(exp == 0 && (bits & kMantissaMask) != 0);
+  }
+  if (nonfinite != 0) return RawBlockReason::kNonFinite;
+  if (2 * subnormals > n) return RawBlockReason::kDenormalHeavy;
+  return std::nullopt;
+}
+
+namespace {
+std::atomic<uint64_t> g_raw_block_counts[2] = {};
+}  // namespace
+
+void count_raw_block(RawBlockReason reason) {
+  g_raw_block_counts[static_cast<int>(reason)].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t raw_block_encodes(RawBlockReason reason) {
+  return g_raw_block_counts[static_cast<int>(reason)].load(std::memory_order_relaxed);
+}
+
+uint64_t raw_block_encodes() {
+  return raw_block_encodes(RawBlockReason::kNonFinite) +
+         raw_block_encodes(RawBlockReason::kDenormalHeavy);
 }
 
 ValueRange value_range(std::span<const float> data) {
@@ -108,6 +144,50 @@ std::string describe(const TransportStats& s) {
                 static_cast<unsigned long long>(s.timeout_waits),
                 static_cast<unsigned long long>(s.raw_fallbacks),
                 static_cast<unsigned long long>(s.stalls));
+  return buf;
+}
+
+bool HealthStats::clean() const {
+  return crashes == 0 && hangs == 0 && straggles == 0 && suspects == 0 &&
+         dead_declared == 0 && failed_agreements == 0 && stale_discards == 0 &&
+         shrinks == 0 && retries == 0;
+}
+
+HealthStats& HealthStats::operator+=(const HealthStats& other) {
+  crashes += other.crashes;
+  hangs += other.hangs;
+  straggles += other.straggles;
+  suspects += other.suspects;
+  dead_declared += other.dead_declared;
+  agreements += other.agreements;
+  failed_agreements += other.failed_agreements;
+  stale_discards += other.stale_discards;
+  shrinks += other.shrinks;
+  retries += other.retries;
+  return *this;
+}
+
+HealthStats total_health(std::span<const HealthStats> per_rank) {
+  HealthStats sum;
+  for (const HealthStats& s : per_rank) sum += s;
+  return sum;
+}
+
+std::string describe(const HealthStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "crashes=%llu hangs=%llu straggles=%llu suspects=%llu dead=%llu "
+                "agree=%llu failed=%llu stale=%llu shrink=%llu retry=%llu",
+                static_cast<unsigned long long>(s.crashes),
+                static_cast<unsigned long long>(s.hangs),
+                static_cast<unsigned long long>(s.straggles),
+                static_cast<unsigned long long>(s.suspects),
+                static_cast<unsigned long long>(s.dead_declared),
+                static_cast<unsigned long long>(s.agreements),
+                static_cast<unsigned long long>(s.failed_agreements),
+                static_cast<unsigned long long>(s.stale_discards),
+                static_cast<unsigned long long>(s.shrinks),
+                static_cast<unsigned long long>(s.retries));
   return buf;
 }
 

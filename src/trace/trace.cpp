@@ -19,6 +19,11 @@ std::string kind_name(EventKind k) {
     case EventKind::kRetransmit: return "retransmit";
     case EventKind::kStall: return "stall";
     case EventKind::kDiscard: return "discard";
+    case EventKind::kSuspect: return "suspect";
+    case EventKind::kDetect: return "detect";
+    case EventKind::kAgree: return "agree";
+    case EventKind::kShrink: return "shrink";
+    case EventKind::kBackoff: return "backoff";
   }
   return "?";
 }
@@ -87,6 +92,11 @@ Breakdown aggregate(const Trace& trace) {
         case EventKind::kDiscard: p.comm += dt; break;
         case EventKind::kWait:
         case EventKind::kStall: p.idle += dt; break;
+        case EventKind::kSuspect:
+        case EventKind::kDetect:
+        case EventKind::kAgree:
+        case EventKind::kShrink:
+        case EventKind::kBackoff: p.recovery += dt; break;
       }
       if (!kind_is_transport(e.kind)) {
         p.bytes_uncompressed += e.bytes;
@@ -106,6 +116,7 @@ Breakdown aggregate(const Trace& trace) {
     b.totals.pack += p.pack;
     b.totals.comm += p.comm;
     b.totals.idle += p.idle;
+    b.totals.recovery += p.recovery;
     b.totals.events += p.events;
     b.totals.bytes_sent += p.bytes_sent;
     b.totals.bytes_uncompressed += p.bytes_uncompressed;

@@ -24,6 +24,7 @@ namespace hzccl {
 namespace {
 
 using coll::CollectiveConfig;
+using coll::ring_block_range;
 using simmpi::Comm;
 using simmpi::decode_frame;
 using simmpi::encode_frame;
@@ -54,12 +55,96 @@ TEST(FaultPlan, ParsesTheFlagSyntax) {
   EXPECT_DOUBLE_EQ(short_form.corrupt, 0.0);
 }
 
+TEST(FaultPlan, ParsesTheExtendedKnobs) {
+  // Fields 7-9: mangle probability, stall_seconds and recv_timeout overrides.
+  const FaultPlan p = FaultPlan::parse("42,0.05,0.02,0.1,0.04,0.3,0.01,75e-6,300e-6");
+  EXPECT_DOUBLE_EQ(p.mangle, 0.01);
+  EXPECT_DOUBLE_EQ(p.stall_seconds, 75e-6);
+  EXPECT_DOUBLE_EQ(p.recv_timeout_s, 300e-6);
+
+  // Omitted trailing fields keep their defaults.
+  const FaultPlan d = FaultPlan::parse("42,0.05,0,0,0,0,0.25");
+  EXPECT_DOUBLE_EQ(d.mangle, 0.25);
+  EXPECT_DOUBLE_EQ(d.stall_seconds, FaultPlan{}.stall_seconds);
+  EXPECT_DOUBLE_EQ(d.recv_timeout_s, FaultPlan{}.recv_timeout_s);
+}
+
 TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_THROW(FaultPlan::parse(""), Error);
   EXPECT_THROW(FaultPlan::parse("abc,0.1"), Error);
   EXPECT_THROW(FaultPlan::parse("1,1.5"), Error);   // probability > 1
   EXPECT_THROW(FaultPlan::parse("1,-0.1"), Error);  // probability < 0
-  EXPECT_THROW(FaultPlan::parse("1,0.1,0.1,0.1,0.1,0.1,0.1"), Error);  // too many
+  EXPECT_THROW(FaultPlan::parse("1,0.2,0,0,0,0,1.5"), Error);   // mangle > 1
+  EXPECT_THROW(FaultPlan::parse("1,0.2,0,0,0,0,0,-1e-6"), Error);  // stall_s <= 0
+  EXPECT_THROW(FaultPlan::parse("1,0.2,0,0,0,0,0,50e-6,0"), Error);  // timeout <= 0
+  EXPECT_THROW(FaultPlan::parse("1,0,0,0,0,0,0,50e-6,1e-4,9"), Error);  // too many
+}
+
+TEST(FaultPlan, ValidateCatchesFieldsSetProgrammatically) {
+  FaultPlan p;
+  p.drop = 0.1;
+  EXPECT_NO_THROW(p.validate());
+  p.recv_timeout_s = -1.0;
+  EXPECT_THROW(p.validate(), Error);
+  p.recv_timeout_s = 200e-6;
+  p.mangle = -0.5;
+  EXPECT_THROW(p.validate(), Error);
+  p.mangle = 0.0;
+  p.fail_timeout_s = 0.0;
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(RankFault, ParsesScheduleEntries) {
+  using simmpi::RankFault;
+  using simmpi::RankFaultKind;
+
+  const auto crash = RankFault::parse("crash@rank=2,op=7");
+  EXPECT_EQ(crash.kind, RankFaultKind::kCrash);
+  EXPECT_EQ(crash.rank, 2);
+  EXPECT_EQ(crash.after_ops, 7u);
+
+  const auto hang = RankFault::parse("hang@rank=1,t=2.5e-4");
+  EXPECT_EQ(hang.kind, RankFaultKind::kHang);
+  EXPECT_DOUBLE_EQ(hang.at_vtime, 2.5e-4);
+
+  const auto strag = RankFault::parse("straggler@rank=3,x=8");
+  EXPECT_EQ(strag.kind, RankFaultKind::kStraggler);
+  EXPECT_DOUBLE_EQ(strag.factor, 8.0);
+
+  // Bare kind: rank and trigger derived from the plan seed at runtime.
+  const auto seeded = RankFault::parse("crash");
+  EXPECT_EQ(seeded.rank, -1);
+  EXPECT_EQ(seeded.after_ops, 0u);
+
+  const auto list = FaultPlan::parse_rank_faults("crash@rank=0,op=3;straggler@rank=1,x=2");
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[1].kind, RankFaultKind::kStraggler);
+
+  EXPECT_THROW(RankFault::parse("explode@rank=1"), Error);
+  EXPECT_THROW(RankFault::parse("crash@bogus=1"), Error);
+  EXPECT_THROW(FaultPlan::parse_rank_faults(""), Error);
+
+  FaultPlan p;
+  p.rank_faults.push_back(RankFault::parse("straggler@rank=0,x=4"));
+  EXPECT_TRUE(p.rank_faults_enabled());
+  EXPECT_NO_THROW(p.validate());
+  p.rank_faults[0].factor = -2.0;
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(RetryPolicy, ParsesAndComputesBackoff) {
+  using simmpi::RetryPolicy;
+  const RetryPolicy r = RetryPolicy::parse("3,50e-6,2");
+  EXPECT_EQ(r.max_attempts, 3);
+  EXPECT_TRUE(r.enabled());
+  EXPECT_DOUBLE_EQ(r.backoff_for(1), 50e-6);
+  EXPECT_DOUBLE_EQ(r.backoff_for(2), 100e-6);
+  EXPECT_DOUBLE_EQ(r.backoff_for(3), 200e-6);
+
+  EXPECT_FALSE(RetryPolicy{}.enabled());
+  EXPECT_THROW(RetryPolicy::parse("0"), Error);
+  EXPECT_THROW(RetryPolicy::parse("2,-1"), Error);
+  EXPECT_THROW(RetryPolicy::parse("2,1e-6,0.5"), Error);
 }
 
 TEST(FaultPlan, NoneIsDisabled) {
@@ -392,6 +477,80 @@ TEST(Chaos, PersistentManglingFallsBackToTheRawBlock) {
     }
   }
 }
+
+// Differential sweep for the degraded-round re-encode path: intermittent
+// mangling leaves SOME rounds homomorphic and degrades the rest, so a
+// refetched raw block is added classically, re-encoded, and the re-encoded
+// block must rejoin the compressed pipeline as a valid hz_add operand at the
+// next step — across every compressed kernel and both collective shapes.
+struct DegradedCase {
+  Kernel kernel;
+  Op op;
+  uint64_t seed;
+};
+
+class DegradedRoundSweepTest : public ::testing::TestWithParam<DegradedCase> {};
+
+TEST_P(DegradedRoundSweepTest, ReencodedBlocksRejoinThePipeline) {
+  const DegradedCase c = GetParam();
+  const int n = 4;
+  const size_t elements = 4000;
+  const RankInputFn inputs = chaos_inputs(elements, DatasetId::kCesmAtm);
+
+  JobConfig config;
+  config.nranks = n;
+  config.abs_error_bound = 1e-3;
+  config.faults.seed = c.seed;
+  config.faults.mangle = 0.5;
+
+  const JobResult faulted = run_collective(c.kernel, c.op, config, inputs);
+
+  // Mixed-mode execution: the degraded branch fired at least once...
+  EXPECT_GT(faulted.transport.raw_fallbacks, 0u)
+      << kernel_name(c.kernel) << " seed=" << c.seed;
+  if (c.kernel == Kernel::kHzcclMultiThread || c.kernel == Kernel::kHzcclSingleThread) {
+    // ...and some rounds still reduced homomorphically, which means the
+    // re-encoded blocks were consumed as hz_add operands downstream.
+    EXPECT_GT(faulted.pipeline_stats.blocks(), 0u)
+        << kernel_name(c.kernel) << " seed=" << c.seed;
+  }
+
+  // Degraded rounds re-quantize like DOC, so allow the C-Coll growth law.
+  const std::vector<float> exact = exact_reduction(n, inputs);
+  const size_t expect_elems =
+      c.op == Op::kAllreduce ? exact.size() : ring_block_range(exact.size(), n, 1).size();
+  ASSERT_EQ(faulted.rank0_output.size(), expect_elems);
+  const double bound = 3.0 * n * config.abs_error_bound;
+  const size_t offset =
+      c.op == Op::kAllreduce ? 0 : ring_block_range(exact.size(), n, 1).begin;
+  for (size_t i = 0; i < faulted.rank0_output.size(); ++i) {
+    ASSERT_NEAR(faulted.rank0_output[i], exact[offset + i], bound)
+        << kernel_name(c.kernel) << " " << op_name(c.op) << " i=" << i;
+  }
+}
+
+std::vector<DegradedCase> degraded_cases() {
+  std::vector<DegradedCase> cases;
+  for (Kernel k : {Kernel::kCCollMultiThread, Kernel::kHzcclMultiThread,
+                   Kernel::kCCollSingleThread, Kernel::kHzcclSingleThread}) {
+    for (Op op : {Op::kReduceScatter, Op::kAllreduce}) {
+      for (uint64_t seed : {0xDE6Aull, 0xDE6Bull}) cases.push_back({k, op, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCompressedStacks, DegradedRoundSweepTest,
+                         ::testing::ValuesIn(degraded_cases()),
+                         [](const auto& info) {
+                           const DegradedCase& c = info.param;
+                           std::string name = kernel_name(c.kernel) + "_" + op_name(c.op) +
+                                              "_S" + std::to_string(c.seed & 0xF);
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+                           }
+                           return name;
+                         });
 
 // The ISSUE's acceptance scenario, verbatim: seeded chaos on an 8-rank
 // hZCCL allreduce completes, matches the fault-free run, reports recovery

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,15 @@ std::vector<float> make_field(size_t n, uint64_t salt) {
   }
   for (size_t i = n / 2; i < n / 2 + std::min<size_t>(n / 8, 200) && i < n; ++i) {
     data[i] = -7.5f;
+  }
+  // A non-finite patch (raw fallback blocks) so the mutators also chew on
+  // raw-block framing, and a subnormal run for the denormal-heavy route.
+  for (size_t i = 3 * n / 4; i < 3 * n / 4 + std::min<size_t>(n / 16, 64) && i < n; ++i) {
+    data[i] = (i % 2 == 0) ? std::numeric_limits<float>::quiet_NaN()
+                           : std::numeric_limits<float>::infinity();
+  }
+  for (size_t i = 7 * n / 8; i < 7 * n / 8 + std::min<size_t>(n / 16, 64) && i < n; ++i) {
+    data[i] = std::numeric_limits<float>::denorm_min() * static_cast<float>(1 + i % 5);
   }
   return data;
 }

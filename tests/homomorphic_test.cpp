@@ -240,7 +240,9 @@ TEST(HzPipelineStatsTest, PercentValidation) {
   s.p4 = 1;
   EXPECT_DOUBLE_EQ(s.percent(1), 75.0);
   EXPECT_DOUBLE_EQ(s.percent(4), 25.0);
-  EXPECT_THROW(s.percent(0), Error);
+  s.raw = 4;  // index 0 = the raw-fallback share
+  EXPECT_DOUBLE_EQ(s.percent(0), 50.0);
+  EXPECT_THROW(s.percent(-1), Error);
   EXPECT_THROW(s.percent(5), Error);
 }
 

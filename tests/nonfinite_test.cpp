@@ -1,0 +1,320 @@
+// Non-finite input robustness: blocks carrying NaN/Inf (or dominated by
+// subnormals) must route to the raw verbatim-float fallback in every block
+// encoder, survive decompression bitwise, and flow through the homomorphic
+// operators — including the chain-tracking combine that folds the quantized
+// drift a raw block hides from the decoder into the next residual block.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "hzccl/compressor/fixed_len.hpp"
+#include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/compressor/omp_szp.hpp"
+#include "hzccl/compressor/szx_like.hpp"
+#include "hzccl/datasets/registry.hpp"
+#include "hzccl/homomorphic/hz_dynamic.hpp"
+#include "hzccl/homomorphic/hz_ops.hpp"
+#include "hzccl/homomorphic/hz_static.hpp"
+#include "hzccl/stats/metrics.hpp"
+#include "hzccl/util/error.hpp"
+
+namespace hzccl {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+uint32_t bits_of(float v) {
+  uint32_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+bool same_bits(float a, float b) { return bits_of(a) == bits_of(b); }
+
+/// Smooth base field with a non-finite patch in [patch_begin, patch_end).
+std::vector<float> field_with_patch(size_t n, size_t patch_begin, size_t patch_end) {
+  std::vector<float> data(n);
+  for (size_t i = 0; i < n; ++i) data[i] = 0.25f * static_cast<float>(i % 97) + 1.0f;
+  for (size_t i = patch_begin; i < patch_end && i < n; ++i) {
+    data[i] = (i % 3 == 0) ? kNaN : (i % 3 == 1 ? kInf : -kInf);
+  }
+  return data;
+}
+
+FzParams fz_params(double eb) {
+  FzParams p;
+  p.abs_error_bound = eb;
+  p.block_len = 32;
+  p.num_chunks = 1;  // single chunk: blocks align at multiples of block_len
+  return p;
+}
+
+TEST(RawBlockCodec, EncodesPeeksAndDecodes) {
+  const std::vector<float> vals = {1.0f, kNaN, -kInf, 0.5f, 1e-40f};
+  std::vector<uint8_t> buf(raw_block_size(vals.size()));
+  uint8_t* end = encode_raw_block(vals.data(), vals.size(), buf.data(),
+                                  buf.data() + buf.size());
+  ASSERT_EQ(static_cast<size_t>(end - buf.data()), raw_block_size(vals.size()));
+  EXPECT_EQ(buf[0], kRawBlockMarker);
+
+  EXPECT_EQ(peek_block_size(buf.data(), buf.data() + buf.size(), vals.size()),
+            raw_block_size(vals.size()));
+
+  std::vector<float> back(vals.size());
+  const uint8_t* past = decode_raw_block(buf.data(), buf.data() + buf.size(), vals.size(),
+                                         back.data());
+  EXPECT_EQ(past, buf.data() + buf.size());
+  for (size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_TRUE(same_bits(vals[i], back[i])) << "element " << i;
+  }
+
+  // Raw blocks carry floats, not residuals: the residual decoder refuses.
+  int32_t rbuf[8];
+  EXPECT_THROW(decode_block(buf.data(), buf.data() + buf.size(), vals.size(), rbuf),
+               ParseError);
+  // Truncated payload and insufficient output capacity both fail loudly.
+  EXPECT_THROW(peek_block_size(buf.data(), buf.data() + 3, vals.size()), ParseError);
+  EXPECT_THROW(encode_raw_block(vals.data(), vals.size(), buf.data(), buf.data() + 3),
+               CapacityError);
+}
+
+TEST(FzNonFinite, RoundTripsNonFiniteValuesExactly) {
+  const std::vector<float> data = field_with_patch(512, 40, 75);
+  const uint64_t before = raw_block_encodes(RawBlockReason::kNonFinite);
+
+  const CompressedBuffer stream = fz_compress(data, fz_params(1e-3));
+  EXPECT_GT(raw_block_encodes(RawBlockReason::kNonFinite), before);
+  EXPECT_TRUE(has_raw_blocks(parse_fz(stream.bytes).header));
+
+  const std::vector<float> back = fz_decompress(stream);
+  ASSERT_EQ(back.size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (!std::isfinite(data[i])) {
+      EXPECT_TRUE(same_bits(data[i], back[i])) << "element " << i;
+    } else if (i / 32 == 40 / 32 || i / 32 == 74 / 32) {
+      // Finite neighbors inside a raw block come back bitwise too.
+      EXPECT_TRUE(same_bits(data[i], back[i])) << "element " << i;
+    } else {
+      EXPECT_NEAR(back[i], data[i], 1e-3 * 1.001) << "element " << i;
+    }
+  }
+}
+
+TEST(FzNonFinite, DenormalHeavyBlocksKeepTheirExactValues) {
+  std::vector<float> data(256, 2.0f);
+  const float d0 = std::numeric_limits<float>::denorm_min();
+  for (size_t i = 64; i < 96; ++i) data[i] = d0 * static_cast<float>(1 + i % 7);
+  const uint64_t before = raw_block_encodes(RawBlockReason::kDenormalHeavy);
+
+  const CompressedBuffer stream = fz_compress(data, fz_params(1e-3));
+  EXPECT_GT(raw_block_encodes(RawBlockReason::kDenormalHeavy), before);
+
+  const std::vector<float> back = fz_decompress(stream);
+  for (size_t i = 64; i < 96; ++i) {
+    // The quantizer would flush these to zero; the raw fallback keeps them.
+    EXPECT_TRUE(same_bits(data[i], back[i])) << "element " << i;
+  }
+}
+
+TEST(FzNonFinite, CleanFieldsStayRawFree) {
+  const std::vector<float> data = generate_field(DatasetId::kHurricane, Scale::kTiny, 0);
+  const uint64_t before = raw_block_encodes();
+  FzParams p;
+  p.abs_error_bound = abs_bound_from_rel(data, 1e-3);
+  const CompressedBuffer stream = fz_compress(data, p);
+  EXPECT_EQ(raw_block_encodes(), before);
+  EXPECT_FALSE(has_raw_blocks(parse_fz(stream.bytes).header));
+}
+
+TEST(FzNonFinite, CompressionIsDeterministic) {
+  const std::vector<float> data = field_with_patch(512, 100, 140);
+  const CompressedBuffer a = fz_compress(data, fz_params(1e-3));
+  const CompressedBuffer b = fz_compress(data, fz_params(1e-3));
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
+TEST(FzNonFinite, RangeDecompressCoversRawBlocks) {
+  const std::vector<float> data = field_with_patch(512, 200, 230);
+  const CompressedBuffer stream = fz_compress(data, fz_params(1e-3));
+  const FzView view = parse_fz(stream.bytes);
+  const std::vector<float> full = fz_decompress(stream);
+
+  for (const auto& [begin, end] : {std::pair<size_t, size_t>{190, 250},
+                                  std::pair<size_t, size_t>{205, 215},
+                                  std::pair<size_t, size_t>{0, 512},
+                                  std::pair<size_t, size_t>{230, 400}}) {
+    std::vector<float> part(end - begin);
+    fz_decompress_range(view, begin, end, part);
+    for (size_t i = 0; i < part.size(); ++i) {
+      EXPECT_TRUE(same_bits(part[i], full[begin + i]))
+          << "range [" << begin << "," << end << ") element " << i;
+    }
+  }
+}
+
+/// Reference: element-wise double-domain combine of the two reconstructions.
+void expect_combines(const CompressedBuffer& result, const std::vector<float>& da,
+                     const std::vector<float>& db, double sign_b) {
+  const std::vector<float> sum = fz_decompress(result);
+  ASSERT_EQ(sum.size(), da.size());
+  for (size_t i = 0; i < sum.size(); ++i) {
+    const double want = static_cast<double>(da[i]) + sign_b * static_cast<double>(db[i]);
+    if (!std::isfinite(da[i]) || !std::isfinite(db[i])) {
+      // Raw output block: the float of the double-domain combine, bitwise.
+      EXPECT_TRUE(same_bits(sum[i], static_cast<float>(want))) << "element " << i;
+    } else {
+      // Residual path: the combine rounds once at the sum's magnitude, while
+      // the reference sums two reconstructions each rounded at the (possibly
+      // much larger) operand magnitude — so the slack scales with those.
+      const double slack =
+          2.4e-7 * (std::abs(static_cast<double>(da[i])) + std::abs(db[i])) + 1e-30;
+      EXPECT_NEAR(sum[i], want, slack) << "element " << i;
+    }
+  }
+}
+
+TEST(HzRaw, AddCombinesRawAgainstResidualBlocks) {
+  const std::vector<float> a = field_with_patch(512, 64, 96);
+  std::vector<float> b(512);
+  for (size_t i = 0; i < b.size(); ++i) b[i] = 0.125f * static_cast<float>(i % 53) - 3.0f;
+  const double eb = 1e-3;
+  const CompressedBuffer ca = fz_compress(a, fz_params(eb));
+  const CompressedBuffer cb = fz_compress(b, fz_params(eb));
+  ASSERT_TRUE(has_raw_blocks(parse_fz(ca.bytes).header));
+  ASSERT_FALSE(has_raw_blocks(parse_fz(cb.bytes).header));
+
+  HzPipelineStats stats;
+  const CompressedBuffer out = hz_add(ca, cb, &stats);
+  EXPECT_GT(stats.raw, 0u);
+  EXPECT_TRUE(has_raw_blocks(parse_fz(out.bytes).header));
+  expect_combines(out, fz_decompress(ca), fz_decompress(cb), +1.0);
+}
+
+TEST(HzRaw, ChainSurvivesARawGap) {
+  // Both operands ramp (nonzero residuals everywhere), and b keeps ramping
+  // through the block where a goes raw — the quantized ground b gains there
+  // must be folded into the first residual after the gap, or every element
+  // past the gap drifts.
+  std::vector<float> a(512), b(512);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = 0.01f * static_cast<float>(i);
+    b[i] = 0.02f * static_cast<float>(i);
+  }
+  for (size_t i = 160; i < 192; ++i) a[i] = kNaN;
+  const double eb = 1e-4;
+  const CompressedBuffer out = hz_add(fz_compress(a, fz_params(eb)),
+                                      fz_compress(b, fz_params(eb)));
+  const std::vector<float> sum = fz_decompress(out);
+  for (size_t i = 192; i < 512; ++i) {
+    const double want = static_cast<double>(a[i]) + b[i];
+    ASSERT_NEAR(sum[i], want, 2.0 * eb * 1.001) << "post-gap element " << i;
+  }
+}
+
+TEST(HzRaw, BothOperandsRawInTheSameBlock) {
+  std::vector<float> a = field_with_patch(256, 32, 64);
+  std::vector<float> b = field_with_patch(256, 32, 64);
+  for (size_t i = 0; i < b.size(); ++i) {
+    if (std::isfinite(b[i])) b[i] *= -0.5f;
+  }
+  const double eb = 1e-3;
+  const CompressedBuffer ca = fz_compress(a, fz_params(eb));
+  const CompressedBuffer cb = fz_compress(b, fz_params(eb));
+  expect_combines(hz_add(ca, cb), fz_decompress(ca), fz_decompress(cb), +1.0);
+  expect_combines(hz_sub(ca, cb), fz_decompress(ca), fz_decompress(cb), -1.0);
+}
+
+TEST(HzRaw, NegateFlipsRawSignBitsExactly) {
+  const std::vector<float> a = field_with_patch(256, 96, 128);
+  const CompressedBuffer ca = fz_compress(a, fz_params(1e-3));
+  const std::vector<float> base = fz_decompress(ca);
+  const std::vector<float> neg = fz_decompress(hz_negate(ca));
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(bits_of(neg[i]), bits_of(base[i]) ^ 0x80000000u) << "element " << i;
+  }
+}
+
+TEST(HzRaw, ScaleMultipliesRawValues) {
+  const std::vector<float> a = field_with_patch(256, 0, 32);
+  const CompressedBuffer ca = fz_compress(a, fz_params(1e-3));
+  const std::vector<float> base = fz_decompress(ca);
+  const std::vector<float> scaled = fz_decompress(hz_scale(ca, 3));
+  for (size_t i = 0; i < 32; ++i) {
+    const float want = static_cast<float>(static_cast<double>(base[i]) * 3.0);
+    EXPECT_TRUE(same_bits(scaled[i], want)) << "element " << i;
+  }
+  for (size_t i = 32; i < base.size(); ++i) {
+    ASSERT_NEAR(scaled[i], 3.0 * base[i], 1.2e-6 * std::abs(3.0 * base[i]) + 1e-30);
+  }
+}
+
+TEST(HzRaw, StaticAddTakesTheSameRawPath) {
+  const std::vector<float> a = field_with_patch(256, 128, 160);
+  std::vector<float> b(256, 1.5f);
+  const CompressedBuffer ca = fz_compress(a, fz_params(1e-3));
+  const CompressedBuffer cb = fz_compress(b, fz_params(1e-3));
+  const CompressedBuffer via_dynamic = hz_add(ca, cb);
+  const CompressedBuffer via_static = hz_add_static(ca, cb);
+  EXPECT_EQ(via_static.bytes, via_dynamic.bytes);
+}
+
+TEST(HzRaw, AddManyPropagatesRawBlocks) {
+  const double eb = 1e-3;
+  std::vector<CompressedBuffer> ops;
+  ops.push_back(fz_compress(field_with_patch(256, 64, 80), fz_params(eb)));
+  ops.push_back(fz_compress(std::vector<float>(256, 2.0f), fz_params(eb)));
+  ops.push_back(fz_compress(std::vector<float>(256, -1.0f), fz_params(eb)));
+  const CompressedBuffer out = hz_add_many(ops);
+  EXPECT_TRUE(has_raw_blocks(parse_fz(out.bytes).header));
+  const std::vector<float> sum = fz_decompress(out);
+  for (size_t i = 64; i < 80; ++i) {
+    EXPECT_FALSE(std::isfinite(sum[i]) && i % 3 == 0) << "element " << i;
+  }
+  for (size_t i = 128; i < 256; ++i) {
+    ASSERT_NEAR(sum[i], fz_decompress(ops[0])[i] + 1.0, 2.0 * eb * 1.001);
+  }
+}
+
+TEST(SzpNonFinite, RoundTripsRawBlocks) {
+  const std::vector<float> data = field_with_patch(512, 40, 75);
+  SzpParams p;
+  p.abs_error_bound = 1e-3;
+  p.block_len = 32;
+  const uint64_t before = raw_block_encodes(RawBlockReason::kNonFinite);
+  const CompressedBuffer stream = szp_compress(data, p);
+  EXPECT_GT(raw_block_encodes(RawBlockReason::kNonFinite), before);
+
+  std::vector<float> back(data.size());
+  szp_decompress(stream, back);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (i / 32 == 40 / 32 || i / 32 == 74 / 32 || !std::isfinite(data[i])) {
+      EXPECT_TRUE(same_bits(data[i], back[i])) << "element " << i;
+    } else {
+      EXPECT_NEAR(back[i], data[i], 1e-3 * 1.001) << "element " << i;
+    }
+  }
+}
+
+TEST(SzxNonFinite, KeepsNonFiniteBlocksLossless) {
+  const std::vector<float> data = field_with_patch(512, 100, 130);
+  SzxParams p;
+  p.abs_error_bound = 1e-3;
+  p.block_len = 32;
+  const uint64_t before = raw_block_encodes(RawBlockReason::kNonFinite);
+  const CompressedBuffer stream = szx_compress(data, p);
+  EXPECT_GT(raw_block_encodes(RawBlockReason::kNonFinite), before);
+
+  std::vector<float> back(data.size());
+  szx_decompress(stream, back);
+  for (size_t i = 96; i < 160; ++i) {
+    // The whole touched blocks are stored at the lossless 4-byte width.
+    EXPECT_TRUE(same_bits(data[i], back[i])) << "element " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hzccl

@@ -8,6 +8,7 @@
 #   tools/check.sh --fuzz     # tier 1 + sanitized decoder fuzzing only
 #   tools/check.sh --perf     # tier 1 + perf smoke (zero-allocation gate)
 #   tools/check.sh --cov      # tier 1 + line-coverage gate (unit/property/trace)
+#   tools/check.sh --recovery # tier 1 + sanitized rank-failure tier + seed sweep
 #   tools/check.sh --all      # everything
 #
 # Flags combine (e.g. --lint --tsan).  Exit nonzero on the first failing
@@ -17,7 +18,7 @@ set -eu
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 jobs=$(nproc 2>/dev/null || echo 4)
 
-run_asan=1 run_lint=0 run_tsan=0 run_fuzz=0 run_perf=0 run_cov=0
+run_asan=1 run_lint=0 run_tsan=0 run_fuzz=0 run_perf=0 run_cov=0 run_recovery=0
 for arg in "$@"; do
   case "$arg" in
     --fast) run_asan=0 ;;
@@ -26,8 +27,9 @@ for arg in "$@"; do
     --fuzz) run_asan=0; run_fuzz=1 ;;
     --perf) run_perf=1 ;;
     --cov)  run_cov=1 ;;
-    --all)  run_asan=1 run_lint=1 run_tsan=1 run_perf=1 run_cov=1 ;;
-    *) echo "usage: tools/check.sh [--fast] [--lint] [--tsan] [--fuzz] [--perf] [--cov] [--all]" >&2; exit 2 ;;
+    --recovery) run_recovery=1 ;;
+    --all)  run_asan=1 run_lint=1 run_tsan=1 run_perf=1 run_cov=1 run_recovery=1 ;;
+    *) echo "usage: tools/check.sh [--fast] [--lint] [--tsan] [--fuzz] [--perf] [--cov] [--recovery] [--all]" >&2; exit 2 ;;
   esac
 done
 
@@ -41,7 +43,7 @@ if [ "$run_lint" = "1" ]; then
   "$repo/tools/lint.sh"
 fi
 
-if [ "$run_asan" = "1" ] || [ "$run_fuzz" = "1" ]; then
+if [ "$run_asan" = "1" ] || [ "$run_fuzz" = "1" ] || [ "$run_recovery" = "1" ]; then
   echo "== tier 2: ASan/UBSan build =="
   san_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
   cmake -B "$repo/build-asan" -S "$repo" \
@@ -49,7 +51,8 @@ if [ "$run_asan" = "1" ] || [ "$run_fuzz" = "1" ]; then
     -DCMAKE_CXX_FLAGS="$san_flags" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
   cmake --build "$repo/build-asan" -j "$jobs" \
-    --target faults_test property_test trace_test bytes_test fuzz_decoders
+    --target faults_test property_test trace_test bytes_test fuzz_decoders \
+             recovery_test hzcclc
   if [ "$run_asan" = "1" ]; then
     echo "== tier 2: sanitized chaos + property + trace + corpus =="
     (cd "$repo/build-asan" && ctest -L 'chaos|property|trace' --output-on-failure)
@@ -57,6 +60,20 @@ if [ "$run_asan" = "1" ] || [ "$run_fuzz" = "1" ]; then
   fi
   echo "== tier 2: sanitized decoder fuzzing =="
   "$repo/build-asan/tests/fuzz_decoders" --iterations="${HZCCL_FUZZ_ITERATIONS:-10000}"
+fi
+
+if [ "$run_recovery" = "1" ]; then
+  echo "== recovery: sanitized rank-failure tier (detection/agreement/shrink+retry) =="
+  (cd "$repo/build-asan" && ctest -L recovery --output-on-failure)
+  echo "== recovery: multi-seed shrink-and-retry sweep (hzcclc, 8 seeds) =="
+  # Seed-derived crash schedule: each seed fails a different rank at a
+  # different point; the job must complete over the survivors every time.
+  for seed in 11 12 13 14 15 16 17 18; do
+    echo "-- recovery sweep: seed $seed"
+    "$repo/build-asan/tools/hzcclc" collective --kernel 2 --ranks 8 \
+      --dataset hurricane --scale tiny \
+      --faults "$seed,0.02,0.01" --rank-faults crash --retry 3 >/dev/null
+  done
 fi
 
 if [ "$run_perf" = "1" ]; then

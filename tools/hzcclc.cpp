@@ -43,7 +43,10 @@ int usage() {
                "  hzcclc collective [--kernel 0..4] [--op allreduce|reduce_scatter]\n"
                "                    [--ranks P] [--dataset SLUG] [--scale tiny|small|medium]\n"
                "                    [--rel R | --abs E] [--block N]\n"
-               "                    [--faults seed,drop[,corrupt[,reorder[,dup[,stall]]]]]\n"
+               "                    [--faults seed,drop[,corrupt[,reorder[,dup[,stall\n"
+               "                              [,mangle[,stall_s[,recv_timeout]]]]]]]]\n"
+               "                    [--rank-faults kind@rank=N,op=N|t=T|x=F[;...]]\n"
+               "                    [--retry attempts[,backoff_base[,factor]]]\n"
                "  hzcclc trace      --check <trace.json>\n"
                "  hzcclc trace      [collective flags] [--out <trace.json>] [--capacity N]\n");
   return 2;
@@ -168,8 +171,10 @@ int cmd_binary_op(int argc, char** argv, bool subtract) {
   std::printf("homomorphic %s: %zu bytes out, %.2f GB/s (uncompressed basis)\n",
               subtract ? "sub" : "add", out.size_bytes(),
               gb_per_s(static_cast<double>(v.num_elements()) * sizeof(float), seconds));
-  std::printf("  pipelines: P1 %.1f%%  P2 %.1f%%  P3 %.1f%%  P4 %.1f%%\n", stats.percent(1),
+  std::printf("  pipelines: P1 %.1f%%  P2 %.1f%%  P3 %.1f%%  P4 %.1f%%", stats.percent(1),
               stats.percent(2), stats.percent(3), stats.percent(4));
+  if (stats.raw > 0) std::printf("  raw %.1f%%", stats.percent(0));
+  std::printf("\n");
   return 0;
 }
 
@@ -225,11 +230,24 @@ bool parse_collective_flag(CollectiveCli& cli, int argc, char** argv, int& i) {
   } else if (flag == "--block" && i + 1 < argc) {
     cli.config.block_len = static_cast<uint32_t>(std::stoul(argv[++i]));
   } else if (flag == "--faults" && i + 1 < argc) {
+    // Preserve any --rank-faults already parsed: the two flags compose.
+    auto rank_faults = std::move(cli.config.faults.rank_faults);
     cli.config.faults = simmpi::FaultPlan::parse(argv[++i]);
+    cli.config.faults.rank_faults = std::move(rank_faults);
+  } else if (flag == "--rank-faults" && i + 1 < argc) {
+    cli.config.faults.rank_faults = simmpi::FaultPlan::parse_rank_faults(argv[++i]);
+  } else if (flag == "--retry" && i + 1 < argc) {
+    cli.config.retry = simmpi::RetryPolicy::parse(argv[++i]);
   } else {
     return false;
   }
   return true;
+}
+
+/// The fabric description for the job banner: link plan, rank faults, or both.
+std::string fabric_label(const JobConfig& config) {
+  if (!config.faults.enabled() && !config.faults.rank_faults_enabled()) return "clean fabric";
+  return config.faults.describe();
 }
 
 /// The rank-input generator and error bound shared by collective/trace.
@@ -260,8 +278,7 @@ int cmd_collective(int argc, char** argv) {
 
   std::printf("%s %s, %d ranks, %s @ %s, %zu bytes/rank\n",
               kernel_name(static_cast<Kernel>(kernel)).c_str(), op_name(op).c_str(),
-              config.nranks, dataset_name(dataset).c_str(),
-              config.faults.enabled() ? config.faults.describe().c_str() : "clean fabric",
+              config.nranks, dataset_name(dataset).c_str(), fabric_label(config).c_str(),
               result.input_bytes_per_rank);
   const simmpi::ClockReport& r = result.slowest;
   std::printf("  modeled time: %.3f ms  (MPI %.1f%%  CPR %.1f%%  DPR %.1f%%  CPT %.1f%%  "
@@ -270,31 +287,47 @@ int cmd_collective(int argc, char** argv) {
               r.percent(simmpi::CostBucket::kCpr), r.percent(simmpi::CostBucket::kDpr),
               r.percent(simmpi::CostBucket::kCpt), r.percent(simmpi::CostBucket::kHpr));
   std::printf("  transport:    %s\n", describe(result.transport).c_str());
+  if (config.faults.rank_faults_enabled()) {
+    std::printf("  health:       %s\n", describe(result.health).c_str());
+    if (!result.failed_ranks.empty()) {
+      std::string lost;
+      for (const int r2 : result.failed_ranks) {
+        if (!lost.empty()) lost += ",";
+        lost += std::to_string(r2);
+      }
+      std::printf("  recovery:     lost ranks {%s}; completed over %zu survivors "
+                  "(epoch %u, attempt %d)\n",
+                  lost.c_str(), result.final_group.size(), result.final_epoch,
+                  result.attempts);
+    }
+  }
 
-  // Accuracy against the exact (double-accumulated) reduction; for
-  // reduce-scatter, rank 0 owns ring block 1.
-  std::vector<float> reference = exact_reduction(config.nranks, rank_input);
+  // Accuracy against the exact (double-accumulated) reduction over the group
+  // that actually completed the job (all ranks, or the shrink survivors);
+  // for reduce-scatter, virtual rank 0 owns ring block 1 of that group.
+  const int completed = static_cast<int>(result.final_group.size());
+  std::vector<float> reference = exact_reduction(result.final_group, rank_input);
   if (op == Op::kReduceScatter) {
-    const Range owned =
-        coll::ring_block_range(reference.size(), config.nranks,
-                               coll::rs_owned_block(0, config.nranks));
+    const Range owned = coll::ring_block_range(reference.size(), completed,
+                                               coll::rs_owned_block(0, completed));
     reference.assign(reference.begin() + static_cast<ptrdiff_t>(owned.begin),
                      reference.begin() + static_cast<ptrdiff_t>(owned.end));
   }
   const ErrorStats err = compare(reference, result.rank0_output);
   std::printf("  accuracy:     max abs err %.3e (bound %.3e), NRMSE %.3e\n", err.max_abs_err,
-              config.abs_error_bound * config.nranks, err.nrmse);
+              config.abs_error_bound * completed, err.nrmse);
   return 0;
 }
 
 void print_breakdown(const trace::Breakdown& b) {
-  std::printf("  %-4s %10s %6s %6s %6s %6s %6s %6s %6s\n", "rank", "total(ms)", "CPR%", "DPR%",
-              "HPR%", "CPT%", "pack%", "comm%", "idle%");
+  std::printf("  %-4s %10s %6s %6s %6s %6s %6s %6s %6s %6s\n", "rank", "total(ms)", "CPR%",
+              "DPR%", "HPR%", "CPT%", "pack%", "comm%", "idle%", "recov%");
   for (size_t r = 0; r < b.per_rank.size(); ++r) {
     const trace::RankPhases& p = b.per_rank[r];
-    std::printf("  %-4zu %10.3f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f\n", r, p.total * 1e3,
-                p.percent(p.cpr), p.percent(p.dpr), p.percent(p.hpr), p.percent(p.cpt),
-                p.percent(p.pack), p.percent(p.comm), p.percent(p.idle));
+    std::printf("  %-4zu %10.3f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f\n", r,
+                p.total * 1e3, p.percent(p.cpr), p.percent(p.dpr), p.percent(p.hpr),
+                p.percent(p.cpt), p.percent(p.pack), p.percent(p.comm), p.percent(p.idle),
+                p.percent(p.recovery));
   }
   const trace::RankPhases& s = b.slowest;
   std::printf("  slowest rank: %.3f ms, compression-related %.1f%% "
@@ -349,8 +382,7 @@ int cmd_trace(int argc, char** argv) {
 
   std::printf("%s %s, %d ranks, %s @ %s\n", kernel_name(static_cast<Kernel>(cli.kernel)).c_str(),
               op_name(cli.op).c_str(), cli.config.nranks, dataset_name(cli.dataset).c_str(),
-              cli.config.faults.enabled() ? cli.config.faults.describe().c_str()
-                                          : "clean fabric");
+              fabric_label(cli.config).c_str());
   std::printf("  %zu events recorded (%llu dropped to ring overwrite)\n",
               result.trace.total_events(),
               static_cast<unsigned long long>(result.trace.dropped_events));
