@@ -5,13 +5,18 @@
 //
 // Two modes:
 //  * default — the google-benchmark harness (filters, repetitions, etc.);
-//  * --json [--quick] [--out PATH] [--alloc-budget N] — the hand-timed
-//    perf-regression mode: emits BENCH_kernels.json with GB/s per
-//    kernel × bit-width × dataset plus allocations-per-op measured via the
-//    pool-stats hook (pool_heap_allocations counts fresh heap blocks taken
-//    by the buffer pools and scratch arenas).  With --alloc-budget N the
-//    run fails if any pooled hot path (hz_add, the ring collective) exceeds
-//    N allocations per op in steady state — the CI regression gate.
+//  * --json [--quick] [--out PATH] [--alloc-budget N] [--simd-floor R] —
+//    the hand-timed perf-regression mode: emits BENCH_kernels.json with
+//    GB/s per kernel × bit-width × dataset plus allocations-per-op measured
+//    via the pool-stats hook (pool_heap_allocations counts fresh heap
+//    blocks taken by the buffer pools and scratch arenas).  With
+//    --alloc-budget N the run fails if any pooled hot path (hz_add, the
+//    ring collective) exceeds N allocations per op in steady state — the
+//    CI regression gate.  The bit-plane primitives are measured once per
+//    supported dispatch level (tagged with a "level" field); --simd-floor R
+//    fails the run if the best level's unpack_bits throughput at the
+//    byte-straddling widths (bits >= 3) is below R× the scalar table's —
+//    the SIMD speedup gate.  Skipped on hosts whose best level is scalar.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -29,6 +34,7 @@
 #include "hzccl/homomorphic/doc.hpp"
 #include "hzccl/homomorphic/hz_dynamic.hpp"
 #include "hzccl/homomorphic/hz_ops.hpp"
+#include "hzccl/kernels/dispatch.hpp"
 #include "hzccl/stats/metrics.hpp"
 #include "hzccl/util/pool.hpp"
 #include "hzccl/util/random.hpp"
@@ -186,12 +192,14 @@ struct JsonOptions {
   bool quick = false;
   std::string out = "BENCH_kernels.json";
   double alloc_budget = -1.0;  ///< < 0 = no gate
+  double simd_floor = -1.0;    ///< <= 0 = no gate
 };
 
 struct JsonEntry {
   std::string kernel;
   int bits = -1;        ///< bit-width dimension (-1 = not applicable)
   std::string dataset;  ///< dataset slug (empty = not applicable)
+  std::string level;    ///< forced dispatch level (empty = session default)
   double gbps = 0.0;
   double allocs_per_op = 0.0;
   bool gated = false;  ///< subject to the --alloc-budget check
@@ -276,22 +284,36 @@ int run_json_mode(const JsonOptions& opts) {
   const double min_seconds = opts.quick ? 0.05 : 0.3;
   std::vector<JsonEntry> entries;
 
-  // Bit-plane primitives: kernel × bit-width.
+  // Bit-plane primitives: kernel × bit-width × dispatch level.  Every
+  // supported level is forced in turn so the JSON carries the scalar
+  // baseline next to the SIMD tables — the --simd-floor gate reads the
+  // spread, and the checked-in artifact documents the speedup.
   const std::vector<int> bit_widths =
       opts.quick ? std::vector<int>{1, 4, 7} : std::vector<int>{1, 2, 3, 4, 5, 6, 7};
-  for (const int bits : bit_widths) {
-    constexpr size_t n = 4096;
-    std::vector<uint32_t> values(n);
-    Rng rng(1);
-    for (auto& v : values) v = static_cast<uint32_t>(rng.below(1u << bits));
-    std::vector<uint8_t> packed(packed_size(n, bits));
-    std::vector<uint32_t> unpacked(n);
-    entries.push_back(measure_json("pack_bits", bits, "", n * sizeof(uint32_t), min_seconds,
-                                   [&] { pack_bits(values.data(), n, bits, packed.data()); }));
-    entries.push_back(
-        measure_json("unpack_bits", bits, "", n * sizeof(uint32_t), min_seconds,
-                     [&] { unpack_bits(packed.data(), n, bits, unpacked.data()); }));
+  const std::vector<kernels::DispatchLevel> levels = kernels::supported_levels();
+  const kernels::DispatchLevel prior_level = kernels::active_dispatch_level();
+  for (const kernels::DispatchLevel level : levels) {
+    kernels::set_dispatch_level(level);
+    const char* level_slug = kernels::level_name(level);
+    for (const int bits : bit_widths) {
+      constexpr size_t n = 4096;
+      std::vector<uint32_t> values(n);
+      Rng rng(1);
+      for (auto& v : values) v = static_cast<uint32_t>(rng.below(1u << bits));
+      std::vector<uint8_t> packed(packed_size(n, bits));
+      std::vector<uint32_t> unpacked(n);
+      JsonEntry pack = measure_json("pack_bits", bits, "", n * sizeof(uint32_t), min_seconds,
+                                    [&] { pack_bits(values.data(), n, bits, packed.data()); });
+      pack.level = level_slug;
+      entries.push_back(pack);
+      JsonEntry unpack =
+          measure_json("unpack_bits", bits, "", n * sizeof(uint32_t), min_seconds,
+                       [&] { unpack_bits(packed.data(), n, bits, unpacked.data()); });
+      unpack.level = level_slug;
+      entries.push_back(unpack);
+    }
   }
+  kernels::set_dispatch_level(prior_level);
 
   // Stream kernels: kernel × dataset, all on their pooled hot paths.
   const std::vector<DatasetId> datasets =
@@ -362,16 +384,20 @@ int run_json_mode(const JsonOptions& opts) {
     std::fprintf(stderr, "bench_kernels: cannot open %s for writing\n", opts.out.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"hzccl-bench-kernels-v1\",\n  \"quick\": %s,\n",
+  std::fprintf(f, "{\n  \"schema\": \"hzccl-bench-kernels-v2\",\n  \"quick\": %s,\n",
                opts.quick ? "true" : "false");
+  std::fprintf(f, "  \"dispatch_level\": \"%s\",\n", kernels::level_name(prior_level));
   std::fprintf(f, "  \"alloc_budget\": %s,\n",
                opts.alloc_budget < 0 ? "null" : std::to_string(opts.alloc_budget).c_str());
+  std::fprintf(f, "  \"simd_floor\": %s,\n",
+               opts.simd_floor <= 0 ? "null" : std::to_string(opts.simd_floor).c_str());
   std::fprintf(f, "  \"entries\": [\n");
   for (size_t i = 0; i < entries.size(); ++i) {
     const JsonEntry& e = entries[i];
     std::fprintf(f, "    {\"kernel\": \"%s\", ", e.kernel.c_str());
     if (e.bits >= 0) std::fprintf(f, "\"bits\": %d, ", e.bits);
     if (!e.dataset.empty()) std::fprintf(f, "\"dataset\": \"%s\", ", e.dataset.c_str());
+    if (!e.level.empty()) std::fprintf(f, "\"level\": \"%s\", ", e.level.c_str());
     std::fprintf(f, "\"gbps\": %.4f, \"allocs_per_op\": %.4f, \"gated\": %s}%s\n", e.gbps,
                  e.allocs_per_op, e.gated ? "true" : "false",
                  i + 1 < entries.size() ? "," : "");
@@ -381,9 +407,10 @@ int run_json_mode(const JsonOptions& opts) {
 
   int failures = 0;
   for (const JsonEntry& e : entries) {
-    std::printf("%-22s %4s %-12s %10.3f GB/s %8.2f allocs/op%s\n", e.kernel.c_str(),
+    std::printf("%-22s %4s %-12s %-7s %10.3f GB/s %8.2f allocs/op%s\n", e.kernel.c_str(),
                 e.bits >= 0 ? std::to_string(e.bits).c_str() : "-",
-                e.dataset.empty() ? "-" : e.dataset.c_str(), e.gbps, e.allocs_per_op,
+                e.dataset.empty() ? "-" : e.dataset.c_str(),
+                e.level.empty() ? "-" : e.level.c_str(), e.gbps, e.allocs_per_op,
                 e.gated ? "  [gated]" : "");
     if (e.gated && opts.alloc_budget >= 0 && e.allocs_per_op > opts.alloc_budget) {
       std::fprintf(stderr,
@@ -391,6 +418,41 @@ int run_json_mode(const JsonOptions& opts) {
                    "budget is %.2f\n",
                    e.kernel.c_str(), e.dataset.c_str(), e.allocs_per_op, opts.alloc_budget);
       ++failures;
+    }
+  }
+
+  // SIMD speedup gate: the best level's unpack at byte-straddling widths
+  // (bits >= 3 — the shift-cascade cases the vector kernels exist for) must
+  // beat the scalar table by the requested factor.  Scalar-only hosts have
+  // nothing to compare, so the gate reports itself skipped.
+  if (opts.simd_floor > 0) {
+    const kernels::DispatchLevel best = kernels::best_supported_level();
+    if (best == kernels::DispatchLevel::kScalar) {
+      std::printf("simd-floor gate skipped: best supported level is scalar\n");
+    } else {
+      const auto find_gbps = [&](const char* kernel, int bits, const char* level) {
+        for (const JsonEntry& e : entries) {
+          if (e.kernel == kernel && e.bits == bits && e.level == level) return e.gbps;
+        }
+        return 0.0;
+      };
+      const char* best_slug = kernels::level_name(best);
+      for (const int bits : bit_widths) {
+        if (bits < 3) continue;
+        const double scalar_gbps = find_gbps("unpack_bits", bits, "scalar");
+        const double best_gbps = find_gbps("unpack_bits", bits, best_slug);
+        const double ratio = scalar_gbps > 0 ? best_gbps / scalar_gbps : 0.0;
+        std::printf("simd-floor unpack_bits bits=%d: %s %.3f GB/s vs scalar %.3f GB/s "
+                    "(%.2fx, floor %.2fx)\n",
+                    bits, best_slug, best_gbps, scalar_gbps, ratio, opts.simd_floor);
+        if (best_gbps < opts.simd_floor * scalar_gbps) {
+          std::fprintf(stderr,
+                       "bench_kernels: unpack_bits bits=%d at %s is %.2fx scalar, "
+                       "floor is %.2fx\n",
+                       bits, best_slug, ratio, opts.simd_floor);
+          ++failures;
+        }
+      }
     }
   }
   std::printf("wrote %s (%zu entries)\n", opts.out.c_str(), entries.size());
@@ -411,6 +473,8 @@ int main(int argc, char** argv) {
       opts.out = argv[++i];
     } else if (std::strcmp(argv[i], "--alloc-budget") == 0 && i + 1 < argc) {
       opts.alloc_budget = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--simd-floor") == 0 && i + 1 < argc) {
+      opts.simd_floor = std::atof(argv[++i]);
     }
   }
   if (json) return run_json_mode(opts);

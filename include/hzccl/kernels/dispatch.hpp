@@ -1,0 +1,128 @@
+// Runtime-dispatched kernel table for the bit-plane / homomorphic hot paths.
+//
+// The compressors and homomorphic operators do all of their per-element work
+// through a handful of primitives: the ultra-fast bit-shifting pack/unpack
+// (paper §III-B3), the quantized-delta merge at the heart of hz_add
+// (§III-C), and fZ-light's fused quantize + 1-D Lorenzo predict scan
+// (§III-B2).  This header exposes those primitives as a table of function
+// pointers with one table per *dispatch level*:
+//
+//   kScalar — the portable C++ reference.  Always compiled, always
+//             supported; it is both the fallback and the oracle every
+//             vectorized variant is differentially tested against
+//             (tests/kernel_conformance_test.cpp).
+//   kAvx2   — AVX2 + BMI2: PDEP/PEXT bit-plane codecs.
+//   kAvx512 — AVX-512 (F/BW/DQ/VL/VBMI): VPERMB + VPMULTISHIFTQB unpack,
+//             8-lane int64 merge, VCVTPD2QQ exact-llrint quantizer.
+//
+// Contract: every variant produces byte-identical output to the scalar
+// reference on identical input — including sign conventions, guard
+// accumulators and out-of-range lanes — so the active level can never leak
+// into the wire format.  Kernels never allocate; callers own all buffers
+// (stack blocks or BufferPool/ScratchArena storage).
+//
+// The active table is chosen once, lazily: the highest level both compiled
+// in and supported by the host CPU, overridable with HZCCL_KERNEL_LEVEL
+// (scalar|avx2|avx512) or set_dispatch_level().  A request the host cannot
+// honor degrades to the best supported level below it; it never fails.
+// Swapping levels is not synchronized against kernels already executing on
+// other threads — switch between operations (tests/bench do), not during.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace hzccl::kernels {
+
+enum class DispatchLevel : uint8_t { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+inline constexpr int kNumDispatchLevels = 3;
+
+/// Widest supported pack/unpack field.  Widths 1..7 are the paper's
+/// ultra_fast_bit_shifting_x family (remainder planes + sign plane); widths
+/// 8..32 extend the same LSB-first little-endian bitstream layout.
+inline constexpr int kMaxPackBits = 32;
+
+/// Pack n values of a fixed bit width into ceil(n*bits/8) bytes.
+using PackFn = void (*)(const uint32_t* values, size_t n, uint8_t* out);
+/// Inverse of PackFn; writes exactly n values.
+using UnpackFn = void (*)(const uint8_t* src, size_t n, uint32_t* values);
+/// Residual merge: s = ra[i] + sign_b * rb[i] in int64, emitting the
+/// magnitude/sign split the fixed-length encoder consumes.  Returns the OR
+/// of all |s| (64-bit): <= INT32_MAX means every element fit and the value
+/// doubles as the code-length source; above that the caller must throw
+/// before using mags/signs.
+using CombineFn = uint64_t (*)(const int32_t* ra, const int32_t* rb, size_t n, int sign_b,
+                               uint32_t* mags, uint32_t* signs);
+/// q[i] = llrint(data[i] * inv_twice_eb) in double; returns the OR of all
+/// |q| so the caller can range-check the whole block with one compare.
+using QuantizeFn = uint64_t (*)(const float* data, size_t n, double inv_twice_eb, int64_t* q);
+/// 1-D Lorenzo predict over a quantized block: r[i] = q[i] - q[i-1] (q[-1]
+/// = q_prev), emitted directly as the magnitude/sign split; returns the OR
+/// of the magnitudes (== code-length source; 0 means a constant block).
+using PredictFn = uint32_t (*)(const int64_t* q, size_t n, int32_t q_prev, uint32_t* mags,
+                               uint32_t* signs);
+
+/// One dispatch level's kernel set.  pack/unpack are indexed by bit width
+/// (entries 1..kMaxPackBits; entry 0 is null).  Entries a level does not
+/// hand-vectorize alias the next-lower level's function, so every slot of a
+/// supported table is callable.
+struct KernelTable {
+  DispatchLevel level = DispatchLevel::kScalar;
+  PackFn pack[kMaxPackBits + 1] = {};
+  UnpackFn unpack[kMaxPackBits + 1] = {};
+  CombineFn hz_combine_residuals = nullptr;
+  QuantizeFn fz_quantize = nullptr;
+  PredictFn fz_predict = nullptr;
+};
+
+/// "scalar" / "avx2" / "avx512".
+const char* level_name(DispatchLevel level);
+/// Inverse of level_name (case-insensitive); nullopt for anything else.
+std::optional<DispatchLevel> parse_level(std::string_view name);
+
+/// The level's variant translation units were built with the required ISA
+/// flags (independent of what the host CPU can run).
+bool level_compiled(DispatchLevel level);
+/// level_compiled and the host CPU reports every required ISA extension.
+bool level_supported(DispatchLevel level);
+/// Highest supported level (kScalar is always supported).
+DispatchLevel best_supported_level();
+/// All supported levels, ascending — the sweep axis of the conformance tier.
+std::vector<DispatchLevel> supported_levels();
+
+/// The table of a specific supported level (conformance tests pin the
+/// scalar oracle through this).  Throws Error for an unsupported level.
+const KernelTable& table(DispatchLevel level);
+
+/// The active table.  First use resolves HZCCL_KERNEL_LEVEL (unrecognized
+/// values warn on stderr and fall back to best_supported_level()).
+const KernelTable& active();
+DispatchLevel active_dispatch_level();
+
+/// Activate the best supported level <= request; returns what was actually
+/// activated (graceful fallback, never throws).
+DispatchLevel set_dispatch_level(DispatchLevel request);
+
+/// Re-resolve the level from HZCCL_KERNEL_LEVEL (testing hook for env
+/// forcing); returns the activated level.
+DispatchLevel reload_from_env();
+
+/// Number of table activations so far (stats surface; >=1 once any kernel
+/// has run).
+uint64_t dispatch_swaps();
+
+/// Checked conveniences over the active table for the full 1..32 range.
+/// (fixed_len.hpp's pack_bits keeps its historical 1..7 contract; these are
+/// the wide entry points used by the tests, fuzzers and benches.)
+void pack_bits(const uint32_t* values, size_t n, int bits, uint8_t* out);
+void unpack_bits(const uint8_t* src, size_t n, int bits, uint32_t* values);
+
+/// Bytes occupied by n values at `bits` bits each (any width 1..32).
+inline size_t packed_size_bits(size_t n, int bits) {
+  return (n * static_cast<size_t>(bits) + 7) / 8;
+}
+
+}  // namespace hzccl::kernels

@@ -3,132 +3,46 @@
 #include <cstring>
 #include <string>
 
+#include "hzccl/kernels/dispatch.hpp"
 #include "hzccl/util/error.hpp"
 
 namespace hzccl {
-namespace {
 
-// Generic group-of-8 packer: eight X-bit values -> X bytes via one 64-bit
-// shift cascade.  The named pack_bits_x wrappers below instantiate it so the
-// compiler fully unrolls each width (the paper's ultra_fast_bit_shifting_x).
-template <int X>
-inline void pack8(const uint32_t* v, uint8_t* out) {
-  uint64_t acc = 0;
-  acc |= static_cast<uint64_t>(v[0] & ((1u << X) - 1));
-  acc |= static_cast<uint64_t>(v[1] & ((1u << X) - 1)) << (X * 1);
-  acc |= static_cast<uint64_t>(v[2] & ((1u << X) - 1)) << (X * 2);
-  acc |= static_cast<uint64_t>(v[3] & ((1u << X) - 1)) << (X * 3);
-  acc |= static_cast<uint64_t>(v[4] & ((1u << X) - 1)) << (X * 4);
-  acc |= static_cast<uint64_t>(v[5] & ((1u << X) - 1)) << (X * 5);
-  acc |= static_cast<uint64_t>(v[6] & ((1u << X) - 1)) << (X * 6);
-  acc |= static_cast<uint64_t>(v[7] & ((1u << X) - 1)) << (X * 7);
-  if constexpr (X >= 1) out[0] = static_cast<uint8_t>(acc);
-  if constexpr (X >= 2) out[1] = static_cast<uint8_t>(acc >> 8);
-  if constexpr (X >= 3) out[2] = static_cast<uint8_t>(acc >> 16);
-  if constexpr (X >= 4) out[3] = static_cast<uint8_t>(acc >> 24);
-  if constexpr (X >= 5) out[4] = static_cast<uint8_t>(acc >> 32);
-  if constexpr (X >= 6) out[5] = static_cast<uint8_t>(acc >> 40);
-  if constexpr (X >= 7) out[6] = static_cast<uint8_t>(acc >> 48);
-}
+// The scalar ultra_fast_bit_shifting_x implementations live in
+// src/kernels/kernel_impls.hpp; everything here routes through the runtime
+// dispatch table (hzccl/kernels/dispatch.hpp), which picks the widest
+// byte-identical variant the host supports.
 
-template <int X>
-inline void unpack8(const uint8_t* src, uint32_t* v) {
-  uint64_t acc = 0;
-  if constexpr (X >= 1) acc |= static_cast<uint64_t>(src[0]);
-  if constexpr (X >= 2) acc |= static_cast<uint64_t>(src[1]) << 8;
-  if constexpr (X >= 3) acc |= static_cast<uint64_t>(src[2]) << 16;
-  if constexpr (X >= 4) acc |= static_cast<uint64_t>(src[3]) << 24;
-  if constexpr (X >= 5) acc |= static_cast<uint64_t>(src[4]) << 32;
-  if constexpr (X >= 6) acc |= static_cast<uint64_t>(src[5]) << 40;
-  if constexpr (X >= 7) acc |= static_cast<uint64_t>(src[6]) << 48;
-  constexpr uint64_t mask = (1u << X) - 1;
-  v[0] = static_cast<uint32_t>(acc & mask);
-  v[1] = static_cast<uint32_t>((acc >> (X * 1)) & mask);
-  v[2] = static_cast<uint32_t>((acc >> (X * 2)) & mask);
-  v[3] = static_cast<uint32_t>((acc >> (X * 3)) & mask);
-  v[4] = static_cast<uint32_t>((acc >> (X * 4)) & mask);
-  v[5] = static_cast<uint32_t>((acc >> (X * 5)) & mask);
-  v[6] = static_cast<uint32_t>((acc >> (X * 6)) & mask);
-  v[7] = static_cast<uint32_t>((acc >> (X * 7)) & mask);
-}
+void pack_bits_1(const uint32_t* v, size_t n, uint8_t* o) { kernels::active().pack[1](v, n, o); }
+void pack_bits_2(const uint32_t* v, size_t n, uint8_t* o) { kernels::active().pack[2](v, n, o); }
+void pack_bits_3(const uint32_t* v, size_t n, uint8_t* o) { kernels::active().pack[3](v, n, o); }
+void pack_bits_4(const uint32_t* v, size_t n, uint8_t* o) { kernels::active().pack[4](v, n, o); }
+void pack_bits_5(const uint32_t* v, size_t n, uint8_t* o) { kernels::active().pack[5](v, n, o); }
+void pack_bits_6(const uint32_t* v, size_t n, uint8_t* o) { kernels::active().pack[6](v, n, o); }
+void pack_bits_7(const uint32_t* v, size_t n, uint8_t* o) { kernels::active().pack[7](v, n, o); }
 
-// Tail handling (< 8 values): accumulate into one 64-bit word, flush the
-// occupied bytes.  8*X bits <= 56, so a single accumulator always suffices.
-template <int X>
-inline void pack_tail(const uint32_t* v, size_t n, uint8_t* out) {
-  uint64_t acc = 0;
-  for (size_t i = 0; i < n; ++i) {
-    acc |= static_cast<uint64_t>(v[i] & ((1u << X) - 1)) << (X * i);
-  }
-  const size_t bytes = (n * X + 7) / 8;
-  for (size_t b = 0; b < bytes; ++b) out[b] = static_cast<uint8_t>(acc >> (8 * b));
-}
-
-template <int X>
-inline void unpack_tail(const uint8_t* src, size_t n, uint32_t* v) {
-  uint64_t acc = 0;
-  const size_t bytes = (n * X + 7) / 8;
-  for (size_t b = 0; b < bytes; ++b) acc |= static_cast<uint64_t>(src[b]) << (8 * b);
-  constexpr uint64_t mask = (1u << X) - 1;
-  for (size_t i = 0; i < n; ++i) v[i] = static_cast<uint32_t>((acc >> (X * i)) & mask);
-}
-
-template <int X>
-inline void pack_impl(const uint32_t* v, size_t n, uint8_t* out) {
-  size_t i = 0;
-  for (; i + 8 <= n; i += 8, out += X) pack8<X>(v + i, out);
-  if (i < n) pack_tail<X>(v + i, n - i, out);
-}
-
-template <int X>
-inline void unpack_impl(const uint8_t* src, size_t n, uint32_t* v) {
-  size_t i = 0;
-  for (; i + 8 <= n; i += 8, src += X) unpack8<X>(src, v + i);
-  if (i < n) unpack_tail<X>(src, n - i, v + i);
-}
-
-}  // namespace
-
-void pack_bits_1(const uint32_t* v, size_t n, uint8_t* o) { pack_impl<1>(v, n, o); }
-void pack_bits_2(const uint32_t* v, size_t n, uint8_t* o) { pack_impl<2>(v, n, o); }
-void pack_bits_3(const uint32_t* v, size_t n, uint8_t* o) { pack_impl<3>(v, n, o); }
-void pack_bits_4(const uint32_t* v, size_t n, uint8_t* o) { pack_impl<4>(v, n, o); }
-void pack_bits_5(const uint32_t* v, size_t n, uint8_t* o) { pack_impl<5>(v, n, o); }
-void pack_bits_6(const uint32_t* v, size_t n, uint8_t* o) { pack_impl<6>(v, n, o); }
-void pack_bits_7(const uint32_t* v, size_t n, uint8_t* o) { pack_impl<7>(v, n, o); }
-
-void unpack_bits_1(const uint8_t* s, size_t n, uint32_t* v) { unpack_impl<1>(s, n, v); }
-void unpack_bits_2(const uint8_t* s, size_t n, uint32_t* v) { unpack_impl<2>(s, n, v); }
-void unpack_bits_3(const uint8_t* s, size_t n, uint32_t* v) { unpack_impl<3>(s, n, v); }
-void unpack_bits_4(const uint8_t* s, size_t n, uint32_t* v) { unpack_impl<4>(s, n, v); }
-void unpack_bits_5(const uint8_t* s, size_t n, uint32_t* v) { unpack_impl<5>(s, n, v); }
-void unpack_bits_6(const uint8_t* s, size_t n, uint32_t* v) { unpack_impl<6>(s, n, v); }
-void unpack_bits_7(const uint8_t* s, size_t n, uint32_t* v) { unpack_impl<7>(s, n, v); }
+void unpack_bits_1(const uint8_t* s, size_t n, uint32_t* v) { kernels::active().unpack[1](s, n, v); }
+void unpack_bits_2(const uint8_t* s, size_t n, uint32_t* v) { kernels::active().unpack[2](s, n, v); }
+void unpack_bits_3(const uint8_t* s, size_t n, uint32_t* v) { kernels::active().unpack[3](s, n, v); }
+void unpack_bits_4(const uint8_t* s, size_t n, uint32_t* v) { kernels::active().unpack[4](s, n, v); }
+void unpack_bits_5(const uint8_t* s, size_t n, uint32_t* v) { kernels::active().unpack[5](s, n, v); }
+void unpack_bits_6(const uint8_t* s, size_t n, uint32_t* v) { kernels::active().unpack[6](s, n, v); }
+void unpack_bits_7(const uint8_t* s, size_t n, uint32_t* v) { kernels::active().unpack[7](s, n, v); }
 
 void pack_bits(const uint32_t* v, size_t n, int bits, uint8_t* out) {
-  switch (bits) {
-    case 1: pack_bits_1(v, n, out); return;
-    case 2: pack_bits_2(v, n, out); return;
-    case 3: pack_bits_3(v, n, out); return;
-    case 4: pack_bits_4(v, n, out); return;
-    case 5: pack_bits_5(v, n, out); return;
-    case 6: pack_bits_6(v, n, out); return;
-    case 7: pack_bits_7(v, n, out); return;
-    default: throw Error("pack_bits: bits must be in 1..7, got " + std::to_string(bits));
+  // This entry point keeps its historical remainder-plane contract (1..7);
+  // kernels::pack_bits covers the full 1..32 range.
+  if (bits < 1 || bits > 7) {
+    throw Error("pack_bits: bits must be in 1..7, got " + std::to_string(bits));
   }
+  kernels::active().pack[bits](v, n, out);
 }
 
 void unpack_bits(const uint8_t* src, size_t n, int bits, uint32_t* v) {
-  switch (bits) {
-    case 1: unpack_bits_1(src, n, v); return;
-    case 2: unpack_bits_2(src, n, v); return;
-    case 3: unpack_bits_3(src, n, v); return;
-    case 4: unpack_bits_4(src, n, v); return;
-    case 5: unpack_bits_5(src, n, v); return;
-    case 6: unpack_bits_6(src, n, v); return;
-    case 7: unpack_bits_7(src, n, v); return;
-    default: throw Error("unpack_bits: bits must be in 1..7, got " + std::to_string(bits));
+  if (bits < 1 || bits > 7) {
+    throw Error("unpack_bits: bits must be in 1..7, got " + std::to_string(bits));
   }
+  kernels::active().unpack[bits](src, n, v);
 }
 
 uint8_t* encode_block_prepared(const uint32_t* magnitudes, const uint32_t* sign_bits, size_t n,
@@ -139,47 +53,34 @@ uint8_t* encode_block_prepared(const uint32_t* magnitudes, const uint32_t* sign_
   }
   *out++ = static_cast<uint8_t>(code_len);
   if (code_len == 0) return out;
+  // Blocks longer than the stack scratch are encoded in slices; slice
+  // boundaries only matter to this scratch, not to the wire layout, so the
+  // caller-visible contract is unchanged for any n the compressor produces.
+  if (n > 512) throw Error("encode_block: block length > 512 unsupported");
 
-  pack_bits_1(sign_bits, n, out);
+  const kernels::KernelTable& k = kernels::active();
+  k.pack[1](sign_bits, n, out);
   out += (n + 7) / 8;
 
   // Full byte planes: plane k holds byte k of every magnitude.  Plain shifts
   // over a contiguous destination — the encoder's hottest, fully
   // vectorizable loop.
   const int byte_count = code_len / 8;
-  for (int k = 0; k < byte_count; ++k) {
-    const int shift = 8 * k;
+  for (int p = 0; p < byte_count; ++p) {
+    const int shift = 8 * p;
     for (size_t i = 0; i < n; ++i) out[i] = static_cast<uint8_t>(magnitudes[i] >> shift);
     out += n;
   }
 
   // Remainder bits: isolate the high (code_len % 8) bits the planes did not
-  // cover (the paper's left-shift-then-right-shift trick) and pack them with
-  // the matching ultra_fast_bit_shifting_x routine.
+  // cover (the paper's left-shift-then-right-shift trick) and pack the whole
+  // block with one table call so the vectorized codecs see full runs.
   const int rem = code_len % 8;
   if (rem > 0) {
-    uint32_t hi[8];
+    uint32_t hi[512];
     const int shift = 8 * byte_count;
-    size_t i = 0;
-    uint8_t* o = out;
-    for (; i + 8 <= n; i += 8) {
-      for (int j = 0; j < 8; ++j) hi[j] = magnitudes[i + j] >> shift;
-      switch (rem) {
-        case 1: pack_bits_1(hi, 8, o); break;
-        case 2: pack_bits_2(hi, 8, o); break;
-        case 3: pack_bits_3(hi, 8, o); break;
-        case 4: pack_bits_4(hi, 8, o); break;
-        case 5: pack_bits_5(hi, 8, o); break;
-        case 6: pack_bits_6(hi, 8, o); break;
-        case 7: pack_bits_7(hi, 8, o); break;
-      }
-      o += rem;  // 8 values of `rem` bits occupy exactly `rem` bytes
-    }
-    if (i < n) {
-      const size_t tail = n - i;
-      for (size_t j = 0; j < tail; ++j) hi[j] = magnitudes[i + j] >> shift;
-      pack_bits(hi, tail, rem, o);
-    }
+    for (size_t i = 0; i < n; ++i) hi[i] = magnitudes[i] >> shift;
+    k.pack[rem](hi, n, out);
     out += packed_size(n, rem);
   }
   return out;
@@ -189,9 +90,6 @@ uint8_t* encode_block(const int32_t* residuals, size_t n, uint8_t* out,
                       const uint8_t* out_end) {
   uint32_t mags[512];
   uint32_t signs[512];
-  // Blocks longer than the stack scratch are encoded in slices; slice
-  // boundaries only matter to this scratch, not to the wire layout, so the
-  // caller-visible contract is unchanged for any n the compressor produces.
   if (n > 512) throw Error("encode_block: block length > 512 unsupported");
 
   uint32_t max_mag = 0;
@@ -233,39 +131,23 @@ const uint8_t* decode_block(const uint8_t* src, const uint8_t* end, size_t n,
   uint32_t signs[512];
   uint32_t mags[512];
   if (n > 512) throw ParseError("decode_block: block length > 512 unsupported");
-  unpack_bits_1(src, n, signs);
+  const kernels::KernelTable& k = kernels::active();
+  k.unpack[1](src, n, signs);
   src += sign_bytes;
 
   std::memset(mags, 0, n * sizeof(uint32_t));
   const int byte_count = c / 8;
-  for (int k = 0; k < byte_count; ++k) {
-    const int shift = 8 * k;
+  for (int p = 0; p < byte_count; ++p) {
+    const int shift = 8 * p;
     for (size_t i = 0; i < n; ++i) mags[i] |= static_cast<uint32_t>(src[i]) << shift;
     src += n;
   }
   const int rem = c % 8;
   if (rem > 0) {
-    uint32_t hi[8];
+    uint32_t hi[512];
     const int shift = 8 * byte_count;
-    size_t i = 0;
-    const uint8_t* s = src;
-    for (; i + 8 <= n; i += 8, s += rem) {
-      switch (rem) {
-        case 1: unpack_bits_1(s, 8, hi); break;
-        case 2: unpack_bits_2(s, 8, hi); break;
-        case 3: unpack_bits_3(s, 8, hi); break;
-        case 4: unpack_bits_4(s, 8, hi); break;
-        case 5: unpack_bits_5(s, 8, hi); break;
-        case 6: unpack_bits_6(s, 8, hi); break;
-        case 7: unpack_bits_7(s, 8, hi); break;
-      }
-      for (int j = 0; j < 8; ++j) mags[i + j] |= hi[j] << shift;
-    }
-    if (i < n) {
-      const size_t tail = n - i;
-      unpack_bits(s, tail, rem, hi);
-      for (size_t j = 0; j < tail; ++j) mags[i + j] |= hi[j] << shift;
-    }
+    k.unpack[rem](src, n, hi);
+    for (size_t i = 0; i < n; ++i) mags[i] |= hi[i] << shift;
     src += rem_bytes;
   }
 

@@ -7,6 +7,7 @@
 
 #include "hzccl/compressor/fixed_len.hpp"
 #include "hzccl/compressor/quantize.hpp"
+#include "hzccl/kernels/dispatch.hpp"
 #include "hzccl/stats/metrics.hpp"
 #include "hzccl/util/threading.hpp"
 
@@ -46,9 +47,9 @@ size_t compress_chunk(std::span<const float> data, Range range, uint32_t block_l
   uint32_t mags[kMaxBlockLen];
   uint32_t signs[kMaxBlockLen];
   int64_t qbuf[kMaxBlockLen];
-  int32_t rbuf[kMaxBlockLen];
   int32_t q_prev = q0;
   size_t pos = range.begin;
+  const kernels::KernelTable& k = kernels::active();
   while (pos < range.end) {
     const size_t n = std::min<size_t>(block_len, range.end - pos);
     // Raw fallback: blocks the residual domain cannot carry faithfully
@@ -62,44 +63,24 @@ size_t compress_chunk(std::span<const float> data, Range range, uint32_t block_l
       pos += n;
       continue;
     }
-    // Fused quantize + predict (paper §III-B2), staged per block: a
-    // branch-free quantization pass (the range guard is OR-accumulated and
-    // checked once per block), then the prediction pass.  Staging keeps the
+    // Fused quantize + predict (paper §III-B2), staged per block through the
+    // dispatched kernels: a branch-free quantization pass (the range guard
+    // is OR-accumulated and checked once per block), then the prediction
+    // pass emitting the magnitude/sign split directly.  Staging keeps the
     // llrint pipeline free of the prediction dependency chain.
-    uint64_t q_guard = 0;
-    for (size_t i = 0; i < n; ++i) {
-      const int64_t q =
-          std::llrint(static_cast<double>(data[pos + i]) * quant.inv_twice_eb);
-      qbuf[i] = q;
-      q_guard |= static_cast<uint64_t>(q < 0 ? -q : q);
-    }
+    const uint64_t q_guard = k.fz_quantize(data.data() + pos, n, quant.inv_twice_eb, qbuf);
     if (q_guard > static_cast<uint64_t>(kMaxQuantMagnitude)) {
       throw QuantizationRangeError(
           "value/error-bound ratio exceeds the 30-bit quantization domain");
     }
-    uint32_t max_mag = 0;
-    for (size_t i = 0; i < n; ++i) {
-      const int32_t q = static_cast<int32_t>(qbuf[i]);
-      const int32_t r = q - q_prev;
-      q_prev = q;
-      rbuf[i] = r;
-      const uint32_t mag =
-          r < 0 ? static_cast<uint32_t>(-static_cast<int64_t>(r)) : static_cast<uint32_t>(r);
-      max_mag |= mag;
-    }
+    const uint32_t max_mag = k.fz_predict(qbuf, n, q_prev, mags, signs);
+    q_prev = static_cast<int32_t>(qbuf[n - 1]);
     if (max_mag == 0) {
       // Constant block: one code-length byte, no sign/magnitude work at all
       // (the quiet-data fast path that dominates scientific fields).
       if (out >= out_end) throw CapacityError("fz_compress: chunk capacity exceeded");
       *out++ = 0;
     } else {
-      for (size_t i = 0; i < n; ++i) {
-        const int32_t r = rbuf[i];
-        const uint32_t neg = static_cast<uint32_t>(r < 0);
-        mags[i] =
-            neg ? static_cast<uint32_t>(-static_cast<int64_t>(r)) : static_cast<uint32_t>(r);
-        signs[i] = neg;
-      }
       out = encode_block_prepared(mags, signs, n, code_length_for(max_mag), out, out_end);
     }
     pos += n;

@@ -7,6 +7,7 @@
 
 #include "hzccl/compressor/fixed_len.hpp"
 #include "hzccl/compressor/quantize.hpp"
+#include "hzccl/kernels/dispatch.hpp"
 #include "hzccl/stats/metrics.hpp"
 #include "hzccl/util/bytes.hpp"
 #include "hzccl/util/threading.hpp"
@@ -25,23 +26,21 @@ struct BlockScan {
   bool all_zero = false;
 };
 
-BlockScan scan_block(const float* data, size_t n, const Quantizer& quant) {
-  BlockScan s;
-  int32_t q_prev = quant.quantize(data[0]);
-  s.outlier = q_prev;
-  uint32_t max_mag = 0;
-  bool all_zero = (q_prev == 0);
-  for (size_t i = 1; i < n; ++i) {
-    const int32_t q = quant.quantize(data[i]);
-    const int32_t r = q - q_prev;
-    q_prev = q;
-    const uint32_t mag =
-        r < 0 ? static_cast<uint32_t>(-static_cast<int64_t>(r)) : static_cast<uint32_t>(r);
-    max_mag |= mag;
-    all_zero = all_zero && (q == 0);
+BlockScan scan_block(const float* data, size_t n, const Quantizer& quant, int64_t* qbuf,
+                     uint32_t* mags, uint32_t* signs) {
+  const kernels::KernelTable& k = kernels::active();
+  const uint64_t q_guard = k.fz_quantize(data, n, quant.inv_twice_eb, qbuf);
+  if (q_guard > static_cast<uint64_t>(kMaxQuantMagnitude)) {
+    throw QuantizationRangeError(
+        "value/error-bound ratio exceeds the 30-bit quantization domain");
   }
-  s.code_len = code_length_for(max_mag);
-  s.all_zero = all_zero;
+  BlockScan s;
+  s.outlier = static_cast<int32_t>(qbuf[0]);
+  // Prediction restarts at the outlier, so the first residual is zero by
+  // construction and the predict kernel's max over the whole block equals
+  // the scalar scan over elements 1..n-1.
+  s.code_len = code_length_for(k.fz_predict(qbuf, n, s.outlier, mags, signs));
+  s.all_zero = (q_guard == 0);
   return s;
 }
 
@@ -109,6 +108,9 @@ CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& para
   {
     const size_t tid = static_cast<size_t>(omp_get_thread_num());
     const size_t nthreads = static_cast<size_t>(omp_get_num_threads());
+    int64_t qbuf[kMaxBlockLen];
+    uint32_t mags[kMaxBlockLen];
+    uint32_t signs[kMaxBlockLen];
     for (size_t b = tid; b < nblocks; b += nthreads) {
       scan_errors.run([&, b] {
         const size_t begin = b * block_len;
@@ -118,7 +120,7 @@ CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& para
           count_raw_block(*reason);
           m = kSzpRawBlock;
         } else {
-          const BlockScan s = scan_block(data.data() + begin, n, quant);
+          const BlockScan s = scan_block(data.data() + begin, n, quant, qbuf, mags, signs);
           m = s.all_zero ? kSzpZeroBlock : static_cast<uint8_t>(s.code_len);
         }
         meta[b] = m;
@@ -149,7 +151,10 @@ CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& para
   {
     const size_t tid = static_cast<size_t>(omp_get_thread_num());
     const size_t nthreads = static_cast<size_t>(omp_get_num_threads());
-    int32_t rbuf[kMaxBlockLen];
+    int64_t qbuf[kMaxBlockLen];
+    uint32_t mags[kMaxBlockLen];
+    uint32_t signs[kMaxBlockLen];
+    const kernels::KernelTable& k = kernels::active();
     for (size_t b = tid; b < nblocks; b += nthreads) {
       if (meta[b] == kSzpZeroBlock) continue;
       write_errors.run([&, b] {
@@ -163,16 +168,17 @@ CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& para
           writer.write_array(data.data() + begin, n, "raw block floats");
           return;
         }
-        int32_t q_prev = quant.quantize(data[begin]);
-        writer.write(q_prev, "block outlier");
-        if (meta[b] == 0) return;  // constant block
-        rbuf[0] = 0;
-        for (size_t i = 1; i < n; ++i) {
-          const int32_t q = quant.quantize(data[begin + i]);
-          rbuf[i] = q - q_prev;
-          q_prev = q;
+        const uint64_t q_guard = k.fz_quantize(data.data() + begin, n, quant.inv_twice_eb, qbuf);
+        if (q_guard > static_cast<uint64_t>(kMaxQuantMagnitude)) {
+          throw QuantizationRangeError(
+              "value/error-bound ratio exceeds the 30-bit quantization domain");
         }
-        encode_block(rbuf, n, block_begin + sizeof(int32_t), block_end);
+        const int32_t q0 = static_cast<int32_t>(qbuf[0]);
+        writer.write(q0, "block outlier");
+        if (meta[b] == 0) return;  // constant block
+        const uint32_t max_mag = k.fz_predict(qbuf, n, q0, mags, signs);
+        encode_block_prepared(mags, signs, n, code_length_for(max_mag),
+                              block_begin + sizeof(int32_t), block_end);
       });
     }
   }

@@ -7,6 +7,7 @@
 
 #include "hzccl/compressor/fixed_len.hpp"
 #include "hzccl/compressor/quantize.hpp"
+#include "hzccl/kernels/dispatch.hpp"
 #include "hzccl/util/threading.hpp"
 
 namespace hzccl {
@@ -75,23 +76,17 @@ size_t hz_add_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
       ++stats.p3;
       stats.copied_bytes += size_a;
     } else {
-      // Pipeline 4: partial decode (IFE), integer add, re-encode (FE).
+      // Pipeline 4: partial decode (IFE), integer add, re-encode (FE).  The
+      // merge runs through the dispatched kernel; its guard (OR of all |s|)
+      // range-checks the whole block with one compare.
       decode_block(pa, ea, n, ra);
       decode_block(pb, eb, n, rb);
-      uint32_t max_mag = 0;
-      for (size_t i = 0; i < n; ++i) {
-        const int64_t s = static_cast<int64_t>(ra[i]) + rb[i];
-        if (s > std::numeric_limits<int32_t>::max() ||
-            s < std::numeric_limits<int32_t>::min()) {
-          throw HomomorphicOverflowError("residual sum overflows the 31-bit magnitude domain");
-        }
-        const uint32_t neg = static_cast<uint32_t>(s < 0);
-        const uint32_t mag = neg ? static_cast<uint32_t>(-s) : static_cast<uint32_t>(s);
-        mags[i] = mag;
-        signs[i] = neg;
-        max_mag |= mag;
+      const uint64_t guard = kernels::active().hz_combine_residuals(ra, rb, n, +1, mags, signs);
+      if (guard > static_cast<uint64_t>(std::numeric_limits<int32_t>::max())) {
+        throw HomomorphicOverflowError("residual sum overflows the 31-bit magnitude domain");
       }
-      out = encode_block_prepared(mags, signs, n, code_length_for(max_mag), out, out_end);
+      out = encode_block_prepared(mags, signs, n, code_length_for(static_cast<uint32_t>(guard)),
+                                  out, out_end);
       ++stats.p4;
       stats.p4_elements += n;
     }

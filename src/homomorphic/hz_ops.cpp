@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hzccl/compressor/fixed_len.hpp"
+#include "hzccl/kernels/dispatch.hpp"
 #include "hzccl/util/threading.hpp"
 
 namespace hzccl {
@@ -148,18 +149,12 @@ size_t sub_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb, size_
     } else {
       decode_block(pa, ea, n, ra);
       decode_block(pb, eb, n, rb);
-      uint32_t max_mag = 0;
-      for (size_t i = 0; i < n; ++i) {
-        const int64_t s = static_cast<int64_t>(ra[i]) - rb[i];
-        const int32_t r = checked_i32(s, "residual difference");
-        const uint32_t neg = static_cast<uint32_t>(r < 0);
-        const uint32_t mag =
-            neg ? static_cast<uint32_t>(-static_cast<int64_t>(r)) : static_cast<uint32_t>(r);
-        mags[i] = mag;
-        signs[i] = neg;
-        max_mag |= mag;
+      const uint64_t guard = kernels::active().hz_combine_residuals(ra, rb, n, -1, mags, signs);
+      if (guard > static_cast<uint64_t>(std::numeric_limits<int32_t>::max())) {
+        throw HomomorphicOverflowError("residual difference overflows int32");
       }
-      out = encode_block_prepared(mags, signs, n, code_length_for(max_mag), out, out_end);
+      out = encode_block_prepared(mags, signs, n, code_length_for(static_cast<uint32_t>(guard)),
+                                  out, out_end);
       ++stats.p4;
       stats.p4_elements += n;
     }

@@ -1,0 +1,54 @@
+// AVX2 + BMI2 kernel variants.  Built with per-file -mavx2 -mbmi2 (see
+// CMakeLists.txt); when those flags are unavailable the populate hook
+// degrades to a stub and the level reports not-compiled.
+//
+// Hand-vectorized here: the PDEP/PEXT bit-plane codecs for widths 1..8.
+// The integer merge/predict bodies are recompiled under AVX2 so the
+// auto-vectorizer retargets them; wider codec widths alias the scalar
+// bitstream codec via the overlay in dispatch.cpp.
+#include <utility>
+
+#include "hzccl/kernels/dispatch.hpp"
+#include "kernel_impls.hpp"
+
+namespace hzccl::kernels::detail {
+
+#if defined(__AVX2__) && defined(__BMI2__)
+
+namespace {
+
+template <int... Xs>
+void fill_codecs(KernelTable& t, std::integer_sequence<int, Xs...>) {
+  ((t.pack[Xs + 1] = &pack_pext<Xs + 1>), ...);
+  ((t.unpack[Xs + 1] = &unpack_pdep<Xs + 1>), ...);
+}
+
+uint64_t combine_avx2(const int32_t* ra, const int32_t* rb, size_t n, int sign_b,
+                      uint32_t* mags, uint32_t* signs) {
+  return combine_body(ra, rb, n, sign_b, mags, signs);
+}
+
+uint32_t predict_avx2(const int64_t* q, size_t n, int32_t q_prev, uint32_t* mags,
+                      uint32_t* signs) {
+  return predict_body(q, n, q_prev, mags, signs);
+}
+
+}  // namespace
+
+bool populate_avx2(KernelTable& t) {
+  t.level = DispatchLevel::kAvx2;
+  fill_codecs(t, std::make_integer_sequence<int, 8>{});
+  t.hz_combine_residuals = &combine_avx2;
+  t.fz_predict = &predict_avx2;
+  // fz_quantize: AVX2 has no exact packed double->int64 convert, so the
+  // inherited scalar entry (llrint) stays — exactness beats throughput here.
+  return true;
+}
+
+#else
+
+bool populate_avx2(KernelTable&) { return false; }
+
+#endif
+
+}  // namespace hzccl::kernels::detail

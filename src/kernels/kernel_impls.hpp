@@ -1,0 +1,429 @@
+// Shared kernel bodies, compiled once per variant translation unit.
+//
+// The scalar templates here are the single source of truth for the wire
+// layout: an LSB-first little-endian bitstream in which eight X-bit values
+// occupy exactly X bytes.  The SIMD sections are guarded on the including
+// TU's ISA macros, so scalar.cpp (built with the project's baseline flags)
+// sees only the references, avx2.cpp adds the PDEP/PEXT codecs, and
+// avx512.cpp adds the VPERMB/VPMULTISHIFTQB and VCVTPD2QQ paths.  The
+// integer bodies (combine/predict) are shared across all TUs on purpose:
+// recompiling them under wider -m flags lets the auto-vectorizer retarget
+// them per level while the arithmetic — and therefore the bytes — stays
+// identical.
+//
+// Every function here is allocation-free and bounds-exact: packers never
+// write past ceil(n*X/8) output bytes, unpackers never read past it.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace hzccl::kernels::detail {
+
+// ---------------------------------------------------------------------------
+// Scalar reference: pack/unpack (the conformance oracle).
+// ---------------------------------------------------------------------------
+
+// Generic group-of-8 packer for X in 1..7: eight X-bit values -> X bytes via
+// one 64-bit shift cascade (the paper's ultra_fast_bit_shifting_x).
+template <int X>
+inline void pack8(const uint32_t* v, uint8_t* out) {
+  uint64_t acc = 0;
+  acc |= static_cast<uint64_t>(v[0] & ((1u << X) - 1));
+  acc |= static_cast<uint64_t>(v[1] & ((1u << X) - 1)) << (X * 1);
+  acc |= static_cast<uint64_t>(v[2] & ((1u << X) - 1)) << (X * 2);
+  acc |= static_cast<uint64_t>(v[3] & ((1u << X) - 1)) << (X * 3);
+  acc |= static_cast<uint64_t>(v[4] & ((1u << X) - 1)) << (X * 4);
+  acc |= static_cast<uint64_t>(v[5] & ((1u << X) - 1)) << (X * 5);
+  acc |= static_cast<uint64_t>(v[6] & ((1u << X) - 1)) << (X * 6);
+  acc |= static_cast<uint64_t>(v[7] & ((1u << X) - 1)) << (X * 7);
+  if constexpr (X >= 1) out[0] = static_cast<uint8_t>(acc);
+  if constexpr (X >= 2) out[1] = static_cast<uint8_t>(acc >> 8);
+  if constexpr (X >= 3) out[2] = static_cast<uint8_t>(acc >> 16);
+  if constexpr (X >= 4) out[3] = static_cast<uint8_t>(acc >> 24);
+  if constexpr (X >= 5) out[4] = static_cast<uint8_t>(acc >> 32);
+  if constexpr (X >= 6) out[5] = static_cast<uint8_t>(acc >> 40);
+  if constexpr (X >= 7) out[6] = static_cast<uint8_t>(acc >> 48);
+}
+
+template <int X>
+inline void unpack8(const uint8_t* src, uint32_t* v) {
+  uint64_t acc = 0;
+  if constexpr (X >= 1) acc |= static_cast<uint64_t>(src[0]);
+  if constexpr (X >= 2) acc |= static_cast<uint64_t>(src[1]) << 8;
+  if constexpr (X >= 3) acc |= static_cast<uint64_t>(src[2]) << 16;
+  if constexpr (X >= 4) acc |= static_cast<uint64_t>(src[3]) << 24;
+  if constexpr (X >= 5) acc |= static_cast<uint64_t>(src[4]) << 32;
+  if constexpr (X >= 6) acc |= static_cast<uint64_t>(src[5]) << 40;
+  if constexpr (X >= 7) acc |= static_cast<uint64_t>(src[6]) << 48;
+  constexpr uint64_t mask = (1u << X) - 1;
+  v[0] = static_cast<uint32_t>(acc & mask);
+  v[1] = static_cast<uint32_t>((acc >> (X * 1)) & mask);
+  v[2] = static_cast<uint32_t>((acc >> (X * 2)) & mask);
+  v[3] = static_cast<uint32_t>((acc >> (X * 3)) & mask);
+  v[4] = static_cast<uint32_t>((acc >> (X * 4)) & mask);
+  v[5] = static_cast<uint32_t>((acc >> (X * 5)) & mask);
+  v[6] = static_cast<uint32_t>((acc >> (X * 6)) & mask);
+  v[7] = static_cast<uint32_t>((acc >> (X * 7)) & mask);
+}
+
+// Tail handling (< 8 values): accumulate into one 64-bit word, flush the
+// occupied bytes.  8*X bits <= 56, so a single accumulator always suffices.
+template <int X>
+inline void pack_tail(const uint32_t* v, size_t n, uint8_t* out) {
+  uint64_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc |= static_cast<uint64_t>(v[i] & ((1u << X) - 1)) << (X * i);
+  }
+  const size_t bytes = (n * X + 7) / 8;
+  for (size_t b = 0; b < bytes; ++b) out[b] = static_cast<uint8_t>(acc >> (8 * b));
+}
+
+template <int X>
+inline void unpack_tail(const uint8_t* src, size_t n, uint32_t* v) {
+  uint64_t acc = 0;
+  const size_t bytes = (n * X + 7) / 8;
+  for (size_t b = 0; b < bytes; ++b) acc |= static_cast<uint64_t>(src[b]) << (8 * b);
+  constexpr uint64_t mask = (1u << X) - 1;
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<uint32_t>((acc >> (X * i)) & mask);
+}
+
+// Byte-multiple widths (8/16/24/32): straight little-endian byte splits.
+template <int B>
+inline void pack_bytes(const uint32_t* v, size_t n, uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    for (int b = 0; b < B; ++b) out[i * B + b] = static_cast<uint8_t>(v[i] >> (8 * b));
+  }
+}
+
+template <int B>
+inline void unpack_bytes(const uint8_t* src, size_t n, uint32_t* v) {
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t acc = 0;
+    for (int b = 0; b < B; ++b) acc |= static_cast<uint32_t>(src[i * B + b]) << (8 * b);
+    v[i] = acc;
+  }
+}
+
+// Generic LSB-first bitstream codec for the remaining widths (9..31 not a
+// byte multiple).  The accumulator holds at most 7 + 32 bits, so uint64
+// suffices; the layout is bit-compatible with the group-of-8 cascades.
+template <int X>
+inline void pack_stream(const uint32_t* v, size_t n, uint8_t* out) {
+  constexpr uint64_t mask = (X == 32) ? 0xFFFFFFFFull : ((1ull << X) - 1);
+  uint64_t acc = 0;
+  int acc_bits = 0;
+  size_t o = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc |= (static_cast<uint64_t>(v[i]) & mask) << acc_bits;
+    acc_bits += X;
+    while (acc_bits >= 8) {
+      out[o++] = static_cast<uint8_t>(acc);
+      acc >>= 8;
+      acc_bits -= 8;
+    }
+  }
+  if (acc_bits > 0) out[o++] = static_cast<uint8_t>(acc);
+}
+
+template <int X>
+inline void unpack_stream(const uint8_t* src, size_t n, uint32_t* v) {
+  constexpr uint64_t mask = (X == 32) ? 0xFFFFFFFFull : ((1ull << X) - 1);
+  uint64_t acc = 0;
+  int acc_bits = 0;
+  size_t s = 0;
+  for (size_t i = 0; i < n; ++i) {
+    while (acc_bits < X) {
+      acc |= static_cast<uint64_t>(src[s++]) << acc_bits;
+      acc_bits += 8;
+    }
+    v[i] = static_cast<uint32_t>(acc & mask);
+    acc >>= X;
+    acc_bits -= X;
+  }
+}
+
+/// Scalar pack entry for any width 1..32 (reference for every level's tail).
+template <int X>
+inline void scalar_pack(const uint32_t* v, size_t n, uint8_t* out) {
+  if constexpr (X <= 7) {
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8, out += X) pack8<X>(v + i, out);
+    if (i < n) pack_tail<X>(v + i, n - i, out);
+  } else if constexpr (X % 8 == 0) {
+    pack_bytes<X / 8>(v, n, out);
+  } else {
+    pack_stream<X>(v, n, out);
+  }
+}
+
+template <int X>
+inline void scalar_unpack(const uint8_t* src, size_t n, uint32_t* v) {
+  if constexpr (X <= 7) {
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8, src += X) unpack8<X>(src, v + i);
+    if (i < n) unpack_tail<X>(src, n - i, v + i);
+  } else if constexpr (X % 8 == 0) {
+    unpack_bytes<X / 8>(src, n, v);
+  } else {
+    unpack_stream<X>(src, n, v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Integer merge / predict / quantize bodies (shared across all levels; each
+// TU's auto-vectorizer retargets them, the arithmetic is ISA-independent).
+// ---------------------------------------------------------------------------
+
+template <int SIGN_B>
+inline uint64_t combine_loop(const int32_t* ra, const int32_t* rb, size_t n, uint32_t* mags,
+                             uint32_t* signs) {
+  uint64_t guard = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t s = SIGN_B >= 0
+                          ? static_cast<int64_t>(ra[i]) + static_cast<int64_t>(rb[i])
+                          : static_cast<int64_t>(ra[i]) - static_cast<int64_t>(rb[i]);
+    const int64_t neg = s >> 63;  // 0 or -1: branch-free |s| and sign bit
+    const uint64_t mag = static_cast<uint64_t>((s ^ neg) - neg);
+    guard |= mag;
+    mags[i] = static_cast<uint32_t>(mag);
+    signs[i] = static_cast<uint32_t>(neg & 1);
+  }
+  return guard;
+}
+
+inline uint64_t combine_body(const int32_t* ra, const int32_t* rb, size_t n, int sign_b,
+                             uint32_t* mags, uint32_t* signs) {
+  return sign_b >= 0 ? combine_loop<+1>(ra, rb, n, mags, signs)
+                     : combine_loop<-1>(ra, rb, n, mags, signs);
+}
+
+inline uint32_t predict_body(const int64_t* q, size_t n, int32_t q_prev, uint32_t* mags,
+                             uint32_t* signs) {
+  if (n == 0) return 0;
+  uint32_t max_mag = 0;
+  {
+    // First element peeled so the main loop reads q[i-1] directly and stays
+    // free of a loop-carried dependency.
+    const int64_t r = static_cast<int64_t>(static_cast<int32_t>(q[0])) - q_prev;
+    const int64_t neg = r >> 63;
+    const uint32_t mag = static_cast<uint32_t>((r ^ neg) - neg);
+    mags[0] = mag;
+    signs[0] = static_cast<uint32_t>(neg & 1);
+    max_mag |= mag;
+  }
+  for (size_t i = 1; i < n; ++i) {
+    const int64_t r = static_cast<int64_t>(static_cast<int32_t>(q[i])) -
+                      static_cast<int64_t>(static_cast<int32_t>(q[i - 1]));
+    const int64_t neg = r >> 63;
+    const uint32_t mag = static_cast<uint32_t>((r ^ neg) - neg);
+    mags[i] = mag;
+    signs[i] = static_cast<uint32_t>(neg & 1);
+    max_mag |= mag;
+  }
+  return max_mag;
+}
+
+inline uint64_t quantize_body(const float* data, size_t n, double inv_twice_eb, int64_t* q) {
+  uint64_t guard = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const long long qi = std::llrint(static_cast<double>(data[i]) * inv_twice_eb);
+    q[i] = qi;
+    const long long neg = qi >> 63;
+    guard |= static_cast<uint64_t>((qi ^ neg) - neg);
+  }
+  return guard;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 + BMI2: PDEP/PEXT bit-plane codecs (widths 1..8).
+// ---------------------------------------------------------------------------
+#if defined(__AVX2__) && defined(__BMI2__)
+
+/// X low bits set in each of the 8 bytes: the PDEP/PEXT routing mask that
+/// maps a packed 8*X-bit group onto one byte per value.
+constexpr uint64_t spread_mask(int x) {
+  const uint64_t low = (x >= 8) ? 0xFFull : ((1ull << x) - 1);
+  uint64_t m = 0;
+  for (int b = 0; b < 8; ++b) m |= low << (8 * b);
+  return m;
+}
+
+/// Low byte of eight consecutive uint32 values as one 64-bit word (the
+/// PEXT source): one load + one in-lane shuffle + a cross-lane merge.
+inline uint64_t gather_low_bytes8(const uint32_t* v) {
+  const __m256i ctrl = _mm256_setr_epi8(0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+                                        -1, -1, 0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1,
+                                        -1, -1, -1, -1);
+  const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v));
+  const __m256i g = _mm256_shuffle_epi8(x, ctrl);
+  const uint64_t lo = static_cast<uint32_t>(_mm_cvtsi128_si32(_mm256_castsi256_si128(g)));
+  const uint64_t hi = static_cast<uint32_t>(_mm_cvtsi128_si32(_mm256_extracti128_si256(g, 1)));
+  return lo | (hi << 32);
+}
+
+template <int X>
+inline void pack_pext(const uint32_t* v, size_t n, uint8_t* out) {
+  static_assert(X >= 1 && X <= 8);
+  constexpr uint64_t spread = spread_mask(X);
+  const size_t total = (n * static_cast<size_t>(X) + 7) / 8;
+  size_t i = 0;
+  size_t o = 0;
+  // The 8-byte stores write the group's payload plus zero filler; the filler
+  // is overwritten by the next group or the scalar tail, and the o + 8 bound
+  // keeps every store inside the ceil(n*X/8)-byte destination.
+  if constexpr (X <= 4) {
+    // Two groups (16 values, 2*X bytes <= 8) merge into a single store.
+    while (i + 16 <= n && o + 8 <= total) {
+      const uint64_t p0 = _pext_u64(gather_low_bytes8(v + i), spread);
+      const uint64_t p1 = _pext_u64(gather_low_bytes8(v + i + 8), spread);
+      const uint64_t packed = p0 | (p1 << (8 * X));
+      std::memcpy(out + o, &packed, 8);
+      i += 16;
+      o += 2 * X;
+    }
+  }
+  while (i + 8 <= n && o + 8 <= total) {
+    const uint64_t packed = _pext_u64(gather_low_bytes8(v + i), spread);
+    std::memcpy(out + o, &packed, 8);
+    i += 8;
+    o += X;
+  }
+  if (i < n) scalar_pack<X>(v + i, n - i, out + o);
+}
+
+template <int X>
+inline void unpack_pdep(const uint8_t* src, size_t n, uint32_t* v) {
+  static_assert(X >= 1 && X <= 8);
+  constexpr uint64_t spread = spread_mask(X);
+  const size_t total = (n * static_cast<size_t>(X) + 7) / 8;
+  size_t i = 0;
+  size_t s = 0;
+  // Each iteration consumes X input bytes but loads 8; the s + 8 bound keeps
+  // the overread inside the packed buffer, and the scalar tail finishes from
+  // the exact byte position (groups are byte-aligned every 8 values).
+  while (i + 8 <= n && s + 8 <= total) {
+    uint64_t chunk;
+    std::memcpy(&chunk, src + s, 8);
+    const uint64_t b8 = _pdep_u64(chunk, spread);
+    const __m128i bytes = _mm_cvtsi64_si128(static_cast<long long>(b8));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(v + i), _mm256_cvtepu8_epi32(bytes));
+    i += 8;
+    s += X;
+  }
+  if (i < n) scalar_unpack<X>(src + s, n - i, v + i);
+}
+
+#endif  // __AVX2__ && __BMI2__
+
+// ---------------------------------------------------------------------------
+// AVX-512 (F/BW/DQ/VL/VBMI): 64-value unpack, 8-lane int64 merge, exact
+// llrint quantizer.
+// ---------------------------------------------------------------------------
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512DQ__) && \
+    defined(__AVX512VL__) && defined(__AVX512VBMI__) && defined(__AVX2__) &&  \
+    defined(__BMI2__)
+
+/// VPMULTISHIFTQB control word: byte k of every qword selects the 8 bits
+/// starting at bit offset k*X — value k's field within its group's lane.
+constexpr uint64_t multishift_ctrl(int x) {
+  uint64_t c = 0;
+  for (int k = 0; k < 8; ++k) c |= static_cast<uint64_t>(k * x) << (8 * k);
+  return c;
+}
+
+template <int X>
+inline void unpack_multishift(const uint8_t* src, size_t n, uint32_t* v) {
+  static_assert(X >= 1 && X <= 8);
+  const size_t total = (n * static_cast<size_t>(X) + 7) / 8;
+  constexpr unsigned group_bytes = 8u * static_cast<unsigned>(X);  // bytes per 64 values
+  // VPERMB gather: qword lane g receives stream bytes [g*X, g*X + 8) so the
+  // multishift can slice all eight X-bit fields of group g at once.  Byte
+  // index g*X + k never carries between index bytes (max 63), so the index
+  // vector is base byte ramp + g*X per lane.
+  const __m512i gather = _mm512_add_epi64(
+      _mm512_set1_epi64(0x0706050403020100LL),
+      _mm512_mullo_epi64(_mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0),
+                         _mm512_set1_epi64(X * 0x0101010101010101LL)));
+  const __m512i shifts = _mm512_set1_epi64(static_cast<long long>(multishift_ctrl(X)));
+  const __m512i field = _mm512_set1_epi8(static_cast<char>((X >= 8) ? 0xFF : ((1 << X) - 1)));
+  const __mmask64 loadmask =
+      (group_bytes >= 64) ? ~static_cast<__mmask64>(0) : ((1ull << group_bytes) - 1ull);
+  size_t i = 0;
+  size_t s = 0;
+  // The masked load touches only the group's 8*X bytes (fault-suppressed
+  // beyond the mask), so the bound is exact, not padded.
+  while (i + 64 <= n && s + group_bytes <= total) {
+    const __m512i raw = _mm512_maskz_loadu_epi8(loadmask, src + s);
+    const __m512i gathered = _mm512_permutexvar_epi8(gather, raw);
+    const __m512i shifted = _mm512_multishift_epi64_epi8(shifts, gathered);
+    const __m512i lo = _mm512_and_si512(shifted, field);
+    _mm512_storeu_si512(v + i, _mm512_cvtepu8_epi32(_mm512_extracti32x4_epi32(lo, 0)));
+    _mm512_storeu_si512(v + i + 16, _mm512_cvtepu8_epi32(_mm512_extracti32x4_epi32(lo, 1)));
+    _mm512_storeu_si512(v + i + 32, _mm512_cvtepu8_epi32(_mm512_extracti32x4_epi32(lo, 2)));
+    _mm512_storeu_si512(v + i + 48, _mm512_cvtepu8_epi32(_mm512_extracti32x4_epi32(lo, 3)));
+    i += 64;
+    s += group_bytes;
+  }
+  if (i < n) unpack_pdep<X>(src + s, n - i, v + i);
+}
+
+template <int SIGN_B>
+inline uint64_t combine_avx512_loop(const int32_t* ra, const int32_t* rb, size_t n,
+                                    uint32_t* mags, uint32_t* signs) {
+  __m512i guard_acc = _mm512_setzero_si512();
+  const __m256i one32 = _mm256_set1_epi32(1);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i a = _mm512_cvtepi32_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ra + i)));
+    const __m512i b = _mm512_cvtepi32_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rb + i)));
+    const __m512i s = SIGN_B >= 0 ? _mm512_add_epi64(a, b) : _mm512_sub_epi64(a, b);
+    const __m512i mag = _mm512_abs_epi64(s);
+    guard_acc = _mm512_or_si512(guard_acc, mag);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(mags + i), _mm512_cvtepi64_epi32(mag));
+    const __mmask8 neg = _mm512_cmplt_epi64_mask(s, _mm512_setzero_si512());
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(signs + i),
+                        _mm256_maskz_mov_epi32(neg, one32));
+  }
+  uint64_t guard = static_cast<uint64_t>(_mm512_reduce_or_epi64(guard_acc));
+  if (i < n) guard |= combine_loop<SIGN_B>(ra + i, rb + i, n - i, mags + i, signs + i);
+  return guard;
+}
+
+inline uint64_t combine_avx512_body(const int32_t* ra, const int32_t* rb, size_t n, int sign_b,
+                                    uint32_t* mags, uint32_t* signs) {
+  return sign_b >= 0 ? combine_avx512_loop<+1>(ra, rb, n, mags, signs)
+                     : combine_avx512_loop<-1>(ra, rb, n, mags, signs);
+}
+
+/// VCVTPD2QQ rounds per MXCSR exactly like llrint (both default to
+/// round-nearest-even, both yield the 0x8000... indefinite on out-of-range
+/// input), so the vector path is bit-identical to quantize_body even on
+/// values the caller is about to reject.
+inline uint64_t quantize_avx512_body(const float* data, size_t n, double inv_twice_eb,
+                                     int64_t* q) {
+  const __m512d vinv = _mm512_set1_pd(inv_twice_eb);
+  __m512i guard_acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d d = _mm512_cvtps_pd(_mm256_loadu_ps(data + i));
+    const __m512i qi = _mm512_cvtpd_epi64(_mm512_mul_pd(d, vinv));
+    _mm512_storeu_si512(q + i, qi);
+    guard_acc = _mm512_or_si512(guard_acc, _mm512_abs_epi64(qi));
+  }
+  uint64_t guard = static_cast<uint64_t>(_mm512_reduce_or_epi64(guard_acc));
+  if (i < n) guard |= quantize_body(data + i, n - i, inv_twice_eb, q + i);
+  return guard;
+}
+
+#endif  // AVX-512 family
+
+}  // namespace hzccl::kernels::detail

@@ -6,6 +6,7 @@
 #include <exception>
 #include <thread>
 
+#include "hzccl/kernels/dispatch.hpp"
 #include "hzccl/util/bytes.hpp"
 #include "hzccl/util/error.hpp"
 
@@ -217,6 +218,11 @@ void Comm::charge(CostBucket bucket, double seconds, trace::EventKind kind, uint
     e.bytes = bytes;
     e.bytes_out = bytes_out;
     e.kind = kind;
+    // Compute spans record which kernel dispatch level ran them (aux 0 =
+    // scalar), so perf traces attribute throughput to the path taken.
+    if (!trace::kind_is_transport(kind)) {
+      e.aux = static_cast<uint8_t>(kernels::active_dispatch_level());
+    }
     trace_.record(e);
   }
 }

@@ -22,6 +22,7 @@
 #include "hzccl/compressor/omp_szp.hpp"
 #include "hzccl/compressor/szx_like.hpp"
 #include "hzccl/homomorphic/hz_dynamic.hpp"
+#include "hzccl/kernels/dispatch.hpp"
 #include "hzccl/simmpi/faults.hpp"
 #include "hzccl/util/bytes.hpp"
 
@@ -221,67 +222,93 @@ int main(int argc, char** argv) {
     hzccl::fz_decompress(view, out, 1);
   }
 
-  Tally fz_tally, szp_tally, szx_tally, add_tally;
+  // The whole corpus runs once per available dispatch level: the seed (and
+  // therefore every mutation) is identical across passes, so any divergence
+  // in accept/reject behavior between SIMD paths shows up as a tally
+  // mismatch, and ASan/UBSan (tools/check.sh --fuzz) walks the vectorized
+  // decoders over every malformed stream.
+  const auto levels = hzccl::kernels::supported_levels();
   bool ok = true;
+  std::vector<Tally> first_pass;
+  for (const auto level : levels) {
+    hzccl::kernels::set_dispatch_level(level);
+    Tally fz_tally, szp_tally, szx_tally, add_tally;
 
-  Prng fz_rng(seed, /*stream=*/1);
-  for (uint64_t i = 0; i < iterations && ok; ++i) {
-    ok = fuzz_one(fz_bases[i % fz_bases.size()], fz_rng, fz_tally, "fz", i,
-                  [](const std::vector<uint8_t>& bytes) {
-                    const auto view = hzccl::parse_fz(bytes);
-                    std::vector<float> out(view.num_elements());
-                    hzccl::fz_decompress(view, out, 1);
-                  });
+    Prng fz_rng(seed, /*stream=*/1);
+    for (uint64_t i = 0; i < iterations && ok; ++i) {
+      ok = fuzz_one(fz_bases[i % fz_bases.size()], fz_rng, fz_tally, "fz", i,
+                    [](const std::vector<uint8_t>& bytes) {
+                      const auto view = hzccl::parse_fz(bytes);
+                      std::vector<float> out(view.num_elements());
+                      hzccl::fz_decompress(view, out, 1);
+                    });
+    }
+
+    Prng szp_rng(seed, /*stream=*/2);
+    for (uint64_t i = 0; i < iterations && ok; ++i) {
+      ok = fuzz_one(szp_bases[i % szp_bases.size()], szp_rng, szp_tally, "szp", i,
+                    [](const std::vector<uint8_t>& bytes) {
+                      CompressedBuffer buf;
+                      buf.bytes = bytes;
+                      std::vector<float> out(hzccl::parse_szp(bytes).num_elements());
+                      hzccl::szp_decompress(buf, out, 1);
+                    });
+    }
+
+    Prng szx_rng(seed, /*stream=*/3);
+    for (uint64_t i = 0; i < iterations && ok; ++i) {
+      ok = fuzz_one(szx_bases[i % szx_bases.size()], szx_rng, szx_tally, "szx", i,
+                    [](const std::vector<uint8_t>& bytes) {
+                      CompressedBuffer buf;
+                      buf.bytes = bytes;
+                      std::vector<float> out(hzccl::parse_szx(bytes).num_elements());
+                      hzccl::szx_decompress(buf, out, 1);
+                    });
+    }
+
+    // Homomorphic adder: one mutated operand against one pristine operand,
+    // so the per-pipeline copy paths see damaged payloads that still pass
+    // header compatibility some of the time.
+    Prng add_rng(seed, /*stream=*/4);
+    for (uint64_t i = 0; i < iterations && ok; ++i) {
+      const auto& pristine = fz_bases[(i + 1) % fz_bases.size()];
+      ok = fuzz_one(fz_bases[i % fz_bases.size()], add_rng, add_tally, "hz_add", i,
+                    [&pristine](const std::vector<uint8_t>& bytes) {
+                      const auto a = hzccl::parse_fz(bytes);
+                      const auto b = hzccl::parse_fz(pristine);
+                      (void)hzccl::hz_add(a, b, nullptr, 1);
+                    });
+    }
+
+    const auto report = [&](const char* format, const Tally& t) {
+      std::printf("%-7s %-8s ok=%-8llu rejected=%-8llu\n", hzccl::kernels::level_name(level),
+                  format, static_cast<unsigned long long>(t.ok),
+                  static_cast<unsigned long long>(t.rejected));
+    };
+    report("fz", fz_tally);
+    report("szp", szp_tally);
+    report("szx", szx_tally);
+    report("hz_add", add_tally);
+    if (!ok) return 1;
+
+    const std::vector<Tally> pass = {fz_tally, szp_tally, szx_tally, add_tally};
+    if (first_pass.empty()) {
+      first_pass = pass;
+    } else {
+      for (size_t t = 0; t < pass.size(); ++t) {
+        if (pass[t].ok != first_pass[t].ok || pass[t].rejected != first_pass[t].rejected) {
+          std::fprintf(stderr,
+                       "FUZZ FAILURE: level %s accept/reject tallies diverge from %s on "
+                       "identical mutations (target %zu)\n",
+                       hzccl::kernels::level_name(level),
+                       hzccl::kernels::level_name(levels.front()), t);
+          return 1;
+        }
+      }
+    }
   }
-
-  Prng szp_rng(seed, /*stream=*/2);
-  for (uint64_t i = 0; i < iterations && ok; ++i) {
-    ok = fuzz_one(szp_bases[i % szp_bases.size()], szp_rng, szp_tally, "szp", i,
-                  [](const std::vector<uint8_t>& bytes) {
-                    CompressedBuffer buf;
-                    buf.bytes = bytes;
-                    std::vector<float> out(hzccl::parse_szp(bytes).num_elements());
-                    hzccl::szp_decompress(buf, out, 1);
-                  });
-  }
-
-  Prng szx_rng(seed, /*stream=*/3);
-  for (uint64_t i = 0; i < iterations && ok; ++i) {
-    ok = fuzz_one(szx_bases[i % szx_bases.size()], szx_rng, szx_tally, "szx", i,
-                  [](const std::vector<uint8_t>& bytes) {
-                    CompressedBuffer buf;
-                    buf.bytes = bytes;
-                    std::vector<float> out(hzccl::parse_szx(bytes).num_elements());
-                    hzccl::szx_decompress(buf, out, 1);
-                  });
-  }
-
-  // Homomorphic adder: one mutated operand against one pristine operand, so
-  // the per-pipeline copy paths see damaged payloads that still pass header
-  // compatibility some of the time.
-  Prng add_rng(seed, /*stream=*/4);
-  for (uint64_t i = 0; i < iterations && ok; ++i) {
-    const auto& pristine = fz_bases[(i + 1) % fz_bases.size()];
-    ok = fuzz_one(fz_bases[i % fz_bases.size()], add_rng, add_tally, "hz_add", i,
-                  [&pristine](const std::vector<uint8_t>& bytes) {
-                    const auto a = hzccl::parse_fz(bytes);
-                    const auto b = hzccl::parse_fz(pristine);
-                    (void)hzccl::hz_add(a, b, nullptr, 1);
-                  });
-  }
-
-  const auto report = [](const char* format, const Tally& t) {
-    std::printf("%-8s ok=%-8llu rejected=%-8llu\n", format,
-                static_cast<unsigned long long>(t.ok),
-                static_cast<unsigned long long>(t.rejected));
-  };
-  report("fz", fz_tally);
-  report("szp", szp_tally);
-  report("szx", szx_tally);
-  report("hz_add", add_tally);
-  if (!ok) return 1;
-  std::printf("fuzz_decoders: %llu iterations x 4 targets, seed %llu, no escapes\n",
-              static_cast<unsigned long long>(iterations),
+  std::printf("fuzz_decoders: %llu iterations x 4 targets x %zu levels, seed %llu, no escapes\n",
+              static_cast<unsigned long long>(iterations), levels.size(),
               static_cast<unsigned long long>(seed));
   return 0;
 }

@@ -1,0 +1,320 @@
+// Kernel-conformance tier (ctest -L kernels): every registered dispatch
+// level must be byte-identical to the scalar oracle.
+//
+// The scalar table is the reference implementation of the wire format; the
+// vectorized tables are only allowed to be faster, never different.  Each
+// differential here sweeps every supported level above scalar against the
+// scalar table directly (no global state involved), then the dataset-level
+// sweep repeats whole-pipeline compress / homomorphic-add / decompress runs
+// with the *active* level forced, proving the dispatch seam leaks nothing
+// into the format.
+//
+// Randomness comes from simmpi's counter-based fault_mix, so a failure
+// reproduces from the test name alone.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <iterator>
+#include <limits>
+#include <vector>
+
+#include "hzccl/compressor/fixed_len.hpp"
+#include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/compressor/omp_szp.hpp"
+#include "hzccl/datasets/registry.hpp"
+#include "hzccl/homomorphic/hz_dynamic.hpp"
+#include "hzccl/homomorphic/hz_ops.hpp"
+#include "hzccl/kernels/dispatch.hpp"
+#include "hzccl/simmpi/faults.hpp"
+#include "hzccl/stats/metrics.hpp"
+
+namespace hzccl {
+namespace {
+
+using kernels::DispatchLevel;
+using kernels::KernelTable;
+
+constexpr uint8_t kGuardByte = 0xCD;
+
+/// Pure-function PRNG view (fuzz_decoders' idiom): value i of stream s is
+/// fault_mix(seed, s, i), independent of call order.
+class Prng {
+ public:
+  Prng(uint64_t seed, uint64_t stream) : seed_(seed), stream_(stream) {}
+  uint64_t next() { return simmpi::fault_mix(seed_, stream_, counter_++); }
+  uint32_t u32() { return static_cast<uint32_t>(next()); }
+
+ private:
+  uint64_t seed_;
+  uint64_t stream_;
+  uint64_t counter_ = 0;
+};
+
+std::vector<DispatchLevel> vector_levels() {
+  std::vector<DispatchLevel> out;
+  for (DispatchLevel lvl : kernels::supported_levels()) {
+    if (lvl != DispatchLevel::kScalar) out.push_back(lvl);
+  }
+  return out;
+}
+
+/// Restore the active dispatch level when a test that forces it exits.
+struct LevelGuard {
+  DispatchLevel prev = kernels::active_dispatch_level();
+  ~LevelGuard() { kernels::set_dispatch_level(prev); }
+};
+
+// Lengths around every boundary the kernels care about: group-of-8 edges,
+// the AVX-512 64-value superblock edges, the 512-element block maximum, and
+// bulk sizes with every possible short tail.
+const size_t kLengths[] = {0,  1,  2,  7,  8,   9,   15,  16,  17,  31,   32,   33,  63,
+                           64, 65, 66, 100, 127, 128, 129, 200, 511, 512, 1000, 4095, 4096, 4097};
+
+// ---------------------------------------------------------------------------
+// pack/unpack differential: all levels x widths 1..32 x lengths x alignment.
+// ---------------------------------------------------------------------------
+
+void check_pack_unpack(const KernelTable& vec, const KernelTable& ref, int bits, size_t n,
+                       size_t byte_offset, Prng& rng) {
+  const uint32_t mask =
+      bits == 32 ? 0xFFFFFFFFu : ((1u << bits) - 1u);
+  // +byte_offset misaligns the packed stream; the value array is misaligned
+  // by reading from index 1 of an over-allocated vector.
+  std::vector<uint32_t> values(n + 1);
+  for (size_t i = 0; i <= n; ++i) values[i] = rng.u32() & mask;
+  const uint32_t* v = values.data() + 1;
+
+  const size_t packed = kernels::packed_size_bits(n, bits);
+  std::vector<uint8_t> out_ref(byte_offset + packed + 16, kGuardByte);
+  std::vector<uint8_t> out_vec(byte_offset + packed + 16, kGuardByte);
+  ref.pack[bits](v, n, out_ref.data() + byte_offset);
+  vec.pack[bits](v, n, out_vec.data() + byte_offset);
+  ASSERT_EQ(std::memcmp(out_ref.data(), out_vec.data(), out_ref.size()), 0)
+      << "pack mismatch: level=" << kernels::level_name(vec.level) << " bits=" << bits
+      << " n=" << n << " offset=" << byte_offset;
+  // Guard bytes past packed_size must be untouched by both implementations.
+  for (size_t b = byte_offset + packed; b < out_vec.size(); ++b) {
+    ASSERT_EQ(out_vec[b], kGuardByte)
+        << "pack wrote past packed_size: level=" << kernels::level_name(vec.level)
+        << " bits=" << bits << " n=" << n << " at byte " << b;
+  }
+
+  std::vector<uint32_t> back_ref(n + 1, 0xA5A5A5A5u);
+  std::vector<uint32_t> back_vec(n + 1, 0xA5A5A5A5u);
+  ref.unpack[bits](out_ref.data() + byte_offset, n, back_ref.data() + 1);
+  vec.unpack[bits](out_vec.data() + byte_offset, n, back_vec.data() + 1);
+  ASSERT_EQ(back_ref, back_vec)
+      << "unpack mismatch: level=" << kernels::level_name(vec.level) << " bits=" << bits
+      << " n=" << n << " offset=" << byte_offset;
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(back_vec[i + 1], v[i])
+        << "round trip broke at i=" << i << " bits=" << bits << " n=" << n;
+  }
+}
+
+TEST(KernelConformance, PackUnpackMatchesScalarOracle) {
+  const KernelTable& ref = kernels::table(DispatchLevel::kScalar);
+  for (DispatchLevel lvl : vector_levels()) {
+    const KernelTable& vec = kernels::table(lvl);
+    for (int bits = 1; bits <= kernels::kMaxPackBits; ++bits) {
+      Prng rng(/*seed=*/0xC04F04Eu, /*stream=*/static_cast<uint64_t>(bits) * 8 +
+                                        static_cast<uint64_t>(lvl));
+      for (const size_t n : kLengths) {
+        for (const size_t offset : {size_t{0}, size_t{1}, size_t{3}}) {
+          check_pack_unpack(vec, ref, bits, n, offset, rng);
+          if (HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelConformance, PackUnpackRandomizedProperty) {
+  const KernelTable& ref = kernels::table(DispatchLevel::kScalar);
+  for (DispatchLevel lvl : vector_levels()) {
+    const KernelTable& vec = kernels::table(lvl);
+    Prng rng(/*seed=*/0xBADC0DEu, /*stream=*/static_cast<uint64_t>(lvl));
+    for (int iter = 0; iter < 200; ++iter) {
+      const int bits = 1 + static_cast<int>(rng.u32() % 32u);
+      const size_t n = rng.u32() % 5000u;
+      const size_t offset = rng.u32() % 4u;
+      check_pack_unpack(vec, ref, bits, n, offset, rng);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// hz combine differential (add and subtract), including overflow lanes.
+// ---------------------------------------------------------------------------
+
+void check_combine(const KernelTable& vec, const KernelTable& ref, const std::vector<int32_t>& ra,
+                   const std::vector<int32_t>& rb, int sign_b) {
+  const size_t n = ra.size();
+  std::vector<uint32_t> mags_ref(n + 1, 0xEE), signs_ref(n + 1, 0xEE);
+  std::vector<uint32_t> mags_vec(n + 1, 0xEE), signs_vec(n + 1, 0xEE);
+  const uint64_t g_ref =
+      ref.hz_combine_residuals(ra.data(), rb.data(), n, sign_b, mags_ref.data(), signs_ref.data());
+  const uint64_t g_vec =
+      vec.hz_combine_residuals(ra.data(), rb.data(), n, sign_b, mags_vec.data(), signs_vec.data());
+  ASSERT_EQ(g_ref, g_vec) << "combine guard mismatch: level=" << kernels::level_name(vec.level)
+                          << " n=" << n << " sign_b=" << sign_b;
+  ASSERT_EQ(mags_ref, mags_vec) << "combine magnitudes mismatch: n=" << n;
+  ASSERT_EQ(signs_ref, signs_vec) << "combine signs mismatch: n=" << n;
+}
+
+TEST(KernelConformance, CombineResidualsMatchesScalarOracle) {
+  const KernelTable& ref = kernels::table(DispatchLevel::kScalar);
+  constexpr int32_t kEdges[] = {0,  1,  -1, 2, -2, std::numeric_limits<int32_t>::max(),
+                                std::numeric_limits<int32_t>::min(), 0x40000000, -0x40000000};
+  for (DispatchLevel lvl : vector_levels()) {
+    const KernelTable& vec = kernels::table(lvl);
+    Prng rng(/*seed=*/0x5E5E5Eu, /*stream=*/static_cast<uint64_t>(lvl));
+    for (const size_t n : kLengths) {
+      if (n > 512) continue;  // callers combine at block granularity
+      std::vector<int32_t> ra(n), rb(n);
+      for (size_t i = 0; i < n; ++i) {
+        // Mix edge values (overflow lanes included) into random residuals:
+        // the guard must match bit-for-bit even on inputs the caller will
+        // reject.
+        ra[i] = (rng.u32() % 8u == 0) ? kEdges[rng.u32() % std::size(kEdges)]
+                                      : static_cast<int32_t>(rng.u32());
+        rb[i] = (rng.u32() % 8u == 0) ? kEdges[rng.u32() % std::size(kEdges)]
+                                      : static_cast<int32_t>(rng.u32());
+      }
+      check_combine(vec, ref, ra, rb, +1);
+      check_combine(vec, ref, ra, rb, -1);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// fZ quantize + predict differentials.
+// ---------------------------------------------------------------------------
+
+TEST(KernelConformance, QuantizeMatchesScalarOracle) {
+  const KernelTable& ref = kernels::table(DispatchLevel::kScalar);
+  for (DispatchLevel lvl : vector_levels()) {
+    const KernelTable& vec = kernels::table(lvl);
+    Prng rng(/*seed=*/0xF10A7u, /*stream=*/static_cast<uint64_t>(lvl));
+    for (const size_t n : kLengths) {
+      if (n > 512) continue;
+      std::vector<float> data(n);
+      for (size_t i = 0; i < n; ++i) {
+        switch (rng.u32() % 4u) {
+          case 0:  // exact round-to-even boundary cases: k + 0.5 quanta
+            data[i] = (static_cast<float>(static_cast<int32_t>(rng.u32() % 2000u) - 1000) + 0.5f) *
+                      2e-3f;
+            break;
+          case 1:  // large values that overflow the quantization domain
+            data[i] = (rng.u32() % 2u ? 1.0f : -1.0f) * 1e13f;
+            break;
+          default:  // plain finite values
+            data[i] = (static_cast<float>(rng.u32() % 2000001u) - 1000000.0f) * 1e-3f;
+            break;
+        }
+      }
+      for (const double inv : {500.0, 1.0 / 3e-4, 1e6}) {
+        std::vector<int64_t> q_ref(n + 1, -77), q_vec(n + 1, -77);
+        const uint64_t g_ref = ref.fz_quantize(data.data(), n, inv, q_ref.data());
+        const uint64_t g_vec = vec.fz_quantize(data.data(), n, inv, q_vec.data());
+        ASSERT_EQ(g_ref, g_vec) << "quantize guard mismatch: level="
+                                << kernels::level_name(vec.level) << " n=" << n << " inv=" << inv;
+        ASSERT_EQ(q_ref, q_vec) << "quantize output mismatch: level="
+                                << kernels::level_name(vec.level) << " n=" << n << " inv=" << inv;
+      }
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(KernelConformance, PredictMatchesScalarOracle) {
+  const KernelTable& ref = kernels::table(DispatchLevel::kScalar);
+  for (DispatchLevel lvl : vector_levels()) {
+    const KernelTable& vec = kernels::table(lvl);
+    Prng rng(/*seed=*/0x9E0u, /*stream=*/static_cast<uint64_t>(lvl));
+    for (const size_t n : kLengths) {
+      if (n == 0 || n > 512) continue;
+      std::vector<int64_t> q(n);
+      for (size_t i = 0; i < n; ++i) {
+        // In-domain quantized values (the quantize guard admits |q| < 2^30).
+        q[i] = static_cast<int64_t>(static_cast<int32_t>(rng.u32()) >> 2);
+      }
+      const int32_t q_prev = static_cast<int32_t>(rng.u32()) >> 2;
+      std::vector<uint32_t> mags_ref(n, 0xEE), signs_ref(n, 0xEE);
+      std::vector<uint32_t> mags_vec(n, 0xEE), signs_vec(n, 0xEE);
+      const uint32_t m_ref = ref.fz_predict(q.data(), n, q_prev, mags_ref.data(), signs_ref.data());
+      const uint32_t m_vec = vec.fz_predict(q.data(), n, q_prev, mags_vec.data(), signs_vec.data());
+      ASSERT_EQ(m_ref, m_vec) << "predict max mismatch: n=" << n;
+      ASSERT_EQ(mags_ref, mags_vec) << "predict magnitudes mismatch: n=" << n;
+      ASSERT_EQ(signs_ref, signs_vec) << "predict signs mismatch: n=" << n;
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-pipeline sweep over every bundled dataset: forcing any level must
+// reproduce the scalar level's compressed bytes, homomorphic sums, and
+// decompressed floats exactly.
+// ---------------------------------------------------------------------------
+
+TEST(KernelConformance, DatasetPipelinesAreLevelInvariant) {
+  LevelGuard guard;
+  for (const DatasetId id : all_datasets()) {
+    const std::vector<float> f0 = generate_field(id, Scale::kTiny, 0);
+    const std::vector<float> f1 = generate_field(id, Scale::kTiny, 1);
+    FzParams p;
+    p.abs_error_bound = abs_bound_from_rel(f0, 1e-3);
+    SzpParams sp;
+    sp.abs_error_bound = p.abs_error_bound;
+
+    kernels::set_dispatch_level(DispatchLevel::kScalar);
+    const CompressedBuffer a_ref = fz_compress(f0, p);
+    const CompressedBuffer b_ref = fz_compress(f1, p);
+    const CompressedBuffer sum_ref = hz_add(a_ref, b_ref);
+    const CompressedBuffer szp_ref = szp_compress(f0, sp);
+    std::vector<float> dec_ref(f0.size());
+    fz_decompress(a_ref, dec_ref);
+
+    for (DispatchLevel lvl : vector_levels()) {
+      kernels::set_dispatch_level(lvl);
+      SCOPED_TRACE(std::string("dataset=") + dataset_slug(id) +
+                   " level=" + kernels::level_name(lvl));
+      const CompressedBuffer a = fz_compress(f0, p);
+      const CompressedBuffer b = fz_compress(f1, p);
+      EXPECT_EQ(a.bytes, a_ref.bytes) << "fz_compress bytes drifted";
+      EXPECT_EQ(b.bytes, b_ref.bytes);
+      const CompressedBuffer sum = hz_add(a, b);
+      EXPECT_EQ(sum.bytes, sum_ref.bytes) << "hz_add bytes drifted";
+      EXPECT_EQ(szp_compress(f0, sp).bytes, szp_ref.bytes) << "szp_compress bytes drifted";
+      std::vector<float> dec(f0.size());
+      fz_decompress(a, dec);
+      EXPECT_EQ(std::memcmp(dec.data(), dec_ref.data(), dec.size() * sizeof(float)), 0)
+          << "fz_decompress floats drifted";
+    }
+  }
+}
+
+TEST(KernelConformance, HzAddManyIsLevelInvariant) {
+  LevelGuard guard;
+  const std::vector<std::vector<float>> fields = generate_fields(DatasetId::kNyx, Scale::kTiny, 6);
+  FzParams p;
+  p.abs_error_bound = abs_bound_from_rel(fields[0], 1e-3);
+  std::vector<CompressedBuffer> ops;
+  kernels::set_dispatch_level(DispatchLevel::kScalar);
+  for (const auto& f : fields) ops.push_back(fz_compress(f, p));
+  const CompressedBuffer ref = hz_add_many(ops);
+  for (DispatchLevel lvl : vector_levels()) {
+    kernels::set_dispatch_level(lvl);
+    EXPECT_EQ(hz_add_many(ops).bytes, ref.bytes)
+        << "hz_add_many bytes drifted at level " << kernels::level_name(lvl);
+  }
+}
+
+}  // namespace
+}  // namespace hzccl

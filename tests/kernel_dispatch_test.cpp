@@ -1,0 +1,231 @@
+// Dispatch-mechanics tier (ctest -L kernels): level parsing, env forcing,
+// graceful fallback, table completeness, and per-level zero-allocation
+// steady state (pool_test.cpp's pattern, swept across dispatch levels).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hzccl/compressor/fixed_len.hpp"
+#include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/datasets/registry.hpp"
+#include "hzccl/homomorphic/hz_dynamic.hpp"
+#include "hzccl/kernels/dispatch.hpp"
+#include "hzccl/stats/metrics.hpp"
+#include "hzccl/util/cpu.hpp"
+#include "hzccl/util/error.hpp"
+#include "hzccl/util/pool.hpp"
+
+namespace hzccl {
+namespace {
+
+using kernels::DispatchLevel;
+
+struct LevelGuard {
+  DispatchLevel prev = kernels::active_dispatch_level();
+  ~LevelGuard() { kernels::set_dispatch_level(prev); }
+};
+
+/// Set/unset HZCCL_KERNEL_LEVEL for one scope, restoring the prior value.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* value) {
+    const char* old = std::getenv("HZCCL_KERNEL_LEVEL");
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    if (value != nullptr) {
+      setenv("HZCCL_KERNEL_LEVEL", value, 1);
+    } else {
+      unsetenv("HZCCL_KERNEL_LEVEL");
+    }
+  }
+  ~EnvGuard() {
+    if (had_value_) {
+      setenv("HZCCL_KERNEL_LEVEL", saved_.c_str(), 1);
+    } else {
+      unsetenv("HZCCL_KERNEL_LEVEL");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(KernelDispatch, LevelNamesRoundTrip) {
+  for (int lvl = 0; lvl < kernels::kNumDispatchLevels; ++lvl) {
+    const auto level = static_cast<DispatchLevel>(lvl);
+    const auto parsed = kernels::parse_level(kernels::level_name(level));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_EQ(kernels::parse_level("AVX2"), DispatchLevel::kAvx2);
+  EXPECT_EQ(kernels::parse_level("Scalar"), DispatchLevel::kScalar);
+  EXPECT_EQ(kernels::parse_level("AVX512"), DispatchLevel::kAvx512);
+  EXPECT_EQ(kernels::parse_level(""), std::nullopt);
+  EXPECT_EQ(kernels::parse_level("avx1024"), std::nullopt);
+  EXPECT_EQ(kernels::parse_level("sse"), std::nullopt);
+}
+
+TEST(KernelDispatch, ScalarIsAlwaysCompiledAndSupported) {
+  EXPECT_TRUE(kernels::level_compiled(DispatchLevel::kScalar));
+  EXPECT_TRUE(kernels::level_supported(DispatchLevel::kScalar));
+  const auto levels = kernels::supported_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), DispatchLevel::kScalar);
+  EXPECT_EQ(levels.back(), kernels::best_supported_level());
+}
+
+TEST(KernelDispatch, SupportImpliesCpuProbe) {
+  if (kernels::level_supported(DispatchLevel::kAvx2)) {
+    EXPECT_TRUE(cpu_supports_avx2());
+  }
+  if (kernels::level_supported(DispatchLevel::kAvx512)) {
+    EXPECT_TRUE(cpu_supports_avx2());
+    EXPECT_TRUE(cpu_supports_avx512());
+  }
+}
+
+TEST(KernelDispatch, SupportedTablesAreFullyPopulated) {
+  for (DispatchLevel lvl : kernels::supported_levels()) {
+    const kernels::KernelTable& t = kernels::table(lvl);
+    EXPECT_EQ(t.level, lvl);
+    EXPECT_EQ(t.pack[0], nullptr);
+    EXPECT_EQ(t.unpack[0], nullptr);
+    for (int bits = 1; bits <= kernels::kMaxPackBits; ++bits) {
+      EXPECT_NE(t.pack[bits], nullptr) << "level " << kernels::level_name(lvl) << " bits " << bits;
+      EXPECT_NE(t.unpack[bits], nullptr)
+          << "level " << kernels::level_name(lvl) << " bits " << bits;
+    }
+    EXPECT_NE(t.hz_combine_residuals, nullptr);
+    EXPECT_NE(t.fz_quantize, nullptr);
+    EXPECT_NE(t.fz_predict, nullptr);
+  }
+}
+
+TEST(KernelDispatch, UnsupportedLevelTableThrows) {
+  for (int lvl = 0; lvl < kernels::kNumDispatchLevels; ++lvl) {
+    const auto level = static_cast<DispatchLevel>(lvl);
+    if (kernels::level_supported(level)) continue;
+    EXPECT_THROW(kernels::table(level), Error) << kernels::level_name(level);
+  }
+}
+
+TEST(KernelDispatch, SetLevelActivatesAndClampsGracefully) {
+  LevelGuard guard;
+  EXPECT_EQ(kernels::set_dispatch_level(DispatchLevel::kScalar), DispatchLevel::kScalar);
+  EXPECT_EQ(kernels::active_dispatch_level(), DispatchLevel::kScalar);
+  EXPECT_EQ(kernels::active().level, DispatchLevel::kScalar);
+
+  // Requesting the top level never fails: it activates the best supported
+  // level at or below the request.
+  const DispatchLevel got = kernels::set_dispatch_level(DispatchLevel::kAvx512);
+  EXPECT_EQ(got, kernels::best_supported_level());
+  EXPECT_EQ(kernels::active_dispatch_level(), got);
+  EXPECT_TRUE(kernels::level_supported(got));
+}
+
+TEST(KernelDispatch, SwapCounterAdvancesOnActivation) {
+  LevelGuard guard;
+  const uint64_t before = kernels::dispatch_swaps();
+  kernels::set_dispatch_level(DispatchLevel::kScalar);
+  kernels::set_dispatch_level(kernels::best_supported_level());
+  EXPECT_GE(kernels::dispatch_swaps(), before + 2);
+}
+
+TEST(KernelDispatch, EnvForcingSelectsLevel) {
+  LevelGuard guard;
+  {
+    EnvGuard env("scalar");
+    EXPECT_EQ(kernels::reload_from_env(), DispatchLevel::kScalar);
+    EXPECT_EQ(kernels::active_dispatch_level(), DispatchLevel::kScalar);
+  }
+  for (DispatchLevel lvl : kernels::supported_levels()) {
+    EnvGuard env(kernels::level_name(lvl));
+    EXPECT_EQ(kernels::reload_from_env(), lvl);
+  }
+}
+
+TEST(KernelDispatch, EnvForcingFallsBackGracefully) {
+  LevelGuard guard;
+  {
+    // A level the host may not support clamps downward instead of failing.
+    EnvGuard env("avx512");
+    const DispatchLevel got = kernels::reload_from_env();
+    EXPECT_TRUE(kernels::level_supported(got));
+    EXPECT_LE(static_cast<int>(got), static_cast<int>(DispatchLevel::kAvx512));
+  }
+  {
+    // Unrecognized values warn and fall back to the best supported level.
+    EnvGuard env("pentium-mmx");
+    EXPECT_EQ(kernels::reload_from_env(), kernels::best_supported_level());
+  }
+  {
+    // Unset env resolves to the best supported level.
+    EnvGuard env(nullptr);
+    EXPECT_EQ(kernels::reload_from_env(), kernels::best_supported_level());
+  }
+}
+
+TEST(KernelDispatch, CheckedEntryPointsRejectBadWidths) {
+  uint32_t values[8] = {};
+  uint8_t bytes[64] = {};
+  EXPECT_THROW(kernels::pack_bits(values, 8, 0, bytes), Error);
+  EXPECT_THROW(kernels::pack_bits(values, 8, 33, bytes), Error);
+  EXPECT_THROW(kernels::unpack_bits(bytes, 8, 0, values), Error);
+  EXPECT_THROW(kernels::unpack_bits(bytes, 8, 33, values), Error);
+  // The fixed_len entry points keep their historical 1..7 contract.
+  EXPECT_THROW(pack_bits(values, 8, 0, bytes), Error);
+  EXPECT_THROW(pack_bits(values, 8, 8, bytes), Error);
+  EXPECT_THROW(unpack_bits(bytes, 8, 9, values), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation steady state per dispatch level: the vectorized kernels
+// must not change the pooled hot path's allocation behavior.
+// ---------------------------------------------------------------------------
+
+class KernelLevelAllocTest : public ::testing::Test {
+ protected:
+  void run_steady_state(DispatchLevel lvl) {
+    LevelGuard guard;
+    kernels::set_dispatch_level(lvl);
+    const std::vector<float> f0 = generate_field(DatasetId::kRtmSim1, Scale::kTiny, 0);
+    const std::vector<float> f1 = generate_field(DatasetId::kRtmSim1, Scale::kTiny, 1);
+    FzParams p;
+    p.abs_error_bound = abs_bound_from_rel(f0, 1e-3);
+
+    BufferPool pool;
+    // Warm the pool (first calls may mint buffers), then demand a
+    // zero-allocation steady state for compress and homomorphic add.
+    CompressedBuffer a = fz_compress(f0, p, &pool);
+    CompressedBuffer b = fz_compress(f1, p, &pool);
+    for (int i = 0; i < 3; ++i) {
+      CompressedBuffer c = hz_add(a, b, nullptr, 0, &pool);
+      pool.release(std::move(c.bytes));
+      CompressedBuffer a2 = fz_compress(f0, p, &pool);
+      pool.release(std::move(a2.bytes));
+    }
+    const uint64_t before = pool_heap_allocations();
+    for (int i = 0; i < 50; ++i) {
+      CompressedBuffer c = hz_add(a, b, nullptr, 0, &pool);
+      pool.release(std::move(c.bytes));
+      CompressedBuffer a2 = fz_compress(f0, p, &pool);
+      pool.release(std::move(a2.bytes));
+    }
+    EXPECT_EQ(pool_heap_allocations(), before)
+        << "steady state allocated at level " << kernels::level_name(lvl);
+  }
+};
+
+TEST_F(KernelLevelAllocTest, WarmPathMintsNoHeapBlocksAtAnyLevel) {
+  for (DispatchLevel lvl : kernels::supported_levels()) {
+    SCOPED_TRACE(kernels::level_name(lvl));
+    run_steady_state(lvl);
+  }
+}
+
+}  // namespace
+}  // namespace hzccl

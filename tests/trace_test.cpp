@@ -32,6 +32,7 @@
 #include "hzccl/collectives/algorithms.hpp"
 #include "hzccl/collectives/movement.hpp"
 #include "hzccl/core/hzccl.hpp"
+#include "hzccl/kernels/dispatch.hpp"
 #include "hzccl/trace/export.hpp"
 #include "hzccl/trace/trace.hpp"
 #include "hzccl/util/error.hpp"
@@ -410,8 +411,14 @@ JobConfig golden_config() {
 }
 
 std::string golden_json() {
+  // Pin the scalar kernel level so compute spans carry aux = 0 regardless of
+  // which SIMD level the host would pick — the checked-in golden file must
+  // replay byte-identically on every machine.
+  const kernels::DispatchLevel prev = kernels::active_dispatch_level();
+  kernels::set_dispatch_level(kernels::DispatchLevel::kScalar);
   const JobResult r =
       run_collective(Kernel::kMpi, Op::kAllreduce, golden_config(), ramp_inputs(512));
+  kernels::set_dispatch_level(prev);
   return trace::to_chrome_json(r.trace);
 }
 

@@ -9,6 +9,8 @@
 #   tools/check.sh --perf     # tier 1 + perf smoke (zero-allocation gate)
 #   tools/check.sh --cov      # tier 1 + line-coverage gate (unit/property/trace)
 #   tools/check.sh --recovery # tier 1 + sanitized rank-failure tier + seed sweep
+#   tools/check.sh --kernels  # tier 1 + conformance tier at every forced
+#                             # dispatch level + SIMD speedup gate
 #   tools/check.sh --all      # everything
 #
 # Flags combine (e.g. --lint --tsan).  Exit nonzero on the first failing
@@ -18,7 +20,7 @@ set -eu
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 jobs=$(nproc 2>/dev/null || echo 4)
 
-run_asan=1 run_lint=0 run_tsan=0 run_fuzz=0 run_perf=0 run_cov=0 run_recovery=0
+run_asan=1 run_lint=0 run_tsan=0 run_fuzz=0 run_perf=0 run_cov=0 run_recovery=0 run_kernels=0
 for arg in "$@"; do
   case "$arg" in
     --fast) run_asan=0 ;;
@@ -28,8 +30,9 @@ for arg in "$@"; do
     --perf) run_perf=1 ;;
     --cov)  run_cov=1 ;;
     --recovery) run_recovery=1 ;;
-    --all)  run_asan=1 run_lint=1 run_tsan=1 run_perf=1 run_cov=1 run_recovery=1 ;;
-    *) echo "usage: tools/check.sh [--fast] [--lint] [--tsan] [--fuzz] [--perf] [--cov] [--recovery] [--all]" >&2; exit 2 ;;
+    --kernels) run_kernels=1 ;;
+    --all)  run_asan=1 run_lint=1 run_tsan=1 run_perf=1 run_cov=1 run_recovery=1 run_kernels=1 ;;
+    *) echo "usage: tools/check.sh [--fast] [--lint] [--tsan] [--fuzz] [--perf] [--cov] [--recovery] [--kernels] [--all]" >&2; exit 2 ;;
   esac
 done
 
@@ -74,6 +77,24 @@ if [ "$run_recovery" = "1" ]; then
       --dataset hurricane --scale tiny \
       --faults "$seed,0.02,0.01" --rank-faults crash --retry 3 >/dev/null
   done
+fi
+
+if [ "$run_kernels" = "1" ]; then
+  echo "== kernels: conformance tier at every forced dispatch level =="
+  # The scalar pass checks the oracle against itself (and the dispatch
+  # mechanics); each SIMD pass re-runs the byte-identity sweep with the
+  # level forced through the env override, proving the override path and
+  # the kernels together.  Unsupported levels clamp down gracefully, so the
+  # sweep is safe on any host.
+  cmake --build "$repo/build" -j "$jobs" \
+    --target kernel_conformance_test kernel_dispatch_test bench_kernels
+  for level in scalar avx2 avx512; do
+    echo "-- kernels: HZCCL_KERNEL_LEVEL=$level"
+    (cd "$repo/build" && HZCCL_KERNEL_LEVEL=$level ctest -L kernels --output-on-failure)
+  done
+  echo "== kernels: SIMD speedup gate (bench_kernels --simd-floor) =="
+  "$repo/build/bench/bench_kernels" --json --quick \
+    --out "$repo/build/BENCH_kernels.json" --alloc-budget 0 --simd-floor 1.5
 fi
 
 if [ "$run_perf" = "1" ]; then

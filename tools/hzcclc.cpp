@@ -10,6 +10,7 @@
 // Works on SDRBench-style raw little-endian float32 files, so the synthetic
 // datasets can be swapped for the real NYX / CESM-ATM / Hurricane fields.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -22,6 +23,7 @@
 #include "hzccl/datasets/registry.hpp"
 #include "hzccl/homomorphic/hz_dynamic.hpp"
 #include "hzccl/homomorphic/hz_ops.hpp"
+#include "hzccl/kernels/dispatch.hpp"
 #include "hzccl/stats/metrics.hpp"
 #include "hzccl/trace/export.hpp"
 #include "hzccl/util/threading.hpp"
@@ -48,7 +50,8 @@ int usage() {
                "                    [--rank-faults kind@rank=N,op=N|t=T|x=F[;...]]\n"
                "                    [--retry attempts[,backoff_base[,factor]]]\n"
                "  hzcclc trace      --check <trace.json>\n"
-               "  hzcclc trace      [collective flags] [--out <trace.json>] [--capacity N]\n");
+               "  hzcclc trace      [collective flags] [--out <trace.json>] [--capacity N]\n"
+               "  hzcclc kernels    # compiled/supported/active SIMD dispatch levels\n");
   return 2;
 }
 
@@ -407,6 +410,25 @@ int cmd_trace(int argc, char** argv) {
   return 0;
 }
 
+// Report the kernel dispatch table: which SIMD levels this binary carries,
+// which the host CPU can run, and which one is active (after the
+// HZCCL_KERNEL_LEVEL override, if set).
+int cmd_kernels(int argc, char** argv) {
+  if (argc != 2) return usage();
+  (void)argv;
+  const char* env = std::getenv("HZCCL_KERNEL_LEVEL");
+  const kernels::DispatchLevel active = kernels::active_dispatch_level();
+  std::printf("%-8s %-9s %-10s %s\n", "level", "compiled", "supported", "active");
+  for (int lvl = 0; lvl < kernels::kNumDispatchLevels; ++lvl) {
+    const auto level = static_cast<kernels::DispatchLevel>(lvl);
+    std::printf("%-8s %-9s %-10s %s\n", kernels::level_name(level),
+                kernels::level_compiled(level) ? "yes" : "no",
+                kernels::level_supported(level) ? "yes" : "no", level == active ? "*" : "");
+  }
+  std::printf("HZCCL_KERNEL_LEVEL=%s\n", env != nullptr ? env : "(unset)");
+  return 0;
+}
+
 int cmd_stats(int argc, char** argv) {
   if (argc != 4) return usage();
   const std::vector<float> orig = load_f32(argv[2]);
@@ -434,6 +456,7 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmd_stats(argc, argv);
     if (cmd == "collective") return cmd_collective(argc, argv);
     if (cmd == "trace") return cmd_trace(argc, argv);
+    if (cmd == "kernels") return cmd_kernels(argc, argv);
   } catch (const Error& e) {
     std::fprintf(stderr, "hzcclc: %s\n", e.what());
     return 1;
