@@ -13,6 +13,7 @@
 #include "hzccl/compressor/fz_light.hpp"
 #include "hzccl/simmpi/costmodel.hpp"
 #include "hzccl/simmpi/runtime.hpp"
+#include "hzccl/util/contracts.hpp"
 #include "hzccl/util/threading.hpp"
 
 namespace hzccl::coll {
@@ -32,6 +33,25 @@ inline float reduce_combine(ReduceOp op, float acc, float incoming) {
     case ReduceOp::kMax: return incoming > acc ? incoming : acc;
   }
   return acc;
+}
+
+/// Element-wise `acc[i] = op(acc[i], incoming[i])` — the steady-state reduce
+/// loop of every ring step across the raw, DOC and recursive-doubling
+/// stacks.  One shared HZCCL_HOT body so tools/analyze proves the loop
+/// allocation- and throw-free once for all of them.
+HZCCL_HOT inline void reduce_combine_span(ReduceOp op, float* acc, const float* incoming,
+                                          size_t n) {
+  switch (op) {
+    case ReduceOp::kSum:
+      for (size_t i = 0; i < n; ++i) acc[i] += incoming[i];
+      break;
+    case ReduceOp::kMin:
+      for (size_t i = 0; i < n; ++i) acc[i] = incoming[i] < acc[i] ? incoming[i] : acc[i];
+      break;
+    case ReduceOp::kMax:
+      for (size_t i = 0; i < n; ++i) acc[i] = incoming[i] > acc[i] ? incoming[i] : acc[i];
+      break;
+  }
 }
 
 struct CollectiveConfig {

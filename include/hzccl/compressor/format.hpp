@@ -22,8 +22,10 @@
 #include <vector>
 
 #include "hzccl/util/bytes.hpp"
+#include "hzccl/util/contracts.hpp"
 #include "hzccl/util/error.hpp"
 #include "hzccl/util/pool.hpp"
+#include "hzccl/util/raise.hpp"
 
 namespace hzccl {
 
@@ -94,16 +96,17 @@ struct FzView {
   uint32_t num_chunks() const { return header.num_chunks; }
   double error_bound() const { return header.error_bound; }
 
-  /// Payload byte range of one chunk.
-  std::span<const uint8_t> chunk_payload(uint32_t chunk) const {
+  /// Payload byte range of one chunk.  Called once per chunk inside the
+  /// parallel decode loops, so the failure paths are out-of-line cold raises.
+  HZCCL_HOT std::span<const uint8_t> chunk_payload(uint32_t chunk) const {
     if (chunk >= header.num_chunks) {
-      throw ParseError("chunk index " + std::to_string(chunk) + " out of range");
+      detail::raise_parse_value("chunk index ", chunk, " out of range");
     }
     const uint64_t begin = chunk_offsets[chunk];
     const uint64_t end =
         (chunk + 1 < header.num_chunks) ? chunk_offsets[chunk + 1] : payload.size();
     if (begin > end || end > payload.size()) {
-      throw FormatError("inconsistent chunk offset table");
+      detail::raise_format("inconsistent chunk offset table");
     }
     return payload.subspan(begin, end - begin);
   }

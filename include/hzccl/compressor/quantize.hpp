@@ -12,7 +12,9 @@
 #include <cstdint>
 
 #include "hzccl/compressor/format.hpp"
+#include "hzccl/util/contracts.hpp"
 #include "hzccl/util/error.hpp"
+#include "hzccl/util/raise.hpp"
 
 namespace hzccl {
 
@@ -30,14 +32,16 @@ struct Quantizer {
   }
 
   /// Quantize one value; throws QuantizationRangeError when the value cannot
-  /// be represented in the 30-bit quantized domain under this bound.
-  int32_t quantize(float v) const {
+  /// be represented in the 30-bit quantized domain under this bound.  The
+  /// raise is an out-of-line cold exit — this runs per element on the hot
+  /// compression path.
+  HZCCL_HOT int32_t quantize(float v) const {
     const double scaled = static_cast<double>(v) * inv_twice_eb;
     // llrint honors round-to-nearest-even cheaply; the magnitude guard keeps
     // a later homomorphic addition from silently overflowing 31-bit residuals.
     const long long q = std::llrint(scaled);
     if (q > kMaxQuantMagnitude || q < -static_cast<long long>(kMaxQuantMagnitude)) {
-      throw QuantizationRangeError(
+      detail::raise_quant_range(
           "value/error-bound ratio exceeds the 30-bit quantization domain");
     }
     return static_cast<int32_t>(q);

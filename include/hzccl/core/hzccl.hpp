@@ -104,8 +104,8 @@ using RankInputFn = std::function<std::vector<float>(int rank)>;
 
 /// Run one collective with the chosen kernel across config.nranks simulated
 /// ranks.  Functionally exact (real bytes reduced); time is virtual.
-JobResult run_collective(Kernel kernel, Op op, const JobConfig& config,
-                         const RankInputFn& rank_input);
+[[nodiscard]] JobResult run_collective(Kernel kernel, Op op, const JobConfig& config,
+                                       const RankInputFn& rank_input);
 
 /// Exact (double-accumulated) element-wise sum of all ranks' inputs — the
 /// reference the accuracy checks compare against.

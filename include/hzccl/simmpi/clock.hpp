@@ -57,7 +57,7 @@ class VirtualClock {
   /// the waiting time lands in `bucket` (typically kMpi).
   void advance_to(double t, CostBucket bucket) { advance(t - now_, bucket); }
 
-  ClockReport report() const {
+  [[nodiscard]] ClockReport report() const {
     ClockReport r;
     r.total_seconds = now_;
     r.bucket_seconds = buckets_;

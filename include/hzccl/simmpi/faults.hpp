@@ -204,8 +204,18 @@ struct FrameHeader {
 #pragma pack(pop)
 static_assert(sizeof(FrameHeader) == 24, "wire frame header must be 24 bytes");
 
+/// Total wire size of a frame carrying `payload_bytes` of payload.
+constexpr size_t frame_size(size_t payload_bytes) {
+  return sizeof(FrameHeader) + payload_bytes;
+}
+
 /// Wrap `payload` into a framed wire message carrying `seq`.
 std::vector<uint8_t> encode_frame(uint64_t seq, std::span<const uint8_t> payload);
+
+/// Non-allocating hot core of encode_frame: frame `payload` into `out`,
+/// whose size must be exactly frame_size(payload.size()).  This is the
+/// steady-state transmit path — encode_frame is the allocating wrapper.
+void encode_frame_into(uint64_t seq, std::span<const uint8_t> payload, std::span<uint8_t> out);
 
 /// Result of validating a framed message.
 struct FrameView {

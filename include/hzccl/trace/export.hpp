@@ -53,6 +53,6 @@ struct CheckReport {
 /// Full validation: well-formed JSON, required ph/ts/pid/tid on every event,
 /// non-negative durations, and per-tid spans sorted without overlap.
 /// Never throws — problems land in CheckReport::error.
-CheckReport check_chrome_json(std::span<const uint8_t> json);
+[[nodiscard]] CheckReport check_chrome_json(std::span<const uint8_t> json);
 
 }  // namespace hzccl::trace

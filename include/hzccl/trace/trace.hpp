@@ -189,7 +189,7 @@ struct Breakdown {
   RankPhases totals;   ///< element-wise sum over ranks (totals.total = max)
 };
 
-Breakdown aggregate(const Trace& trace);
+[[nodiscard]] Breakdown aggregate(const Trace& trace);
 
 /// Event count per kind for one rank's stream — the reconciliation helper
 /// the trace-invariant tests difference against TransportStats.

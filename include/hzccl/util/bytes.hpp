@@ -17,6 +17,7 @@
 // memcpy.
 #pragma once
 
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <cstring>
@@ -26,14 +27,17 @@
 #include <vector>
 
 #include "hzccl/util/error.hpp"
+#include "hzccl/util/raise.hpp"
 
 namespace hzccl {
 
 /// a * b, or ParseError if the product does not fit a size_t (a mangled
 /// 32-bit count multiplied by an element size must never wrap silently).
+/// The failure path is an out-of-line cold raise so decode loops calling
+/// this stay free of string/throw machinery (see util/raise.hpp).
 inline size_t checked_mul(size_t a, size_t b, const char* what) {
   if (a != 0 && b > static_cast<size_t>(-1) / a) {
-    throw ParseError(std::string(what) + ": size computation overflows");
+    detail::raise_mul_overflow(what);
   }
   return a * b;
 }
@@ -56,12 +60,13 @@ class ByteReader {
   size_t remaining() const { return bytes_.size() - pos_; }
   bool empty() const { return remaining() == 0; }
 
-  /// Throws ParseError unless `count` more bytes are available.
+  /// Throws ParseError unless `count` more bytes are available.  The raise
+  /// is out of line and cold: frame/block decode loops call require() per
+  /// field, and the hot-path contract (tools/analyze) forbids inline throw
+  /// or string construction there.
   void require(size_t count, const char* field) const {
     if (count > remaining()) {
-      throw ParseError(std::string(what_) + ": truncated reading " + field + " (need " +
-                       std::to_string(count) + " bytes, have " + std::to_string(remaining()) +
-                       ")");
+      detail::raise_truncated(what_, field, count, remaining());
     }
   }
 
@@ -137,9 +142,7 @@ class ByteWriter {
 
   void require(size_t count, const char* field) const {
     if (count > remaining()) {
-      throw CapacityError(std::string(what_) + ": capacity exceeded writing " + field +
-                          " (need " + std::to_string(count) + " bytes, have " +
-                          std::to_string(remaining()) + ")");
+      detail::raise_write_overrun(what_, field, count, remaining());
     }
   }
 
@@ -200,13 +203,17 @@ inline std::span<uint8_t> writable_bytes_of(std::span<float> values) {
   return {reinterpret_cast<uint8_t*>(values.data()), values.size_bytes()};
 }
 
-/// CRC over the leading `prefix` bytes of a trivially-copyable struct,
-/// staged through a byte copy instead of reinterpret_cast'ing the object.
-template <class T>
-std::vector<uint8_t> leading_bytes_of(const T& value, size_t prefix) {
+/// The leading `Prefix` bytes of a trivially-copyable struct, staged through
+/// a stack byte copy instead of reinterpret_cast'ing the object.  The prefix
+/// is a template parameter (call sites use offsetof) so the copy never
+/// touches the heap — this feeds the frame-header CRC on the per-frame hot
+/// path, where hzccl-analyze forbids allocation.
+template <size_t Prefix, class T>
+std::array<uint8_t, Prefix> leading_bytes_of(const T& value) {
   static_assert(std::is_trivially_copyable_v<T>, "wire types must be trivially copyable");
-  std::vector<uint8_t> bytes(prefix <= sizeof(T) ? prefix : sizeof(T));
-  std::memcpy(bytes.data(), &value, bytes.size());
+  static_assert(Prefix <= sizeof(T), "prefix must not exceed the struct size");
+  std::array<uint8_t, Prefix> bytes;
+  std::memcpy(bytes.data(), &value, Prefix);
   return bytes;
 }
 

@@ -1,0 +1,50 @@
+// Hot-path contract annotations, checked by tools/analyze (hzccl-analyze).
+//
+// The paper's speedup claim rests on a steady-state path that never
+// allocates, never throws, and keeps its working set cache-resident while
+// compressed bytes stream through the ring.  PR 3 (pools) and PR 6 (kernel
+// table) enforce that *dynamically* — an allocs-per-op counter and a bench
+// gate.  These macros make the contract *static*: every function marked
+// HZCCL_HOT becomes a root in the whole-program call graph that
+// tools/analyze/analyze.py stitches out of GCC's -fcallgraph-info artifacts,
+// and the analyzer proves, per root:
+//
+//   1. no-alloc / no-throw — no path reaches operator new / malloc / free /
+//      __cxa_throw, except through a sanctioned HZCCL_COLD exit listed in
+//      tools/analyze/contracts.conf;
+//   2. bounded stack — every frame and every worst-case call path stays
+//      under the checked-in budget, and no hot frame uses a VLA or alloca;
+//   3. exception discipline — sanctioned cold exits may throw only the
+//      ParseError/CapacityError/FormatError/HomomorphicOverflowError
+//      family, and kernel-table entries reach no throw at all.
+//
+// Mechanics: `hot`/`cold` function attributes combined with
+// -ffunction-sections place each annotated function in a discoverable
+// `.text.hot.<mangled>` / `.text.unlikely.<mangled>` section, which is how
+// the analyzer recovers the annotation sets from the object files — this
+// works uniformly for plain functions, templates, and inline definitions
+// (explicit `section` attributes do not: GCC silently ignores them on
+// comdat functions).  The attributes also carry their usual optimizer
+// meaning: hot functions are optimized more aggressively and grouped
+// together; cold functions are size-optimized and moved out of the way.
+//
+// HZCCL_COLD additionally forces `noinline` so a sanctioned slow path stays
+// an out-of-line call — inlining a cold raise into its hot caller would put
+// the throw machinery (and the std::string construction) back on the hot
+// frame, which is exactly what the contract forbids.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+/// Marks a function as part of the steady-state hot path.  tools/analyze
+/// proves the no-alloc/no-throw/bounded-stack contracts for every HZCCL_HOT
+/// root on each `tools/check.sh --analyze` run.
+#define HZCCL_HOT __attribute__((hot))
+/// Marks a sanctioned slow path reachable from HZCCL_HOT code (error
+/// raises, pool refills).  Must be listed in tools/analyze/contracts.conf
+/// to act as a traversal boundary; unlisted cold functions are analyzed
+/// like any other callee.
+#define HZCCL_COLD __attribute__((cold, noinline))
+#else
+#define HZCCL_HOT
+#define HZCCL_COLD
+#endif

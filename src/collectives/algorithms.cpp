@@ -18,9 +18,7 @@ constexpr int kTagUnfold = (1 << 22) + 4096;
 
 void reduce_into(std::vector<float>& acc, std::span<const float> incoming, size_t offset,
                  Comm& comm, const CollectiveConfig& config) {
-  for (size_t i = 0; i < incoming.size(); ++i) {
-    acc[offset + i] = reduce_combine(config.reduce_op, acc[offset + i], incoming[i]);
-  }
+  reduce_combine_span(config.reduce_op, acc.data() + offset, incoming.data(), incoming.size());
   comm.charge(CostBucket::kCpt,
               config.cost.seconds_raw_sum(incoming.size() * sizeof(float), Mode::kSingleThread),
               trace::EventKind::kReduce, incoming.size() * sizeof(float));

@@ -72,10 +72,8 @@ void ccoll_reduce_scatter(Comm& comm, std::span<const float> input,
       pool.release(std::move(received.compressed.bytes));
     }
 
-    float* dst = acc.data() + recv_r.begin;
-    for (size_t i = 0; i < recv_r.size(); ++i) {
-      dst[i] = reduce_combine(config.reduce_op, dst[i], decoded[i]);
-    }
+    reduce_combine_span(config.reduce_op, acc.data() + recv_r.begin, decoded.data(),
+                        recv_r.size());
     comm.charge(CostBucket::kCpt,
                 config.cost.seconds_raw_sum(recv_r.size() * sizeof(float), config.mode),
                 trace::EventKind::kReduce, recv_r.size() * sizeof(float));

@@ -29,10 +29,8 @@ void raw_reduce_scatter(Comm& comm, std::span<const float> input, std::vector<fl
     recv_buf.resize(recv_r.size());
     comm.recv_floats_into(ring_prev(rank, size), kTagReduceScatter + step, recv_buf);
 
-    float* dst = acc.data() + recv_r.begin;
-    for (size_t i = 0; i < recv_r.size(); ++i) {
-      dst[i] = reduce_combine(config.reduce_op, dst[i], recv_buf[i]);
-    }
+    reduce_combine_span(config.reduce_op, acc.data() + recv_r.begin, recv_buf.data(),
+                        recv_r.size());
     // MPI reduces inside the progress engine: single-threaded by design.
     comm.charge(CostBucket::kCpt,
                 config.cost.seconds_raw_sum(recv_r.size() * sizeof(float), Mode::kSingleThread),

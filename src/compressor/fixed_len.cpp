@@ -4,7 +4,9 @@
 #include <string>
 
 #include "hzccl/kernels/dispatch.hpp"
+#include "hzccl/util/contracts.hpp"
 #include "hzccl/util/error.hpp"
+#include "hzccl/util/raise.hpp"
 
 namespace hzccl {
 
@@ -45,18 +47,18 @@ void unpack_bits(const uint8_t* src, size_t n, int bits, uint32_t* v) {
   kernels::active().unpack[bits](src, n, v);
 }
 
-uint8_t* encode_block_prepared(const uint32_t* magnitudes, const uint32_t* sign_bits, size_t n,
+HZCCL_HOT uint8_t* encode_block_prepared(const uint32_t* magnitudes, const uint32_t* sign_bits, size_t n,
                                int code_len, uint8_t* out, const uint8_t* out_end) {
   if (out > out_end ||
       encoded_block_size(code_len, n) > static_cast<size_t>(out_end - out)) {
-    throw CapacityError("encode_block: encoded block exceeds output capacity");
+    detail::raise_capacity("encode_block: encoded block exceeds output capacity");
   }
   *out++ = static_cast<uint8_t>(code_len);
   if (code_len == 0) return out;
   // Blocks longer than the stack scratch are encoded in slices; slice
   // boundaries only matter to this scratch, not to the wire layout, so the
   // caller-visible contract is unchanged for any n the compressor produces.
-  if (n > 512) throw Error("encode_block: block length > 512 unsupported");
+  if (n > 512) detail::raise_error("encode_block: block length > 512 unsupported");
 
   const kernels::KernelTable& k = kernels::active();
   k.pack[1](sign_bits, n, out);
@@ -86,11 +88,11 @@ uint8_t* encode_block_prepared(const uint32_t* magnitudes, const uint32_t* sign_
   return out;
 }
 
-uint8_t* encode_block(const int32_t* residuals, size_t n, uint8_t* out,
+HZCCL_HOT uint8_t* encode_block(const int32_t* residuals, size_t n, uint8_t* out,
                       const uint8_t* out_end) {
   uint32_t mags[512];
   uint32_t signs[512];
-  if (n > 512) throw Error("encode_block: block length > 512 unsupported");
+  if (n > 512) detail::raise_error("encode_block: block length > 512 unsupported");
 
   uint32_t max_mag = 0;
   for (size_t i = 0; i < n; ++i) {
@@ -104,33 +106,33 @@ uint8_t* encode_block(const int32_t* residuals, size_t n, uint8_t* out,
   }
   const int c = code_length_for(max_mag);
   if (c > kMaxCodeLength) {
-    throw QuantizationRangeError("residual magnitude exceeds 31 bits");
+    detail::raise_quant_range("residual magnitude exceeds 31 bits");
   }
   return encode_block_prepared(mags, signs, n, c, out, out_end);
 }
 
-const uint8_t* decode_block(const uint8_t* src, const uint8_t* end, size_t n,
+HZCCL_HOT const uint8_t* decode_block(const uint8_t* src, const uint8_t* end, size_t n,
                             int32_t* residuals) {
-  if (src >= end) throw ParseError("decode_block: empty input");
+  if (src >= end) detail::raise_parse("decode_block: empty input");
   const int c = *src++;
   if (c == 0) {
     std::memset(residuals, 0, n * sizeof(int32_t));
     return src;
   }
   if (c == kRawBlockMarker) {
-    throw ParseError("decode_block: raw block in a residual-only context");
+    detail::raise_parse("decode_block: raw block in a residual-only context");
   }
-  if (c > kMaxCodeLength) throw ParseError("decode_block: bad code length");
+  if (c > kMaxCodeLength) detail::raise_parse("decode_block: bad code length");
   const size_t sign_bytes = (n + 7) / 8;
   const size_t plane_bytes = static_cast<size_t>(c / 8) * n;
   const size_t rem_bytes = packed_size(n, c % 8);
   if (static_cast<size_t>(end - src) < sign_bytes + plane_bytes + rem_bytes) {
-    throw ParseError("decode_block: truncated block payload");
+    detail::raise_parse("decode_block: truncated block payload");
   }
 
   uint32_t signs[512];
   uint32_t mags[512];
-  if (n > 512) throw ParseError("decode_block: block length > 512 unsupported");
+  if (n > 512) detail::raise_parse("decode_block: block length > 512 unsupported");
   const kernels::KernelTable& k = kernels::active();
   k.unpack[1](src, n, signs);
   src += sign_bytes;
@@ -158,38 +160,38 @@ const uint8_t* decode_block(const uint8_t* src, const uint8_t* end, size_t n,
   return src;
 }
 
-uint8_t* encode_raw_block(const float* values, size_t n, uint8_t* out,
+HZCCL_HOT uint8_t* encode_raw_block(const float* values, size_t n, uint8_t* out,
                           const uint8_t* out_end) {
   const size_t size = raw_block_size(n);
   if (out > out_end || size > static_cast<size_t>(out_end - out)) {
-    throw CapacityError("encode_raw_block: raw block exceeds output capacity");
+    detail::raise_capacity("encode_raw_block: raw block exceeds output capacity");
   }
   *out++ = static_cast<uint8_t>(kRawBlockMarker);
   std::memcpy(out, values, n * sizeof(float));
   return out + n * sizeof(float);
 }
 
-const uint8_t* decode_raw_block(const uint8_t* src, const uint8_t* end, size_t n,
+HZCCL_HOT const uint8_t* decode_raw_block(const uint8_t* src, const uint8_t* end, size_t n,
                                 float* values) {
-  if (src >= end) throw ParseError("decode_raw_block: empty input");
-  if (*src != kRawBlockMarker) throw ParseError("decode_raw_block: not a raw block");
+  if (src >= end) detail::raise_parse("decode_raw_block: empty input");
+  if (*src != kRawBlockMarker) detail::raise_parse("decode_raw_block: not a raw block");
   const size_t size = raw_block_size(n);
   if (static_cast<size_t>(end - src) < size) {
-    throw ParseError("decode_raw_block: truncated raw payload");
+    detail::raise_parse("decode_raw_block: truncated raw payload");
   }
   std::memcpy(values, src + 1, n * sizeof(float));
   return src + size;
 }
 
-size_t peek_block_size(const uint8_t* src, const uint8_t* end, size_t n) {
-  if (src >= end) throw ParseError("peek_block_size: empty input");
+HZCCL_HOT size_t peek_block_size(const uint8_t* src, const uint8_t* end, size_t n) {
+  if (src >= end) detail::raise_parse("peek_block_size: empty input");
   const int c = *src;
   const size_t size = c == kRawBlockMarker ? raw_block_size(n) : encoded_block_size(c, n);
   if (c != kRawBlockMarker && c > kMaxCodeLength) {
-    throw ParseError("peek_block_size: bad code length");
+    detail::raise_parse("peek_block_size: bad code length");
   }
   if (static_cast<size_t>(end - src) < size) {
-    throw ParseError("peek_block_size: truncated block");
+    detail::raise_parse("peek_block_size: truncated block");
   }
   return size;
 }

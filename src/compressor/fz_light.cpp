@@ -9,6 +9,8 @@
 #include "hzccl/compressor/quantize.hpp"
 #include "hzccl/kernels/dispatch.hpp"
 #include "hzccl/stats/metrics.hpp"
+#include "hzccl/util/contracts.hpp"
+#include "hzccl/util/raise.hpp"
 #include "hzccl/util/threading.hpp"
 
 namespace hzccl {
@@ -26,7 +28,7 @@ void validate_params(const FzParams& p) {
 /// Compress one chunk into [out, out + out_capacity); returns bytes written.
 /// The capacity is the assembler's worst-case chunk region; every write is
 /// checked against it (CapacityError on violation).
-size_t compress_chunk(std::span<const float> data, Range range, uint32_t block_len,
+HZCCL_HOT size_t compress_chunk(std::span<const float> data, Range range, uint32_t block_len,
                       const Quantizer& quant, int32_t* outlier, uint8_t* out,
                       size_t out_capacity, bool* emitted_raw) {
   uint8_t* const out_begin = out;
@@ -70,7 +72,7 @@ size_t compress_chunk(std::span<const float> data, Range range, uint32_t block_l
     // llrint pipeline free of the prediction dependency chain.
     const uint64_t q_guard = k.fz_quantize(data.data() + pos, n, quant.inv_twice_eb, qbuf);
     if (q_guard > static_cast<uint64_t>(kMaxQuantMagnitude)) {
-      throw QuantizationRangeError(
+      detail::raise_quant_range(
           "value/error-bound ratio exceeds the 30-bit quantization domain");
     }
     const uint32_t max_mag = k.fz_predict(qbuf, n, q_prev, mags, signs);
@@ -78,7 +80,7 @@ size_t compress_chunk(std::span<const float> data, Range range, uint32_t block_l
     if (max_mag == 0) {
       // Constant block: one code-length byte, no sign/magnitude work at all
       // (the quiet-data fast path that dominates scientific fields).
-      if (out >= out_end) throw CapacityError("fz_compress: chunk capacity exceeded");
+      if (out >= out_end) detail::raise_capacity("fz_compress: chunk capacity exceeded");
       *out++ = 0;
     } else {
       out = encode_block_prepared(mags, signs, n, code_length_for(max_mag), out, out_end);
@@ -86,6 +88,96 @@ size_t compress_chunk(std::span<const float> data, Range range, uint32_t block_l
     pos += n;
   }
   return static_cast<size_t>(out - out_begin);
+}
+
+/// Decode one chunk of a full decompression into out[range).  Standalone and
+/// HZCCL_HOT (rather than inline in the omp lambda below) so tools/analyze
+/// proves the steady-state decode loop allocation- and throw-free; all
+/// failure paths are cold raises.
+HZCCL_HOT void decompress_chunk(const FzView& view, const Quantizer& quant, uint32_t block_len,
+                                Range r, std::span<float> out, uint32_t c) {
+  const auto chunk = view.chunk_payload(c);
+  const uint8_t* src = chunk.data();
+  const uint8_t* const end = src + chunk.size();
+
+  int32_t rbuf[kMaxBlockLen];
+  // 64-bit accumulator: homomorphically reduced streams may sum many
+  // operands, and the running quantized value must not wrap.
+  int64_t q = view.chunk_outliers[c];
+  size_t pos = r.begin;
+  while (pos < r.end) {
+    const size_t n = std::min<size_t>(block_len, r.end - pos);
+    // Raw fallback block: the original floats verbatim, outside the
+    // quantized chain — q carries over it untouched.
+    if (src < end && *src == kRawBlockMarker) {
+      src = decode_raw_block(src, end, n, out.data() + pos);
+      pos += n;
+      continue;
+    }
+    // Constant-block fast path: a zero code length means every residual
+    // is zero, so the whole block is one fill — the dominant case on
+    // quiet scientific data and the reason fZ-light's decompression can
+    // approach the STREAM peak (paper Table IV).
+    if (src < end && *src == 0) {
+      ++src;
+      std::fill_n(out.data() + pos, n, quant.dequantize(q));
+      pos += n;
+      continue;
+    }
+    src = decode_block(src, end, n, rbuf);
+    // The chunk's first residual is zero by construction (q0 - q0), and
+    // a sum of homomorphic streams keeps it zero, so the generic
+    // prefix-sum loop is exact for every element including the first.
+    for (size_t i = 0; i < n; ++i) {
+      q += rbuf[i];
+      out[pos + i] = quant.dequantize(q);
+    }
+    pos += n;
+  }
+  if (src != end) {
+    detail::raise_format("fz_decompress: trailing bytes in chunk payload");
+  }
+}
+
+/// Range-decode twin of decompress_chunk: same walk, but only elements in
+/// [begin, end) land in out.  Also a standalone HZCCL_HOT root.
+HZCCL_HOT void decompress_range_chunk(const FzView& view, const Quantizer& quant,
+                                      uint32_t block_len, Range r, size_t begin, size_t end,
+                                      std::span<float> out, uint32_t c) {
+  const auto chunk = view.chunk_payload(c);
+  const uint8_t* src = chunk.data();
+  const uint8_t* const chunk_end = src + chunk.size();
+
+  int32_t rbuf[kMaxBlockLen];
+  int64_t q = view.chunk_outliers[c];
+  size_t pos = r.begin;
+  while (pos < r.end && pos < end) {
+    const size_t n = std::min<size_t>(block_len, r.end - pos);
+    if (src < chunk_end && *src == kRawBlockMarker) {
+      // Raw block: decode to scratch, copy the overlap; q is untouched.
+      float fbuf[kMaxBlockLen];
+      src = decode_raw_block(src, chunk_end, n, fbuf);
+      for (size_t i = 0; i < n; ++i) {
+        const size_t elem = pos + i;
+        if (elem >= begin && elem < end) out[elem - begin] = fbuf[i];
+      }
+      pos += n;
+      continue;
+    }
+    if (pos + n <= begin && src < chunk_end && *src == 0) {
+      // Constant block entirely before the range: skip without touching q.
+      ++src;
+      pos += n;
+      continue;
+    }
+    src = decode_block(src, chunk_end, n, rbuf);
+    for (size_t i = 0; i < n; ++i) {
+      q += rbuf[i];
+      const size_t elem = pos + i;
+      if (elem >= begin && elem < end) out[elem - begin] = quant.dequantize(q);
+    }
+    pos += n;
+  }
 }
 
 }  // namespace
@@ -152,47 +244,7 @@ void fz_decompress(const FzView& view, std::span<float> out, int num_threads) {
       const Range r =
           chunk_range(view.num_elements(), static_cast<int>(nchunks), static_cast<int>(c));
       if (r.size() == 0) return;
-      const auto chunk = view.chunk_payload(c);
-      const uint8_t* src = chunk.data();
-      const uint8_t* const end = src + chunk.size();
-
-      int32_t rbuf[kMaxBlockLen];
-      // 64-bit accumulator: homomorphically reduced streams may sum many
-      // operands, and the running quantized value must not wrap.
-      int64_t q = view.chunk_outliers[c];
-      size_t pos = r.begin;
-      while (pos < r.end) {
-        const size_t n = std::min<size_t>(block_len, r.end - pos);
-        // Raw fallback block: the original floats verbatim, outside the
-        // quantized chain — q carries over it untouched.
-        if (src < end && *src == kRawBlockMarker) {
-          src = decode_raw_block(src, end, n, out.data() + pos);
-          pos += n;
-          continue;
-        }
-        // Constant-block fast path: a zero code length means every residual
-        // is zero, so the whole block is one fill — the dominant case on
-        // quiet scientific data and the reason fZ-light's decompression can
-        // approach the STREAM peak (paper Table IV).
-        if (src < end && *src == 0) {
-          ++src;
-          std::fill_n(out.data() + pos, n, quant.dequantize(q));
-          pos += n;
-          continue;
-        }
-        src = decode_block(src, end, n, rbuf);
-        // The chunk's first residual is zero by construction (q0 - q0), and
-        // a sum of homomorphic streams keeps it zero, so the generic
-        // prefix-sum loop is exact for every element including the first.
-        for (size_t i = 0; i < n; ++i) {
-          q += rbuf[i];
-          out[pos + i] = quant.dequantize(q);
-        }
-        pos += n;
-      }
-      if (src != end) {
-        throw FormatError("fz_decompress: trailing bytes in chunk payload");
-      }
+      decompress_chunk(view, quant, block_len, r, out, c);
     });
   }
   errors.rethrow();
@@ -230,40 +282,7 @@ void fz_decompress_range(const FzView& view, size_t begin, size_t end, std::span
       const Range r =
           chunk_range(view.num_elements(), static_cast<int>(nchunks), static_cast<int>(c));
       if (r.size() == 0 || r.end <= begin || r.begin >= end) return;
-      const auto chunk = view.chunk_payload(c);
-      const uint8_t* src = chunk.data();
-      const uint8_t* const chunk_end = src + chunk.size();
-
-      int32_t rbuf[kMaxBlockLen];
-      int64_t q = view.chunk_outliers[c];
-      size_t pos = r.begin;
-      while (pos < r.end && pos < end) {
-        const size_t n = std::min<size_t>(block_len, r.end - pos);
-        if (src < chunk_end && *src == kRawBlockMarker) {
-          // Raw block: decode to scratch, copy the overlap; q is untouched.
-          float fbuf[kMaxBlockLen];
-          src = decode_raw_block(src, chunk_end, n, fbuf);
-          for (size_t i = 0; i < n; ++i) {
-            const size_t elem = pos + i;
-            if (elem >= begin && elem < end) out[elem - begin] = fbuf[i];
-          }
-          pos += n;
-          continue;
-        }
-        if (pos + n <= begin && src < chunk_end && *src == 0) {
-          // Constant block entirely before the range: skip without touching q.
-          ++src;
-          pos += n;
-          continue;
-        }
-        src = decode_block(src, chunk_end, n, rbuf);
-        for (size_t i = 0; i < n; ++i) {
-          q += rbuf[i];
-          const size_t elem = pos + i;
-          if (elem >= begin && elem < end) out[elem - begin] = quant.dequantize(q);
-        }
-        pos += n;
-      }
+      decompress_range_chunk(view, quant, block_len, r, begin, end, out, c);
     });
   }
   errors.rethrow();

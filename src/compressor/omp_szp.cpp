@@ -10,6 +10,8 @@
 #include "hzccl/kernels/dispatch.hpp"
 #include "hzccl/stats/metrics.hpp"
 #include "hzccl/util/bytes.hpp"
+#include "hzccl/util/contracts.hpp"
+#include "hzccl/util/raise.hpp"
 #include "hzccl/util/threading.hpp"
 
 namespace hzccl {
@@ -26,12 +28,12 @@ struct BlockScan {
   bool all_zero = false;
 };
 
-BlockScan scan_block(const float* data, size_t n, const Quantizer& quant, int64_t* qbuf,
+HZCCL_HOT BlockScan scan_block(const float* data, size_t n, const Quantizer& quant, int64_t* qbuf,
                      uint32_t* mags, uint32_t* signs) {
   const kernels::KernelTable& k = kernels::active();
   const uint64_t q_guard = k.fz_quantize(data, n, quant.inv_twice_eb, qbuf);
   if (q_guard > static_cast<uint64_t>(kMaxQuantMagnitude)) {
-    throw QuantizationRangeError(
+    detail::raise_quant_range(
         "value/error-bound ratio exceeds the 30-bit quantization domain");
   }
   BlockScan s;
@@ -42,6 +44,68 @@ BlockScan scan_block(const float* data, size_t n, const Quantizer& quant, int64_
   s.code_len = code_length_for(k.fz_predict(qbuf, n, s.outlier, mags, signs));
   s.all_zero = (q_guard == 0);
   return s;
+}
+
+/// Phase-2 body: re-quantize block b and serialize it into exactly its
+/// scanned [block_begin, block_end) region.  Standalone and HZCCL_HOT so
+/// tools/analyze proves the per-block write loop allocation- and throw-free
+/// (ByteWriter failures route through cold raises).
+HZCCL_HOT void write_block(const float* block_data, size_t n, uint8_t meta,
+                           const Quantizer& quant, const kernels::KernelTable& k,
+                           uint8_t* block_begin, uint8_t* block_end, int64_t* qbuf,
+                           uint32_t* mags, uint32_t* signs) {
+  ByteWriter writer({block_begin, static_cast<size_t>(block_end - block_begin)}, "szp block");
+  if (meta == kSzpRawBlock) {
+    writer.write_array(block_data, n, "raw block floats");
+    return;
+  }
+  const uint64_t q_guard = k.fz_quantize(block_data, n, quant.inv_twice_eb, qbuf);
+  if (q_guard > static_cast<uint64_t>(kMaxQuantMagnitude)) {
+    detail::raise_quant_range(
+        "value/error-bound ratio exceeds the 30-bit quantization domain");
+  }
+  const int32_t q0 = static_cast<int32_t>(qbuf[0]);
+  writer.write(q0, "block outlier");
+  if (meta == 0) return;  // constant block
+  const uint32_t max_mag = k.fz_predict(qbuf, n, q0, mags, signs);
+  encode_block_prepared(mags, signs, n, code_length_for(max_mag),
+                        block_begin + sizeof(int32_t), block_end);
+}
+
+/// Decode one block into out[begin, begin + n).  Standalone HZCCL_HOT twin
+/// of write_block for the decompression loop.
+HZCCL_HOT void decode_szp_block(const SzpView& v, size_t b, size_t begin, size_t n,
+                                std::span<const size_t> offsets, const Quantizer& quant,
+                                std::span<float> out, int32_t* rbuf) {
+  const uint8_t m = v.block_meta[b];
+  if (m == kSzpZeroBlock) {
+    std::memset(out.data() + begin, 0, n * sizeof(float));
+    return;
+  }
+  if (m == kSzpRawBlock) {
+    ByteReader reader(v.payload.subspan(offsets[b], offsets[b + 1] - offsets[b]),
+                      "szp raw block");
+    const auto body = reader.read_bytes(n * sizeof(float), "raw block floats");
+    std::memcpy(out.data() + begin, body.data(), n * sizeof(float));
+    return;
+  }
+  ByteReader reader(v.payload.subspan(offsets[b], offsets[b + 1] - offsets[b]), "szp block");
+  const int32_t outlier = reader.read<int32_t>("block outlier");
+  if (m == 0) {
+    const float value = quant.dequantize(outlier);
+    std::fill_n(out.data() + begin, n, value);
+    return;
+  }
+  const auto body = reader.rest();
+  if (body.empty() || body[0] != m) {
+    detail::raise_format("szp block code length disagrees with metadata");
+  }
+  decode_block(body.data(), body.data() + body.size(), n, rbuf);
+  int64_t q = outlier;
+  for (size_t i = 0; i < n; ++i) {
+    q += rbuf[i];
+    out[begin + i] = quant.dequantize(static_cast<int64_t>(q));
+  }
 }
 
 /// Bytes a kept (non-omitted) block occupies in the payload.  The code
@@ -160,25 +224,8 @@ CompressedBuffer szp_compress(std::span<const float> data, const SzpParams& para
       write_errors.run([&, b] {
         const size_t begin = b * block_len;
         const size_t n = std::min<size_t>(block_len, d - begin);
-        uint8_t* const block_begin = payload + sizes[b];
-        uint8_t* const block_end = payload + sizes[b + 1];
-        ByteWriter writer({block_begin, static_cast<size_t>(block_end - block_begin)},
-                          "szp block");
-        if (meta[b] == kSzpRawBlock) {
-          writer.write_array(data.data() + begin, n, "raw block floats");
-          return;
-        }
-        const uint64_t q_guard = k.fz_quantize(data.data() + begin, n, quant.inv_twice_eb, qbuf);
-        if (q_guard > static_cast<uint64_t>(kMaxQuantMagnitude)) {
-          throw QuantizationRangeError(
-              "value/error-bound ratio exceeds the 30-bit quantization domain");
-        }
-        const int32_t q0 = static_cast<int32_t>(qbuf[0]);
-        writer.write(q0, "block outlier");
-        if (meta[b] == 0) return;  // constant block
-        const uint32_t max_mag = k.fz_predict(qbuf, n, q0, mags, signs);
-        encode_block_prepared(mags, signs, n, code_length_for(max_mag),
-                              block_begin + sizeof(int32_t), block_end);
+        write_block(data.data() + begin, n, meta[b], quant, k, payload + sizes[b],
+                    payload + sizes[b + 1], qbuf, mags, signs);
       });
     }
   }
@@ -226,36 +273,7 @@ void szp_decompress(const CompressedBuffer& compressed, std::span<float> out, in
       errors.run([&, b] {
         const size_t begin = b * block_len;
         const size_t n = std::min<size_t>(block_len, d - begin);
-        const uint8_t m = v.block_meta[b];
-        if (m == kSzpZeroBlock) {
-          std::memset(out.data() + begin, 0, n * sizeof(float));
-          return;
-        }
-        if (m == kSzpRawBlock) {
-          ByteReader reader(v.payload.subspan(offsets[b], offsets[b + 1] - offsets[b]),
-                            "szp raw block");
-          const auto body = reader.read_bytes(n * sizeof(float), "raw block floats");
-          std::memcpy(out.data() + begin, body.data(), n * sizeof(float));
-          return;
-        }
-        ByteReader reader(v.payload.subspan(offsets[b], offsets[b + 1] - offsets[b]),
-                          "szp block");
-        const int32_t outlier = reader.read<int32_t>("block outlier");
-        if (m == 0) {
-          const float value = quant.dequantize(outlier);
-          std::fill_n(out.data() + begin, n, value);
-          return;
-        }
-        const auto body = reader.rest();
-        if (body.empty() || body[0] != m) {
-          throw FormatError("szp block code length disagrees with metadata");
-        }
-        decode_block(body.data(), body.data() + body.size(), n, rbuf);
-        int64_t q = outlier;
-        for (size_t i = 0; i < n; ++i) {
-          q += rbuf[i];
-          out[begin + i] = quant.dequantize(static_cast<int64_t>(q));
-        }
+        decode_szp_block(v, b, begin, n, offsets, quant, out, rbuf);
       });
     }
   }

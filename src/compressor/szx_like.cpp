@@ -8,6 +8,7 @@
 
 #include "hzccl/stats/metrics.hpp"
 #include "hzccl/util/bytes.hpp"
+#include "hzccl/util/contracts.hpp"
 #include "hzccl/util/threading.hpp"
 
 namespace hzccl {
@@ -30,6 +31,72 @@ uint8_t kept_bytes_for(double max_abs, double eb) {
 size_t block_payload_size(uint8_t meta, size_t n) {
   if (meta == kSzxConstant) return sizeof(float);
   return n * meta;
+}
+
+/// Phase-1 body: classify one block (raw fallback / constant / kept-byte
+/// count) and report its midrange.  Standalone and HZCCL_HOT — this min/max
+/// scan dominates the szx compression profile — so tools/analyze proves the
+/// whole classify loop allocation- and throw-free.
+HZCCL_HOT uint8_t scan_szx_block(const float* block_data, size_t n, double eb,
+                                 float* midrange) {
+  // Raw fallback: NaNs poison the min/max scan below (every comparison is
+  // false) and truncation can turn a NaN into an infinity; keeping all
+  // four bytes is SZx's natural lossless mode, so such blocks route there.
+  if (const auto reason = classify_raw_block(block_data, n)) {
+    count_raw_block(*reason);
+    return 4;
+  }
+  float mn = block_data[0], mx = block_data[0];
+  float max_abs = std::abs(block_data[0]);
+  for (size_t i = 1; i < n; ++i) {
+    const float v = block_data[i];
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    max_abs = std::max(max_abs, std::abs(v));
+  }
+  if (static_cast<double>(mx) - mn <= 2.0 * eb) {
+    *midrange = static_cast<float>(0.5 * (static_cast<double>(mn) + mx));
+    return kSzxConstant;
+  }
+  return kept_bytes_for(max_abs, eb);
+}
+
+/// Phase-2 body: emit one block's midrange or truncated floats at its
+/// scanned offset.  Standalone HZCCL_HOT twin of scan_szx_block.
+HZCCL_HOT void emit_szx_block(const float* block_data, size_t n, uint8_t meta, float midrange,
+                              uint8_t* out) {
+  if (meta == kSzxConstant) {
+    ByteWriter({out, sizeof(float)}, "szx block").write(midrange, "block midrange");
+    return;
+  }
+  const int k = meta;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t bits = float_bits(block_data[i]);
+    // Keep the k most significant bytes (sign + exponent + top mantissa).
+    for (int byte = 0; byte < k; ++byte) {
+      out[i * k + byte] = static_cast<uint8_t>(bits >> (8 * (3 - byte)));
+    }
+  }
+}
+
+/// Decode one block into out[0, n).  Standalone HZCCL_HOT decompression body.
+HZCCL_HOT void decode_szx_block(std::span<const uint8_t> block_bytes, uint8_t meta, size_t n,
+                                float* out) {
+  ByteReader reader(block_bytes, "szx block");
+  if (meta == kSzxConstant) {
+    const float value = reader.read<float>("block midrange");
+    std::fill_n(out, n, value);
+    return;
+  }
+  const int k = meta;
+  const auto body = reader.read_bytes(n * static_cast<size_t>(k), "truncated floats");
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t bits = 0;
+    for (int byte = 0; byte < k; ++byte) {
+      bits |= static_cast<uint32_t>(body[i * k + byte]) << (8 * (3 - byte));
+    }
+    out[i] = float_from_bits(bits);
+  }
 }
 
 }  // namespace
@@ -82,29 +149,7 @@ CompressedBuffer szx_compress(std::span<const float> data, const SzxParams& para
   for (size_t b = 0; b < nblocks; ++b) {
     const size_t begin = b * block_len;
     const size_t n = std::min<size_t>(block_len, d - begin);
-    // Raw fallback: NaNs poison the min/max scan below (every comparison is
-    // false) and truncation can turn a NaN into an infinity; keeping all
-    // four bytes is SZx's natural lossless mode, so such blocks route there.
-    if (const auto reason = classify_raw_block(data.data() + begin, n)) {
-      count_raw_block(*reason);
-      meta[b] = 4;
-      sizes[b + 1] = block_payload_size(meta[b], n);
-      continue;
-    }
-    float mn = data[begin], mx = data[begin];
-    float max_abs = std::abs(data[begin]);
-    for (size_t i = 1; i < n; ++i) {
-      const float v = data[begin + i];
-      mn = std::min(mn, v);
-      mx = std::max(mx, v);
-      max_abs = std::max(max_abs, std::abs(v));
-    }
-    if (static_cast<double>(mx) - mn <= 2.0 * eb) {
-      meta[b] = kSzxConstant;
-      midranges[b] = static_cast<float>(0.5 * (static_cast<double>(mn) + mx));
-    } else {
-      meta[b] = kept_bytes_for(max_abs, eb);
-    }
+    meta[b] = scan_szx_block(data.data() + begin, n, eb, &midranges[b]);
     sizes[b + 1] = block_payload_size(meta[b], n);
   }
   for (size_t b = 0; b < nblocks; ++b) sizes[b + 1] += sizes[b];
@@ -121,19 +166,7 @@ CompressedBuffer szx_compress(std::span<const float> data, const SzxParams& para
   for (size_t b = 0; b < nblocks; ++b) {
     const size_t begin = b * block_len;
     const size_t n = std::min<size_t>(block_len, d - begin);
-    uint8_t* out = payload + sizes[b];
-    if (meta[b] == kSzxConstant) {
-      ByteWriter({out, sizeof(float)}, "szx block").write(midranges[b], "block midrange");
-      continue;
-    }
-    const int k = meta[b];
-    for (size_t i = 0; i < n; ++i) {
-      const uint32_t bits = float_bits(data[begin + i]);
-      // Keep the k most significant bytes (sign + exponent + top mantissa).
-      for (int byte = 0; byte < k; ++byte) {
-        out[i * k + byte] = static_cast<uint8_t>(bits >> (8 * (3 - byte)));
-      }
-    }
+    emit_szx_block(data.data() + begin, n, meta[b], midranges[b], payload + sizes[b]);
   }
 
   FzHeader header;
@@ -169,22 +202,8 @@ void szx_decompress(const CompressedBuffer& compressed, std::span<float> out, in
   for (size_t b = 0; b < nblocks; ++b) {
     const size_t begin = b * block_len;
     const size_t n = std::min<size_t>(block_len, d - begin);
-    ByteReader reader(v.payload.subspan(offsets[b], offsets[b + 1] - offsets[b]),
-                      "szx block");
-    if (v.block_meta[b] == kSzxConstant) {
-      const float value = reader.read<float>("block midrange");
-      std::fill_n(out.data() + begin, n, value);
-      continue;
-    }
-    const int k = v.block_meta[b];
-    const auto body = reader.read_bytes(n * static_cast<size_t>(k), "truncated floats");
-    for (size_t i = 0; i < n; ++i) {
-      uint32_t bits = 0;
-      for (int byte = 0; byte < k; ++byte) {
-        bits |= static_cast<uint32_t>(body[i * k + byte]) << (8 * (3 - byte));
-      }
-      out[begin + i] = float_from_bits(bits);
-    }
+    decode_szx_block(v.payload.subspan(offsets[b], offsets[b + 1] - offsets[b]),
+                     v.block_meta[b], n, out.data() + begin);
   }
 }
 

@@ -8,6 +8,8 @@
 #include "hzccl/compressor/fixed_len.hpp"
 #include "hzccl/compressor/quantize.hpp"
 #include "hzccl/kernels/dispatch.hpp"
+#include "hzccl/util/contracts.hpp"
+#include "hzccl/util/raise.hpp"
 #include "hzccl/util/threading.hpp"
 
 namespace hzccl {
@@ -15,10 +17,10 @@ namespace {
 
 constexpr uint32_t kMaxBlockLen = 512;
 
-int32_t checked_outlier_sum(int32_t a, int32_t b) {
+HZCCL_HOT int32_t checked_outlier_sum(int32_t a, int32_t b) {
   const int64_t s = static_cast<int64_t>(a) + b;
   if (s > std::numeric_limits<int32_t>::max() || s < std::numeric_limits<int32_t>::min()) {
-    throw HomomorphicOverflowError("chunk outlier sum overflows int32");
+    detail::raise_overflow("chunk outlier sum overflows int32");
   }
   return static_cast<int32_t>(s);
 }
@@ -28,7 +30,7 @@ int32_t checked_outlier_sum(int32_t a, int32_t b) {
 /// paths (pipelines 2/3) move operand bytes verbatim, so every write —
 /// copied or re-encoded — is checked against the destination's worst-case
 /// capacity before it happens (CapacityError on violation).
-size_t hz_add_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
+HZCCL_HOT size_t hz_add_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
                     size_t chunk_elems, uint32_t block_len, uint8_t* out,
                     size_t out_capacity, HzPipelineStats& stats) {
   uint8_t* const out_begin = out;
@@ -53,14 +55,14 @@ size_t hz_add_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
 
     if (x == 0 && y == 0) {
       // Pipeline 1: both constant — the sum is constant too; one byte out.
-      if (out >= out_end) throw CapacityError("hz_add: chunk output capacity exceeded");
+      if (out >= out_end) detail::raise_capacity("hz_add: chunk output capacity exceeded");
       *out++ = 0;
       ++stats.p1;
     } else if (x == 0) {
       // Pipeline 2: a is constant (all residuals zero), so a + b has exactly
       // b's residual stream; copy b's block verbatim.
       if (size_b > static_cast<size_t>(out_end - out)) {
-        throw CapacityError("hz_add: chunk output capacity exceeded");
+        detail::raise_capacity("hz_add: chunk output capacity exceeded");
       }
       std::memcpy(out, pb, size_b);
       out += size_b;
@@ -69,7 +71,7 @@ size_t hz_add_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
     } else if (y == 0) {
       // Pipeline 3: mirror of 2.
       if (size_a > static_cast<size_t>(out_end - out)) {
-        throw CapacityError("hz_add: chunk output capacity exceeded");
+        detail::raise_capacity("hz_add: chunk output capacity exceeded");
       }
       std::memcpy(out, pa, size_a);
       out += size_a;
@@ -83,7 +85,7 @@ size_t hz_add_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
       decode_block(pb, eb, n, rb);
       const uint64_t guard = kernels::active().hz_combine_residuals(ra, rb, n, +1, mags, signs);
       if (guard > static_cast<uint64_t>(std::numeric_limits<int32_t>::max())) {
-        throw HomomorphicOverflowError("residual sum overflows the 31-bit magnitude domain");
+        detail::raise_overflow("residual sum overflows the 31-bit magnitude domain");
       }
       out = encode_block_prepared(mags, signs, n, code_length_for(static_cast<uint32_t>(guard)),
                                   out, out_end);
@@ -96,7 +98,7 @@ size_t hz_add_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
     remaining -= n;
   }
   if (pa != ea || pb != eb) {
-    throw FormatError("hz_add: chunk payload longer than its block grid");
+    detail::raise_format("hz_add: chunk payload longer than its block grid");
   }
   return static_cast<size_t>(out - out_begin);
 }
@@ -108,7 +110,7 @@ size_t hz_add_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
 /// dequantized from the running chain); residual-only block pairs keep the
 /// exact integer path, with any chain drift a raw output block hid from the
 /// decoder folded into their first residual.
-size_t combine_chunk_raw(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
+HZCCL_HOT size_t combine_chunk_raw(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
                          size_t chunk_elems, uint32_t block_len, int32_t outlier_a,
                          int32_t outlier_b, int sign_b, const Quantizer& quant,
                          uint8_t* out, size_t out_capacity, HzPipelineStats& stats) {
@@ -150,7 +152,7 @@ size_t combine_chunk_raw(std::span<const uint8_t> ca, std::span<const uint8_t> c
         const int64_t s = target - q_out;
         if (s > std::numeric_limits<int32_t>::max() ||
             s < std::numeric_limits<int32_t>::min()) {
-          throw HomomorphicOverflowError("residual sum overflows the 31-bit magnitude domain");
+          detail::raise_overflow("residual sum overflows the 31-bit magnitude domain");
         }
         q_out = target;
         const uint32_t neg = static_cast<uint32_t>(s < 0);
@@ -160,7 +162,7 @@ size_t combine_chunk_raw(std::span<const uint8_t> ca, std::span<const uint8_t> c
         max_mag |= mag;
       }
       if (max_mag == 0) {
-        if (out >= out_end) throw CapacityError("hz combine: chunk output capacity exceeded");
+        if (out >= out_end) detail::raise_capacity("hz combine: chunk output capacity exceeded");
         *out++ = 0;
         ++stats.p1;
       } else {
@@ -200,15 +202,15 @@ size_t combine_chunk_raw(std::span<const uint8_t> ca, std::span<const uint8_t> c
     remaining -= n;
   }
   if (pa != ea || pb != eb) {
-    throw FormatError("hz combine: chunk payload longer than its block grid");
+    detail::raise_format("hz combine: chunk payload longer than its block grid");
   }
   return static_cast<size_t>(out - out_begin);
 }
 
-int32_t checked_outlier_combine(int32_t a, int32_t b, int sign_b) {
+HZCCL_HOT int32_t checked_outlier_combine(int32_t a, int32_t b, int sign_b) {
   const int64_t s = static_cast<int64_t>(a) + static_cast<int64_t>(sign_b) * b;
   if (s > std::numeric_limits<int32_t>::max() || s < std::numeric_limits<int32_t>::min()) {
-    throw HomomorphicOverflowError("chunk outlier combination overflows int32");
+    detail::raise_overflow("chunk outlier combination overflows int32");
   }
   return static_cast<int32_t>(s);
 }

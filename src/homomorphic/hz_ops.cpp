@@ -7,6 +7,8 @@
 
 #include "hzccl/compressor/fixed_len.hpp"
 #include "hzccl/kernels/dispatch.hpp"
+#include "hzccl/util/contracts.hpp"
+#include "hzccl/util/raise.hpp"
 #include "hzccl/util/threading.hpp"
 
 namespace hzccl {
@@ -14,9 +16,9 @@ namespace {
 
 constexpr uint32_t kMaxBlockLen = 512;
 
-int32_t checked_i32(int64_t v, const char* what) {
+HZCCL_HOT int32_t checked_i32(int64_t v, const char* what) {
   if (v > std::numeric_limits<int32_t>::max() || v < std::numeric_limits<int32_t>::min()) {
-    throw HomomorphicOverflowError(std::string(what) + " overflows int32");
+    detail::raise_overflow(what, " overflows int32");
   }
   return static_cast<int32_t>(v);
 }
@@ -25,11 +27,11 @@ int32_t checked_i32(int64_t v, const char* what) {
 /// primitive).  Decoders read sign bits only where magnitudes are nonzero in
 /// value terms, so flipped signs of zero residuals are harmless but leave
 /// the stream non-canonical; value-level semantics are exact.
-size_t copy_block_negated(const uint8_t* src, const uint8_t* end, size_t n, uint8_t* out,
-                          const uint8_t* out_end) {
+HZCCL_HOT size_t copy_block_negated(const uint8_t* src, const uint8_t* end, size_t n, uint8_t* out,
+                                    const uint8_t* out_end) {
   const size_t size = peek_block_size(src, end, n);
   if (out > out_end || size > static_cast<size_t>(out_end - out)) {
-    throw CapacityError("hz negate: block copy exceeds output capacity");
+    detail::raise_capacity("hz negate: block copy exceeds output capacity");
   }
   std::memcpy(out, src, size);
   const int c = out[0];
@@ -55,8 +57,8 @@ size_t copy_block_negated(const uint8_t* src, const uint8_t* end, size_t n, uint
 
 /// Per-chunk scale: decode, multiply, re-encode (copy fast paths for the
 /// trivial factors are handled by the callers).
-size_t scale_chunk(std::span<const uint8_t> ca, size_t chunk_elems, uint32_t block_len,
-                   int64_t factor, uint8_t* out, size_t out_capacity) {
+HZCCL_HOT size_t scale_chunk(std::span<const uint8_t> ca, size_t chunk_elems, uint32_t block_len,
+                             int64_t factor, uint8_t* out, size_t out_capacity) {
   uint8_t* const out_begin = out;
   const uint8_t* const out_end = out + out_capacity;
   const uint8_t* pa = ca.data();
@@ -81,7 +83,7 @@ size_t scale_chunk(std::span<const uint8_t> ca, size_t chunk_elems, uint32_t blo
       out = encode_raw_block(fbuf, n, out, out_end);
     } else if (*pa == 0) {
       // Constant block: k * 0-residuals stay zero.
-      if (out >= out_end) throw CapacityError("hz_scale: chunk output capacity exceeded");
+      if (out >= out_end) detail::raise_capacity("hz_scale: chunk output capacity exceeded");
       *out++ = 0;
     } else {
       decode_block(pa, ea, n, rbuf);
@@ -101,15 +103,15 @@ size_t scale_chunk(std::span<const uint8_t> ca, size_t chunk_elems, uint32_t blo
     pa += size_a;
     remaining -= n;
   }
-  if (pa != ea) throw FormatError("hz_scale: chunk payload longer than its block grid");
+  if (pa != ea) detail::raise_format("hz_scale: chunk payload longer than its block grid");
   return static_cast<size_t>(out - out_begin);
 }
 
 /// Per-chunk subtract with the four-pipeline dispatch (mirror of
 /// hz_add_chunk; the y-copy pipelines negate on the fly).
-size_t sub_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb, size_t chunk_elems,
-                 uint32_t block_len, uint8_t* out, size_t out_capacity,
-                 HzPipelineStats& stats) {
+HZCCL_HOT size_t sub_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
+                           size_t chunk_elems, uint32_t block_len, uint8_t* out,
+                           size_t out_capacity, HzPipelineStats& stats) {
   uint8_t* const out_begin = out;
   const uint8_t* const out_end = out + out_capacity;
   const uint8_t* pa = ca.data();
@@ -131,7 +133,7 @@ size_t sub_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb, size_
     const int y = *pb;
 
     if (x == 0 && y == 0) {
-      if (out >= out_end) throw CapacityError("hz_sub: chunk output capacity exceeded");
+      if (out >= out_end) detail::raise_capacity("hz_sub: chunk output capacity exceeded");
       *out++ = 0;
       ++stats.p1;
     } else if (x == 0) {
@@ -140,7 +142,7 @@ size_t sub_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb, size_
       stats.copied_bytes += size_b;
     } else if (y == 0) {
       if (size_a > static_cast<size_t>(out_end - out)) {
-        throw CapacityError("hz_sub: chunk output capacity exceeded");
+        detail::raise_capacity("hz_sub: chunk output capacity exceeded");
       }
       std::memcpy(out, pa, size_a);  // a - 0 = a
       out += size_a;
@@ -151,7 +153,7 @@ size_t sub_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb, size_
       decode_block(pb, eb, n, rb);
       const uint64_t guard = kernels::active().hz_combine_residuals(ra, rb, n, -1, mags, signs);
       if (guard > static_cast<uint64_t>(std::numeric_limits<int32_t>::max())) {
-        throw HomomorphicOverflowError("residual difference overflows int32");
+        detail::raise_overflow("residual difference overflows int32");
       }
       out = encode_block_prepared(mags, signs, n, code_length_for(static_cast<uint32_t>(guard)),
                                   out, out_end);
@@ -163,7 +165,7 @@ size_t sub_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb, size_
     remaining -= n;
   }
   if (pa != ea || pb != eb) {
-    throw FormatError("hz_sub: chunk payload longer than its block grid");
+    detail::raise_format("hz_sub: chunk payload longer than its block grid");
   }
   return static_cast<size_t>(out - out_begin);
 }

@@ -7,10 +7,25 @@
 
 #include "hzccl/compressor/fixed_len.hpp"
 #include "hzccl/homomorphic/hz_dynamic.hpp"
+#include "hzccl/util/contracts.hpp"
+#include "hzccl/util/raise.hpp"
 #include "hzccl/util/threading.hpp"
 
 namespace hzccl {
 namespace {
+
+/// Element-wise checked residual add over the whole-chunk prediction arrays
+/// (the static pipeline's O(chunk) middle phase, extracted so the hot loop is
+/// a provable leaf — the scratch-owning driver cannot be HZCCL_HOT itself).
+HZCCL_HOT void add_residuals_checked(int32_t* acc, const int32_t* other, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t s = static_cast<int64_t>(acc[i]) + other[i];
+    if (s > std::numeric_limits<int32_t>::max() || s < std::numeric_limits<int32_t>::min()) {
+      detail::raise_overflow("residual sum overflows the 31-bit magnitude domain");
+    }
+    acc[i] = static_cast<int32_t>(s);
+  }
+}
 
 /// The static pipeline's per-chunk work: IFE of *every* block of both
 /// operands into full-size integer prediction arrays (the large allocation
@@ -32,16 +47,10 @@ size_t static_add_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb
     pb = decode_block(pb, eb, n, scratch_b.data() + pos);
   }
   if (pa != ea || pb != eb) {
-    throw FormatError("hz_add_static: chunk payload longer than its block grid");
+    detail::raise_format("hz_add_static: chunk payload longer than its block grid");
   }
 
-  for (size_t i = 0; i < chunk_elems; ++i) {
-    const int64_t s = static_cast<int64_t>(scratch_a[i]) + scratch_b[i];
-    if (s > std::numeric_limits<int32_t>::max() || s < std::numeric_limits<int32_t>::min()) {
-      throw HomomorphicOverflowError("residual sum overflows the 31-bit magnitude domain");
-    }
-    scratch_a[i] = static_cast<int32_t>(s);
-  }
+  add_residuals_checked(scratch_a.data(), scratch_b.data(), chunk_elems);
 
   uint8_t* const out_begin = out;
   const uint8_t* const out_end = out + out_capacity;
@@ -52,10 +61,10 @@ size_t static_add_chunk(std::span<const uint8_t> ca, std::span<const uint8_t> cb
   return static_cast<size_t>(out - out_begin);
 }
 
-int32_t checked_outlier_sum(int32_t a, int32_t b) {
+HZCCL_HOT int32_t checked_outlier_sum(int32_t a, int32_t b) {
   const int64_t s = static_cast<int64_t>(a) + b;
   if (s > std::numeric_limits<int32_t>::max() || s < std::numeric_limits<int32_t>::min()) {
-    throw HomomorphicOverflowError("chunk outlier sum overflows int32");
+    detail::raise_overflow("chunk outlier sum overflows int32");
   }
   return static_cast<int32_t>(s);
 }

@@ -23,13 +23,13 @@ void fill_codecs(KernelTable& t, std::integer_sequence<int, Xs...>) {
   ((t.unpack[Xs + 1] = &unpack_pdep<Xs + 1>), ...);
 }
 
-uint64_t combine_avx2(const int32_t* ra, const int32_t* rb, size_t n, int sign_b,
-                      uint32_t* mags, uint32_t* signs) {
+HZCCL_HOT uint64_t combine_avx2(const int32_t* ra, const int32_t* rb, size_t n, int sign_b,
+                                uint32_t* mags, uint32_t* signs) {
   return combine_body(ra, rb, n, sign_b, mags, signs);
 }
 
-uint32_t predict_avx2(const int64_t* q, size_t n, int32_t q_prev, uint32_t* mags,
-                      uint32_t* signs) {
+HZCCL_HOT uint32_t predict_avx2(const int64_t* q, size_t n, int32_t q_prev, uint32_t* mags,
+                                uint32_t* signs) {
   return predict_body(q, n, q_prev, mags, signs);
 }
 

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "hzccl/util/contracts.hpp"
 #include "hzccl/util/cpu.hpp"
 #include "hzccl/util/error.hpp"
 
@@ -67,6 +68,15 @@ DispatchLevel resolve_env_level() {
                  env);
   }
   return best_supported_level();
+}
+
+// One-time lazy init, out of line and cold: the env parse builds a
+// std::string and the registry construction runs static-guard machinery,
+// none of which belongs on active()'s steady-state frame (tools/analyze
+// lists this as a sanctioned cold exit).
+HZCCL_COLD const KernelTable* activate_from_env_slow() {
+  activate(resolve_env_level());
+  return g_active.load(std::memory_order_acquire);
 }
 
 }  // namespace
@@ -134,12 +144,9 @@ const KernelTable& table(DispatchLevel level) {
   return registry().tables[static_cast<int>(level)];
 }
 
-const KernelTable& active() {
+HZCCL_HOT const KernelTable& active() {
   const KernelTable* t = g_active.load(std::memory_order_acquire);
-  if (t == nullptr) {
-    activate(resolve_env_level());
-    t = g_active.load(std::memory_order_acquire);
-  }
+  if (t == nullptr) t = activate_from_env_slow();
   return *t;
 }
 

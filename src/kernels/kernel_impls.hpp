@@ -12,13 +12,18 @@
 // identical.
 //
 // Every function here is allocation-free and bounds-exact: packers never
-// write past ceil(n*X/8) output bytes, unpackers never read past it.
+// write past ceil(n*X/8) output bytes, unpackers never read past it.  The
+// table-entry bodies carry HZCCL_HOT, so tools/analyze proves the
+// no-alloc/no-throw/bounded-stack contract for them on every --analyze run
+// (kernel-table entries additionally must reach no throw at all).
 #pragma once
 
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+
+#include "hzccl/util/contracts.hpp"
 
 #if defined(__AVX2__) || defined(__AVX512F__)
 #include <immintrin.h>
@@ -151,7 +156,7 @@ inline void unpack_stream(const uint8_t* src, size_t n, uint32_t* v) {
 
 /// Scalar pack entry for any width 1..32 (reference for every level's tail).
 template <int X>
-inline void scalar_pack(const uint32_t* v, size_t n, uint8_t* out) {
+inline HZCCL_HOT void scalar_pack(const uint32_t* v, size_t n, uint8_t* out) {
   if constexpr (X <= 7) {
     size_t i = 0;
     for (; i + 8 <= n; i += 8, out += X) pack8<X>(v + i, out);
@@ -164,7 +169,7 @@ inline void scalar_pack(const uint32_t* v, size_t n, uint8_t* out) {
 }
 
 template <int X>
-inline void scalar_unpack(const uint8_t* src, size_t n, uint32_t* v) {
+inline HZCCL_HOT void scalar_unpack(const uint8_t* src, size_t n, uint32_t* v) {
   if constexpr (X <= 7) {
     size_t i = 0;
     for (; i + 8 <= n; i += 8, src += X) unpack8<X>(src, v + i);
@@ -198,13 +203,13 @@ inline uint64_t combine_loop(const int32_t* ra, const int32_t* rb, size_t n, uin
   return guard;
 }
 
-inline uint64_t combine_body(const int32_t* ra, const int32_t* rb, size_t n, int sign_b,
+inline HZCCL_HOT uint64_t combine_body(const int32_t* ra, const int32_t* rb, size_t n, int sign_b,
                              uint32_t* mags, uint32_t* signs) {
   return sign_b >= 0 ? combine_loop<+1>(ra, rb, n, mags, signs)
                      : combine_loop<-1>(ra, rb, n, mags, signs);
 }
 
-inline uint32_t predict_body(const int64_t* q, size_t n, int32_t q_prev, uint32_t* mags,
+inline HZCCL_HOT uint32_t predict_body(const int64_t* q, size_t n, int32_t q_prev, uint32_t* mags,
                              uint32_t* signs) {
   if (n == 0) return 0;
   uint32_t max_mag = 0;
@@ -230,7 +235,7 @@ inline uint32_t predict_body(const int64_t* q, size_t n, int32_t q_prev, uint32_
   return max_mag;
 }
 
-inline uint64_t quantize_body(const float* data, size_t n, double inv_twice_eb, int64_t* q) {
+inline HZCCL_HOT uint64_t quantize_body(const float* data, size_t n, double inv_twice_eb, int64_t* q) {
   uint64_t guard = 0;
   for (size_t i = 0; i < n; ++i) {
     const long long qi = std::llrint(static_cast<double>(data[i]) * inv_twice_eb);
@@ -269,7 +274,7 @@ inline uint64_t gather_low_bytes8(const uint32_t* v) {
 }
 
 template <int X>
-inline void pack_pext(const uint32_t* v, size_t n, uint8_t* out) {
+inline HZCCL_HOT void pack_pext(const uint32_t* v, size_t n, uint8_t* out) {
   static_assert(X >= 1 && X <= 8);
   constexpr uint64_t spread = spread_mask(X);
   const size_t total = (n * static_cast<size_t>(X) + 7) / 8;
@@ -299,7 +304,7 @@ inline void pack_pext(const uint32_t* v, size_t n, uint8_t* out) {
 }
 
 template <int X>
-inline void unpack_pdep(const uint8_t* src, size_t n, uint32_t* v) {
+inline HZCCL_HOT void unpack_pdep(const uint8_t* src, size_t n, uint32_t* v) {
   static_assert(X >= 1 && X <= 8);
   constexpr uint64_t spread = spread_mask(X);
   const size_t total = (n * static_cast<size_t>(X) + 7) / 8;
@@ -339,7 +344,7 @@ constexpr uint64_t multishift_ctrl(int x) {
 }
 
 template <int X>
-inline void unpack_multishift(const uint8_t* src, size_t n, uint32_t* v) {
+inline HZCCL_HOT void unpack_multishift(const uint8_t* src, size_t n, uint32_t* v) {
   static_assert(X >= 1 && X <= 8);
   const size_t total = (n * static_cast<size_t>(X) + 7) / 8;
   constexpr unsigned group_bytes = 8u * static_cast<unsigned>(X);  // bytes per 64 values
@@ -398,7 +403,7 @@ inline uint64_t combine_avx512_loop(const int32_t* ra, const int32_t* rb, size_t
   return guard;
 }
 
-inline uint64_t combine_avx512_body(const int32_t* ra, const int32_t* rb, size_t n, int sign_b,
+inline HZCCL_HOT uint64_t combine_avx512_body(const int32_t* ra, const int32_t* rb, size_t n, int sign_b,
                                     uint32_t* mags, uint32_t* signs) {
   return sign_b >= 0 ? combine_avx512_loop<+1>(ra, rb, n, mags, signs)
                      : combine_avx512_loop<-1>(ra, rb, n, mags, signs);
@@ -408,7 +413,7 @@ inline uint64_t combine_avx512_body(const int32_t* ra, const int32_t* rb, size_t
 /// round-nearest-even, both yield the 0x8000... indefinite on out-of-range
 /// input), so the vector path is bit-identical to quantize_body even on
 /// values the caller is about to reject.
-inline uint64_t quantize_avx512_body(const float* data, size_t n, double inv_twice_eb,
+inline HZCCL_HOT uint64_t quantize_avx512_body(const float* data, size_t n, double inv_twice_eb,
                                      int64_t* q) {
   const __m512d vinv = _mm512_set1_pd(inv_twice_eb);
   __m512i guard_acc = _mm512_setzero_si512();

@@ -5,8 +5,10 @@
 #include <stdexcept>
 
 #include "hzccl/util/bytes.hpp"
+#include "hzccl/util/contracts.hpp"
 #include "hzccl/util/crc32.hpp"
 #include "hzccl/util/error.hpp"
+#include "hzccl/util/raise.hpp"
 
 namespace hzccl::simmpi {
 
@@ -14,7 +16,7 @@ namespace {
 
 /// splitmix64 finalizer: the mixing half of hzccl::splitmix64 without the
 /// sequential state update, usable as a pure hash stage.
-uint64_t mix_stage(uint64_t z) {
+HZCCL_HOT uint64_t mix_stage(uint64_t z) {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
@@ -22,14 +24,14 @@ uint64_t mix_stage(uint64_t z) {
 
 }  // namespace
 
-uint64_t fault_mix(uint64_t seed, uint64_t stream, uint64_t counter) {
+HZCCL_HOT uint64_t fault_mix(uint64_t seed, uint64_t stream, uint64_t counter) {
   uint64_t h = mix_stage(seed + 0x9E3779B97F4A7C15ULL);
   h = mix_stage(h ^ stream);
   h = mix_stage(h ^ counter);
   return h;
 }
 
-double fault_roll(uint64_t seed, FaultKind kind, int src, int dst, uint64_t counter) {
+HZCCL_HOT double fault_roll(uint64_t seed, FaultKind kind, int src, int dst, uint64_t counter) {
   // Pack the decision coordinates into one stream id; links and kinds get
   // independent streams so e.g. drop and corrupt decisions never correlate.
   const uint64_t stream = (static_cast<uint64_t>(kind) << 48) |
@@ -257,30 +259,39 @@ std::string RetryPolicy::describe() const {
   return buf;
 }
 
-std::vector<uint8_t> encode_frame(uint64_t seq, std::span<const uint8_t> payload) {
+HZCCL_HOT void encode_frame_into(uint64_t seq, std::span<const uint8_t> payload,
+                                 std::span<uint8_t> out) {
   FrameHeader h;
   h.seq_lo = static_cast<uint32_t>(seq);
   h.seq_hi = static_cast<uint32_t>(seq >> 32);
   h.payload_len = static_cast<uint32_t>(payload.size());
   if (h.payload_len != payload.size()) {
-    throw Error("encode_frame: payload exceeds the 32-bit frame length field");
+    hzccl::detail::raise_error("encode_frame: payload exceeds the 32-bit frame length field");
+  }
+  if (out.size() != frame_size(payload.size())) {
+    hzccl::detail::raise_capacity("encode_frame: output span does not match frame size");
   }
   h.payload_crc = crc32c(payload);
-  h.header_crc = crc32c(leading_bytes_of(h, offsetof(FrameHeader, header_crc)));
+  h.header_crc = crc32c(leading_bytes_of<offsetof(FrameHeader, header_crc)>(h));
 
-  std::vector<uint8_t> frame(sizeof(FrameHeader) + payload.size());
-  ByteWriter writer(frame, "frame");
-  writer.write(h, "frame header");
-  writer.write_bytes(payload, "frame payload");
+  std::memcpy(out.data(), &h, sizeof(FrameHeader));
+  if (!payload.empty()) {
+    std::memcpy(out.data() + sizeof(FrameHeader), payload.data(), payload.size());
+  }
+}
+
+std::vector<uint8_t> encode_frame(uint64_t seq, std::span<const uint8_t> payload) {
+  std::vector<uint8_t> frame(frame_size(payload.size()));
+  encode_frame_into(seq, payload, frame);
   return frame;
 }
 
-FrameView decode_frame(std::span<const uint8_t> frame) {
+HZCCL_HOT FrameView decode_frame(std::span<const uint8_t> frame) {
   FrameView view;
   if (frame.size() < sizeof(FrameHeader)) return view;
   const FrameHeader h = ByteReader(frame, "frame").read<FrameHeader>("frame header");
   if (h.magic != kFrameMagic) return view;
-  if (h.header_crc != crc32c(leading_bytes_of(h, offsetof(FrameHeader, header_crc)))) {
+  if (h.header_crc != crc32c(leading_bytes_of<offsetof(FrameHeader, header_crc)>(h))) {
     return view;
   }
   if (frame.size() != sizeof(FrameHeader) + h.payload_len) return view;

@@ -1,5 +1,7 @@
 #include "hzccl/stats/metrics.hpp"
 
+#include "hzccl/util/contracts.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -47,7 +49,7 @@ ErrorStats compare(std::span<const float> original, std::span<const float> recon
   return s;
 }
 
-std::optional<RawBlockReason> classify_raw_block(const float* values, size_t n) {
+HZCCL_HOT std::optional<RawBlockReason> classify_raw_block(const float* values, size_t n) {
   constexpr uint32_t kExpMask = 0x7f800000u;
   constexpr uint32_t kMantissaMask = 0x007fffffu;
   uint32_t nonfinite = 0;
@@ -68,7 +70,7 @@ namespace {
 std::atomic<uint64_t> g_raw_block_counts[2] = {};
 }  // namespace
 
-void count_raw_block(RawBlockReason reason) {
+HZCCL_HOT void count_raw_block(RawBlockReason reason) {
   g_raw_block_counts[static_cast<int>(reason)].fetch_add(1, std::memory_order_relaxed);
 }
 

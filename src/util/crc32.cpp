@@ -2,12 +2,14 @@
 
 #include <array>
 
+#include "hzccl/util/contracts.hpp"
+
 namespace hzccl {
 namespace {
 
 constexpr uint32_t kPoly = 0x82F63B78;  // CRC-32C, reflected
 
-std::array<uint32_t, 256> make_table() {
+constexpr std::array<uint32_t, 256> make_table() {
   std::array<uint32_t, 256> table{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t crc = i;
@@ -19,17 +21,16 @@ std::array<uint32_t, 256> make_table() {
   return table;
 }
 
-const std::array<uint32_t, 256>& table() {
-  static const std::array<uint32_t, 256> t = make_table();
-  return t;
-}
+// constexpr (not a function-local static) so the hot checksum loop carries no
+// static-init guard; the table lives in .rodata.
+constexpr std::array<uint32_t, 256> kTable = make_table();
 
 }  // namespace
 
-uint32_t crc32c(std::span<const uint8_t> data, uint32_t seed) {
+HZCCL_HOT uint32_t crc32c(std::span<const uint8_t> data, uint32_t seed) {
   uint32_t crc = ~seed;
   for (uint8_t byte : data) {
-    crc = (crc >> 8) ^ table()[(crc ^ byte) & 0xFF];
+    crc = (crc >> 8) ^ kTable[(crc ^ byte) & 0xFF];
   }
   return ~crc;
 }

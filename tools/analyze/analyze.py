@@ -1,0 +1,619 @@
+#!/usr/bin/env python3
+"""hzccl-analyze: whole-program static contract checker for the hot paths.
+
+Stitches the per-TU artifacts the library build emits (GCC only):
+
+  *.ci        -fcallgraph-info=su,da   VCG call graph + per-frame stack usage
+  *.o         -ffunction-sections      per-function sections and relocations
+
+into one whole-program call graph and proves three contracts over every
+function annotated HZCCL_HOT (include/hzccl/util/contracts.hpp):
+
+  1. No path from a hot function reaches an allocator or a throw
+     (operator new/delete, malloc family, __cxa_throw/__cxa_allocate_exception)
+     except through a sanctioned cold exit listed in contracts.conf.
+  2. Stack discipline: every hot frame fits the per-frame budget, the worst
+     call chain fits the path budget, and no hot frame uses a VLA or alloca.
+  3. Exception discipline: every sanctioned cold exit reachable from hot code
+     throws only types in the allowed family (checked via the typeinfo
+     relocations of the exit itself), and designated nothrow roots (the
+     kernel-table bodies) reach no throw at all, cold exits included.
+
+Why two edge sources: the .ci graph knows about builtins (memcpy) and
+indirect calls, which relocations cannot see; relocations know about every
+out-of-section reference in the final code, including calls GCC emitted
+after the .ci dump and the typeinfo objects a throw touches.  The union is
+conservative in the right direction: a false edge can only produce a false
+violation, never a silent pass.
+
+Function splitting is folded back: GCC moves a hot function's error paths
+into `.text.unlikely.<sym>` as `<sym>.cold`; edges and references found
+there are attributed to `<sym>`, so a hoisted raise call is still seen as an
+edge of the hot function (and must therefore hit the cold-exit allowlist).
+
+Stdlib-only; needs binutils (readelf, c++filt) on PATH.  Exit 0 when all
+contracts hold, 1 with symbol-level demangled path traces otherwise.
+"""
+
+import argparse
+import fnmatch
+import json
+import re
+import subprocess
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+GLOBAL_BINDINGS = {"GLOBAL", "WEAK", "UNIQUE"}
+INDIRECT = "__indirect_call"
+
+# Allocator / throw machinery a hot path must never reach (contract 1).
+FORBIDDEN_EXACT = {
+    "malloc", "calloc", "realloc", "free", "posix_memalign", "aligned_alloc",
+    "valloc", "pvalloc", "memalign", "strdup", "strndup",
+    "__cxa_throw", "__cxa_rethrow", "__cxa_allocate_exception",
+}
+FORBIDDEN_PREFIX = (
+    "_Znw", "_Zna",        # operator new / new[]
+    "_ZdlPv", "_ZdaPv",    # operator delete / delete[]
+)
+THROW_HELPER_RE = re.compile(r"^_ZSt\d+__throw_\w+")  # std::__throw_*
+
+THROW_SYMS = {"__cxa_throw", "__cxa_rethrow"}
+
+
+def forbidden_reason(mangled):
+    if mangled in FORBIDDEN_EXACT:
+        if mangled.startswith("__cxa"):
+            return "throw machinery"
+        return "allocator"
+    if mangled.startswith(("_Znw", "_Zna")):
+        return "operator new"
+    if mangled.startswith(("_ZdlPv", "_ZdaPv")):
+        return "operator delete"
+    if THROW_HELPER_RE.match(mangled):
+        return "libstdc++ throw helper"
+    return None
+
+
+class Func:
+    __slots__ = ("uid", "mangled", "obj", "demangled", "where", "stack",
+                 "dynamic", "hot", "defined", "calls", "typeinfo")
+
+    def __init__(self, uid, mangled, obj=None):
+        self.uid = uid
+        self.mangled = mangled
+        self.obj = obj            # defining object (None for externals)
+        self.demangled = mangled
+        self.where = None         # "file:line" of the definition
+        self.stack = None         # frame bytes from the .ci dump
+        self.dynamic = False      # VLA/alloca in the frame
+        self.hot = False          # defined in a .text.hot.* section
+        self.defined = False
+        self.calls = set()        # callee uids
+        self.typeinfo = set()     # _ZTI* symbols referenced (throw sites)
+
+
+class Config:
+    def __init__(self):
+        self.frame_budget = 16384
+        self.path_budget = 32768
+        self.external_stack = 512
+        self.cold_exits = []
+        self.allow_throw = set()
+        self.nothrow_roots = []
+        self.allow_indirect = []
+
+    @staticmethod
+    def load(path):
+        cfg = Config()
+        for raw in Path(path).read_text().splitlines():
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            key, _, value = line.partition(" ")
+            value = value.strip()
+            if key == "frame_budget":
+                cfg.frame_budget = int(value)
+            elif key == "path_budget":
+                cfg.path_budget = int(value)
+            elif key == "external_stack":
+                cfg.external_stack = int(value)
+            elif key == "cold_exit":
+                cfg.cold_exits.append(value)
+            elif key == "allow_throw":
+                cfg.allow_throw.add(value)
+            elif key == "nothrow_root":
+                cfg.nothrow_roots.append(value)
+            elif key == "allow_indirect":
+                cfg.allow_indirect.append(value)
+            else:
+                raise SystemExit(f"contracts.conf: unknown directive '{key}'")
+        return cfg
+
+
+def run(cmd):
+    return subprocess.run(cmd, check=True, capture_output=True, text=True).stdout
+
+
+def strip_cold(name):
+    return name[:-5] if name.endswith(".cold") else name
+
+
+def text_section_symbol(section):
+    """Owning function of a -ffunction-sections text section, else None."""
+    for prefix in (".text.hot.", ".text.unlikely.", ".text.startup.",
+                   ".text.exit.", ".text."):
+        if section.startswith(prefix):
+            return strip_cold(section[len(prefix):])
+    return None
+
+
+class Program:
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self.funcs = {}            # uid -> Func
+        self.globals = {}          # mangled -> uid for GLOBAL/WEAK definitions
+        self.locals = {}           # (obj, mangled) -> uid
+        self.objects = []
+
+    # -- graph construction ------------------------------------------------
+
+    def node(self, uid, mangled, obj=None):
+        f = self.funcs.get(uid)
+        if f is None:
+            f = self.funcs[uid] = Func(uid, mangled, obj)
+        return f
+
+    def resolve(self, obj, mangled):
+        """uid for a reference to `mangled` as seen from TU `obj`."""
+        mangled = strip_cold(mangled)
+        uid = self.locals.get((obj, mangled))
+        if uid is not None:
+            return uid
+        uid = self.globals.get(mangled)
+        if uid is not None:
+            return uid
+        self.node(mangled, mangled)  # external leaf
+        return mangled
+
+    def load_objects(self, objs):
+        self.objects = objs
+        tables = {}
+        # Pass 1: definitions, so cross-TU references resolve to definers.
+        for obj in objs:
+            sections, symbols = self._read_symbols(obj)
+            tables[obj] = (sections, symbols)
+            for name, bind, secname in symbols:
+                if name.endswith(".cold"):
+                    # Split-out cold half of a hot function: never a node of
+                    # its own, or it would steal the parent's edges (its
+                    # section name carries the parent symbol, so relocations
+                    # found there resolve to the parent below).
+                    continue
+                base = name
+                uid = base if bind in GLOBAL_BINDINGS else f"{base}@{obj.name}"
+                f = self.node(uid, base, obj)
+                f.defined = True
+                if secname.startswith(".text.hot."):
+                    f.hot = True
+                if bind in GLOBAL_BINDINGS:
+                    self.globals.setdefault(base, uid)
+                else:
+                    self.locals[(obj, base)] = uid
+        # Pass 2: edges and data references.
+        for obj in objs:
+            self._read_relocations(obj)
+            self._read_ci(obj)
+
+    def _read_symbols(self, obj):
+        sections = {}
+        for line in run(["readelf", "-SW", str(obj)]).splitlines():
+            m = re.match(r"\s*\[\s*(\d+)\]\s+(\S+)", line)
+            if m:
+                sections[int(m.group(1))] = m.group(2)
+        symbols = []
+        for line in run(["readelf", "-sW", str(obj)]).splitlines():
+            parts = line.split()
+            if len(parts) < 8 or not parts[0].endswith(":"):
+                continue
+            _, _, _, typ, bind, _, ndx, name = parts[:8]
+            if typ != "FUNC" or ndx in ("UND", "ABS"):
+                continue
+            secname = sections.get(int(ndx), "")
+            if secname.startswith(".text"):
+                symbols.append((name, bind, secname))
+        return sections, symbols
+
+    def _read_relocations(self, obj):
+        container = None
+        for line in run(["readelf", "-rW", str(obj)]).splitlines():
+            m = re.match(r"Relocation section '\.rela(\S+)'", line)
+            if m:
+                owner = text_section_symbol(m.group(1))
+                container = self.resolve(obj, owner) if owner else None
+                continue
+            if container is None:
+                continue
+            parts = line.split()
+            if len(parts) < 5 or not re.match(r"^[0-9a-f]+$", parts[0]):
+                continue
+            target = parts[4]
+            if target.startswith((".", "$")) or target == "":
+                continue  # section symbols, string literals
+            base = strip_cold(target)
+            if base.startswith("_ZTI"):
+                self.funcs[container].typeinfo.add(base)
+                continue
+            if base.startswith(("_ZTV", "_ZTS", "_ZTT", "DW.ref.",
+                                "__gxx_personality")):
+                continue  # vtables/typename strings/EH personality: data
+            uid = self.resolve(obj, base)
+            if uid != container:
+                self.funcs[container].calls.add(uid)
+
+    def _read_ci(self, obj):
+        ci = obj.with_suffix(".ci")  # foo.cpp.o -> foo.cpp.ci
+        if not ci.exists():
+            return
+        node_re = re.compile(r'node: \{ title: "([^"]+)" label: "([^"]*)"')
+        edge_re = re.compile(
+            r'edge: \{ sourcename: "([^"]+)" targetname: "([^"]+)"')
+
+        def title_mangled(title):
+            # Defined nodes are "<srcfile>:<symbol>"; externals are bare.
+            return title.rsplit(":", 1)[-1] if "/" in title else title
+
+        for line in ci.read_text().splitlines():
+            m = node_re.search(line)
+            if m:
+                title, label = m.groups()
+                if "shape : ellipse" in line:
+                    continue  # declaration-only node: no stack info
+                mangled = strip_cold(title_mangled(title))
+                uid = self.resolve(obj, mangled)
+                f = self.funcs[uid]
+                fields = label.split("\\n")
+                if len(fields) >= 2 and f.where is None:
+                    f.demangled = fields[0]
+                    f.where = fields[1]
+                for field in fields[2:]:
+                    sm = re.match(r"(\d+) bytes \(([a-z,]+)\)", field)
+                    if sm:
+                        bytes_, qual = int(sm.group(1)), sm.group(2)
+                        f.stack = max(f.stack or 0, bytes_)
+                        # "dynamic,bounded" is frame realignment (e.g. 64-byte
+                        # AVX-512 spill slots): compile-time bounded, fine.
+                        # Plain "dynamic" means VLA/alloca: unbounded.
+                        if qual == "dynamic":
+                            f.dynamic = True
+                    dm = re.match(r"(\d+) dynamic objects", field)
+                    if dm and int(dm.group(1)) > 0:
+                        f.dynamic = True
+                continue
+            m = edge_re.search(line)
+            if m:
+                src = self.resolve(obj, title_mangled(m.group(1)))
+                dst_name = title_mangled(m.group(2))
+                if dst_name == INDIRECT:
+                    self.node(INDIRECT, INDIRECT)
+                    self.funcs[src].calls.add(INDIRECT)
+                    continue
+                dst = self.resolve(obj, dst_name)
+                if dst != src:
+                    self.funcs[src].calls.add(dst)
+
+    def demangle_all(self):
+        ordered = [f for f in self.funcs.values() if f.demangled == f.mangled]
+        names = "\n".join(f.mangled for f in ordered)
+        out = subprocess.run(["c++filt"], input=names, capture_output=True,
+                             text=True).stdout
+        for f, d in zip(ordered, out.splitlines()):
+            f.demangled = d
+
+    # -- contract checks ---------------------------------------------------
+
+    def _matches(self, f, globs):
+        return any(fnmatch.fnmatchcase(f.demangled, g) or
+                   fnmatch.fnmatchcase(f.mangled, g) for g in globs)
+
+    def is_cold_exit(self, f):
+        return self._matches(f, self.cfg.cold_exits)
+
+    def hot_roots(self):
+        return sorted((f for f in self.funcs.values() if f.hot),
+                      key=lambda f: f.demangled)
+
+    def check_safety(self):
+        """Contract 1 + the indirect-call discipline.  Returns violations;
+        also records the set of cold exits reachable from hot code."""
+        violations = []
+        safe = set()
+        self.reached_exits = set()
+
+        def probe(uid, stack):
+            f = self.funcs[uid]
+            reason = forbidden_reason(f.mangled)
+            if reason is not None:
+                return [(uid, reason)]
+            if self.is_cold_exit(f):
+                self.reached_exits.add(uid)
+                return None
+            if uid in safe or uid in stack:
+                return None
+            if uid == INDIRECT:
+                return None  # judged at the caller below
+            stack.add(uid)
+            try:
+                if INDIRECT in f.calls and f.defined and \
+                        not self._matches(f, self.cfg.allow_indirect):
+                    return [(uid, None), (INDIRECT,
+                            "indirect call not sanctioned by allow_indirect")]
+                for callee in sorted(f.calls):
+                    sub = probe(callee, stack)
+                    if sub is not None:
+                        return [(uid, None)] + sub
+            finally:
+                stack.discard(uid)
+            safe.add(uid)
+            return None
+
+        for root in self.hot_roots():
+            path = probe(root.uid, set())
+            if path is not None:
+                violations.append(path)
+        return violations
+
+    def check_stack(self):
+        """Contract 2: frame budgets, worst path, no dynamic frames, no
+        recursion in the hot region."""
+        cfg = self.cfg
+        violations = []
+        memo = {}
+        on_stack = set()
+        self.worst_path = (0, [])
+
+        def frame_cost(f):
+            return f.stack if f.stack is not None else cfg.external_stack
+
+        def deepest(uid):
+            f = self.funcs[uid]
+            if self.is_cold_exit(f) or forbidden_reason(f.mangled):
+                return 0, []
+            if uid in memo:
+                return memo[uid]
+            if uid in on_stack:
+                violations.append(("recursion", [uid]))
+                return 0, []
+            on_stack.add(uid)
+            best, best_chain = 0, []
+            for callee in sorted(f.calls):
+                depth, chain = deepest(callee)
+                if depth > best:
+                    best, best_chain = depth, chain
+            on_stack.discard(uid)
+            result = (frame_cost(f) + best, [uid] + best_chain)
+            memo[uid] = result
+            return result
+
+        for root in self.hot_roots():
+            if root.dynamic:
+                violations.append(("dynamic", [root.uid]))
+            if root.stack is not None and root.stack > cfg.frame_budget:
+                violations.append(("frame", [root.uid]))
+            depth, chain = deepest(root.uid)
+            if depth > self.worst_path[0]:
+                self.worst_path = (depth, chain)
+            if depth > cfg.path_budget:
+                violations.append(("path", chain))
+        # Dynamic/oversized frames of non-root functions on hot paths.
+        hot_region = set()
+
+        def mark(uid):
+            f = self.funcs[uid]
+            if uid in hot_region or self.is_cold_exit(f) or \
+                    forbidden_reason(f.mangled):
+                return
+            hot_region.add(uid)
+            for callee in f.calls:
+                mark(callee)
+
+        for root in self.hot_roots():
+            mark(root.uid)
+        for uid in sorted(hot_region):
+            f = self.funcs[uid]
+            if f.hot:
+                continue  # roots already judged above
+            if f.dynamic:
+                violations.append(("dynamic", [uid]))
+            if f.stack is not None and f.stack > cfg.frame_budget:
+                violations.append(("frame", [uid]))
+        self.hot_region = hot_region
+        return violations
+
+    def check_exceptions(self):
+        """Contract 3: thrown-type discipline + nothrow kernel roots."""
+        violations = []
+        self.thrown_types = {}
+        for uid in sorted(getattr(self, "reached_exits", set())):
+            f = self.funcs[uid]
+            for ti in sorted(f.typeinfo):
+                demangled = subprocess.run(
+                    ["c++filt", ti], capture_output=True, text=True
+                ).stdout.strip()
+                cls = demangled.removeprefix("typeinfo for ").strip()
+                self.thrown_types.setdefault(cls, set()).add(f.demangled)
+                if cls not in self.cfg.allow_throw:
+                    violations.append(("throw_type", uid, cls))
+
+        # Nothrow roots: full traversal, cold exits included.
+        memo = {}
+
+        def throw_path(uid, stack):
+            f = self.funcs[uid]
+            if f.mangled in THROW_SYMS:
+                return [uid]
+            if uid in memo or uid in stack:
+                return memo.get(uid)
+            stack.add(uid)
+            try:
+                for callee in sorted(f.calls):
+                    sub = throw_path(callee, stack)
+                    if sub is not None:
+                        memo[uid] = [uid] + sub
+                        return memo[uid]
+            finally:
+                stack.discard(uid)
+            memo[uid] = None
+            return None
+
+        roots = [f for f in self.funcs.values() if f.defined and
+                 self._matches(f, self.cfg.nothrow_roots)]
+        self.nothrow_count = len(roots)
+        for f in sorted(roots, key=lambda f: f.uid):
+            path = throw_path(f.uid, set())
+            if path is not None:
+                violations.append(("nothrow", f.uid, path))
+        return violations
+
+
+def find_objects(build_dir):
+    objs = []
+    for obj in sorted(build_dir.glob("src/**/*.o")):
+        if "CMakeFiles" in obj.parts or "CMakeFiles" in str(obj):
+            if obj.with_suffix(".ci").exists():
+                objs.append(obj)
+    return objs
+
+
+def fmt_path(prog, path):
+    lines = []
+    for entry in path:
+        uid, note = entry if isinstance(entry, tuple) else (entry, None)
+        f = prog.funcs[uid]
+        line = f"    {f.demangled}"
+        if f.where:
+            line += f"  [{f.where}]"
+        if note:
+            line += f"  <-- {note}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build", default="build", help="CMake build directory")
+    ap.add_argument("--config", default=None,
+                    help="contracts file (default: contracts.conf beside this script)")
+    ap.add_argument("--report", default=None, help="also write the text report here")
+    ap.add_argument("--json", dest="json_out", default=None,
+                    help="write a machine-readable report here")
+    args = ap.parse_args()
+
+    build = Path(args.build)
+    config = Path(args.config) if args.config else \
+        Path(__file__).resolve().parent / "contracts.conf"
+    cfg = Config.load(config)
+
+    objs = find_objects(build)
+    if not objs:
+        print(f"hzccl-analyze: no *.o with call-graph artifacts under "
+              f"{build}/src — build with GCC and HZCCL_ANALYZE=ON (default)",
+              file=sys.stderr)
+        return 2
+
+    prog = Program(cfg)
+    prog.load_objects(objs)
+    prog.demangle_all()
+
+    hot = prog.hot_roots()
+    safety = prog.check_safety()
+    stack = prog.check_stack()
+    exceptions = prog.check_exceptions()
+
+    out = []
+    out.append(f"hzccl-analyze: {len(objs)} TUs, {sum(1 for f in prog.funcs.values() if f.defined)} "
+               f"defined functions ({len(hot)} hot), "
+               f"{sum(len(f.calls) for f in prog.funcs.values())} edges")
+    out.append(f"  contracts: {config}")
+
+    ok1 = not safety
+    out.append(f"contract 1 — hot paths allocation- and throw-free: "
+               f"{'PASS' if ok1 else 'FAIL'}")
+    for path in safety:
+        out.append("  forbidden path from hot root:")
+        out.append(fmt_path(prog, path))
+
+    ok2 = not stack
+    worst_frames = sorted((f for f in hot if f.stack is not None),
+                          key=lambda f: -f.stack)[:3]
+    out.append(f"contract 2 — stack discipline (frame<={cfg.frame_budget}, "
+               f"path<={cfg.path_budget}, static frames only): "
+               f"{'PASS' if ok2 else 'FAIL'}")
+    for f in worst_frames:
+        out.append(f"    frame {f.stack:>6} bytes  {f.demangled}")
+    depth, chain = prog.worst_path
+    if chain:
+        names = " -> ".join(prog.funcs[uid].demangled.split("(")[0]
+                            for uid in chain)
+        out.append(f"    worst path {depth} bytes: {names}")
+    for kind, payload in ((v[0], v[1]) for v in stack):
+        f = prog.funcs[payload[0] if kind != "path" else payload[-1]]
+        if kind == "dynamic":
+            out.append(f"  VLA/alloca frame on hot path: {f.demangled}")
+        elif kind == "frame":
+            out.append(f"  frame over budget ({f.stack} bytes): {f.demangled}")
+        elif kind == "recursion":
+            out.append(f"  recursion in hot region at: {f.demangled}")
+        elif kind == "path":
+            out.append("  call chain over path budget:")
+            out.append(fmt_path(prog, payload))
+
+    ok3 = not exceptions
+    out.append(f"contract 3 — exception discipline "
+               f"({len(getattr(prog, 'reached_exits', ()))} sanctioned exits "
+               f"reachable, {getattr(prog, 'nothrow_count', 0)} nothrow roots): "
+               f"{'PASS' if ok3 else 'FAIL'}")
+    for cls, exits in sorted(getattr(prog, "thrown_types", {}).items()):
+        marker = "ok " if cls in cfg.allow_throw else "BAD"
+        out.append(f"    [{marker}] {cls}  (thrown by {', '.join(sorted(exits))})")
+    for viol in exceptions:
+        if viol[0] == "throw_type":
+            _, uid, cls = viol
+            out.append(f"  disallowed exception type {cls} thrown by "
+                       f"{prog.funcs[uid].demangled}")
+        else:
+            _, uid, path = viol
+            out.append(f"  nothrow root reaches a throw: "
+                       f"{prog.funcs[uid].demangled}")
+            out.append(fmt_path(prog, path))
+
+    ok = ok1 and ok2 and ok3
+    out.append("hzccl-analyze: all contracts hold" if ok
+               else "hzccl-analyze: CONTRACT VIOLATIONS (see above)")
+    text = "\n".join(out) + "\n"
+    sys.stdout.write(text)
+    if args.report:
+        Path(args.report).write_text(text)
+    if args.json_out:
+        payload = {
+            "tus": len(objs),
+            "hot_functions": [f.demangled for f in hot],
+            "worst_path_bytes": prog.worst_path[0],
+            "thrown_types": {k: sorted(v)
+                             for k, v in getattr(prog, "thrown_types", {}).items()},
+            "violations": {
+                "safety": [[prog.funcs[e[0] if isinstance(e, tuple) else e].demangled
+                            for e in p] for p in safety],
+                "stack": [[v[0]] + [prog.funcs[u].demangled for u in v[1]]
+                          for v in stack],
+                "exceptions": [list(map(str, v)) for v in exceptions],
+            },
+            "pass": ok,
+        }
+        Path(args.json_out).write_text(json.dumps(payload, indent=2) + "\n")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+// Fixture: a hot function that honors every contract.  Mirrors the library
+// idiom (include/hzccl/util/contracts.hpp + raise.hpp) without depending on
+// the library: hot loop, out-of-line cold raise, nothrow kernel body.
+#define FIX_HOT __attribute__((hot))
+#define FIX_COLD __attribute__((cold, noinline))
+
+namespace fix {
+
+struct ParseishError {
+  int code;
+};
+
+[[noreturn]] FIX_COLD void raise_parse(int code) { throw ParseishError{code}; }
+
+// Hot root with a sanctioned cold exit: the only throw is behind raise_parse.
+// Unsigned accumulator so the guard is satisfiable — with signed arithmetic
+// GCC proves the overflow-free value range excludes the sentinel and deletes
+// the raise branch outright.
+FIX_HOT unsigned checksum(const unsigned char* data, unsigned long n) {
+  unsigned acc = 0;
+  for (unsigned long i = 0; i < n; ++i) acc = acc * 31u + data[i];
+  if (acc == 0xDEADBEEFu) raise_parse(static_cast<int>(n));
+  return acc;
+}
+
+// Nothrow root (contracts.conf: nothrow_root *fix::kernel_body*): must not
+// reach a throw even through a cold exit.
+FIX_HOT int kernel_body(const int* values, unsigned long n) {
+  int acc = 0;
+  for (unsigned long i = 0; i < n; ++i) acc += values[i];
+  return acc;
+}
+
+}  // namespace fix

@@ -1,0 +1,9 @@
+// Fixture: seeded contract-1 violation — a hot function that allocates.
+// The analyzer must fail with a path from fix::grow to operator new[].
+#define FIX_HOT __attribute__((hot))
+
+namespace fix {
+
+FIX_HOT int* grow(unsigned long n) { return new int[n]; }
+
+}  // namespace fix

@@ -1,0 +1,17 @@
+// Fixture: seeded contract-1 violation — a hot function with an inline
+// throw (no sanctioned cold exit).  The analyzer must fail with a path from
+// fix::parse to the __cxa_throw machinery.
+#define FIX_HOT __attribute__((hot))
+
+namespace fix {
+
+struct BadValue {
+  int value;
+};
+
+FIX_HOT int parse(int v) {
+  if (v < 0) throw BadValue{v};
+  return v * 2;
+}
+
+}  // namespace fix

@@ -1,0 +1,16 @@
+// Fixture: seeded contract-2 violation — a hot frame with unbounded dynamic
+// stack (alloca).  The analyzer must fail with a VLA/alloca diagnostic on
+// fix::scratch.
+#define FIX_HOT __attribute__((hot))
+
+namespace fix {
+
+FIX_HOT int scratch(int n) {
+  int* buf = static_cast<int*>(__builtin_alloca(static_cast<unsigned long>(n) * sizeof(int)));
+  for (int i = 0; i < n; ++i) buf[i] = i;
+  int acc = 0;
+  for (int i = 0; i < n; ++i) acc += buf[i];
+  return acc;
+}
+
+}  // namespace fix

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Self-validation for hzccl-analyze (tools/analyze/analyze.py).
+
+Compiles deliberately-broken fixture TUs with the exact artifact flags the
+library build injects (CMakeLists.txt: hzccl_analyze_flags) and asserts the
+analyzer's verdict on each:
+
+  clean.cpp      all contracts hold (cold raise is sanctioned)
+  hot_alloc.cpp  contract 1 fails naming operator new on the hot path
+  hot_throw.cpp  contract 1 fails naming the throw machinery
+  hot_vla.cpp    contract 2 fails naming the alloca frame
+
+Also asserts the flag list here has not drifted from the one in the build,
+so a flag change that would silence the analyzer breaks this test first.
+"""
+
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+ANALYZE = HERE / "analyze.py"
+FIXTURES = HERE / "fixtures"
+FLAGS = ["-fcallgraph-info=su,da", "-fstack-usage", "-ffunction-sections"]
+
+failures = []
+
+
+def check(cond, message):
+    status = "ok" if cond else "FAIL"
+    print(f"[{status}] {message}")
+    if not cond:
+        failures.append(message)
+
+
+def check_build_flags():
+    text = (REPO / "CMakeLists.txt").read_text()
+    m = re.search(r"target_compile_options\(hzccl_analyze_flags INTERFACE\s*([^)]*)\)",
+                  text)
+    check(m is not None, "CMakeLists.txt declares hzccl_analyze_flags")
+    if m:
+        declared = m.group(1).split()
+        check(declared == FLAGS,
+              f"build artifact flags match the selftest's: {declared}")
+
+
+def analyze_fixture(name, tmp):
+    """Compile one fixture into an isolated build-shaped dir and analyze it."""
+    objdir = Path(tmp) / name / "src" / "CMakeFiles" / "fixture.dir"
+    objdir.mkdir(parents=True)
+    src = FIXTURES / f"{name}.cpp"
+    subprocess.run(
+        ["g++", "-O2", "-std=c++20", *FLAGS, "-c", str(src), "-o", f"{name}.cpp.o"],
+        cwd=objdir, check=True)
+    return subprocess.run(
+        [sys.executable, str(ANALYZE), "--build", str(Path(tmp) / name),
+         "--config", str(FIXTURES / "contracts.conf")],
+        capture_output=True, text=True)
+
+
+def main():
+    check_build_flags()
+    with tempfile.TemporaryDirectory(prefix="hzccl-analyze-selftest.") as tmp:
+        r = analyze_fixture("clean", tmp)
+        check(r.returncode == 0, "clean fixture: analyzer exits 0")
+        check("all contracts hold" in r.stdout, "clean fixture: report says PASS")
+        check("fix::ParseishError" in r.stdout,
+              "clean fixture: sanctioned exception family reported")
+
+        r = analyze_fixture("hot_alloc", tmp)
+        check(r.returncode == 1, "hot_alloc fixture: analyzer exits 1")
+        check("operator new" in r.stdout, "hot_alloc fixture: names operator new")
+        check("fix::grow" in r.stdout, "hot_alloc fixture: path trace names fix::grow")
+
+        r = analyze_fixture("hot_throw", tmp)
+        check(r.returncode == 1, "hot_throw fixture: analyzer exits 1")
+        check("throw machinery" in r.stdout or "__cxa_throw" in r.stdout,
+              "hot_throw fixture: names the throw machinery")
+        check("fix::parse" in r.stdout, "hot_throw fixture: path trace names fix::parse")
+
+        r = analyze_fixture("hot_vla", tmp)
+        check(r.returncode == 1, "hot_vla fixture: analyzer exits 1")
+        check("VLA/alloca" in r.stdout, "hot_vla fixture: flags the dynamic frame")
+        check("fix::scratch" in r.stdout, "hot_vla fixture: names fix::scratch")
+
+    if failures:
+        print(f"\nselftest: {len(failures)} assertion(s) failed", file=sys.stderr)
+        return 1
+    print("\nselftest: analyzer verdicts correct on all fixtures")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

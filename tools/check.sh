@@ -11,6 +11,8 @@
 #   tools/check.sh --recovery # tier 1 + sanitized rank-failure tier + seed sweep
 #   tools/check.sh --kernels  # tier 1 + conformance tier at every forced
 #                             # dispatch level + SIMD speedup gate
+#   tools/check.sh --analyze  # tier 1 + whole-program static contracts
+#                             # (hot-path allocation/stack/exception proofs)
 #   tools/check.sh --all      # everything
 #
 # Flags combine (e.g. --lint --tsan).  Exit nonzero on the first failing
@@ -20,7 +22,7 @@ set -eu
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 jobs=$(nproc 2>/dev/null || echo 4)
 
-run_asan=1 run_lint=0 run_tsan=0 run_fuzz=0 run_perf=0 run_cov=0 run_recovery=0 run_kernels=0
+run_asan=1 run_lint=0 run_tsan=0 run_fuzz=0 run_perf=0 run_cov=0 run_recovery=0 run_kernels=0 run_analyze=0
 for arg in "$@"; do
   case "$arg" in
     --fast) run_asan=0 ;;
@@ -31,8 +33,9 @@ for arg in "$@"; do
     --cov)  run_cov=1 ;;
     --recovery) run_recovery=1 ;;
     --kernels) run_kernels=1 ;;
-    --all)  run_asan=1 run_lint=1 run_tsan=1 run_perf=1 run_cov=1 run_recovery=1 run_kernels=1 ;;
-    *) echo "usage: tools/check.sh [--fast] [--lint] [--tsan] [--fuzz] [--perf] [--cov] [--recovery] [--kernels] [--all]" >&2; exit 2 ;;
+    --analyze) run_analyze=1 ;;
+    --all)  run_asan=1 run_lint=1 run_tsan=1 run_fuzz=1 run_perf=1 run_cov=1 run_recovery=1 run_kernels=1 run_analyze=1 ;;
+    *) echo "usage: tools/check.sh [--fast] [--lint] [--tsan] [--fuzz] [--perf] [--cov] [--recovery] [--kernels] [--analyze] [--all]" >&2; exit 2 ;;
   esac
 done
 
@@ -44,6 +47,18 @@ cmake --build "$repo/build" -j "$jobs"
 if [ "$run_lint" = "1" ]; then
   echo "== lint: project conventions (tools/lint.sh) =="
   "$repo/tools/lint.sh"
+fi
+
+if [ "$run_analyze" = "1" ]; then
+  echo "== analyze: whole-program static contracts (tools/analyze) =="
+  # Proves three hot-path contracts on the call graph stitched from the
+  # tier-1 build's -fcallgraph-info/-fstack-usage artifacts: no allocation
+  # reachable from HZCCL_HOT code, stack frames and worst-case paths under
+  # budget, and only the sanctioned error family thrown.  The selftest runs
+  # first so a broken analyzer cannot green-light a broken library.
+  python3 "$repo/tools/analyze/selftest.py"
+  python3 "$repo/tools/analyze/analyze.py" --build "$repo/build" \
+    --report "$repo/build/analyze_report.txt"
 fi
 
 if [ "$run_asan" = "1" ] || [ "$run_fuzz" = "1" ] || [ "$run_recovery" = "1" ]; then

@@ -43,8 +43,11 @@ report "no-reinterpret-cast" "$matches"
 matches=$(grep -rnE "memcpy\(&" $DECODE_SRC $DECODE_INC 2>/dev/null || true)
 report "no-wire-parse-memcpy" "$matches"
 
-# Rule 3: [[nodiscard]] on stream-returning APIs in public headers.
-matches=$(grep -rnE "^\s*(CompressedBuffer|FzView|SzpView|SzxView|FrameView)\s+[a-zA-Z_]+\(" \
+# Rule 3: [[nodiscard]] on stream- and result-returning APIs in public
+# headers.  Beyond the wire views, dropping a trace/kernel/recovery result
+# (Breakdown, CheckReport, ClockReport, JobResult) silently discards the
+# outcome the caller asked for.
+matches=$(grep -rnE "^\s*(CompressedBuffer|FzView|SzpView|SzxView|FrameView|Breakdown|CheckReport|ClockReport|JobResult)\s+[a-zA-Z_]+\(" \
   include/ 2>/dev/null || true)
 report "nodiscard-stream-apis" "$matches"
 
@@ -60,8 +63,10 @@ report "no-using-namespace-in-headers" "$matches"
 # compilation database and the tool are both available.
 if command -v clang-tidy >/dev/null 2>&1 && [ -f build/compile_commands.json ]; then
   echo "lint: running clang-tidy"
-  if ! clang-tidy -p build --quiet $(git ls-files 'src/*.cpp') >/dev/null; then
-    echo "LINT [clang-tidy] violations (run: clang-tidy -p build <file>)"
+  tidy_out=$(clang-tidy -p build --quiet $(git ls-files 'src/*.cpp') 2>&1)
+  if [ $? -ne 0 ]; then
+    echo "LINT [clang-tidy] violations:"
+    echo "$tidy_out" | sed 's/^/  /'
     fail=1
   fi
 else
