@@ -63,5 +63,25 @@ int main() {
               "peaks (paper: 1.9x ST / 5.85x MT), then sags toward 512 nodes as the\n"
               "scattered blocks shrink and per-round latency+compression overheads\n"
               "offset the bandwidth savings (paper: 1.46x / 4.12x at 512).\n");
+
+  // --- hierarchical series: same sweep with 8 ranks/node ------------------
+  // Each table row's node count now carries 8 ranks; the topology-aware net
+  // model keeps the congestion term keyed to inter-node flows, so the ring
+  // grows 8x more alpha steps but no extra saturation.
+  const int rpn = 8;
+  const auto hnet = simmpi::NetModel::omnipath_100g_nodes(rpn);
+  std::printf("\nhierarchical series (%d ranks/node, flat ring, topology-aware net):\n", rpn);
+  std::printf("%6s %6s | %10s %10s | %7s\n", "nodes", "ranks", "MPI", "hZ-MT", "hZ-MT/x");
+  for (int n : {2, 4, 8, 16, 32, 64, 128, 256, 512}) {
+    const int nranks = n * rpn;
+    const double mpi = cluster::model_collective(Kernel::kMpi, Op::kReduceScatter, nranks,
+                                                 full_bytes, profile, hnet, cost)
+                           .seconds;
+    const double hz = cluster::model_collective(Kernel::kHzcclMultiThread, Op::kReduceScatter,
+                                                nranks, full_bytes, profile, hnet, cost)
+                          .seconds;
+    std::printf("%6d %6d | %9.1fms %9.1fms | %6.2fx\n", n, nranks, mpi * 1e3, hz * 1e3,
+                mpi / hz);
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "collective_bench.hpp"
 #include "hzccl/cluster/roundsim.hpp"
+#include "hzccl/collectives/algorithms.hpp"
 
 int main() {
   using namespace hzccl;
@@ -60,5 +61,32 @@ int main() {
               "(ST) / 6.77x (MT), then settle near 1.88x / 5.58x at 512 nodes —\n"
               "flatter than Reduce_scatter because the Allgather stage keeps moving\n"
               "full-size (compressed) data.\n");
+
+  // --- hierarchical series: 8 ranks/node, ring vs two-level ----------------
+  // At 646 MB the ring is bandwidth-optimal and the hierarchy cannot win;
+  // the two-level column earns its keep in the latency regime (compare
+  // bench_ablation_allreduce_algos at 256 KB), so this series shows both the
+  // flat-ring baseline at 8x the rank count and the two-level alternative.
+  const int rpn = 8;
+  const auto hnet = simmpi::NetModel::omnipath_100g_nodes(rpn);
+  std::printf("\nhierarchical series (%d ranks/node, hZ-MT, topology-aware net):\n", rpn);
+  std::printf("%6s %6s | %10s %10s %10s\n", "nodes", "ranks", "MPI-ring", "hZ-ring", "hZ-2level");
+  for (int n : {2, 4, 8, 16, 32, 64, 128, 256, 512}) {
+    const int nranks = n * rpn;
+    const double mpi =
+        cluster::model_allreduce_algo(Kernel::kMpi, coll::AllreduceAlgo::kRing, nranks,
+                                      full_bytes, profile, hnet, cost)
+            .seconds;
+    const double ring =
+        cluster::model_allreduce_algo(Kernel::kHzcclMultiThread, coll::AllreduceAlgo::kRing,
+                                      nranks, full_bytes, profile, hnet, cost)
+            .seconds;
+    const double two =
+        cluster::model_allreduce_algo(Kernel::kHzcclMultiThread, coll::AllreduceAlgo::kTwoLevel,
+                                      nranks, full_bytes, profile, hnet, cost)
+            .seconds;
+    std::printf("%6d %6d | %9.1fms %9.1fms %9.1fms\n", n, nranks, mpi * 1e3, ring * 1e3,
+                two * 1e3);
+  }
   return 0;
 }

@@ -34,4 +34,24 @@ struct AutotuneResult {
 AutotuneResult choose_kernel(std::span<const float> sample, Op op, size_t bytes_per_rank,
                              const JobConfig& config);
 
+/// Outcome of the size/topology Allreduce algorithm selection.
+struct AlgoSelection {
+  coll::AllreduceAlgo algo = coll::AllreduceAlgo::kRing;  ///< the predicted winner
+  /// Modeled seconds per algorithm, indexed by coll::AllreduceAlgo ([0] —
+  /// the kAuto slot — is unused and stays 0).
+  std::array<double, coll::kNumAllreduceAlgos> predicted_seconds{};
+
+  std::string summary() const;
+};
+
+/// Choose the Allreduce exchange schedule for `kernel` moving
+/// `bytes_per_rank` per rank over `config.nranks` ranks grouped by
+/// `config.net.topo`: rank ring / recursive-doubling / Rabenseifner /
+/// two-level with the closed-form round model and pick the cheapest.
+/// `sample` probes the data's compressibility exactly like choose_kernel
+/// (it may be empty for the uncompressed kMpi kernel, where ratios are
+/// irrelevant).
+AlgoSelection choose_allreduce_algo(std::span<const float> sample, Kernel kernel,
+                                    size_t bytes_per_rank, const JobConfig& config);
+
 }  // namespace hzccl

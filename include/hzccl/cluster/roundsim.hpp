@@ -52,9 +52,25 @@ struct ModelResult {
 };
 
 /// Model `kernel` running `op` over `nranks` ranks with `total_bytes` of
-/// float data per rank.
+/// float data per rank.  Inter-node transfers are priced at the fabric's
+/// congestion for `net.congestion_flows(nranks)` flows, so a hierarchical
+/// `net.topo` automatically relieves congestion (flat topologies are
+/// unchanged: flows == ranks).
 ModelResult model_collective(Kernel kernel, Op op, int nranks, size_t total_bytes,
                              const CompressionProfile& profile, const simmpi::NetModel& net,
                              const simmpi::CostModel& cost);
+
+/// Model one Allreduce of `total_bytes` per rank under an explicit exchange
+/// schedule: the flat ring, recursive doubling (log2 P whole-vector
+/// exchanges), Rabenseifner (halving reduce-scatter + doubling allgather;
+/// non-power-of-two rank counts price as the ring, matching the functional
+/// fallback), or the two-level hierarchy (serial intra-node raw gather to
+/// the node leader, compressed ring over one leader per node at node-count
+/// congestion, intra-node broadcast).  `nranks` is the total rank count;
+/// the node grouping comes from `net.topo`.  This closed form is what
+/// autotune's size/topology algorithm selector ranks.
+ModelResult model_allreduce_algo(Kernel kernel, coll::AllreduceAlgo algo, int nranks,
+                                 size_t total_bytes, const CompressionProfile& profile,
+                                 const simmpi::NetModel& net, const simmpi::CostModel& cost);
 
 }  // namespace hzccl::cluster

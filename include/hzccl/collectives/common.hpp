@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "hzccl/compressor/fz_light.hpp"
@@ -111,6 +112,35 @@ inline int ring_prev(int rank, int nranks) { return (rank - 1 + nranks) % nranks
 inline constexpr int kTagReduceScatter = 0;
 inline constexpr int kTagAllgather = 1 << 20;
 inline constexpr int kTagSize = 1 << 21;
+/// Two-level (hierarchical) allreduce: intra-node raw gather to the node
+/// leader, and the leader's raw result broadcast.  Offset by the member's
+/// virtual rank so a leader's flows to its members never alias.
+inline constexpr int kTagIntraReduce = 1 << 23;
+inline constexpr int kTagIntraBcast = (1 << 23) + (1 << 20);
+/// Compressed recursive-doubling / Rabenseifner exchanges (offset by step,
+/// and for Rabenseifner also by block index: step * nranks + block).
+inline constexpr int kTagDoubling = 1 << 24;
+inline constexpr int kTagHalving = (1 << 24) + (1 << 20);
+
+/// Allreduce algorithm.  All algorithms move the *same* fZ-light streams —
+/// the wire format never changes, only the exchange schedule (FORMAT.md).
+/// kAuto resolves once per job via the closed-form round model
+/// (cluster::model_allreduce_algo) from (message size, nodes, ranks/node).
+enum class AllreduceAlgo : int {
+  kAuto = 0,
+  kRing = 1,               ///< flat bandwidth-optimal ring (RS + allgather)
+  kRecursiveDoubling = 2,  ///< log2(P) whole-vector exchanges (small messages)
+  kRabenseifner = 3,       ///< halving RS + doubling allgather (medium sizes)
+  kTwoLevel = 4,           ///< node leaders: raw intra combine + leader ring
+};
+inline constexpr int kNumAllreduceAlgos = 5;
+
+/// Short stable name ("auto", "ring", "rd", "rab", "2level").
+const char* allreduce_algo_name(AllreduceAlgo algo);
+
+/// Parse a CLI spelling (name above or long aliases); throws hzccl::Error
+/// on an unknown algorithm.
+AllreduceAlgo parse_allreduce_algo(const std::string& text);
 
 // ---------------------------------------------------------------------------
 // Receive-side healing of compressed blocks (graceful degradation).

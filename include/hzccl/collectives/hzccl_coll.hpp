@@ -48,4 +48,43 @@ void hzccl_allreduce(simmpi::Comm& comm, std::span<const float> input,
                      std::vector<float>& out_full, const CollectiveConfig& config,
                      HzPipelineStats* pipeline_stats = nullptr);
 
+// -- Alternative allreduce schedules over the same fZ-light streams. ---------
+// The wire format never changes across algorithms; the schedules below trade
+// bandwidth optimality for latency (fewer, larger exchanges) or exploit the
+// node hierarchy.  fZ-light quantizes each element independently and hz_add
+// sums quantized integers exactly, so the recursive-doubling and
+// Rabenseifner variants produce results *bit-identical* to the flat ring for
+// the same error bound (the two-level variant re-quantizes the node-local
+// float sums, so it is differential-equal, not bit-equal — and tighter:
+// error scales with node count, not rank count).
+
+/// Compressed recursive doubling: each rank compresses its whole vector as
+/// one stream; log2(P) exchanges reduce whole streams with hz_add.  Non
+/// power-of-two sizes fold onto p2 active ranks first (MPICH schedule).
+/// Latency-optimal — wins for small messages where the ring's P-1 hops
+/// dominate.
+void hzccl_allreduce_recursive_doubling(simmpi::Comm& comm, std::span<const float> input,
+                                        std::vector<float>& out_full,
+                                        const CollectiveConfig& config,
+                                        HzPipelineStats* pipeline_stats = nullptr);
+
+/// Compressed Rabenseifner: recursive-halving reduce-scatter over the ring's
+/// block partition + recursive-doubling allgather.  log2(P) exchanges moving
+/// half the data each — the medium-message sweet spot.  Non-power-of-two
+/// rank counts fall back to the ring.
+void hzccl_allreduce_rabenseifner(simmpi::Comm& comm, std::span<const float> input,
+                                  std::vector<float>& out_full, const CollectiveConfig& config,
+                                  HzPipelineStats* pipeline_stats = nullptr);
+
+/// Two-level hierarchical allreduce (XHC-style): members ship raw floats to
+/// their node leader over the fast intra-node channel, the leaders run the
+/// compressed ring among themselves over the congested fabric, and the
+/// finished vector is broadcast back intra-node.  Node membership derives
+/// from comm.net().topo over *physical* ranks, so ranks-per-node remainders
+/// and shrunk post-failure groups regroup naturally.  Degenerates to the
+/// flat ring on a flat topology.
+void hzccl_allreduce_two_level(simmpi::Comm& comm, std::span<const float> input,
+                               std::vector<float>& out_full, const CollectiveConfig& config,
+                               HzPipelineStats* pipeline_stats = nullptr);
+
 }  // namespace hzccl::coll

@@ -66,6 +66,13 @@ struct JobConfig {
   /// which case JobResult::trace stays empty and the hot path pays one
   /// predictable branch per clock advance.
   trace::Options trace;
+  /// Allreduce exchange schedule (Op::kAllreduce only; reduce-scatter always
+  /// rings).  kAuto probes rank 0's data once and resolves via the
+  /// size/topology selector (cluster::choose_allreduce_algo); the resolved
+  /// choice lands in JobResult::algo and is stable across retry attempts.
+  /// The C-Coll kernels always ring (their per-round recompression defeats
+  /// the latency-optimal schedules).
+  coll::AllreduceAlgo algo = coll::AllreduceAlgo::kRing;
 
   coll::CollectiveConfig collective_config(simmpi::Mode mode) const {
     coll::CollectiveConfig c;
@@ -97,6 +104,10 @@ struct JobResult {
   std::vector<int> final_group;   ///< surviving physical ranks (completion group)
   uint32_t final_epoch = 0;       ///< group epoch of the completing attempt
   int attempts = 1;               ///< collective runs including the final one
+
+  /// The Allreduce exchange schedule that actually ran (JobConfig::algo
+  /// with kAuto resolved; kRing for reduce-scatter jobs).
+  coll::AllreduceAlgo algo = coll::AllreduceAlgo::kRing;
 };
 
 /// Produces rank `r`'s input vector; every rank must return the same length.

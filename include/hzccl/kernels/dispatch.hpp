@@ -64,6 +64,12 @@ using QuantizeFn = uint64_t (*)(const float* data, size_t n, double inv_twice_eb
 /// of the magnitudes (== code-length source; 0 means a constant block).
 using PredictFn = uint32_t (*)(const int64_t* q, size_t n, int32_t q_prev, uint32_t* mags,
                                uint32_t* signs);
+/// SZx classification scan: out = {min, max, max |value|} over data[0, n).
+/// Contract: n >= 1 and the block is NaN-free (classify_raw_block routes
+/// non-finite blocks to the raw fallback before the scan runs).  Negative
+/// zeros are canonicalized to +0 in all three outputs so every level is
+/// byte-identical regardless of lane/reduction order.
+using SzxScanFn = void (*)(const float* data, size_t n, float* out);
 
 /// One dispatch level's kernel set.  pack/unpack are indexed by bit width
 /// (entries 1..kMaxPackBits; entry 0 is null).  Entries a level does not
@@ -76,6 +82,7 @@ struct KernelTable {
   CombineFn hz_combine_residuals = nullptr;
   QuantizeFn fz_quantize = nullptr;
   PredictFn fz_predict = nullptr;
+  SzxScanFn szx_scan = nullptr;
 };
 
 /// "scalar" / "avx2" / "avx512".

@@ -70,6 +70,13 @@ inline constexpr uint8_t kAuxRetransmit = 0;
 inline constexpr uint8_t kAuxRawFallback = 1;
 /// kDiscard detail: duplicate seq (default 0) vs. stale-epoch frame.
 inline constexpr uint8_t kAuxStaleEpoch = 2;
+/// Allreduce algorithm marker: every rank of a job running a *non-ring*
+/// schedule records one zero-length kPack span at t=0 with
+/// aux = kAuxAlgoBase + coll::AllreduceAlgo, so recovery/fault analysis of
+/// a trace can tell which exchange schedule produced it.  Ring jobs record
+/// no marker — the pre-algorithm traces (and the pinned golden trace) stay
+/// byte-identical.
+inline constexpr uint8_t kAuxAlgoBase = 16;
 
 /// One recorded span of virtual time.  Trivially copyable by design: the
 /// ring buffer stores events as raw bytes from a pooled buffer.

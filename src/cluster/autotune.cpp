@@ -62,4 +62,64 @@ AutotuneResult choose_kernel(std::span<const float> sample, Op op, size_t bytes_
   return result;
 }
 
+std::string AlgoSelection::summary() const {
+  std::ostringstream out;
+  out << "chose " << coll::allreduce_algo_name(algo) << " (";
+  bool first = true;
+  for (int a = 1; a < coll::kNumAllreduceAlgos; ++a) {
+    if (!first) out << ", ";
+    first = false;
+    out << coll::allreduce_algo_name(static_cast<coll::AllreduceAlgo>(a)) << " "
+        << predicted_seconds[static_cast<size_t>(a)] << "s";
+  }
+  out << ")";
+  return out.str();
+}
+
+AlgoSelection choose_allreduce_algo(std::span<const float> sample, Kernel kernel,
+                                    size_t bytes_per_rank, const JobConfig& config) {
+  if (config.nranks < 2) throw Error("choose_allreduce_algo: need at least 2 ranks");
+
+  // Probe the data like choose_kernel: fresh ratio + a depth-2 self-add.
+  // The uncompressed kMpi kernel never consults the ratios, so it accepts an
+  // empty sample and uses a neutral profile.
+  cluster::CompressionProfile profile;
+  profile.block_len = config.block_len;
+  if (sample.empty()) {
+    if (kernel != Kernel::kMpi) {
+      throw Error("choose_allreduce_algo: compressed kernels need a probe sample");
+    }
+    profile.sample_elements = 1;
+    profile.ratio.push_back(1.0);
+    profile.hz_stats.push_back(HzPipelineStats{});
+  } else {
+    FzParams params;
+    params.abs_error_bound = config.abs_error_bound;
+    params.block_len = config.block_len;
+    const CompressedBuffer probe = fz_compress(sample, params);
+    HzPipelineStats stats;
+    const CompressedBuffer self_sum = hz_add(probe, probe, &stats);
+    profile.sample_elements = sample.size();
+    profile.ratio.push_back(compression_ratio(sample.size_bytes(), probe.size_bytes()));
+    profile.ratio.push_back(compression_ratio(sample.size_bytes(), self_sum.size_bytes()));
+    profile.hz_stats.push_back(stats);
+  }
+
+  AlgoSelection result;
+  size_t best = 0;
+  for (int a = 1; a < coll::kNumAllreduceAlgos; ++a) {
+    const auto algo = static_cast<coll::AllreduceAlgo>(a);
+    result.predicted_seconds[static_cast<size_t>(a)] =
+        cluster::model_allreduce_algo(kernel, algo, config.nranks, bytes_per_rank, profile,
+                                      config.net, config.cost)
+            .seconds;
+    if (best == 0 || result.predicted_seconds[static_cast<size_t>(a)] <
+                         result.predicted_seconds[best]) {
+      best = static_cast<size_t>(a);
+    }
+  }
+  result.algo = static_cast<coll::AllreduceAlgo>(best);
+  return result;
+}
+
 }  // namespace hzccl

@@ -61,14 +61,20 @@ CompressionProfile CompressionProfile::measure(const std::vector<std::vector<flo
 
 namespace {
 
-/// Per-round ring transfer cost for one block of `bytes`.
-double transfer(const NetModel& net, double bytes, int nranks) {
-  return net.transfer_seconds(static_cast<size_t>(bytes), nranks);
+/// Inter-node transfer cost for one block of `bytes` at `flows` concurrent
+/// inter-node flows (the congestion argument; == ranks on a flat topology).
+double transfer_at(const NetModel& net, double bytes, int flows) {
+  return net.transfer_seconds(static_cast<size_t>(bytes), flows);
 }
 
-ModelResult model_reduce_scatter(Kernel kernel, int nranks, size_t total_bytes,
-                                 const CompressionProfile& profile, const NetModel& net,
-                                 const CostModel& cost, bool fused_tail) {
+/// Intra-node (shared-memory-class) transfer cost.
+double intra_transfer(const NetModel& net, double bytes) {
+  return net.intra_latency_s + bytes / net.intra_bytes_per_s();
+}
+
+ModelResult model_reduce_scatter_flows(Kernel kernel, int nranks, int flows, size_t total_bytes,
+                                       const CompressionProfile& profile, const NetModel& net,
+                                       const CostModel& cost, bool fused_tail) {
   const Mode mode = kernel_mode(kernel);
   const double block_bytes = static_cast<double>(total_bytes) / nranks;
   const size_t block_elems = static_cast<size_t>(block_bytes) / sizeof(float);
@@ -77,7 +83,7 @@ ModelResult model_reduce_scatter(Kernel kernel, int nranks, size_t total_bytes,
   switch (kernel) {
     case Kernel::kMpi:
       for (int s = 0; s < nranks - 1; ++s) {
-        r.mpi_seconds += transfer(net, block_bytes, nranks);
+        r.mpi_seconds += transfer_at(net, block_bytes, flows);
         r.cpt_seconds += cost.seconds_raw_sum(static_cast<size_t>(block_bytes),
                                               Mode::kSingleThread);
       }
@@ -87,7 +93,7 @@ ModelResult model_reduce_scatter(Kernel kernel, int nranks, size_t total_bytes,
       for (int s = 0; s < nranks - 1; ++s) {
         const int depth = s + 1;  // the block sent at step s carries depth-s+1 sums
         r.cpr_seconds += cost.seconds_fz_compress(static_cast<size_t>(block_bytes), mode);
-        r.mpi_seconds += transfer(net, block_bytes / profile.ratio_at_depth(depth), nranks);
+        r.mpi_seconds += transfer_at(net, block_bytes / profile.ratio_at_depth(depth), flows);
         r.dpr_seconds += cost.seconds_fz_decompress(static_cast<size_t>(block_bytes), mode);
         r.cpt_seconds += cost.seconds_raw_sum(static_cast<size_t>(block_bytes), mode);
       }
@@ -98,7 +104,7 @@ ModelResult model_reduce_scatter(Kernel kernel, int nranks, size_t total_bytes,
       r.cpr_seconds += cost.seconds_fz_compress(total_bytes, mode);
       for (int s = 0; s < nranks - 1; ++s) {
         const int depth = s + 1;
-        r.mpi_seconds += transfer(net, block_bytes / profile.ratio_at_depth(depth), nranks);
+        r.mpi_seconds += transfer_at(net, block_bytes / profile.ratio_at_depth(depth), flows);
         r.hpr_seconds += cost.seconds_hz_add(profile.stats_at_depth(depth + 1, block_elems),
                                              profile.block_len, mode);
       }
@@ -111,16 +117,16 @@ ModelResult model_reduce_scatter(Kernel kernel, int nranks, size_t total_bytes,
   return r;
 }
 
-ModelResult model_allgather(Kernel kernel, int nranks, size_t total_bytes,
-                            const CompressionProfile& profile, const NetModel& net,
-                            const CostModel& cost) {
+ModelResult model_allgather_flows(Kernel kernel, int nranks, int flows, size_t total_bytes,
+                                  const CompressionProfile& profile, const NetModel& net,
+                                  const CostModel& cost) {
   const Mode mode = kernel_mode(kernel);
   const double block_bytes = static_cast<double>(total_bytes) / nranks;
   ModelResult r;
 
   switch (kernel) {
     case Kernel::kMpi:
-      for (int s = 0; s < nranks - 1; ++s) r.mpi_seconds += transfer(net, block_bytes, nranks);
+      for (int s = 0; s < nranks - 1; ++s) r.mpi_seconds += transfer_at(net, block_bytes, flows);
       break;
     case Kernel::kCCollMultiThread:
     case Kernel::kCCollSingleThread: {
@@ -128,7 +134,7 @@ ModelResult model_allgather(Kernel kernel, int nranks, size_t total_bytes,
       const double ratio = profile.ratio_at_depth(nranks);
       r.cpr_seconds += cost.seconds_fz_compress(static_cast<size_t>(block_bytes), mode);
       for (int s = 0; s < nranks - 1; ++s) {
-        r.mpi_seconds += transfer(net, block_bytes / ratio, nranks);
+        r.mpi_seconds += transfer_at(net, block_bytes / ratio, flows);
       }
       r.dpr_seconds +=
           cost.seconds_fz_decompress(static_cast<size_t>(block_bytes) * (nranks - 1), mode);
@@ -140,7 +146,7 @@ ModelResult model_allgather(Kernel kernel, int nranks, size_t total_bytes,
       // reduce-scatter stage; all N blocks decompress at the end.
       const double ratio = profile.ratio_at_depth(nranks);
       for (int s = 0; s < nranks - 1; ++s) {
-        r.mpi_seconds += transfer(net, block_bytes / ratio, nranks);
+        r.mpi_seconds += transfer_at(net, block_bytes / ratio, flows);
       }
       r.dpr_seconds += cost.seconds_fz_decompress(total_bytes, mode);
       break;
@@ -161,21 +167,194 @@ ModelResult combine(const ModelResult& a, const ModelResult& b) {
   return r;
 }
 
+/// Recursive doubling: ceil(log2 p2) whole-vector exchanges (plus a fold
+/// exchange when the rank count is not a power of two).  The stream sent at
+/// step s carries 2^s accumulated operands.
+ModelResult model_recursive_doubling(Kernel kernel, int nranks, int flows, size_t total_bytes,
+                                     const CompressionProfile& profile, const NetModel& net,
+                                     const CostModel& cost) {
+  const Mode mode = kernel_mode(kernel);
+  const size_t total_elems = total_bytes / sizeof(float);
+  int p2 = 1;
+  while (p2 * 2 <= nranks) p2 *= 2;
+  const bool fold = p2 != nranks;
+  ModelResult r;
+
+  const auto exchange = [&](int depth) {
+    switch (kernel) {
+      case Kernel::kMpi:
+        r.mpi_seconds += transfer_at(net, static_cast<double>(total_bytes), flows);
+        r.cpt_seconds += cost.seconds_raw_sum(total_bytes, Mode::kSingleThread);
+        break;
+      case Kernel::kCCollMultiThread:
+      case Kernel::kCCollSingleThread:
+        r.cpr_seconds += cost.seconds_fz_compress(total_bytes, mode);
+        r.mpi_seconds += transfer_at(
+            net, static_cast<double>(total_bytes) / profile.ratio_at_depth(depth), flows);
+        r.dpr_seconds += cost.seconds_fz_decompress(total_bytes, mode);
+        r.cpt_seconds += cost.seconds_raw_sum(total_bytes, mode);
+        break;
+      case Kernel::kHzcclMultiThread:
+      case Kernel::kHzcclSingleThread:
+        r.mpi_seconds += transfer_at(
+            net, static_cast<double>(total_bytes) / profile.ratio_at_depth(depth), flows);
+        r.hpr_seconds += cost.seconds_hz_add(
+            profile.stats_at_depth(std::min(2 * depth, nranks), total_elems),
+            profile.block_len, mode);
+        break;
+    }
+  };
+
+  const bool hz = kernel == Kernel::kHzcclMultiThread || kernel == Kernel::kHzcclSingleThread;
+  if (hz) r.cpr_seconds += cost.seconds_fz_compress(total_bytes, mode);
+  if (fold) exchange(1);
+  for (int mask = 1, depth = fold ? 2 : 1; mask < p2; mask <<= 1, depth *= 2) exchange(depth);
+  if (fold) r.mpi_seconds += transfer_at(net, static_cast<double>(total_bytes), flows);
+  if (hz) r.dpr_seconds += cost.seconds_fz_decompress(total_bytes, mode);
+
+  r.seconds = r.mpi_seconds + r.cpr_seconds + r.dpr_seconds + r.cpt_seconds + r.hpr_seconds;
+  return r;
+}
+
+/// Rabenseifner: recursive-halving reduce-scatter (step s moves total/2^s+1
+/// bytes) followed by a recursive-doubling allgather.  Power-of-two rank
+/// counts only; the functional path falls back to the ring otherwise, and so
+/// does the model.
+ModelResult model_rabenseifner(Kernel kernel, int nranks, int flows, size_t total_bytes,
+                               const CompressionProfile& profile, const NetModel& net,
+                               const CostModel& cost) {
+  const Mode mode = kernel_mode(kernel);
+  const bool hz = kernel == Kernel::kHzcclMultiThread || kernel == Kernel::kHzcclSingleThread;
+  ModelResult r;
+  if (hz) r.cpr_seconds += cost.seconds_fz_compress(total_bytes, mode);
+
+  // Halving reduce-scatter.
+  double seg_bytes = static_cast<double>(total_bytes);
+  int depth = 1;
+  for (int mask = nranks / 2; mask >= 1; mask >>= 1) {
+    seg_bytes /= 2.0;
+    const size_t seg = static_cast<size_t>(seg_bytes);
+    switch (kernel) {
+      case Kernel::kMpi:
+        r.mpi_seconds += transfer_at(net, seg_bytes, flows);
+        r.cpt_seconds += cost.seconds_raw_sum(seg, Mode::kSingleThread);
+        break;
+      case Kernel::kCCollMultiThread:
+      case Kernel::kCCollSingleThread:
+        r.cpr_seconds += cost.seconds_fz_compress(seg, mode);
+        r.mpi_seconds += transfer_at(net, seg_bytes / profile.ratio_at_depth(depth), flows);
+        r.dpr_seconds += cost.seconds_fz_decompress(seg, mode);
+        r.cpt_seconds += cost.seconds_raw_sum(seg, mode);
+        break;
+      case Kernel::kHzcclMultiThread:
+      case Kernel::kHzcclSingleThread:
+        r.mpi_seconds += transfer_at(net, seg_bytes / profile.ratio_at_depth(depth), flows);
+        r.hpr_seconds += cost.seconds_hz_add(
+            profile.stats_at_depth(std::min(2 * depth, nranks), seg / sizeof(float)),
+            profile.block_len, mode);
+        break;
+    }
+    depth = std::min(2 * depth, nranks);
+  }
+
+  // Doubling allgather: segments are fully reduced (depth = nranks).
+  const double full_ratio = profile.ratio_at_depth(nranks);
+  for (int mask = 1; mask < nranks; mask <<= 1) {
+    const size_t seg = static_cast<size_t>(seg_bytes);
+    switch (kernel) {
+      case Kernel::kMpi:
+        r.mpi_seconds += transfer_at(net, seg_bytes, flows);
+        break;
+      case Kernel::kCCollMultiThread:
+      case Kernel::kCCollSingleThread:
+        r.cpr_seconds += cost.seconds_fz_compress(seg, mode);
+        r.mpi_seconds += transfer_at(net, seg_bytes / full_ratio, flows);
+        r.dpr_seconds += cost.seconds_fz_decompress(seg, mode);
+        break;
+      case Kernel::kHzcclMultiThread:
+      case Kernel::kHzcclSingleThread:
+        r.mpi_seconds += transfer_at(net, seg_bytes / full_ratio, flows);
+        break;
+    }
+    seg_bytes *= 2.0;
+  }
+  if (hz) r.dpr_seconds += cost.seconds_fz_decompress(total_bytes, mode);
+
+  r.seconds = r.mpi_seconds + r.cpr_seconds + r.dpr_seconds + r.cpt_seconds + r.hpr_seconds;
+  return r;
+}
+
+ModelResult model_ring_allreduce(Kernel kernel, int nranks, int flows, size_t total_bytes,
+                                 const CompressionProfile& profile, const NetModel& net,
+                                 const CostModel& cost) {
+  const bool hz = kernel == Kernel::kHzcclMultiThread || kernel == Kernel::kHzcclSingleThread;
+  const ModelResult rs = model_reduce_scatter_flows(kernel, nranks, flows, total_bytes, profile,
+                                                    net, cost, /*fused_tail=*/hz);
+  const ModelResult ag =
+      model_allgather_flows(kernel, nranks, flows, total_bytes, profile, net, cost);
+  return combine(rs, ag);
+}
+
 }  // namespace
 
 ModelResult model_collective(Kernel kernel, Op op, int nranks, size_t total_bytes,
                              const CompressionProfile& profile, const NetModel& net,
                              const CostModel& cost) {
   if (nranks < 2) throw Error("model_collective: need at least 2 ranks");
+  const int flows = net.congestion_flows(nranks);
   if (op == Op::kReduceScatter) {
-    return model_reduce_scatter(kernel, nranks, total_bytes, profile, net, cost,
-                                /*fused_tail=*/false);
+    return model_reduce_scatter_flows(kernel, nranks, flows, total_bytes, profile, net, cost,
+                                      /*fused_tail=*/false);
   }
-  const bool hz = kernel == Kernel::kHzcclMultiThread || kernel == Kernel::kHzcclSingleThread;
-  const ModelResult rs = model_reduce_scatter(kernel, nranks, total_bytes, profile, net, cost,
-                                              /*fused_tail=*/hz);
-  const ModelResult ag = model_allgather(kernel, nranks, total_bytes, profile, net, cost);
-  return combine(rs, ag);
+  return model_ring_allreduce(kernel, nranks, flows, total_bytes, profile, net, cost);
+}
+
+ModelResult model_allreduce_algo(Kernel kernel, coll::AllreduceAlgo algo, int nranks,
+                                 size_t total_bytes, const CompressionProfile& profile,
+                                 const NetModel& net, const CostModel& cost) {
+  if (nranks < 2) throw Error("model_allreduce_algo: need at least 2 ranks");
+  const int flows = net.congestion_flows(nranks);
+  switch (algo) {
+    case coll::AllreduceAlgo::kAuto:
+      throw Error("model_allreduce_algo: kAuto must be resolved by the caller");
+    case coll::AllreduceAlgo::kRing:
+      return model_ring_allreduce(kernel, nranks, flows, total_bytes, profile, net, cost);
+    case coll::AllreduceAlgo::kRecursiveDoubling:
+      return model_recursive_doubling(kernel, nranks, flows, total_bytes, profile, net, cost);
+    case coll::AllreduceAlgo::kRabenseifner:
+      if ((nranks & (nranks - 1)) != 0) {
+        // Functional fallback: non-power-of-two runs the ring.
+        return model_ring_allreduce(kernel, nranks, flows, total_bytes, profile, net, cost);
+      }
+      return model_rabenseifner(kernel, nranks, flows, total_bytes, profile, net, cost);
+    case coll::AllreduceAlgo::kTwoLevel: {
+      const int nnodes = net.topo.num_nodes(nranks);
+      if (nnodes >= nranks) {
+        // Flat topology: every rank is its own leader — exactly the ring.
+        return model_ring_allreduce(kernel, nranks, flows, total_bytes, profile, net, cost);
+      }
+      // Intra-node phase: the leader drains ranks_per_node - 1 member
+      // vectors serially over the fast channel and reduces each, then (after
+      // the leader ring) re-broadcasts the finished vector.
+      const int rpn = (nranks + nnodes - 1) / nnodes;
+      const Mode mode = kernel_mode(kernel);
+      ModelResult intra;
+      for (int m = 1; m < rpn; ++m) {
+        intra.mpi_seconds += intra_transfer(net, static_cast<double>(total_bytes));
+        intra.cpt_seconds += cost.seconds_raw_sum(
+            total_bytes, kernel == Kernel::kMpi ? Mode::kSingleThread : mode);
+      }
+      intra.mpi_seconds += (rpn - 1) * net.intra_latency_s +
+                           intra_transfer(net, static_cast<double>(total_bytes));
+      intra.seconds = intra.mpi_seconds + intra.cpt_seconds;
+      if (nnodes < 2) return intra;
+      // One leader per node: the inter-node ring sees nnodes flows.
+      const ModelResult ring =
+          model_ring_allreduce(kernel, nnodes, nnodes, total_bytes, profile, net, cost);
+      return combine(intra, ring);
+    }
+  }
+  throw Error("model_allreduce_algo: unknown algorithm");
 }
 
 }  // namespace hzccl::cluster

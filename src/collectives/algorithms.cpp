@@ -149,4 +149,77 @@ void raw_allreduce_rabenseifner(Comm& comm, std::span<const float> input,
   out_full = std::move(acc);
 }
 
+void raw_allreduce_two_level(Comm& comm, std::span<const float> input,
+                             std::vector<float>& out_full, const CollectiveConfig& config) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const simmpi::Topology& topo = comm.net().topo;
+  const std::vector<int>& group = comm.group();
+
+  // Node membership by physical rank (the group is sorted by physical rank,
+  // so co-located survivors are contiguous); lowest virtual rank leads.
+  std::vector<int> leaders;
+  std::vector<int> node_members;
+  const int my_node = topo.node_of(group[static_cast<size_t>(rank)]);
+  int my_leader_idx = -1;
+  int prev_node = -1;
+  for (int v = 0; v < size; ++v) {
+    const int node = topo.node_of(group[static_cast<size_t>(v)]);
+    if (node != prev_node) {
+      if (node == my_node) my_leader_idx = static_cast<int>(leaders.size());
+      leaders.push_back(v);
+      prev_node = node;
+    }
+    if (node == my_node) node_members.push_back(v);
+  }
+  const int leader = node_members.front();
+
+  if (rank != leader) {
+    comm.send_floats(leader, kTagIntraReduce + rank, input);
+    out_full.resize(input.size());
+    comm.recv_floats_into(leader, kTagIntraBcast + rank, out_full);
+    return;
+  }
+
+  std::vector<float> acc(input.begin(), input.end());
+  comm.charge(CostBucket::kOther, config.cost.seconds_memcpy(input.size_bytes()),
+              trace::EventKind::kPack, input.size_bytes());
+  std::vector<float> incoming;
+  for (size_t m = 1; m < node_members.size(); ++m) {
+    const int member = node_members[m];
+    incoming.resize(input.size());
+    comm.recv_floats_into(member, kTagIntraReduce + member, incoming);
+    reduce_into(acc, incoming, 0, comm, config);
+  }
+
+  // Float ring allreduce among the leaders (reduce-scatter + allgather over
+  // the leader subset, same schedule as the flat raw ring).
+  const int nleaders = static_cast<int>(leaders.size());
+  if (nleaders > 1) {
+    const int idx = my_leader_idx;
+    for (int step = 0; step < nleaders - 1; ++step) {
+      const Range send_r = ring_block_range(acc.size(), nleaders, rs_send_block(idx, step, nleaders));
+      comm.send_floats(leaders[ring_next(idx, nleaders)], kTagReduceScatter + step,
+                       std::span<const float>(acc.data() + send_r.begin, send_r.size()));
+      const Range recv_r = ring_block_range(acc.size(), nleaders, rs_recv_block(idx, step, nleaders));
+      incoming.resize(recv_r.size());
+      comm.recv_floats_into(leaders[ring_prev(idx, nleaders)], kTagReduceScatter + step, incoming);
+      reduce_into(acc, incoming, recv_r.begin, comm, config);
+    }
+    for (int step = 0; step < nleaders - 1; ++step) {
+      const Range send_r = ring_block_range(acc.size(), nleaders, ag_send_block(idx, step, nleaders));
+      comm.send_floats(leaders[ring_next(idx, nleaders)], kTagAllgather + step,
+                       std::span<const float>(acc.data() + send_r.begin, send_r.size()));
+      const Range recv_r = ring_block_range(acc.size(), nleaders, ag_recv_block(idx, step, nleaders));
+      comm.recv_floats_into(leaders[ring_prev(idx, nleaders)], kTagAllgather + step,
+                            std::span<float>(acc.data() + recv_r.begin, recv_r.size()));
+    }
+  }
+  out_full = std::move(acc);
+
+  for (size_t m = 1; m < node_members.size(); ++m) {
+    comm.send_floats(node_members[m], kTagIntraBcast + node_members[m], out_full);
+  }
+}
+
 }  // namespace hzccl::coll

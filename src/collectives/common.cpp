@@ -5,6 +5,31 @@ namespace hzccl::coll {
 using simmpi::Comm;
 using simmpi::CostBucket;
 
+const char* allreduce_algo_name(AllreduceAlgo algo) {
+  switch (algo) {
+    case AllreduceAlgo::kAuto: return "auto";
+    case AllreduceAlgo::kRing: return "ring";
+    case AllreduceAlgo::kRecursiveDoubling: return "rd";
+    case AllreduceAlgo::kRabenseifner: return "rab";
+    case AllreduceAlgo::kTwoLevel: return "2level";
+  }
+  return "?";
+}
+
+AllreduceAlgo parse_allreduce_algo(const std::string& text) {
+  if (text == "auto") return AllreduceAlgo::kAuto;
+  if (text == "ring") return AllreduceAlgo::kRing;
+  if (text == "rd" || text == "recursive-doubling" || text == "recursive_doubling") {
+    return AllreduceAlgo::kRecursiveDoubling;
+  }
+  if (text == "rab" || text == "rabenseifner") return AllreduceAlgo::kRabenseifner;
+  if (text == "2level" || text == "two-level" || text == "two_level" || text == "hier") {
+    return AllreduceAlgo::kTwoLevel;
+  }
+  throw Error("unknown allreduce algorithm '" + text +
+              "' (expected auto|ring|rd|rab|2level)");
+}
+
 bool fz_stream_decodes(std::span<const uint8_t> bytes, size_t expect_elements) {
   try {
     const FzView view = parse_fz(bytes);

@@ -1,6 +1,8 @@
 #include "hzccl/collectives/hzccl_coll.hpp"
 
 #include <cstring>
+#include <numeric>
+#include <utility>
 
 namespace hzccl::coll {
 
@@ -9,15 +11,16 @@ using simmpi::CostBucket;
 
 namespace {
 
-/// Round 1 of the paper's Fig 5: compress all N blocks of this rank's input
-/// in one pass; total CPR charge is proportional to the full input.
+/// Round 1 of the paper's Fig 5: compress all `nblocks` chunks of this
+/// rank's input in one pass; total CPR charge is proportional to the full
+/// input.  `nblocks` is the ring size — the whole communicator for the flat
+/// ring, the leader count for the two-level inter-node ring.
 std::vector<CompressedBuffer> compress_all_blocks(Comm& comm, std::span<const float> input,
-                                                  const CollectiveConfig& config,
+                                                  int nblocks, const CollectiveConfig& config,
                                                   BufferPool& pool) {
-  const int size = comm.size();
-  std::vector<CompressedBuffer> blocks(static_cast<size_t>(size));
-  for (int b = 0; b < size; ++b) {
-    const Range r = ring_block_range(input.size(), size, b);
+  std::vector<CompressedBuffer> blocks(static_cast<size_t>(nblocks));
+  for (int b = 0; b < nblocks; ++b) {
+    const Range r = ring_block_range(input.size(), nblocks, b);
     const FzParams params = config.fz_params(r.size());
     blocks[b] =
         fz_compress(std::span<const float>(input.data() + r.begin, r.size()), params, &pool);
@@ -29,95 +32,185 @@ std::vector<CompressedBuffer> compress_all_blocks(Comm& comm, std::span<const fl
   return blocks;
 }
 
-}  // namespace
-
-CompressedBuffer hzccl_reduce_scatter_compressed(Comm& comm, std::span<const float> input,
-                                                 const CollectiveConfig& config,
-                                                 HzPipelineStats* pipeline_stats) {
-  if (config.reduce_op != ReduceOp::kSum) {
-    throw Error(
-        "hZCCL collectives reduce homomorphically and support kSum only; "
-        "use the C-Coll (DOC) stack for min/max");
+/// Reduce `received` into `acc` (both streams carry `elements` floats).
+/// The clean round is the co-designed one — hz_add reduces the two
+/// compressed operands directly (HPR).  A degraded operand (raw-fallback
+/// floats), or a stream that parsed but would not reduce homomorphically,
+/// demotes just this round to the classic DOC path: decompress our partial,
+/// add floats, re-encode — and the accumulator rejoins the homomorphic
+/// pipeline on the next round.  Shared by the ring, recursive-doubling and
+/// Rabenseifner schedules so every algorithm heals identically.
+void combine_checked_block(Comm& comm, CompressedBuffer& acc, CheckedBlock received,
+                           size_t elements, int src, int tag, const CollectiveConfig& config,
+                           HzPipelineStats* pipeline_stats, BufferPool& pool,
+                           std::vector<float>& scratch) {
+  if (!received.degraded) {
+    try {
+      HzPipelineStats stats;
+      CompressedBuffer summed =
+          hz_add(acc, received.compressed, &stats, config.host_threads, &pool);
+      comm.charge(CostBucket::kHpr,
+                  config.cost.seconds_hz_add(stats, config.block_len, config.mode),
+                  trace::EventKind::kHomReduce, elements * sizeof(float), summed.bytes.size());
+      if (pipeline_stats) *pipeline_stats += stats;
+      pool.release(std::move(received.compressed.bytes));
+      pool.release(std::move(acc.bytes));
+      acc = std::move(summed);
+      return;
+    } catch (const Error&) {
+      // The stream parsed but could not be reduced homomorphically (deeper
+      // corruption, layout drift, residual overflow).  Fetch the raw block
+      // and degrade just this round instead of aborting.
+      if (!comm.faults().enabled()) throw;
+      const size_t raw_bytes = elements * sizeof(float);
+      CompressedBuffer pristine;
+      pristine.bytes = comm.refetch(src, tag, Comm::Refetch::kRawFallback, raw_bytes);
+      received.raw.resize(elements);
+      fz_decompress(pristine, received.raw, config.host_threads);
+      comm.charge(CostBucket::kDpr, config.cost.seconds_fz_decompress(raw_bytes, config.mode),
+                  trace::EventKind::kDecompress, raw_bytes, pristine.bytes.size());
+      received.degraded = true;
+    }
   }
-  const int size = comm.size();
-  const int rank = comm.rank();
 
+  // Degraded DOC round: the incoming operand is raw floats, so reduce the
+  // classic way — decompress our partial, add, re-encode.
+  scratch.resize(elements);
+  fz_decompress(acc, scratch, config.host_threads);
+  comm.charge(CostBucket::kDpr,
+              config.cost.seconds_fz_decompress(elements * sizeof(float), config.mode),
+              trace::EventKind::kDecompress, elements * sizeof(float), acc.bytes.size());
+  for (size_t i = 0; i < scratch.size(); ++i) scratch[i] += received.raw[i];
+  comm.charge(CostBucket::kCpt,
+              config.cost.seconds_raw_sum(elements * sizeof(float), config.mode),
+              trace::EventKind::kReduce, elements * sizeof(float));
+  pool.release(std::move(acc.bytes));
+  acc = fz_compress(scratch, config.fz_params(scratch.size()), &pool);
+  comm.charge(CostBucket::kCpr,
+              config.cost.seconds_fz_compress(elements * sizeof(float), config.mode),
+              trace::EventKind::kCompress, elements * sizeof(float), acc.bytes.size());
+}
+
+/// Homomorphic ring reduce-scatter generalized over an explicit member list
+/// (virtual ranks, `members[idx] == comm.rank()`).  The flat collective
+/// passes the identity list; the two-level allreduce passes the node
+/// leaders, so the inter-node ring runs unchanged over a subset.
+CompressedBuffer reduce_scatter_compressed_members(Comm& comm, std::span<const float> input,
+                                                   const std::vector<int>& members, int idx,
+                                                   const CollectiveConfig& config,
+                                                   HzPipelineStats* pipeline_stats) {
+  const int nmembers = static_cast<int>(members.size());
   // Per-rank recycling pool: simmpi runs one thread per rank, so the
   // thread-local pool is effectively a per-Comm pool.  Every per-round
   // buffer — compressed partials, hz_add outputs, degraded re-encodes —
   // cycles through it, so warm rounds perform no heap allocation.
   BufferPool& pool = BufferPool::local();
-  std::vector<CompressedBuffer> blocks = compress_all_blocks(comm, input, config, pool);
-  std::vector<float> own;  // degraded-round scratch, reused across rounds
+  std::vector<CompressedBuffer> blocks = compress_all_blocks(comm, input, nmembers, config, pool);
+  std::vector<float> scratch;  // degraded-round scratch, reused across rounds
 
-  for (int step = 0; step < size - 1; ++step) {
-    const int send_idx = rs_send_block(rank, step, size);
-    const int recv_idx = rs_recv_block(rank, step, size);
+  for (int step = 0; step < nmembers - 1; ++step) {
+    const int send_idx = rs_send_block(idx, step, nmembers);
+    const int recv_idx = rs_recv_block(idx, step, nmembers);
 
-    comm.send(ring_next(rank, size), kTagReduceScatter + step, blocks[send_idx].span());
+    comm.send(members[ring_next(idx, nmembers)], kTagReduceScatter + step,
+              blocks[send_idx].span());
     // The ring schedule never touches the sent block again on this rank,
     // and send() copies the payload synchronously, so its storage can be
     // recycled immediately.
     pool.release(std::move(blocks[send_idx].bytes));
 
-    const Range recv_r = ring_block_range(input.size(), size, recv_idx);
-    CheckedBlock received = recv_checked_block(comm, ring_prev(rank, size),
-                                               kTagReduceScatter + step, recv_r.size(), config);
-
-    if (!received.degraded) {
-      try {
-        // The co-designed round: reduce two compressed blocks directly.
-        HzPipelineStats stats;
-        CompressedBuffer summed =
-            hz_add(blocks[recv_idx], received.compressed, &stats, config.host_threads, &pool);
-        comm.charge(CostBucket::kHpr,
-                    config.cost.seconds_hz_add(stats, config.block_len, config.mode),
-                    trace::EventKind::kHomReduce, recv_r.size() * sizeof(float),
-                    summed.bytes.size());
-        if (pipeline_stats) *pipeline_stats += stats;
-        pool.release(std::move(received.compressed.bytes));
-        pool.release(std::move(blocks[recv_idx].bytes));
-        blocks[recv_idx] = std::move(summed);
-        continue;
-      } catch (const Error&) {
-        // The stream parsed but could not be reduced homomorphically
-        // (deeper corruption, layout drift, residual overflow).  Fetch the
-        // raw block and degrade just this round instead of aborting.
-        if (!comm.faults().enabled()) throw;
-        const size_t raw_bytes = recv_r.size() * sizeof(float);
-        CompressedBuffer pristine;
-        pristine.bytes = comm.refetch(ring_prev(rank, size), kTagReduceScatter + step,
-                                      Comm::Refetch::kRawFallback, raw_bytes);
-        received.raw.resize(recv_r.size());
-        fz_decompress(pristine, received.raw, config.host_threads);
-        comm.charge(CostBucket::kDpr, config.cost.seconds_fz_decompress(raw_bytes, config.mode),
-                    trace::EventKind::kDecompress, raw_bytes, pristine.bytes.size());
-        received.degraded = true;
-      }
-    }
-
-    // Degraded DOC round: the incoming operand is raw floats, so reduce the
-    // classic way — decompress our partial, add, re-encode — and rejoin the
-    // homomorphic pipeline at the next step.
-    own.resize(recv_r.size());
-    fz_decompress(blocks[recv_idx], own, config.host_threads);
-    comm.charge(CostBucket::kDpr,
-                config.cost.seconds_fz_decompress(recv_r.size() * sizeof(float), config.mode),
-                trace::EventKind::kDecompress, recv_r.size() * sizeof(float),
-                blocks[recv_idx].bytes.size());
-    for (size_t i = 0; i < own.size(); ++i) own[i] += received.raw[i];
-    comm.charge(CostBucket::kCpt,
-                config.cost.seconds_raw_sum(recv_r.size() * sizeof(float), config.mode),
-                trace::EventKind::kReduce, recv_r.size() * sizeof(float));
-    pool.release(std::move(blocks[recv_idx].bytes));
-    blocks[recv_idx] = fz_compress(own, config.fz_params(own.size()), &pool);
-    comm.charge(CostBucket::kCpr,
-                config.cost.seconds_fz_compress(recv_r.size() * sizeof(float), config.mode),
-                trace::EventKind::kCompress, recv_r.size() * sizeof(float),
-                blocks[recv_idx].bytes.size());
+    const Range recv_r = ring_block_range(input.size(), nmembers, recv_idx);
+    const int src = members[ring_prev(idx, nmembers)];
+    CheckedBlock received =
+        recv_checked_block(comm, src, kTagReduceScatter + step, recv_r.size(), config);
+    combine_checked_block(comm, blocks[recv_idx], std::move(received), recv_r.size(), src,
+                          kTagReduceScatter + step, config, pipeline_stats, pool, scratch);
   }
 
-  return std::move(blocks[rs_owned_block(rank, size)]);
+  return std::move(blocks[rs_owned_block(idx, nmembers)]);
+}
+
+/// Ring allgather over already-compressed chunks, generalized like the
+/// reduce-scatter above.
+void allgather_compressed_members(Comm& comm, const CompressedBuffer& my_block,
+                                  size_t total_elements, std::vector<float>& out_full,
+                                  const std::vector<int>& members, int idx,
+                                  const CollectiveConfig& config) {
+  const int nmembers = static_cast<int>(members.size());
+
+  // No compression here: the input is already compressed (the co-design's
+  // second saving).  Chunk sizes ride along with the self-sizing messages,
+  // standing in for C-Coll's explicit size synchronization.  The own block
+  // is copied into pooled storage so every entry of `blocks` is owned
+  // uniformly and can be recycled once the gather completes.
+  BufferPool& pool = BufferPool::local();
+  std::vector<CompressedBuffer> blocks(static_cast<size_t>(nmembers));
+  CompressedBuffer& own = blocks[rs_owned_block(idx, nmembers)];
+  own.bytes = pool.acquire(my_block.bytes.size());
+  own.bytes.assign(my_block.bytes.begin(), my_block.bytes.end());
+
+  for (int step = 0; step < nmembers - 1; ++step) {
+    const int send_idx = ag_send_block(idx, step, nmembers);
+    const int recv_idx = ag_recv_block(idx, step, nmembers);
+    comm.send(members[ring_next(idx, nmembers)], kTagAllgather + step, blocks[send_idx].span());
+    const Range recv_r = ring_block_range(total_elements, nmembers, recv_idx);
+    CheckedBlock received = recv_checked_block(comm, members[ring_prev(idx, nmembers)],
+                                               kTagAllgather + step, recv_r.size(), config);
+    if (received.degraded) {
+      // A raw-fallback block must be re-encoded before the next hop so
+      // downstream ranks keep receiving compressed traffic.
+      blocks[recv_idx] = fz_compress(received.raw, config.fz_params(recv_r.size()), &pool);
+      comm.charge(CostBucket::kCpr,
+                  config.cost.seconds_fz_compress(recv_r.size() * sizeof(float), config.mode),
+                  trace::EventKind::kCompress, recv_r.size() * sizeof(float),
+                  blocks[recv_idx].bytes.size());
+    } else {
+      blocks[recv_idx] = std::move(received.compressed);
+    }
+  }
+
+  out_full.assign(total_elements, 0.0f);
+  uint64_t compressed_bytes = 0;
+  for (int b = 0; b < nmembers; ++b) {
+    const Range r = ring_block_range(total_elements, nmembers, b);
+    fz_decompress(blocks[b], std::span<float>(out_full.data() + r.begin, r.size()),
+                  config.host_threads);
+    compressed_bytes += blocks[b].bytes.size();
+    pool.release(std::move(blocks[b].bytes));
+  }
+  comm.charge(CostBucket::kDpr,
+              config.cost.seconds_fz_decompress(total_elements * sizeof(float), config.mode),
+              trace::EventKind::kDecompress, total_elements * sizeof(float), compressed_bytes);
+}
+
+std::vector<int> identity_members(int size) {
+  std::vector<int> members(static_cast<size_t>(size));
+  std::iota(members.begin(), members.end(), 0);
+  return members;
+}
+
+void require_sum(const CollectiveConfig& config) {
+  if (config.reduce_op != ReduceOp::kSum) {
+    throw Error(
+        "hZCCL collectives reduce homomorphically and support kSum only; "
+        "use the C-Coll (DOC) stack for min/max");
+  }
+}
+
+int largest_power_of_two_below(int n) {
+  int p2 = 1;
+  while (p2 * 2 <= n) p2 *= 2;
+  return p2;
+}
+
+}  // namespace
+
+CompressedBuffer hzccl_reduce_scatter_compressed(Comm& comm, std::span<const float> input,
+                                                 const CollectiveConfig& config,
+                                                 HzPipelineStats* pipeline_stats) {
+  require_sum(config);
+  return reduce_scatter_compressed_members(comm, input, identity_members(comm.size()),
+                                           comm.rank(), config, pipeline_stats);
 }
 
 void hzccl_reduce_scatter(Comm& comm, std::span<const float> input,
@@ -138,52 +231,8 @@ void hzccl_reduce_scatter(Comm& comm, std::span<const float> input,
 void hzccl_allgather_compressed(Comm& comm, const CompressedBuffer& my_block,
                                 size_t total_elements, std::vector<float>& out_full,
                                 const CollectiveConfig& config) {
-  const int size = comm.size();
-  const int rank = comm.rank();
-
-  // No compression here: the input is already compressed (the co-design's
-  // second saving).  Chunk sizes ride along with the self-sizing messages,
-  // standing in for C-Coll's explicit size synchronization.  The own block
-  // is copied into pooled storage so every entry of `blocks` is owned
-  // uniformly and can be recycled once the gather completes.
-  BufferPool& pool = BufferPool::local();
-  std::vector<CompressedBuffer> blocks(static_cast<size_t>(size));
-  CompressedBuffer& own = blocks[rs_owned_block(rank, size)];
-  own.bytes = pool.acquire(my_block.bytes.size());
-  own.bytes.assign(my_block.bytes.begin(), my_block.bytes.end());
-
-  for (int step = 0; step < size - 1; ++step) {
-    const int send_idx = ag_send_block(rank, step, size);
-    const int recv_idx = ag_recv_block(rank, step, size);
-    comm.send(ring_next(rank, size), kTagAllgather + step, blocks[send_idx].span());
-    const Range recv_r = ring_block_range(total_elements, size, recv_idx);
-    CheckedBlock received = recv_checked_block(comm, ring_prev(rank, size),
-                                               kTagAllgather + step, recv_r.size(), config);
-    if (received.degraded) {
-      // A raw-fallback block must be re-encoded before the next hop so
-      // downstream ranks keep receiving compressed traffic.
-      blocks[recv_idx] = fz_compress(received.raw, config.fz_params(recv_r.size()), &pool);
-      comm.charge(CostBucket::kCpr,
-                  config.cost.seconds_fz_compress(recv_r.size() * sizeof(float), config.mode),
-                  trace::EventKind::kCompress, recv_r.size() * sizeof(float),
-                  blocks[recv_idx].bytes.size());
-    } else {
-      blocks[recv_idx] = std::move(received.compressed);
-    }
-  }
-
-  out_full.assign(total_elements, 0.0f);
-  uint64_t compressed_bytes = 0;
-  for (int b = 0; b < size; ++b) {
-    const Range r = ring_block_range(total_elements, size, b);
-    fz_decompress(blocks[b], std::span<float>(out_full.data() + r.begin, r.size()),
-                  config.host_threads);
-    compressed_bytes += blocks[b].bytes.size();
-    pool.release(std::move(blocks[b].bytes));
-  }
-  comm.charge(CostBucket::kDpr,
-              config.cost.seconds_fz_decompress(total_elements * sizeof(float), config.mode),
-              trace::EventKind::kDecompress, total_elements * sizeof(float), compressed_bytes);
+  allgather_compressed_members(comm, my_block, total_elements, out_full,
+                               identity_members(comm.size()), comm.rank(), config);
 }
 
 void hzccl_allreduce(Comm& comm, std::span<const float> input, std::vector<float>& out_full,
@@ -191,6 +240,250 @@ void hzccl_allreduce(Comm& comm, std::span<const float> input, std::vector<float
   CompressedBuffer owned = hzccl_reduce_scatter_compressed(comm, input, config, pipeline_stats);
   hzccl_allgather_compressed(comm, owned, input.size(), out_full, config);
   BufferPool::local().release(std::move(owned.bytes));
+}
+
+void hzccl_allreduce_recursive_doubling(Comm& comm, std::span<const float> input,
+                                        std::vector<float>& out_full,
+                                        const CollectiveConfig& config,
+                                        HzPipelineStats* pipeline_stats) {
+  require_sum(config);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  BufferPool& pool = BufferPool::local();
+  std::vector<float> scratch;
+
+  // One whole-vector stream per rank.  fZ-light quantizes each element
+  // independently of its neighbours and hz_add sums the quantized integers
+  // exactly, so exchanging whole-vector streams instead of ring chunks
+  // reaches a bit-identical result — only the schedule changes.
+  CompressedBuffer acc = fz_compress(input, config.fz_params(input.size()), &pool);
+  comm.charge(CostBucket::kCpr, config.cost.seconds_fz_compress(input.size_bytes(), config.mode),
+              trace::EventKind::kCompress, input.size_bytes(), acc.bytes.size());
+
+  const int p2 = largest_power_of_two_below(size);
+  const int rem = size - p2;
+  const int fold_tag = kTagDoubling;
+  const int unfold_tag = kTagDoubling + 4096;
+
+  const auto combine_from = [&](int src, int tag) {
+    CheckedBlock received = recv_checked_block(comm, src, tag, input.size(), config);
+    combine_checked_block(comm, acc, std::move(received), input.size(), src, tag, config,
+                          pipeline_stats, pool, scratch);
+  };
+
+  // Fold phase (MPICH): the first 2*rem ranks pair up so that p2 ranks
+  // remain active; even ranks of each pair hand their stream to the odd one.
+  int active = -1;
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      comm.send(rank + 1, fold_tag, acc.span());
+    } else {
+      combine_from(rank - 1, fold_tag);
+      active = rank / 2;
+    }
+  } else {
+    active = rank - rem;
+  }
+
+  const auto real_rank_of = [&](int active_rank) {
+    return active_rank < rem ? 2 * active_rank + 1 : active_rank + rem;
+  };
+
+  if (active >= 0) {
+    int step = 0;
+    for (int mask = 1; mask < p2; mask <<= 1, ++step) {
+      const int partner = real_rank_of(active ^ mask);
+      comm.send(partner, kTagDoubling + 1 + step, acc.span());
+      combine_from(partner, kTagDoubling + 1 + step);
+    }
+  }
+
+  // Unfold phase: the folded even ranks receive the finished stream.
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      CheckedBlock received =
+          recv_checked_block(comm, rank + 1, unfold_tag, input.size(), config);
+      pool.release(std::move(acc.bytes));
+      if (received.degraded) {
+        out_full = std::move(received.raw);
+        return;
+      }
+      acc = std::move(received.compressed);
+    } else {
+      comm.send(rank - 1, unfold_tag, acc.span());
+    }
+  }
+
+  out_full.resize(input.size());
+  fz_decompress(acc, out_full, config.host_threads);
+  comm.charge(CostBucket::kDpr,
+              config.cost.seconds_fz_decompress(input.size_bytes(), config.mode),
+              trace::EventKind::kDecompress, input.size_bytes(), acc.bytes.size());
+  pool.release(std::move(acc.bytes));
+}
+
+void hzccl_allreduce_rabenseifner(Comm& comm, std::span<const float> input,
+                                  std::vector<float>& out_full, const CollectiveConfig& config,
+                                  HzPipelineStats* pipeline_stats) {
+  require_sum(config);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  if (size == 1 || (size & (size - 1)) != 0) {
+    // Non-power-of-two: MPICH falls back; so do we, to the ring.
+    hzccl_allreduce(comm, input, out_full, config, pipeline_stats);
+    return;
+  }
+
+  // Recursive halving over *ring-block indices*: the input is chunked
+  // exactly as the flat ring chunks it (one stream per block), so every
+  // exchanged stream — and therefore the decompressed result — matches the
+  // ring bit for bit; only the schedule differs (log2 P halving exchanges
+  // instead of P-1 ring steps).
+  BufferPool& pool = BufferPool::local();
+  std::vector<CompressedBuffer> blocks = compress_all_blocks(comm, input, size, config, pool);
+  std::vector<float> scratch;
+
+  const auto tag_of = [&](int step, int block) { return kTagHalving + step * size + block; };
+
+  int blo = 0;
+  int bhi = size;
+  std::vector<std::pair<int, int>> splits;  // block range before each split
+  int step = 0;
+  for (int mask = size / 2; mask >= 1; mask >>= 1, ++step) {
+    const int partner = rank ^ mask;
+    const int mid = blo + (bhi - blo) / 2;
+    splits.emplace_back(blo, bhi);
+    const bool keep_low = rank < partner;
+    const int send_lo = keep_low ? mid : blo;
+    const int send_hi = keep_low ? bhi : mid;
+    for (int b = send_lo; b < send_hi; ++b) {
+      comm.send(partner, tag_of(step, b), blocks[b].span());
+      pool.release(std::move(blocks[b].bytes));
+    }
+    const int keep_lo = keep_low ? blo : mid;
+    const int keep_hi = keep_low ? mid : bhi;
+    for (int b = keep_lo; b < keep_hi; ++b) {
+      const Range r = ring_block_range(input.size(), size, b);
+      CheckedBlock received = recv_checked_block(comm, partner, tag_of(step, b), r.size(), config);
+      combine_checked_block(comm, blocks[b], std::move(received), r.size(), partner,
+                            tag_of(step, b), config, pipeline_stats, pool, scratch);
+    }
+    blo = keep_lo;
+    bhi = keep_hi;
+  }
+
+  // Recursive-doubling allgather: walk the splits back, each exchange
+  // restoring the sibling block range of the enclosing segment.
+  for (int mask = 1; mask < size; mask <<= 1, ++step) {
+    const int partner = rank ^ mask;
+    const auto [parent_lo, parent_hi] = splits.back();
+    splits.pop_back();
+    for (int b = blo; b < bhi; ++b) comm.send(partner, tag_of(step, b), blocks[b].span());
+    const int recv_lo = blo == parent_lo ? bhi : parent_lo;
+    const int recv_hi = blo == parent_lo ? parent_hi : blo;
+    for (int b = recv_lo; b < recv_hi; ++b) {
+      const Range r = ring_block_range(input.size(), size, b);
+      CheckedBlock received = recv_checked_block(comm, partner, tag_of(step, b), r.size(), config);
+      if (received.degraded) {
+        // Re-encode so later doubling steps keep forwarding compressed
+        // traffic (same rule as the ring allgather).
+        blocks[b] = fz_compress(received.raw, config.fz_params(r.size()), &pool);
+        comm.charge(CostBucket::kCpr,
+                    config.cost.seconds_fz_compress(r.size() * sizeof(float), config.mode),
+                    trace::EventKind::kCompress, r.size() * sizeof(float),
+                    blocks[b].bytes.size());
+      } else {
+        blocks[b] = std::move(received.compressed);
+      }
+    }
+    blo = parent_lo;
+    bhi = parent_hi;
+  }
+
+  out_full.assign(input.size(), 0.0f);
+  uint64_t compressed_bytes = 0;
+  for (int b = 0; b < size; ++b) {
+    const Range r = ring_block_range(input.size(), size, b);
+    fz_decompress(blocks[b], std::span<float>(out_full.data() + r.begin, r.size()),
+                  config.host_threads);
+    compressed_bytes += blocks[b].bytes.size();
+    pool.release(std::move(blocks[b].bytes));
+  }
+  comm.charge(CostBucket::kDpr,
+              config.cost.seconds_fz_decompress(input.size_bytes(), config.mode),
+              trace::EventKind::kDecompress, input.size_bytes(), compressed_bytes);
+}
+
+void hzccl_allreduce_two_level(Comm& comm, std::span<const float> input,
+                               std::vector<float>& out_full, const CollectiveConfig& config,
+                               HzPipelineStats* pipeline_stats) {
+  require_sum(config);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const simmpi::Topology& topo = comm.net().topo;
+  const std::vector<int>& group = comm.group();
+
+  // Node membership comes from *physical* ranks, so remainder nodes and
+  // shrunk (post-failure) groups fall out naturally: whatever survivors a
+  // node still has elect its lowest virtual rank as leader.  The group is
+  // sorted by physical rank, so co-located members are contiguous.
+  std::vector<int> leaders;
+  std::vector<int> node_members;
+  const int my_node = topo.node_of(group[static_cast<size_t>(rank)]);
+  int my_leader_idx = -1;
+  int prev_node = -1;
+  for (int v = 0; v < size; ++v) {
+    const int node = topo.node_of(group[static_cast<size_t>(v)]);
+    if (node != prev_node) {
+      if (node == my_node) my_leader_idx = static_cast<int>(leaders.size());
+      leaders.push_back(v);
+      prev_node = node;
+    }
+    if (node == my_node) node_members.push_back(v);
+  }
+  const int leader = node_members.front();
+
+  if (rank != leader) {
+    // Member: ship raw floats over the fast intra-node channel and wait for
+    // the finished vector.  Compression would cost more than the copy saves
+    // on a shared-memory-class link.
+    comm.send_floats(leader, kTagIntraReduce + rank, input);
+    out_full.resize(input.size());
+    comm.recv_floats_into(leader, kTagIntraBcast + rank, out_full);
+    return;
+  }
+
+  // Leader: accumulate the node-local sum uncompressed.
+  std::vector<float> acc(input.begin(), input.end());
+  comm.charge(CostBucket::kOther, config.cost.seconds_memcpy(input.size_bytes()),
+              trace::EventKind::kPack, input.size_bytes());
+  std::vector<float> incoming;
+  for (size_t m = 1; m < node_members.size(); ++m) {
+    const int member = node_members[m];
+    incoming.resize(input.size());
+    comm.recv_floats_into(member, kTagIntraReduce + member, incoming);
+    reduce_combine_span(config.reduce_op, acc.data(), incoming.data(), acc.size());
+    comm.charge(CostBucket::kCpt,
+                config.cost.seconds_raw_sum(input.size_bytes(), config.mode),
+                trace::EventKind::kReduce, input.size_bytes());
+  }
+
+  if (leaders.size() <= 1) {
+    out_full = std::move(acc);
+  } else {
+    // Compressed inter-node ring among the leaders — the flat algorithm
+    // verbatim, just over the leader subset.
+    CompressedBuffer owned = reduce_scatter_compressed_members(comm, acc, leaders,
+                                                               my_leader_idx, config,
+                                                               pipeline_stats);
+    allgather_compressed_members(comm, owned, acc.size(), out_full, leaders, my_leader_idx,
+                                 config);
+    BufferPool::local().release(std::move(owned.bytes));
+  }
+
+  for (size_t m = 1; m < node_members.size(); ++m) {
+    comm.send_floats(node_members[m], kTagIntraBcast + node_members[m], out_full);
+  }
 }
 
 }  // namespace hzccl::coll

@@ -6,6 +6,7 @@
 
 #include <omp.h>
 
+#include "hzccl/kernels/dispatch.hpp"
 #include "hzccl/stats/metrics.hpp"
 #include "hzccl/util/bytes.hpp"
 #include "hzccl/util/contracts.hpp"
@@ -46,14 +47,11 @@ HZCCL_HOT uint8_t scan_szx_block(const float* block_data, size_t n, double eb,
     count_raw_block(*reason);
     return 4;
   }
-  float mn = block_data[0], mx = block_data[0];
-  float max_abs = std::abs(block_data[0]);
-  for (size_t i = 1; i < n; ++i) {
-    const float v = block_data[i];
-    mn = std::min(mn, v);
-    mx = std::max(mx, v);
-    max_abs = std::max(max_abs, std::abs(v));
-  }
+  // The min/max/|max| pass runs through the dispatched SIMD table; every
+  // level is byte-identical on the NaN-free input this branch guarantees.
+  float scan[3];
+  kernels::active().szx_scan(block_data, n, scan);
+  const float mn = scan[0], mx = scan[1], max_abs = scan[2];
   if (static_cast<double>(mx) - mn <= 2.0 * eb) {
     *midrange = static_cast<float>(0.5 * (static_cast<double>(mn) + mx));
     return kSzxConstant;

@@ -1,6 +1,10 @@
 #include "hzccl/core/hzccl.hpp"
 
+#include <algorithm>
 #include <mutex>
+
+#include "hzccl/cluster/autotune.hpp"
+#include "hzccl/collectives/algorithms.hpp"
 
 namespace hzccl {
 
@@ -42,12 +46,42 @@ JobResult run_collective(Kernel kernel, Op op, const JobConfig& config,
   JobResult result;
   std::mutex result_mutex;
 
+  // Resolve the Allreduce schedule once, up front, so every rank (and every
+  // retry attempt after a shrink) runs the same algorithm and the trace,
+  // recovery and fault layers all see one consistent choice.
+  coll::AllreduceAlgo algo = config.algo;
+  if (op != Op::kAllreduce) {
+    algo = coll::AllreduceAlgo::kRing;
+  } else if (algo == coll::AllreduceAlgo::kAuto) {
+    const std::vector<float> probe = rank_input(0);
+    if (probe.empty() || config.nranks < 2) {
+      algo = coll::AllreduceAlgo::kRing;
+    } else {
+      constexpr size_t kProbeElems = size_t{1} << 16;
+      std::span<const float> sample(probe.data(), std::min(probe.size(), kProbeElems));
+      if (kernel == Kernel::kMpi) sample = {};
+      algo = choose_allreduce_algo(sample, kernel, probe.size() * sizeof(float), config).algo;
+    }
+  }
+  result.algo = algo;
+
   auto rank_fn = [&](simmpi::Comm& comm) {
     // Inputs are keyed by *physical* rank: a survivor contributes the same
     // vector on every attempt no matter how the group is renumbered.
     const std::vector<float> input = rank_input(comm.phys_rank());
     std::vector<float> output;
     HzPipelineStats stats;
+
+    // Algorithm marker: non-ring schedules stamp one zero-length span at the
+    // origin of each rank's timeline (kAuxAlgoBase + algo).  Ring jobs stay
+    // marker-free so pre-algorithm traces replay byte-identically.
+    if (algo != coll::AllreduceAlgo::kRing && comm.tracer().enabled()) {
+      trace::Event marker;
+      marker.kind = trace::EventKind::kPack;
+      marker.aux = static_cast<uint8_t>(trace::kAuxAlgoBase + static_cast<int>(algo));
+      marker.bytes = input.size() * sizeof(float);
+      comm.tracer().record(marker);
+    }
 
     auto attempt = [&] {
       // A retried attempt starts from scratch: partial results and stats of
@@ -59,11 +93,25 @@ JobResult run_collective(Kernel kernel, Op op, const JobConfig& config,
           if (op == Op::kReduceScatter) {
             coll::raw_reduce_scatter(comm, input, output, cc);
           } else {
-            coll::raw_allreduce(comm, input, output, cc);
+            switch (algo) {
+              case coll::AllreduceAlgo::kRecursiveDoubling:
+                coll::raw_allreduce_recursive_doubling(comm, input, output, cc);
+                break;
+              case coll::AllreduceAlgo::kRabenseifner:
+                coll::raw_allreduce_rabenseifner(comm, input, output, cc);
+                break;
+              case coll::AllreduceAlgo::kTwoLevel:
+                coll::raw_allreduce_two_level(comm, input, output, cc);
+                break;
+              default: coll::raw_allreduce(comm, input, output, cc); break;
+            }
           }
           break;
         case Kernel::kCCollMultiThread:
         case Kernel::kCCollSingleThread:
+          // C-Coll always rings: its per-round decompress/recompress scales
+          // with the data volume per step, which the latency-optimal
+          // schedules inflate.
           if (op == Op::kReduceScatter) {
             coll::ccoll_reduce_scatter(comm, input, output, cc);
           } else {
@@ -75,7 +123,18 @@ JobResult run_collective(Kernel kernel, Op op, const JobConfig& config,
           if (op == Op::kReduceScatter) {
             coll::hzccl_reduce_scatter(comm, input, output, cc, &stats);
           } else {
-            coll::hzccl_allreduce(comm, input, output, cc, &stats);
+            switch (algo) {
+              case coll::AllreduceAlgo::kRecursiveDoubling:
+                coll::hzccl_allreduce_recursive_doubling(comm, input, output, cc, &stats);
+                break;
+              case coll::AllreduceAlgo::kRabenseifner:
+                coll::hzccl_allreduce_rabenseifner(comm, input, output, cc, &stats);
+                break;
+              case coll::AllreduceAlgo::kTwoLevel:
+                coll::hzccl_allreduce_two_level(comm, input, output, cc, &stats);
+                break;
+              default: coll::hzccl_allreduce(comm, input, output, cc, &stats); break;
+            }
           }
           break;
       }

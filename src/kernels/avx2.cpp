@@ -40,6 +40,7 @@ bool populate_avx2(KernelTable& t) {
   fill_codecs(t, std::make_integer_sequence<int, 8>{});
   t.hz_combine_residuals = &combine_avx2;
   t.fz_predict = &predict_avx2;
+  t.szx_scan = &szx_scan_avx2_body;
   // fz_quantize: AVX2 has no exact packed double->int64 convert, so the
   // inherited scalar entry (llrint) stays — exactness beats throughput here.
   return true;

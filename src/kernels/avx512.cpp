@@ -30,6 +30,7 @@ bool populate_avx512(KernelTable& t) {
   t.hz_combine_residuals = &combine_avx512_body;
   t.fz_quantize = &quantize_avx512_body;
   t.fz_predict = &predict_body;  // recompiled under AVX-512 flags
+  t.szx_scan = &szx_scan_avx512_body;
   return true;
 }
 

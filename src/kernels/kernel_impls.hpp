@@ -18,6 +18,7 @@
 // (kernel-table entries additionally must reach no throw at all).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -246,6 +247,25 @@ inline HZCCL_HOT uint64_t quantize_body(const float* data, size_t n, double inv_
   return guard;
 }
 
+/// SZx classification scan (SzxScanFn contract: n >= 1, NaN-free input).
+/// The trailing `+ 0.0f` folds -0 into +0: min/max lane order decides which
+/// zero survives a tie, and the midrange a constant block writes to the wire
+/// must not depend on that order.
+inline HZCCL_HOT void szx_scan_body(const float* data, size_t n, float* out) {
+  float mn = data[0];
+  float mx = data[0];
+  float max_abs = std::fabs(data[0]);
+  for (size_t i = 1; i < n; ++i) {
+    const float v = data[i];
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    max_abs = std::max(max_abs, std::fabs(v));
+  }
+  out[0] = mn + 0.0f;
+  out[1] = mx + 0.0f;
+  out[2] = max_abs + 0.0f;
+}
+
 // ---------------------------------------------------------------------------
 // AVX2 + BMI2: PDEP/PEXT bit-plane codecs (widths 1..8).
 // ---------------------------------------------------------------------------
@@ -323,6 +343,46 @@ inline HZCCL_HOT void unpack_pdep(const uint8_t* src, size_t n, uint32_t* v) {
     s += X;
   }
   if (i < n) scalar_unpack<X>(src + s, n - i, v + i);
+}
+
+/// 8-lane SZx scan.  min/max are idempotent, so the tail is an *overlapping*
+/// full-width load ending at data[n) — no masked ops, no scalar epilogue.
+/// |v| is a sign-bit andnot; the final `+ 0.0f` canonicalization makes the
+/// result independent of which lane a tied ±0 survives in (see
+/// szx_scan_body), which is what buys byte-identity with the scalar oracle.
+inline HZCCL_HOT void szx_scan_avx2_body(const float* data, size_t n, float* out) {
+  if (n < 8) {
+    szx_scan_body(data, n, out);
+    return;
+  }
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  __m256 vmn = _mm256_loadu_ps(data);
+  __m256 vmx = vmn;
+  __m256 vab = _mm256_andnot_ps(sign, vmn);
+  size_t i = 8;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(data + i);
+    vmn = _mm256_min_ps(vmn, v);
+    vmx = _mm256_max_ps(vmx, v);
+    vab = _mm256_max_ps(vab, _mm256_andnot_ps(sign, v));
+  }
+  if (i < n) {
+    const __m256 v = _mm256_loadu_ps(data + n - 8);
+    vmn = _mm256_min_ps(vmn, v);
+    vmx = _mm256_max_ps(vmx, v);
+    vab = _mm256_max_ps(vab, _mm256_andnot_ps(sign, v));
+  }
+  const auto hreduce = [](__m256 v, auto op) {
+    __m128 m = op(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+    m = op(m, _mm_movehl_ps(m, m));
+    m = op(m, _mm_shuffle_ps(m, m, 1));
+    return _mm_cvtss_f32(m);
+  };
+  const auto min_op = [](__m128 a, __m128 b) { return _mm_min_ps(a, b); };
+  const auto max_op = [](__m128 a, __m128 b) { return _mm_max_ps(a, b); };
+  out[0] = hreduce(vmn, min_op) + 0.0f;
+  out[1] = hreduce(vmx, max_op) + 0.0f;
+  out[2] = hreduce(vab, max_op) + 0.0f;
 }
 
 #endif  // __AVX2__ && __BMI2__
@@ -427,6 +487,36 @@ inline HZCCL_HOT uint64_t quantize_avx512_body(const float* data, size_t n, doub
   uint64_t guard = static_cast<uint64_t>(_mm512_reduce_or_epi64(guard_acc));
   if (i < n) guard |= quantize_body(data + i, n - i, inv_twice_eb, q + i);
   return guard;
+}
+
+/// 16-lane SZx scan; same overlapping-tail + canonicalization scheme as the
+/// AVX2 body.  The _mm512_reduce_* sequences are order-insensitive here
+/// because the only order-sensitive case (±0 ties) is folded afterwards.
+inline HZCCL_HOT void szx_scan_avx512_body(const float* data, size_t n, float* out) {
+  if (n < 16) {
+    szx_scan_avx2_body(data, n, out);
+    return;
+  }
+  const __m512 sign = _mm512_set1_ps(-0.0f);
+  __m512 vmn = _mm512_loadu_ps(data);
+  __m512 vmx = vmn;
+  __m512 vab = _mm512_andnot_ps(sign, vmn);
+  size_t i = 16;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 v = _mm512_loadu_ps(data + i);
+    vmn = _mm512_min_ps(vmn, v);
+    vmx = _mm512_max_ps(vmx, v);
+    vab = _mm512_max_ps(vab, _mm512_andnot_ps(sign, v));
+  }
+  if (i < n) {
+    const __m512 v = _mm512_loadu_ps(data + n - 16);
+    vmn = _mm512_min_ps(vmn, v);
+    vmx = _mm512_max_ps(vmx, v);
+    vab = _mm512_max_ps(vab, _mm512_andnot_ps(sign, v));
+  }
+  out[0] = _mm512_reduce_min_ps(vmn) + 0.0f;
+  out[1] = _mm512_reduce_max_ps(vmx) + 0.0f;
+  out[2] = _mm512_reduce_max_ps(vab) + 0.0f;
 }
 
 #endif  // AVX-512 family

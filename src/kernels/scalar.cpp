@@ -24,6 +24,7 @@ bool populate_scalar(KernelTable& t) {
   t.hz_combine_residuals = &combine_body;
   t.fz_quantize = &quantize_body;
   t.fz_predict = &predict_body;
+  t.szx_scan = &szx_scan_body;
   return true;
 }
 

@@ -123,7 +123,8 @@ void Comm::send(int dst, int tag, std::span<const uint8_t> payload) {
   const int pdst = to_phys(dst);
   const uint64_t seq = send_seq_[static_cast<size_t>(pdst)];
   const double t0 = clock_.now();
-  clock_.advance(runtime_->net().latency_s * cost_factor_, CostBucket::kMpi);
+  clock_.advance(runtime_->net().link_latency_s(phys_rank_, pdst) * cost_factor_,
+                 CostBucket::kMpi);
   bytes_sent_ += payload.size();
   runtime_->transmit(*this, pdst, tag, payload);
   if (trace_.enabled()) {
@@ -788,7 +789,8 @@ std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
     const size_t frame_bytes = sizeof(FrameHeader) + payload.size();
     const double t0 = receiver.clock_.now();
     receiver.clock_.advance_to(
-        start_time + net_.retransmit_seconds(frame_bytes, nranks_) * receiver.cost_factor_,
+        start_time +
+            net_.link_retransmit_seconds(frame_bytes, src, me, nranks_) * receiver.cost_factor_,
         CostBucket::kMpi);
     if (receiver.trace_.enabled()) {
       trace::Event ev;
@@ -831,7 +833,7 @@ std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
           ++receiver.transport_.duplicate_discards;
         }
         const double t0 = receiver.clock_.now();
-        receiver.clock_.advance(net_.latency_s, CostBucket::kMpi);
+        receiver.clock_.advance(net_.link_latency_s(src, me), CostBucket::kMpi);
         if (receiver.trace_.enabled()) {
           trace::Event ev;
           ev.t0 = t0;
@@ -863,7 +865,7 @@ std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
         // consumed: discard after the header sniff.
         ++receiver.transport_.duplicate_discards;
         const double t0 = receiver.clock_.now();
-        receiver.clock_.advance(net_.latency_s, CostBucket::kMpi);
+        receiver.clock_.advance(net_.link_latency_s(src, me), CostBucket::kMpi);
         if (receiver.trace_.enabled()) {
           trace::Event ev;
           ev.t0 = t0;
@@ -886,7 +888,8 @@ std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
         const double t_enter = receiver.clock_.now();
         const double data_ready = std::max(t_enter, msg.send_vtime);
         const double ready =
-            data_ready + net_.transfer_seconds(msg.frame.size(), nranks_) * receiver.cost_factor_;
+            data_ready +
+            net_.link_seconds(msg.frame.size(), src, me, nranks_) * receiver.cost_factor_;
         receiver.clock_.advance_to(ready, CostBucket::kMpi);
         std::vector<uint8_t> payload(frame.payload.begin(), frame.payload.end());
         if (receiver.trace_.enabled()) {
@@ -927,7 +930,7 @@ std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
       ++receiver.transport_.corrupt_frames;
       const double got_bad =
           std::max(receiver.clock_.now(), msg.send_vtime) +
-          net_.transfer_seconds(msg.frame.size(), nranks_) * receiver.cost_factor_;
+          net_.link_seconds(msg.frame.size(), src, me, nranks_) * receiver.cost_factor_;
       const auto wit = std::find_if(box.window.begin(), box.window.end(), [&](const WindowEntry& w) {
         return w.src == src && w.seq == msg.seq && !w.consumed;
       });
@@ -1035,8 +1038,9 @@ std::vector<uint8_t> Runtime::refetch(Comm& receiver, int src, int tag, Comm::Re
     }
     const size_t frame_bytes = sizeof(FrameHeader) + payload.size();
     const double t0 = receiver.clock_.now();
-    receiver.clock_.advance(net_.retransmit_seconds(frame_bytes, nranks_) * receiver.cost_factor_,
-                            CostBucket::kMpi);
+    receiver.clock_.advance(
+        net_.link_retransmit_seconds(frame_bytes, src, me, nranks_) * receiver.cost_factor_,
+        CostBucket::kMpi);
     record_refetch(t0, payload.size(), trace::kAuxRetransmit);
     return payload;
   }
@@ -1047,8 +1051,9 @@ std::vector<uint8_t> Runtime::refetch(Comm& receiver, int src, int tag, Comm::Re
   ++receiver.transport_.raw_fallbacks;
   const size_t raw_bytes = raw_bytes_hint != 0 ? raw_bytes_hint : entry->pristine.size();
   const double t0 = receiver.clock_.now();
-  receiver.clock_.advance(net_.retransmit_seconds(raw_bytes, nranks_) * receiver.cost_factor_,
-                          CostBucket::kMpi);
+  receiver.clock_.advance(
+      net_.link_retransmit_seconds(raw_bytes, src, me, nranks_) * receiver.cost_factor_,
+      CostBucket::kMpi);
   record_refetch(t0, entry->pristine.size(), trace::kAuxRawFallback);
   return entry->pristine;
 }

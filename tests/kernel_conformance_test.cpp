@@ -24,6 +24,7 @@
 #include "hzccl/compressor/fixed_len.hpp"
 #include "hzccl/compressor/fz_light.hpp"
 #include "hzccl/compressor/omp_szp.hpp"
+#include "hzccl/compressor/szx_like.hpp"
 #include "hzccl/datasets/registry.hpp"
 #include "hzccl/homomorphic/hz_dynamic.hpp"
 #include "hzccl/homomorphic/hz_ops.hpp"
@@ -258,6 +259,72 @@ TEST(KernelConformance, PredictMatchesScalarOracle) {
 }
 
 // ---------------------------------------------------------------------------
+// SZx scan differential: min/max/|max| byte-identity, including the ±0 and
+// denormal lanes the canonicalization contract exists for.
+// ---------------------------------------------------------------------------
+
+TEST(KernelConformance, SzxScanMatchesScalarOracle) {
+  const KernelTable& ref = kernels::table(DispatchLevel::kScalar);
+  for (DispatchLevel lvl : vector_levels()) {
+    const KernelTable& vec = kernels::table(lvl);
+    Prng rng(/*seed=*/0x52C4Au, /*stream=*/static_cast<uint64_t>(lvl));
+    for (const size_t n : kLengths) {
+      if (n == 0 || n > 512) continue;
+      std::vector<float> data(n);
+      for (size_t i = 0; i < n; ++i) {
+        switch (rng.u32() % 8u) {
+          case 0: data[i] = 0.0f; break;
+          case 1: data[i] = -0.0f; break;
+          case 2: {  // subnormal (classify_raw_block admits up to half)
+            uint32_t bits = rng.u32() & 0x007FFFFFu;
+            if (bits == 0) bits = 1;
+            bits |= (rng.u32() & 1u) << 31;
+            std::memcpy(&data[i], &bits, sizeof bits);
+            break;
+          }
+          default:
+            data[i] = (static_cast<float>(rng.u32() % 2000001u) - 1000000.0f) * 1e-3f;
+            break;
+        }
+      }
+      float out_ref[3], out_vec[3];
+      ref.szx_scan(data.data(), n, out_ref);
+      vec.szx_scan(data.data(), n, out_vec);
+      ASSERT_EQ(std::memcmp(out_ref, out_vec, sizeof out_ref), 0)
+          << "szx scan mismatch: level=" << kernels::level_name(vec.level) << " n=" << n
+          << " ref={" << out_ref[0] << "," << out_ref[1] << "," << out_ref[2] << "} vec={"
+          << out_vec[0] << "," << out_vec[1] << "," << out_vec[2] << "}";
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(KernelConformance, SzxScanCanonicalizesNegativeZero) {
+  // All-(-0) and mixed-sign-zero blocks must scan to {+0, +0, +0} bitwise at
+  // every level — the midrange a constant block writes must not encode which
+  // lane a tied zero survived in.
+  const uint32_t positive_zero = 0;
+  for (DispatchLevel lvl : kernels::supported_levels()) {
+    const KernelTable& t = kernels::table(lvl);
+    for (const size_t n : {size_t{1}, size_t{7}, size_t{8}, size_t{17}, size_t{64}}) {
+      std::vector<float> all_neg(n, -0.0f);
+      std::vector<float> mixed(n, 0.0f);
+      for (size_t i = 0; i < n; i += 2) mixed[i] = -0.0f;
+      for (const auto* block : {&all_neg, &mixed}) {
+        float out[3];
+        t.szx_scan(block->data(), n, out);
+        for (int c = 0; c < 3; ++c) {
+          uint32_t bits;
+          std::memcpy(&bits, &out[c], sizeof bits);
+          ASSERT_EQ(bits, positive_zero)
+              << "level=" << kernels::level_name(lvl) << " n=" << n << " component=" << c;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Whole-pipeline sweep over every bundled dataset: forcing any level must
 // reproduce the scalar level's compressed bytes, homomorphic sums, and
 // decompressed floats exactly.
@@ -272,12 +339,15 @@ TEST(KernelConformance, DatasetPipelinesAreLevelInvariant) {
     p.abs_error_bound = abs_bound_from_rel(f0, 1e-3);
     SzpParams sp;
     sp.abs_error_bound = p.abs_error_bound;
+    SzxParams sx;
+    sx.abs_error_bound = p.abs_error_bound;
 
     kernels::set_dispatch_level(DispatchLevel::kScalar);
     const CompressedBuffer a_ref = fz_compress(f0, p);
     const CompressedBuffer b_ref = fz_compress(f1, p);
     const CompressedBuffer sum_ref = hz_add(a_ref, b_ref);
     const CompressedBuffer szp_ref = szp_compress(f0, sp);
+    const CompressedBuffer szx_ref = szx_compress(f0, sx);
     std::vector<float> dec_ref(f0.size());
     fz_decompress(a_ref, dec_ref);
 
@@ -292,6 +362,7 @@ TEST(KernelConformance, DatasetPipelinesAreLevelInvariant) {
       const CompressedBuffer sum = hz_add(a, b);
       EXPECT_EQ(sum.bytes, sum_ref.bytes) << "hz_add bytes drifted";
       EXPECT_EQ(szp_compress(f0, sp).bytes, szp_ref.bytes) << "szp_compress bytes drifted";
+      EXPECT_EQ(szx_compress(f0, sx).bytes, szx_ref.bytes) << "szx_compress bytes drifted";
       std::vector<float> dec(f0.size());
       fz_decompress(a, dec);
       EXPECT_EQ(std::memcmp(dec.data(), dec_ref.data(), dec.size() * sizeof(float)), 0)

@@ -6,7 +6,9 @@
 #   tools/check.sh --lint     # tier 1 + project lint
 #   tools/check.sh --tsan     # tier 1 + ThreadSanitizer concurrency tier
 #   tools/check.sh --fuzz     # tier 1 + sanitized decoder fuzzing only
-#   tools/check.sh --perf     # tier 1 + perf smoke (zero-allocation gate)
+#   tools/check.sh --perf     # tier 1 + perf smoke: zero-allocation gate,
+#                             # SIMD speedup floor, allreduce algorithm-
+#                             # selection gates (BENCH_allreduce_algos.json)
 #   tools/check.sh --cov      # tier 1 + line-coverage gate (unit/property/trace)
 #   tools/check.sh --recovery # tier 1 + sanitized rank-failure tier + seed sweep
 #   tools/check.sh --kernels  # tier 1 + conformance tier at every forced
@@ -113,13 +115,21 @@ if [ "$run_kernels" = "1" ]; then
 fi
 
 if [ "$run_perf" = "1" ]; then
-  echo "== perf smoke: bench_kernels --json --quick (zero-allocation gate) =="
+  echo "== perf smoke: bench_kernels --json --quick (zero-allocation + SIMD floor) =="
   # Fails if any gated kernel (hz_add, the ring collective) mints a heap
-  # block per op in steady state; see docs/ANALYSIS.md "Performance
+  # block per op in steady state, or if the dispatched SIMD level loses its
+  # speedup floor over scalar; see docs/ANALYSIS.md "Performance
   # architecture".
   cmake --build "$repo/build" -j "$jobs" --target bench_kernels
   "$repo/build/bench/bench_kernels" --json --quick \
-    --out "$repo/build/BENCH_kernels.json" --alloc-budget 0
+    --out "$repo/build/BENCH_kernels.json" --alloc-budget 0 --simd-floor 1.5
+  echo "== perf smoke: allreduce algorithm-selection gates =="
+  # Modeled 512-node x 8-ranks/node sweep: the hierarchical two-level
+  # schedule must beat the flat compressed ring in the latency regime, and
+  # the size-based selector must never lose to the worst static choice.
+  cmake --build "$repo/build" -j "$jobs" --target bench_ablation_allreduce_algos
+  "$repo/build/bench/bench_ablation_allreduce_algos" --json --quick \
+    --out "$repo/build/BENCH_allreduce_algos.json"
 fi
 
 if [ "$run_cov" = "1" ]; then

@@ -43,7 +43,8 @@ int usage() {
                "  hzcclc sub        <a.fz> <b.fz> <out.fz>\n"
                "  hzcclc stats      <orig.f32> <recon.f32>\n"
                "  hzcclc collective [--kernel 0..4] [--op allreduce|reduce_scatter]\n"
-               "                    [--ranks P] [--dataset SLUG] [--scale tiny|small|medium]\n"
+               "                    [--ranks P | --topology NxM] [--algo auto|ring|rd|rab|2level]\n"
+               "                    [--dataset SLUG] [--scale tiny|small|medium]\n"
                "                    [--rel R | --abs E] [--block N]\n"
                "                    [--faults seed,drop[,corrupt[,reorder[,dup[,stall\n"
                "                              [,mangle[,stall_s[,recv_timeout]]]]]]]]\n"
@@ -211,6 +212,20 @@ bool parse_collective_flag(CollectiveCli& cli, int argc, char** argv, int& i) {
     }
   } else if (flag == "--ranks" && i + 1 < argc) {
     cli.config.nranks = std::stoi(argv[++i]);
+  } else if (flag == "--topology" && i + 1 < argc) {
+    // NxM: N nodes of M ranks each — sets both the rank count and the
+    // hierarchical network model (fast intra-node links, inter-node
+    // congestion scaling with N rather than N*M).
+    const std::string spec = argv[++i];
+    const size_t x = spec.find('x');
+    if (x == std::string::npos || x == 0 || x + 1 >= spec.size()) return false;
+    const int nodes = std::stoi(spec.substr(0, x));
+    const int rpn = std::stoi(spec.substr(x + 1));
+    if (nodes < 1 || rpn < 1) return false;
+    cli.config.nranks = nodes * rpn;
+    cli.config.net.topo.ranks_per_node = rpn;
+  } else if (flag == "--algo" && i + 1 < argc) {
+    cli.config.algo = coll::parse_allreduce_algo(argv[++i]);
   } else if (flag == "--dataset" && i + 1 < argc) {
     cli.dataset = parse_dataset(argv[++i]);
   } else if (flag == "--scale" && i + 1 < argc) {
@@ -253,6 +268,14 @@ std::string fabric_label(const JobConfig& config) {
   return config.faults.describe();
 }
 
+/// "16 ranks" (flat) or "4x4 = 16 ranks" (hierarchical topology).
+std::string ranks_label(const JobConfig& config) {
+  const simmpi::Topology& topo = config.net.topo;
+  if (topo.flat()) return std::to_string(config.nranks) + " ranks";
+  return std::to_string(topo.num_nodes(config.nranks)) + "x" +
+         std::to_string(topo.ranks_per_node) + " = " + std::to_string(config.nranks) + " ranks";
+}
+
 /// The rank-input generator and error bound shared by collective/trace.
 RankInputFn make_rank_input(CollectiveCli& cli) {
   const DatasetId dataset = cli.dataset;
@@ -279,9 +302,10 @@ int cmd_collective(int argc, char** argv) {
   const JobConfig& config = cli.config;
   const JobResult result = run_collective(static_cast<Kernel>(kernel), op, config, rank_input);
 
-  std::printf("%s %s, %d ranks, %s @ %s, %zu bytes/rank\n",
+  std::printf("%s %s (%s), %s, %s @ %s, %zu bytes/rank\n",
               kernel_name(static_cast<Kernel>(kernel)).c_str(), op_name(op).c_str(),
-              config.nranks, dataset_name(dataset).c_str(), fabric_label(config).c_str(),
+              coll::allreduce_algo_name(result.algo), ranks_label(config).c_str(),
+              dataset_name(dataset).c_str(), fabric_label(config).c_str(),
               result.input_bytes_per_rank);
   const simmpi::ClockReport& r = result.slowest;
   std::printf("  modeled time: %.3f ms  (MPI %.1f%%  CPR %.1f%%  DPR %.1f%%  CPT %.1f%%  "
@@ -383,9 +407,10 @@ int cmd_trace(int argc, char** argv) {
   const JobResult result =
       run_collective(static_cast<Kernel>(cli.kernel), cli.op, cli.config, rank_input);
 
-  std::printf("%s %s, %d ranks, %s @ %s\n", kernel_name(static_cast<Kernel>(cli.kernel)).c_str(),
-              op_name(cli.op).c_str(), cli.config.nranks, dataset_name(cli.dataset).c_str(),
-              fabric_label(cli.config).c_str());
+  std::printf("%s %s (%s), %s, %s @ %s\n",
+              kernel_name(static_cast<Kernel>(cli.kernel)).c_str(), op_name(cli.op).c_str(),
+              coll::allreduce_algo_name(result.algo), ranks_label(cli.config).c_str(),
+              dataset_name(cli.dataset).c_str(), fabric_label(cli.config).c_str());
   std::printf("  %zu events recorded (%llu dropped to ring overwrite)\n",
               result.trace.total_events(),
               static_cast<unsigned long long>(result.trace.dropped_events));
