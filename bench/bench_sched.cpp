@@ -1,0 +1,251 @@
+// Multi-tenant scheduler throughput: a mixed workload of overlapping
+// collectives driven through the nonblocking progress engine, concurrent
+// admission (max_concurrent = 0) against the serialized baseline
+// (max_concurrent = 1, one blocking job at a time — what the repo could do
+// before the sched subsystem).
+//
+// The workload models a shared 512-node fleet (8 ranks/node): many
+// tenant-partition gradient allreduces on disjoint 64-rank slices, a few
+// wide two-level jobs spanning whole rack rows, latency-bound
+// recursive-doubling jobs overlapping the partitions, and C-Coll
+// reduce-scatters — the shapes the ISSUE's scheduler exists to multiplex.
+// Every job runs real bytes through the real kernels; only time is virtual.
+//
+// Two modes:
+//  * default — human-readable table of per-config makespans;
+//  * --json [--quick] [--out PATH] — emits BENCH_sched.json and enforces the
+//    perf gate: concurrent mixed-workload throughput must be >= 1.3x the
+//    serialized baseline at 512 modeled nodes.  Nonzero exit on gate
+//    failure — the CI regression gate.  --quick shrinks the fleet (64
+//    nodes) and the job list for smoke runs; the gate still applies.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hzccl/core/hzccl.hpp"
+#include "hzccl/datasets/registry.hpp"
+#include "hzccl/sched/engine.hpp"
+#include "hzccl/sched/scheduler.hpp"
+#include "hzccl/simmpi/netmodel.hpp"
+#include "hzccl/stats/metrics.hpp"
+
+namespace {
+
+using namespace hzccl;
+using sched::Engine;
+using sched::EngineConfig;
+using sched::ICollOp;
+using sched::Request;
+using sched::SubmitOptions;
+
+struct BenchJob {
+  Kernel kernel = Kernel::kHzcclSingleThread;
+  ICollOp op = ICollOp::kAllreduce;
+  coll::AllreduceAlgo algo = coll::AllreduceAlgo::kRing;
+  int first_rank = 0;
+  int nranks = 0;
+  size_t elements = 0;
+  DatasetId dataset = DatasetId::kCesmAtm;
+  double enqueue_vtime = 0.0;
+};
+
+/// The mixed workload over `fleet` ranks (`rpn` per node).
+std::vector<BenchJob> build_mix(int fleet, int rpn, bool quick) {
+  std::vector<BenchJob> mix;
+  const size_t grad_elems = quick ? 2048 : 4096;
+  const int slice = 8 * rpn;  // one tenant partition = 8 nodes
+
+  // Tenant-partition gradient allreduces on disjoint slices.
+  const int partitions = quick ? 6 : 12;
+  for (int i = 0; i < partitions && (i + 1) * slice <= fleet; ++i) {
+    BenchJob j;
+    j.kernel = Kernel::kHzcclSingleThread;
+    j.first_rank = i * slice;
+    j.nranks = slice;
+    j.elements = grad_elems;
+    j.dataset = all_datasets()[static_cast<size_t>(i) % all_datasets().size()];
+    j.enqueue_vtime = static_cast<double>(i) * 2e-6;
+    mix.push_back(j);
+  }
+  // Latency-bound recursive-doubling jobs overlapping the partitions.
+  const int rd_jobs = quick ? 2 : 4;
+  for (int i = 0; i < rd_jobs; ++i) {
+    BenchJob j;
+    j.kernel = Kernel::kMpi;
+    j.algo = coll::AllreduceAlgo::kRecursiveDoubling;
+    j.first_rank = i * slice + slice / 2;
+    j.nranks = slice;
+    j.elements = 512;
+    j.dataset = DatasetId::kNyx;
+    j.enqueue_vtime = 5e-6 + static_cast<double>(i) * 3e-6;
+    if (j.first_rank + j.nranks <= fleet) mix.push_back(j);
+  }
+  // Wide hierarchical jobs across several partitions.
+  const int wide_jobs = quick ? 1 : 2;
+  const int wide_span = std::min(fleet, 4 * slice);
+  for (int i = 0; i < wide_jobs; ++i) {
+    BenchJob j;
+    j.kernel = Kernel::kHzcclSingleThread;
+    j.algo = coll::AllreduceAlgo::kTwoLevel;
+    j.first_rank = i * wide_span;
+    j.nranks = wide_span;
+    j.elements = grad_elems / 2;
+    j.dataset = DatasetId::kHurricane;
+    j.enqueue_vtime = 10e-6;
+    if (j.first_rank + j.nranks <= fleet) mix.push_back(j);
+  }
+  // C-Coll reduce-scatters on the tail partitions.
+  const int rs_jobs = quick ? 1 : 2;
+  for (int i = 0; i < rs_jobs; ++i) {
+    BenchJob j;
+    j.kernel = Kernel::kCCollSingleThread;
+    j.op = ICollOp::kReduceScatter;
+    j.first_rank = fleet - (i + 1) * slice;
+    j.nranks = slice;
+    j.elements = grad_elems;
+    j.dataset = DatasetId::kRtmSim1;
+    j.enqueue_vtime = 8e-6;
+    if (j.first_rank >= 0) mix.push_back(j);
+  }
+  return mix;
+}
+
+struct RunResult {
+  double makespan = 0.0;
+  int completed = 0;
+  uint64_t payload_bytes = 0;
+};
+
+RunResult run_mix(const std::vector<BenchJob>& mix, int fleet, int rpn, int max_concurrent) {
+  EngineConfig ec;
+  ec.fleet_ranks = fleet;
+  ec.net = simmpi::NetModel::omnipath_100g_nodes(rpn);
+  ec.max_concurrent = max_concurrent;
+  Engine engine(ec);
+
+  std::vector<Request> requests;
+  requests.reserve(mix.size());
+  for (const BenchJob& b : mix) {
+    const size_t elements = b.elements;
+    const DatasetId id = b.dataset;
+    const RankInputFn input = [id, elements](int rank) {
+      std::vector<float> f = generate_field(id, Scale::kTiny, static_cast<uint32_t>(rank));
+      f.resize(elements, 0.5f * static_cast<float>(rank + 1));
+      return f;
+    };
+    JobConfig config;
+    config.nranks = b.nranks;
+    config.net = ec.net;
+    // Relative 1e-3 scaled to the dataset's value range, like every paper
+    // experiment (an absolute bound would blow the quantizer's domain on
+    // the large-magnitude fields).
+    config.abs_error_bound = abs_bound_from_rel(std::span<const float>(input(0)), 1e-3);
+    config.algo = b.algo;
+    SubmitOptions opt;
+    opt.first_rank = b.first_rank;
+    opt.enqueue_vtime = b.enqueue_vtime;
+    requests.push_back(engine.submit(b.kernel, b.op, config, input, opt));
+  }
+  engine.run();
+
+  RunResult r;
+  r.makespan = engine.makespan();
+  for (const Request& req : requests) {
+    const sched::JobOutcome& out = engine.outcome(req);
+    if (out.completed) ++r.completed;
+    r.payload_bytes += out.payload_bytes_sent;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool quick = false;
+  std::string out_path = "BENCH_sched.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: bench_sched [--json] [--quick] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  const int rpn = 8;
+  const int nodes = quick ? 64 : 512;
+  const int fleet = nodes * rpn;
+  const std::vector<BenchJob> mix = build_mix(fleet, rpn, quick);
+
+  std::printf("bench_sched: %d nodes x %d ranks/node (%d fleet ranks), %zu-job mixed "
+              "workload\n\n",
+              nodes, rpn, fleet, mix.size());
+
+  const RunResult serialized = run_mix(mix, fleet, rpn, /*max_concurrent=*/1);
+  const RunResult concurrent = run_mix(mix, fleet, rpn, /*max_concurrent=*/0);
+
+  const double speedup =
+      concurrent.makespan > 0.0 ? serialized.makespan / concurrent.makespan : 0.0;
+  const double throughput_serial =
+      serialized.makespan > 0.0 ? static_cast<double>(serialized.completed) / serialized.makespan
+                                : 0.0;
+  const double throughput_conc =
+      concurrent.makespan > 0.0 ? static_cast<double>(concurrent.completed) / concurrent.makespan
+                                : 0.0;
+
+  std::printf("%-28s %12s %12s %14s\n", "admission", "makespan", "jobs done", "jobs/s");
+  std::printf("%-28s %10.3fms %12d %14.0f\n", "serialized (max_concurrent=1)",
+              serialized.makespan * 1e3, serialized.completed, throughput_serial);
+  std::printf("%-28s %10.3fms %12d %14.0f\n", "concurrent (max_concurrent=0)",
+              concurrent.makespan * 1e3, concurrent.completed, throughput_conc);
+  std::printf("\nmixed-workload speedup over serialized execution: %.2fx\n", speedup);
+
+  // Sanity: both admissions run every job to completion over the same bytes.
+  int failures = 0;
+  if (serialized.completed != static_cast<int>(mix.size()) ||
+      concurrent.completed != static_cast<int>(mix.size())) {
+    std::fprintf(stderr, "bench_sched: not every job completed (%d/%d serialized, %d/%d "
+                         "concurrent)\n",
+                 serialized.completed, static_cast<int>(mix.size()), concurrent.completed,
+                 static_cast<int>(mix.size()));
+    ++failures;
+  }
+  if (serialized.payload_bytes != concurrent.payload_bytes) {
+    std::fprintf(stderr, "bench_sched: admission policy changed the bytes moved (%llu vs "
+                         "%llu)\n",
+                 static_cast<unsigned long long>(serialized.payload_bytes),
+                 static_cast<unsigned long long>(concurrent.payload_bytes));
+    ++failures;
+  }
+
+  const bool gate_speedup = speedup >= 1.3;
+  std::printf("gate: concurrent >= 1.3x serialized throughput ............. %s\n",
+              gate_speedup ? "PASS" : "FAIL");
+
+  if (json) {
+    if (!gate_speedup) ++failures;
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_sched: cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"hzccl-bench-sched-v1\",\n  \"quick\": %s,\n",
+                 quick ? "true" : "false");
+    std::fprintf(f, "  \"nodes\": %d,\n  \"ranks_per_node\": %d,\n  \"jobs\": %zu,\n", nodes,
+                 rpn, mix.size());
+    std::fprintf(f, "  \"serialized_makespan_s\": %.6e,\n  \"concurrent_makespan_s\": %.6e,\n",
+                 serialized.makespan, concurrent.makespan);
+    std::fprintf(f, "  \"payload_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(concurrent.payload_bytes));
+    std::fprintf(f, "  \"speedup\": %.4f,\n", speedup);
+    std::fprintf(f, "  \"gates\": {\"concurrent_beats_serialized_1p3x\": %s}\n",
+                 gate_speedup ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,255 @@
+// Nonblocking collectives and the multi-tenant progress engine.
+//
+// Everything the repo ran before this subsystem was one blocking job at a
+// time: Runtime spawns a thread per rank, each thread runs one collective to
+// completion, and the job's virtual completion time is the max rank clock.
+// Production traffic is nothing like that — dozens of tenants submit
+// overlapping allreduces over one shared fleet, and the fabric's contended
+// links are shared *between* jobs.  The Engine models exactly that:
+//
+//   * iallreduce / ireduce_scatter / iallgather return a Request immediately;
+//     per-rank progress is a coroutine (see task.hpp) that suspends at every
+//     receive, so one engine interleaves all ranks of all jobs;
+//   * a single discrete-event loop picks, deterministically, the runnable
+//     rank-step with the smallest ready virtual time (ties: lowest rank,
+//     then lowest job id) — same seed and job mix replay the same schedule,
+//     completion times and trace byte for byte;
+//   * admission control: jobs wait in a priority queue until granted
+//     (max_concurrent slots; 0 = unlimited).  Priorities age so adversarial
+//     mixes cannot starve a tenant;
+//   * contended inter-node links are shared per-flow: a frame's transfer
+//     time uses the *fleet-wide* active-flow bandwidth split by job weight,
+//     degenerating exactly to the blocking per-job price when one job runs;
+//   * rank faults (crash/hang/straggler — the PR 5 schedules) kill a rank
+//     mid-coroutine; every overlapping job that lost a member aborts its
+//     survivors at the detection deadline, charges the PR 5 recovery
+//     sequence (suspect/detect/agree + backoff/shrink), and retries over the
+//     survivors under its RetryPolicy.  Link-level fault injection
+//     (drop/corrupt/...) stays exclusive to the threaded runtime: the engine
+//     rejects such plans at construction.
+//
+// The scheduler lifecycle of every job is traced as zero-duration markers
+// (kEnqueue/kFuse/kGrant/kComplete) on a dedicated pseudo-rank stream — the
+// last stream of trace() — and every work span a job's ranks record carries
+// the job id, which is what per-tenant accounting aggregates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hzccl/collectives/common.hpp"
+#include "hzccl/core/hzccl.hpp"
+#include "hzccl/sched/task.hpp"
+#include "hzccl/simmpi/faults.hpp"
+#include "hzccl/simmpi/netmodel.hpp"
+#include "hzccl/stats/metrics.hpp"
+#include "hzccl/trace/trace.hpp"
+#include "hzccl/util/pool.hpp"
+
+namespace hzccl::sched {
+
+struct EngineImpl;
+
+/// The three nonblocking collectives.  Reduce-scatter and allgather run the
+/// ring schedule; allreduce honours JobConfig::algo like run_collective.
+enum class ICollOp : int { kReduceScatter = 0, kAllreduce = 1, kAllgather = 2 };
+
+const char* icoll_op_name(ICollOp op);
+
+/// Fleet-level engine configuration.  Per-job knobs stay in JobConfig; the
+/// fleet (rank count, fabric, faults, tracing) and the admission policy are
+/// engine-wide.
+struct EngineConfig {
+  int fleet_ranks = 8;
+  simmpi::NetModel net;
+  /// Rank-fault schedules only (crash/hang/straggler).  Link-fault
+  /// probabilities (drop/corrupt/...) are a threaded-runtime feature; the
+  /// engine throws at construction when any is set.
+  simmpi::FaultPlan faults;
+  trace::Options trace;
+  /// Jobs admitted concurrently; 0 = unlimited, 1 = serialized execution
+  /// (the baseline bench_sched compares against).
+  int max_concurrent = 0;
+  /// Priority aging: a queued job's effective priority improves by one class
+  /// per quantum waited, so adversarial priority mixes cannot starve it.
+  double aging_quantum_s = 250e-6;
+  /// Tie-break salt for the admission order of equal-priority jobs.
+  uint64_t seed = 0;
+};
+
+/// Per-job submission knobs.
+struct SubmitOptions {
+  /// First fleet rank of the job's contiguous placement; the job spans
+  /// [first_rank, first_rank + config.nranks).
+  int first_rank = 0;
+  /// QoS class: lower admits first (before aging).
+  int priority = 1;
+  /// Fair-share weight of this job's flows on contended inter-node links.
+  double weight = 1.0;
+  /// Virtual time at which the job arrives in the scheduler queue.
+  double enqueue_vtime = 0.0;
+  /// Accounting label surfaced in per-tenant reports.
+  std::string tenant = "default";
+  /// Scheduler-fused constituents represented by this super-job (set by
+  /// sched::Scheduler): each gets its own lifecycle markers.
+  struct FusedMember {
+    int id = -1;
+    double enqueue_vtime = 0.0;
+  };
+  std::vector<FusedMember> fused_members;
+};
+
+/// Handle of a submitted job.
+struct Request {
+  int job = -1;
+  bool valid() const { return job >= 0; }
+};
+
+/// Final state of one job, mirroring JobResult plus the scheduler timeline.
+struct JobOutcome {
+  bool completed = false;
+  std::string error;  ///< failure reason when !completed
+
+  std::vector<float> rank0_output;  ///< lowest surviving rank's result
+  HzPipelineStats pipeline_stats;   ///< hz_add totals over all ranks
+  size_t input_bytes_per_rank = 0;
+
+  double enqueue_vtime = 0.0;
+  double grant_vtime = 0.0;
+  double complete_vtime = 0.0;
+
+  uint64_t payload_bytes_sent = 0;  ///< payload bytes this job injected
+  TransportStats transport;         ///< summed over the job's ranks
+  coll::AllreduceAlgo algo = coll::AllreduceAlgo::kRing;  ///< resolved schedule
+
+  std::vector<int> failed_ranks;  ///< fleet ranks lost across attempts
+  std::vector<int> final_group;   ///< surviving fleet ranks
+  uint32_t final_epoch = 0;       ///< engine epoch at completion
+  int attempts = 0;               ///< 1 + retries
+  std::string tenant;
+};
+
+/// The per-rank face of the engine inside a collective coroutine: the
+/// Comm-shaped surface (rank/size/group/send/charge) plus an awaitable
+/// recv.  Copyable value handle — coroutines take it by value.
+class Port;
+
+/// Awaitable returned by Port::recv: always suspends; the engine resumes
+/// the coroutine once the matching frame's transfer completes on the
+/// receiver's clock (or with the abort error after a failure detection).
+class RecvAwaitable {
+ public:
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  [[nodiscard]] std::vector<uint8_t> await_resume();
+
+ private:
+  friend class Port;
+  friend struct EngineImpl;
+  RecvAwaitable(EngineImpl* eng, int job, int vrank, int src, int tag)
+      : eng_(eng), job_(job), vrank_(vrank), src_(src), tag_(tag) {}
+
+  EngineImpl* eng_;
+  int job_;
+  int vrank_;
+  int src_;
+  int tag_;
+  std::vector<uint8_t> payload_;
+  std::exception_ptr error_;
+};
+
+class Port {
+ public:
+  [[nodiscard]] int rank() const { return vrank_; }
+  [[nodiscard]] int size() const;
+  [[nodiscard]] int phys_rank() const;
+  /// Fleet ranks of the job's current attempt, indexed by virtual rank.
+  [[nodiscard]] const std::vector<int>& group() const;
+  [[nodiscard]] const simmpi::NetModel& net() const;
+  [[nodiscard]] BufferPool& pool() const;
+
+  /// Eager send to a virtual rank of this job (never suspends).
+  void send(int dst, int tag, std::span<const uint8_t> payload);
+  void send_floats(int dst, int tag, std::span<const float> values);
+
+  /// Awaitable receive from a virtual rank of this job.
+  [[nodiscard]] RecvAwaitable recv(int src, int tag);
+
+  /// Spend straggler-scaled local time in `bucket` and record the typed,
+  /// job-attributed span — the engine's Comm::charge.
+  void charge(simmpi::CostBucket bucket, double seconds, trace::EventKind kind,
+              uint64_t bytes = 0, uint64_t bytes_out = 0);
+
+ private:
+  friend struct EngineImpl;
+  Port(EngineImpl* eng, int job, int vrank) : eng_(eng), job_(job), vrank_(vrank) {}
+
+  EngineImpl* eng_;
+  int job_;
+  int vrank_;
+};
+
+class Engine {
+ public:
+  explicit Engine(const EngineConfig& config);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Enqueue a collective job.  `input(vrank)` supplies each rank's input —
+  /// the full vector for allreduce/reduce-scatter *and* allgather (the
+  /// allgather contributes the rank's owned ring block of it, mirroring the
+  /// blocking reduce-scatter + allgather decomposition).  Returns at once;
+  /// nothing progresses until test()/wait()/run().
+  Request submit(Kernel kernel, ICollOp op, const JobConfig& config,
+                 const RankInputFn& input, const SubmitOptions& options = {});
+
+  Request iallreduce(Kernel kernel, const JobConfig& config, const RankInputFn& input,
+                     const SubmitOptions& options = {});
+  Request ireduce_scatter(Kernel kernel, const JobConfig& config, const RankInputFn& input,
+                          const SubmitOptions& options = {});
+  Request iallgather(Kernel kernel, const JobConfig& config, const RankInputFn& input,
+                     const SubmitOptions& options = {});
+
+  /// Reserve a job id without submitting anything — the Scheduler labels
+  /// fused constituents with these so their lifecycle markers share the
+  /// engine's id space.
+  int reserve_job_id();
+
+  /// True once the job reached a terminal state (does not progress work).
+  [[nodiscard]] bool test(const Request& request) const;
+
+  /// Drive the whole engine until this job completes.
+  void wait(const Request& request);
+
+  /// Drive the whole engine until every submitted job completes.
+  void run();
+
+  /// Terminal state of a completed job; throws if !test(request).
+  [[nodiscard]] const JobOutcome& outcome(const Request& request) const;
+
+  /// Jobs submitted (reserved ids included).
+  [[nodiscard]] int jobs() const;
+
+  /// Largest completion time over all finished jobs.
+  [[nodiscard]] double makespan() const;
+
+  /// Group epoch: bumped once per rank death, shared by every job.
+  [[nodiscard]] uint32_t epoch() const;
+
+  /// Per-rank event streams plus the scheduler marker pseudo-stream (always
+  /// the last stream when tracing is enabled).
+  [[nodiscard]] trace::Trace trace() const;
+
+  [[nodiscard]] std::vector<simmpi::ClockReport> clock_reports() const;
+  [[nodiscard]] std::vector<TransportStats> transport_stats() const;
+  [[nodiscard]] std::vector<HealthStats> health_stats() const;
+
+ private:
+  std::unique_ptr<EngineImpl> impl_;
+};
+
+}  // namespace hzccl::sched

@@ -1,0 +1,33 @@
+// Coroutine bodies of the nonblocking collectives.
+//
+// These are the blocking collective stacks (raw, C-Coll DOC, hZCCL — see
+// src/collectives/) transcribed onto the Port surface: identical block
+// arithmetic, identical tags, identical compression calls and clock charges,
+// with every blocking Comm::recv replaced by `co_await port.recv(...)`.
+// Because fZ-light and hz_add are bit-deterministic and the schedules are
+// unchanged, a rank's output is byte-identical to its blocking counterpart —
+// the differential sched tier pins exactly that.
+#pragma once
+
+#include <vector>
+
+#include "hzccl/sched/engine.hpp"
+
+namespace hzccl::sched {
+
+/// What one rank's collective produced.
+struct RootOutcome {
+  std::vector<float> output;      ///< full vector (allreduce/allgather) or owned block
+  HzPipelineStats stats;          ///< hz_add totals of this rank
+};
+
+/// One rank's whole collective as a lazy coroutine.  `input` is the rank's
+/// full input vector; for allgather the body contributes its owned ring
+/// block of it.  The engine starts the task at grant time and drives it
+/// through its receives.
+[[nodiscard]] Task<RootOutcome> run_rank_collective(Port port, Kernel kernel, ICollOp op,
+                                                    coll::AllreduceAlgo algo,
+                                                    coll::CollectiveConfig config,
+                                                    std::vector<float> input);
+
+}  // namespace hzccl::sched

@@ -1,0 +1,110 @@
+// Multi-tenant front end of the progress engine: gradient-bucket fusion and
+// per-tenant accounting.
+//
+// The Engine schedules whatever jobs it is given; the Scheduler is the
+// tenant-facing layer above it.  Training workloads emit storms of small
+// same-shape allreduces (per-layer gradient buckets); submitting each as its
+// own job pays the full per-frame latency ladder every time.  The Scheduler
+// fuses batches of small, identically-shaped, same-tenant jobs arriving
+// within a short window into one super-job whose per-rank input is the
+// concatenation of the members' inputs, submits the survivors to the Engine,
+// and splits the fused result back per member.  Fused members keep their own
+// identity end to end: each holds a reserved engine job id, so the trace
+// carries kEnqueue/kFuse/kComplete markers per member and kGrant/kComplete
+// on the super-job (enqueue <= fuse <= grant <= complete per id — the
+// check_sched_spans invariant).
+//
+// Fusion changes the compression chunking (fZ-light sizes its chunk table
+// from the element count), so a fused member's result is *not* bitwise equal
+// to its solo run — it is equal within the same error bound, which is what
+// the property tier asserts.  Jobs that need bitwise solo results submit
+// with fusable = false.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hzccl/sched/engine.hpp"
+
+namespace hzccl::sched {
+
+struct SchedulerConfig {
+  EngineConfig engine;
+  bool fusion = true;
+  /// A job is a fusion candidate only if its per-rank input is at most this
+  /// many bytes (small-message regime where per-frame latency dominates).
+  size_t fusion_threshold_bytes = 64 * 1024;
+  /// Candidates arriving within this window of the batch head fuse together.
+  double fusion_window_s = 100e-6;
+};
+
+/// One tenant-submitted collective.
+struct TenantJobSpec {
+  std::string tenant = "default";
+  Kernel kernel = Kernel::kMpi;
+  ICollOp op = ICollOp::kAllreduce;
+  JobConfig config;
+  RankInputFn input;  ///< input(job_local_rank) -> this rank's vector
+  int first_rank = 0;
+  int priority = 1;
+  double weight = 1.0;
+  double enqueue_vtime = 0.0;
+  /// Opt out of fusion (bitwise-reproducible solo runs).
+  bool fusable = true;
+};
+
+/// Outcome of one tenant job, fused or not.
+struct TenantJobResult {
+  bool completed = false;
+  std::string error;
+  std::vector<float> rank0_output;  ///< fused members get their slice
+  double enqueue_vtime = 0.0;
+  double grant_vtime = 0.0;
+  double complete_vtime = 0.0;
+  bool fused = false;
+  int engine_job = -1;  ///< super-job id when fused
+  std::string tenant;
+};
+
+/// Per-tenant roll-up.
+struct TenantUsage {
+  std::string tenant;
+  int jobs = 0;
+  int completed = 0;
+  int fused = 0;
+  uint64_t payload_bytes_sent = 0;
+  /// Attributed span-seconds over the trace (sum of the tenant's jobs'
+  /// aggregate_by_job totals); 0 when tracing is off.
+  double busy_seconds = 0.0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedulerConfig& config);
+
+  /// Record a job; returns its index into results().  Nothing reaches the
+  /// engine until run().
+  int submit(TenantJobSpec spec);
+
+  /// Fuse, submit everything, and drive the engine to completion.
+  void run();
+
+  [[nodiscard]] const std::vector<TenantJobResult>& results() const;
+
+  /// Per-tenant accounting, sorted by tenant name.  Only valid after run().
+  [[nodiscard]] std::vector<TenantUsage> usage() const;
+
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] const Engine& engine() const { return engine_; }
+  [[nodiscard]] double makespan() const { return engine_.makespan(); }
+
+ private:
+  SchedulerConfig config_;
+  Engine engine_;
+  std::vector<TenantJobSpec> specs_;
+  std::vector<TenantJobResult> results_;
+  std::vector<std::string> job_tenant_;  ///< engine job id -> tenant
+  bool ran_ = false;
+};
+
+}  // namespace hzccl::sched

@@ -1,0 +1,182 @@
+// Lazy coroutine task for the progress engine.
+//
+// The nonblocking collectives are the blocking ring/rd/rab/2level bodies
+// rewritten as coroutines: every Comm::recv becomes a suspension point, so
+// one OS thread can interleave thousands of per-rank state machines at frame
+// granularity while each rank's *virtual* clock advances independently.
+// Task<T> is the minimal lazy task that makes this safe:
+//
+//   * lazy start (initial_suspend = suspend_always): the engine decides when
+//     a rank's collective begins, so grant time — not construction time — is
+//     the first clock charge;
+//   * symmetric transfer on completion: a child task resumes its awaiting
+//     parent without growing the native stack, so deep helper nesting
+//     (two-level -> ring reduce-scatter -> per-step combines) is stack-safe;
+//   * exception transport: a throw inside a rank body (decode failure,
+//     injected crash) is captured and rethrown at the await/take site, which
+//     is how the engine funnels per-rank failures into the job retry loop;
+//   * owning handle with destroy-on-drop: destroying a Task destroys the
+//     whole suspended frame chain (awaited child frames live inside their
+//     parent's frame), which is exactly how a crashed rank's parked
+//     collective is torn down mid-flight without resuming it.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace hzccl::sched {
+
+namespace detail {
+
+/// Resumes the continuation (the awaiting parent, or a noop for a root task
+/// driven by the engine) when a task's body finishes.
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+    return h.promise().continuation;
+  }
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation = std::noop_coroutine();
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A lazily started coroutine computing a T.  Move-only; the handle owns the
+/// frame.  Await it (`co_await std::move(task)` or awaiting a temporary) to
+/// run it as a child, or resume `handle()` directly to drive it as a root.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    T value{};
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { reset(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool done() const { return h_.done(); }
+  std::coroutine_handle<> handle() const { return h_; }
+
+  /// Destroy the frame (and, recursively, any suspended child frames stored
+  /// within it).  Safe on a suspended or finished coroutine.
+  void reset() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+
+  /// Result of a finished task: rethrows a captured exception or moves the
+  /// value out.
+  T take() {
+    if (h_.promise().error) std::rethrow_exception(h_.promise().error);
+    return std::move(h_.promise().value);
+  }
+
+  auto operator co_await() noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;  // symmetric transfer: start the child now
+      }
+      T await_resume() {
+        if (h.promise().error) std::rethrow_exception(h.promise().error);
+        return std::move(h.promise().value);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+
+  std::coroutine_handle<promise_type> h_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() noexcept {}
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { reset(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool done() const { return h_.done(); }
+  std::coroutine_handle<> handle() const { return h_; }
+
+  void reset() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+
+  void take() {
+    if (h_.promise().error) std::rethrow_exception(h_.promise().error);
+  }
+
+  auto operator co_await() noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;
+      }
+      void await_resume() {
+        if (h.promise().error) std::rethrow_exception(h.promise().error);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace hzccl::sched

@@ -58,11 +58,22 @@ enum class EventKind : uint8_t {
   kAgree = 13,      ///< agreement round over the failed-rank set
   kShrink = 14,     ///< group rebuild over the survivors (epoch bump)
   kBackoff = 15,    ///< retry-policy backoff before re-running a collective
+  // Scheduler lifecycle markers (sched::Engine): zero-duration control-plane
+  // events on the scheduler's pseudo-rank stream, attributed to a job via
+  // Event::job.  They carry no time, so phase/bucket reconciliation over the
+  // compute/transport spans is undisturbed.
+  kEnqueue = 16,    ///< job arrived in the scheduler queue
+  kFuse = 17,       ///< job absorbed into a fused super-job bucket
+  kGrant = 18,      ///< job admitted: per-rank progress begins
+  kComplete = 19,   ///< job finished (aux 0) or exhausted its retries (aux 1)
 };
-inline constexpr int kNumEventKinds = 16;
+inline constexpr int kNumEventKinds = 20;
 
 std::string kind_name(EventKind k);
 bool kind_is_transport(EventKind k);
+/// Scheduler lifecycle markers (kEnqueue..kComplete) — neither compute nor
+/// transport; excluded from the byte counters and the phase buckets.
+bool kind_is_sched(EventKind k);
 
 /// Disambiguates kRetransmit events so TransportStats reconciles exactly:
 /// retransmits count aux==kAuxRetransmit, raw_fallbacks count kAuxRawFallback.
@@ -78,6 +89,11 @@ inline constexpr uint8_t kAuxStaleEpoch = 2;
 /// byte-identical.
 inline constexpr uint8_t kAuxAlgoBase = 16;
 
+/// Event::job sentinel: the span is not attributed to any scheduler job.
+/// Blocking (non-scheduler) runs leave every event unattributed, so their
+/// exported JSON — including the pinned golden trace — is unchanged.
+inline constexpr uint8_t kNoJob = 0xFF;
+
 /// One recorded span of virtual time.  Trivially copyable by design: the
 /// ring buffer stores events as raw bytes from a pooled buffer.
 struct Event {
@@ -90,10 +106,14 @@ struct Event {
   int32_t tag = -1;       ///< message tag (transport kinds)
   EventKind kind = EventKind::kSend;
   uint8_t aux = 0;        ///< kind-specific detail (see kAux*)
+  uint8_t job = kNoJob;   ///< scheduler job id (per-tenant attribution)
 
   double duration() const { return t1 - t0; }
 };
 static_assert(std::is_trivially_copyable_v<Event>, "events travel through byte rings");
+// The job field lives in what used to be tail padding: the wire/ring layout
+// (and the Recorder's 56-byte copy) is unchanged.
+static_assert(sizeof(Event) == 56, "Event layout is pinned by the ring buffer");
 
 /// Per-job recording configuration (JobConfig::trace / Runtime ctor).
 struct Options {
@@ -176,6 +196,7 @@ struct RankPhases {
   double comm = 0.0;  ///< kSend + kRecv + kRetransmit + kDiscard
   double idle = 0.0;  ///< kWait + kStall
   double recovery = 0.0;  ///< kSuspect + kDetect + kAgree + kShrink + kBackoff
+  double sched = 0.0;     ///< kEnqueue..kComplete (zero-duration markers: stays 0)
   double total = 0.0; ///< end of the rank's last span
 
   uint64_t events = 0;
@@ -186,7 +207,7 @@ struct RankPhases {
   /// DPR+CPT+CPR+HPR — the paper's "compression-related" share.
   double doc_related() const { return cpr + dpr + cpt + hpr; }
   /// Sum of every span duration (== total minus unattributed time).
-  double accounted() const { return doc_related() + pack + comm + idle + recovery; }
+  double accounted() const { return doc_related() + pack + comm + idle + recovery + sched; }
   double percent(double part) const { return total > 0.0 ? 100.0 * part / total : 0.0; }
 };
 
@@ -201,5 +222,32 @@ struct Breakdown {
 /// Event count per kind for one rank's stream — the reconciliation helper
 /// the trace-invariant tests difference against TransportStats.
 std::array<uint64_t, kNumEventKinds> count_kinds(const std::vector<Event>& events);
+
+// ---------------------------------------------------------------------------
+// Scheduler-span invariants (the PR-4 checker extended to the sched tier).
+// ---------------------------------------------------------------------------
+
+/// Verdict of check_sched_spans.  `jobs` counts distinct job ids that carry
+/// at least one scheduler lifecycle marker.
+struct SchedCheckReport {
+  bool valid = false;
+  std::string error;  ///< first violation when !valid
+  int jobs = 0;
+};
+
+/// Structural invariants over the scheduler markers of one trace:
+///   * every marker is zero-duration and attributed to a job (job != kNoJob);
+///   * per job: exactly one kEnqueue, at most one kFuse/kGrant/kComplete;
+///   * ordering enqueue <= fuse <= grant <= complete in virtual time;
+///   * every job-attributed compute/transport span of a completed job lies
+///     inside its [grant, complete] window.
+/// A trace with no scheduler markers is trivially valid (jobs == 0).
+[[nodiscard]] SchedCheckReport check_sched_spans(const Trace& trace);
+
+/// Per-job phase totals: the RankPhases aggregation restricted to events
+/// attributed to each job id, summed across ranks.  Index = job id; sized to
+/// the largest attributed id + 1 (empty if nothing is attributed).  This is
+/// what "per-tenant span attribution sums to job totals" reconciles against.
+std::vector<RankPhases> aggregate_by_job(const Trace& trace);
 
 }  // namespace hzccl::trace

@@ -1,0 +1,874 @@
+// Nonblocking collective bodies: the blocking stacks transcribed onto Port.
+//
+// Each function here is a line-for-line transcription of its blocking
+// counterpart in src/collectives/ — same block arithmetic, same tags, same
+// compression calls, same clock charges — with Comm::recv* replaced by
+// `co_await port.recv(...)` and the thread-local BufferPool replaced by the
+// engine-wide one.  The engine models a clean transport (link faults are
+// rejected at construction), so the healing branches of recv_checked_block
+// and combine_checked_block reduce to their no-fault paths: a stream that
+// does not decode is a producer bug and throws, exactly as the blocking code
+// does when no faults are injected.  Keep the two in lockstep: the sched
+// differential tier pins byte-identical outputs against src/collectives/.
+#include "hzccl/sched/icoll.hpp"
+
+#include <cstring>
+#include <numeric>
+#include <utility>
+
+#include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/homomorphic/hz_dynamic.hpp"
+#include "hzccl/util/error.hpp"
+
+namespace hzccl::sched {
+
+using coll::ag_recv_block;
+using coll::ag_send_block;
+using coll::AllreduceAlgo;
+using coll::CollectiveConfig;
+using coll::kTagAllgather;
+using coll::kTagDoubling;
+using coll::kTagHalving;
+using coll::kTagIntraBcast;
+using coll::kTagIntraReduce;
+using coll::kTagReduceScatter;
+using coll::reduce_combine_span;
+using coll::ring_block_range;
+using coll::ring_next;
+using coll::ring_prev;
+using coll::rs_owned_block;
+using coll::rs_recv_block;
+using coll::rs_send_block;
+using simmpi::CostBucket;
+using simmpi::Mode;
+
+namespace {
+
+// Raw recursive-doubling tags (private to algorithms.cpp, duplicated here).
+constexpr int kTagFold = 1 << 22;
+constexpr int kTagStep = (1 << 22) + 1;
+constexpr int kTagUnfold = (1 << 22) + 4096;
+
+// -- Receive adapters -------------------------------------------------------
+
+/// recv_floats_into: the payload must carry exactly `out.size()` floats.
+void floats_from_payload(std::span<float> out, const std::vector<uint8_t>& payload) {
+  if (payload.size() != out.size_bytes()) {
+    throw Error("sched: received frame carries " + std::to_string(payload.size()) +
+                " bytes where " + std::to_string(out.size_bytes()) + " were expected");
+  }
+  std::memcpy(out.data(), payload.data(), payload.size());
+}
+
+/// recv_checked_block on a clean transport: the stream must decode to the
+/// expected element count (anything else is a producer bug, as in the
+/// blocking path with no faults injected).
+CompressedBuffer stream_from_payload(std::vector<uint8_t> payload, size_t expect_elements) {
+  CompressedBuffer out;
+  out.bytes = std::move(payload);
+  if (!coll::fz_stream_decodes(out.bytes, expect_elements)) {
+    throw FormatError("received stream does not decode to the expected block");
+  }
+  return out;
+}
+
+// -- Shared compression helpers (ccoll.cpp / hzccl_coll.cpp transcripts) ----
+
+CompressedBuffer compress_block(Port& port, std::span<const float> block,
+                                const CollectiveConfig& config) {
+  const FzParams params = config.fz_params(block.size());
+  CompressedBuffer out = fz_compress(block, params, &port.pool());
+  port.charge(CostBucket::kCpr, config.cost.seconds_fz_compress(block.size_bytes(), config.mode),
+              trace::EventKind::kCompress, block.size_bytes(), out.bytes.size());
+  return out;
+}
+
+void decompress_block(Port& port, const CompressedBuffer& compressed, std::span<float> out,
+                      const CollectiveConfig& config) {
+  fz_decompress(compressed, out, config.host_threads);
+  port.charge(CostBucket::kDpr, config.cost.seconds_fz_decompress(out.size_bytes(), config.mode),
+              trace::EventKind::kDecompress, out.size_bytes(), compressed.bytes.size());
+}
+
+std::vector<CompressedBuffer> compress_all_blocks(Port& port, std::span<const float> input,
+                                                  int nblocks, const CollectiveConfig& config) {
+  std::vector<CompressedBuffer> blocks(static_cast<size_t>(nblocks));
+  for (int b = 0; b < nblocks; ++b) {
+    const Range r = ring_block_range(input.size(), nblocks, b);
+    const FzParams params = config.fz_params(r.size());
+    blocks[static_cast<size_t>(b)] =
+        fz_compress(std::span<const float>(input.data() + r.begin, r.size()), params,
+                    &port.pool());
+  }
+  uint64_t compressed_bytes = 0;
+  for (const CompressedBuffer& b : blocks) compressed_bytes += b.bytes.size();
+  port.charge(CostBucket::kCpr, config.cost.seconds_fz_compress(input.size_bytes(), config.mode),
+              trace::EventKind::kCompress, input.size_bytes(), compressed_bytes);
+  return blocks;
+}
+
+/// combine_checked_block's clean (HPR) round: hz_add the received stream
+/// into the accumulator.  An operand that parsed but will not reduce
+/// homomorphically propagates — the blocking path rethrows too when no
+/// faults are injected.
+void combine_compressed(Port& port, CompressedBuffer& acc, CompressedBuffer received,
+                        size_t elements, const CollectiveConfig& config,
+                        HzPipelineStats* pipeline_stats) {
+  HzPipelineStats stats;
+  CompressedBuffer summed = hz_add(acc, received, &stats, config.host_threads, &port.pool());
+  port.charge(CostBucket::kHpr, config.cost.seconds_hz_add(stats, config.block_len, config.mode),
+              trace::EventKind::kHomReduce, elements * sizeof(float), summed.bytes.size());
+  if (pipeline_stats) *pipeline_stats += stats;
+  port.pool().release(std::move(received.bytes));
+  port.pool().release(std::move(acc.bytes));
+  acc = std::move(summed);
+}
+
+std::vector<int> identity_members(int size) {
+  std::vector<int> members(static_cast<size_t>(size));
+  std::iota(members.begin(), members.end(), 0);
+  return members;
+}
+
+void require_sum(const CollectiveConfig& config) {
+  if (config.reduce_op != coll::ReduceOp::kSum) {
+    throw Error(
+        "hZCCL collectives reduce homomorphically and support kSum only; "
+        "use the C-Coll (DOC) stack for min/max");
+  }
+}
+
+int largest_power_of_two_below(int n) {
+  int p2 = 1;
+  while (p2 * 2 <= n) p2 *= 2;
+  return p2;
+}
+
+/// Node grouping of the two-level schedules (identical loop in
+/// algorithms.cpp and hzccl_coll.cpp): leaders, my node's members, and my
+/// leader's index in the leader ring.
+struct NodeGroups {
+  std::vector<int> leaders;
+  std::vector<int> node_members;
+  int my_leader_idx = -1;
+};
+
+NodeGroups node_groups(const Port& port) {
+  NodeGroups g;
+  const simmpi::Topology& topo = port.net().topo;
+  const std::vector<int>& group = port.group();
+  const int size = port.size();
+  const int my_node = topo.node_of(group[static_cast<size_t>(port.rank())]);
+  int prev_node = -1;
+  for (int v = 0; v < size; ++v) {
+    const int node = topo.node_of(group[static_cast<size_t>(v)]);
+    if (node != prev_node) {
+      if (node == my_node) g.my_leader_idx = static_cast<int>(g.leaders.size());
+      g.leaders.push_back(v);
+      prev_node = node;
+    }
+    if (node == my_node) g.node_members.push_back(v);
+  }
+  return g;
+}
+
+// -- Raw (MPI-like) stack ---------------------------------------------------
+
+Task<std::vector<float>> raw_irs(Port port, std::span<const float> input,
+                                 CollectiveConfig config) {
+  const int size = port.size();
+  const int rank = port.rank();
+  const size_t total = input.size();
+
+  std::vector<float> acc(input.begin(), input.end());
+  port.charge(CostBucket::kOther, config.cost.seconds_memcpy(total * sizeof(float)),
+              trace::EventKind::kPack, total * sizeof(float));
+
+  for (int step = 0; step < size - 1; ++step) {
+    const Range send_r = ring_block_range(total, size, rs_send_block(rank, step, size));
+    const Range recv_r = ring_block_range(total, size, rs_recv_block(rank, step, size));
+
+    port.send_floats(ring_next(rank, size), kTagReduceScatter + step,
+                     std::span<const float>(acc.data() + send_r.begin, send_r.size()));
+    std::vector<float> recv_buf(recv_r.size());
+    floats_from_payload(recv_buf,
+                        co_await port.recv(ring_prev(rank, size), kTagReduceScatter + step));
+
+    reduce_combine_span(config.reduce_op, acc.data() + recv_r.begin, recv_buf.data(),
+                        recv_r.size());
+    port.charge(CostBucket::kCpt,
+                config.cost.seconds_raw_sum(recv_r.size() * sizeof(float), Mode::kSingleThread),
+                trace::EventKind::kReduce, recv_r.size() * sizeof(float));
+  }
+
+  const Range owned = ring_block_range(total, size, rs_owned_block(rank, size));
+  co_return std::vector<float>(acc.begin() + static_cast<ptrdiff_t>(owned.begin),
+                               acc.begin() + static_cast<ptrdiff_t>(owned.end));
+}
+
+Task<std::vector<float>> raw_iag(Port port, std::vector<float> my_block, size_t total_elements,
+                                 CollectiveConfig config) {
+  const int size = port.size();
+  const int rank = port.rank();
+
+  std::vector<float> out_full(total_elements, 0.0f);
+  const Range own = ring_block_range(total_elements, size, rs_owned_block(rank, size));
+  if (my_block.size() != own.size()) {
+    throw Error("raw_allgather: my_block size does not match the owned block");
+  }
+  std::memcpy(out_full.data() + own.begin, my_block.data(), my_block.size() * sizeof(float));
+  port.charge(CostBucket::kOther, config.cost.seconds_memcpy(my_block.size() * sizeof(float)),
+              trace::EventKind::kPack, my_block.size() * sizeof(float));
+
+  for (int step = 0; step < size - 1; ++step) {
+    const Range send_r = ring_block_range(total_elements, size, ag_send_block(rank, step, size));
+    const Range recv_r = ring_block_range(total_elements, size, ag_recv_block(rank, step, size));
+    port.send_floats(ring_next(rank, size), kTagAllgather + step,
+                     std::span<const float>(out_full.data() + send_r.begin, send_r.size()));
+    floats_from_payload(std::span<float>(out_full.data() + recv_r.begin, recv_r.size()),
+                        co_await port.recv(ring_prev(rank, size), kTagAllgather + step));
+  }
+  co_return out_full;
+}
+
+Task<std::vector<float>> raw_iallreduce(Port port, std::span<const float> input,
+                                        CollectiveConfig config) {
+  std::vector<float> block = co_await raw_irs(port, input, config);
+  co_return co_await raw_iag(port, std::move(block), input.size(), config);
+}
+
+Task<std::vector<float>> raw_ird(Port port, std::span<const float> input,
+                                 CollectiveConfig config) {
+  const int size = port.size();
+  const int rank = port.rank();
+  std::vector<float> acc(input.begin(), input.end());
+  port.charge(CostBucket::kOther, config.cost.seconds_memcpy(input.size_bytes()),
+              trace::EventKind::kPack, input.size_bytes());
+
+  const auto reduce_into = [&](std::span<const float> incoming, size_t offset) {
+    reduce_combine_span(config.reduce_op, acc.data() + offset, incoming.data(), incoming.size());
+    port.charge(CostBucket::kCpt,
+                config.cost.seconds_raw_sum(incoming.size() * sizeof(float), Mode::kSingleThread),
+                trace::EventKind::kReduce, incoming.size() * sizeof(float));
+  };
+
+  const int p2 = largest_power_of_two_below(size);
+  const int rem = size - p2;
+
+  int active = -1;
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      port.send_floats(rank + 1, kTagFold, acc);
+    } else {
+      std::vector<float> incoming(acc.size());
+      floats_from_payload(incoming, co_await port.recv(rank - 1, kTagFold));
+      reduce_into(incoming, 0);
+      active = rank / 2;
+    }
+  } else {
+    active = rank - rem;
+  }
+
+  const auto real_rank_of = [&](int active_rank) {
+    return active_rank < rem ? 2 * active_rank + 1 : active_rank + rem;
+  };
+
+  if (active >= 0) {
+    std::vector<float> incoming(acc.size());
+    int step = 0;
+    for (int mask = 1; mask < p2; mask <<= 1, ++step) {
+      const int partner = real_rank_of(active ^ mask);
+      port.send_floats(partner, kTagStep + step, acc);
+      floats_from_payload(incoming, co_await port.recv(partner, kTagStep + step));
+      reduce_into(incoming, 0);
+    }
+  }
+
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      floats_from_payload(acc, co_await port.recv(rank + 1, kTagUnfold));
+    } else {
+      port.send_floats(rank - 1, kTagUnfold, acc);
+    }
+  }
+  co_return acc;
+}
+
+Task<std::vector<float>> raw_irab(Port port, std::span<const float> input,
+                                  CollectiveConfig config) {
+  const int size = port.size();
+  const int rank = port.rank();
+  if ((size & (size - 1)) != 0) {
+    co_return co_await raw_iallreduce(port, input, config);
+  }
+
+  std::vector<float> acc(input.begin(), input.end());
+  port.charge(CostBucket::kOther, config.cost.seconds_memcpy(input.size_bytes()),
+              trace::EventKind::kPack, input.size_bytes());
+
+  const auto reduce_into = [&](std::span<const float> incoming, size_t offset) {
+    reduce_combine_span(config.reduce_op, acc.data() + offset, incoming.data(), incoming.size());
+    port.charge(CostBucket::kCpt,
+                config.cost.seconds_raw_sum(incoming.size() * sizeof(float), Mode::kSingleThread),
+                trace::EventKind::kReduce, incoming.size() * sizeof(float));
+  };
+
+  size_t lo = 0, hi = acc.size();
+  std::vector<std::pair<size_t, size_t>> splits;
+  std::vector<float> incoming;
+  int step = 0;
+  for (int mask = size / 2; mask >= 1; mask >>= 1, ++step) {
+    const int partner = rank ^ mask;
+    const size_t mid = lo + (hi - lo) / 2;
+    splits.emplace_back(lo, hi);
+    if (rank < partner) {
+      port.send_floats(partner, kTagStep + step,
+                       std::span<const float>(acc.data() + mid, hi - mid));
+      incoming.resize(mid - lo);
+      floats_from_payload(incoming, co_await port.recv(partner, kTagStep + step));
+      reduce_into(incoming, lo);
+      hi = mid;
+    } else {
+      port.send_floats(partner, kTagStep + step,
+                       std::span<const float>(acc.data() + lo, mid - lo));
+      incoming.resize(hi - mid);
+      floats_from_payload(incoming, co_await port.recv(partner, kTagStep + step));
+      reduce_into(incoming, mid);
+      lo = mid;
+    }
+  }
+
+  for (int mask = 1; mask < size; mask <<= 1, ++step) {
+    const int partner = rank ^ mask;
+    const auto [parent_lo, parent_hi] = splits.back();
+    splits.pop_back();
+    port.send_floats(partner, kTagStep + step,
+                     std::span<const float>(acc.data() + lo, hi - lo));
+    if (lo == parent_lo) {
+      floats_from_payload(std::span<float>(acc.data() + hi, parent_hi - hi),
+                          co_await port.recv(partner, kTagStep + step));
+    } else {
+      floats_from_payload(std::span<float>(acc.data() + parent_lo, lo - parent_lo),
+                          co_await port.recv(partner, kTagStep + step));
+    }
+    lo = parent_lo;
+    hi = parent_hi;
+  }
+  co_return acc;
+}
+
+Task<std::vector<float>> raw_i2level(Port port, std::span<const float> input,
+                                     CollectiveConfig config) {
+  const NodeGroups g = node_groups(port);
+  const int rank = port.rank();
+  const int leader = g.node_members.front();
+
+  if (rank != leader) {
+    port.send_floats(leader, kTagIntraReduce + rank, input);
+    std::vector<float> out_full(input.size());
+    floats_from_payload(out_full, co_await port.recv(leader, kTagIntraBcast + rank));
+    co_return out_full;
+  }
+
+  std::vector<float> acc(input.begin(), input.end());
+  port.charge(CostBucket::kOther, config.cost.seconds_memcpy(input.size_bytes()),
+              trace::EventKind::kPack, input.size_bytes());
+  std::vector<float> incoming;
+  for (size_t m = 1; m < g.node_members.size(); ++m) {
+    const int member = g.node_members[m];
+    incoming.resize(input.size());
+    floats_from_payload(incoming, co_await port.recv(member, kTagIntraReduce + member));
+    reduce_combine_span(config.reduce_op, acc.data(), incoming.data(), acc.size());
+    port.charge(CostBucket::kCpt,
+                config.cost.seconds_raw_sum(input.size_bytes(), Mode::kSingleThread),
+                trace::EventKind::kReduce, input.size_bytes());
+  }
+
+  const int nleaders = static_cast<int>(g.leaders.size());
+  if (nleaders > 1) {
+    const int idx = g.my_leader_idx;
+    for (int step = 0; step < nleaders - 1; ++step) {
+      const Range send_r =
+          ring_block_range(acc.size(), nleaders, rs_send_block(idx, step, nleaders));
+      port.send_floats(g.leaders[static_cast<size_t>(ring_next(idx, nleaders))],
+                       kTagReduceScatter + step,
+                       std::span<const float>(acc.data() + send_r.begin, send_r.size()));
+      const Range recv_r =
+          ring_block_range(acc.size(), nleaders, rs_recv_block(idx, step, nleaders));
+      incoming.resize(recv_r.size());
+      floats_from_payload(
+          incoming, co_await port.recv(g.leaders[static_cast<size_t>(ring_prev(idx, nleaders))],
+                                       kTagReduceScatter + step));
+      reduce_combine_span(config.reduce_op, acc.data() + recv_r.begin, incoming.data(),
+                          recv_r.size());
+      port.charge(CostBucket::kCpt,
+                  config.cost.seconds_raw_sum(recv_r.size() * sizeof(float), Mode::kSingleThread),
+                  trace::EventKind::kReduce, recv_r.size() * sizeof(float));
+    }
+    for (int step = 0; step < nleaders - 1; ++step) {
+      const Range send_r =
+          ring_block_range(acc.size(), nleaders, ag_send_block(idx, step, nleaders));
+      port.send_floats(g.leaders[static_cast<size_t>(ring_next(idx, nleaders))],
+                       kTagAllgather + step,
+                       std::span<const float>(acc.data() + send_r.begin, send_r.size()));
+      const Range recv_r =
+          ring_block_range(acc.size(), nleaders, ag_recv_block(idx, step, nleaders));
+      floats_from_payload(std::span<float>(acc.data() + recv_r.begin, recv_r.size()),
+                          co_await port.recv(
+                              g.leaders[static_cast<size_t>(ring_prev(idx, nleaders))],
+                              kTagAllgather + step));
+    }
+  }
+
+  for (size_t m = 1; m < g.node_members.size(); ++m) {
+    port.send_floats(g.node_members[m], kTagIntraBcast + g.node_members[m], acc);
+  }
+  co_return acc;
+}
+
+// -- C-Coll (DOC) stack -----------------------------------------------------
+
+Task<std::vector<float>> ccoll_irs(Port port, std::span<const float> input,
+                                   CollectiveConfig config) {
+  const int size = port.size();
+  const int rank = port.rank();
+  const size_t total = input.size();
+
+  std::vector<float> acc(input.begin(), input.end());
+  port.charge(CostBucket::kOther, config.cost.seconds_memcpy(total * sizeof(float)),
+              trace::EventKind::kPack, total * sizeof(float));
+
+  std::vector<float> decoded;
+  for (int step = 0; step < size - 1; ++step) {
+    const Range send_r = ring_block_range(total, size, rs_send_block(rank, step, size));
+    const Range recv_r = ring_block_range(total, size, rs_recv_block(rank, step, size));
+
+    CompressedBuffer to_send = compress_block(
+        port, std::span<const float>(acc.data() + send_r.begin, send_r.size()), config);
+    port.send(ring_next(rank, size), kTagReduceScatter + step, to_send.span());
+    port.pool().release(std::move(to_send.bytes));
+
+    CompressedBuffer received = stream_from_payload(
+        co_await port.recv(ring_prev(rank, size), kTagReduceScatter + step), recv_r.size());
+    decoded.resize(recv_r.size());
+    decompress_block(port, received, decoded, config);
+    port.pool().release(std::move(received.bytes));
+
+    reduce_combine_span(config.reduce_op, acc.data() + recv_r.begin, decoded.data(),
+                        recv_r.size());
+    port.charge(CostBucket::kCpt,
+                config.cost.seconds_raw_sum(recv_r.size() * sizeof(float), config.mode),
+                trace::EventKind::kReduce, recv_r.size() * sizeof(float));
+  }
+
+  const Range owned = ring_block_range(total, size, rs_owned_block(rank, size));
+  co_return std::vector<float>(acc.begin() + static_cast<ptrdiff_t>(owned.begin),
+                               acc.begin() + static_cast<ptrdiff_t>(owned.end));
+}
+
+Task<std::vector<float>> ccoll_iag(Port port, std::vector<float> my_block,
+                                   size_t total_elements, CollectiveConfig config) {
+  const int size = port.size();
+  const int rank = port.rank();
+
+  std::vector<float> out_full(total_elements, 0.0f);
+  const Range own = ring_block_range(total_elements, size, rs_owned_block(rank, size));
+  if (my_block.size() != own.size()) {
+    throw Error("ccoll_allgather: my_block size does not match the owned block");
+  }
+  std::memcpy(out_full.data() + own.begin, my_block.data(), my_block.size() * sizeof(float));
+
+  std::vector<CompressedBuffer> blocks(static_cast<size_t>(size));
+  blocks[static_cast<size_t>(rs_owned_block(rank, size))] =
+      compress_block(port, my_block, config);
+
+  for (int step = 0; step < size - 1; ++step) {
+    const int send_idx = ag_send_block(rank, step, size);
+    const int recv_idx = ag_recv_block(rank, step, size);
+    port.send(ring_next(rank, size), kTagAllgather + step,
+              blocks[static_cast<size_t>(send_idx)].span());
+    const Range recv_r = ring_block_range(total_elements, size, recv_idx);
+    blocks[static_cast<size_t>(recv_idx)] = stream_from_payload(
+        co_await port.recv(ring_prev(rank, size), kTagAllgather + step), recv_r.size());
+  }
+
+  for (int b = 0; b < size; ++b) {
+    if (b != rs_owned_block(rank, size)) {
+      const Range r = ring_block_range(total_elements, size, b);
+      decompress_block(port, blocks[static_cast<size_t>(b)],
+                       std::span<float>(out_full.data() + r.begin, r.size()), config);
+    }
+    port.pool().release(std::move(blocks[static_cast<size_t>(b)].bytes));
+  }
+  co_return out_full;
+}
+
+Task<std::vector<float>> ccoll_iallreduce(Port port, std::span<const float> input,
+                                          CollectiveConfig config) {
+  std::vector<float> block = co_await ccoll_irs(port, input, config);
+  co_return co_await ccoll_iag(port, std::move(block), input.size(), config);
+}
+
+// -- hZCCL (HPR) stack ------------------------------------------------------
+
+Task<CompressedBuffer> hz_irs_members(Port port, std::span<const float> input,
+                                      std::vector<int> members, int idx,
+                                      CollectiveConfig config, HzPipelineStats* pipeline_stats) {
+  const int nmembers = static_cast<int>(members.size());
+  std::vector<CompressedBuffer> blocks = compress_all_blocks(port, input, nmembers, config);
+
+  for (int step = 0; step < nmembers - 1; ++step) {
+    const int send_idx = rs_send_block(idx, step, nmembers);
+    const int recv_idx = rs_recv_block(idx, step, nmembers);
+
+    port.send(members[static_cast<size_t>(ring_next(idx, nmembers))], kTagReduceScatter + step,
+              blocks[static_cast<size_t>(send_idx)].span());
+    port.pool().release(std::move(blocks[static_cast<size_t>(send_idx)].bytes));
+
+    const Range recv_r = ring_block_range(input.size(), nmembers, recv_idx);
+    const int src = members[static_cast<size_t>(ring_prev(idx, nmembers))];
+    CompressedBuffer received = stream_from_payload(
+        co_await port.recv(src, kTagReduceScatter + step), recv_r.size());
+    combine_compressed(port, blocks[static_cast<size_t>(recv_idx)], std::move(received),
+                       recv_r.size(), config, pipeline_stats);
+  }
+
+  co_return std::move(blocks[static_cast<size_t>(rs_owned_block(idx, nmembers))]);
+}
+
+Task<std::vector<float>> hz_iag_members(Port port, CompressedBuffer my_block,
+                                        size_t total_elements, std::vector<int> members, int idx,
+                                        CollectiveConfig config) {
+  const int nmembers = static_cast<int>(members.size());
+
+  std::vector<CompressedBuffer> blocks(static_cast<size_t>(nmembers));
+  CompressedBuffer& own = blocks[static_cast<size_t>(rs_owned_block(idx, nmembers))];
+  own.bytes = port.pool().acquire(my_block.bytes.size());
+  own.bytes.assign(my_block.bytes.begin(), my_block.bytes.end());
+
+  for (int step = 0; step < nmembers - 1; ++step) {
+    const int send_idx = ag_send_block(idx, step, nmembers);
+    const int recv_idx = ag_recv_block(idx, step, nmembers);
+    port.send(members[static_cast<size_t>(ring_next(idx, nmembers))], kTagAllgather + step,
+              blocks[static_cast<size_t>(send_idx)].span());
+    const Range recv_r = ring_block_range(total_elements, nmembers, recv_idx);
+    blocks[static_cast<size_t>(recv_idx)] = stream_from_payload(
+        co_await port.recv(members[static_cast<size_t>(ring_prev(idx, nmembers))],
+                           kTagAllgather + step),
+        recv_r.size());
+  }
+
+  std::vector<float> out_full(total_elements, 0.0f);
+  uint64_t compressed_bytes = 0;
+  for (int b = 0; b < nmembers; ++b) {
+    const Range r = ring_block_range(total_elements, nmembers, b);
+    fz_decompress(blocks[static_cast<size_t>(b)],
+                  std::span<float>(out_full.data() + r.begin, r.size()), config.host_threads);
+    compressed_bytes += blocks[static_cast<size_t>(b)].bytes.size();
+    port.pool().release(std::move(blocks[static_cast<size_t>(b)].bytes));
+  }
+  port.charge(CostBucket::kDpr,
+              config.cost.seconds_fz_decompress(total_elements * sizeof(float), config.mode),
+              trace::EventKind::kDecompress, total_elements * sizeof(float), compressed_bytes);
+  co_return out_full;
+}
+
+Task<std::vector<float>> hz_irs(Port port, std::span<const float> input,
+                                CollectiveConfig config, HzPipelineStats* pipeline_stats) {
+  require_sum(config);
+  CompressedBuffer owned = co_await hz_irs_members(port, input, identity_members(port.size()),
+                                                   port.rank(), config, pipeline_stats);
+  const Range r =
+      ring_block_range(input.size(), port.size(), rs_owned_block(port.rank(), port.size()));
+  std::vector<float> out_block(r.size());
+  fz_decompress(owned, out_block, config.host_threads);
+  const uint64_t compressed_bytes = owned.bytes.size();
+  port.pool().release(std::move(owned.bytes));
+  port.charge(CostBucket::kDpr,
+              config.cost.seconds_fz_decompress(out_block.size() * sizeof(float), config.mode),
+              trace::EventKind::kDecompress, out_block.size() * sizeof(float), compressed_bytes);
+  co_return out_block;
+}
+
+Task<std::vector<float>> hz_iallreduce(Port port, std::span<const float> input,
+                                       CollectiveConfig config,
+                                       HzPipelineStats* pipeline_stats) {
+  require_sum(config);
+  CompressedBuffer owned = co_await hz_irs_members(port, input, identity_members(port.size()),
+                                                   port.rank(), config, pipeline_stats);
+  std::vector<float> out_full = co_await hz_iag_members(
+      port, std::move(owned), input.size(), identity_members(port.size()), port.rank(), config);
+  co_return out_full;
+}
+
+/// The hZCCL allgather entry point: compress the owned block, forward
+/// compressed traffic — what a blocking caller composes out of fz_compress +
+/// hzccl_allgather_compressed.
+Task<std::vector<float>> hz_iag(Port port, std::vector<float> my_block, size_t total_elements,
+                                CollectiveConfig config) {
+  CompressedBuffer own = compress_block(port, my_block, config);
+  std::vector<float> out_full = co_await hz_iag_members(
+      port, std::move(own), total_elements, identity_members(port.size()), port.rank(), config);
+  co_return out_full;
+}
+
+Task<void> hz_combine_from(Port port, CompressedBuffer& acc, size_t elements, int src, int tag,
+                           CollectiveConfig config, HzPipelineStats* pipeline_stats) {
+  CompressedBuffer received = stream_from_payload(co_await port.recv(src, tag), elements);
+  combine_compressed(port, acc, std::move(received), elements, config, pipeline_stats);
+}
+
+Task<std::vector<float>> hz_ird(Port port, std::span<const float> input,
+                                CollectiveConfig config, HzPipelineStats* pipeline_stats) {
+  require_sum(config);
+  const int size = port.size();
+  const int rank = port.rank();
+
+  CompressedBuffer acc = fz_compress(input, config.fz_params(input.size()), &port.pool());
+  port.charge(CostBucket::kCpr, config.cost.seconds_fz_compress(input.size_bytes(), config.mode),
+              trace::EventKind::kCompress, input.size_bytes(), acc.bytes.size());
+
+  const int p2 = largest_power_of_two_below(size);
+  const int rem = size - p2;
+  const int fold_tag = kTagDoubling;
+  const int unfold_tag = kTagDoubling + 4096;
+
+  int active = -1;
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      port.send(rank + 1, fold_tag, acc.span());
+    } else {
+      co_await hz_combine_from(port, acc, input.size(), rank - 1, fold_tag, config,
+                               pipeline_stats);
+      active = rank / 2;
+    }
+  } else {
+    active = rank - rem;
+  }
+
+  const auto real_rank_of = [&](int active_rank) {
+    return active_rank < rem ? 2 * active_rank + 1 : active_rank + rem;
+  };
+
+  if (active >= 0) {
+    int step = 0;
+    for (int mask = 1; mask < p2; mask <<= 1, ++step) {
+      const int partner = real_rank_of(active ^ mask);
+      port.send(partner, kTagDoubling + 1 + step, acc.span());
+      co_await hz_combine_from(port, acc, input.size(), partner, kTagDoubling + 1 + step, config,
+                               pipeline_stats);
+    }
+  }
+
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      CompressedBuffer received =
+          stream_from_payload(co_await port.recv(rank + 1, unfold_tag), input.size());
+      port.pool().release(std::move(acc.bytes));
+      acc = std::move(received);
+    } else {
+      port.send(rank - 1, unfold_tag, acc.span());
+    }
+  }
+
+  std::vector<float> out_full(input.size());
+  fz_decompress(acc, out_full, config.host_threads);
+  port.charge(CostBucket::kDpr,
+              config.cost.seconds_fz_decompress(input.size_bytes(), config.mode),
+              trace::EventKind::kDecompress, input.size_bytes(), acc.bytes.size());
+  port.pool().release(std::move(acc.bytes));
+  co_return out_full;
+}
+
+Task<std::vector<float>> hz_irab(Port port, std::span<const float> input,
+                                 CollectiveConfig config, HzPipelineStats* pipeline_stats) {
+  require_sum(config);
+  const int size = port.size();
+  const int rank = port.rank();
+  if (size == 1 || (size & (size - 1)) != 0) {
+    co_return co_await hz_iallreduce(port, input, config, pipeline_stats);
+  }
+
+  std::vector<CompressedBuffer> blocks = compress_all_blocks(port, input, size, config);
+
+  const auto tag_of = [&](int step, int block) { return kTagHalving + step * size + block; };
+
+  int blo = 0;
+  int bhi = size;
+  std::vector<std::pair<int, int>> splits;
+  int step = 0;
+  for (int mask = size / 2; mask >= 1; mask >>= 1, ++step) {
+    const int partner = rank ^ mask;
+    const int mid = blo + (bhi - blo) / 2;
+    splits.emplace_back(blo, bhi);
+    const bool keep_low = rank < partner;
+    const int send_lo = keep_low ? mid : blo;
+    const int send_hi = keep_low ? bhi : mid;
+    for (int b = send_lo; b < send_hi; ++b) {
+      port.send(partner, tag_of(step, b), blocks[static_cast<size_t>(b)].span());
+      port.pool().release(std::move(blocks[static_cast<size_t>(b)].bytes));
+    }
+    const int keep_lo = keep_low ? blo : mid;
+    const int keep_hi = keep_low ? mid : bhi;
+    for (int b = keep_lo; b < keep_hi; ++b) {
+      const Range r = ring_block_range(input.size(), size, b);
+      CompressedBuffer received =
+          stream_from_payload(co_await port.recv(partner, tag_of(step, b)), r.size());
+      combine_compressed(port, blocks[static_cast<size_t>(b)], std::move(received), r.size(),
+                         config, pipeline_stats);
+    }
+    blo = keep_lo;
+    bhi = keep_hi;
+  }
+
+  for (int mask = 1; mask < size; mask <<= 1, ++step) {
+    const int partner = rank ^ mask;
+    const auto [parent_lo, parent_hi] = splits.back();
+    splits.pop_back();
+    for (int b = blo; b < bhi; ++b) {
+      port.send(partner, tag_of(step, b), blocks[static_cast<size_t>(b)].span());
+    }
+    const int recv_lo = blo == parent_lo ? bhi : parent_lo;
+    const int recv_hi = blo == parent_lo ? parent_hi : blo;
+    for (int b = recv_lo; b < recv_hi; ++b) {
+      const Range r = ring_block_range(input.size(), size, b);
+      blocks[static_cast<size_t>(b)] =
+          stream_from_payload(co_await port.recv(partner, tag_of(step, b)), r.size());
+    }
+    blo = parent_lo;
+    bhi = parent_hi;
+  }
+
+  std::vector<float> out_full(input.size(), 0.0f);
+  uint64_t compressed_bytes = 0;
+  for (int b = 0; b < size; ++b) {
+    const Range r = ring_block_range(input.size(), size, b);
+    fz_decompress(blocks[static_cast<size_t>(b)],
+                  std::span<float>(out_full.data() + r.begin, r.size()), config.host_threads);
+    compressed_bytes += blocks[static_cast<size_t>(b)].bytes.size();
+    port.pool().release(std::move(blocks[static_cast<size_t>(b)].bytes));
+  }
+  port.charge(CostBucket::kDpr,
+              config.cost.seconds_fz_decompress(input.size_bytes(), config.mode),
+              trace::EventKind::kDecompress, input.size_bytes(), compressed_bytes);
+  co_return out_full;
+}
+
+Task<std::vector<float>> hz_i2level(Port port, std::span<const float> input,
+                                    CollectiveConfig config, HzPipelineStats* pipeline_stats) {
+  require_sum(config);
+  const NodeGroups g = node_groups(port);
+  const int rank = port.rank();
+  const int leader = g.node_members.front();
+
+  if (rank != leader) {
+    port.send_floats(leader, kTagIntraReduce + rank, input);
+    std::vector<float> out_full(input.size());
+    floats_from_payload(out_full, co_await port.recv(leader, kTagIntraBcast + rank));
+    co_return out_full;
+  }
+
+  std::vector<float> acc(input.begin(), input.end());
+  port.charge(CostBucket::kOther, config.cost.seconds_memcpy(input.size_bytes()),
+              trace::EventKind::kPack, input.size_bytes());
+  std::vector<float> incoming;
+  for (size_t m = 1; m < g.node_members.size(); ++m) {
+    const int member = g.node_members[m];
+    incoming.resize(input.size());
+    floats_from_payload(incoming, co_await port.recv(member, kTagIntraReduce + member));
+    reduce_combine_span(config.reduce_op, acc.data(), incoming.data(), acc.size());
+    port.charge(CostBucket::kCpt, config.cost.seconds_raw_sum(input.size_bytes(), config.mode),
+                trace::EventKind::kReduce, input.size_bytes());
+  }
+
+  std::vector<float> out_full;
+  if (g.leaders.size() <= 1) {
+    out_full = std::move(acc);
+  } else {
+    CompressedBuffer owned = co_await hz_irs_members(port, acc, g.leaders, g.my_leader_idx,
+                                                     config, pipeline_stats);
+    out_full = co_await hz_iag_members(port, std::move(owned), acc.size(), g.leaders,
+                                       g.my_leader_idx, config);
+  }
+
+  for (size_t m = 1; m < g.node_members.size(); ++m) {
+    port.send_floats(g.node_members[m], kTagIntraBcast + g.node_members[m], out_full);
+  }
+  co_return out_full;
+}
+
+}  // namespace
+
+Task<RootOutcome> run_rank_collective(Port port, Kernel kernel, ICollOp op,
+                                      coll::AllreduceAlgo algo, coll::CollectiveConfig config,
+                                      std::vector<float> input) {
+  RootOutcome out;
+  const bool hz = kernel == Kernel::kHzcclMultiThread || kernel == Kernel::kHzcclSingleThread;
+  const bool raw = kernel == Kernel::kMpi;
+
+  switch (op) {
+    case ICollOp::kReduceScatter: {
+      if (raw) {
+        out.output = co_await raw_irs(port, input, config);
+      } else if (hz) {
+        out.output = co_await hz_irs(port, input, config, &out.stats);
+      } else {
+        out.output = co_await ccoll_irs(port, input, config);
+      }
+      break;
+    }
+    case ICollOp::kAllgather: {
+      // The rank contributes its owned ring block of `input`, mirroring the
+      // blocking reduce-scatter + allgather decomposition.
+      const Range own =
+          ring_block_range(input.size(), port.size(), rs_owned_block(port.rank(), port.size()));
+      std::vector<float> my_block(input.begin() + static_cast<ptrdiff_t>(own.begin),
+                                  input.begin() + static_cast<ptrdiff_t>(own.end));
+      if (raw) {
+        out.output = co_await raw_iag(port, std::move(my_block), input.size(), config);
+      } else if (hz) {
+        out.output = co_await hz_iag(port, std::move(my_block), input.size(), config);
+      } else {
+        out.output = co_await ccoll_iag(port, std::move(my_block), input.size(), config);
+      }
+      break;
+    }
+    case ICollOp::kAllreduce: {
+      if (raw) {
+        switch (algo) {
+          case AllreduceAlgo::kRecursiveDoubling:
+            out.output = co_await raw_ird(port, input, config);
+            break;
+          case AllreduceAlgo::kRabenseifner:
+            out.output = co_await raw_irab(port, input, config);
+            break;
+          case AllreduceAlgo::kTwoLevel:
+            out.output = co_await raw_i2level(port, input, config);
+            break;
+          default: out.output = co_await raw_iallreduce(port, input, config); break;
+        }
+      } else if (hz) {
+        switch (algo) {
+          case AllreduceAlgo::kRecursiveDoubling:
+            out.output = co_await hz_ird(port, input, config, &out.stats);
+            break;
+          case AllreduceAlgo::kRabenseifner:
+            out.output = co_await hz_irab(port, input, config, &out.stats);
+            break;
+          case AllreduceAlgo::kTwoLevel:
+            out.output = co_await hz_i2level(port, input, config, &out.stats);
+            break;
+          default: out.output = co_await hz_iallreduce(port, input, config, &out.stats); break;
+        }
+      } else {
+        // C-Coll always rings: the DOC stack has no rd/rab/2level schedules,
+        // matching run_collective's dispatch.
+        out.output = co_await ccoll_iallreduce(port, input, config);
+      }
+      break;
+    }
+  }
+  co_return out;
+}
+
+}  // namespace hzccl::sched

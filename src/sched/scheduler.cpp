@@ -1,0 +1,261 @@
+#include "hzccl/sched/scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "hzccl/util/error.hpp"
+
+namespace hzccl::sched {
+
+namespace {
+
+/// Jobs fuse only when the super-job is indistinguishable from the members
+/// in every dimension the engine schedules on: same shape, same placement,
+/// same compression settings, same QoS.  The tenant is part of the key so
+/// per-tenant accounting of the super-job stays exact.
+using FuseKey = std::tuple<std::string,  // tenant
+                           int,          // kernel
+                           int,          // algo
+                           int,          // first_rank
+                           int,          // nranks
+                           double,       // abs error bound
+                           uint32_t,     // block_len
+                           int,          // host_threads
+                           int>;         // priority
+
+FuseKey fuse_key(const TenantJobSpec& s) {
+  return FuseKey(s.tenant, static_cast<int>(s.kernel), static_cast<int>(s.config.algo),
+                 s.first_rank, s.config.nranks, s.config.abs_error_bound, s.config.block_len,
+                 s.config.host_threads, s.priority);
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const SchedulerConfig& config)
+    : config_(config), engine_(config.engine) {}
+
+int Scheduler::submit(TenantJobSpec spec) {
+  if (ran_) throw Error("sched::Scheduler::submit: run() was already called");
+  if (!spec.input) throw Error("sched::Scheduler::submit: a rank-input function is required");
+  const int index = static_cast<int>(specs_.size());
+  specs_.push_back(std::move(spec));
+  return index;
+}
+
+void Scheduler::run() {
+  if (ran_) throw Error("sched::Scheduler::run: run() was already called");
+  ran_ = true;
+  results_.assign(specs_.size(), TenantJobResult{});
+
+  // Partition into fusion batches.  Only small allreduces opt in; everything
+  // else submits as-is.  Within a key, candidates sort by arrival and chunk
+  // greedily: a batch closes when the next candidate arrives more than
+  // fusion_window_s after the batch head.
+  std::map<FuseKey, std::vector<int>> buckets;
+  std::vector<char> is_candidate(specs_.size(), 0);
+  if (config_.fusion) {
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      const TenantJobSpec& s = specs_[i];
+      if (!s.fusable || s.op != ICollOp::kAllreduce) continue;
+      if (s.input(0).size() * sizeof(float) > config_.fusion_threshold_bytes) continue;
+      is_candidate[i] = 1;
+      buckets[fuse_key(s)].push_back(static_cast<int>(i));
+    }
+  }
+
+  struct Batch {
+    std::vector<int> members;
+  };
+  std::vector<Batch> batches;
+  for (auto& [key, indices] : buckets) {
+    std::sort(indices.begin(), indices.end(), [&](int a, int b) {
+      const double ta = specs_[static_cast<size_t>(a)].enqueue_vtime;
+      const double tb = specs_[static_cast<size_t>(b)].enqueue_vtime;
+      return ta != tb ? ta < tb : a < b;
+    });
+    Batch batch;
+    double head = 0.0;
+    for (const int i : indices) {
+      const double t = specs_[static_cast<size_t>(i)].enqueue_vtime;
+      if (!batch.members.empty() && t - head > config_.fusion_window_s) {
+        batches.push_back(std::move(batch));
+        batch = Batch{};
+      }
+      if (batch.members.empty()) head = t;
+      batch.members.push_back(i);
+    }
+    if (!batch.members.empty()) batches.push_back(std::move(batch));
+  }
+  // A batch of one is no fusion at all.
+  std::vector<char> fused(specs_.size(), 0);
+  std::vector<Batch> super_batches;
+  for (Batch& b : batches) {
+    if (b.members.size() < 2) continue;
+    for (const int i : b.members) fused[static_cast<size_t>(i)] = 1;
+    super_batches.push_back(std::move(b));
+  }
+
+  struct Submitted {
+    Request request;
+    std::vector<int> members;          ///< spec indices (singles: one entry)
+    std::vector<size_t> member_elems;  ///< per-member element count (fused)
+  };
+  std::vector<Submitted> submitted;
+
+  auto note_tenant = [&](int job_id, const std::string& tenant) {
+    if (job_id >= static_cast<int>(job_tenant_.size())) {
+      job_tenant_.resize(static_cast<size_t>(job_id) + 1);
+    }
+    job_tenant_[static_cast<size_t>(job_id)] = tenant;
+  };
+
+  // Solo submissions keep spec order, so engine job ids line up with
+  // arrival order for equal enqueue times.
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (fused[i]) continue;
+    const TenantJobSpec& s = specs_[i];
+    SubmitOptions opt;
+    opt.first_rank = s.first_rank;
+    opt.priority = s.priority;
+    opt.weight = s.weight;
+    opt.enqueue_vtime = s.enqueue_vtime;
+    opt.tenant = s.tenant;
+    Submitted sub;
+    sub.request = engine_.submit(s.kernel, s.op, s.config, s.input, opt);
+    sub.members = {static_cast<int>(i)};
+    note_tenant(sub.request.job, s.tenant);
+    submitted.push_back(std::move(sub));
+  }
+
+  for (const Batch& batch : super_batches) {
+    const TenantJobSpec& head = specs_[static_cast<size_t>(batch.members.front())];
+    SubmitOptions opt;
+    opt.first_rank = head.first_rank;
+    opt.priority = head.priority;
+    opt.tenant = head.tenant;
+    opt.weight = 0.0;
+    opt.enqueue_vtime = 0.0;
+
+    Submitted sub;
+    sub.members = batch.members;
+    std::vector<RankInputFn> member_inputs;
+    for (const int i : batch.members) {
+      const TenantJobSpec& s = specs_[static_cast<size_t>(i)];
+      opt.weight += s.weight;
+      // The super-job can only be granted once its last member arrived.
+      opt.enqueue_vtime = std::max(opt.enqueue_vtime, s.enqueue_vtime);
+      opt.fused_members.push_back(
+          SubmitOptions::FusedMember{engine_.reserve_job_id(), s.enqueue_vtime});
+      note_tenant(opt.fused_members.back().id, s.tenant);
+      member_inputs.push_back(s.input);
+      sub.member_elems.push_back(s.input(0).size());
+    }
+
+    // The fused gradient bucket: each rank's input is the concatenation of
+    // the members' inputs for that rank.
+    const std::vector<size_t> elems = sub.member_elems;
+    RankInputFn fused_input = [member_inputs, elems](int local_rank) {
+      std::vector<float> all;
+      size_t total = 0;
+      for (const size_t n : elems) total += n;
+      all.reserve(total);
+      for (size_t m = 0; m < member_inputs.size(); ++m) {
+        const std::vector<float> part = member_inputs[m](local_rank);
+        if (part.size() != elems[m]) {
+          throw Error("sched::Scheduler: fused member input size varies across ranks");
+        }
+        all.insert(all.end(), part.begin(), part.end());
+      }
+      return all;
+    };
+
+    JobConfig config = head.config;
+    sub.request = engine_.submit(head.kernel, ICollOp::kAllreduce, config, fused_input, opt);
+    note_tenant(sub.request.job, head.tenant);
+    submitted.push_back(std::move(sub));
+  }
+
+  engine_.run();
+
+  for (const Submitted& sub : submitted) {
+    const JobOutcome& out = engine_.outcome(sub.request);
+    if (sub.members.size() == 1) {
+      TenantJobResult& r = results_[static_cast<size_t>(sub.members.front())];
+      r.completed = out.completed;
+      r.error = out.error;
+      r.rank0_output = out.rank0_output;
+      r.enqueue_vtime = out.enqueue_vtime;
+      r.grant_vtime = out.grant_vtime;
+      r.complete_vtime = out.complete_vtime;
+      r.engine_job = sub.request.job;
+      r.tenant = out.tenant;
+      continue;
+    }
+    size_t offset = 0;
+    for (size_t m = 0; m < sub.members.size(); ++m) {
+      TenantJobResult& r = results_[static_cast<size_t>(sub.members[m])];
+      const size_t n = sub.member_elems[m];
+      r.completed = out.completed;
+      r.error = out.error;
+      if (out.completed && offset + n <= out.rank0_output.size()) {
+        r.rank0_output.assign(out.rank0_output.begin() + static_cast<ptrdiff_t>(offset),
+                              out.rank0_output.begin() + static_cast<ptrdiff_t>(offset + n));
+      }
+      r.enqueue_vtime = specs_[static_cast<size_t>(sub.members[m])].enqueue_vtime;
+      r.grant_vtime = out.grant_vtime;
+      r.complete_vtime = out.complete_vtime;
+      r.fused = true;
+      r.engine_job = sub.request.job;
+      r.tenant = out.tenant;
+      offset += n;
+    }
+  }
+}
+
+const std::vector<TenantJobResult>& Scheduler::results() const {
+  if (!ran_) throw Error("sched::Scheduler::results: call run() first");
+  return results_;
+}
+
+std::vector<TenantUsage> Scheduler::usage() const {
+  if (!ran_) throw Error("sched::Scheduler::usage: call run() first");
+  std::map<std::string, TenantUsage> by_tenant;
+  for (const TenantJobResult& r : results_) {
+    TenantUsage& u = by_tenant[r.tenant];
+    u.tenant = r.tenant;
+    ++u.jobs;
+    if (r.completed) ++u.completed;
+    if (r.fused) ++u.fused;
+  }
+
+  // Payload bytes come from the engine outcomes; a fused super-job's bytes
+  // belong to its (single, by fuse key) tenant.
+  for (int id = 0; id < static_cast<int>(job_tenant_.size()); ++id) {
+    const Request req{id};
+    if (!engine_.test(req)) continue;
+    const JobOutcome& out = engine_.outcome(req);
+    auto it = by_tenant.find(job_tenant_[static_cast<size_t>(id)]);
+    if (it != by_tenant.end()) it->second.payload_bytes_sent += out.payload_bytes_sent;
+  }
+
+  // Busy seconds: job-attributed span time from the PR 4 trace subsystem.
+  const trace::Trace t = engine_.trace();
+  if (!t.ranks.empty()) {
+    const std::vector<trace::RankPhases> by_job = trace::aggregate_by_job(t);
+    for (size_t id = 0; id < by_job.size() && id < job_tenant_.size(); ++id) {
+      auto it = by_tenant.find(job_tenant_[id]);
+      if (it == by_tenant.end()) continue;
+      const trace::RankPhases& p = by_job[id];
+      it->second.busy_seconds += p.accounted() - p.sched;  // markers have zero span anyway
+    }
+  }
+
+  std::vector<TenantUsage> out;
+  out.reserve(by_tenant.size());
+  for (auto& [name, u] : by_tenant) out.push_back(std::move(u));
+  return out;
+}
+
+}  // namespace hzccl::sched

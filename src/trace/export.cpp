@@ -18,20 +18,29 @@ std::string to_chrome_json(const Trace& trace) {
   std::string out;
   out.reserve(trace.total_events() * 160 + 64);
   out += "{\"traceEvents\":[";
-  char buf[288];
+  char buf[320];
   bool first = true;
   for (size_t rank = 0; rank < trace.ranks.size(); ++rank) {
     for (const Event& e : trace.ranks[rank]) {
+      // Scheduler-attributed events append a trailing "job" arg; everything
+      // else formats exactly as before, so pre-scheduler traces (and the
+      // pinned golden trace) stay byte-identical.
+      char job_arg[16] = "";
+      if (e.job != kNoJob) {
+        std::snprintf(job_arg, sizeof(job_arg), ",\"job\":%u", static_cast<unsigned>(e.job));
+      }
+      const char* cat = kind_is_sched(e.kind) ? "sched"
+                        : kind_is_transport(e.kind) ? "transport"
+                                                    : "compute";
       const int n = std::snprintf(
           buf, sizeof(buf),
           "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.6f,\"dur\":%.6f,"
           "\"pid\":0,\"tid\":%zu,\"args\":{\"peer\":%d,\"tag\":%d,\"seq\":%llu,"
-          "\"bytes\":%llu,\"bytes_out\":%llu,\"aux\":%u}}",
-          first ? "" : ",", kind_name(e.kind).c_str(),
-          kind_is_transport(e.kind) ? "transport" : "compute", e.t0 * 1e6, e.duration() * 1e6,
+          "\"bytes\":%llu,\"bytes_out\":%llu,\"aux\":%u%s}}",
+          first ? "" : ",", kind_name(e.kind).c_str(), cat, e.t0 * 1e6, e.duration() * 1e6,
           rank, e.peer, e.tag, static_cast<unsigned long long>(e.seq),
           static_cast<unsigned long long>(e.bytes), static_cast<unsigned long long>(e.bytes_out),
-          static_cast<unsigned>(e.aux));
+          static_cast<unsigned>(e.aux), job_arg);
       if (n < 0 || static_cast<size_t>(n) >= sizeof(buf)) {
         throw Error("to_chrome_json: event formatting overflow");
       }

@@ -1,6 +1,7 @@
 #include "hzccl/trace/trace.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "hzccl/util/error.hpp"
 
@@ -24,12 +25,20 @@ std::string kind_name(EventKind k) {
     case EventKind::kAgree: return "agree";
     case EventKind::kShrink: return "shrink";
     case EventKind::kBackoff: return "backoff";
+    case EventKind::kEnqueue: return "enqueue";
+    case EventKind::kFuse: return "fuse";
+    case EventKind::kGrant: return "grant";
+    case EventKind::kComplete: return "complete";
   }
   return "?";
 }
 
 bool kind_is_transport(EventKind k) {
-  return static_cast<uint8_t>(k) >= static_cast<uint8_t>(EventKind::kSend);
+  return static_cast<uint8_t>(k) >= static_cast<uint8_t>(EventKind::kSend) && !kind_is_sched(k);
+}
+
+bool kind_is_sched(EventKind k) {
+  return static_cast<uint8_t>(k) >= static_cast<uint8_t>(EventKind::kEnqueue);
 }
 
 #if !defined(HZCCL_TRACE_DISABLED)
@@ -70,41 +79,51 @@ size_t Trace::total_events() const {
   return n;
 }
 
+namespace {
+
+void accumulate_event(RankPhases& p, const Event& e) {
+  const double dt = e.duration();
+  switch (e.kind) {
+    case EventKind::kCompress: p.cpr += dt; break;
+    case EventKind::kDecompress: p.dpr += dt; break;
+    case EventKind::kHomReduce: p.hpr += dt; break;
+    case EventKind::kReduce: p.cpt += dt; break;
+    case EventKind::kPack: p.pack += dt; break;
+    case EventKind::kSend:
+      p.comm += dt;
+      p.bytes_sent += e.bytes;
+      break;
+    case EventKind::kRecv:
+    case EventKind::kRetransmit:
+    case EventKind::kDiscard: p.comm += dt; break;
+    case EventKind::kWait:
+    case EventKind::kStall: p.idle += dt; break;
+    case EventKind::kSuspect:
+    case EventKind::kDetect:
+    case EventKind::kAgree:
+    case EventKind::kShrink:
+    case EventKind::kBackoff: p.recovery += dt; break;
+    case EventKind::kEnqueue:
+    case EventKind::kFuse:
+    case EventKind::kGrant:
+    case EventKind::kComplete: p.sched += dt; break;
+  }
+  if (!kind_is_transport(e.kind) && !kind_is_sched(e.kind)) {
+    p.bytes_uncompressed += e.bytes;
+    p.bytes_compressed += e.bytes_out;
+  }
+  ++p.events;
+  p.total = std::max(p.total, e.t1);
+}
+
+}  // namespace
+
 Breakdown aggregate(const Trace& trace) {
   Breakdown b;
   b.per_rank.reserve(trace.ranks.size());
   for (const auto& events : trace.ranks) {
     RankPhases p;
-    for (const Event& e : events) {
-      const double dt = e.duration();
-      switch (e.kind) {
-        case EventKind::kCompress: p.cpr += dt; break;
-        case EventKind::kDecompress: p.dpr += dt; break;
-        case EventKind::kHomReduce: p.hpr += dt; break;
-        case EventKind::kReduce: p.cpt += dt; break;
-        case EventKind::kPack: p.pack += dt; break;
-        case EventKind::kSend:
-          p.comm += dt;
-          p.bytes_sent += e.bytes;
-          break;
-        case EventKind::kRecv:
-        case EventKind::kRetransmit:
-        case EventKind::kDiscard: p.comm += dt; break;
-        case EventKind::kWait:
-        case EventKind::kStall: p.idle += dt; break;
-        case EventKind::kSuspect:
-        case EventKind::kDetect:
-        case EventKind::kAgree:
-        case EventKind::kShrink:
-        case EventKind::kBackoff: p.recovery += dt; break;
-      }
-      if (!kind_is_transport(e.kind)) {
-        p.bytes_uncompressed += e.bytes;
-        p.bytes_compressed += e.bytes_out;
-      }
-      ++p.events;
-      p.total = std::max(p.total, e.t1);
-    }
+    for (const Event& e : events) accumulate_event(p, e);
     b.per_rank.push_back(p);
   }
   for (const RankPhases& p : b.per_rank) {
@@ -117,6 +136,7 @@ Breakdown aggregate(const Trace& trace) {
     b.totals.comm += p.comm;
     b.totals.idle += p.idle;
     b.totals.recovery += p.recovery;
+    b.totals.sched += p.sched;
     b.totals.events += p.events;
     b.totals.bytes_sent += p.bytes_sent;
     b.totals.bytes_uncompressed += p.bytes_uncompressed;
@@ -130,6 +150,104 @@ std::array<uint64_t, kNumEventKinds> count_kinds(const std::vector<Event>& event
   std::array<uint64_t, kNumEventKinds> counts{};
   for (const Event& e : events) ++counts[static_cast<size_t>(e.kind)];
   return counts;
+}
+
+SchedCheckReport check_sched_spans(const Trace& trace) {
+  SchedCheckReport report;
+  struct JobMarks {
+    int enqueue = 0, fuse = 0, grant = 0, complete = 0;
+    double t_enqueue = 0.0, t_fuse = 0.0, t_grant = 0.0, t_complete = 0.0;
+  };
+  std::map<int, JobMarks> jobs;
+  for (const auto& events : trace.ranks) {
+    for (const Event& e : events) {
+      if (!kind_is_sched(e.kind)) continue;
+      if (e.job == kNoJob) {
+        report.error = kind_name(e.kind) + " marker without job attribution";
+        return report;
+      }
+      if (e.duration() != 0.0) {
+        report.error = kind_name(e.kind) + " marker with nonzero duration (job " +
+                       std::to_string(e.job) + ")";
+        return report;
+      }
+      JobMarks& m = jobs[e.job];
+      switch (e.kind) {
+        case EventKind::kEnqueue: ++m.enqueue; m.t_enqueue = e.t0; break;
+        case EventKind::kFuse: ++m.fuse; m.t_fuse = e.t0; break;
+        case EventKind::kGrant: ++m.grant; m.t_grant = e.t0; break;
+        case EventKind::kComplete: ++m.complete; m.t_complete = e.t0; break;
+        default: break;
+      }
+    }
+  }
+  for (const auto& [job, m] : jobs) {
+    const std::string at = "job " + std::to_string(job) + ": ";
+    if (m.enqueue != 1) {
+      report.error = at + std::to_string(m.enqueue) + " enqueue markers (want exactly 1)";
+      return report;
+    }
+    if (m.fuse > 1 || m.grant > 1 || m.complete > 1) {
+      report.error = at + "duplicate fuse/grant/complete marker";
+      return report;
+    }
+    if ((m.grant != 0 || m.complete != 0) && m.grant != 1) {
+      report.error = at + "complete without a grant";
+      return report;
+    }
+    if (m.fuse != 0 && m.t_fuse < m.t_enqueue) {
+      report.error = at + "fuse precedes enqueue";
+      return report;
+    }
+    if (m.grant != 0 && m.t_grant < m.t_enqueue) {
+      report.error = at + "grant precedes enqueue";
+      return report;
+    }
+    if (m.complete != 0 && m.t_complete < m.t_grant) {
+      report.error = at + "complete precedes grant";
+      return report;
+    }
+  }
+  // Every attributed work span of a completed job lies inside its
+  // [grant, complete] window (1 ns of virtual-time slack).
+  constexpr double kSlack = 1e-9;
+  for (const auto& events : trace.ranks) {
+    for (const Event& e : events) {
+      if (kind_is_sched(e.kind) || e.job == kNoJob) continue;
+      const auto it = jobs.find(e.job);
+      if (it == jobs.end()) {
+        report.error = "span attributed to job " + std::to_string(e.job) +
+                       " which has no scheduler markers";
+        return report;
+      }
+      const JobMarks& m = it->second;
+      if (m.complete != 0 &&
+          (e.t0 + kSlack < m.t_grant || e.t1 > m.t_complete + kSlack)) {
+        report.error = kind_name(e.kind) + " span of job " + std::to_string(e.job) +
+                       " outside its grant..complete window";
+        return report;
+      }
+    }
+  }
+  report.jobs = static_cast<int>(jobs.size());
+  report.valid = true;
+  return report;
+}
+
+std::vector<RankPhases> aggregate_by_job(const Trace& trace) {
+  int max_job = -1;
+  for (const auto& events : trace.ranks) {
+    for (const Event& e : events) {
+      if (e.job != kNoJob) max_job = std::max(max_job, static_cast<int>(e.job));
+    }
+  }
+  std::vector<RankPhases> out(static_cast<size_t>(max_job + 1));
+  for (const auto& events : trace.ranks) {
+    for (const Event& e : events) {
+      if (e.job != kNoJob) accumulate_event(out[e.job], e);
+    }
+  }
+  return out;
 }
 
 }  // namespace hzccl::trace

@@ -11,6 +11,8 @@
 #                             # selection gates (BENCH_allreduce_algos.json)
 #   tools/check.sh --cov      # tier 1 + line-coverage gate (unit/property/trace)
 #   tools/check.sh --recovery # tier 1 + sanitized rank-failure tier + seed sweep
+#   tools/check.sh --sched    # tier 1 + sanitized nonblocking/scheduler tier
+#                             # + multi-seed scheduler determinism sweep
 #   tools/check.sh --kernels  # tier 1 + conformance tier at every forced
 #                             # dispatch level + SIMD speedup gate
 #   tools/check.sh --analyze  # tier 1 + whole-program static contracts
@@ -24,7 +26,7 @@ set -eu
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 jobs=$(nproc 2>/dev/null || echo 4)
 
-run_asan=1 run_lint=0 run_tsan=0 run_fuzz=0 run_perf=0 run_cov=0 run_recovery=0 run_kernels=0 run_analyze=0
+run_asan=1 run_lint=0 run_tsan=0 run_fuzz=0 run_perf=0 run_cov=0 run_recovery=0 run_sched=0 run_kernels=0 run_analyze=0
 for arg in "$@"; do
   case "$arg" in
     --fast) run_asan=0 ;;
@@ -34,10 +36,11 @@ for arg in "$@"; do
     --perf) run_perf=1 ;;
     --cov)  run_cov=1 ;;
     --recovery) run_recovery=1 ;;
+    --sched) run_sched=1 ;;
     --kernels) run_kernels=1 ;;
     --analyze) run_analyze=1 ;;
-    --all)  run_asan=1 run_lint=1 run_tsan=1 run_fuzz=1 run_perf=1 run_cov=1 run_recovery=1 run_kernels=1 run_analyze=1 ;;
-    *) echo "usage: tools/check.sh [--fast] [--lint] [--tsan] [--fuzz] [--perf] [--cov] [--recovery] [--kernels] [--analyze] [--all]" >&2; exit 2 ;;
+    --all)  run_asan=1 run_lint=1 run_tsan=1 run_fuzz=1 run_perf=1 run_cov=1 run_recovery=1 run_sched=1 run_kernels=1 run_analyze=1 ;;
+    *) echo "usage: tools/check.sh [--fast] [--lint] [--tsan] [--fuzz] [--perf] [--cov] [--recovery] [--sched] [--kernels] [--analyze] [--all]" >&2; exit 2 ;;
   esac
 done
 
@@ -63,7 +66,7 @@ if [ "$run_analyze" = "1" ]; then
     --report "$repo/build/analyze_report.txt"
 fi
 
-if [ "$run_asan" = "1" ] || [ "$run_fuzz" = "1" ] || [ "$run_recovery" = "1" ]; then
+if [ "$run_asan" = "1" ] || [ "$run_fuzz" = "1" ] || [ "$run_recovery" = "1" ] || [ "$run_sched" = "1" ]; then
   echo "== tier 2: ASan/UBSan build =="
   san_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
   cmake -B "$repo/build-asan" -S "$repo" \
@@ -93,6 +96,27 @@ if [ "$run_recovery" = "1" ]; then
     "$repo/build-asan/tools/hzcclc" collective --kernel 2 --ranks 8 \
       --dataset hurricane --scale tiny \
       --faults "$seed,0.02,0.01" --rank-faults crash --retry 3 >/dev/null
+  done
+fi
+
+if [ "$run_sched" = "1" ]; then
+  echo "== sched: sanitized nonblocking engine + scheduler tier =="
+  # Differential (i-collectives byte-identical to blocking across stacks,
+  # algorithms, and topologies, under overlap and reordering) and property
+  # (determinism, fusion, no-starvation, fair-share accounting,
+  # recovery-under-concurrency) suites, under ASan/UBSan.
+  cmake --build "$repo/build-asan" -j "$jobs" --target sched_test sched_property_test
+  (cd "$repo/build-asan" && ctest -L sched --output-on-failure)
+  echo "== sched: multi-seed scheduler determinism sweep (hzcclc sched, 4 seeds x 2) =="
+  # Each seed drives a multi-tenant workload through the engine twice; the
+  # printed timeline (grant/complete virtual times, fusion decisions,
+  # payload bytes) must replay byte-identically, and every job must
+  # complete (nonzero exit otherwise).
+  for seed in 21 22 23 24; do
+    echo "-- sched sweep: seed $seed"
+    "$repo/build-asan/tools/hzcclc" sched --seed "$seed" > "$repo/build-asan/sched_run_a.txt"
+    "$repo/build-asan/tools/hzcclc" sched --seed "$seed" > "$repo/build-asan/sched_run_b.txt"
+    cmp "$repo/build-asan/sched_run_a.txt" "$repo/build-asan/sched_run_b.txt"
   done
 fi
 
@@ -130,6 +154,13 @@ if [ "$run_perf" = "1" ]; then
   cmake --build "$repo/build" -j "$jobs" --target bench_ablation_allreduce_algos
   "$repo/build/bench/bench_ablation_allreduce_algos" --json --quick \
     --out "$repo/build/BENCH_allreduce_algos.json"
+  echo "== perf smoke: multi-tenant scheduler throughput gate =="
+  # Concurrent admission of the mixed workload must beat the serialized
+  # baseline by >= 1.3x (the ISSUE's scheduler gate); --quick models 64
+  # nodes instead of 512 so the smoke stays seconds-fast.
+  cmake --build "$repo/build" -j "$jobs" --target bench_sched
+  "$repo/build/bench/bench_sched" --json --quick \
+    --out "$repo/build/BENCH_sched.json"
 fi
 
 if [ "$run_cov" = "1" ]; then

@@ -24,6 +24,7 @@
 #include "hzccl/homomorphic/hz_dynamic.hpp"
 #include "hzccl/homomorphic/hz_ops.hpp"
 #include "hzccl/kernels/dispatch.hpp"
+#include "hzccl/sched/scheduler.hpp"
 #include "hzccl/stats/metrics.hpp"
 #include "hzccl/trace/export.hpp"
 #include "hzccl/util/threading.hpp"
@@ -52,6 +53,10 @@ int usage() {
                "                    [--retry attempts[,backoff_base[,factor]]]\n"
                "  hzcclc trace      --check <trace.json>\n"
                "  hzcclc trace      [collective flags] [--out <trace.json>] [--capacity N]\n"
+               "  hzcclc sched      [--topology NxM] [--tenants N] [--jobs N] [--kernel 0..4]\n"
+               "                    [--dataset SLUG] [--rel R] [--max-concurrent N] [--seed S]\n"
+               "                    [--no-fusion] [--out <trace.json>]\n"
+               "                    # multi-tenant nonblocking workload on the progress engine\n"
                "  hzcclc kernels    # compiled/supported/active SIMD dispatch levels\n");
   return 2;
 }
@@ -435,6 +440,162 @@ int cmd_trace(int argc, char** argv) {
   return 0;
 }
 
+// Run a small multi-tenant workload through the nonblocking progress engine
+// behind the sched::Scheduler (gradient-bucket fusion, priority admission,
+// fair-share links) and print the per-job timeline plus the per-tenant
+// accounting roll-up.  With --out, exports the engine trace as Chrome JSON
+// after self-checking both the scheduler span invariants and the export.
+int cmd_sched(int argc, char** argv) {
+  int nodes = 8, rpn = 4;
+  int tenants = 3, jobs_per_tenant = 4;
+  int kernel = static_cast<int>(Kernel::kHzcclSingleThread);
+  DatasetId dataset = DatasetId::kNyx;
+  double rel = 1e-3;
+  int max_concurrent = 0;
+  uint64_t seed = 0;
+  bool fusion = true;
+  std::string out_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--topology" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const size_t x = spec.find('x');
+      if (x == std::string::npos || x == 0 || x + 1 >= spec.size()) return usage();
+      nodes = std::stoi(spec.substr(0, x));
+      rpn = std::stoi(spec.substr(x + 1));
+      if (nodes < 1 || rpn < 1) return usage();
+    } else if (flag == "--tenants" && i + 1 < argc) {
+      tenants = std::stoi(argv[++i]);
+    } else if (flag == "--jobs" && i + 1 < argc) {
+      jobs_per_tenant = std::stoi(argv[++i]);
+    } else if (flag == "--kernel" && i + 1 < argc) {
+      kernel = std::stoi(argv[++i]);
+      if (kernel < 0 || kernel > 4) return usage();
+    } else if (flag == "--dataset" && i + 1 < argc) {
+      dataset = parse_dataset(argv[++i]);
+    } else if (flag == "--rel" && i + 1 < argc) {
+      rel = std::stod(argv[++i]);
+    } else if (flag == "--max-concurrent" && i + 1 < argc) {
+      max_concurrent = std::stoi(argv[++i]);
+    } else if (flag == "--seed" && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else if (flag == "--no-fusion") {
+      fusion = false;
+    } else if (flag == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  const int fleet = nodes * rpn;
+  if (tenants < 1 || jobs_per_tenant < 1) return usage();
+  if (fleet / tenants < 2) throw Error("topology too small for " + std::to_string(tenants) +
+                                       " tenants (need >= 2 ranks each)");
+
+  sched::SchedulerConfig sc;
+  sc.engine.fleet_ranks = fleet;
+  sc.engine.net = rpn > 1 ? simmpi::NetModel::omnipath_100g_nodes(rpn)
+                          : simmpi::NetModel::omnipath_100g();
+  sc.engine.max_concurrent = max_concurrent;
+  sc.engine.seed = seed;
+  sc.engine.trace.enabled = true;  // per-tenant busy_seconds + --out export
+  sc.fusion = fusion;
+  sched::Scheduler scheduler(sc);
+
+  // Each tenant gets a contiguous slice of the fleet and submits a storm of
+  // small gradient buckets (fusion candidates, staggered inside the fusion
+  // window) capped by one large solo collective — the op cycling per tenant
+  // so all three i-collectives appear in the timeline.
+  static const char* kTenantNames[] = {"climate", "cosmology", "weather", "training"};
+  const int slice = fleet / tenants;
+  std::vector<sched::ICollOp> submitted_ops;
+  for (int t = 0; t < tenants; ++t) {
+    const std::string tenant =
+        std::string(kTenantNames[t % 4]) + (t >= 4 ? std::to_string(t / 4) : "");
+    // One error bound for the whole tenant: the bound is part of the fusion
+    // key, so per-bucket bounds would defeat gradient-bucket fusion.
+    const double tenant_bound = abs_bound_from_rel(
+        generate_field(dataset, Scale::kTiny, static_cast<uint32_t>(t * 131)), rel);
+    for (int j = 0; j < jobs_per_tenant; ++j) {
+      const bool last = j == jobs_per_tenant - 1;
+      sched::TenantJobSpec spec;
+      spec.tenant = tenant;
+      spec.kernel = static_cast<Kernel>(kernel);
+      spec.op = last ? static_cast<sched::ICollOp>(t % 3) : sched::ICollOp::kAllreduce;
+      spec.first_rank = t * slice;
+      spec.config.nranks = slice;
+      spec.config.net = sc.engine.net;
+      spec.priority = t % 3;
+      spec.enqueue_vtime = static_cast<double>(j) * 20e-6 + static_cast<double>(t) * 5e-6;
+      const size_t elements = last ? 32768 : 1024 + 256 * static_cast<size_t>(j);
+      const DatasetId id = dataset;
+      const uint32_t salt = static_cast<uint32_t>(t * 131 + j * 17);
+      spec.input = [id, elements, salt](int rank) {
+        std::vector<float> f = generate_field(id, Scale::kTiny, static_cast<uint32_t>(rank) + salt);
+        f.resize(elements, 0.25f * static_cast<float>(rank + 1));
+        return f;
+      };
+      spec.config.abs_error_bound = tenant_bound;
+      submitted_ops.push_back(spec.op);
+      scheduler.submit(std::move(spec));
+    }
+  }
+  scheduler.run();
+
+  std::printf("%s on %dx%d = %d ranks, %d tenants x %d jobs, %s, fusion %s, "
+              "max_concurrent %d\n\n",
+              kernel_name(static_cast<Kernel>(kernel)).c_str(), nodes, rpn, fleet, tenants,
+              jobs_per_tenant, dataset_name(dataset).c_str(), fusion ? "on" : "off",
+              max_concurrent);
+  std::printf("  %-12s %-14s %5s %12s %12s %12s  %s\n", "tenant", "op", "job", "enqueue(us)",
+              "grant(us)", "complete(us)", "status");
+  const std::vector<sched::TenantJobResult>& results = scheduler.results();
+  for (size_t i = 0; i < results.size(); ++i) {
+    const sched::TenantJobResult& r = results[i];
+    std::string status = r.completed ? "ok" : ("FAILED: " + r.error);
+    if (r.fused) status += " (fused -> job " + std::to_string(r.engine_job) + ")";
+    std::printf("  %-12s %-14s %5zu %12.1f %12.1f %12.1f  %s\n", r.tenant.c_str(),
+                sched::icoll_op_name(submitted_ops[i]), i, r.enqueue_vtime * 1e6,
+                r.grant_vtime * 1e6, r.complete_vtime * 1e6, status.c_str());
+  }
+
+  std::printf("\n  %-12s %5s %10s %6s %14s %10s\n", "tenant", "jobs", "completed", "fused",
+              "payload bytes", "busy(ms)");
+  for (const sched::TenantUsage& u : scheduler.usage()) {
+    std::printf("  %-12s %5d %10d %6d %14llu %10.3f\n", u.tenant.c_str(), u.jobs, u.completed,
+                u.fused, static_cast<unsigned long long>(u.payload_bytes_sent),
+                u.busy_seconds * 1e3);
+  }
+  std::printf("\n  makespan: %.3f ms\n", scheduler.makespan() * 1e3);
+
+  const trace::Trace t = scheduler.engine().trace();
+  const trace::SchedCheckReport sched_report = trace::check_sched_spans(t);
+  if (!sched_report.valid) {
+    std::fprintf(stderr, "hzcclc sched: trace failed scheduler invariants: %s\n",
+                 sched_report.error.c_str());
+    return 1;
+  }
+  std::printf("  trace: scheduler span invariants OK across %d engine jobs\n",
+              sched_report.jobs);
+  if (!out_path.empty()) {
+    const std::string json = trace::to_chrome_json(t);
+    const trace::CheckReport report = trace::check_chrome_json(
+        std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(json.data()), json.size()));
+    if (!report.valid) {
+      std::fprintf(stderr, "hzcclc sched: exported JSON failed self-check: %s\n",
+                   report.error.c_str());
+      return 1;
+    }
+    store_bytes(out_path, std::vector<uint8_t>(json.begin(), json.end()));
+    std::printf("  wrote %zu bytes to %s (self-check OK; open in ui.perfetto.dev)\n",
+                json.size(), out_path.c_str());
+  }
+
+  int failed = 0;
+  for (const sched::TenantJobResult& r : results) failed += r.completed ? 0 : 1;
+  return failed == 0 ? 0 : 1;
+}
+
 // Report the kernel dispatch table: which SIMD levels this binary carries,
 // which the host CPU can run, and which one is active (after the
 // HZCCL_KERNEL_LEVEL override, if set).
@@ -481,6 +642,7 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmd_stats(argc, argv);
     if (cmd == "collective") return cmd_collective(argc, argv);
     if (cmd == "trace") return cmd_trace(argc, argv);
+    if (cmd == "sched") return cmd_sched(argc, argv);
     if (cmd == "kernels") return cmd_kernels(argc, argv);
   } catch (const Error& e) {
     std::fprintf(stderr, "hzcclc: %s\n", e.what());
