@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "hzccl/collectives/common.hpp"
 #include "hzccl/compressor/fz_light.hpp"
 #include "hzccl/core/hzccl.hpp"
 #include "hzccl/homomorphic/hz_dynamic.hpp"
@@ -49,6 +50,7 @@ struct ModelResult {
   double dpr_seconds = 0.0;
   double cpt_seconds = 0.0;
   double hpr_seconds = 0.0;
+  double vrf_seconds = 0.0;  ///< ABFT digest verification (zero when verify is off)
 };
 
 /// Model `kernel` running `op` over `nranks` ranks with `total_bytes` of
@@ -56,9 +58,16 @@ struct ModelResult {
 /// congestion for `net.congestion_flows(nranks)` flows, so a hierarchical
 /// `net.topo` automatically relieves congestion (flat topologies are
 /// unchanged: flows == ranks).
+/// `verify` prices the ABFT digest ladder of the functional collectives:
+/// kPerRound charges a digest walk for every received stream and every
+/// homomorphic combine output (at the profile's compressed size for that
+/// round's depth); kFinal charges one walk over the final stream.  The
+/// charge lands in `vrf_seconds` and in the `seconds` total, so the
+/// verify-overhead bench gate is `seconds(round) / seconds(off) - 1`.
 ModelResult model_collective(Kernel kernel, Op op, int nranks, size_t total_bytes,
                              const CompressionProfile& profile, const simmpi::NetModel& net,
-                             const simmpi::CostModel& cost);
+                             const simmpi::CostModel& cost,
+                             coll::VerifyPolicy verify = coll::VerifyPolicy::kOff);
 
 /// Model one Allreduce of `total_bytes` per rank under an explicit exchange
 /// schedule: the flat ring, recursive doubling (log2 P whole-vector
@@ -71,6 +80,7 @@ ModelResult model_collective(Kernel kernel, Op op, int nranks, size_t total_byte
 /// autotune's size/topology algorithm selector ranks.
 ModelResult model_allreduce_algo(Kernel kernel, coll::AllreduceAlgo algo, int nranks,
                                  size_t total_bytes, const CompressionProfile& profile,
-                                 const simmpi::NetModel& net, const simmpi::CostModel& cost);
+                                 const simmpi::NetModel& net, const simmpi::CostModel& cost,
+                                 coll::VerifyPolicy verify = coll::VerifyPolicy::kOff);
 
 }  // namespace hzccl::cluster

@@ -6,12 +6,14 @@
 // compressed, and how the reduce step handles compressed operands.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "hzccl/compressor/fz_light.hpp"
+#include "hzccl/integrity/digest.hpp"
 #include "hzccl/simmpi/costmodel.hpp"
 #include "hzccl/simmpi/runtime.hpp"
 #include "hzccl/util/contracts.hpp"
@@ -55,6 +57,27 @@ HZCCL_HOT inline void reduce_combine_span(ReduceOp op, float* acc, const float* 
   }
 }
 
+/// When a collective checks the ABFT digests riding its streams.  The
+/// transport CRC catches wire damage; digests catch what the CRC cannot —
+/// corruption that happened *before* framing (a flipped payload bit, a
+/// poisoned combine) and therefore arrives CRC-valid.
+enum class VerifyPolicy : int {
+  kOff = 0,       ///< no digest emission or checking (the pre-integrity wire)
+  kFinal = 1,     ///< detection only: recheck at the final decode, throw
+                  ///< IntegrityError on mismatch
+  kPerRound = 2,  ///< verify-and-recover: every received stream and every
+                  ///< combine output is checked; mismatches heal via
+                  ///< NACK/retransmit, recompute, or the raw fallback
+};
+inline constexpr int kNumVerifyPolicies = 3;
+
+/// Short stable name ("off", "final", "round").
+const char* verify_policy_name(VerifyPolicy policy);
+
+/// Parse a CLI spelling (name above or long aliases); throws hzccl::Error
+/// on an unknown policy.
+VerifyPolicy parse_verify_policy(const std::string& text);
+
 struct CollectiveConfig {
   double abs_error_bound = 1e-4;
   uint32_t block_len = 32;
@@ -65,6 +88,10 @@ struct CollectiveConfig {
   /// only — the virtual clock charges by `mode` + `cost`, never wall time.
   /// 1 keeps many-rank jobs from oversubscribing small hosts.
   int host_threads = 1;
+  /// Digest verification policy.  Any policy other than kOff makes the
+  /// compressors emit per-chunk digest tables (and the raw stack ship
+  /// content-digest trailers), so verification cost is paid only when asked.
+  VerifyPolicy verify = VerifyPolicy::kOff;
 
   FzParams fz_params(size_t /*block_elems*/) const {
     FzParams p;
@@ -72,6 +99,7 @@ struct CollectiveConfig {
     p.block_len = block_len;
     p.num_chunks = 0;  // deterministic auto layout: equal across ranks
     p.num_threads = host_threads;
+    p.emit_digests = verify != VerifyPolicy::kOff;
     return p;
   }
 };
@@ -121,6 +149,10 @@ inline constexpr int kTagIntraBcast = (1 << 23) + (1 << 20);
 /// and for Rabenseifner also by block index: step * nranks + block).
 inline constexpr int kTagDoubling = 1 << 24;
 inline constexpr int kTagHalving = (1 << 24) + (1 << 20);
+/// Offset added to a payload's tag for its 16-byte content-digest trailer
+/// (raw-float exchanges under a verify policy).  Above every payload tag
+/// space, so a message and its trailer never alias.
+inline constexpr int kTagDigest = 1 << 26;
 
 /// Allreduce algorithm.  All algorithms move the *same* fZ-light streams —
 /// the wire format never changes, only the exchange schedule (FORMAT.md).
@@ -184,5 +216,51 @@ CheckedBlock recv_checked_block(simmpi::Comm& comm, int src, int tag, size_t exp
 /// its header.
 [[nodiscard]] CompressedBuffer heal_stream(simmpi::Comm& comm, int src, int tag, CompressedBuffer received,
                              const CollectiveConfig& config);
+
+// ---------------------------------------------------------------------------
+// ABFT digest verification (the verify-and-recover layer).
+//
+// recv_checked_block and heal_stream fold these in automatically under
+// VerifyPolicy::kPerRound; the combine and final-decode call sites invoke
+// them directly.  All verification work is charged to the virtual clock as
+// kVerify spans and tallied in Comm::integrity().
+// ---------------------------------------------------------------------------
+
+/// Record a zero-duration integrity marker (kSdcDetected / kRecompute) at
+/// virtual now.  Markers carry no bytes or peer, so phase and byte
+/// reconciliation over the trace is untouched.
+void record_integrity_marker(simmpi::Comm& comm, trace::EventKind kind);
+
+/// Recheck the per-chunk digest table of `bytes` (one integer-domain decode
+/// pass, no float writes).  Charges a kVerify span and bumps
+/// integrity().digests_checked; on mismatch bumps mismatches, records a
+/// kSdcDetected marker and returns false.  Streams that do not parse also
+/// return false; streams without digests pass vacuously (nothing to check).
+bool verify_stream_digests(simmpi::Comm& comm, std::span<const uint8_t> bytes,
+                           const CollectiveConfig& config);
+
+/// Final-decode gate: under any active verify policy, recheck `stream`
+/// before its contents become the collective's result; throws
+/// IntegrityError on mismatch (detection — per-round recovery, if wanted,
+/// already happened upstream).  kOff is a no-op.
+void final_verify_stream(simmpi::Comm& comm, const CompressedBuffer& stream,
+                         const CollectiveConfig& config);
+
+/// Wire form of a content-digest trailer: two little-endian u64 words
+/// (sum, wsum).  Shared by the blocking stacks and the sched engine's
+/// nonblocking transcriptions so the two speak one format.
+std::array<uint8_t, 16> digest_trailer_bytes(const integrity::Digest& digest);
+integrity::Digest parse_digest_trailer(std::span<const uint8_t> wire);
+
+/// Raw-float exchange with an optional content-digest trailer.  Under a
+/// verify policy the sender ships digest(payload bytes) as a 16-byte message
+/// on `tag + kTagDigest`; the receiver recomputes and compares, healing a
+/// mismatch by retransmitting the payload, then the trailer, and finally
+/// accepting the sender's pristine copy (ground truth by construction).
+/// With kOff these are exactly send_floats / recv_floats_into.
+void send_floats_checked(simmpi::Comm& comm, int dst, int tag, std::span<const float> data,
+                         const CollectiveConfig& config);
+void recv_floats_checked(simmpi::Comm& comm, int src, int tag, std::span<float> out,
+                         const CollectiveConfig& config);
 
 }  // namespace hzccl::coll

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "hzccl/integrity/digest.hpp"
 #include "hzccl/util/bytes.hpp"
 #include "hzccl/util/contracts.hpp"
 #include "hzccl/util/error.hpp"
@@ -80,6 +81,9 @@ struct FzView {
   FzHeader header;
   std::span<const uint64_t> chunk_offsets;  ///< offsets into `payload`
   std::span<const int32_t> chunk_outliers;
+  /// ABFT digest table (kFlagHasDigests): 2 words per chunk, interleaved
+  /// [sum, wsum]; empty when the stream carries no digests.
+  std::span<const uint64_t> chunk_digests;
   std::span<const uint8_t> payload;
 
   FzView() = default;
@@ -95,6 +99,17 @@ struct FzView {
   uint32_t block_len() const { return header.block_len; }
   uint32_t num_chunks() const { return header.num_chunks; }
   double error_bound() const { return header.error_bound; }
+
+  /// True when the stream carries the ABFT digest table.
+  bool has_digests() const { return !chunk_digests.empty(); }
+
+  /// Stored digest of one chunk (has_digests() must hold).
+  HZCCL_HOT integrity::Digest chunk_digest(uint32_t chunk) const {
+    if (chunk >= header.num_chunks || chunk_digests.size() < 2 * (chunk + size_t{1})) {
+      detail::raise_parse_value("digest chunk index ", chunk, " out of range");
+    }
+    return integrity::Digest{chunk_digests[2 * chunk], chunk_digests[2 * chunk + 1]};
+  }
 
   /// Payload byte range of one chunk.  Called once per chunk inside the
   /// parallel decode loops, so the failure paths are out-of-line cold raises.
@@ -116,6 +131,7 @@ struct FzView {
   /// defaulted move operations leave the spans valid.
   std::vector<uint64_t> owned_offsets;
   std::vector<int32_t> owned_outliers;
+  std::vector<uint64_t> owned_digests;
 };
 
 /// Parse + validate a serialized fZ-light stream (throws FormatError).
@@ -128,9 +144,23 @@ bool layout_compatible(const FzView& a, const FzView& b);
 /// Throwing variant with a descriptive message.
 void require_layout_compatible(const FzView& a, const FzView& b);
 
-/// Byte size of the fixed region before the payload.
-inline size_t fz_preamble_size(uint32_t num_chunks) {
-  return sizeof(FzHeader) + num_chunks * (sizeof(uint64_t) + sizeof(int32_t));
+/// Header flag: the preamble carries the per-chunk ABFT digest table
+/// (integrity/digest.hpp) between the offset and outlier tables — two u64
+/// words per chunk, [sum, wsum] interleaved.  Digests are linear in the
+/// quantized domain, so the homomorphic operators fold them without
+/// decompressing; verifiers recompute them from the decoded chain.
+inline constexpr uint16_t kFlagHasDigests = 1u << 2;
+
+/// True when the stream carries the digest table.
+inline bool has_digests(const FzHeader& h) { return (h.flags & kFlagHasDigests) != 0; }
+
+/// Byte size of the fixed region before the payload.  Layout order:
+/// header, u64 offset table, u64 digest table (kFlagHasDigests only — kept
+/// adjacent to the offsets so both stay 8-aligned on vector-backed
+/// streams), i32 outlier table.
+inline size_t fz_preamble_size(uint32_t num_chunks, uint16_t flags = 0) {
+  const size_t digest_words = (flags & kFlagHasDigests) ? 2 * sizeof(uint64_t) : 0;
+  return sizeof(FzHeader) + num_chunks * (sizeof(uint64_t) + digest_words + sizeof(int32_t));
 }
 
 /// Header flag: the stream carries a trailing CRC-32C over everything that
@@ -184,10 +214,25 @@ class ChunkedStreamAssembler {
   /// distinct chunks).
   void set_chunk(uint32_t c, size_t payload_size, int32_t outlier);
 
+  /// True when the header carries kFlagHasDigests: the assembler reserved a
+  /// digest table and expects set_chunk_digest for every nonempty chunk.
+  bool emits_digests() const { return has_digests(header_); }
+
+  /// Record chunk `c`'s ABFT digest (thread-safe across distinct chunks).
+  /// Only valid when emits_digests(); the flag must be set on the header
+  /// passed to the constructor — it sizes the preamble.
+  void set_chunk_digest(uint32_t c, integrity::Digest d);
+
   /// OR extra flags into the header before finish() (e.g. kFlagHasRawBlocks
   /// once a chunk emitted a raw block).  Not thread-safe: call from the
-  /// serial region after the chunk loop.
-  void merge_flags(uint16_t flags) { header_.flags |= flags; }
+  /// serial region after the chunk loop.  kFlagHasDigests cannot be merged
+  /// late — it sizes the preamble, so it must be on the constructor header.
+  void merge_flags(uint16_t flags) {
+    if ((flags & kFlagHasDigests) && !emits_digests()) {
+      throw Error("ChunkedStreamAssembler: digest flag must be set at construction");
+    }
+    header_.flags |= flags;
+  }
 
   /// Compact and seal; the assembler is spent afterwards.
   [[nodiscard]] CompressedBuffer finish();
@@ -202,6 +247,7 @@ class ChunkedStreamAssembler {
   std::span<size_t> worst_offset_;  ///< num_chunks + 1 entries
   std::span<size_t> chunk_size_;
   std::span<int32_t> outliers_;
+  std::span<uint64_t> digests_;  ///< 2 words per chunk when emitting digests
   CompressedBuffer result_;
 };
 

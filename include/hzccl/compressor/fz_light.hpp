@@ -24,6 +24,13 @@ struct FzParams {
   uint32_t block_len = 32;  ///< elements per small block (<= 512)
   uint32_t num_chunks = 0;  ///< thread chunks; 0 = derive from element count
   int num_threads = 0;      ///< OpenMP threads; 0 = runtime default
+  /// Emit the per-chunk ABFT digest table (kFlagHasDigests): a linear
+  /// checksum over the quantized chain that the homomorphic operators fold
+  /// algebraically and verifiers recheck without decompressing to floats.
+  /// Does not affect layout compatibility (digests ride the preamble, not
+  /// the block grid), but both operands of an hz op must carry digests for
+  /// the result to keep them.
+  bool emit_digests = false;
 
   /// The deterministic auto-chunking rule used when num_chunks == 0: enough
   /// chunks to feed a socket's threads, but never chunks smaller than a few
@@ -60,5 +67,20 @@ void fz_decompress_range(const FzView& view, size_t begin, size_t end, std::span
                          int num_threads = 0);
 void fz_decompress_range(const CompressedBuffer& compressed, size_t begin, size_t end,
                          std::span<float> out, int num_threads = 0);
+
+/// Outcome of an ABFT digest verification pass.
+struct DigestCheck {
+  bool checked = false;  ///< the stream carried digests and they were rechecked
+  bool ok = true;        ///< every chunk's recomputed digest matched
+  uint32_t first_bad_chunk = 0;  ///< lowest mismatching chunk when !ok
+};
+
+/// Recompute every chunk's digest from the encoded residual chain (integer
+/// domain only — no float conversion) and compare against the stored table.
+/// Streams without digests return {checked = false, ok = true}.  Cost is one
+/// decode pass; allocation-free (stack block scratch), parallel over chunks.
+[[nodiscard]] DigestCheck fz_verify_digests(const FzView& view, int num_threads = 0);
+[[nodiscard]] DigestCheck fz_verify_digests(const CompressedBuffer& compressed,
+                                            int num_threads = 0);
 
 }  // namespace hzccl

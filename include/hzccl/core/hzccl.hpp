@@ -73,6 +73,11 @@ struct JobConfig {
   /// The C-Coll kernels always ring (their per-round recompression defeats
   /// the latency-optimal schedules).
   coll::AllreduceAlgo algo = coll::AllreduceAlgo::kRing;
+  /// ABFT digest verification policy.  kOff is the pre-integrity wire;
+  /// kFinal rechecks at the final decode (detection: IntegrityError on
+  /// mismatch); kPerRound verifies every received stream and every combine
+  /// output and recovers via retransmit / recompute / raw fallback.
+  coll::VerifyPolicy verify = coll::VerifyPolicy::kOff;
 
   coll::CollectiveConfig collective_config(simmpi::Mode mode) const {
     coll::CollectiveConfig c;
@@ -81,6 +86,7 @@ struct JobConfig {
     c.mode = mode;
     c.cost = cost;
     c.host_threads = host_threads;
+    c.verify = verify;
     return c;
   }
 };
@@ -95,6 +101,8 @@ struct JobResult {
   TransportStats transport;                        ///< sum over ranks
   std::vector<HealthStats> health_per_rank;        ///< rank-failure counters
   HealthStats health;                              ///< sum over ranks
+  std::vector<IntegrityStats> integrity_per_rank;  ///< digest verify/recover counters
+  IntegrityStats integrity;                        ///< sum over ranks
   trace::Trace trace;                              ///< per-rank event streams (if enabled)
 
   // Rank-failure outcome (meaningful when JobConfig::faults schedules rank

@@ -1,0 +1,67 @@
+// Silent-data-corruption injection for the homomorphic combine path.
+//
+// The transport-level FaultPlan modes (drop/corrupt/mangle/sdc) perturb
+// *wire bytes*; a real cluster also suffers compute faults — a flipped
+// ALU lane, a bad register — that corrupt the *result of a combine* with
+// nothing ever crossing a link.  The SdcInjector models exactly that: a
+// per-rank-thread hook the hz_add pipeline consults after the dispatched
+// residual-combine kernel, flipping the sign of one freshly combined lane
+// with a seeded, counter-based probability.
+//
+// The corruption is silent by construction: it lands *after* the overflow
+// guard and *before* encoding, so the poisoned block re-encodes cleanly
+// and every byte-level check (wire CRC, stream parse) passes.  Only the
+// ABFT digests (hzccl/integrity/digest.hpp) can see it — the folded
+// digest of the combine no longer matches the poisoned payload — which is
+// what the verify-and-recover collectives key on.
+//
+// Decisions are pure functions of (seed, rank, counter) through the same
+// splitmix64 mix the FaultPlan uses, so a poisoned run replays exactly.
+// The injector is armed per rank thread (the simmpi runtime arms it around
+// each rank body when FaultPlan::poison > 0) and is a no-op everywhere
+// else; the hot combine loop pays one thread-local pointer test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hzccl/util/contracts.hpp"
+
+namespace hzccl::integrity {
+
+/// Counter-based poisoned-combine state for one rank thread.
+struct SdcInjector {
+  uint64_t seed = 0;
+  double poison = 0.0;  ///< per-combined-block poison probability
+  int rank = 0;
+  uint64_t counter = 0;    ///< advances once per pipeline-4 block combined
+  uint64_t injected = 0;   ///< blocks actually poisoned (for IntegrityStats)
+
+  /// Poison one lane of a freshly combined block with probability `poison`:
+  /// flips the sign of the first nonzero magnitude at or after a seeded
+  /// start lane.  Sign flips never change the block's code length, so the
+  /// poisoned block encodes into the same capacity the guard reserved.
+  /// Returns true when a lane was flipped.
+  HZCCL_HOT bool maybe_poison_combine(const uint32_t* mags, uint32_t* signs, size_t n);
+};
+
+/// The injector armed for the calling thread, or nullptr (the common case).
+HZCCL_HOT SdcInjector* sdc_injector();
+
+/// Arm `inj` for the calling thread (nullptr disarms).  Returns the
+/// previously armed injector so scopes can nest.
+SdcInjector* arm_sdc_injector(SdcInjector* inj);
+
+/// RAII arm/disarm around a rank body.
+class ScopedSdcInjector {
+ public:
+  explicit ScopedSdcInjector(SdcInjector* inj) : prev_(arm_sdc_injector(inj)) {}
+  ~ScopedSdcInjector() { arm_sdc_injector(prev_); }
+  ScopedSdcInjector(const ScopedSdcInjector&) = delete;
+  ScopedSdcInjector& operator=(const ScopedSdcInjector&) = delete;
+
+ private:
+  SdcInjector* prev_;
+};
+
+}  // namespace hzccl::integrity

@@ -123,6 +123,12 @@ struct JobOutcome {
 
   uint64_t payload_bytes_sent = 0;  ///< payload bytes this job injected
   TransportStats transport;         ///< summed over the job's ranks
+  /// ABFT digest verify/recover counters summed over the job's ranks.  The
+  /// engine's transport is clean, so mismatches here mean compute-side
+  /// corruption (an armed SdcInjector poisoning combines) — a job with
+  /// !integrity.clean() is *tainted* and the Scheduler re-verifies fused
+  /// members individually before splitting its result.
+  IntegrityStats integrity;
   coll::AllreduceAlgo algo = coll::AllreduceAlgo::kRing;  ///< resolved schedule
 
   std::vector<int> failed_ranks;  ///< fleet ranks lost across attempts
@@ -182,6 +188,11 @@ class Port {
   /// job-attributed span — the engine's Comm::charge.
   void charge(simmpi::CostBucket bucket, double seconds, trace::EventKind kind,
               uint64_t bytes = 0, uint64_t bytes_out = 0);
+
+  /// The job's ABFT verify/recover counters — the engine's Comm::integrity
+  /// (job-wide rather than per-rank: the engine interleaves all ranks on one
+  /// thread, so per-rank attribution would add state for no consumer).
+  [[nodiscard]] IntegrityStats& integrity();
 
  private:
   friend struct EngineImpl;

@@ -64,6 +64,15 @@ struct TenantJobResult {
   bool fused = false;
   int engine_job = -1;  ///< super-job id when fused
   std::string tenant;
+  /// Verify/recover counters of the engine job that produced this result
+  /// (a fused member sees the whole super-job's tallies).
+  IntegrityStats integrity;
+  /// True when this member's slice of a *tainted* fused super-job (one whose
+  /// integrity counters show detected corruption) was re-verified against
+  /// the member's own exact reduction before the split.  A slice that fails
+  /// re-verification comes back !completed with an integrity error instead
+  /// of silently shipping corrupt gradients to one tenant.
+  bool reverified = false;
 };
 
 /// Per-tenant roll-up.

@@ -30,6 +30,10 @@ struct CostModel {
   double szp_decompress_gbps = 4.5;
   double raw_sum_gbps = 25.0;        ///< float a[i] += b[i]
   double memcpy_gbps = 50.0;         ///< buffer staging (kOther)
+  /// ABFT digest verification: one decode-shaped pass over the *compressed*
+  /// bytes that accumulates the quantized chain into the linear digest but
+  /// writes no floats — faster than a decompress, slower than a memcpy.
+  double digest_verify_gbps = 35.0;
 
   // hZ-dynamic per-pipeline constants (see HzPipelineStats):
   double hz_block_dispatch_ns = 0.24;  ///< per block: header reads + branch (covers P1)
@@ -51,6 +55,8 @@ struct CostModel {
   double seconds_fz_decompress(size_t uncompressed_bytes, Mode m) const;
   double seconds_raw_sum(size_t uncompressed_bytes, Mode m) const;
   double seconds_memcpy(size_t bytes) const;
+  /// Charge for verifying one stream's digests, on the compressed-byte basis.
+  double seconds_digest_verify(size_t compressed_bytes, Mode m) const;
 
   /// Charge for one homomorphic reduction given its pipeline statistics —
   /// the work volume depends on which pipelines fired, which is the whole

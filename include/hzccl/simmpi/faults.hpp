@@ -11,7 +11,17 @@
 //   * corrupt    — one bit of the framed bytes is flipped in flight
 //   * mangle     — the payload is scribbled *before* framing (models
 //                  sender-side memory/encoder corruption that a wire CRC
-//                  cannot catch; surfaces as a decode failure downstream)
+//                  cannot catch; surfaces as a decode failure downstream).
+//                  The scribble hits the payload head (so decode always
+//                  fails detectably) plus a seeded offset over the whole
+//                  payload, so tail blocks are corrupted as often as heads
+//   * sdc        — one seeded *payload* bit flips before framing: the CRC
+//                  is computed over the flipped bytes, so the frame checks
+//                  out and the stream usually still parses — silent data
+//                  corruption only the ABFT digests can see
+//   * poison     — one lane of a homomorphic combine is sign-flipped on the
+//                  compute side (hzccl/integrity/sdc.hpp): corruption that
+//                  never crosses a link at all
 //   * stall      — a rank pauses around one transport operation
 //
 // Every decision is a pure function of (seed, fault kind, link, sequence
@@ -45,6 +55,9 @@ enum class FaultKind : uint64_t {
   kMangle = 6,
   kStallSend = 7,
   kStallRecv = 8,
+  kMangleOffset = 9,  ///< where in the payload the mangle's second scribble lands
+  kSdc = 10,
+  kSdcBit = 11,  ///< which payload bit the silent corruption flips
 };
 
 /// Strong stateless 64-bit mix (splitmix64 finalizer chain).
@@ -103,6 +116,15 @@ struct FaultPlan {
   double duplicate = 0.0;
   double stall = 0.0;
   double mangle = 0.0;
+  /// Silent data corruption: per-frame probability that one seeded payload
+  /// bit flips *before* the CRC is computed.  Invisible to the wire layer;
+  /// detected (and recovered via retransmit) only when the collective runs
+  /// with a digest verify policy.  Retransmits re-roll, like mangle.
+  double sdc = 0.0;
+  /// Poisoned combine: per-block probability that a rank's homomorphic
+  /// combine sign-flips one output lane (compute-side SDC; nothing crosses
+  /// the wire).  Recovery is recompute-from-inputs, not retransmit.
+  double poison = 0.0;
 
   /// Virtual seconds a stalled rank loses around one transport operation.
   double stall_seconds = 50e-6;
@@ -119,8 +141,13 @@ struct FaultPlan {
   /// window and the retransmit machinery).
   bool enabled() const {
     return drop > 0.0 || corrupt > 0.0 || reorder > 0.0 || duplicate > 0.0 ||
-           stall > 0.0 || mangle > 0.0;
+           stall > 0.0 || mangle > 0.0 || sdc > 0.0;
   }
+
+  /// True when any *silent* fault can fire — corruption the transport layer
+  /// cannot detect on its own (this is what a digest verify policy exists
+  /// to catch).
+  bool silent_faults_enabled() const { return sdc > 0.0 || poison > 0.0; }
 
   /// True when any rank-level failure is scheduled (this is what arms the
   /// health state machine, agreement and epochs in the runtime).
@@ -129,8 +156,8 @@ struct FaultPlan {
   /// Perfect network (all probabilities zero).
   static FaultPlan none() { return FaultPlan{}; }
 
-  /// Parse the hzcclc flag syntax
-  /// "seed,drop[,corrupt[,reorder[,dup[,stall[,mangle[,stall_s[,recv_timeout]]]]]]]".
+  /// Parse the hzcclc flag syntax "seed,drop[,corrupt[,reorder[,dup[,stall
+  /// [,mangle[,stall_s[,recv_timeout[,sdc[,poison]]]]]]]]]".
   static FaultPlan parse(const std::string& spec);
 
   /// Parse the hzcclc --rank-faults syntax: ';'-separated RankFault entries.
@@ -173,13 +200,20 @@ struct RetryPolicy {
   int max_attempts = 1;
   double backoff_base_s = 100e-6;
   double backoff_factor = 2.0;
+  /// Jitter fraction in [0, 1): each backoff is scaled by a seeded factor
+  /// in [1 - jitter, 1 + jitter) so retrying ranks don't re-collide in
+  /// lockstep.  The draw is a pure function of (seed, attempt) through the
+  /// same counter-based mix as the FaultPlan, so replays stay exact.
+  double jitter = 0.0;
 
   bool enabled() const { return max_attempts > 1; }
   /// Virtual seconds charged before re-running attempt `attempt` (1-based
-  /// count of failures so far).
-  double backoff_for(int attempt) const;
+  /// count of failures so far).  `seed` feeds the jitter draw; callers with
+  /// a FaultPlan should pass its seed so the whole run replays from one
+  /// number.
+  double backoff_for(int attempt, uint64_t seed = 0) const;
 
-  /// Parse the hzcclc flag syntax "attempts[,backoff_base[,factor]]".
+  /// Parse the hzcclc flag syntax "attempts[,backoff_base[,factor[,jitter]]]".
   static RetryPolicy parse(const std::string& spec);
   void validate() const;
   std::string describe() const;

@@ -170,6 +170,12 @@ class Comm {
   /// Endpoint-health counters accumulated by this rank so far.
   const hzccl::HealthStats& health() const { return health_; }
 
+  /// Digest verify-and-recover counters accumulated by this rank so far.
+  /// Collective bodies bump these through the mutable accessor; the runtime
+  /// folds the rank's poisoned-combine injections in when the rank returns.
+  const hzccl::IntegrityStats& integrity() const { return integrity_; }
+  hzccl::IntegrityStats& integrity() { return integrity_; }
+
  private:
   friend class Runtime;
   Comm(Runtime* rt, int rank, int size);
@@ -195,6 +201,7 @@ class Comm {
   uint64_t bytes_received_ = 0;
   hzccl::TransportStats transport_;
   hzccl::HealthStats health_;
+  hzccl::IntegrityStats integrity_;
   std::vector<uint64_t> send_seq_;                      ///< next seq per physical destination
   std::vector<std::unordered_set<uint64_t>> accepted_;  ///< accepted seqs per physical source
   /// Frames held back by the reorder fault, one slot per destination; a held
@@ -229,6 +236,9 @@ class Runtime {
 
   /// Per-rank endpoint-health counters of the most recent run.
   const std::vector<hzccl::HealthStats>& health_stats() const { return health_stats_; }
+
+  /// Per-rank integrity counters of the most recent run.
+  const std::vector<hzccl::IntegrityStats>& integrity_stats() const { return integrity_stats_; }
 
   /// Per-rank event trace of the most recent run (empty unless the Runtime
   /// was constructed with trace::Options::enabled).
@@ -348,6 +358,7 @@ class Runtime {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<hzccl::TransportStats> transport_stats_;
   std::vector<hzccl::HealthStats> health_stats_;
+  std::vector<hzccl::IntegrityStats> integrity_stats_;
   trace::Trace trace_;
   /// Set when any rank throws, so peers blocked on that rank's messages or
   /// on the barrier fail fast instead of deadlocking the join.

@@ -117,6 +117,29 @@ HealthStats total_health(std::span<const HealthStats> per_rank);
 /// One-line summary ("crashes=1 suspects=7 dead=7 agree=14 shrink=7 ...").
 std::string describe(const HealthStats& s);
 
+/// Per-rank counters of the ABFT digest verify-and-recover machinery.
+/// Verification events accumulate on the rank that ran the check; injection
+/// events (poisoned combines) accumulate on the rank whose combine was
+/// poisoned.
+struct IntegrityStats {
+  uint64_t digests_checked = 0;       ///< digest verifications performed
+  uint64_t mismatches = 0;            ///< verifications that caught corruption
+  uint64_t retransmit_recoveries = 0; ///< mismatches healed from the in-flight window
+  uint64_t recomputes = 0;            ///< mismatches healed by recomputing from inputs
+  uint64_t raw_fallbacks = 0;         ///< mismatches healed by the raw-block degrade path
+  uint64_t poisoned_combines = 0;     ///< injected compute-side combine corruptions
+
+  /// True when nothing was checked or every check passed with no injection.
+  bool clean() const;
+  IntegrityStats& operator+=(const IntegrityStats& other);
+};
+
+/// Element-wise sum over all ranks of a job.
+IntegrityStats total_integrity(std::span<const IntegrityStats> per_rank);
+
+/// One-line summary ("checked=96 mismatch=2 retx=2 recompute=0 ...").
+std::string describe(const IntegrityStats& s);
+
 /// Sample mean and (population) standard deviation of a series; used for the
 /// per-field NRMSE STD columns of Tables III and VI.
 struct Summary {

@@ -66,8 +66,14 @@ enum class EventKind : uint8_t {
   kFuse = 17,       ///< job absorbed into a fused super-job bucket
   kGrant = 18,      ///< job admitted: per-rank progress begins
   kComplete = 19,   ///< job finished (aux 0) or exhausted its retries (aux 1)
+  // Integrity spans (PR 10): emitted only when a digest verify policy is
+  // active, so traces of verify-off runs — including every pinned golden
+  // trace — are byte-identical to before.
+  kVerify = 20,        ///< ABFT digest verification of a stream (CPT-charged)
+  kSdcDetected = 21,   ///< zero-duration marker: a digest check caught corruption
+  kRecompute = 22,     ///< zero-duration marker: a combine was redone after a mismatch
 };
-inline constexpr int kNumEventKinds = 20;
+inline constexpr int kNumEventKinds = 23;
 
 std::string kind_name(EventKind k);
 bool kind_is_transport(EventKind k);

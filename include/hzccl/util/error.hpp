@@ -65,4 +65,13 @@ class QuantizationRangeError : public Error {
   explicit QuantizationRangeError(const std::string& what) : Error(what) {}
 };
 
+/// An ABFT digest verification failed and no recovery path remained: the
+/// final decoded result would have carried silent data corruption.  Thrown
+/// by the verify-final policy (detection without per-round recovery) and by
+/// per-round verification when a mismatch survives every healing stage.
+class IntegrityError : public Error {
+ public:
+  explicit IntegrityError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace hzccl

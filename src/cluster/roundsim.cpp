@@ -72,9 +72,20 @@ double intra_transfer(const NetModel& net, double bytes) {
   return net.intra_latency_s + bytes / net.intra_bytes_per_s();
 }
 
+using coll::VerifyPolicy;
+
+/// One per-round digest walk over a stream of `bytes` compressed (or, on
+/// the raw stack, payload) bytes — zero unless per-round verification is
+/// on.  Mirrors the functional `verify_stream_digests` charge.
+double round_verify(const CostModel& cost, Mode mode, VerifyPolicy verify, double bytes) {
+  if (verify != VerifyPolicy::kPerRound) return 0.0;
+  return cost.seconds_digest_verify(static_cast<size_t>(bytes), mode);
+}
+
 ModelResult model_reduce_scatter_flows(Kernel kernel, int nranks, int flows, size_t total_bytes,
                                        const CompressionProfile& profile, const NetModel& net,
-                                       const CostModel& cost, bool fused_tail) {
+                                       const CostModel& cost, VerifyPolicy verify,
+                                       bool fused_tail) {
   const Mode mode = kernel_mode(kernel);
   const double block_bytes = static_cast<double>(total_bytes) / nranks;
   const size_t block_elems = static_cast<size_t>(block_bytes) / sizeof(float);
@@ -86,6 +97,8 @@ ModelResult model_reduce_scatter_flows(Kernel kernel, int nranks, int flows, siz
         r.mpi_seconds += transfer_at(net, block_bytes, flows);
         r.cpt_seconds += cost.seconds_raw_sum(static_cast<size_t>(block_bytes),
                                               Mode::kSingleThread);
+        // Raw stack: content-digest trailer over the received payload.
+        r.vrf_seconds += round_verify(cost, Mode::kSingleThread, verify, block_bytes);
       }
       break;
     case Kernel::kCCollMultiThread:
@@ -96,6 +109,10 @@ ModelResult model_reduce_scatter_flows(Kernel kernel, int nranks, int flows, siz
         r.mpi_seconds += transfer_at(net, block_bytes / profile.ratio_at_depth(depth), flows);
         r.dpr_seconds += cost.seconds_fz_decompress(static_cast<size_t>(block_bytes), mode);
         r.cpt_seconds += cost.seconds_raw_sum(static_cast<size_t>(block_bytes), mode);
+        // Received stream walk; the re-encode derives fresh digests, so the
+        // DOC round has no combine-output check.
+        r.vrf_seconds +=
+            round_verify(cost, mode, verify, block_bytes / profile.ratio_at_depth(depth));
       }
       break;
     case Kernel::kHzcclMultiThread:
@@ -107,26 +124,37 @@ ModelResult model_reduce_scatter_flows(Kernel kernel, int nranks, int flows, siz
         r.mpi_seconds += transfer_at(net, block_bytes / profile.ratio_at_depth(depth), flows);
         r.hpr_seconds += cost.seconds_hz_add(profile.stats_at_depth(depth + 1, block_elems),
                                              profile.block_len, mode);
+        // Received stream walk + combine-output walk (the folded digest
+        // table is cross-checked against the freshly written payload).
+        r.vrf_seconds +=
+            round_verify(cost, mode, verify, block_bytes / profile.ratio_at_depth(depth));
+        r.vrf_seconds += round_verify(
+            cost, mode, verify,
+            block_bytes / profile.ratio_at_depth(std::min(depth + 1, nranks)));
       }
       if (!fused_tail) {
         r.dpr_seconds += cost.seconds_fz_decompress(static_cast<size_t>(block_bytes), mode);
       }
       break;
   }
-  r.seconds = r.mpi_seconds + r.cpr_seconds + r.dpr_seconds + r.cpt_seconds + r.hpr_seconds;
+  r.seconds = r.mpi_seconds + r.cpr_seconds + r.dpr_seconds + r.cpt_seconds + r.hpr_seconds +
+              r.vrf_seconds;
   return r;
 }
 
 ModelResult model_allgather_flows(Kernel kernel, int nranks, int flows, size_t total_bytes,
                                   const CompressionProfile& profile, const NetModel& net,
-                                  const CostModel& cost) {
+                                  const CostModel& cost, VerifyPolicy verify) {
   const Mode mode = kernel_mode(kernel);
   const double block_bytes = static_cast<double>(total_bytes) / nranks;
   ModelResult r;
 
   switch (kernel) {
     case Kernel::kMpi:
-      for (int s = 0; s < nranks - 1; ++s) r.mpi_seconds += transfer_at(net, block_bytes, flows);
+      for (int s = 0; s < nranks - 1; ++s) {
+        r.mpi_seconds += transfer_at(net, block_bytes, flows);
+        r.vrf_seconds += round_verify(cost, Mode::kSingleThread, verify, block_bytes);
+      }
       break;
     case Kernel::kCCollMultiThread:
     case Kernel::kCCollSingleThread: {
@@ -135,6 +163,7 @@ ModelResult model_allgather_flows(Kernel kernel, int nranks, int flows, size_t t
       r.cpr_seconds += cost.seconds_fz_compress(static_cast<size_t>(block_bytes), mode);
       for (int s = 0; s < nranks - 1; ++s) {
         r.mpi_seconds += transfer_at(net, block_bytes / ratio, flows);
+        r.vrf_seconds += round_verify(cost, mode, verify, block_bytes / ratio);
       }
       r.dpr_seconds +=
           cost.seconds_fz_decompress(static_cast<size_t>(block_bytes) * (nranks - 1), mode);
@@ -147,12 +176,14 @@ ModelResult model_allgather_flows(Kernel kernel, int nranks, int flows, size_t t
       const double ratio = profile.ratio_at_depth(nranks);
       for (int s = 0; s < nranks - 1; ++s) {
         r.mpi_seconds += transfer_at(net, block_bytes / ratio, flows);
+        r.vrf_seconds += round_verify(cost, mode, verify, block_bytes / ratio);
       }
       r.dpr_seconds += cost.seconds_fz_decompress(total_bytes, mode);
       break;
     }
   }
-  r.seconds = r.mpi_seconds + r.cpr_seconds + r.dpr_seconds + r.cpt_seconds + r.hpr_seconds;
+  r.seconds = r.mpi_seconds + r.cpr_seconds + r.dpr_seconds + r.cpt_seconds + r.hpr_seconds +
+              r.vrf_seconds;
   return r;
 }
 
@@ -164,6 +195,7 @@ ModelResult combine(const ModelResult& a, const ModelResult& b) {
   r.dpr_seconds = a.dpr_seconds + b.dpr_seconds;
   r.cpt_seconds = a.cpt_seconds + b.cpt_seconds;
   r.hpr_seconds = a.hpr_seconds + b.hpr_seconds;
+  r.vrf_seconds = a.vrf_seconds + b.vrf_seconds;
   return r;
 }
 
@@ -172,7 +204,7 @@ ModelResult combine(const ModelResult& a, const ModelResult& b) {
 /// step s carries 2^s accumulated operands.
 ModelResult model_recursive_doubling(Kernel kernel, int nranks, int flows, size_t total_bytes,
                                      const CompressionProfile& profile, const NetModel& net,
-                                     const CostModel& cost) {
+                                     const CostModel& cost, VerifyPolicy verify) {
   const Mode mode = kernel_mode(kernel);
   const size_t total_elems = total_bytes / sizeof(float);
   int p2 = 1;
@@ -185,6 +217,8 @@ ModelResult model_recursive_doubling(Kernel kernel, int nranks, int flows, size_
       case Kernel::kMpi:
         r.mpi_seconds += transfer_at(net, static_cast<double>(total_bytes), flows);
         r.cpt_seconds += cost.seconds_raw_sum(total_bytes, Mode::kSingleThread);
+        r.vrf_seconds += round_verify(cost, Mode::kSingleThread, verify,
+                                      static_cast<double>(total_bytes));
         break;
       case Kernel::kCCollMultiThread:
       case Kernel::kCCollSingleThread:
@@ -193,6 +227,8 @@ ModelResult model_recursive_doubling(Kernel kernel, int nranks, int flows, size_
             net, static_cast<double>(total_bytes) / profile.ratio_at_depth(depth), flows);
         r.dpr_seconds += cost.seconds_fz_decompress(total_bytes, mode);
         r.cpt_seconds += cost.seconds_raw_sum(total_bytes, mode);
+        r.vrf_seconds += round_verify(
+            cost, mode, verify, static_cast<double>(total_bytes) / profile.ratio_at_depth(depth));
         break;
       case Kernel::kHzcclMultiThread:
       case Kernel::kHzcclSingleThread:
@@ -201,6 +237,12 @@ ModelResult model_recursive_doubling(Kernel kernel, int nranks, int flows, size_
         r.hpr_seconds += cost.seconds_hz_add(
             profile.stats_at_depth(std::min(2 * depth, nranks), total_elems),
             profile.block_len, mode);
+        r.vrf_seconds += round_verify(
+            cost, mode, verify, static_cast<double>(total_bytes) / profile.ratio_at_depth(depth));
+        r.vrf_seconds += round_verify(
+            cost, mode, verify,
+            static_cast<double>(total_bytes) /
+                profile.ratio_at_depth(std::min(2 * depth, nranks)));
         break;
     }
   };
@@ -209,10 +251,17 @@ ModelResult model_recursive_doubling(Kernel kernel, int nranks, int flows, size_
   if (hz) r.cpr_seconds += cost.seconds_fz_compress(total_bytes, mode);
   if (fold) exchange(1);
   for (int mask = 1, depth = fold ? 2 : 1; mask < p2; mask <<= 1, depth *= 2) exchange(depth);
-  if (fold) r.mpi_seconds += transfer_at(net, static_cast<double>(total_bytes), flows);
+  if (fold) {
+    r.mpi_seconds += transfer_at(net, static_cast<double>(total_bytes), flows);
+    r.vrf_seconds +=
+        round_verify(cost, mode, verify,
+                     hz ? static_cast<double>(total_bytes) / profile.ratio_at_depth(nranks)
+                        : static_cast<double>(total_bytes));
+  }
   if (hz) r.dpr_seconds += cost.seconds_fz_decompress(total_bytes, mode);
 
-  r.seconds = r.mpi_seconds + r.cpr_seconds + r.dpr_seconds + r.cpt_seconds + r.hpr_seconds;
+  r.seconds = r.mpi_seconds + r.cpr_seconds + r.dpr_seconds + r.cpt_seconds + r.hpr_seconds +
+              r.vrf_seconds;
   return r;
 }
 
@@ -222,7 +271,7 @@ ModelResult model_recursive_doubling(Kernel kernel, int nranks, int flows, size_
 /// does the model.
 ModelResult model_rabenseifner(Kernel kernel, int nranks, int flows, size_t total_bytes,
                                const CompressionProfile& profile, const NetModel& net,
-                               const CostModel& cost) {
+                               const CostModel& cost, VerifyPolicy verify) {
   const Mode mode = kernel_mode(kernel);
   const bool hz = kernel == Kernel::kHzcclMultiThread || kernel == Kernel::kHzcclSingleThread;
   ModelResult r;
@@ -238,6 +287,7 @@ ModelResult model_rabenseifner(Kernel kernel, int nranks, int flows, size_t tota
       case Kernel::kMpi:
         r.mpi_seconds += transfer_at(net, seg_bytes, flows);
         r.cpt_seconds += cost.seconds_raw_sum(seg, Mode::kSingleThread);
+        r.vrf_seconds += round_verify(cost, Mode::kSingleThread, verify, seg_bytes);
         break;
       case Kernel::kCCollMultiThread:
       case Kernel::kCCollSingleThread:
@@ -245,6 +295,8 @@ ModelResult model_rabenseifner(Kernel kernel, int nranks, int flows, size_t tota
         r.mpi_seconds += transfer_at(net, seg_bytes / profile.ratio_at_depth(depth), flows);
         r.dpr_seconds += cost.seconds_fz_decompress(seg, mode);
         r.cpt_seconds += cost.seconds_raw_sum(seg, mode);
+        r.vrf_seconds +=
+            round_verify(cost, mode, verify, seg_bytes / profile.ratio_at_depth(depth));
         break;
       case Kernel::kHzcclMultiThread:
       case Kernel::kHzcclSingleThread:
@@ -252,6 +304,11 @@ ModelResult model_rabenseifner(Kernel kernel, int nranks, int flows, size_t tota
         r.hpr_seconds += cost.seconds_hz_add(
             profile.stats_at_depth(std::min(2 * depth, nranks), seg / sizeof(float)),
             profile.block_len, mode);
+        r.vrf_seconds +=
+            round_verify(cost, mode, verify, seg_bytes / profile.ratio_at_depth(depth));
+        r.vrf_seconds += round_verify(
+            cost, mode, verify,
+            seg_bytes / profile.ratio_at_depth(std::min(2 * depth, nranks)));
         break;
     }
     depth = std::min(2 * depth, nranks);
@@ -264,94 +321,134 @@ ModelResult model_rabenseifner(Kernel kernel, int nranks, int flows, size_t tota
     switch (kernel) {
       case Kernel::kMpi:
         r.mpi_seconds += transfer_at(net, seg_bytes, flows);
+        r.vrf_seconds += round_verify(cost, Mode::kSingleThread, verify, seg_bytes);
         break;
       case Kernel::kCCollMultiThread:
       case Kernel::kCCollSingleThread:
         r.cpr_seconds += cost.seconds_fz_compress(seg, mode);
         r.mpi_seconds += transfer_at(net, seg_bytes / full_ratio, flows);
         r.dpr_seconds += cost.seconds_fz_decompress(seg, mode);
+        r.vrf_seconds += round_verify(cost, mode, verify, seg_bytes / full_ratio);
         break;
       case Kernel::kHzcclMultiThread:
       case Kernel::kHzcclSingleThread:
         r.mpi_seconds += transfer_at(net, seg_bytes / full_ratio, flows);
+        r.vrf_seconds += round_verify(cost, mode, verify, seg_bytes / full_ratio);
         break;
     }
     seg_bytes *= 2.0;
   }
   if (hz) r.dpr_seconds += cost.seconds_fz_decompress(total_bytes, mode);
 
-  r.seconds = r.mpi_seconds + r.cpr_seconds + r.dpr_seconds + r.cpt_seconds + r.hpr_seconds;
+  r.seconds = r.mpi_seconds + r.cpr_seconds + r.dpr_seconds + r.cpt_seconds + r.hpr_seconds +
+              r.vrf_seconds;
   return r;
 }
 
 ModelResult model_ring_allreduce(Kernel kernel, int nranks, int flows, size_t total_bytes,
                                  const CompressionProfile& profile, const NetModel& net,
-                                 const CostModel& cost) {
+                                 const CostModel& cost, VerifyPolicy verify) {
   const bool hz = kernel == Kernel::kHzcclMultiThread || kernel == Kernel::kHzcclSingleThread;
   const ModelResult rs = model_reduce_scatter_flows(kernel, nranks, flows, total_bytes, profile,
-                                                    net, cost, /*fused_tail=*/hz);
+                                                    net, cost, verify, /*fused_tail=*/hz);
   const ModelResult ag =
-      model_allgather_flows(kernel, nranks, flows, total_bytes, profile, net, cost);
+      model_allgather_flows(kernel, nranks, flows, total_bytes, profile, net, cost, verify);
   return combine(rs, ag);
+}
+
+/// kFinal's single end-of-collective walk over the fully reduced stream
+/// (kPerRound already charged every round; kOff charges nothing).
+ModelResult charge_final_verify(ModelResult r, Kernel kernel, int nranks, size_t total_bytes,
+                                const CompressionProfile& profile, const CostModel& cost,
+                                VerifyPolicy verify) {
+  if (verify != VerifyPolicy::kFinal) return r;
+  const Mode mode = kernel_mode(kernel);
+  const double bytes =
+      kernel == Kernel::kMpi
+          ? static_cast<double>(total_bytes)
+          : static_cast<double>(total_bytes) / profile.ratio_at_depth(nranks);
+  const double charge = cost.seconds_digest_verify(
+      static_cast<size_t>(bytes), kernel == Kernel::kMpi ? Mode::kSingleThread : mode);
+  r.vrf_seconds += charge;
+  r.seconds += charge;
+  return r;
 }
 
 }  // namespace
 
 ModelResult model_collective(Kernel kernel, Op op, int nranks, size_t total_bytes,
                              const CompressionProfile& profile, const NetModel& net,
-                             const CostModel& cost) {
+                             const CostModel& cost, coll::VerifyPolicy verify) {
   if (nranks < 2) throw Error("model_collective: need at least 2 ranks");
   const int flows = net.congestion_flows(nranks);
+  ModelResult r;
   if (op == Op::kReduceScatter) {
-    return model_reduce_scatter_flows(kernel, nranks, flows, total_bytes, profile, net, cost,
-                                      /*fused_tail=*/false);
+    r = model_reduce_scatter_flows(kernel, nranks, flows, total_bytes, profile, net, cost,
+                                   verify, /*fused_tail=*/false);
+  } else {
+    r = model_ring_allreduce(kernel, nranks, flows, total_bytes, profile, net, cost, verify);
   }
-  return model_ring_allreduce(kernel, nranks, flows, total_bytes, profile, net, cost);
+  return charge_final_verify(r, kernel, nranks, total_bytes, profile, cost, verify);
 }
 
 ModelResult model_allreduce_algo(Kernel kernel, coll::AllreduceAlgo algo, int nranks,
                                  size_t total_bytes, const CompressionProfile& profile,
-                                 const NetModel& net, const CostModel& cost) {
+                                 const NetModel& net, const CostModel& cost,
+                                 coll::VerifyPolicy verify) {
   if (nranks < 2) throw Error("model_allreduce_algo: need at least 2 ranks");
   const int flows = net.congestion_flows(nranks);
+  const auto finish = [&](ModelResult r) {
+    return charge_final_verify(r, kernel, nranks, total_bytes, profile, cost, verify);
+  };
   switch (algo) {
     case coll::AllreduceAlgo::kAuto:
       throw Error("model_allreduce_algo: kAuto must be resolved by the caller");
     case coll::AllreduceAlgo::kRing:
-      return model_ring_allreduce(kernel, nranks, flows, total_bytes, profile, net, cost);
+      return finish(
+          model_ring_allreduce(kernel, nranks, flows, total_bytes, profile, net, cost, verify));
     case coll::AllreduceAlgo::kRecursiveDoubling:
-      return model_recursive_doubling(kernel, nranks, flows, total_bytes, profile, net, cost);
+      return finish(model_recursive_doubling(kernel, nranks, flows, total_bytes, profile, net,
+                                             cost, verify));
     case coll::AllreduceAlgo::kRabenseifner:
       if ((nranks & (nranks - 1)) != 0) {
         // Functional fallback: non-power-of-two runs the ring.
-        return model_ring_allreduce(kernel, nranks, flows, total_bytes, profile, net, cost);
+        return finish(model_ring_allreduce(kernel, nranks, flows, total_bytes, profile, net,
+                                           cost, verify));
       }
-      return model_rabenseifner(kernel, nranks, flows, total_bytes, profile, net, cost);
+      return finish(
+          model_rabenseifner(kernel, nranks, flows, total_bytes, profile, net, cost, verify));
     case coll::AllreduceAlgo::kTwoLevel: {
       const int nnodes = net.topo.num_nodes(nranks);
       if (nnodes >= nranks) {
         // Flat topology: every rank is its own leader — exactly the ring.
-        return model_ring_allreduce(kernel, nranks, flows, total_bytes, profile, net, cost);
+        return finish(model_ring_allreduce(kernel, nranks, flows, total_bytes, profile, net,
+                                           cost, verify));
       }
       // Intra-node phase: the leader drains ranks_per_node - 1 member
       // vectors serially over the fast channel and reduces each, then (after
       // the leader ring) re-broadcasts the finished vector.
       const int rpn = (nranks + nnodes - 1) / nnodes;
       const Mode mode = kernel_mode(kernel);
+      const Mode intra_mode = kernel == Kernel::kMpi ? Mode::kSingleThread : mode;
       ModelResult intra;
       for (int m = 1; m < rpn; ++m) {
         intra.mpi_seconds += intra_transfer(net, static_cast<double>(total_bytes));
-        intra.cpt_seconds += cost.seconds_raw_sum(
-            total_bytes, kernel == Kernel::kMpi ? Mode::kSingleThread : mode);
+        intra.cpt_seconds += cost.seconds_raw_sum(total_bytes, intra_mode);
+        // Member vectors cross the intra-node channel raw, guarded by the
+        // content-digest trailer under per-round verification.
+        intra.vrf_seconds +=
+            round_verify(cost, intra_mode, verify, static_cast<double>(total_bytes));
       }
       intra.mpi_seconds += (rpn - 1) * net.intra_latency_s +
                            intra_transfer(net, static_cast<double>(total_bytes));
-      intra.seconds = intra.mpi_seconds + intra.cpt_seconds;
-      if (nnodes < 2) return intra;
+      intra.vrf_seconds +=
+          round_verify(cost, intra_mode, verify, static_cast<double>(total_bytes));
+      intra.seconds = intra.mpi_seconds + intra.cpt_seconds + intra.vrf_seconds;
+      if (nnodes < 2) return finish(intra);
       // One leader per node: the inter-node ring sees nnodes flows.
       const ModelResult ring =
-          model_ring_allreduce(kernel, nnodes, nnodes, total_bytes, profile, net, cost);
-      return combine(intra, ring);
+          model_ring_allreduce(kernel, nnodes, nnodes, total_bytes, profile, net, cost, verify);
+      return finish(combine(intra, ring));
     }
   }
   throw Error("model_allreduce_algo: unknown algorithm");

@@ -49,10 +49,10 @@ void raw_allreduce_recursive_doubling(Comm& comm, std::span<const float> input,
   int active = -1;
   if (rank < 2 * rem) {
     if (rank % 2 == 0) {
-      comm.send_floats(rank + 1, kTagFold, acc);
+      send_floats_checked(comm, rank + 1, kTagFold, acc, config);
     } else {
       std::vector<float> incoming(acc.size());
-      comm.recv_floats_into(rank - 1, kTagFold, incoming);
+      recv_floats_checked(comm, rank - 1, kTagFold, incoming, config);
       reduce_into(acc, incoming, 0, comm, config);
       active = rank / 2;
     }
@@ -69,8 +69,8 @@ void raw_allreduce_recursive_doubling(Comm& comm, std::span<const float> input,
     int step = 0;
     for (int mask = 1; mask < p2; mask <<= 1, ++step) {
       const int partner = real_rank_of(active ^ mask);
-      comm.send_floats(partner, kTagStep + step, acc);
-      comm.recv_floats_into(partner, kTagStep + step, incoming);
+      send_floats_checked(comm, partner, kTagStep + step, acc, config);
+      recv_floats_checked(comm, partner, kTagStep + step, incoming, config);
       reduce_into(acc, incoming, 0, comm, config);
     }
   }
@@ -78,9 +78,9 @@ void raw_allreduce_recursive_doubling(Comm& comm, std::span<const float> input,
   // Unfold phase: the folded even ranks receive the finished result.
   if (rank < 2 * rem) {
     if (rank % 2 == 0) {
-      comm.recv_floats_into(rank + 1, kTagUnfold, acc);
+      recv_floats_checked(comm, rank + 1, kTagUnfold, acc, config);
     } else {
-      comm.send_floats(rank - 1, kTagUnfold, acc);
+      send_floats_checked(comm, rank - 1, kTagUnfold, acc, config);
     }
   }
   out_full = std::move(acc);
@@ -111,17 +111,17 @@ void raw_allreduce_rabenseifner(Comm& comm, std::span<const float> input,
     const size_t mid = lo + (hi - lo) / 2;
     splits.emplace_back(lo, hi);
     if (rank < partner) {
-      comm.send_floats(partner, kTagStep + step,
-                       std::span<const float>(acc.data() + mid, hi - mid));
+      send_floats_checked(comm, partner, kTagStep + step,
+                          std::span<const float>(acc.data() + mid, hi - mid), config);
       incoming.resize(mid - lo);
-      comm.recv_floats_into(partner, kTagStep + step, incoming);
+      recv_floats_checked(comm, partner, kTagStep + step, incoming, config);
       reduce_into(acc, incoming, lo, comm, config);
       hi = mid;
     } else {
-      comm.send_floats(partner, kTagStep + step,
-                       std::span<const float>(acc.data() + lo, mid - lo));
+      send_floats_checked(comm, partner, kTagStep + step,
+                          std::span<const float>(acc.data() + lo, mid - lo), config);
       incoming.resize(hi - mid);
-      comm.recv_floats_into(partner, kTagStep + step, incoming);
+      recv_floats_checked(comm, partner, kTagStep + step, incoming, config);
       reduce_into(acc, incoming, mid, comm, config);
       lo = mid;
     }
@@ -133,15 +133,15 @@ void raw_allreduce_rabenseifner(Comm& comm, std::span<const float> input,
     const int partner = rank ^ mask;
     const auto [parent_lo, parent_hi] = splits.back();
     splits.pop_back();
-    comm.send_floats(partner, kTagStep + step,
-                     std::span<const float>(acc.data() + lo, hi - lo));
+    send_floats_checked(comm, partner, kTagStep + step,
+                        std::span<const float>(acc.data() + lo, hi - lo), config);
     if (lo == parent_lo) {
       // We hold the lower half; the partner supplies [hi, parent_hi).
       std::span<float> dest(acc.data() + hi, parent_hi - hi);
-      comm.recv_floats_into(partner, kTagStep + step, dest);
+      recv_floats_checked(comm, partner, kTagStep + step, dest, config);
     } else {
       std::span<float> dest(acc.data() + parent_lo, lo - parent_lo);
-      comm.recv_floats_into(partner, kTagStep + step, dest);
+      recv_floats_checked(comm, partner, kTagStep + step, dest, config);
     }
     lo = parent_lo;
     hi = parent_hi;
@@ -175,9 +175,9 @@ void raw_allreduce_two_level(Comm& comm, std::span<const float> input,
   const int leader = node_members.front();
 
   if (rank != leader) {
-    comm.send_floats(leader, kTagIntraReduce + rank, input);
+    send_floats_checked(comm, leader, kTagIntraReduce + rank, input, config);
     out_full.resize(input.size());
-    comm.recv_floats_into(leader, kTagIntraBcast + rank, out_full);
+    recv_floats_checked(comm, leader, kTagIntraBcast + rank, out_full, config);
     return;
   }
 
@@ -188,7 +188,7 @@ void raw_allreduce_two_level(Comm& comm, std::span<const float> input,
   for (size_t m = 1; m < node_members.size(); ++m) {
     const int member = node_members[m];
     incoming.resize(input.size());
-    comm.recv_floats_into(member, kTagIntraReduce + member, incoming);
+    recv_floats_checked(comm, member, kTagIntraReduce + member, incoming, config);
     reduce_into(acc, incoming, 0, comm, config);
   }
 
@@ -199,26 +199,30 @@ void raw_allreduce_two_level(Comm& comm, std::span<const float> input,
     const int idx = my_leader_idx;
     for (int step = 0; step < nleaders - 1; ++step) {
       const Range send_r = ring_block_range(acc.size(), nleaders, rs_send_block(idx, step, nleaders));
-      comm.send_floats(leaders[ring_next(idx, nleaders)], kTagReduceScatter + step,
-                       std::span<const float>(acc.data() + send_r.begin, send_r.size()));
+      send_floats_checked(comm, leaders[ring_next(idx, nleaders)], kTagReduceScatter + step,
+                          std::span<const float>(acc.data() + send_r.begin, send_r.size()),
+                          config);
       const Range recv_r = ring_block_range(acc.size(), nleaders, rs_recv_block(idx, step, nleaders));
       incoming.resize(recv_r.size());
-      comm.recv_floats_into(leaders[ring_prev(idx, nleaders)], kTagReduceScatter + step, incoming);
+      recv_floats_checked(comm, leaders[ring_prev(idx, nleaders)], kTagReduceScatter + step,
+                          incoming, config);
       reduce_into(acc, incoming, recv_r.begin, comm, config);
     }
     for (int step = 0; step < nleaders - 1; ++step) {
       const Range send_r = ring_block_range(acc.size(), nleaders, ag_send_block(idx, step, nleaders));
-      comm.send_floats(leaders[ring_next(idx, nleaders)], kTagAllgather + step,
-                       std::span<const float>(acc.data() + send_r.begin, send_r.size()));
+      send_floats_checked(comm, leaders[ring_next(idx, nleaders)], kTagAllgather + step,
+                          std::span<const float>(acc.data() + send_r.begin, send_r.size()),
+                          config);
       const Range recv_r = ring_block_range(acc.size(), nleaders, ag_recv_block(idx, step, nleaders));
-      comm.recv_floats_into(leaders[ring_prev(idx, nleaders)], kTagAllgather + step,
-                            std::span<float>(acc.data() + recv_r.begin, recv_r.size()));
+      recv_floats_checked(comm, leaders[ring_prev(idx, nleaders)], kTagAllgather + step,
+                          std::span<float>(acc.data() + recv_r.begin, recv_r.size()), config);
     }
   }
   out_full = std::move(acc);
 
   for (size_t m = 1; m < node_members.size(); ++m) {
-    comm.send_floats(node_members[m], kTagIntraBcast + node_members[m], out_full);
+    send_floats_checked(comm, node_members[m], kTagIntraBcast + node_members[m],
+                        out_full, config);
   }
 }
 

@@ -22,9 +22,13 @@ CompressedBuffer compress_block(Comm& comm, std::span<const float> block,
   return out;
 }
 
-/// Decompress a received stream and charge DPR.
+/// Decompress a received stream and charge DPR.  DOC consumes every stream
+/// right here (there is no later decode to gate), so the verify-final
+/// policy checks digests at this point; per-round verification already
+/// happened inside recv_checked_block with recovery, so it is not repeated.
 void decompress_block(Comm& comm, const CompressedBuffer& compressed, std::span<float> out,
                       const CollectiveConfig& config) {
+  if (config.verify == VerifyPolicy::kFinal) final_verify_stream(comm, compressed, config);
   fz_decompress(compressed, out, config.host_threads);
   comm.charge(CostBucket::kDpr, config.cost.seconds_fz_decompress(out.size_bytes(), config.mode),
               trace::EventKind::kDecompress, out.size_bytes(), compressed.bytes.size());

@@ -52,11 +52,46 @@ void combine_checked_block(Comm& comm, CompressedBuffer& acc, CheckedBlock recei
       comm.charge(CostBucket::kHpr,
                   config.cost.seconds_hz_add(stats, config.block_len, config.mode),
                   trace::EventKind::kHomReduce, elements * sizeof(float), summed.bytes.size());
-      if (pipeline_stats) *pipeline_stats += stats;
+      // Combine-output verification: hz_add folded the operands' digests
+      // algebraically, so a combine whose data lane was silently perturbed
+      // (a poisoned combine) contradicts its own digest table.  Recompute
+      // once — the injection counter has advanced, so a transient fault
+      // heals; a persistent one demotes this round to DOC below, where
+      // fz_compress re-derives digests from the data.
+      bool verified = true;
+      if (config.verify == VerifyPolicy::kPerRound &&
+          !verify_stream_digests(comm, summed.bytes, config)) {
+        record_integrity_marker(comm, trace::EventKind::kRecompute);
+        ++comm.integrity().recomputes;
+        pool.release(std::move(summed.bytes));
+        HzPipelineStats retry_stats;
+        summed = hz_add(acc, received.compressed, &retry_stats, config.host_threads, &pool);
+        comm.charge(CostBucket::kHpr,
+                    config.cost.seconds_hz_add(retry_stats, config.block_len, config.mode),
+                    trace::EventKind::kHomReduce, elements * sizeof(float), summed.bytes.size());
+        stats += retry_stats;
+        verified = verify_stream_digests(comm, summed.bytes, config);
+      }
+      if (verified) {
+        if (pipeline_stats) *pipeline_stats += stats;
+        pool.release(std::move(received.compressed.bytes));
+        pool.release(std::move(acc.bytes));
+        acc = std::move(summed);
+        return;
+      }
+      // Persistent combine corruption.  The received operand passed its own
+      // checks on receive — the fault is in *our* combine — so decode it
+      // locally and take the classic DOC round (no wire round-trip needed).
+      pool.release(std::move(summed.bytes));
+      received.raw.resize(elements);
+      fz_decompress(received.compressed, received.raw, config.host_threads);
+      comm.charge(CostBucket::kDpr,
+                  config.cost.seconds_fz_decompress(elements * sizeof(float), config.mode),
+                  trace::EventKind::kDecompress, elements * sizeof(float),
+                  received.compressed.bytes.size());
       pool.release(std::move(received.compressed.bytes));
-      pool.release(std::move(acc.bytes));
-      acc = std::move(summed);
-      return;
+      received.degraded = true;
+      ++comm.integrity().raw_fallbacks;
     } catch (const Error&) {
       // The stream parsed but could not be reduced homomorphically (deeper
       // corruption, layout drift, residual overflow).  Fetch the raw block
@@ -173,6 +208,7 @@ void allgather_compressed_members(Comm& comm, const CompressedBuffer& my_block,
   uint64_t compressed_bytes = 0;
   for (int b = 0; b < nmembers; ++b) {
     const Range r = ring_block_range(total_elements, nmembers, b);
+    final_verify_stream(comm, blocks[b], config);
     fz_decompress(blocks[b], std::span<float>(out_full.data() + r.begin, r.size()),
                   config.host_threads);
     compressed_bytes += blocks[b].bytes.size();
@@ -220,6 +256,7 @@ void hzccl_reduce_scatter(Comm& comm, std::span<const float> input,
   const Range r =
       ring_block_range(input.size(), comm.size(), rs_owned_block(comm.rank(), comm.size()));
   out_block.resize(r.size());
+  final_verify_stream(comm, owned, config);
   fz_decompress(owned, out_block, config.host_threads);
   const uint64_t compressed_bytes = owned.bytes.size();
   BufferPool::local().release(std::move(owned.bytes));
@@ -315,6 +352,7 @@ void hzccl_allreduce_recursive_doubling(Comm& comm, std::span<const float> input
   }
 
   out_full.resize(input.size());
+  final_verify_stream(comm, acc, config);
   fz_decompress(acc, out_full, config.host_threads);
   comm.charge(CostBucket::kDpr,
               config.cost.seconds_fz_decompress(input.size_bytes(), config.mode),
@@ -404,6 +442,7 @@ void hzccl_allreduce_rabenseifner(Comm& comm, std::span<const float> input,
   uint64_t compressed_bytes = 0;
   for (int b = 0; b < size; ++b) {
     const Range r = ring_block_range(input.size(), size, b);
+    final_verify_stream(comm, blocks[b], config);
     fz_decompress(blocks[b], std::span<float>(out_full.data() + r.begin, r.size()),
                   config.host_threads);
     compressed_bytes += blocks[b].bytes.size();
@@ -446,10 +485,11 @@ void hzccl_allreduce_two_level(Comm& comm, std::span<const float> input,
   if (rank != leader) {
     // Member: ship raw floats over the fast intra-node channel and wait for
     // the finished vector.  Compression would cost more than the copy saves
-    // on a shared-memory-class link.
-    comm.send_floats(leader, kTagIntraReduce + rank, input);
+    // on a shared-memory-class link; a verify policy rides a content-digest
+    // trailer instead.
+    send_floats_checked(comm, leader, kTagIntraReduce + rank, input, config);
     out_full.resize(input.size());
-    comm.recv_floats_into(leader, kTagIntraBcast + rank, out_full);
+    recv_floats_checked(comm, leader, kTagIntraBcast + rank, out_full, config);
     return;
   }
 
@@ -461,7 +501,7 @@ void hzccl_allreduce_two_level(Comm& comm, std::span<const float> input,
   for (size_t m = 1; m < node_members.size(); ++m) {
     const int member = node_members[m];
     incoming.resize(input.size());
-    comm.recv_floats_into(member, kTagIntraReduce + member, incoming);
+    recv_floats_checked(comm, member, kTagIntraReduce + member, incoming, config);
     reduce_combine_span(config.reduce_op, acc.data(), incoming.data(), acc.size());
     comm.charge(CostBucket::kCpt,
                 config.cost.seconds_raw_sum(input.size_bytes(), config.mode),
@@ -482,7 +522,8 @@ void hzccl_allreduce_two_level(Comm& comm, std::span<const float> input,
   }
 
   for (size_t m = 1; m < node_members.size(); ++m) {
-    comm.send_floats(node_members[m], kTagIntraBcast + node_members[m], out_full);
+    send_floats_checked(comm, node_members[m], kTagIntraBcast + node_members[m], out_full,
+                        config);
   }
 }
 

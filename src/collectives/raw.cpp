@@ -24,10 +24,11 @@ void raw_reduce_scatter(Comm& comm, std::span<const float> input, std::vector<fl
     const Range send_r = ring_block_range(total, size, rs_send_block(rank, step, size));
     const Range recv_r = ring_block_range(total, size, rs_recv_block(rank, step, size));
 
-    comm.send_floats(ring_next(rank, size), kTagReduceScatter + step,
-                     std::span<const float>(acc.data() + send_r.begin, send_r.size()));
+    send_floats_checked(comm, ring_next(rank, size), kTagReduceScatter + step,
+                        std::span<const float>(acc.data() + send_r.begin, send_r.size()),
+                        config);
     recv_buf.resize(recv_r.size());
-    comm.recv_floats_into(ring_prev(rank, size), kTagReduceScatter + step, recv_buf);
+    recv_floats_checked(comm, ring_prev(rank, size), kTagReduceScatter + step, recv_buf, config);
 
     reduce_combine_span(config.reduce_op, acc.data() + recv_r.begin, recv_buf.data(),
                         recv_r.size());
@@ -59,11 +60,12 @@ void raw_allgather(Comm& comm, std::span<const float> my_block, size_t total_ele
   for (int step = 0; step < size - 1; ++step) {
     const Range send_r = ring_block_range(total_elements, size, ag_send_block(rank, step, size));
     const Range recv_r = ring_block_range(total_elements, size, ag_recv_block(rank, step, size));
-    comm.send_floats(ring_next(rank, size), kTagAllgather + step,
-                     std::span<const float>(out_full.data() + send_r.begin, send_r.size()));
-    comm.recv_floats_into(
-        ring_prev(rank, size), kTagAllgather + step,
-        std::span<float>(out_full.data() + recv_r.begin, recv_r.size()));
+    send_floats_checked(comm, ring_next(rank, size), kTagAllgather + step,
+                        std::span<const float>(out_full.data() + send_r.begin, send_r.size()),
+                        config);
+    recv_floats_checked(comm, ring_prev(rank, size), kTagAllgather + step,
+                        std::span<float>(out_full.data() + recv_r.begin, recv_r.size()),
+                        config);
   }
 }
 

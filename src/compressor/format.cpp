@@ -29,7 +29,7 @@ FzView parse_fz(std::span<const uint8_t> bytes) {
   }
   if (!(v.header.error_bound > 0.0)) throw FormatError("error bound must be positive");
 
-  const size_t preamble = fz_preamble_size(v.header.num_chunks);
+  const size_t preamble = fz_preamble_size(v.header.num_chunks, v.header.flags);
   if (bytes.size() < preamble) throw FormatError("stream shorter than offset tables");
 
   if (v.header.flags & kFlagChecksummed) {
@@ -60,6 +60,11 @@ FzView parse_fz(std::span<const uint8_t> bytes) {
   const uint32_t nchunks = v.header.num_chunks;
   const auto offset_bytes = reader.read_bytes(
       checked_mul(nchunks, sizeof(uint64_t), "chunk offset table"), "chunk offset table");
+  std::span<const uint8_t> digest_bytes;
+  if (v.header.flags & kFlagHasDigests) {
+    digest_bytes = reader.read_bytes(
+        checked_mul(nchunks, 2 * sizeof(uint64_t), "chunk digest table"), "chunk digest table");
+  }
   const auto outlier_bytes = reader.read_bytes(
       checked_mul(nchunks, sizeof(int32_t), "chunk outlier table"), "chunk outlier table");
   v.chunk_offsets = aligned_table_view<uint64_t>(offset_bytes, nchunks, "chunk offset table");
@@ -73,6 +78,15 @@ FzView parse_fz(std::span<const uint8_t> bytes) {
     ByteReader table(outlier_bytes, "chunk outlier table");
     v.owned_outliers = table.read_vector<int32_t>(nchunks, "chunk outlier table");
     v.chunk_outliers = v.owned_outliers;
+  }
+  if ((v.header.flags & kFlagHasDigests) && nchunks > 0) {
+    v.chunk_digests =
+        aligned_table_view<uint64_t>(digest_bytes, 2 * size_t{nchunks}, "chunk digest table");
+    if (v.chunk_digests.empty()) {
+      ByteReader table(digest_bytes, "chunk digest table");
+      v.owned_digests = table.read_vector<uint64_t>(2 * size_t{nchunks}, "chunk digest table");
+      v.chunk_digests = v.owned_digests;
+    }
   }
   v.payload = reader.rest();
 
@@ -129,13 +143,18 @@ ChunkedStreamAssembler::ChunkedStreamAssembler(FzHeader header, BufferPool* pool
   }
   chunk_size_ = scratch_.alloc<size_t>(nchunks);
   outliers_ = scratch_.alloc<int32_t>(nchunks);
-  const size_t total = fz_preamble_size(nchunks) + worst_offset_[nchunks];
+  if (has_digests(header_)) {
+    digests_ = scratch_.alloc<uint64_t>(2 * size_t{nchunks});
+    std::fill(digests_.begin(), digests_.end(), uint64_t{0});
+  }
+  const size_t total = fz_preamble_size(nchunks, header_.flags) + worst_offset_[nchunks];
   if (pool) result_.bytes = pool->acquire(total);
   result_.bytes.resize(total);
 }
 
 uint8_t* ChunkedStreamAssembler::chunk_buffer(uint32_t c) {
-  return result_.bytes.data() + fz_preamble_size(header_.num_chunks) + worst_offset_[c];
+  return result_.bytes.data() + fz_preamble_size(header_.num_chunks, header_.flags) +
+         worst_offset_[c];
 }
 
 size_t ChunkedStreamAssembler::chunk_capacity(uint32_t c) const {
@@ -150,9 +169,20 @@ void ChunkedStreamAssembler::set_chunk(uint32_t c, size_t payload_size, int32_t 
   outliers_[c] = outlier;
 }
 
+void ChunkedStreamAssembler::set_chunk_digest(uint32_t c, integrity::Digest d) {
+  if (!has_digests(header_)) {
+    throw Error("ChunkedStreamAssembler: set_chunk_digest without kFlagHasDigests");
+  }
+  if (c >= header_.num_chunks) {
+    throw Error("ChunkedStreamAssembler: digest chunk index out of range");
+  }
+  digests_[2 * c] = d.sum;
+  digests_[2 * c + 1] = d.wsum;
+}
+
 CompressedBuffer ChunkedStreamAssembler::finish() {
   const uint32_t nchunks = header_.num_chunks;
-  const size_t preamble = fz_preamble_size(nchunks);
+  const size_t preamble = fz_preamble_size(nchunks, header_.flags);
   uint8_t* const payload = result_.bytes.data() + preamble;
 
   const std::span<uint64_t> tight_offset = scratch_.alloc<uint64_t>(nchunks);
@@ -169,6 +199,9 @@ CompressedBuffer ChunkedStreamAssembler::finish() {
   ByteWriter writer({result_.bytes.data(), preamble}, "fz preamble");
   writer.write(header_, "header");
   writer.write_array(tight_offset.data(), nchunks, "chunk offset table");
+  if (has_digests(header_)) {
+    writer.write_array(digests_.data(), 2 * size_t{nchunks}, "chunk digest table");
+  }
   writer.write_array(outliers_.data(), nchunks, "chunk outlier table");
   return std::move(result_);
 }

@@ -30,7 +30,7 @@ void validate_params(const FzParams& p) {
 /// checked against it (CapacityError on violation).
 HZCCL_HOT size_t compress_chunk(std::span<const float> data, Range range, uint32_t block_len,
                       const Quantizer& quant, int32_t* outlier, uint8_t* out,
-                      size_t out_capacity, bool* emitted_raw) {
+                      size_t out_capacity, bool* emitted_raw, integrity::Digest* digest) {
   uint8_t* const out_begin = out;
   const uint8_t* const out_end = out + out_capacity;
   if (range.size() == 0) {
@@ -77,6 +77,13 @@ HZCCL_HOT size_t compress_chunk(std::span<const float> data, Range range, uint32
     }
     const uint32_t max_mag = k.fz_predict(qbuf, n, q_prev, mags, signs);
     q_prev = static_cast<int32_t>(qbuf[n - 1]);
+    // ABFT digest: the decoder's chain value at element i is exactly
+    // qbuf[i], so the digest folds straight off the quantization buffer.
+    // Raw blocks (above) sit outside the chain and contribute nothing.
+    if (digest) {
+      const uint64_t base = static_cast<uint64_t>(pos - range.begin) + 1;
+      for (size_t i = 0; i < n; ++i) digest->accumulate(qbuf[i], base + i);
+    }
     if (max_mag == 0) {
       // Constant block: one code-length byte, no sign/magnitude work at all
       // (the quiet-data fast path that dominates scientific fields).
@@ -180,7 +187,84 @@ HZCCL_HOT void decompress_range_chunk(const FzView& view, const Quantizer& quant
   }
 }
 
+/// Recompute one chunk's digest from its encoded residual chain.  Integer
+/// domain only — the walk mirrors decompress_chunk but never converts to
+/// floats; constant blocks fold in O(1).  A standalone HZCCL_HOT root so
+/// tools/analyze proves the verify pass allocation- and throw-free.
+HZCCL_HOT integrity::Digest verify_chunk_digest(const FzView& view, uint32_t block_len, Range r,
+                                                uint32_t c) {
+  const auto chunk = view.chunk_payload(c);
+  const uint8_t* src = chunk.data();
+  const uint8_t* const end = src + chunk.size();
+
+  int32_t rbuf[kMaxBlockLen];
+  integrity::Digest digest;
+  int64_t q = view.chunk_outliers[c];
+  uint64_t pos = 1;  // 1-based chunk-local position
+  size_t remaining = r.size();
+  while (remaining > 0) {
+    const size_t n = std::min<size_t>(block_len, remaining);
+    if (src < end && *src == kRawBlockMarker) {
+      // Raw block: outside the chain, contributes nothing; skip its bytes.
+      src += peek_block_size(src, end, n);
+    } else if (src < end && *src == 0) {
+      ++src;
+      digest.accumulate_run(q, pos, n);
+    } else {
+      src = decode_block(src, end, n, rbuf);
+      for (size_t i = 0; i < n; ++i) {
+        q += rbuf[i];
+        digest.accumulate(q, pos + i);
+      }
+    }
+    pos += n;
+    remaining -= n;
+  }
+  if (src != end) {
+    detail::raise_format("fz_verify_digests: trailing bytes in chunk payload");
+  }
+  return digest;
+}
+
 }  // namespace
+
+DigestCheck fz_verify_digests(const FzView& view, int num_threads) {
+  DigestCheck check;
+  if (!view.has_digests()) return check;
+  check.checked = true;
+  const uint32_t nchunks = view.num_chunks();
+  const uint32_t block_len = view.block_len();
+
+  std::atomic<uint32_t> first_bad{nchunks};
+  ScopedNumThreads scoped(num_threads);
+  OmpExceptionCollector errors;
+#pragma omp parallel for schedule(static)
+  for (uint32_t c = 0; c < nchunks; ++c) {
+    errors.run([&, c] {
+      const Range r =
+          chunk_range(view.num_elements(), static_cast<int>(nchunks), static_cast<int>(c));
+      if (r.size() == 0) return;
+      const integrity::Digest computed = verify_chunk_digest(view, block_len, r, c);
+      if (computed != view.chunk_digest(c)) {
+        uint32_t seen = first_bad.load(std::memory_order_relaxed);
+        while (c < seen && !first_bad.compare_exchange_weak(seen, c)) {
+        }
+      }
+    });
+  }
+  errors.rethrow();
+
+  const uint32_t bad = first_bad.load(std::memory_order_relaxed);
+  if (bad != nchunks) {
+    check.ok = false;
+    check.first_bad_chunk = bad;
+  }
+  return check;
+}
+
+DigestCheck fz_verify_digests(const CompressedBuffer& compressed, int num_threads) {
+  return fz_verify_digests(parse_fz(compressed.bytes), num_threads);
+}
 
 uint32_t FzParams::auto_chunks(size_t num_elements, uint32_t block_len) {
   if (num_elements == 0) return 1;
@@ -203,6 +287,7 @@ CompressedBuffer fz_compress(std::span<const float> data, const FzParams& params
   header.block_len = params.block_len;
   header.num_chunks = nchunks;
   header.error_bound = params.abs_error_bound;
+  if (params.emit_digests) header.flags |= kFlagHasDigests;
   ChunkedStreamAssembler assembler(header, pool);
 
   std::atomic<bool> any_raw{false};
@@ -215,11 +300,14 @@ CompressedBuffer fz_compress(std::span<const float> data, const FzParams& params
         const Range r = chunk_range(d, static_cast<int>(nchunks), static_cast<int>(c));
         int32_t outlier = 0;
         bool raw = false;
+        integrity::Digest digest;
         const size_t size = compress_chunk(data, r, params.block_len, quant, &outlier,
                                            assembler.chunk_buffer(c),
-                                           assembler.chunk_capacity(c), &raw);
+                                           assembler.chunk_capacity(c), &raw,
+                                           params.emit_digests ? &digest : nullptr);
         if (raw) any_raw.store(true, std::memory_order_relaxed);
         assembler.set_chunk(c, size, outlier);
+        if (params.emit_digests) assembler.set_chunk_digest(c, digest);
       });
     }
     errors.rethrow();

@@ -175,6 +175,8 @@ JobResult run_collective(Kernel kernel, Op op, const JobConfig& config,
   result.transport = total_transport(result.transport_per_rank);
   result.health_per_rank = runtime.health_stats();
   result.health = total_health(result.health_per_rank);
+  result.integrity_per_rank = runtime.integrity_stats();
+  result.integrity = total_integrity(result.integrity_per_rank);
   result.trace = runtime.trace();
   return result;
 }

@@ -7,6 +7,7 @@
 
 #include "hzccl/compressor/fixed_len.hpp"
 #include "hzccl/compressor/quantize.hpp"
+#include "hzccl/integrity/sdc.hpp"
 #include "hzccl/kernels/dispatch.hpp"
 #include "hzccl/util/contracts.hpp"
 #include "hzccl/util/raise.hpp"
@@ -87,6 +88,12 @@ HZCCL_HOT size_t hz_add_chunk(std::span<const uint8_t> ca, std::span<const uint8
       if (guard > static_cast<uint64_t>(std::numeric_limits<int32_t>::max())) {
         detail::raise_overflow("residual sum overflows the 31-bit magnitude domain");
       }
+      // Compute-side SDC injection point: an armed injector sign-flips one
+      // combined lane *after* the guard and *before* encoding, so the
+      // poisoned block encodes cleanly and only a digest verify can see it.
+      if (integrity::SdcInjector* inj = integrity::sdc_injector(); inj) {
+        inj->maybe_poison_combine(mags, signs, n);
+      }
       out = encode_block_prepared(mags, signs, n, code_length_for(static_cast<uint32_t>(guard)),
                                   out, out_end);
       ++stats.p4;
@@ -113,7 +120,8 @@ HZCCL_HOT size_t hz_add_chunk(std::span<const uint8_t> ca, std::span<const uint8
 HZCCL_HOT size_t combine_chunk_raw(std::span<const uint8_t> ca, std::span<const uint8_t> cb,
                          size_t chunk_elems, uint32_t block_len, int32_t outlier_a,
                          int32_t outlier_b, int sign_b, const Quantizer& quant,
-                         uint8_t* out, size_t out_capacity, HzPipelineStats& stats) {
+                         uint8_t* out, size_t out_capacity, HzPipelineStats& stats,
+                         integrity::Digest* digest) {
   uint8_t* const out_begin = out;
   const uint8_t* const out_end = out + out_capacity;
   const uint8_t* pa = ca.data();
@@ -144,6 +152,13 @@ HZCCL_HOT size_t combine_chunk_raw(std::span<const uint8_t> ca, std::span<const 
     if (!raw_a && !raw_b) {
       decode_block(pa, ea, n, ra);
       decode_block(pb, eb, n, rb);
+      // ABFT digest: the output chain value q_out at each element is what
+      // the decoder reconstructs, so the digest is *recomputed* from the
+      // tracked chain here.  Folding operand digests algebraically would be
+      // wrong when the operands' raw-block patterns differ — a residual
+      // operand's contribution at positions that become raw output blocks
+      // must not appear in the result's digest.
+      const uint64_t base = static_cast<uint64_t>(chunk_elems - remaining) + 1;
       uint32_t max_mag = 0;
       for (size_t i = 0; i < n; ++i) {
         qa += ra[i];
@@ -155,6 +170,7 @@ HZCCL_HOT size_t combine_chunk_raw(std::span<const uint8_t> ca, std::span<const 
           detail::raise_overflow("residual sum overflows the 31-bit magnitude domain");
         }
         q_out = target;
+        if (digest) digest->accumulate(q_out, base + i);
         const uint32_t neg = static_cast<uint32_t>(s < 0);
         const uint32_t mag = neg ? static_cast<uint32_t>(-s) : static_cast<uint32_t>(s);
         mags[i] = mag;
@@ -231,6 +247,10 @@ CompressedBuffer hz_combine_raw(const FzView& a, const FzView& b, int sign_b,
   // carries the flag whenever either operand does.
   FzHeader header = a.header;
   header.flags |= static_cast<uint16_t>(b.header.flags & kFlagHasRawBlocks);
+  // Digests survive only when both operands carry them (the chain-tracking
+  // combine recomputes the output table rather than folding).
+  const bool emit_digests = a.has_digests() && b.has_digests();
+  if (!emit_digests) header.flags &= static_cast<uint16_t>(~kFlagHasDigests);
 
   ChunkedStreamAssembler assembler(header, pool);
   ArenaScope scratch;
@@ -246,13 +266,16 @@ CompressedBuffer hz_combine_raw(const FzView& a, const FzView& b, int sign_b,
         const int32_t outlier =
             checked_outlier_combine(a.chunk_outliers[c], b.chunk_outliers[c], sign_b);
         size_t size = 0;
+        integrity::Digest digest;
         if (r.size() > 0) {
           size = combine_chunk_raw(a.chunk_payload(c), b.chunk_payload(c), r.size(),
                                    block_len, a.chunk_outliers[c], b.chunk_outliers[c],
                                    sign_b, quant, assembler.chunk_buffer(c),
-                                   assembler.chunk_capacity(c), chunk_stats[c]);
+                                   assembler.chunk_capacity(c), chunk_stats[c],
+                                   emit_digests ? &digest : nullptr);
         }
         assembler.set_chunk(c, size, outlier);
+        if (emit_digests) assembler.set_chunk_digest(c, digest);
       });
     }
     errors.rethrow();
@@ -305,7 +328,14 @@ CompressedBuffer hz_add(const FzView& a, const FzView& b, HzPipelineStats* stats
   // Pipeline 4 can grow a block's code length by one bit, but the
   // assembler's global worst case (code length 31) still bounds every
   // outcome.
-  ChunkedStreamAssembler assembler(a.header, pool);
+  //
+  // ABFT digests fold algebraically on this path: with no raw blocks the
+  // output chain is the element-wise sum of the operand chains, so
+  // digest(a + b) = digest(a) + digest(b) per chunk — O(1), no decode.
+  FzHeader header = a.header;
+  const bool fold_digests = a.has_digests() && b.has_digests();
+  if (!fold_digests) header.flags &= static_cast<uint16_t>(~kFlagHasDigests);
+  ChunkedStreamAssembler assembler(header, pool);
   ArenaScope scratch;
   const std::span<HzPipelineStats> chunk_stats = scratch.alloc<HzPipelineStats>(nchunks);
 
@@ -324,6 +354,9 @@ CompressedBuffer hz_add(const FzView& a, const FzView& b, HzPipelineStats* stats
                               chunk_stats[c]);
         }
         assembler.set_chunk(c, size, outlier);
+        if (fold_digests) {
+          assembler.set_chunk_digest(c, a.chunk_digest(c) + b.chunk_digest(c));
+        }
       });
     }
     errors.rethrow();

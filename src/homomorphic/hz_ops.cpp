@@ -173,10 +173,13 @@ HZCCL_HOT size_t sub_chunk(std::span<const uint8_t> ca, std::span<const uint8_t>
 /// Shared driver: apply `chunk_fn(c, range, out_span) -> (size, outlier)`
 /// across all chunks in parallel and assemble the stream.  The span carries
 /// the chunk's worst-case capacity so every chunk function can honor the
-/// output-capacity contract.
-template <class ChunkFn>
+/// output-capacity contract.  When the header carries kFlagHasDigests,
+/// `digest_fn(c)` supplies each chunk's folded ABFT digest — an O(1) pure
+/// function on every fold path (scale/negate/sub are linear maps of the
+/// quantized chain, so the operand digests map through algebraically).
+template <class ChunkFn, class DigestFn>
 CompressedBuffer assemble_parallel(const FzHeader& header, int num_threads, BufferPool* pool,
-                                   const ChunkFn& chunk_fn) {
+                                   const ChunkFn& chunk_fn, const DigestFn& digest_fn) {
   ChunkedStreamAssembler assembler(header, pool);
   ScopedNumThreads scoped(num_threads);
   OmpExceptionCollector errors;
@@ -188,10 +191,18 @@ CompressedBuffer assemble_parallel(const FzHeader& header, int num_threads, Buff
       const std::span<uint8_t> out{assembler.chunk_buffer(c), assembler.chunk_capacity(c)};
       const auto [size, outlier] = chunk_fn(c, r, out);
       assembler.set_chunk(c, size, outlier);
+      if (assembler.emits_digests()) assembler.set_chunk_digest(c, digest_fn(c));
     });
   }
   errors.rethrow();
   return assembler.finish();
+}
+
+template <class ChunkFn>
+CompressedBuffer assemble_parallel(const FzHeader& header, int num_threads, BufferPool* pool,
+                                   const ChunkFn& chunk_fn) {
+  return assemble_parallel(header, num_threads, pool, chunk_fn,
+                           [](uint32_t) { return integrity::Digest{}; });
 }
 
 }  // namespace
@@ -209,7 +220,8 @@ CompressedBuffer hz_scale(const FzView& a, int32_t factor, int num_threads, Buff
           }
           std::memcpy(out.data(), chunk.data(), chunk.size());
           return {chunk.size(), a.chunk_outliers[c]};
-        });
+        },
+        [&](uint32_t c) { return a.chunk_digest(c); });
   }
   if (factor == -1) return hz_negate(a, num_threads, pool);
 
@@ -222,7 +234,8 @@ CompressedBuffer hz_scale(const FzView& a, int32_t factor, int num_threads, Buff
         return {scale_chunk(a.chunk_payload(c), r.size(), a.block_len(), factor, out.data(),
                             out.size()),
                 outlier};
-      });
+      },
+      [&](uint32_t c) { return static_cast<int64_t>(factor) * a.chunk_digest(c); });
 }
 
 CompressedBuffer hz_scale(const CompressedBuffer& a, int32_t factor, int num_threads,
@@ -253,7 +266,8 @@ CompressedBuffer hz_negate(const FzView& a, int num_threads, BufferPool* pool) {
         }
         if (src != end) throw FormatError("hz_negate: trailing bytes in chunk payload");
         return {static_cast<size_t>(out - out_begin), outlier};
-      });
+      },
+      [&](uint32_t c) { return -a.chunk_digest(c); });
 }
 
 CompressedBuffer hz_negate(const CompressedBuffer& a, int num_threads, BufferPool* pool) {
@@ -271,8 +285,13 @@ CompressedBuffer hz_sub(const CompressedBuffer& a, const CompressedBuffer& b,
 
   ArenaScope scratch;
   const std::span<HzPipelineStats> chunk_stats = scratch.alloc<HzPipelineStats>(va.num_chunks());
+  // digest(a - b) = digest(a) - digest(b); only when both operands carry one.
+  FzHeader header = va.header;
+  if (!(va.has_digests() && vb.has_digests())) {
+    header.flags &= static_cast<uint16_t>(~kFlagHasDigests);
+  }
   CompressedBuffer result = assemble_parallel(
-      va.header, num_threads, pool,
+      header, num_threads, pool,
       [&](uint32_t c, const Range& r, std::span<uint8_t> out) -> std::pair<size_t, int32_t> {
         const int32_t outlier = checked_i32(
             static_cast<int64_t>(va.chunk_outliers[c]) - vb.chunk_outliers[c],
@@ -281,7 +300,8 @@ CompressedBuffer hz_sub(const CompressedBuffer& a, const CompressedBuffer& b,
         return {sub_chunk(va.chunk_payload(c), vb.chunk_payload(c), r.size(), va.block_len(),
                           out.data(), out.size(), chunk_stats[c]),
                 outlier};
-      });
+      },
+      [&](uint32_t c) { return va.chunk_digest(c) - vb.chunk_digest(c); });
   if (stats) {
     for (const auto& s : chunk_stats) *stats += s;
   }

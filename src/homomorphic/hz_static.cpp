@@ -83,7 +83,12 @@ CompressedBuffer hz_add_static(const FzView& a, const FzView& b, int num_threads
   const uint32_t nchunks = a.num_chunks();
   const uint32_t block_len = a.block_len();
 
-  ChunkedStreamAssembler assembler(a.header);
+  // Same digest-folding rule as hz_add, keeping the byte-identical-output
+  // contract when operands carry ABFT digest tables.
+  FzHeader header = a.header;
+  const bool fold_digests = a.has_digests() && b.has_digests();
+  if (!fold_digests) header.flags &= static_cast<uint16_t>(~kFlagHasDigests);
+  ChunkedStreamAssembler assembler(header);
   {
     ScopedNumThreads scoped(num_threads);
     OmpExceptionCollector errors;
@@ -103,6 +108,9 @@ CompressedBuffer hz_add_static(const FzView& a, const FzView& b, int num_threads
                                     assembler.chunk_capacity(c), scratch_a, scratch_b);
           }
           assembler.set_chunk(c, size, outlier);
+          if (fold_digests) {
+            assembler.set_chunk_digest(c, a.chunk_digest(c) + b.chunk_digest(c));
+          }
         });
       }
     }

@@ -1,0 +1,56 @@
+#include "hzccl/integrity/sdc.hpp"
+
+namespace hzccl::integrity {
+
+namespace {
+
+thread_local SdcInjector* g_injector = nullptr;
+
+/// splitmix64 finalizer, duplicated from simmpi::fault_mix so the integrity
+/// layer stays below simmpi in the link order (simmpi depends on us via the
+/// homomorphic pipeline, not the other way around).
+HZCCL_HOT uint64_t mix_stage(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+HZCCL_HOT uint64_t poison_mix(uint64_t seed, uint64_t rank, uint64_t counter) {
+  uint64_t h = mix_stage(seed + 0x9E3779B97F4A7C15ULL);
+  h = mix_stage(h ^ (0x5DC0ULL << 48) ^ rank);  // "SDC0": its own stream family
+  return mix_stage(h ^ counter);
+}
+
+}  // namespace
+
+HZCCL_HOT SdcInjector* sdc_injector() { return g_injector; }
+
+SdcInjector* arm_sdc_injector(SdcInjector* inj) {
+  SdcInjector* prev = g_injector;
+  g_injector = inj;
+  return prev;
+}
+
+HZCCL_HOT bool SdcInjector::maybe_poison_combine(const uint32_t* mags, uint32_t* signs,
+                                                 size_t n) {
+  const uint64_t ctr = counter++;
+  if (!(poison > 0.0) || n == 0) return false;
+  const uint64_t h = poison_mix(seed, static_cast<uint64_t>(static_cast<uint32_t>(rank)), ctr);
+  const double roll = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (roll >= poison) return false;
+  // Second independent draw for the lane: start at a seeded index, take the
+  // first lane whose magnitude is nonzero (a sign flip on a zero lane decodes
+  // back to zero and would be an injection the digests rightly ignore).
+  const uint64_t h2 = mix_stage(h ^ 0xA5A5A5A5A5A5A5A5ULL);
+  for (size_t probe = 0; probe < n; ++probe) {
+    const size_t lane = (static_cast<size_t>(h2) + probe) % n;
+    if (mags[lane] != 0) {
+      signs[lane] ^= 1u;
+      ++injected;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hzccl::integrity

@@ -145,6 +145,10 @@ struct EngineImpl {
 
     std::unordered_map<uint64_t, std::deque<Msg>> chans;
 
+    /// Verify/recover counters, accumulated across attempts (a retry keeps
+    /// the tallies of the failed run, like the threaded Comm does).
+    IntegrityStats integrity;
+
     JobOutcome out;
   };
 
@@ -524,7 +528,8 @@ struct EngineImpl {
       // Retry preamble, mirroring Comm::retry_backoff + shrink: the backoff
       // of this attempt, then one agreement-shaped rebuild charge.
       double t0 = r.clock.now();
-      r.clock.advance(j.config.retry.backoff_for(j.attempt) * r.cost_factor, CostBucket::kMpi);
+      r.clock.advance(j.config.retry.backoff_for(j.attempt, j.config.faults.seed) * r.cost_factor,
+                      CostBucket::kMpi);
       trace::Event backoff = make_event(trace::EventKind::kBackoff, t0, r.clock.now(), j.id);
       backoff.seq = static_cast<uint64_t>(j.attempt);
       record(r, backoff);
@@ -678,6 +683,7 @@ struct EngineImpl {
     j.out.complete_vtime = t_end;
     j.out.final_epoch = epoch;
     j.out.attempts = j.attempt + 1;
+    j.out.integrity = j.integrity;
     j.chans.clear();
     j.waiters.clear();
     j.roots.clear();
@@ -993,6 +999,10 @@ RecvAwaitable Port::recv(int src, int tag) {
 void Port::charge(simmpi::CostBucket bucket, double seconds, trace::EventKind kind,
                   uint64_t bytes, uint64_t bytes_out) {
   eng_->port_charge(job_, vrank_, bucket, seconds, kind, bytes, bytes_out);
+}
+
+IntegrityStats& Port::integrity() {
+  return eng_->jobs[static_cast<size_t>(job_)].integrity;
 }
 
 void RecvAwaitable::await_suspend(std::coroutine_handle<> h) {

@@ -18,6 +18,7 @@
 
 #include "hzccl/compressor/fz_light.hpp"
 #include "hzccl/homomorphic/hz_dynamic.hpp"
+#include "hzccl/integrity/digest.hpp"
 #include "hzccl/util/error.hpp"
 
 namespace hzccl::sched {
@@ -60,16 +61,103 @@ void floats_from_payload(std::span<float> out, const std::vector<uint8_t>& paylo
   std::memcpy(out.data(), payload.data(), payload.size());
 }
 
+// -- ABFT verification on Port (the Comm-based layer of common.cpp) ---------
+
+/// verify_stream_digests on a Port: recheck the stream's digest table,
+/// charge a kVerify span and tally into the job's IntegrityStats; on
+/// mismatch record a zero-duration kSdcDetected marker and return false.
+bool port_verify_digests(Port& port, std::span<const uint8_t> bytes,
+                         const CollectiveConfig& config) {
+  DigestCheck check;
+  try {
+    check = fz_verify_digests(parse_fz(bytes), config.host_threads);
+  } catch (const Error&) {
+    // A digest walk that throws mid-chunk is itself a detection (the stream
+    // parsed but its residual encoding is corrupt) — tally it as a mismatch.
+    ++port.integrity().digests_checked;
+    ++port.integrity().mismatches;
+    port.charge(CostBucket::kCpt, 0.0, trace::EventKind::kSdcDetected);
+    return false;
+  }
+  if (!check.checked) return true;
+  port.charge(CostBucket::kCpt, config.cost.seconds_digest_verify(bytes.size(), config.mode),
+              trace::EventKind::kVerify, bytes.size());
+  ++port.integrity().digests_checked;
+  if (check.ok) return true;
+  ++port.integrity().mismatches;
+  port.charge(CostBucket::kCpt, 0.0, trace::EventKind::kSdcDetected);
+  return false;
+}
+
+/// final_verify_stream on a Port: any active policy rechecks the stream
+/// before its contents become the collective's result.
+void port_final_verify(Port& port, const CompressedBuffer& stream,
+                       const CollectiveConfig& config) {
+  if (config.verify == coll::VerifyPolicy::kOff) return;
+  if (port_verify_digests(port, stream.bytes, config)) return;
+  throw IntegrityError(
+      "ABFT digest mismatch at the final decode: the result would carry "
+      "silent data corruption");
+}
+
 /// recv_checked_block on a clean transport: the stream must decode to the
 /// expected element count (anything else is a producer bug, as in the
-/// blocking path with no faults injected).
-CompressedBuffer stream_from_payload(std::vector<uint8_t> payload, size_t expect_elements) {
+/// blocking path with no faults injected), and under per-round verification
+/// must pass its digests.  There is no in-flight window to refetch from —
+/// every stream a rank ships was fresh-compressed or combine-verified, so a
+/// failing receive means the producer itself is corrupt and the job aborts.
+CompressedBuffer stream_from_payload(Port& port, std::vector<uint8_t> payload,
+                                     size_t expect_elements, const CollectiveConfig& config) {
   CompressedBuffer out;
   out.bytes = std::move(payload);
   if (!coll::fz_stream_decodes(out.bytes, expect_elements)) {
     throw FormatError("received stream does not decode to the expected block");
   }
+  if (config.verify == coll::VerifyPolicy::kPerRound &&
+      !port_verify_digests(port, out.bytes, config)) {
+    throw IntegrityError("received stream fails its ABFT digests on a clean transport");
+  }
   return out;
+}
+
+/// One pass over a float payload for its content digest, charged like a
+/// compressed-stream verify.
+integrity::Digest charged_content_digest(Port& port, std::span<const float> data,
+                                         const CollectiveConfig& config) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(data.data());
+  const integrity::Digest d = integrity::content_digest(bytes, data.size_bytes());
+  port.charge(CostBucket::kCpt,
+              config.cost.seconds_digest_verify(data.size_bytes(), config.mode),
+              trace::EventKind::kVerify, data.size_bytes());
+  return d;
+}
+
+/// send_floats_checked on a Port: the payload, then its content-digest
+/// trailer on tag + kTagDigest — the same wire format the blocking raw
+/// stack ships.
+void send_floats_checked(Port& port, int dst, int tag, std::span<const float> data,
+                         const CollectiveConfig& config) {
+  port.send_floats(dst, tag, data);
+  if (config.verify == coll::VerifyPolicy::kOff) return;
+  port.send(dst, tag + coll::kTagDigest,
+            coll::digest_trailer_bytes(charged_content_digest(port, data, config)));
+}
+
+/// recv_floats_checked on a Port: receive the payload and, under a verify
+/// policy, compare it against its trailer.  The clean transport cannot
+/// damage frames and offers no retransmit window, so a mismatch means the
+/// sender's buffer was corrupt — unrecoverable, abort the job.
+Task<void> irecv_floats_checked(Port port, int src, int tag, std::span<float> out,
+                                CollectiveConfig config) {
+  floats_from_payload(out, co_await port.recv(src, tag));
+  if (config.verify == coll::VerifyPolicy::kOff) co_return;
+  const integrity::Digest expected =
+      coll::parse_digest_trailer(co_await port.recv(src, tag + coll::kTagDigest));
+  ++port.integrity().digests_checked;
+  if (charged_content_digest(port, out, config) == expected) co_return;
+  ++port.integrity().mismatches;
+  port.charge(CostBucket::kCpt, 0.0, trace::EventKind::kSdcDetected);
+  throw IntegrityError("raw float payload fails its content digest on a clean transport");
 }
 
 // -- Shared compression helpers (ccoll.cpp / hzccl_coll.cpp transcripts) ----
@@ -85,6 +173,10 @@ CompressedBuffer compress_block(Port& port, std::span<const float> block,
 
 void decompress_block(Port& port, const CompressedBuffer& compressed, std::span<float> out,
                       const CollectiveConfig& config) {
+  // DOC consumes every stream right here, so verify-final checks digests at
+  // this point; per-round verification already happened in
+  // stream_from_payload and is not repeated.
+  if (config.verify == coll::VerifyPolicy::kFinal) port_final_verify(port, compressed, config);
   fz_decompress(compressed, out, config.host_threads);
   port.charge(CostBucket::kDpr, config.cost.seconds_fz_decompress(out.size_bytes(), config.mode),
               trace::EventKind::kDecompress, out.size_bytes(), compressed.bytes.size());
@@ -110,7 +202,11 @@ std::vector<CompressedBuffer> compress_all_blocks(Port& port, std::span<const fl
 /// combine_checked_block's clean (HPR) round: hz_add the received stream
 /// into the accumulator.  An operand that parsed but will not reduce
 /// homomorphically propagates — the blocking path rethrows too when no
-/// faults are injected.
+/// faults are injected.  Under per-round verification the combine output is
+/// rechecked against its folded digests: the transport is clean, so a
+/// mismatch is compute-side poison (an armed SdcInjector) — recompute once,
+/// and if the poison is persistent rebuild the round in the float domain
+/// from the two verified operands, exactly like the blocking degrade path.
 void combine_compressed(Port& port, CompressedBuffer& acc, CompressedBuffer received,
                         size_t elements, const CollectiveConfig& config,
                         HzPipelineStats* pipeline_stats) {
@@ -119,6 +215,41 @@ void combine_compressed(Port& port, CompressedBuffer& acc, CompressedBuffer rece
   port.charge(CostBucket::kHpr, config.cost.seconds_hz_add(stats, config.block_len, config.mode),
               trace::EventKind::kHomReduce, elements * sizeof(float), summed.bytes.size());
   if (pipeline_stats) *pipeline_stats += stats;
+  if (config.verify == coll::VerifyPolicy::kPerRound &&
+      !port_verify_digests(port, summed.bytes, config)) {
+    port.charge(CostBucket::kCpt, 0.0, trace::EventKind::kRecompute);
+    ++port.integrity().recomputes;
+    port.pool().release(std::move(summed.bytes));
+    HzPipelineStats retry_stats;
+    summed = hz_add(acc, received, &retry_stats, config.host_threads, &port.pool());
+    port.charge(CostBucket::kHpr,
+                config.cost.seconds_hz_add(retry_stats, config.block_len, config.mode),
+                trace::EventKind::kHomReduce, elements * sizeof(float), summed.bytes.size());
+    if (pipeline_stats) *pipeline_stats += retry_stats;
+    if (!port_verify_digests(port, summed.bytes, config)) {
+      // Persistent poison: decode both operands (each passed its own
+      // checks), add floats, and re-encode a clean digest-bearing stream —
+      // fz_compress is outside the injector's reach.
+      ++port.integrity().raw_fallbacks;
+      port.pool().release(std::move(summed.bytes));
+      std::vector<float> mine(elements);
+      std::vector<float> theirs(elements);
+      fz_decompress(acc, mine, config.host_threads);
+      fz_decompress(received, theirs, config.host_threads);
+      port.charge(CostBucket::kDpr,
+                  2.0 * config.cost.seconds_fz_decompress(elements * sizeof(float), config.mode),
+                  trace::EventKind::kDecompress, 2 * elements * sizeof(float),
+                  acc.bytes.size() + received.bytes.size());
+      reduce_combine_span(config.reduce_op, mine.data(), theirs.data(), elements);
+      port.charge(CostBucket::kCpt,
+                  config.cost.seconds_raw_sum(elements * sizeof(float), config.mode),
+                  trace::EventKind::kReduce, elements * sizeof(float));
+      summed = fz_compress(mine, config.fz_params(elements), &port.pool());
+      port.charge(CostBucket::kCpr,
+                  config.cost.seconds_fz_compress(elements * sizeof(float), config.mode),
+                  trace::EventKind::kCompress, elements * sizeof(float), summed.bytes.size());
+    }
+  }
   port.pool().release(std::move(received.bytes));
   port.pool().release(std::move(acc.bytes));
   acc = std::move(summed);
@@ -188,11 +319,12 @@ Task<std::vector<float>> raw_irs(Port port, std::span<const float> input,
     const Range send_r = ring_block_range(total, size, rs_send_block(rank, step, size));
     const Range recv_r = ring_block_range(total, size, rs_recv_block(rank, step, size));
 
-    port.send_floats(ring_next(rank, size), kTagReduceScatter + step,
-                     std::span<const float>(acc.data() + send_r.begin, send_r.size()));
+    send_floats_checked(port, ring_next(rank, size), kTagReduceScatter + step,
+                        std::span<const float>(acc.data() + send_r.begin, send_r.size()),
+                        config);
     std::vector<float> recv_buf(recv_r.size());
-    floats_from_payload(recv_buf,
-                        co_await port.recv(ring_prev(rank, size), kTagReduceScatter + step));
+    co_await irecv_floats_checked(port, ring_prev(rank, size), kTagReduceScatter + step,
+                                  recv_buf, config);
 
     reduce_combine_span(config.reduce_op, acc.data() + recv_r.begin, recv_buf.data(),
                         recv_r.size());
@@ -223,10 +355,12 @@ Task<std::vector<float>> raw_iag(Port port, std::vector<float> my_block, size_t 
   for (int step = 0; step < size - 1; ++step) {
     const Range send_r = ring_block_range(total_elements, size, ag_send_block(rank, step, size));
     const Range recv_r = ring_block_range(total_elements, size, ag_recv_block(rank, step, size));
-    port.send_floats(ring_next(rank, size), kTagAllgather + step,
-                     std::span<const float>(out_full.data() + send_r.begin, send_r.size()));
-    floats_from_payload(std::span<float>(out_full.data() + recv_r.begin, recv_r.size()),
-                        co_await port.recv(ring_prev(rank, size), kTagAllgather + step));
+    send_floats_checked(port, ring_next(rank, size), kTagAllgather + step,
+                        std::span<const float>(out_full.data() + send_r.begin, send_r.size()),
+                        config);
+    co_await irecv_floats_checked(port, ring_prev(rank, size), kTagAllgather + step,
+                                  std::span<float>(out_full.data() + recv_r.begin, recv_r.size()),
+                                  config);
   }
   co_return out_full;
 }
@@ -258,10 +392,10 @@ Task<std::vector<float>> raw_ird(Port port, std::span<const float> input,
   int active = -1;
   if (rank < 2 * rem) {
     if (rank % 2 == 0) {
-      port.send_floats(rank + 1, kTagFold, acc);
+      send_floats_checked(port, rank + 1, kTagFold, acc, config);
     } else {
       std::vector<float> incoming(acc.size());
-      floats_from_payload(incoming, co_await port.recv(rank - 1, kTagFold));
+      co_await irecv_floats_checked(port, rank - 1, kTagFold, incoming, config);
       reduce_into(incoming, 0);
       active = rank / 2;
     }
@@ -278,17 +412,17 @@ Task<std::vector<float>> raw_ird(Port port, std::span<const float> input,
     int step = 0;
     for (int mask = 1; mask < p2; mask <<= 1, ++step) {
       const int partner = real_rank_of(active ^ mask);
-      port.send_floats(partner, kTagStep + step, acc);
-      floats_from_payload(incoming, co_await port.recv(partner, kTagStep + step));
+      send_floats_checked(port, partner, kTagStep + step, acc, config);
+      co_await irecv_floats_checked(port, partner, kTagStep + step, incoming, config);
       reduce_into(incoming, 0);
     }
   }
 
   if (rank < 2 * rem) {
     if (rank % 2 == 0) {
-      floats_from_payload(acc, co_await port.recv(rank + 1, kTagUnfold));
+      co_await irecv_floats_checked(port, rank + 1, kTagUnfold, acc, config);
     } else {
-      port.send_floats(rank - 1, kTagUnfold, acc);
+      send_floats_checked(port, rank - 1, kTagUnfold, acc, config);
     }
   }
   co_return acc;
@@ -322,17 +456,17 @@ Task<std::vector<float>> raw_irab(Port port, std::span<const float> input,
     const size_t mid = lo + (hi - lo) / 2;
     splits.emplace_back(lo, hi);
     if (rank < partner) {
-      port.send_floats(partner, kTagStep + step,
-                       std::span<const float>(acc.data() + mid, hi - mid));
+      send_floats_checked(port, partner, kTagStep + step,
+                          std::span<const float>(acc.data() + mid, hi - mid), config);
       incoming.resize(mid - lo);
-      floats_from_payload(incoming, co_await port.recv(partner, kTagStep + step));
+      co_await irecv_floats_checked(port, partner, kTagStep + step, incoming, config);
       reduce_into(incoming, lo);
       hi = mid;
     } else {
-      port.send_floats(partner, kTagStep + step,
-                       std::span<const float>(acc.data() + lo, mid - lo));
+      send_floats_checked(port, partner, kTagStep + step,
+                          std::span<const float>(acc.data() + lo, mid - lo), config);
       incoming.resize(hi - mid);
-      floats_from_payload(incoming, co_await port.recv(partner, kTagStep + step));
+      co_await irecv_floats_checked(port, partner, kTagStep + step, incoming, config);
       reduce_into(incoming, mid);
       lo = mid;
     }
@@ -342,14 +476,15 @@ Task<std::vector<float>> raw_irab(Port port, std::span<const float> input,
     const int partner = rank ^ mask;
     const auto [parent_lo, parent_hi] = splits.back();
     splits.pop_back();
-    port.send_floats(partner, kTagStep + step,
-                     std::span<const float>(acc.data() + lo, hi - lo));
+    send_floats_checked(port, partner, kTagStep + step,
+                        std::span<const float>(acc.data() + lo, hi - lo), config);
     if (lo == parent_lo) {
-      floats_from_payload(std::span<float>(acc.data() + hi, parent_hi - hi),
-                          co_await port.recv(partner, kTagStep + step));
+      co_await irecv_floats_checked(port, partner, kTagStep + step,
+                                    std::span<float>(acc.data() + hi, parent_hi - hi), config);
     } else {
-      floats_from_payload(std::span<float>(acc.data() + parent_lo, lo - parent_lo),
-                          co_await port.recv(partner, kTagStep + step));
+      co_await irecv_floats_checked(port, partner, kTagStep + step,
+                                    std::span<float>(acc.data() + parent_lo, lo - parent_lo),
+                                    config);
     }
     lo = parent_lo;
     hi = parent_hi;
@@ -364,9 +499,9 @@ Task<std::vector<float>> raw_i2level(Port port, std::span<const float> input,
   const int leader = g.node_members.front();
 
   if (rank != leader) {
-    port.send_floats(leader, kTagIntraReduce + rank, input);
+    send_floats_checked(port, leader, kTagIntraReduce + rank, input, config);
     std::vector<float> out_full(input.size());
-    floats_from_payload(out_full, co_await port.recv(leader, kTagIntraBcast + rank));
+    co_await irecv_floats_checked(port, leader, kTagIntraBcast + rank, out_full, config);
     co_return out_full;
   }
 
@@ -377,7 +512,7 @@ Task<std::vector<float>> raw_i2level(Port port, std::span<const float> input,
   for (size_t m = 1; m < g.node_members.size(); ++m) {
     const int member = g.node_members[m];
     incoming.resize(input.size());
-    floats_from_payload(incoming, co_await port.recv(member, kTagIntraReduce + member));
+    co_await irecv_floats_checked(port, member, kTagIntraReduce + member, incoming, config);
     reduce_combine_span(config.reduce_op, acc.data(), incoming.data(), acc.size());
     port.charge(CostBucket::kCpt,
                 config.cost.seconds_raw_sum(input.size_bytes(), Mode::kSingleThread),
@@ -390,15 +525,16 @@ Task<std::vector<float>> raw_i2level(Port port, std::span<const float> input,
     for (int step = 0; step < nleaders - 1; ++step) {
       const Range send_r =
           ring_block_range(acc.size(), nleaders, rs_send_block(idx, step, nleaders));
-      port.send_floats(g.leaders[static_cast<size_t>(ring_next(idx, nleaders))],
-                       kTagReduceScatter + step,
-                       std::span<const float>(acc.data() + send_r.begin, send_r.size()));
+      send_floats_checked(port, g.leaders[static_cast<size_t>(ring_next(idx, nleaders))],
+                          kTagReduceScatter + step,
+                          std::span<const float>(acc.data() + send_r.begin, send_r.size()),
+                          config);
       const Range recv_r =
           ring_block_range(acc.size(), nleaders, rs_recv_block(idx, step, nleaders));
       incoming.resize(recv_r.size());
-      floats_from_payload(
-          incoming, co_await port.recv(g.leaders[static_cast<size_t>(ring_prev(idx, nleaders))],
-                                       kTagReduceScatter + step));
+      co_await irecv_floats_checked(
+          port, g.leaders[static_cast<size_t>(ring_prev(idx, nleaders))],
+          kTagReduceScatter + step, incoming, config);
       reduce_combine_span(config.reduce_op, acc.data() + recv_r.begin, incoming.data(),
                           recv_r.size());
       port.charge(CostBucket::kCpt,
@@ -408,20 +544,21 @@ Task<std::vector<float>> raw_i2level(Port port, std::span<const float> input,
     for (int step = 0; step < nleaders - 1; ++step) {
       const Range send_r =
           ring_block_range(acc.size(), nleaders, ag_send_block(idx, step, nleaders));
-      port.send_floats(g.leaders[static_cast<size_t>(ring_next(idx, nleaders))],
-                       kTagAllgather + step,
-                       std::span<const float>(acc.data() + send_r.begin, send_r.size()));
+      send_floats_checked(port, g.leaders[static_cast<size_t>(ring_next(idx, nleaders))],
+                          kTagAllgather + step,
+                          std::span<const float>(acc.data() + send_r.begin, send_r.size()),
+                          config);
       const Range recv_r =
           ring_block_range(acc.size(), nleaders, ag_recv_block(idx, step, nleaders));
-      floats_from_payload(std::span<float>(acc.data() + recv_r.begin, recv_r.size()),
-                          co_await port.recv(
-                              g.leaders[static_cast<size_t>(ring_prev(idx, nleaders))],
-                              kTagAllgather + step));
+      co_await irecv_floats_checked(
+          port, g.leaders[static_cast<size_t>(ring_prev(idx, nleaders))], kTagAllgather + step,
+          std::span<float>(acc.data() + recv_r.begin, recv_r.size()), config);
     }
   }
 
   for (size_t m = 1; m < g.node_members.size(); ++m) {
-    port.send_floats(g.node_members[m], kTagIntraBcast + g.node_members[m], acc);
+    send_floats_checked(port, g.node_members[m], kTagIntraBcast + g.node_members[m], acc,
+                        config);
   }
   co_return acc;
 }
@@ -449,7 +586,8 @@ Task<std::vector<float>> ccoll_irs(Port port, std::span<const float> input,
     port.pool().release(std::move(to_send.bytes));
 
     CompressedBuffer received = stream_from_payload(
-        co_await port.recv(ring_prev(rank, size), kTagReduceScatter + step), recv_r.size());
+        port, co_await port.recv(ring_prev(rank, size), kTagReduceScatter + step), recv_r.size(),
+        config);
     decoded.resize(recv_r.size());
     decompress_block(port, received, decoded, config);
     port.pool().release(std::move(received.bytes));
@@ -489,7 +627,8 @@ Task<std::vector<float>> ccoll_iag(Port port, std::vector<float> my_block,
               blocks[static_cast<size_t>(send_idx)].span());
     const Range recv_r = ring_block_range(total_elements, size, recv_idx);
     blocks[static_cast<size_t>(recv_idx)] = stream_from_payload(
-        co_await port.recv(ring_prev(rank, size), kTagAllgather + step), recv_r.size());
+        port, co_await port.recv(ring_prev(rank, size), kTagAllgather + step), recv_r.size(),
+        config);
   }
 
   for (int b = 0; b < size; ++b) {
@@ -528,7 +667,7 @@ Task<CompressedBuffer> hz_irs_members(Port port, std::span<const float> input,
     const Range recv_r = ring_block_range(input.size(), nmembers, recv_idx);
     const int src = members[static_cast<size_t>(ring_prev(idx, nmembers))];
     CompressedBuffer received = stream_from_payload(
-        co_await port.recv(src, kTagReduceScatter + step), recv_r.size());
+        port, co_await port.recv(src, kTagReduceScatter + step), recv_r.size(), config);
     combine_compressed(port, blocks[static_cast<size_t>(recv_idx)], std::move(received),
                        recv_r.size(), config, pipeline_stats);
   }
@@ -553,15 +692,17 @@ Task<std::vector<float>> hz_iag_members(Port port, CompressedBuffer my_block,
               blocks[static_cast<size_t>(send_idx)].span());
     const Range recv_r = ring_block_range(total_elements, nmembers, recv_idx);
     blocks[static_cast<size_t>(recv_idx)] = stream_from_payload(
+        port,
         co_await port.recv(members[static_cast<size_t>(ring_prev(idx, nmembers))],
                            kTagAllgather + step),
-        recv_r.size());
+        recv_r.size(), config);
   }
 
   std::vector<float> out_full(total_elements, 0.0f);
   uint64_t compressed_bytes = 0;
   for (int b = 0; b < nmembers; ++b) {
     const Range r = ring_block_range(total_elements, nmembers, b);
+    port_final_verify(port, blocks[static_cast<size_t>(b)], config);
     fz_decompress(blocks[static_cast<size_t>(b)],
                   std::span<float>(out_full.data() + r.begin, r.size()), config.host_threads);
     compressed_bytes += blocks[static_cast<size_t>(b)].bytes.size();
@@ -581,6 +722,7 @@ Task<std::vector<float>> hz_irs(Port port, std::span<const float> input,
   const Range r =
       ring_block_range(input.size(), port.size(), rs_owned_block(port.rank(), port.size()));
   std::vector<float> out_block(r.size());
+  port_final_verify(port, owned, config);
   fz_decompress(owned, out_block, config.host_threads);
   const uint64_t compressed_bytes = owned.bytes.size();
   port.pool().release(std::move(owned.bytes));
@@ -614,7 +756,8 @@ Task<std::vector<float>> hz_iag(Port port, std::vector<float> my_block, size_t t
 
 Task<void> hz_combine_from(Port port, CompressedBuffer& acc, size_t elements, int src, int tag,
                            CollectiveConfig config, HzPipelineStats* pipeline_stats) {
-  CompressedBuffer received = stream_from_payload(co_await port.recv(src, tag), elements);
+  CompressedBuffer received =
+      stream_from_payload(port, co_await port.recv(src, tag), elements, config);
   combine_compressed(port, acc, std::move(received), elements, config, pipeline_stats);
 }
 
@@ -662,8 +805,8 @@ Task<std::vector<float>> hz_ird(Port port, std::span<const float> input,
 
   if (rank < 2 * rem) {
     if (rank % 2 == 0) {
-      CompressedBuffer received =
-          stream_from_payload(co_await port.recv(rank + 1, unfold_tag), input.size());
+      CompressedBuffer received = stream_from_payload(
+          port, co_await port.recv(rank + 1, unfold_tag), input.size(), config);
       port.pool().release(std::move(acc.bytes));
       acc = std::move(received);
     } else {
@@ -672,6 +815,7 @@ Task<std::vector<float>> hz_ird(Port port, std::span<const float> input,
   }
 
   std::vector<float> out_full(input.size());
+  port_final_verify(port, acc, config);
   fz_decompress(acc, out_full, config.host_threads);
   port.charge(CostBucket::kDpr,
               config.cost.seconds_fz_decompress(input.size_bytes(), config.mode),
@@ -712,8 +856,8 @@ Task<std::vector<float>> hz_irab(Port port, std::span<const float> input,
     const int keep_hi = keep_low ? mid : bhi;
     for (int b = keep_lo; b < keep_hi; ++b) {
       const Range r = ring_block_range(input.size(), size, b);
-      CompressedBuffer received =
-          stream_from_payload(co_await port.recv(partner, tag_of(step, b)), r.size());
+      CompressedBuffer received = stream_from_payload(
+          port, co_await port.recv(partner, tag_of(step, b)), r.size(), config);
       combine_compressed(port, blocks[static_cast<size_t>(b)], std::move(received), r.size(),
                          config, pipeline_stats);
     }
@@ -732,8 +876,8 @@ Task<std::vector<float>> hz_irab(Port port, std::span<const float> input,
     const int recv_hi = blo == parent_lo ? parent_hi : blo;
     for (int b = recv_lo; b < recv_hi; ++b) {
       const Range r = ring_block_range(input.size(), size, b);
-      blocks[static_cast<size_t>(b)] =
-          stream_from_payload(co_await port.recv(partner, tag_of(step, b)), r.size());
+      blocks[static_cast<size_t>(b)] = stream_from_payload(
+          port, co_await port.recv(partner, tag_of(step, b)), r.size(), config);
     }
     blo = parent_lo;
     bhi = parent_hi;
@@ -743,6 +887,7 @@ Task<std::vector<float>> hz_irab(Port port, std::span<const float> input,
   uint64_t compressed_bytes = 0;
   for (int b = 0; b < size; ++b) {
     const Range r = ring_block_range(input.size(), size, b);
+    port_final_verify(port, blocks[static_cast<size_t>(b)], config);
     fz_decompress(blocks[static_cast<size_t>(b)],
                   std::span<float>(out_full.data() + r.begin, r.size()), config.host_threads);
     compressed_bytes += blocks[static_cast<size_t>(b)].bytes.size();
@@ -762,9 +907,9 @@ Task<std::vector<float>> hz_i2level(Port port, std::span<const float> input,
   const int leader = g.node_members.front();
 
   if (rank != leader) {
-    port.send_floats(leader, kTagIntraReduce + rank, input);
+    send_floats_checked(port, leader, kTagIntraReduce + rank, input, config);
     std::vector<float> out_full(input.size());
-    floats_from_payload(out_full, co_await port.recv(leader, kTagIntraBcast + rank));
+    co_await irecv_floats_checked(port, leader, kTagIntraBcast + rank, out_full, config);
     co_return out_full;
   }
 
@@ -775,7 +920,7 @@ Task<std::vector<float>> hz_i2level(Port port, std::span<const float> input,
   for (size_t m = 1; m < g.node_members.size(); ++m) {
     const int member = g.node_members[m];
     incoming.resize(input.size());
-    floats_from_payload(incoming, co_await port.recv(member, kTagIntraReduce + member));
+    co_await irecv_floats_checked(port, member, kTagIntraReduce + member, incoming, config);
     reduce_combine_span(config.reduce_op, acc.data(), incoming.data(), acc.size());
     port.charge(CostBucket::kCpt, config.cost.seconds_raw_sum(input.size_bytes(), config.mode),
                 trace::EventKind::kReduce, input.size_bytes());
@@ -792,7 +937,8 @@ Task<std::vector<float>> hz_i2level(Port port, std::span<const float> input,
   }
 
   for (size_t m = 1; m < g.node_members.size(); ++m) {
-    port.send_floats(g.node_members[m], kTagIntraBcast + g.node_members[m], out_full);
+    send_floats_checked(port, g.node_members[m], kTagIntraBcast + g.node_members[m], out_full,
+                        config);
   }
   co_return out_full;
 }

@@ -1,6 +1,7 @@
 #include "hzccl/sched/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <tuple>
 #include <utility>
@@ -191,7 +192,25 @@ void Scheduler::run() {
       r.complete_vtime = out.complete_vtime;
       r.engine_job = sub.request.job;
       r.tenant = out.tenant;
+      r.integrity = out.integrity;
       continue;
+    }
+    // A tainted fused super-job — one whose integrity counters show the
+    // verify layer caught (and recovered from) corruption — re-verifies
+    // each member's slice against that member's own exact reduction before
+    // the split.  Recovery is supposed to leave the result within the
+    // collective's error envelope; a slice that drifted out means the
+    // recovery itself was defeated, and that member must fail loudly
+    // rather than ship a corrupt gradient bucket to one tenant.
+    const TenantJobSpec& head = specs_[static_cast<size_t>(sub.members.front())];
+    const bool tainted = out.completed &&
+                         head.config.verify != coll::VerifyPolicy::kOff &&
+                         !out.integrity.clean();
+    std::vector<int> contributing;
+    if (tainted) {
+      for (const int fleet_rank : out.final_group) {
+        contributing.push_back(fleet_rank - head.first_rank);
+      }
     }
     size_t offset = 0;
     for (size_t m = 0; m < sub.members.size(); ++m) {
@@ -202,6 +221,31 @@ void Scheduler::run() {
       if (out.completed && offset + n <= out.rank0_output.size()) {
         r.rank0_output.assign(out.rank0_output.begin() + static_cast<ptrdiff_t>(offset),
                               out.rank0_output.begin() + static_cast<ptrdiff_t>(offset + n));
+        if (tainted) {
+          r.reverified = true;
+          const RankInputFn& input = specs_[static_cast<size_t>(sub.members[m])].input;
+          std::vector<double> ref(n, 0.0);
+          for (const int local : contributing) {
+            const std::vector<float> part = input(local);
+            for (size_t i = 0; i < n && i < part.size(); ++i) ref[i] += part[i];
+          }
+          // The verified envelope: the compression error compounds at most
+          // once per reducing rank plus once for the final decode (the
+          // C-Coll growth law the chaos tier pins at 3x slack).
+          const double tol =
+              3.0 * static_cast<double>(contributing.size()) * head.config.abs_error_bound +
+              1e-6;
+          for (size_t i = 0; i < n; ++i) {
+            if (std::abs(static_cast<double>(r.rank0_output[i]) - ref[i]) > tol) {
+              r.completed = false;
+              r.error =
+                  "integrity: fused member slice exceeds the verified error bound "
+                  "after SDC recovery";
+              r.rank0_output.clear();
+              break;
+            }
+          }
+        }
       }
       r.enqueue_vtime = specs_[static_cast<size_t>(sub.members[m])].enqueue_vtime;
       r.grant_vtime = out.grant_vtime;
@@ -209,6 +253,7 @@ void Scheduler::run() {
       r.fused = true;
       r.engine_job = sub.request.job;
       r.tenant = out.tenant;
+      r.integrity = out.integrity;
       offset += n;
     }
   }

@@ -32,6 +32,10 @@ double CostModel::seconds_memcpy(size_t bytes) const {
   return proportional_seconds(bytes, memcpy_gbps, 1.0);
 }
 
+double CostModel::seconds_digest_verify(size_t compressed_bytes, Mode m) const {
+  return proportional_seconds(compressed_bytes, digest_verify_gbps, mode_factor(m));
+}
+
 double CostModel::seconds_hz_add(const hzccl::HzPipelineStats& stats, uint32_t block_len,
                                  Mode m) const {
   (void)block_len;

@@ -44,7 +44,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
   FaultPlan plan;
   double* const slots[] = {&plan.corrupt,       &plan.reorder, &plan.duplicate,
                            &plan.stall,         &plan.mangle,  &plan.stall_seconds,
-                           &plan.recv_timeout_s};
+                           &plan.recv_timeout_s, &plan.sdc,    &plan.poison};
   size_t pos = 0;
   int field = 0;
   while (pos <= spec.size()) {
@@ -76,7 +76,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
 }
 
 void FaultPlan::validate() const {
-  for (double p : {drop, corrupt, reorder, duplicate, stall, mangle}) {
+  for (double p : {drop, corrupt, reorder, duplicate, stall, mangle, sdc, poison}) {
     if (!(p >= 0.0 && p <= 1.0)) {
       throw Error("FaultPlan: probabilities must be in [0, 1]");
     }
@@ -171,11 +171,12 @@ std::vector<RankFault> FaultPlan::parse_rank_faults(const std::string& spec) {
 }
 
 std::string FaultPlan::describe() const {
-  char buf[224];
+  char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "seed=%llu drop=%g corrupt=%g reorder=%g dup=%g stall=%g mangle=%g",
+                "seed=%llu drop=%g corrupt=%g reorder=%g dup=%g stall=%g mangle=%g"
+                " sdc=%g poison=%g",
                 static_cast<unsigned long long>(seed), drop, corrupt, reorder, duplicate,
-                stall, mangle);
+                stall, mangle, sdc, poison);
   std::string out = buf;
   for (const RankFault& f : rank_faults) {
     const char* kind = f.kind == RankFaultKind::kCrash  ? "crash"
@@ -212,15 +213,23 @@ RankFailedError::RankFailedError(std::vector<int> failed_ranks, uint32_t epoch)
       failed_ranks_(std::move(failed_ranks)),
       epoch_(epoch) {}
 
-double RetryPolicy::backoff_for(int attempt) const {
+double RetryPolicy::backoff_for(int attempt, uint64_t seed) const {
   double backoff = backoff_base_s;
   for (int i = 1; i < attempt; ++i) backoff *= backoff_factor;
+  if (jitter > 0.0) {
+    // Counter-based draw — the same pure-function discipline as fault_roll,
+    // so a retried run replays exactly from (seed, attempt).
+    const double u = static_cast<double>(
+                         fault_mix(seed, 0xB0FFULL << 48, static_cast<uint64_t>(attempt)) >> 11) *
+                     0x1.0p-53;
+    backoff *= 1.0 + jitter * (2.0 * u - 1.0);
+  }
   return backoff;
 }
 
 RetryPolicy RetryPolicy::parse(const std::string& spec) {
   RetryPolicy policy;
-  double* const slots[] = {&policy.backoff_base_s, &policy.backoff_factor};
+  double* const slots[] = {&policy.backoff_base_s, &policy.backoff_factor, &policy.jitter};
   size_t pos = 0;
   int field = 0;
   while (pos <= spec.size()) {
@@ -250,12 +259,13 @@ void RetryPolicy::validate() const {
   if (max_attempts < 1) throw Error("RetryPolicy: max_attempts must be >= 1");
   if (!(backoff_base_s > 0.0)) throw Error("RetryPolicy: backoff_base must be > 0");
   if (!(backoff_factor >= 1.0)) throw Error("RetryPolicy: backoff_factor must be >= 1");
+  if (!(jitter >= 0.0 && jitter < 1.0)) throw Error("RetryPolicy: jitter must be in [0, 1)");
 }
 
 std::string RetryPolicy::describe() const {
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), "attempts=%d backoff=%gs x%g", max_attempts,
-                backoff_base_s, backoff_factor);
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "attempts=%d backoff=%gs x%g jitter=%g", max_attempts,
+                backoff_base_s, backoff_factor, jitter);
   return buf;
 }
 

@@ -6,6 +6,7 @@
 #include <exception>
 #include <thread>
 
+#include "hzccl/integrity/sdc.hpp"
 #include "hzccl/kernels/dispatch.hpp"
 #include "hzccl/util/bytes.hpp"
 #include "hzccl/util/error.hpp"
@@ -41,19 +42,65 @@ ClockReport ClockReport::max_of(const ClockReport& a, const ClockReport& b) {
 namespace {
 
 /// Sender-side corruption (the mangle fault): scribble over the payload's
-/// leading magic so downstream decoding fails *detectably*.  The wire CRC is
-/// computed over the mangled bytes, so framing cannot catch this — only the
+/// leading magic so downstream decoding fails *detectably*, plus over four
+/// bytes at a seeded offset spanning the *whole* payload — without the
+/// second scribble every mangle lands on the stream head and the tail
+/// blocks' parse/heal paths are never exercised.  The wire CRC is computed
+/// over the mangled bytes, so framing cannot catch this — only the
 /// consumer's decode can, which is what the graceful-degradation path needs.
-void mangle_payload(std::vector<uint8_t>& payload) {
+void mangle_payload(std::vector<uint8_t>& payload, uint64_t seed, int src, int dst,
+                    uint64_t counter) {
   static constexpr uint8_t kScribble[4] = {0xDE, 0xAD, 0xBE, 0xEF};
   for (size_t i = 0; i < payload.size() && i < sizeof(kScribble); ++i) {
     payload[i] = kScribble[i];
   }
+  if (payload.size() <= sizeof(kScribble)) return;
+  const uint64_t stream = (static_cast<uint64_t>(FaultKind::kMangleOffset) << 48) |
+                          (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 24) |
+                          static_cast<uint64_t>(static_cast<uint32_t>(dst));
+  const size_t offset = sizeof(kScribble) +
+                        fault_mix(seed, stream, counter) % (payload.size() - sizeof(kScribble));
+  for (size_t i = 0; i < sizeof(kScribble) && offset + i < payload.size(); ++i) {
+    payload[offset + i] = kScribble[i];
+  }
+}
+
+/// Silent data corruption: flip one seeded payload bit *before* framing, so
+/// the CRC covers the flipped byte and every wire-level check passes.  The
+/// stream usually still parses; only an ABFT digest verify can catch it.
+void flip_sdc_bit(std::vector<uint8_t>& payload, uint64_t seed, int src, int dst,
+                  uint64_t counter) {
+  if (payload.empty()) return;
+  const uint64_t stream = (static_cast<uint64_t>(FaultKind::kSdcBit) << 48) |
+                          (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 24) |
+                          static_cast<uint64_t>(static_cast<uint32_t>(dst));
+  const uint64_t bit = fault_mix(seed, stream, counter) % (payload.size() * 8);
+  payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
 }
 
 /// Counter for per-attempt mangle re-rolls: 64 attempts per sequence number
 /// is far beyond any retry depth the recovery paths use.
 uint64_t attempt_counter(uint64_t seq, uint64_t attempt) { return (seq << 6) | (attempt & 63); }
+
+/// Apply the sender-side payload faults (mangle, then sdc) with independent
+/// per-attempt rolls.  Shared by first transmission and every retransmit so
+/// a persistently corrupting sender stays corrupt across attempts while a
+/// transient one heals.  Returns how many faults fired.
+uint64_t apply_payload_faults(std::vector<uint8_t>& payload, const FaultPlan& plan, int src,
+                              int dst, uint64_t counter) {
+  uint64_t fired = 0;
+  if (plan.mangle > 0.0 &&
+      fault_roll(plan.seed, FaultKind::kMangle, src, dst, counter) < plan.mangle) {
+    mangle_payload(payload, plan.seed, src, dst, counter);
+    ++fired;
+  }
+  if (plan.sdc > 0.0 &&
+      fault_roll(plan.seed, FaultKind::kSdc, src, dst, counter) < plan.sdc) {
+    flip_sdc_bit(payload, plan.seed, src, dst, counter);
+    ++fired;
+  }
+  return fired;
+}
 
 /// Internal unwind signals of the rank-failure control plane.  Deliberately
 /// NOT derived from hzccl::Error: collective bodies catch Error for the
@@ -196,7 +243,9 @@ void Comm::shrink() { runtime_->shrink_group(*this); }
 
 void Comm::retry_backoff(const RetryPolicy& policy, int failures) {
   const double t0 = clock_.now();
-  clock_.advance(policy.backoff_for(failures), CostBucket::kMpi);
+  // The fault-plan seed feeds the jitter draw so a faulted run replays —
+  // backoff included — from one number.
+  clock_.advance(policy.backoff_for(failures, runtime_->faults().seed), CostBucket::kMpi);
   ++health_.retries;
   if (trace_.enabled()) {
     trace::Event e;
@@ -648,11 +697,9 @@ void Runtime::transmit(Comm& sender, int dst, int tag, std::span<const uint8_t> 
   ++sender.transport_.frames_sent;
 
   std::vector<uint8_t> wire_payload(payload.begin(), payload.end());
-  if (on && faults_.mangle > 0.0 &&
-      fault_roll(faults_.seed, FaultKind::kMangle, src, dst, attempt_counter(seq, 0)) <
-          faults_.mangle) {
-    mangle_payload(wire_payload);
-    ++sender.transport_.faults_injected;
+  if (on) {
+    sender.transport_.faults_injected +=
+        apply_payload_faults(wire_payload, faults_, src, dst, attempt_counter(seq, 0));
   }
 
   WireMessage msg;
@@ -781,11 +828,7 @@ std::vector<uint8_t> Runtime::take(Comm& receiver, int src, int tag) {
     ++e.attempts;
     ++receiver.transport_.retransmits;
     std::vector<uint8_t> payload = e.pristine;
-    if (faults_.mangle > 0.0 &&
-        fault_roll(faults_.seed, FaultKind::kMangle, src, me,
-                   attempt_counter(e.seq, e.attempts - 1)) < faults_.mangle) {
-      mangle_payload(payload);
-    }
+    apply_payload_faults(payload, faults_, src, me, attempt_counter(e.seq, e.attempts - 1));
     const size_t frame_bytes = sizeof(FrameHeader) + payload.size();
     const double t0 = receiver.clock_.now();
     receiver.clock_.advance_to(
@@ -1031,11 +1074,8 @@ std::vector<uint8_t> Runtime::refetch(Comm& receiver, int src, int tag, Comm::Re
     ++entry->attempts;
     ++receiver.transport_.retransmits;
     std::vector<uint8_t> payload = entry->pristine;
-    if (faults_.mangle > 0.0 &&
-        fault_roll(faults_.seed, FaultKind::kMangle, src, me,
-                   attempt_counter(entry->seq, entry->attempts - 1)) < faults_.mangle) {
-      mangle_payload(payload);
-    }
+    apply_payload_faults(payload, faults_, src, me,
+                         attempt_counter(entry->seq, entry->attempts - 1));
     const size_t frame_bytes = sizeof(FrameHeader) + payload.size();
     const double t0 = receiver.clock_.now();
     receiver.clock_.advance(
@@ -1097,6 +1137,7 @@ std::vector<ClockReport> Runtime::run(const RankFn& fn) {
   std::vector<ClockReport> reports(static_cast<size_t>(nranks_));
   std::vector<hzccl::TransportStats> transport(static_cast<size_t>(nranks_));
   std::vector<hzccl::HealthStats> health(static_cast<size_t>(nranks_));
+  std::vector<hzccl::IntegrityStats> integrity(static_cast<size_t>(nranks_));
   std::vector<std::vector<trace::Event>> streams(static_cast<size_t>(nranks_));
   std::vector<uint64_t> dropped(static_cast<size_t>(nranks_), 0);
   std::vector<std::exception_ptr> errors(static_cast<size_t>(nranks_));
@@ -1111,6 +1152,16 @@ std::vector<ClockReport> Runtime::run(const RankFn& fn) {
         // allocation tracing ever makes, recycled across runs.
         comm.trace_.enable(trace_opts_.capacity, BufferPool::local());
       }
+      // Compute-side SDC: arm this rank thread's poisoned-combine injector
+      // for the duration of the rank body.  The homomorphic combine loop
+      // consults it through a thread-local pointer, so an unarmed run pays
+      // nothing.
+      integrity::SdcInjector injector;
+      injector.seed = faults_.seed;
+      injector.poison = faults_.poison;
+      injector.rank = r;
+      const integrity::ScopedSdcInjector scoped_injector(
+          faults_.poison > 0.0 ? &injector : nullptr);
       try {
         fn(comm);
         // A returning rank drains its NIC: any reorder-held frame is
@@ -1143,6 +1194,8 @@ std::vector<ClockReport> Runtime::run(const RankFn& fn) {
       reports[static_cast<size_t>(r)] = comm.clock().report();
       transport[static_cast<size_t>(r)] = comm.transport();
       health[static_cast<size_t>(r)] = comm.health();
+      comm.integrity_.poisoned_combines += injector.injected;
+      integrity[static_cast<size_t>(r)] = comm.integrity();
       if (trace_opts_.enabled) {
         streams[static_cast<size_t>(r)] = comm.trace_.snapshot();
         dropped[static_cast<size_t>(r)] = comm.trace_.dropped();
@@ -1181,6 +1234,7 @@ std::vector<ClockReport> Runtime::run(const RankFn& fn) {
   }
   transport_stats_ = std::move(transport);
   health_stats_ = std::move(health);
+  integrity_stats_ = std::move(integrity);
   trace_ = trace::Trace{};
   if (trace_opts_.enabled) {
     trace_.ranks = std::move(streams);

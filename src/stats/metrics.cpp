@@ -193,6 +193,40 @@ std::string describe(const HealthStats& s) {
   return buf;
 }
 
+bool IntegrityStats::clean() const {
+  return mismatches == 0 && retransmit_recoveries == 0 && recomputes == 0 &&
+         raw_fallbacks == 0 && poisoned_combines == 0;
+}
+
+IntegrityStats& IntegrityStats::operator+=(const IntegrityStats& other) {
+  digests_checked += other.digests_checked;
+  mismatches += other.mismatches;
+  retransmit_recoveries += other.retransmit_recoveries;
+  recomputes += other.recomputes;
+  raw_fallbacks += other.raw_fallbacks;
+  poisoned_combines += other.poisoned_combines;
+  return *this;
+}
+
+IntegrityStats total_integrity(std::span<const IntegrityStats> per_rank) {
+  IntegrityStats sum;
+  for (const IntegrityStats& s : per_rank) sum += s;
+  return sum;
+}
+
+std::string describe(const IntegrityStats& s) {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "checked=%llu mismatch=%llu retx=%llu recompute=%llu raw=%llu poison=%llu",
+                static_cast<unsigned long long>(s.digests_checked),
+                static_cast<unsigned long long>(s.mismatches),
+                static_cast<unsigned long long>(s.retransmit_recoveries),
+                static_cast<unsigned long long>(s.recomputes),
+                static_cast<unsigned long long>(s.raw_fallbacks),
+                static_cast<unsigned long long>(s.poisoned_combines));
+  return buf;
+}
+
 Summary summarize(std::span<const double> values) {
   Summary s;
   if (values.empty()) return s;

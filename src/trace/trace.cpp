@@ -29,16 +29,23 @@ std::string kind_name(EventKind k) {
     case EventKind::kFuse: return "fuse";
     case EventKind::kGrant: return "grant";
     case EventKind::kComplete: return "complete";
+    case EventKind::kVerify: return "verify";
+    case EventKind::kSdcDetected: return "sdc_detected";
+    case EventKind::kRecompute: return "recompute";
   }
   return "?";
 }
 
 bool kind_is_transport(EventKind k) {
-  return static_cast<uint8_t>(k) >= static_cast<uint8_t>(EventKind::kSend) && !kind_is_sched(k);
+  // Compute kinds sit below kSend; sched markers and the integrity spans
+  // (kVerify and up) sit above the transport range.
+  return static_cast<uint8_t>(k) >= static_cast<uint8_t>(EventKind::kSend) &&
+         static_cast<uint8_t>(k) < static_cast<uint8_t>(EventKind::kEnqueue);
 }
 
 bool kind_is_sched(EventKind k) {
-  return static_cast<uint8_t>(k) >= static_cast<uint8_t>(EventKind::kEnqueue);
+  return static_cast<uint8_t>(k) >= static_cast<uint8_t>(EventKind::kEnqueue) &&
+         static_cast<uint8_t>(k) <= static_cast<uint8_t>(EventKind::kComplete);
 }
 
 #if !defined(HZCCL_TRACE_DISABLED)
@@ -107,6 +114,12 @@ void accumulate_event(RankPhases& p, const Event& e) {
     case EventKind::kFuse:
     case EventKind::kGrant:
     case EventKind::kComplete: p.sched += dt; break;
+    // Integrity: the verify scan is CPT-class compute; the detection and
+    // recompute markers are zero-duration, so the bucket choice only keeps
+    // the switch exhaustive.
+    case EventKind::kVerify:
+    case EventKind::kSdcDetected:
+    case EventKind::kRecompute: p.cpt += dt; break;
   }
   if (!kind_is_transport(e.kind) && !kind_is_sched(e.kind)) {
     p.bytes_uncompressed += e.bytes;

@@ -206,6 +206,11 @@ int main(int argc, char** argv) {
     hzccl::FzParams fz_params;
     fz_params.num_chunks = n > 2000 ? 4 : 0;
     fz_bases.push_back(hzccl::fz_compress(data, fz_params).bytes);
+    // Digest-bearing variant: mutations now also land in the ABFT digest
+    // table and in payloads whose digests no longer match, so the verify
+    // walk and the digest-folding hz_add paths see damaged streams too.
+    fz_params.emit_digests = true;
+    fz_bases.push_back(hzccl::fz_compress(data, fz_params).bytes);
     hzccl::SzpParams szp_params;
     szp_params.num_threads = 1;
     szp_bases.push_back(hzccl::szp_compress(data, szp_params).bytes);
@@ -232,7 +237,7 @@ int main(int argc, char** argv) {
   std::vector<Tally> first_pass;
   for (const auto level : levels) {
     hzccl::kernels::set_dispatch_level(level);
-    Tally fz_tally, szp_tally, szx_tally, add_tally;
+    Tally fz_tally, szp_tally, szx_tally, add_tally, verify_tally;
 
     Prng fz_rng(seed, /*stream=*/1);
     for (uint64_t i = 0; i < iterations && ok; ++i) {
@@ -280,6 +285,18 @@ int main(int argc, char** argv) {
                     });
     }
 
+    // Digest verifier: the integer-domain chain walk must uphold the same
+    // "decode or structured error" contract on mutated streams; a mismatch
+    // verdict (checked && !ok) is a successful outcome, not an escape.
+    Prng verify_rng(seed, /*stream=*/5);
+    for (uint64_t i = 0; i < iterations && ok; ++i) {
+      ok = fuzz_one(fz_bases[i % fz_bases.size()], verify_rng, verify_tally, "fz_verify", i,
+                    [](const std::vector<uint8_t>& bytes) {
+                      const auto view = hzccl::parse_fz(bytes);
+                      (void)hzccl::fz_verify_digests(view, 1);
+                    });
+    }
+
     const auto report = [&](const char* format, const Tally& t) {
       std::printf("%-7s %-8s ok=%-8llu rejected=%-8llu\n", hzccl::kernels::level_name(level),
                   format, static_cast<unsigned long long>(t.ok),
@@ -289,9 +306,10 @@ int main(int argc, char** argv) {
     report("szp", szp_tally);
     report("szx", szx_tally);
     report("hz_add", add_tally);
+    report("fz_verify", verify_tally);
     if (!ok) return 1;
 
-    const std::vector<Tally> pass = {fz_tally, szp_tally, szx_tally, add_tally};
+    const std::vector<Tally> pass = {fz_tally, szp_tally, szx_tally, add_tally, verify_tally};
     if (first_pass.empty()) {
       first_pass = pass;
     } else {
@@ -307,7 +325,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  std::printf("fuzz_decoders: %llu iterations x 4 targets x %zu levels, seed %llu, no escapes\n",
+  std::printf("fuzz_decoders: %llu iterations x 5 targets x %zu levels, seed %llu, no escapes\n",
               static_cast<unsigned long long>(iterations), levels.size(),
               static_cast<unsigned long long>(seed));
   return 0;

@@ -212,6 +212,9 @@ void check_trace_invariants(const JobResult& result, int nranks) {
         case trace::EventKind::kDecompress: bucket[2] += e.duration(); break;
         case trace::EventKind::kHomReduce: bucket[4] += e.duration(); break;
         case trace::EventKind::kReduce: bucket[3] += e.duration(); break;
+        case trace::EventKind::kVerify: bucket[3] += e.duration(); break;  // CPT-charged scan
+        case trace::EventKind::kSdcDetected:
+        case trace::EventKind::kRecompute: break;  // zero-duration markers
         case trace::EventKind::kPack: bucket[5] += e.duration(); break;
         default: bucket[0] += e.duration(); break;  // all transport kinds -> kMpi
       }

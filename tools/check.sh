@@ -13,6 +13,8 @@
 #   tools/check.sh --recovery # tier 1 + sanitized rank-failure tier + seed sweep
 #   tools/check.sh --sched    # tier 1 + sanitized nonblocking/scheduler tier
 #                             # + multi-seed scheduler determinism sweep
+#   tools/check.sh --integrity # tier 1 + sanitized ABFT/SDC tier + 8-seed
+#                             # silent-corruption sweep through the CLI
 #   tools/check.sh --kernels  # tier 1 + conformance tier at every forced
 #                             # dispatch level + SIMD speedup gate
 #   tools/check.sh --analyze  # tier 1 + whole-program static contracts
@@ -26,7 +28,7 @@ set -eu
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 jobs=$(nproc 2>/dev/null || echo 4)
 
-run_asan=1 run_lint=0 run_tsan=0 run_fuzz=0 run_perf=0 run_cov=0 run_recovery=0 run_sched=0 run_kernels=0 run_analyze=0
+run_asan=1 run_lint=0 run_tsan=0 run_fuzz=0 run_perf=0 run_cov=0 run_recovery=0 run_sched=0 run_kernels=0 run_analyze=0 run_integrity=0
 for arg in "$@"; do
   case "$arg" in
     --fast) run_asan=0 ;;
@@ -39,8 +41,9 @@ for arg in "$@"; do
     --sched) run_sched=1 ;;
     --kernels) run_kernels=1 ;;
     --analyze) run_analyze=1 ;;
-    --all)  run_asan=1 run_lint=1 run_tsan=1 run_fuzz=1 run_perf=1 run_cov=1 run_recovery=1 run_sched=1 run_kernels=1 run_analyze=1 ;;
-    *) echo "usage: tools/check.sh [--fast] [--lint] [--tsan] [--fuzz] [--perf] [--cov] [--recovery] [--sched] [--kernels] [--analyze] [--all]" >&2; exit 2 ;;
+    --integrity) run_integrity=1 ;;
+    --all)  run_asan=1 run_lint=1 run_tsan=1 run_fuzz=1 run_perf=1 run_cov=1 run_recovery=1 run_sched=1 run_kernels=1 run_analyze=1 run_integrity=1 ;;
+    *) echo "usage: tools/check.sh [--fast] [--lint] [--tsan] [--fuzz] [--perf] [--cov] [--recovery] [--sched] [--kernels] [--analyze] [--integrity] [--all]" >&2; exit 2 ;;
   esac
 done
 
@@ -66,7 +69,7 @@ if [ "$run_analyze" = "1" ]; then
     --report "$repo/build/analyze_report.txt"
 fi
 
-if [ "$run_asan" = "1" ] || [ "$run_fuzz" = "1" ] || [ "$run_recovery" = "1" ] || [ "$run_sched" = "1" ]; then
+if [ "$run_asan" = "1" ] || [ "$run_fuzz" = "1" ] || [ "$run_recovery" = "1" ] || [ "$run_sched" = "1" ] || [ "$run_integrity" = "1" ]; then
   echo "== tier 2: ASan/UBSan build =="
   san_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
   cmake -B "$repo/build-asan" -S "$repo" \
@@ -120,6 +123,40 @@ if [ "$run_sched" = "1" ]; then
   done
 fi
 
+if [ "$run_integrity" = "1" ]; then
+  echo "== integrity: sanitized ABFT digest + SDC tier =="
+  # Digest algebra, emission/detection, operator folding, SDC recovery
+  # differentials and the sched taint path, under ASan/UBSan.
+  cmake --build "$repo/build-asan" -j "$jobs" --target integrity_test
+  (cd "$repo/build-asan" && ctest -L integrity --output-on-failure)
+  echo "== integrity: multi-seed silent-corruption sweep (hzcclc --sdc, 8 seeds x 2) =="
+  # Each seed flips payload bits post-CRC across an 8-rank allreduce under
+  # per-round verification; the recovered run must land inside the C-Coll
+  # error-growth envelope (3x the printed nominal bound) and replay
+  # byte-identically — virtual times and integrity counters included.
+  # Across the sweep at least one flip must have been caught by a digest
+  # (not just the structural decode check), or detection has regressed.
+  caught=0
+  for seed in 31 32 33 34 35 36 37 38; do
+    echo "-- integrity sweep: seed $seed"
+    "$repo/build-asan/tools/hzcclc" collective --kernel 2 --ranks 8 \
+      --dataset hurricane --scale tiny \
+      --verify round --sdc "$seed,0.05" > "$repo/build-asan/integrity_run_a.txt"
+    "$repo/build-asan/tools/hzcclc" collective --kernel 2 --ranks 8 \
+      --dataset hurricane --scale tiny \
+      --verify round --sdc "$seed,0.05" > "$repo/build-asan/integrity_run_b.txt"
+    cmp "$repo/build-asan/integrity_run_a.txt" "$repo/build-asan/integrity_run_b.txt"
+    awk '/max abs err/ {
+           err = $5 + 0; gsub(/[),]/, "", $7); bound = $7 + 0
+           if (err > 3 * bound) { print "integrity sweep: " err " exceeds 3x bound " bound; exit 1 }
+         }' "$repo/build-asan/integrity_run_a.txt"
+    if grep -q "mismatch=[1-9]" "$repo/build-asan/integrity_run_a.txt"; then
+      caught=$((caught + 1))
+    fi
+  done
+  [ "$caught" -gt 0 ] || { echo "integrity sweep: no seed produced a digest detection" >&2; exit 1; }
+fi
+
 if [ "$run_kernels" = "1" ]; then
   echo "== kernels: conformance tier at every forced dispatch level =="
   # The scalar pass checks the oracle against itself (and the dispatch
@@ -139,14 +176,16 @@ if [ "$run_kernels" = "1" ]; then
 fi
 
 if [ "$run_perf" = "1" ]; then
-  echo "== perf smoke: bench_kernels --json --quick (zero-allocation + SIMD floor) =="
+  echo "== perf smoke: bench_kernels --json --quick (zero-allocation + SIMD floor + verify cost) =="
   # Fails if any gated kernel (hz_add, the ring collective) mints a heap
-  # block per op in steady state, or if the dispatched SIMD level loses its
-  # speedup floor over scalar; see docs/ANALYSIS.md "Performance
-  # architecture".
+  # block per op in steady state, if the dispatched SIMD level loses its
+  # speedup floor over scalar, or if per-round ABFT verification costs more
+  # than 5% of the modeled 512-rank x 8 MiB allreduce; see
+  # docs/ANALYSIS.md "Performance architecture" and "Integrity model".
   cmake --build "$repo/build" -j "$jobs" --target bench_kernels
   "$repo/build/bench/bench_kernels" --json --quick \
-    --out "$repo/build/BENCH_kernels.json" --alloc-budget 0 --simd-floor 1.5
+    --out "$repo/build/BENCH_kernels.json" --alloc-budget 0 --simd-floor 1.5 \
+    --verify-overhead 5
   echo "== perf smoke: allreduce algorithm-selection gates =="
   # Modeled 512-node x 8-ranks/node sweep: the hierarchical two-level
   # schedule must beat the flat compressed ring in the latency regime, and

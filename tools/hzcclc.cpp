@@ -50,7 +50,8 @@ int usage() {
                "                    [--faults seed,drop[,corrupt[,reorder[,dup[,stall\n"
                "                              [,mangle[,stall_s[,recv_timeout]]]]]]]]\n"
                "                    [--rank-faults kind@rank=N,op=N|t=T|x=F[;...]]\n"
-               "                    [--retry attempts[,backoff_base[,factor]]]\n"
+               "                    [--retry attempts[,backoff_base[,factor[,jitter]]]]\n"
+               "                    [--sdc seed,p[,poison]] [--verify off|final|round]\n"
                "  hzcclc trace      --check <trace.json>\n"
                "  hzcclc trace      [collective flags] [--out <trace.json>] [--capacity N]\n"
                "  hzcclc sched      [--topology NxM] [--tenants N] [--jobs N] [--kernel 0..4]\n"
@@ -261,6 +262,24 @@ bool parse_collective_flag(CollectiveCli& cli, int argc, char** argv, int& i) {
     cli.config.faults.rank_faults = simmpi::FaultPlan::parse_rank_faults(argv[++i]);
   } else if (flag == "--retry" && i + 1 < argc) {
     cli.config.retry = simmpi::RetryPolicy::parse(argv[++i]);
+  } else if (flag == "--sdc" && i + 1 < argc) {
+    // Silent-corruption shorthand: "seed,p[,poison]" arms the post-CRC
+    // payload bit-flip (and optionally poisoned combines) without touching
+    // the detectable link faults.  Composes with --rank-faults.
+    const std::string spec = argv[++i];
+    const size_t c1 = spec.find(',');
+    if (c1 == std::string::npos || c1 == 0 || c1 + 1 >= spec.size()) return false;
+    const size_t c2 = spec.find(',', c1 + 1);
+    try {
+      cli.config.faults.seed = std::stoull(spec.substr(0, c1));
+      cli.config.faults.sdc = std::stod(spec.substr(c1 + 1, c2 - c1 - 1));
+      if (c2 != std::string::npos) cli.config.faults.poison = std::stod(spec.substr(c2 + 1));
+    } catch (const std::logic_error&) {  // stoull/stod failures
+      throw Error("FaultPlan: cannot parse sdc spec '" + spec + "'");
+    }
+    cli.config.faults.validate();
+  } else if (flag == "--verify" && i + 1 < argc) {
+    cli.config.verify = coll::parse_verify_policy(argv[++i]);
   } else {
     return false;
   }
@@ -269,7 +288,10 @@ bool parse_collective_flag(CollectiveCli& cli, int argc, char** argv, int& i) {
 
 /// The fabric description for the job banner: link plan, rank faults, or both.
 std::string fabric_label(const JobConfig& config) {
-  if (!config.faults.enabled() && !config.faults.rank_faults_enabled()) return "clean fabric";
+  if (!config.faults.enabled() && !config.faults.rank_faults_enabled() &&
+      !config.faults.silent_faults_enabled()) {
+    return "clean fabric";
+  }
   return config.faults.describe();
 }
 
@@ -319,6 +341,10 @@ int cmd_collective(int argc, char** argv) {
               r.percent(simmpi::CostBucket::kCpr), r.percent(simmpi::CostBucket::kDpr),
               r.percent(simmpi::CostBucket::kCpt), r.percent(simmpi::CostBucket::kHpr));
   std::printf("  transport:    %s\n", describe(result.transport).c_str());
+  if (config.verify != coll::VerifyPolicy::kOff) {
+    std::printf("  integrity:    verify=%s %s\n", coll::verify_policy_name(config.verify),
+                describe(result.integrity).c_str());
+  }
   if (config.faults.rank_faults_enabled()) {
     std::printf("  health:       %s\n", describe(result.health).c_str());
     if (!result.failed_ranks.empty()) {
